@@ -1,0 +1,101 @@
+//! Section-1 Brent's-theorem benchmark: `p` physical cells simulate the
+//! `n(n+1)` virtual cells round-robin. Wall time should be roughly flat in
+//! `p` (the same work is done), while the *modelled* time (micro-rounds)
+//! scales as `⌈N/p⌉` — both are measured here, and the PRAM side is
+//! benchmarked with `step_brent` for comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gca_engine::brent::{step_virtualized, BrentSchedule};
+use gca_engine::{CellField, FieldShape};
+use gca_graphs::generators;
+use gca_hirschberg::{Gen, HirschbergRule, Layout};
+use gca_pram::hirschberg_ref;
+use std::hint::black_box;
+
+fn bench_virtualized_generation(c: &mut Criterion) {
+    let n = 64usize;
+    let g = generators::gnp(n, 0.5, 5);
+    let layout = Layout::new(n).unwrap();
+    let rule = HirschbergRule::new(n);
+    let cells = layout.cells();
+
+    let mut group = c.benchmark_group("brent/one_generation_n64");
+    for p in [1usize, 16, 256, cells] {
+        let schedule = BrentSchedule::new(cells, p);
+        group.bench_with_input(BenchmarkId::from_parameter(p), &schedule, |b, sched| {
+            b.iter_with_setup(
+                || {
+                    let mut f = layout.build_field(&g);
+                    // Seed with the init generation's values.
+                    for idx in 0..f.len() {
+                        let row = layout.shape().row(idx) as u32;
+                        let mut cell = *f.get(idx);
+                        cell.d = row;
+                        f.set(idx, cell);
+                    }
+                    f
+                },
+                |mut f| {
+                    let rep =
+                        step_virtualized(&mut f, &rule, sched, 0, Gen::BroadcastC.number(), 0)
+                            .unwrap();
+                    assert_eq!(rep.rounds, cells.div_ceil(sched.physical_cells()));
+                    black_box(rep.total_reads)
+                },
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_schedule_arithmetic(c: &mut Criterion) {
+    let sched = BrentSchedule::new(1 << 20, 1 << 10);
+    c.bench_function("brent/schedule_assignment", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for v in (0..(1 << 20)).step_by(4097) {
+                let (p, r) = sched.assignment(v);
+                acc = acc.wrapping_add(p ^ r);
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_pram_brent(c: &mut Criterion) {
+    let g = generators::gnp(32, 0.5, 8);
+    let mut group = c.benchmark_group("brent/pram_reference_n32");
+    group.sample_size(10);
+    for p in [4usize, 64, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                let r = hirschberg_ref::connected_components_brent(&g, p).unwrap();
+                black_box(r.time)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// A dummy field type check: ensure CellField is reusable across benches.
+#[allow(dead_code)]
+fn _types(_f: CellField<gca_hirschberg::HCell>, _s: FieldShape) {}
+
+
+/// Short measurement windows: the full suite has many benchmark ids and the
+/// quantities of interest (counts, shapes) are asserted, not estimated.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10)
+}
+
+criterion_group!{
+    name = benches;
+    config = quick_config();
+    targets = bench_virtualized_generation,
+    bench_schedule_arithmetic,
+    bench_pram_brent
+}
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Figure 2 benchmark: the cost of each of the twelve generation kinds,
+//! measured individually on a prepared `n = 64` field.
+//!
+//! In hardware every generation takes one clock; in simulation their costs
+//! differ (broadcasts touch all `n(n+1)` cells, resolves touch `n`). The
+//! per-generation profile identifies where simulation time goes and checks
+//! the activity structure of the state graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gca_engine::{Engine, Instrumentation};
+use gca_graphs::generators;
+use gca_hirschberg::{Gen, Machine};
+use std::hint::black_box;
+
+fn prepared_machine(n: usize, upto: Gen) -> Machine {
+    let g = generators::gnp(n, 0.5, 2007);
+    let engine = Engine::sequential().with_instrumentation(Instrumentation::Off);
+    let mut m = Machine::with_engine(&g, engine).unwrap();
+    m.init().unwrap();
+    // Advance through the schedule until just before the generation of
+    // interest so its input state is realistic.
+    for (gen, sub) in gca_hirschberg::iteration_schedule(n) {
+        if gen == upto {
+            break;
+        }
+        m.step(gen, sub).unwrap();
+    }
+    m
+}
+
+fn bench_each_generation(c: &mut Criterion) {
+    let n = 64usize;
+    let mut group = c.benchmark_group("fig2/generation_cost_n64");
+    for gen in Gen::ALL {
+        if gen == Gen::Init {
+            continue; // measured separately below (needs a fresh machine)
+        }
+        group.bench_function(BenchmarkId::from_parameter(gen.number()), |b| {
+            b.iter_with_setup(
+                || prepared_machine(n, gen),
+                |mut m| {
+                    m.step(gen, 0).unwrap();
+                    black_box(m.generations())
+                },
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_init(c: &mut Criterion) {
+    let n = 64usize;
+    let g = generators::gnp(n, 0.5, 2007);
+    c.bench_function("fig2/generation_cost_n64/init", |b| {
+        b.iter_with_setup(
+            || {
+                Machine::with_engine(
+                    &g,
+                    Engine::sequential().with_instrumentation(Instrumentation::Off),
+                )
+                .unwrap()
+            },
+            |mut m| {
+                m.init().unwrap();
+                black_box(m.generations())
+            },
+        );
+    });
+}
+
+
+/// Short measurement windows: the full suite has many benchmark ids and the
+/// quantities of interest (counts, shapes) are asserted, not estimated.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10)
+}
+
+criterion_group!{
+    name = benches;
+    config = quick_config();
+    targets = bench_each_generation, bench_init
+}
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! The paper's future work ("more elaborate PRAM algorithms"), benchmarked:
+//! transitive closure by systolic squaring (CC via closure vs the main
+//! machine), prefix scans, and list ranking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gca_algorithms::{list_ranking, scan, transitive_closure};
+use gca_graphs::generators;
+use gca_hirschberg::HirschbergGca;
+use std::hint::black_box;
+
+fn bench_transitive_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("future_work/transitive_closure");
+    group.sample_size(10);
+    for n in [8usize, 16, 32] {
+        let g = generators::gnp(n, 0.3, 5 + n as u64);
+        group.bench_with_input(BenchmarkId::new("gca_systolic", n), &g, |b, g| {
+            b.iter(|| black_box(transitive_closure::run(g).unwrap().closure));
+        });
+        group.bench_with_input(BenchmarkId::new("warshall", n), &g, |b, g| {
+            b.iter(|| black_box(transitive_closure::warshall(g)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cc_via_closure_vs_main(c: &mut Criterion) {
+    let mut group = c.benchmark_group("future_work/cc_via_closure");
+    group.sample_size(10);
+    for n in [16usize, 32] {
+        let g = generators::gnp(n, 0.3, 9);
+        let expected = HirschbergGca::new().run(&g).unwrap().labels;
+        group.bench_with_input(BenchmarkId::new("via_closure", n), &g, |b, g| {
+            b.iter(|| {
+                let labels = transitive_closure::connected_components(g).unwrap();
+                assert_eq!(labels, expected);
+                black_box(labels)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("hirschberg", n), &g, |b, g| {
+            let runner = HirschbergGca::new();
+            b.iter(|| black_box(runner.run(g).unwrap().labels));
+        });
+    }
+    group.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("future_work/prefix_scan");
+    for n in [64usize, 1024, 16384] {
+        let xs: Vec<u64> = (0..n as u64).map(|i| i * 2654435761 % 1000).collect();
+        group.bench_with_input(BenchmarkId::new("gca_doubling", n), &xs, |b, xs| {
+            b.iter(|| black_box(scan::inclusive_scan(xs, &scan::SumMonoid).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("sequential", n), &xs, |b, xs| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                let out: Vec<u64> = xs
+                    .iter()
+                    .map(|&x| {
+                        acc = acc.wrapping_add(x);
+                        acc
+                    })
+                    .collect();
+                black_box(out)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_list_ranking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("future_work/list_ranking");
+    group.sample_size(10);
+    for n in [64usize, 1024, 8192] {
+        let succ: Vec<usize> = (0..n).map(|i| if i == n - 1 { i } else { i + 1 }).collect();
+        group.bench_with_input(BenchmarkId::new("gca_jumping", n), &succ, |b, s| {
+            b.iter(|| black_box(list_ranking::rank_list(s).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("sequential", n), &succ, |b, s| {
+            b.iter(|| black_box(list_ranking::rank_list_sequential(s).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+
+/// Short measurement windows: the full suite has many benchmark ids and the
+/// quantities of interest (counts, shapes) are asserted, not estimated.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10)
+}
+
+criterion_group!{
+    name = benches;
+    config = quick_config();
+    targets = bench_transitive_closure,
+    bench_cc_via_closure_vs_main,
+    bench_scan,
+    bench_list_ranking
+}
+criterion_main!(benches);

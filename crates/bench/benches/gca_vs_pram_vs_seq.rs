@@ -1,0 +1,72 @@
+//! The optimality-discussion benchmark (Sections 1–3): the GCA mapping, the
+//! PRAM reference and the sequential baselines on dense graphs, plus sparse
+//! inputs where the paper's work-optimality precondition (`m = Θ(n²)`)
+//! fails. Who wins in *simulation* is the sequential algorithm, as the
+//! model predicts — the GCA's claim is about hardware cost, not simulated
+//! wall time; the interesting shape is how the gap scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gca_engine::{Engine, Instrumentation};
+use gca_graphs::connectivity::{bfs_components, union_find_components_dense};
+use gca_graphs::generators;
+use gca_hirschberg::HirschbergGca;
+use gca_pram::hirschberg_ref;
+use std::hint::black_box;
+
+fn bench_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gca_vs_pram_vs_seq/dense");
+    group.sample_size(10);
+    for n in [16usize, 32, 64] {
+        let g = generators::gnp(n, 0.5, 1000 + n as u64);
+        let gca = HirschbergGca::new()
+            .with_engine(Engine::sequential().with_instrumentation(Instrumentation::Off));
+        group.bench_with_input(BenchmarkId::new("gca", n), &g, |b, g| {
+            b.iter(|| black_box(gca.run(g).unwrap().labels));
+        });
+        group.bench_with_input(BenchmarkId::new("pram", n), &g, |b, g| {
+            b.iter(|| black_box(hirschberg_ref::connected_components(g).unwrap().labels));
+        });
+        group.bench_with_input(BenchmarkId::new("seq_union_find", n), &g, |b, g| {
+            b.iter(|| black_box(union_find_components_dense(g)));
+        });
+        let list = g.to_adjacency_list();
+        group.bench_with_input(BenchmarkId::new("seq_bfs", n), &list, |b, l| {
+            b.iter(|| black_box(bfs_components(l)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gca_vs_pram_vs_seq/sparse");
+    group.sample_size(10);
+    for n in [16usize, 32, 64] {
+        let g = generators::random_forest(n, 4, 77);
+        let gca = HirschbergGca::new()
+            .with_engine(Engine::sequential().with_instrumentation(Instrumentation::Off));
+        group.bench_with_input(BenchmarkId::new("gca", n), &g, |b, g| {
+            b.iter(|| black_box(gca.run(g).unwrap().labels));
+        });
+        group.bench_with_input(BenchmarkId::new("seq_union_find", n), &g, |b, g| {
+            b.iter(|| black_box(union_find_components_dense(g)));
+        });
+    }
+    group.finish();
+}
+
+
+/// Short measurement windows: the full suite has many benchmark ids and the
+/// quantities of interest (counts, shapes) are asserted, not estimated.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10)
+}
+
+criterion_group!{
+    name = benches;
+    config = quick_config();
+    targets = bench_dense, bench_sparse
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Section-4 hardware model benchmark: cost estimation and device-fit
+//! search. The estimates are closed-form, so these benches mostly guard
+//! against accidental complexity regressions in the model; the calibration
+//! identity (model(16) == paper point) is asserted each sample.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gca_hw_model::{estimate_variant, paper_reference, CostParams, Variant, EP2C70};
+use std::hint::black_box;
+
+fn bench_estimate(c: &mut Criterion) {
+    let params = CostParams::calibrated();
+    let mut group = c.benchmark_group("hw_model/estimate");
+    for n in [16usize, 256, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                for v in [Variant::Main, Variant::NCells, Variant::LowCongestion] {
+                    black_box(estimate_variant(n, v, &params));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    c.bench_function("hw_model/calibration_identity", |b| {
+        b.iter(|| {
+            let params = CostParams::calibrated();
+            let est = estimate_variant(16, Variant::Main, &params);
+            let paper = paper_reference();
+            assert!(
+                (est.logic_elements as i64 - paper.logic_elements as i64).abs() < 100,
+                "calibration drifted"
+            );
+            black_box(est)
+        });
+    });
+}
+
+fn bench_device_fit(c: &mut Criterion) {
+    let params = CostParams::calibrated();
+    c.bench_function("hw_model/max_n_search", |b| {
+        b.iter(|| {
+            for v in [Variant::Main, Variant::LowCongestion] {
+                black_box(EP2C70.max_n(v, &params));
+            }
+        });
+    });
+}
+
+
+/// Short measurement windows: the full suite has many benchmark ids and the
+/// quantities of interest (counts, shapes) are asserted, not estimated.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10)
+}
+
+criterion_group!{
+    name = benches;
+    config = quick_config();
+    targets = bench_estimate, bench_calibration, bench_device_fit
+}
+criterion_main!(benches);

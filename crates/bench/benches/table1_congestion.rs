@@ -1,0 +1,51 @@
+//! Table 1 benchmark: cost of the instrumented (congestion-measuring) first
+//! iteration, and of the full instrumented run, across problem sizes.
+//!
+//! The printed table itself is produced by the `table1_congestion` binary;
+//! this bench quantifies the measurement overhead and how congestion
+//! accounting scales with the field (`n(n+1)` cells).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gca_graphs::generators;
+use gca_hirschberg::table1::{measure_first_iteration, measure_full_run};
+use std::hint::black_box;
+
+fn bench_first_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/first_iteration");
+    for n in [8usize, 16, 32, 64] {
+        let g = generators::gnp(n, 0.5, 2007);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| measure_first_iteration(black_box(g)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/full_run");
+    group.sample_size(20);
+    for n in [16usize, 32, 64] {
+        let g = generators::gnp(n, 0.5, 2007);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| measure_full_run(black_box(g)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+
+/// Short measurement windows: the full suite has many benchmark ids and the
+/// quantities of interest (counts, shapes) are asserted, not estimated.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10)
+}
+
+criterion_group!{
+    name = benches;
+    config = quick_config();
+    targets = bench_first_iteration, bench_full_run
+}
+criterion_main!(benches);

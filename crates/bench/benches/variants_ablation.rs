@@ -1,0 +1,75 @@
+//! Design-space ablation (Section 3's "n vs n² cells" and Section 4's
+//! replication remark): the main `n²`-cell machine, the `n`-cell machine,
+//! the low-congestion machine and the early-exit extension, all on the same
+//! inputs. Labels are asserted identical on every sample.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gca_engine::{Engine, Instrumentation};
+use gca_graphs::generators;
+use gca_hirschberg::variants::{low_congestion, n_cells, two_handed};
+use gca_hirschberg::HirschbergGca;
+use std::hint::black_box;
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("variants");
+    group.sample_size(10);
+    for n in [16usize, 32, 64] {
+        let g = generators::gnp(n, 0.5, 11 + n as u64);
+        let expected = HirschbergGca::new().run(&g).unwrap().labels;
+
+        let main = HirschbergGca::new()
+            .with_engine(Engine::sequential().with_instrumentation(Instrumentation::Off));
+        group.bench_with_input(BenchmarkId::new("main_n2_cells", n), &g, |b, g| {
+            b.iter(|| black_box(main.run(g).unwrap().labels));
+        });
+
+        let early = HirschbergGca::new()
+            .with_engine(Engine::sequential().with_instrumentation(Instrumentation::Off))
+            .early_exit(true);
+        group.bench_with_input(BenchmarkId::new("main_early_exit", n), &g, |b, g| {
+            b.iter(|| black_box(early.run(g).unwrap().labels));
+        });
+
+        group.bench_with_input(BenchmarkId::new("n_cells", n), &g, |b, g| {
+            b.iter(|| {
+                let r = n_cells::run(g).unwrap();
+                assert_eq!(r.labels, expected);
+                black_box(r.labels)
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("low_congestion", n), &g, |b, g| {
+            b.iter(|| {
+                let r = low_congestion::run(g).unwrap();
+                assert_eq!(r.labels, expected);
+                black_box(r.labels)
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("two_handed", n), &g, |b, g| {
+            b.iter(|| {
+                let r = two_handed::run(g).unwrap();
+                assert_eq!(r.labels, expected);
+                black_box(r.labels)
+            });
+        });
+    }
+    group.finish();
+}
+
+
+/// Short measurement windows: the full suite has many benchmark ids and the
+/// quantities of interest (counts, shapes) are asserted, not estimated.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10)
+}
+
+criterion_group!{
+    name = benches;
+    config = quick_config();
+    targets = bench_variants
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Regenerates **Figure 2**: the GCA state graph — pointer operation and
+//! data operation for each of the twelve generations, in the paper's
+//! notation (with the DESIGN.md §3 reconstructions applied).
+//!
+//! Usage: `fig2_state_graph [n]` (default 16; `n` only affects the printed
+//! sub-generation counts).
+
+use gca_hirschberg::complexity::ceil_log2;
+use gca_hirschberg::Gen;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(16);
+    let l = ceil_log2(n);
+
+    println!("Figure 2 — GCA state graph (n = {n}, log2(n) = {l})");
+    println!();
+    for gen in Gen::ALL {
+        let iterations = if gen.is_iterated() {
+            format!("  [{l} sub-generations]")
+        } else {
+            String::new()
+        };
+        println!(
+            "generation {:>2}  (step {}){}",
+            gen.number(),
+            gen.step(),
+            iterations
+        );
+        println!("    pointer: {}", gen.pointer_op());
+        println!("    data:    {}", gen.data_op());
+    }
+    println!();
+    println!("generations 1..11 repeat for {l} outer iterations");
+    println!(
+        "total: 1 + {l} * (3*{l} + 8) = {}",
+        gca_hirschberg::complexity::total_generations(n)
+    );
+}

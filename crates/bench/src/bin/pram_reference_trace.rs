@@ -1,0 +1,67 @@
+//! Regenerates **Listing 1**: runs the reference algorithm on the PRAM
+//! simulator under the CROW policy and reports its cost next to the GCA
+//! mapping — machine-checking the paper's claims that (a) the algorithm
+//! only needs CROW, and (b) both machines compute the identical labeling in
+//! `O(log² n)` synchronous steps.
+//!
+//! Usage: `pram_reference_trace [n]` (default 16).
+
+use gca_bench::tables::Table;
+use gca_bench::workloads::suite;
+use gca_graphs::connectivity::union_find_components_dense;
+use gca_hirschberg::HirschbergGca;
+use gca_pram::hirschberg_ref;
+use gca_pram::AccessPolicy;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(16);
+
+    let mut t = Table::new([
+        "workload",
+        "components",
+        "pram time",
+        "pram work",
+        "pram max d",
+        "gca generations",
+        "labels equal",
+    ]);
+
+    for w in suite(n, 2007) {
+        let pram = hirschberg_ref::connected_components(&w.graph).expect("CROW run failed");
+        let gca = HirschbergGca::new().run(&w.graph).expect("GCA run failed");
+        let seq = union_find_components_dense(&w.graph);
+        assert_eq!(pram.labels, seq, "PRAM deviates from union-find on {}", w.name);
+        t.row([
+            w.name.to_string(),
+            seq.component_count().to_string(),
+            pram.time.to_string(),
+            pram.work.to_string(),
+            pram.max_congestion.to_string(),
+            gca.generations.to_string(),
+            (pram.labels == gca.labels).to_string(),
+        ]);
+    }
+
+    println!("Listing 1 — reference algorithm on the CROW PRAM (n = {n})");
+    println!("{}", t.render());
+
+    // Policy checks: CROW/CREW succeed, EREW must be rejected.
+    let g = gca_graphs::generators::gnp(n, 0.5, 3);
+    for policy in [AccessPolicy::Crow, AccessPolicy::Crew] {
+        let ok = hirschberg_ref::connected_components_with_policy(&g, policy).is_ok();
+        println!("runs under {:>4}: {}", policy.name(), ok);
+    }
+    let erew = hirschberg_ref::connected_components_with_policy(&g, AccessPolicy::Erew);
+    println!(
+        "runs under EREW: false ({})",
+        erew.expect_err("EREW must reject the concurrent C reads")
+    );
+    println!();
+    println!(
+        "formula check: steps(n) = 1 + log n (3 log n + 6) = {}",
+        hirschberg_ref::reference_steps(n)
+    );
+}

@@ -1,0 +1,138 @@
+//! Regenerates the **Section 4 replication claim**: distributing the hot
+//! reads through trees / replicated registers brings the congestion of the
+//! statically-addressed generations *"down to 1"*, at the price of extended
+//! cells everywhere and more generations.
+//!
+//! Compares the main machine against the low-congestion variant per phase
+//! family, on several workloads.
+//!
+//! Usage: `replication_congestion [n]` (default 16).
+
+use gca_bench::tables::Table;
+use gca_bench::workloads::suite;
+use gca_engine::{Engine, Instrumentation};
+use gca_hirschberg::variants::low_congestion;
+use gca_hirschberg::{Gen, HirschbergGca};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(16);
+
+    let mut t = Table::new([
+        "workload",
+        "machine",
+        "generations",
+        "static max d",
+        "dynamic max d",
+        "overall max d",
+    ]);
+
+    for w in suite(n, 2007) {
+        // Main machine.
+        let engine = Engine::sequential().with_instrumentation(Instrumentation::Counts);
+        let main = HirschbergGca::new()
+            .with_engine(engine)
+            .run(&w.graph)
+            .expect("main run failed");
+        let is_dynamic =
+            |phase: u32| matches!(Gen::from_number(phase), Some(Gen::PointerJump | Gen::FinalMin));
+        let static_max = main
+            .metrics
+            .entries()
+            .iter()
+            .filter(|m| !is_dynamic(m.ctx.phase))
+            .map(|m| m.max_congestion)
+            .max()
+            .unwrap_or(0);
+        let dynamic_max = main
+            .metrics
+            .entries()
+            .iter()
+            .filter(|m| is_dynamic(m.ctx.phase))
+            .map(|m| m.max_congestion)
+            .max()
+            .unwrap_or(0);
+        t.row([
+            w.name.to_string(),
+            "main (n^2)".to_string(),
+            main.generations.to_string(),
+            static_max.to_string(),
+            dynamic_max.to_string(),
+            main.metrics.max_congestion().to_string(),
+        ]);
+
+        // Low-congestion variant.
+        let lc = low_congestion::run(&w.graph).expect("low-congestion run failed");
+        let lc_dynamic = lc
+            .metrics
+            .entries()
+            .iter()
+            .filter(|m| {
+                low_congestion_phase_is_dynamic(m.ctx.phase)
+            })
+            .map(|m| m.max_congestion)
+            .max()
+            .unwrap_or(0);
+        t.row([
+            w.name.to_string(),
+            "low-congestion".to_string(),
+            lc.generations.to_string(),
+            lc.static_max_congestion().to_string(),
+            lc_dynamic.to_string(),
+            lc.metrics.max_congestion().to_string(),
+        ]);
+
+        assert_eq!(
+            main.labels, lc.labels,
+            "variant disagreed with main machine on {}",
+            w.name
+        );
+    }
+
+    println!("Section 4 — congestion with and without tree/replication distribution (n = {n})");
+    println!("{}", t.render());
+
+    // Cycle counts under the three interconnect models (the quantitative
+    // version of "steps with known low congestion can be executed faster").
+    use gca_hirschberg::timing::profile;
+    let g = gca_graphs::generators::gnp(n, 0.5, 2007);
+    let engine = Engine::sequential().with_instrumentation(Instrumentation::Counts);
+    let main = HirschbergGca::new().with_engine(engine).run(&g).unwrap();
+    let lc = low_congestion::run(&g).unwrap();
+    let pm = profile(&main.metrics);
+    let pl = profile(&lc.metrics);
+    let mut t = gca_bench::tables::Table::new([
+        "machine",
+        "generations",
+        "cycles (fully wired)",
+        "cycles (single port)",
+        "cycles (tree)",
+    ]);
+    t.row([
+        "main (n^2)".to_string(),
+        pm.generations.to_string(),
+        pm.unit.to_string(),
+        pm.serialized.to_string(),
+        pm.tree.to_string(),
+    ]);
+    t.row([
+        "low-congestion".to_string(),
+        pl.generations.to_string(),
+        pl.unit.to_string(),
+        pl.serialized.to_string(),
+        pl.tree.to_string(),
+    ]);
+    println!("interconnect time models on dense G(n, 0.5):");
+    println!("{}", t.render());
+    println!("paper: static reads reach d = n+1 in the main design; the tree/replication");
+    println!("variant brings every statically-addressed generation to d <= 1, paying");
+    println!("~2.3x more generations; the data-dependent jump phases keep d <= n in both.");
+}
+
+fn low_congestion_phase_is_dynamic(phase: u32) -> bool {
+    use gca_hirschberg::variants::low_congestion::LGen;
+    // Jump = 17, FinalMin = 18 in the low-congestion phase numbering.
+    phase == LGen::Jump as u32 || phase == LGen::FinalMin as u32
+}

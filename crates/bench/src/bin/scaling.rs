@@ -1,0 +1,91 @@
+//! The **optimality-discussion experiment** (Sections 1–3): GCA vs. PRAM
+//! reference vs. sequential baselines on dense graphs across problem sizes —
+//! model costs (generations / steps / work) and wall-clock time of the
+//! simulations.
+//!
+//! Absolute wall times are simulator speed, not hardware speed; the claims
+//! to check are the *shapes*: the GCA's generation count grows as `log² n`
+//! while its work grows as `n² log² n`, against the sequential `Θ(n²)` for
+//! dense inputs.
+//!
+//! Usage: `scaling [max_n]` (default 128).
+
+use gca_bench::tables::Table;
+use gca_engine::{Engine, Instrumentation};
+use gca_graphs::connectivity::union_find_components_dense;
+use gca_graphs::generators;
+use gca_hirschberg::variants::{low_congestion, n_cells};
+use gca_hirschberg::HirschbergGca;
+use gca_pram::hirschberg_ref;
+use std::time::Instant;
+
+fn main() {
+    let max_n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(128);
+
+    let mut t = Table::new([
+        "n",
+        "gca gens",
+        "ncell gens",
+        "lc gens",
+        "pram steps",
+        "pram work",
+        "gca ms",
+        "ncell ms",
+        "pram ms",
+        "seq ms",
+    ]);
+
+    let mut n = 8usize;
+    while n <= max_n {
+        let g = generators::gnp(n, 0.5, 1000 + n as u64);
+
+        let t0 = Instant::now();
+        let gca = HirschbergGca::new()
+            .with_engine(Engine::sequential().with_instrumentation(Instrumentation::Off))
+            .run(&g)
+            .expect("gca failed");
+        let gca_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let t0 = Instant::now();
+        let ncell = n_cells::run(&g).expect("n-cell failed");
+        let ncell_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let lc = low_congestion::run(&g).expect("low-congestion failed");
+
+        let t0 = Instant::now();
+        let pram = hirschberg_ref::connected_components(&g).expect("pram failed");
+        let pram_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let t0 = Instant::now();
+        let seq = union_find_components_dense(&g);
+        let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        assert_eq!(gca.labels, seq);
+        assert_eq!(pram.labels, seq);
+        assert_eq!(ncell.labels, seq);
+        assert_eq!(lc.labels, seq);
+
+        t.row([
+            n.to_string(),
+            gca.generations.to_string(),
+            ncell.generations.to_string(),
+            lc.generations.to_string(),
+            pram.time.to_string(),
+            pram.work.to_string(),
+            format!("{gca_ms:.2}"),
+            format!("{ncell_ms:.2}"),
+            format!("{pram_ms:.2}"),
+            format!("{seq_ms:.3}"),
+        ]);
+        n *= 2;
+    }
+
+    println!("GCA vs PRAM vs sequential on dense G(n, 0.5)");
+    println!("{}", t.render());
+    println!("shape checks: gca gens ~ 3 log^2 n + 8 log n + 1; ncell gens ~ 2 n log n;");
+    println!("pram work ~ n^2 log^2 n (not work-optimal; the paper's point is that GCA");
+    println!("cells cost as little as the memory they replace, so n^2 cells are acceptable).");
+}

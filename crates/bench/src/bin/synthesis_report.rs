@@ -1,0 +1,84 @@
+//! Regenerates the **Section 4 synthesis result** via the analytic hardware
+//! cost model: the paper's published EP2C70 point (`n = 16`: 272 cells,
+//! 23,051 LEs, 2,192 register bits, 71 MHz), the raw (uncalibrated) model
+//! estimate, and the scaling of all three design variants with device-fit
+//! analysis.
+//!
+//! Usage: `synthesis_report [--json]`.
+
+use gca_bench::tables::Table;
+use gca_hw_model::{estimate_variant, paper_reference, CostParams, Variant, EP2C70};
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let calibrated = CostParams::calibrated();
+    let raw = CostParams::raw();
+
+    let paper = paper_reference();
+    let est_cal = estimate_variant(16, Variant::Main, &calibrated);
+    let est_raw = estimate_variant(16, Variant::Main, &raw);
+
+    println!("Section 4 synthesis point (n = 16, {}):", EP2C70.name);
+    let mut t = Table::new(["source", "cells", "logic elements", "register bits", "fmax (MHz)"]);
+    for (name, r) in [
+        ("paper (Quartus II)", &paper),
+        ("model (calibrated)", &est_cal),
+        ("model (raw)", &est_raw),
+    ] {
+        t.row([
+            name.to_string(),
+            r.cells.to_string(),
+            r.logic_elements.to_string(),
+            r.register_bits.to_string(),
+            format!("{:.1}", r.fmax_mhz),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "raw-model underestimation factor: LE x{:.2}, registers x{:.2} (absorbed by calibration)",
+        paper.logic_elements as f64 / est_raw.logic_elements as f64,
+        paper.register_bits as f64 / est_raw.register_bits as f64,
+    );
+    println!();
+
+    println!("Scaling of the three design variants (calibrated model):");
+    let mut t = Table::new([
+        "n",
+        "variant",
+        "cells",
+        "LEs",
+        "reg bits",
+        "fmax (MHz)",
+        "fits EP2C70",
+        "util %",
+    ]);
+    let mut rows = Vec::new();
+    for n in [4usize, 8, 16, 32, 64] {
+        for variant in [Variant::Main, Variant::NCells, Variant::LowCongestion] {
+            let r = estimate_variant(n, variant, &calibrated);
+            t.row([
+                n.to_string(),
+                format!("{variant:?}"),
+                r.cells.to_string(),
+                r.logic_elements.to_string(),
+                r.register_bits.to_string(),
+                format!("{:.1}", r.fmax_mhz),
+                if EP2C70.fits(&r) { "yes" } else { "no" }.to_string(),
+                format!("{:.1}", 100.0 * EP2C70.utilization(&r)),
+            ]);
+            rows.push(r);
+        }
+    }
+    println!("{}", t.render());
+
+    for variant in [Variant::Main, Variant::NCells, Variant::LowCongestion] {
+        println!(
+            "largest n fitting the EP2C70 with {variant:?}: {}",
+            EP2C70.max_n(variant, &calibrated)
+        );
+    }
+
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+    }
+}

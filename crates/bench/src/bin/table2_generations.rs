@@ -1,0 +1,48 @@
+//! Regenerates **Table 2**: generations per reference-algorithm step.
+//!
+//! Claimed: `1 / 1+log n+1+1 / 1+log n+1+1 / 1 / log n / 1`; measured by
+//! counting the executed generations of each step in one outer iteration.
+//!
+//! Usage: `table2_generations [n]` (default 16).
+
+use gca_bench::tables::Table;
+use gca_graphs::generators;
+use gca_hirschberg::complexity::table2;
+use gca_hirschberg::table1::measure_first_iteration;
+use gca_hirschberg::Gen;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(16);
+
+    let graph = generators::gnp(n, 0.5, 2007);
+    let measured = measure_first_iteration(&graph).expect("run failed");
+
+    // Count executed generations per reference step (init = step 1).
+    let mut counts = [0u64; 6];
+    for row in &measured {
+        let step = Gen::from_number(row.generation.number())
+            .expect("valid")
+            .step();
+        counts[(step - 1) as usize] += 1;
+    }
+
+    let mut table = Table::new(["step of the algorithm", "generations (paper)", "generations (measured)"]);
+    for claim in table2(n) {
+        table.row([
+            claim.step.to_string(),
+            claim.generations.to_string(),
+            counts[(claim.step - 1) as usize].to_string(),
+        ]);
+    }
+
+    println!("Table 2 — generations per step (n = {n}, log2(n) = {})", gca_hirschberg::complexity::ceil_log2(n));
+    println!("{}", table.render());
+    println!(
+        "per-iteration total: paper {} / measured {}",
+        gca_hirschberg::complexity::generations_per_iteration(n),
+        counts[1..].iter().sum::<u64>()
+    );
+}

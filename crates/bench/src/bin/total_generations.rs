@@ -1,0 +1,56 @@
+//! Regenerates the **Section 3 formula**: total generations
+//! `1 + log n · (3·log n + 8)` — closed form vs. the counter of an actual
+//! run, across problem sizes, plus the reference PRAM step count for
+//! comparison.
+//!
+//! Usage: `total_generations [max_n]` (default 128; sizes double from 2).
+
+use gca_bench::tables::Table;
+use gca_graphs::generators;
+use gca_hirschberg::complexity;
+use gca_hirschberg::HirschbergGca;
+use gca_pram::hirschberg_ref;
+
+fn main() {
+    let max_n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(128);
+
+    let mut table = Table::new([
+        "n",
+        "log2(n)",
+        "formula",
+        "measured",
+        "pram steps",
+        "gca cells",
+        "iterations",
+    ]);
+
+    let mut n = 2usize;
+    while n <= max_n {
+        let g = generators::gnp(n, 0.5, 42 + n as u64);
+        let run = HirschbergGca::new().run(&g).expect("run failed");
+        let pram = hirschberg_ref::reference_steps(n);
+        assert_eq!(
+            run.generations,
+            complexity::total_generations(n),
+            "measured generation count deviates from the formula at n = {n}"
+        );
+        table.row([
+            n.to_string(),
+            complexity::ceil_log2(n).to_string(),
+            complexity::total_generations(n).to_string(),
+            run.generations.to_string(),
+            pram.to_string(),
+            (n * (n + 1)).to_string(),
+            run.iterations.to_string(),
+        ]);
+        n *= 2;
+    }
+
+    println!("Total generations: 1 + log n * (3 log n + 8)   [O(log^2 n) on n(n+1) cells]");
+    println!("{}", table.render());
+    println!("The GCA pays 2 extra generations per min phase over the PRAM reference");
+    println!("(one-pointer cells must broadcast before they can compare).");
+}

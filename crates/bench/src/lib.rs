@@ -1,0 +1,11 @@
+//! Shared helpers for the benchmark harness and table/figure binaries.
+//!
+//! Every experiment binary prints a human-readable table (the same rows the
+//! paper reports) and can additionally emit machine-readable JSON rows; the
+//! small formatting utilities live here so the binaries stay declarative.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod tables;
+pub mod workloads;

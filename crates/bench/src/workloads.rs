@@ -1,0 +1,76 @@
+//! The canonical workload suite shared by benches and experiment binaries.
+//!
+//! The paper's optimality claim targets **dense** graphs (`m = Θ(n²)`), but
+//! the algorithm must be correct and its congestion profile interesting on
+//! extremal structures too; every experiment runs over this suite so rows
+//! are comparable across tables.
+
+use gca_graphs::{generators, AdjacencyMatrix};
+
+/// A named workload at a given problem size.
+pub struct Workload {
+    /// Short identifier used in table rows.
+    pub name: &'static str,
+    /// The generated graph.
+    pub graph: AdjacencyMatrix,
+}
+
+/// The standard suite at problem size `n` (seeded deterministically).
+pub fn suite(n: usize, seed: u64) -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "dense-gnp(0.5)",
+            graph: generators::gnp(n, 0.5, seed),
+        },
+        Workload {
+            name: "sparse-gnp(2/n)",
+            graph: generators::gnp(n, (2.0 / n as f64).min(1.0), seed.wrapping_add(1)),
+        },
+        Workload {
+            name: "complete",
+            graph: generators::complete(n),
+        },
+        Workload {
+            name: "path",
+            graph: generators::path(n),
+        },
+        Workload {
+            name: "star",
+            graph: generators::star(n),
+        },
+        Workload {
+            name: "forest(k=4)",
+            graph: generators::random_forest(n, 4.min(n.max(1)), seed.wrapping_add(2)),
+        },
+        Workload {
+            name: "empty",
+            graph: generators::empty(n),
+        },
+    ]
+}
+
+/// The dense-regime sizes used by the scaling experiments.
+pub const SCALING_SIZES: [usize; 6] = [4, 8, 16, 32, 64, 128];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_deterministic() {
+        let a = suite(16, 7);
+        let b = suite(16, 7);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.graph, y.graph);
+        }
+    }
+
+    #[test]
+    fn suite_covers_sizes() {
+        for w in suite(12, 1) {
+            assert_eq!(w.graph.n(), 12, "{}", w.name);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! End-to-end smoke tests of the table/figure binaries: every experiment
+//! must run to completion and print the rows its paper artifact promises.
+
+use std::process::Command;
+
+fn run(bin: &str, args: &[&str]) -> String {
+    let out = Command::new(bin).args(args).output().expect("spawn");
+    assert!(
+        out.status.success(),
+        "{bin} {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+#[test]
+fn table1_prints_all_generations() {
+    let text = run(env!("CARGO_BIN_EXE_table1_congestion"), &["8"]);
+    assert!(text.contains("Table 1"));
+    // Generation 0 row with n(n+1) = 72 active cells.
+    assert!(text.contains("72"), "{text}");
+    // Data-dependent rows flagged.
+    assert!(text.contains("worst case"), "{text}");
+}
+
+#[test]
+fn table2_matches_paper_exactly() {
+    let text = run(env!("CARGO_BIN_EXE_table2_generations"), &["16"]);
+    assert!(text.contains("per-iteration total: paper 20 / measured 20"), "{text}");
+}
+
+#[test]
+fn total_generations_table() {
+    let text = run(env!("CARGO_BIN_EXE_total_generations"), &["32"]);
+    for expected in ["12", "29", "52", "81", "116"] {
+        assert!(text.contains(expected), "missing {expected}:\n{text}");
+    }
+}
+
+#[test]
+fn fig2_lists_all_twelve_generations() {
+    let text = run(env!("CARGO_BIN_EXE_fig2_state_graph"), &["16"]);
+    for g in 0..12 {
+        assert!(
+            text.contains(&format!("generation {g:>2}")),
+            "missing generation {g}:\n{text}"
+        );
+    }
+    assert!(text.contains("total: 1 + 4 * (3*4 + 8) = 81"), "{text}");
+}
+
+#[test]
+fn fig3_renders_shaded_grids() {
+    let text = run(env!("CARGO_BIN_EXE_fig3_access_patterns"), &["4"]);
+    assert!(text.contains("* 0"), "{text}");
+    assert!(text.contains("(delta = 5)"), "{text}"); // generation-1 reads
+    assert!(text.contains("C after one iteration"), "{text}");
+}
+
+#[test]
+fn synthesis_report_reproduces_paper_point() {
+    let text = run(env!("CARGO_BIN_EXE_synthesis_report"), &[]);
+    assert!(text.contains("23051"), "{text}");
+    assert!(text.contains("2192"), "{text}");
+    assert!(text.contains("71.0"), "{text}");
+    assert!(text.contains("largest n fitting the EP2C70"), "{text}");
+}
+
+#[test]
+fn replication_congestion_shows_delta_one() {
+    let text = run(env!("CARGO_BIN_EXE_replication_congestion"), &["8"]);
+    assert!(text.contains("low-congestion"), "{text}");
+    assert!(text.contains("interconnect time models"), "{text}");
+}
+
+#[test]
+fn pram_trace_checks_policies() {
+    let text = run(env!("CARGO_BIN_EXE_pram_reference_trace"), &["8"]);
+    assert!(text.contains("runs under CROW: true"), "{text}");
+    assert!(text.contains("runs under EREW: false"), "{text}");
+}
+
+#[test]
+fn scaling_compares_machines() {
+    let text = run(env!("CARGO_BIN_EXE_scaling"), &["16"]);
+    assert!(text.contains("gca gens"), "{text}");
+    assert!(text.contains("pram work"), "{text}");
+}
+
+#[test]
+fn differential_soak_short_run() {
+    let out = Command::new(env!("CARGO_BIN_EXE_differential_soak"))
+        .args(["30", "14", "3"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("all 30 rounds passed"), "{text}");
+}

@@ -1,0 +1,166 @@
+//! Bitonic sorting on the GCA — a "hypercube algorithm", one of the
+//! application classes the paper's introduction lists for the model.
+//!
+//! Batcher's bitonic network maps perfectly onto a one-handed GCA: in the
+//! compare-exchange step with distance `j`, cell `i` reads its partner
+//! `i ⊕ j` — an involution, so every cell is read exactly once (congestion
+//! one) — and keeps the minimum or maximum according to its position in
+//! the network. `L·(L+1)/2` generations (with `L = ⌈log₂ N⌉`) sort `N`
+//! keys on `N` cells.
+//!
+//! Inputs of arbitrary length are padded to the next power of two with
+//! `u64::MAX` sentinels, which sort to the tail and are stripped off.
+
+use gca_engine::{
+    ceil_log2, Access, CellField, Engine, FieldShape, GcaError, GcaRule, Reads, StepCtx,
+};
+
+/// One compare-exchange wave of the bitonic network.
+///
+/// `phase` carries the *stage size* `k`, `subgeneration` carries the
+/// compare distance `j` (both as exponents, so they fit the `u32` tags).
+struct BitonicRule;
+
+impl GcaRule for BitonicRule {
+    type State = u64;
+
+    fn access(&self, ctx: &StepCtx, _shape: &FieldShape, index: usize, _own: &u64) -> Access {
+        let j = 1usize << ctx.subgeneration;
+        Access::One(index ^ j)
+    }
+
+    fn evolve(
+        &self,
+        ctx: &StepCtx,
+        _shape: &FieldShape,
+        index: usize,
+        own: &u64,
+        reads: Reads<'_, u64>,
+    ) -> u64 {
+        let k = 1usize << ctx.phase;
+        let j = 1usize << ctx.subgeneration;
+        let partner = index ^ j;
+        let other = *reads.expect_first("bitonic");
+        let ascending = index & k == 0;
+        let keep_smaller = (index < partner) == ascending;
+        if keep_smaller {
+            (*own).min(other)
+        } else {
+            (*own).max(other)
+        }
+    }
+
+    fn name(&self) -> &str {
+        "bitonic-sort"
+    }
+}
+
+/// Generations the network needs for `n` keys:
+/// `L·(L+1)/2` with `L = ⌈log₂ n⌉`.
+pub fn sort_generations(n: usize) -> u64 {
+    let l = u64::from(ceil_log2(n));
+    l * (l + 1) / 2
+}
+
+/// Sorts `values` ascending on the GCA.
+///
+/// ```
+/// let sorted = gca_algorithms::bitonic::sort(&[9, 2, 7, 2, 5]).unwrap();
+/// assert_eq!(sorted, vec![2, 2, 5, 7, 9]);
+/// ```
+pub fn sort(values: &[u64]) -> Result<Vec<u64>, GcaError> {
+    if values.len() <= 1 {
+        return Ok(values.to_vec());
+    }
+    let n = values.len();
+    let padded = n.next_power_of_two();
+    let shape = FieldShape::new(1, padded)?;
+    let mut states = values.to_vec();
+    states.resize(padded, u64::MAX);
+    let mut field = CellField::from_states(shape, states)?;
+    let mut engine = Engine::sequential();
+
+    let stages = ceil_log2(padded);
+    for k in 1..=stages {
+        // Stage k merges bitonic runs of length 2^k; distances descend.
+        for j in (0..k).rev() {
+            engine.step(&mut field, &BitonicRule, k, j)?;
+        }
+    }
+
+    let mut out = field.states().to_vec();
+    out.truncate(n);
+    Ok(out)
+}
+
+/// Validation helper: is `values` sorted ascending?
+pub fn is_sorted(values: &[u64]) -> bool {
+    values.windows(2).all(|w| w[0] <= w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(input: &[u64]) {
+        let sorted = sort(input).unwrap();
+        let mut expected = input.to_vec();
+        expected.sort_unstable();
+        assert_eq!(sorted, expected, "input {input:?}");
+    }
+
+    #[test]
+    fn sorts_small_arrays() {
+        check(&[]);
+        check(&[5]);
+        check(&[2, 1]);
+        check(&[3, 1, 4, 1, 5, 9, 2, 6]);
+        check(&[8, 7, 6, 5, 4, 3, 2, 1]);
+        check(&[1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn sorts_non_power_of_two_lengths() {
+        for n in [3usize, 5, 6, 7, 9, 13, 17, 100] {
+            let input: Vec<u64> = (0..n as u64).map(|i| (i * 2654435761) % 97).collect();
+            check(&input);
+        }
+    }
+
+    #[test]
+    fn sorts_with_max_sentinels_present() {
+        // The padding value may legitimately occur in the input.
+        check(&[u64::MAX, 0, u64::MAX, 42]);
+    }
+
+    #[test]
+    fn deterministic_pseudorandom_inputs() {
+        let mut x = 0x243F_6A88_85A3_08D3u64;
+        let input: Vec<u64> = (0..64)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            })
+            .collect();
+        check(&input);
+    }
+
+    #[test]
+    fn generation_count_formula() {
+        assert_eq!(sort_generations(1), 0);
+        assert_eq!(sort_generations(2), 1);
+        assert_eq!(sort_generations(8), 6);
+        assert_eq!(sort_generations(16), 10);
+        // Non-powers pad up.
+        assert_eq!(sort_generations(9), sort_generations(16));
+    }
+
+    #[test]
+    fn is_sorted_helper() {
+        assert!(is_sorted(&[]));
+        assert!(is_sorted(&[1, 2, 2, 3]));
+        assert!(!is_sorted(&[2, 1]));
+    }
+}

@@ -1,0 +1,280 @@
+//! Classical cellular automata as a special case of the GCA.
+//!
+//! The paper (Section 1): the GCA *"is a generalisation of the CA model"* —
+//! fixed local neighborhoods are just global pointers that never move. A
+//! `k`-neighbor CA maps onto a **one-handed** GCA by serializing the
+//! neighborhood scan over `k` generations (one neighbor per generation,
+//! accumulating into the cell state) plus one apply generation — the same
+//! scan idiom as the `n`-cell Hirschberg variant.
+//!
+//! The demonstration automaton is Conway's Game of Life on a torus: 8 scan
+//! generations + 1 apply generation per CA step, congestion exactly 1
+//! (every cell reads one fixed neighbor per generation).
+
+use gca_engine::{Access, CellField, Engine, FieldShape, GcaError, GcaRule, Reads, StepCtx};
+
+/// One Life cell: liveness plus the in-progress neighbor count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LifeCell {
+    /// Alive in the current CA step.
+    pub alive: bool,
+    /// Neighbors counted so far in the current scan.
+    pub count: u8,
+}
+
+/// The 8 Moore-neighborhood offsets, scanned one per generation.
+const OFFSETS: [(isize, isize); 8] = [
+    (-1, -1),
+    (-1, 0),
+    (-1, 1),
+    (0, -1),
+    (0, 1),
+    (1, -1),
+    (1, 0),
+    (1, 1),
+];
+
+/// Phases of one CA step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u32)]
+enum LifeGen {
+    /// Scan sub-generation `s`: add neighbor `OFFSETS[s]` to `count`.
+    Scan = 0,
+    /// Apply the B3/S23 rule and reset the counter.
+    Apply = 1,
+}
+
+/// The uniform Life rule (torus wrap-around).
+struct LifeRule;
+
+impl GcaRule for LifeRule {
+    type State = LifeCell;
+
+    fn access(&self, ctx: &StepCtx, shape: &FieldShape, index: usize, _own: &LifeCell) -> Access {
+        if ctx.phase == LifeGen::Scan as u32 {
+            let (dr, dc) = OFFSETS[ctx.subgeneration as usize];
+            let rows = shape.rows() as isize;
+            let cols = shape.cols() as isize;
+            let r = (shape.row(index) as isize + dr).rem_euclid(rows) as usize;
+            let c = (shape.col(index) as isize + dc).rem_euclid(cols) as usize;
+            Access::One(shape.index(r, c))
+        } else {
+            Access::None
+        }
+    }
+
+    fn evolve(
+        &self,
+        ctx: &StepCtx,
+        _shape: &FieldShape,
+        _index: usize,
+        own: &LifeCell,
+        reads: Reads<'_, LifeCell>,
+    ) -> LifeCell {
+        if ctx.phase == LifeGen::Scan as u32 {
+            let neighbor = reads.expect_first("life-scan");
+            LifeCell {
+                alive: own.alive,
+                count: own.count + u8::from(neighbor.alive),
+            }
+        } else {
+            LifeCell {
+                alive: matches!((own.alive, own.count), (true, 2) | (true, 3) | (false, 3)),
+                count: 0,
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "game-of-life"
+    }
+}
+
+/// A Game-of-Life board driven by the GCA engine.
+pub struct Life {
+    field: CellField<LifeCell>,
+    engine: Engine,
+}
+
+impl Life {
+    /// Creates a `rows × cols` torus with the given live cells.
+    pub fn new(rows: usize, cols: usize, live: &[(usize, usize)]) -> Result<Self, GcaError> {
+        let shape = FieldShape::new(rows, cols)?;
+        let mut field = CellField::new(
+            shape,
+            LifeCell {
+                alive: false,
+                count: 0,
+            },
+        );
+        for &(r, c) in live {
+            let idx = shape.index(r, c);
+            field.set(
+                idx,
+                LifeCell {
+                    alive: true,
+                    count: 0,
+                },
+            );
+        }
+        Ok(Life {
+            field,
+            engine: Engine::sequential(),
+        })
+    }
+
+    /// Parses a board from rows of `.` (dead) and `#` (alive).
+    pub fn from_ascii(rows: &[&str]) -> Result<Self, GcaError> {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |s| s.len());
+        let mut live = Vec::new();
+        for (ri, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "ragged board row {ri}");
+            for (ci, ch) in row.bytes().enumerate() {
+                if ch == b'#' {
+                    live.push((ri, ci));
+                }
+            }
+        }
+        Life::new(r, c, &live)
+    }
+
+    /// Advances one CA step (9 GCA generations).
+    pub fn step(&mut self) -> Result<(), GcaError> {
+        for s in 0..OFFSETS.len() as u32 {
+            self.engine
+                .step(&mut self.field, &LifeRule, LifeGen::Scan as u32, s)?;
+        }
+        self.engine
+            .step(&mut self.field, &LifeRule, LifeGen::Apply as u32, 0)?;
+        Ok(())
+    }
+
+    /// Advances `steps` CA steps.
+    pub fn run(&mut self, steps: usize) -> Result<(), GcaError> {
+        for _ in 0..steps {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Is the cell at `(row, col)` alive?
+    pub fn alive(&self, row: usize, col: usize) -> bool {
+        self.field.at(row, col).alive
+    }
+
+    /// Number of live cells.
+    pub fn population(&self) -> usize {
+        self.field.states().iter().filter(|c| c.alive).count()
+    }
+
+    /// GCA generations executed so far (9 per CA step).
+    pub fn generations(&self) -> u64 {
+        self.engine.generation()
+    }
+
+    /// Renders the board as `.`/`#` rows.
+    pub fn to_ascii(&self) -> Vec<String> {
+        let shape = *self.field.shape();
+        (0..shape.rows())
+            .map(|r| {
+                (0..shape.cols())
+                    .map(|c| if self.alive(r, c) { '#' } else { '.' })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// GCA generations per CA step: 8 neighbor scans + 1 apply.
+pub const GENERATIONS_PER_STEP: u64 = 9;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_is_still() {
+        let mut life = Life::from_ascii(&["....", ".##.", ".##.", "...."]).unwrap();
+        let before = life.to_ascii();
+        life.run(3).unwrap();
+        assert_eq!(life.to_ascii(), before);
+        assert_eq!(life.population(), 4);
+    }
+
+    #[test]
+    fn blinker_oscillates() {
+        let mut life = Life::from_ascii(&[".....", "..#..", "..#..", "..#..", "....."]).unwrap();
+        life.step().unwrap();
+        assert_eq!(
+            life.to_ascii(),
+            vec![".....", ".....", ".###.", ".....", "....."]
+        );
+        life.step().unwrap();
+        assert_eq!(
+            life.to_ascii(),
+            vec![".....", "..#..", "..#..", "..#..", "....."]
+        );
+    }
+
+    #[test]
+    fn glider_translates() {
+        // A glider moves one cell diagonally every 4 steps (on a large
+        // enough torus).
+        let mut life = Life::from_ascii(&[
+            ".#........",
+            "..#.......",
+            "###.......",
+            "..........",
+            "..........",
+            "..........",
+            "..........",
+            "..........",
+            "..........",
+            "..........",
+        ])
+        .unwrap();
+        let before = life.to_ascii();
+        life.run(4).unwrap();
+        // Shift the original pattern down-right by one and compare.
+        let shifted: Vec<String> = (0..10)
+            .map(|r| {
+                (0..10)
+                    .map(|c| {
+                        let src_r = (r + 10 - 1) % 10;
+                        let src_c = (c + 10 - 1) % 10;
+                        before[src_r].as_bytes()[src_c] as char
+                    })
+                    .collect()
+            })
+            .collect();
+        assert_eq!(life.to_ascii(), shifted);
+        assert_eq!(life.population(), 5);
+    }
+
+    #[test]
+    fn lonely_cell_dies_and_empty_stays_empty() {
+        let mut life = Life::from_ascii(&["...", ".#.", "..."]).unwrap();
+        life.step().unwrap();
+        assert_eq!(life.population(), 0);
+        life.step().unwrap();
+        assert_eq!(life.population(), 0);
+    }
+
+    #[test]
+    fn torus_wraparound() {
+        // A blinker crossing the edge must wrap.
+        let mut life = Life::new(3, 3, &[(0, 1), (1, 1), (2, 1)]).unwrap();
+        life.step().unwrap();
+        // On a 3×3 torus every cell has the whole column as neighbors; the
+        // vertical triple becomes a horizontal one through row 1.
+        assert!(life.alive(1, 0) && life.alive(1, 1) && life.alive(1, 2));
+    }
+
+    #[test]
+    fn generations_accounting() {
+        let mut life = Life::new(4, 4, &[]).unwrap();
+        life.run(3).unwrap();
+        assert_eq!(life.generations(), 3 * GENERATIONS_PER_STEP);
+    }
+}

@@ -1,0 +1,301 @@
+//! Jacobi relaxation on the GCA — a "numerical algorithm", another entry
+//! from the paper's list of GCA application classes.
+//!
+//! Solves the discrete Laplace equation on a rectangular grid with
+//! Dirichlet boundary conditions (fixed-value cells): every free cell
+//! relaxes to the average of its von-Neumann neighbors. As with the
+//! embedded CA, the 4-neighbor stencil serializes onto the one-handed GCA
+//! as 4 scan generations plus one apply generation per sweep, at
+//! congestion 1.
+//!
+//! The synchronous double-buffered engine gives *exact* Jacobi semantics
+//! (all updates see the previous sweep), as opposed to Gauss–Seidel, which
+//! a sequential in-place loop would silently compute.
+
+use gca_engine::{Access, CellField, Engine, FieldShape, GcaError, GcaRule, Reads, StepCtx};
+
+/// One grid cell.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HeatCell {
+    /// Current value.
+    pub value: f64,
+    /// Dirichlet cell: value never changes.
+    pub fixed: bool,
+    /// Neighbor-sum accumulator for the in-progress sweep.
+    acc: f64,
+    /// Neighbors accumulated so far.
+    count: u8,
+}
+
+const OFFSETS: [(isize, isize); 4] = [(-1, 0), (1, 0), (0, -1), (0, 1)];
+
+/// Phases of one sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u32)]
+enum JacobiGen {
+    /// Scan sub-generation `s`: accumulate neighbor `OFFSETS[s]`.
+    Scan = 0,
+    /// Free cells take the neighbor average; the accumulator resets.
+    Apply = 1,
+}
+
+struct JacobiRule;
+
+impl GcaRule for JacobiRule {
+    type State = HeatCell;
+
+    fn access(&self, ctx: &StepCtx, shape: &FieldShape, index: usize, _own: &HeatCell) -> Access {
+        if ctx.phase == JacobiGen::Scan as u32 {
+            let (dr, dc) = OFFSETS[ctx.subgeneration as usize];
+            let r = shape.row(index) as isize + dr;
+            let c = shape.col(index) as isize + dc;
+            if r >= 0 && (r as usize) < shape.rows() && c >= 0 && (c as usize) < shape.cols() {
+                Access::One(shape.index(r as usize, c as usize))
+            } else {
+                Access::None // grid edge: fewer neighbors
+            }
+        } else {
+            Access::None
+        }
+    }
+
+    fn evolve(
+        &self,
+        ctx: &StepCtx,
+        _shape: &FieldShape,
+        _index: usize,
+        own: &HeatCell,
+        reads: Reads<'_, HeatCell>,
+    ) -> HeatCell {
+        if ctx.phase == JacobiGen::Scan as u32 {
+            match reads.first() {
+                Some(nb) => HeatCell {
+                    acc: own.acc + nb.value,
+                    count: own.count + 1,
+                    ..*own
+                },
+                None => *own,
+            }
+        } else {
+            let value = if own.fixed || own.count == 0 {
+                own.value
+            } else {
+                own.acc / f64::from(own.count)
+            };
+            HeatCell {
+                value,
+                fixed: own.fixed,
+                acc: 0.0,
+                count: 0,
+            }
+        }
+    }
+
+    fn is_active(&self, ctx: &StepCtx, _shape: &FieldShape, _index: usize, own: &HeatCell) -> bool {
+        ctx.phase == JacobiGen::Scan as u32 || !own.fixed
+    }
+
+    fn name(&self) -> &str {
+        "jacobi-relaxation"
+    }
+}
+
+/// GCA generations per Jacobi sweep: 4 neighbor scans + 1 apply.
+pub const GENERATIONS_PER_SWEEP: u64 = 5;
+
+/// A heat/potential grid driven by the GCA engine.
+pub struct HeatGrid {
+    field: CellField<HeatCell>,
+    engine: Engine,
+}
+
+impl HeatGrid {
+    /// Creates a `rows × cols` grid of free cells at value 0.
+    pub fn new(rows: usize, cols: usize) -> Result<Self, GcaError> {
+        let shape = FieldShape::new(rows, cols)?;
+        Ok(HeatGrid {
+            field: CellField::new(
+                shape,
+                HeatCell {
+                    value: 0.0,
+                    fixed: false,
+                    acc: 0.0,
+                    count: 0,
+                },
+            ),
+            engine: Engine::sequential(),
+        })
+    }
+
+    /// Pins cell `(row, col)` to `value` (a Dirichlet boundary condition).
+    pub fn set_fixed(&mut self, row: usize, col: usize, value: f64) {
+        let idx = self.field.shape().index(row, col);
+        self.field.set(
+            idx,
+            HeatCell {
+                value,
+                fixed: true,
+                acc: 0.0,
+                count: 0,
+            },
+        );
+    }
+
+    /// Current value at `(row, col)`.
+    pub fn value(&self, row: usize, col: usize) -> f64 {
+        self.field.at(row, col).value
+    }
+
+    /// Executes one synchronous Jacobi sweep (5 GCA generations).
+    pub fn sweep(&mut self) -> Result<(), GcaError> {
+        for s in 0..OFFSETS.len() as u32 {
+            self.engine
+                .step(&mut self.field, &JacobiRule, JacobiGen::Scan as u32, s)?;
+        }
+        self.engine
+            .step(&mut self.field, &JacobiRule, JacobiGen::Apply as u32, 0)?;
+        Ok(())
+    }
+
+    /// Maximum absolute difference between every free cell and the average
+    /// of its neighbors (the max-norm residual of the discrete Laplacian).
+    pub fn residual(&self) -> f64 {
+        let shape = *self.field.shape();
+        let mut worst: f64 = 0.0;
+        for r in 0..shape.rows() {
+            for c in 0..shape.cols() {
+                let cell = self.field.at(r, c);
+                if cell.fixed {
+                    continue;
+                }
+                let mut sum = 0.0;
+                let mut count = 0.0;
+                for (dr, dc) in OFFSETS {
+                    let nr = r as isize + dr;
+                    let nc = c as isize + dc;
+                    if nr >= 0
+                        && (nr as usize) < shape.rows()
+                        && nc >= 0
+                        && (nc as usize) < shape.cols()
+                    {
+                        sum += self.field.at(nr as usize, nc as usize).value;
+                        count += 1.0;
+                    }
+                }
+                if count > 0.0 {
+                    worst = worst.max((cell.value - sum / count).abs());
+                }
+            }
+        }
+        worst
+    }
+
+    /// Sweeps until the residual drops below `tolerance` or `max_sweeps` is
+    /// reached; returns the number of sweeps executed.
+    pub fn run_until(&mut self, tolerance: f64, max_sweeps: usize) -> Result<usize, GcaError> {
+        for sweep in 0..max_sweeps {
+            if self.residual() < tolerance {
+                return Ok(sweep);
+            }
+            self.sweep()?;
+        }
+        Ok(max_sweeps)
+    }
+
+    /// GCA generations executed so far.
+    pub fn generations(&self) -> u64 {
+        self.engine.generation()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_converges_to_linear_ramp() {
+        // A 1×7 strip with ends pinned at 0 and 6 relaxes to 0,1,2,…,6.
+        let mut grid = HeatGrid::new(1, 7).unwrap();
+        grid.set_fixed(0, 0, 0.0);
+        grid.set_fixed(0, 6, 6.0);
+        let sweeps = grid.run_until(1e-9, 10_000).unwrap();
+        assert!(sweeps < 10_000, "did not converge");
+        for c in 0..7 {
+            assert!(
+                (grid.value(0, c) - c as f64).abs() < 1e-6,
+                "cell {c}: {}",
+                grid.value(0, c)
+            );
+        }
+    }
+
+    #[test]
+    fn constant_boundary_gives_constant_interior() {
+        let mut grid = HeatGrid::new(5, 5).unwrap();
+        for i in 0..5 {
+            grid.set_fixed(0, i, 3.0);
+            grid.set_fixed(4, i, 3.0);
+            grid.set_fixed(i, 0, 3.0);
+            grid.set_fixed(i, 4, 3.0);
+        }
+        grid.run_until(1e-10, 10_000).unwrap();
+        for r in 1..4 {
+            for c in 1..4 {
+                assert!((grid.value(r, c) - 3.0).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_boundary_gives_symmetric_solution() {
+        // Hot left edge, cold right edge: solution symmetric under
+        // vertical mirror of the rows.
+        let mut grid = HeatGrid::new(5, 6).unwrap();
+        for r in 0..5 {
+            grid.set_fixed(r, 0, 1.0);
+            grid.set_fixed(r, 5, 0.0);
+        }
+        grid.run_until(1e-10, 20_000).unwrap();
+        for r in 0..5 {
+            for c in 0..6 {
+                assert!(
+                    (grid.value(r, c) - grid.value(4 - r, c)).abs() < 1e-7,
+                    "asymmetry at ({r}, {c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn residual_decreases() {
+        let mut grid = HeatGrid::new(4, 4).unwrap();
+        grid.set_fixed(0, 0, 10.0);
+        let initial = grid.residual();
+        for _ in 0..50 {
+            grid.sweep().unwrap();
+        }
+        assert!(grid.residual() < initial / 10.0);
+    }
+
+    #[test]
+    fn generation_accounting() {
+        let mut grid = HeatGrid::new(3, 3).unwrap();
+        grid.sweep().unwrap();
+        grid.sweep().unwrap();
+        assert_eq!(grid.generations(), 2 * GENERATIONS_PER_SWEEP);
+    }
+
+    #[test]
+    fn all_fixed_grid_is_stable() {
+        let mut grid = HeatGrid::new(2, 2).unwrap();
+        for r in 0..2 {
+            for c in 0..2 {
+                grid.set_fixed(r, c, f64::from(r as u8) + 10.0);
+            }
+        }
+        grid.sweep().unwrap();
+        assert_eq!(grid.value(0, 0), 10.0);
+        assert_eq!(grid.value(1, 1), 11.0);
+        assert_eq!(grid.residual(), 0.0);
+    }
+}

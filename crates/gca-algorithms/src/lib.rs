@@ -1,0 +1,35 @@
+//! More elaborate PRAM algorithms mapped onto the GCA — the paper's stated
+//! future work (*"Our future work will comprise the implementation of more
+//! elaborate PRAM algorithms"*), realized on the same engine as the
+//! connected-components machine.
+//!
+//! * [`transitive_closure`] — Hirschberg's companion problem from the same
+//!   STOC '76 paper: boolean transitive closure by repeated matrix
+//!   squaring, on an `n × n` cell field with **two-handed** cells and a
+//!   skewed (systolic) inner-product schedule that keeps congestion at 1.
+//!   Includes connected components *via* the closure as a cross-check
+//!   against the main machine.
+//! * [`scan`] — parallel prefix (Hillis–Steele doubling) over any monoid,
+//!   `⌈log₂ n⌉` generations on `n` cells.
+//! * [`list_ranking`] — pointer jumping over linked lists, the primitive
+//!   behind the algorithm's generation 10, as a standalone tool.
+//! * [`bitonic`] — Batcher's bitonic sorting network, a "hypercube
+//!   algorithm" from the paper's application list; congestion-1
+//!   compare-exchange waves.
+//! * [`cellular`] — the CA ⊂ GCA embedding: a k-neighbor classical CA
+//!   (Game of Life) run as k+1 one-handed GCA generations per step.
+//! * [`jacobi`] — a "numerical algorithm" from the same list: synchronous
+//!   Jacobi relaxation of the discrete Laplace equation.
+//!
+//! Each module carries its own closed-form generation counts and verifies
+//! against a sequential baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitonic;
+pub mod cellular;
+pub mod jacobi;
+pub mod list_ranking;
+pub mod scan;
+pub mod transitive_closure;

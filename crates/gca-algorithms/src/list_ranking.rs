@@ -1,0 +1,254 @@
+//! List ranking on the GCA by pointer jumping.
+//!
+//! The primitive behind the connected-components algorithm's generation 10,
+//! packaged as a standalone tool: given a linked list (each node knows its
+//! successor; the tail points at itself), compute every node's distance to
+//! the tail in `⌈log₂ n⌉` generations. Pointers here are *data-dependent*
+//! (extended cells), with the same worst-case congestion profile as the
+//! paper's jump generations.
+
+use gca_engine::{ceil_log2, Access, CellField, Engine, FieldShape, GcaError, GcaRule, Reads, StepCtx};
+
+/// A list cell: successor pointer and accumulated rank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ListCell {
+    /// Successor index (self at the tail).
+    pub next: usize,
+    /// Hops to the tail accumulated so far.
+    pub rank: u64,
+}
+
+/// Errors of the list-ranking front end.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ListError {
+    /// A successor pointed outside the list.
+    SuccessorOutOfRange {
+        /// The offending node.
+        node: usize,
+        /// Its successor.
+        next: usize,
+        /// List length.
+        len: usize,
+    },
+    /// No tail (self-loop) exists, or a cycle was detected.
+    NotATailedList,
+    /// The engine failed (bad pointer — cannot happen for validated input).
+    Engine(GcaError),
+}
+
+impl std::fmt::Display for ListError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ListError::SuccessorOutOfRange { node, next, len } => {
+                write!(f, "node {node} points at {next}, outside list of length {len}")
+            }
+            ListError::NotATailedList => {
+                write!(f, "input is not a forest of tail-terminated lists")
+            }
+            ListError::Engine(e) => write!(f, "engine failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ListError {}
+
+/// The pointer-jumping rule.
+struct JumpRule;
+
+impl GcaRule for JumpRule {
+    type State = ListCell;
+
+    fn access(&self, _ctx: &StepCtx, _shape: &FieldShape, index: usize, own: &ListCell) -> Access {
+        if own.next == index {
+            Access::None
+        } else {
+            Access::One(own.next)
+        }
+    }
+
+    fn evolve(
+        &self,
+        _ctx: &StepCtx,
+        _shape: &FieldShape,
+        _index: usize,
+        own: &ListCell,
+        reads: Reads<'_, ListCell>,
+    ) -> ListCell {
+        match reads.first() {
+            Some(succ) => ListCell {
+                next: succ.next,
+                rank: own.rank + succ.rank,
+            },
+            None => *own,
+        }
+    }
+
+    fn is_active(&self, _ctx: &StepCtx, _shape: &FieldShape, index: usize, own: &ListCell) -> bool {
+        own.next != index
+    }
+
+    fn name(&self) -> &str {
+        "list-ranking"
+    }
+}
+
+/// Validates that `successors` encodes a forest of tail-terminated lists
+/// (every walk reaches a self-loop; no proper cycles).
+fn validate(successors: &[usize]) -> Result<(), ListError> {
+    let n = successors.len();
+    for (node, &next) in successors.iter().enumerate() {
+        if next >= n {
+            return Err(ListError::SuccessorOutOfRange { node, next, len: n });
+        }
+    }
+    // Walk each node at most n steps; a proper cycle never self-loops.
+    for start in 0..n {
+        let mut x = start;
+        for _ in 0..=n {
+            if successors[x] == x {
+                break;
+            }
+            x = successors[x];
+        }
+        if successors[x] != x {
+            return Err(ListError::NotATailedList);
+        }
+    }
+    Ok(())
+}
+
+/// Generations list ranking takes: `⌈log₂ n⌉`.
+pub fn ranking_generations(n: usize) -> u64 {
+    u64::from(ceil_log2(n))
+}
+
+/// Ranks every node of the list forest: returns `rank[v]` = number of hops
+/// from `v` to its tail.
+///
+/// ```
+/// // The list 0 -> 1 -> 2, with 2 as the tail.
+/// let ranks = gca_algorithms::list_ranking::rank_list(&[1, 2, 2]).unwrap();
+/// assert_eq!(ranks, vec![2, 1, 0]);
+/// ```
+pub fn rank_list(successors: &[usize]) -> Result<Vec<u64>, ListError> {
+    validate(successors)?;
+    let n = successors.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let shape = FieldShape::new(1, n).map_err(ListError::Engine)?;
+    let mut field = CellField::from_states(
+        shape,
+        successors
+            .iter()
+            .enumerate()
+            .map(|(i, &next)| ListCell {
+                next,
+                rank: u64::from(next != i),
+            })
+            .collect(),
+    )
+    .map_err(ListError::Engine)?;
+    let mut engine = Engine::sequential();
+    for s in 0..ceil_log2(n) {
+        engine
+            .step(&mut field, &JumpRule, 0, s)
+            .map_err(ListError::Engine)?;
+    }
+    Ok(field.states().iter().map(|c| c.rank).collect())
+}
+
+/// Sequential baseline: walk each node to the tail.
+pub fn rank_list_sequential(successors: &[usize]) -> Result<Vec<u64>, ListError> {
+    validate(successors)?;
+    let n = successors.len();
+    let ranks = (0..n)
+        .map(|start| {
+            let mut x = start;
+            let mut hops = 0;
+            while successors[x] != x {
+                x = successors[x];
+                hops += 1;
+            }
+            hops
+        })
+        .collect();
+    Ok(ranks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_list() {
+        // 0 -> 1 -> 2 -> 3 (tail).
+        let succ = [1usize, 2, 3, 3];
+        assert_eq!(rank_list(&succ).unwrap(), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn scrambled_list() {
+        // 2 -> 0 -> 3 -> 1 -> 4 (tail).
+        let succ = [3usize, 4, 0, 1, 4];
+        let parallel = rank_list(&succ).unwrap();
+        assert_eq!(parallel, rank_list_sequential(&succ).unwrap());
+        assert_eq!(parallel, vec![3, 1, 4, 2, 0]);
+    }
+
+    #[test]
+    fn forest_of_lists() {
+        // Two lists: 0 -> 1 (tail); 3 -> 2 (tail); 4 alone.
+        let succ = [1usize, 1, 2, 2, 4];
+        assert_eq!(rank_list(&succ).unwrap(), vec![1, 0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn single_and_empty() {
+        assert_eq!(rank_list(&[0usize]).unwrap(), vec![0]);
+        assert_eq!(rank_list(&[]).unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn long_lists_match_sequential() {
+        for n in [5usize, 16, 31, 64] {
+            // A list threaded through the indices by a stride co-prime to n.
+            let succ: Vec<usize> = (0..n)
+                .map(|i| if i == n - 1 { i } else { i + 1 })
+                .collect();
+            assert_eq!(
+                rank_list(&succ).unwrap(),
+                rank_list_sequential(&succ).unwrap(),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let err = rank_list(&[5usize, 1]).unwrap_err();
+        assert!(matches!(err, ListError::SuccessorOutOfRange { node: 0, next: 5, .. }));
+    }
+
+    #[test]
+    fn rejects_cycles() {
+        // 0 -> 1 -> 0 is a proper cycle with no tail.
+        let err = rank_list(&[1usize, 0]).unwrap_err();
+        assert_eq!(err, ListError::NotATailedList);
+    }
+
+    #[test]
+    fn generation_count() {
+        assert_eq!(ranking_generations(1), 0);
+        assert_eq!(ranking_generations(16), 4);
+        assert_eq!(ranking_generations(17), 5);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ListError::NotATailedList.to_string().contains("tail"));
+        assert!(ListError::SuccessorOutOfRange { node: 1, next: 9, len: 3 }
+            .to_string()
+            .contains("outside"));
+    }
+}

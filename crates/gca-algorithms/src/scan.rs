@@ -1,0 +1,208 @@
+//! Parallel prefix (scan) on the GCA by Hillis–Steele recursive doubling.
+//!
+//! `⌈log₂ n⌉` generations on `n` one-handed cells: in sub-generation `s`,
+//! cell `i ≥ 2^s` combines the value of cell `i − 2^s` into its own. Works
+//! for any associative operation with identity (a monoid) — prefix scans
+//! are the workhorse primitive of PRAM algorithmics, which is why they head
+//! the "more elaborate algorithms" queue of the paper's future work.
+
+use gca_engine::{ceil_log2, Access, CellField, Engine, FieldShape, GcaError, GcaRule, Reads, StepCtx};
+
+/// An associative combining operation with identity.
+pub trait Monoid: Sync {
+    /// The element type.
+    type Elem: Clone + Send + Sync;
+    /// The identity element (`combine(identity(), x) == x`).
+    fn identity(&self) -> Self::Elem;
+    /// The associative operation.
+    fn combine(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+}
+
+/// Addition over `u64` (wrapping, so the monoid laws hold on all inputs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SumMonoid;
+
+impl Monoid for SumMonoid {
+    type Elem = u64;
+    fn identity(&self) -> u64 {
+        0
+    }
+    fn combine(&self, a: &u64, b: &u64) -> u64 {
+        a.wrapping_add(*b)
+    }
+}
+
+/// Maximum over `u64`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MaxMonoid;
+
+impl Monoid for MaxMonoid {
+    type Elem = u64;
+    fn identity(&self) -> u64 {
+        0
+    }
+    fn combine(&self, a: &u64, b: &u64) -> u64 {
+        (*a).max(*b)
+    }
+}
+
+/// Minimum over `u64`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MinMonoid;
+
+impl Monoid for MinMonoid {
+    type Elem = u64;
+    fn identity(&self) -> u64 {
+        u64::MAX
+    }
+    fn combine(&self, a: &u64, b: &u64) -> u64 {
+        (*a).min(*b)
+    }
+}
+
+/// The doubling rule over a monoid.
+struct ScanRule<'m, M> {
+    monoid: &'m M,
+}
+
+impl<M: Monoid> GcaRule for ScanRule<'_, M> {
+    type State = M::Elem;
+
+    fn access(&self, ctx: &StepCtx, _shape: &FieldShape, index: usize, _own: &M::Elem) -> Access {
+        let stride = 1usize << ctx.subgeneration;
+        if index >= stride {
+            Access::One(index - stride)
+        } else {
+            Access::None
+        }
+    }
+
+    fn evolve(
+        &self,
+        _ctx: &StepCtx,
+        _shape: &FieldShape,
+        _index: usize,
+        own: &M::Elem,
+        reads: Reads<'_, M::Elem>,
+    ) -> M::Elem {
+        match reads.first() {
+            Some(left) => self.monoid.combine(left, own),
+            None => own.clone(),
+        }
+    }
+
+    fn is_active(&self, ctx: &StepCtx, _shape: &FieldShape, index: usize, _own: &M::Elem) -> bool {
+        index >= (1usize << ctx.subgeneration)
+    }
+
+    fn name(&self) -> &str {
+        "prefix-scan"
+    }
+}
+
+/// Generations an inclusive scan of `n` elements takes: `⌈log₂ n⌉`.
+pub fn scan_generations(n: usize) -> u64 {
+    u64::from(ceil_log2(n))
+}
+
+/// Inclusive prefix scan of `values` under `monoid`, on the GCA engine.
+///
+/// ```
+/// use gca_algorithms::scan::{inclusive_scan, SumMonoid};
+///
+/// let sums = inclusive_scan(&[3, 1, 4, 1], &SumMonoid).unwrap();
+/// assert_eq!(sums, vec![3, 4, 8, 9]);
+/// ```
+pub fn inclusive_scan<M: Monoid>(values: &[M::Elem], monoid: &M) -> Result<Vec<M::Elem>, GcaError> {
+    if values.is_empty() {
+        return Ok(Vec::new());
+    }
+    let shape = FieldShape::new(1, values.len())?;
+    let mut field = CellField::from_states(shape, values.to_vec())?;
+    let rule = ScanRule { monoid };
+    let mut engine = Engine::sequential();
+    for s in 0..ceil_log2(values.len()) {
+        engine.step(&mut field, &rule, 0, s)?;
+    }
+    Ok(field.states().to_vec())
+}
+
+/// Exclusive prefix scan: element `i` receives the combination of all
+/// strictly earlier elements (`identity` at position 0).
+pub fn exclusive_scan<M: Monoid>(values: &[M::Elem], monoid: &M) -> Result<Vec<M::Elem>, GcaError> {
+    let inclusive = inclusive_scan(values, monoid)?;
+    let mut out = Vec::with_capacity(values.len());
+    if !values.is_empty() {
+        out.push(monoid.identity());
+        out.extend_from_slice(&inclusive[..values.len() - 1]);
+    }
+    Ok(out)
+}
+
+/// Total reduction (the last element of the inclusive scan).
+pub fn reduce<M: Monoid>(values: &[M::Elem], monoid: &M) -> Result<M::Elem, GcaError> {
+    Ok(inclusive_scan(values, monoid)?
+        .pop()
+        .unwrap_or_else(|| monoid.identity()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inclusive_sum() {
+        let xs = [3u64, 1, 4, 1, 5, 9, 2, 6];
+        let scanned = inclusive_scan(&xs, &SumMonoid).unwrap();
+        assert_eq!(scanned, vec![3, 4, 8, 9, 14, 23, 25, 31]);
+    }
+
+    #[test]
+    fn exclusive_sum() {
+        let xs = [3u64, 1, 4, 1];
+        let scanned = exclusive_scan(&xs, &SumMonoid).unwrap();
+        assert_eq!(scanned, vec![0, 3, 4, 8]);
+    }
+
+    #[test]
+    fn max_and_min_scans() {
+        let xs = [2u64, 7, 1, 8, 2, 8];
+        assert_eq!(
+            inclusive_scan(&xs, &MaxMonoid).unwrap(),
+            vec![2, 7, 7, 8, 8, 8]
+        );
+        assert_eq!(
+            inclusive_scan(&xs, &MinMonoid).unwrap(),
+            vec![2, 2, 1, 1, 1, 1]
+        );
+    }
+
+    #[test]
+    fn reduce_total() {
+        assert_eq!(reduce(&[1u64, 2, 3, 4], &SumMonoid).unwrap(), 10);
+        assert_eq!(reduce(&[] as &[u64], &SumMonoid).unwrap(), 0);
+    }
+
+    #[test]
+    fn non_power_of_two_lengths() {
+        for n in [1usize, 2, 3, 5, 7, 11, 13] {
+            let xs: Vec<u64> = (1..=n as u64).collect();
+            let scanned = inclusive_scan(&xs, &SumMonoid).unwrap();
+            let expected: Vec<u64> = (1..=n as u64).map(|k| k * (k + 1) / 2).collect();
+            assert_eq!(scanned, expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(inclusive_scan(&[] as &[u64], &SumMonoid).unwrap().is_empty());
+        assert!(exclusive_scan(&[] as &[u64], &SumMonoid).unwrap().is_empty());
+    }
+
+    #[test]
+    fn generation_count() {
+        assert_eq!(scan_generations(1), 0);
+        assert_eq!(scan_generations(8), 3);
+        assert_eq!(scan_generations(9), 4);
+    }
+}

@@ -1,0 +1,376 @@
+//! Transitive closure on the GCA by repeated boolean matrix squaring —
+//! Hirschberg's companion problem (STOC '76 treats the transitive closure
+//! and the connected-components problem together).
+//!
+//! The field is the `n × n` reachability matrix itself: cell `(i, j)` holds
+//! the bit `B(i, j)` ("j reachable from i"), seeded with `A ∨ I`. One
+//! squaring pass folds `B ← B ∨ B·B` with a **systolic inner product**: in
+//! sub-generation `s`, cell `(i, j)` picks the pivot `k = (i + j + s) mod n`
+//! and reads `B(i, k)` and `B(k, j)` with its two hands. The skew makes the
+//! reader→target maps of both hands injective, so congestion stays ≤ 2 —
+//! the same trick as the paper's rotated replication, applied to a
+//! quadratic access pattern. `⌈log₂ n⌉` passes cover all path lengths;
+//! updates are monotone, so in-pass propagation only accelerates
+//! convergence and never breaks soundness.
+//!
+//! A final `1 + ⌈log₂ n⌉` generations extract connected components from the
+//! closure (`label(i) = min { j | B(i, j) }`, a row-min tree reduction),
+//! giving an independent `O(n log n)`-generation CC machine to cross-check
+//! the paper's `O(log² n)` one.
+
+use gca_engine::{
+    ceil_log2, Access, CellField, Engine, FieldShape, GcaError, GcaRule, Reads, StepCtx, Word,
+    INFINITY,
+};
+use gca_graphs::{AdjacencyMatrix, Labeling};
+
+/// One reachability cell: the closure bit and the label scratch word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TcCell {
+    /// Reachability bit `B(row, col)`.
+    pub b: bool,
+    /// Scratch for the label extraction (a column index or `∞`).
+    pub d: Word,
+}
+
+/// Phases of the transitive-closure machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u32)]
+pub enum TcGen {
+    /// Systolic squaring sub-generation (`n` sub-generations per pass).
+    Square = 0,
+    /// `d ← col` where `B` is set, else `∞` (no reads).
+    LabelInit = 1,
+    /// Row-min tree reduction of `d` (`⌈log₂ n⌉` sub-generations).
+    LabelReduce = 2,
+}
+
+/// The uniform rule of the closure machine.
+#[derive(Clone, Copy, Debug)]
+pub struct TcRule {
+    n: usize,
+}
+
+impl TcRule {
+    /// Rule for an `n × n` reachability field.
+    pub fn new(n: usize) -> Self {
+        TcRule { n }
+    }
+
+    #[inline]
+    fn reduces(&self, col: usize, s: u32) -> bool {
+        let stride = 1usize << s;
+        col.is_multiple_of(stride << 1) && col + stride < self.n
+    }
+}
+
+impl GcaRule for TcRule {
+    type State = TcCell;
+
+    fn access(&self, ctx: &StepCtx, shape: &FieldShape, index: usize, _own: &TcCell) -> Access {
+        let n = self.n;
+        let row = shape.row(index);
+        let col = shape.col(index);
+        match ctx.phase {
+            p if p == TcGen::Square as u32 => {
+                let k = (row + col + ctx.subgeneration as usize) % n;
+                Access::Two(row * n + k, k * n + col)
+            }
+            p if p == TcGen::LabelInit as u32 => Access::None,
+            p if p == TcGen::LabelReduce as u32 => {
+                if self.reduces(col, ctx.subgeneration) {
+                    Access::One(index + (1 << ctx.subgeneration))
+                } else {
+                    Access::None
+                }
+            }
+            other => panic!("invalid transitive-closure phase {other}"),
+        }
+    }
+
+    fn evolve(
+        &self,
+        ctx: &StepCtx,
+        shape: &FieldShape,
+        index: usize,
+        own: &TcCell,
+        reads: Reads<'_, TcCell>,
+    ) -> TcCell {
+        match ctx.phase {
+            p if p == TcGen::Square as u32 => {
+                let via = reads.first().expect("two-handed").b && reads.second().expect("two-handed").b;
+                TcCell {
+                    b: own.b || via,
+                    d: own.d,
+                }
+            }
+            p if p == TcGen::LabelInit as u32 => TcCell {
+                b: own.b,
+                d: if own.b {
+                    shape.col(index) as Word
+                } else {
+                    INFINITY
+                },
+            },
+            p if p == TcGen::LabelReduce as u32 => match reads.first() {
+                Some(right) => TcCell {
+                    b: own.b,
+                    d: own.d.min(right.d),
+                },
+                None => *own,
+            },
+            other => panic!("invalid transitive-closure phase {other}"),
+        }
+    }
+
+    fn is_active(&self, ctx: &StepCtx, shape: &FieldShape, index: usize, _own: &TcCell) -> bool {
+        match ctx.phase {
+            p if p == TcGen::LabelReduce as u32 => {
+                self.reduces(shape.col(index), ctx.subgeneration)
+            }
+            _ => true,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "transitive-closure"
+    }
+}
+
+/// The boolean closure matrix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Reachability {
+    n: usize,
+    bits: Vec<bool>,
+}
+
+impl Reachability {
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Is `v` reachable from `u` (reflexively)?
+    #[inline]
+    pub fn reaches(&self, u: usize, v: usize) -> bool {
+        self.bits[u * self.n + v]
+    }
+
+    /// Number of reachable pairs (including the diagonal).
+    pub fn pair_count(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+}
+
+/// Result of a closure run.
+#[derive(Clone, Debug)]
+pub struct TcRun {
+    /// The computed closure.
+    pub closure: Reachability,
+    /// Connected-component labels derived from the closure.
+    pub labels: Labeling,
+    /// Total generations executed.
+    pub generations: u64,
+    /// Worst congestion observed (≤ 2 by the systolic schedule, plus the
+    /// δ = 1 reduction).
+    pub max_congestion: u32,
+}
+
+/// Generations of the closure machine:
+/// `n·⌈log₂ n⌉` squaring + `1 + ⌈log₂ n⌉` label extraction.
+pub fn total_generations(n: usize) -> u64 {
+    let l = u64::from(ceil_log2(n));
+    (n as u64) * l + 1 + l
+}
+
+/// Runs the transitive-closure machine on (the symmetric closure of)
+/// `graph`.
+///
+/// ```
+/// use gca_graphs::generators;
+///
+/// let tc = gca_algorithms::transitive_closure::run(&generators::path(4)).unwrap();
+/// assert!(tc.closure.reaches(0, 3));
+/// assert_eq!(tc.labels.as_slice(), &[0, 0, 0, 0]);
+/// ```
+pub fn run(graph: &AdjacencyMatrix) -> Result<TcRun, GcaError> {
+    let n = graph.n();
+    if n == 0 {
+        return Ok(TcRun {
+            closure: Reachability { n: 0, bits: vec![] },
+            labels: Labeling::new(vec![]).expect("empty"),
+            generations: 0,
+            max_congestion: 0,
+        });
+    }
+    let shape = FieldShape::new(n, n)?;
+    let mut field = CellField::from_fn(shape, |index| {
+        let (row, col) = (shape.row(index), shape.col(index));
+        TcCell {
+            b: row == col || graph.has_edge(row, col),
+            d: 0,
+        }
+    });
+    let rule = TcRule::new(n);
+    let mut engine = Engine::sequential();
+    let mut max_congestion = 0u32;
+
+    let l = ceil_log2(n);
+    for _pass in 0..l {
+        for s in 0..n as u32 {
+            let rep = engine.step(&mut field, &rule, TcGen::Square as u32, s)?;
+            max_congestion = max_congestion.max(rep.max_congestion());
+        }
+    }
+    let rep = engine.step(&mut field, &rule, TcGen::LabelInit as u32, 0)?;
+    max_congestion = max_congestion.max(rep.max_congestion());
+    for s in 0..l {
+        let rep = engine.step(&mut field, &rule, TcGen::LabelReduce as u32, s)?;
+        max_congestion = max_congestion.max(rep.max_congestion());
+    }
+
+    let bits: Vec<bool> = field.states().iter().map(|c| c.b).collect();
+    let labels = Labeling::new(
+        (0..n)
+            .map(|i| field.get(i * n).d as usize)
+            .collect(),
+    )
+    .expect("labels are column indices");
+    Ok(TcRun {
+        closure: Reachability { n, bits },
+        labels,
+        generations: engine.generation(),
+        max_congestion,
+    })
+}
+
+/// Connected components via the transitive closure (one-call API).
+pub fn connected_components(graph: &AdjacencyMatrix) -> Result<Labeling, GcaError> {
+    Ok(run(graph)?.labels)
+}
+
+/// Sequential Warshall baseline for the closure (reflexive).
+pub fn warshall(graph: &AdjacencyMatrix) -> Reachability {
+    let n = graph.n();
+    let mut bits = vec![false; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            bits[i * n + j] = i == j || graph.has_edge(i, j);
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            if bits[i * n + k] {
+                for j in 0..n {
+                    if bits[k * n + j] {
+                        bits[i * n + j] = true;
+                    }
+                }
+            }
+        }
+    }
+    Reachability { n, bits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gca_graphs::connectivity::union_find_components_dense;
+    use gca_graphs::{generators, GraphBuilder};
+
+    fn check(graph: &AdjacencyMatrix) {
+        let run = run(graph).unwrap();
+        assert_eq!(run.closure, warshall(graph), "closure mismatch");
+        let expected = union_find_components_dense(graph);
+        assert_eq!(run.labels.as_slice(), expected.as_slice(), "label mismatch");
+    }
+
+    #[test]
+    fn basic_graphs() {
+        check(&GraphBuilder::new(2).edge(0, 1).build().unwrap());
+        check(&generators::path(6));
+        check(&generators::ring(7));
+        check(&generators::star(5));
+        check(&generators::complete(5));
+        check(&generators::empty(4));
+    }
+
+    #[test]
+    fn random_graphs() {
+        for seed in 0..6 {
+            check(&generators::gnp(13, 0.2, seed));
+        }
+    }
+
+    #[test]
+    fn long_paths_need_all_passes() {
+        // A path of length n-1 is the worst case for squaring depth.
+        for n in [9usize, 16, 17] {
+            check(&generators::path(n));
+        }
+    }
+
+    #[test]
+    fn closure_properties() {
+        let g = generators::gnp(10, 0.25, 3);
+        let r = run(&g).unwrap();
+        for i in 0..10 {
+            assert!(r.closure.reaches(i, i), "reflexive");
+            for j in 0..10 {
+                assert_eq!(
+                    r.closure.reaches(i, j),
+                    r.closure.reaches(j, i),
+                    "symmetric for undirected inputs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_count_matches_formula() {
+        for n in [2usize, 4, 7, 16] {
+            let g = generators::gnp(n, 0.4, 5);
+            let r = run(&g).unwrap();
+            assert_eq!(r.generations, total_generations(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn systolic_congestion_at_most_two() {
+        for n in [4usize, 8, 13] {
+            let g = generators::gnp(n, 0.5, 2);
+            let r = run(&g).unwrap();
+            assert!(
+                r.max_congestion <= 2,
+                "n = {n}: congestion {}",
+                r.max_congestion
+            );
+        }
+    }
+
+    #[test]
+    fn matches_hirschberg_machine() {
+        for seed in 0..4 {
+            let g = generators::gnp(11, 0.25, seed);
+            let via_tc = connected_components(&g).unwrap();
+            let via_hirschberg = gca_hirschberg::connected_components(&g).unwrap();
+            assert_eq!(via_tc, via_hirschberg, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        assert_eq!(run(&generators::empty(0)).unwrap().generations, 0);
+        let r = run(&generators::empty(1)).unwrap();
+        assert_eq!(r.labels.as_slice(), &[0]);
+        assert_eq!(r.generations, 1);
+        assert!(r.closure.reaches(0, 0));
+    }
+
+    #[test]
+    fn pair_count() {
+        let r = run(&generators::clique_islands(2, 3)).unwrap();
+        // Two cliques of 3: each contributes 9 reachable pairs.
+        assert_eq!(r.closure.pair_count(), 18);
+    }
+}

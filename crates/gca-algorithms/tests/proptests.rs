@@ -1,0 +1,111 @@
+//! Property-based tests for the algorithm library.
+
+use gca_algorithms::{bitonic, list_ranking, scan, transitive_closure};
+use gca_graphs::AdjacencyMatrix;
+use proptest::prelude::*;
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = AdjacencyMatrix> {
+    (1usize..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..40).prop_map(move |pairs| {
+            let mut g = AdjacencyMatrix::new(n);
+            for (u, v) in pairs {
+                if u != v {
+                    g.add_edge(u, v).unwrap();
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Bitonic sort equals the standard library sort on arbitrary inputs.
+    #[test]
+    fn bitonic_sorts(values in proptest::collection::vec(any::<u64>(), 0..80)) {
+        let sorted = bitonic::sort(&values).unwrap();
+        let mut expected = values.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(sorted, expected);
+    }
+
+    /// Inclusive scans equal a sequential fold for every monoid.
+    #[test]
+    fn scans_match_folds(values in proptest::collection::vec(any::<u64>(), 0..64)) {
+        let sums = scan::inclusive_scan(&values, &scan::SumMonoid).unwrap();
+        let maxes = scan::inclusive_scan(&values, &scan::MaxMonoid).unwrap();
+        let mins = scan::inclusive_scan(&values, &scan::MinMonoid).unwrap();
+        let mut acc_s = 0u64;
+        let mut acc_max = 0u64;
+        let mut acc_min = u64::MAX;
+        for (i, &v) in values.iter().enumerate() {
+            acc_s = acc_s.wrapping_add(v);
+            acc_max = acc_max.max(v);
+            acc_min = acc_min.min(v);
+            prop_assert_eq!(sums[i], acc_s);
+            prop_assert_eq!(maxes[i], acc_max);
+            prop_assert_eq!(mins[i], acc_min);
+        }
+    }
+
+    /// Exclusive scan is the inclusive scan shifted by one.
+    #[test]
+    fn exclusive_is_shifted_inclusive(values in proptest::collection::vec(any::<u64>(), 1..64)) {
+        let inc = scan::inclusive_scan(&values, &scan::SumMonoid).unwrap();
+        let exc = scan::exclusive_scan(&values, &scan::SumMonoid).unwrap();
+        prop_assert_eq!(exc[0], 0);
+        for i in 1..values.len() {
+            prop_assert_eq!(exc[i], inc[i - 1]);
+        }
+    }
+
+    /// List ranking equals the sequential walk on random tail-terminated
+    /// forests (built by having every node point at a node of lower index,
+    /// or itself).
+    #[test]
+    fn list_ranking_matches_walk(parents in proptest::collection::vec(0usize..64, 1..64)) {
+        let n = parents.len();
+        let successors: Vec<usize> = parents
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| if i == 0 { 0 } else { p % i })
+            .collect();
+        let parallel = list_ranking::rank_list(&successors).unwrap();
+        let sequential = list_ranking::rank_list_sequential(&successors).unwrap();
+        prop_assert_eq!(parallel, sequential);
+        prop_assert_eq!(n, successors.len());
+    }
+
+    /// The GCA transitive closure equals Warshall's on random graphs, and
+    /// closure is idempotent: TC(TC(G)) = TC(G).
+    #[test]
+    fn closure_matches_warshall_and_is_idempotent(g in arb_graph(12)) {
+        let run = transitive_closure::run(&g).unwrap();
+        let reference = transitive_closure::warshall(&g);
+        prop_assert_eq!(&run.closure, &reference);
+
+        // Build the closure graph (minus the diagonal) and close it again.
+        let n = g.n();
+        let mut closed = AdjacencyMatrix::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if run.closure.reaches(u, v) {
+                    closed.add_edge(u, v).unwrap();
+                }
+            }
+        }
+        let again = transitive_closure::run(&closed).unwrap();
+        prop_assert_eq!(&again.closure, &run.closure);
+        // Labels are stable under closure too.
+        prop_assert_eq!(again.labels.as_slice(), run.labels.as_slice());
+    }
+
+    /// Closure congestion stays ≤ 2 under the systolic schedule for every
+    /// input (the skew argument is input-independent).
+    #[test]
+    fn closure_congestion_bound(g in arb_graph(10)) {
+        let run = transitive_closure::run(&g).unwrap();
+        prop_assert!(run.max_congestion <= 2);
+    }
+}

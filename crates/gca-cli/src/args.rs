@@ -1,0 +1,282 @@
+//! Hand-rolled argument parsing for `gca-cc` (no external CLI dependency).
+
+use std::fmt;
+
+/// Which machine runs the computation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MachineKind {
+    /// The paper's `n²`-cell GCA (default).
+    Gca,
+    /// The `n`-cell GCA variant.
+    NCells,
+    /// The low-congestion (tree/replication) GCA variant.
+    LowCongestion,
+    /// The two-handed GCA variant (n² cells, PRAM-step-count generations).
+    TwoHanded,
+    /// Connected components via the transitive-closure machine.
+    Closure,
+    /// Listing 1 on the universal PRAM-on-GCA emulator.
+    Emulated,
+    /// The PRAM reference algorithm (Listing 1, CROW).
+    Pram,
+    /// Sequential union-find baseline.
+    Sequential,
+}
+
+impl MachineKind {
+    /// Parses a `--machine` value.
+    pub fn parse(s: &str) -> Result<Self, ArgError> {
+        match s {
+            "gca" => Ok(MachineKind::Gca),
+            "ncells" | "n-cells" => Ok(MachineKind::NCells),
+            "lowcong" | "low-congestion" => Ok(MachineKind::LowCongestion),
+            "twohand" | "two-handed" => Ok(MachineKind::TwoHanded),
+            "closure" | "tc" => Ok(MachineKind::Closure),
+            "emu" | "emulated" => Ok(MachineKind::Emulated),
+            "pram" => Ok(MachineKind::Pram),
+            "seq" | "sequential" => Ok(MachineKind::Sequential),
+            other => Err(ArgError(format!(
+                "unknown machine '{other}' (expected gca|ncells|lowcong|twohand|closure|emu|pram|seq)"
+            ))),
+        }
+    }
+
+    /// Display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            MachineKind::Gca => "gca",
+            MachineKind::NCells => "ncells",
+            MachineKind::LowCongestion => "lowcong",
+            MachineKind::TwoHanded => "twohand",
+            MachineKind::Closure => "closure",
+            MachineKind::Emulated => "emu",
+            MachineKind::Pram => "pram",
+            MachineKind::Sequential => "seq",
+        }
+    }
+}
+
+/// Where the input graph comes from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InputSpec {
+    /// Read an edge-list file (`-` for stdin).
+    File(String),
+    /// Generate `gnp:<n>:<p>[:seed]`.
+    Gnp { n: usize, p_milli: u32, seed: u64 },
+    /// Generate `forest:<n>:<k>[:seed]`.
+    Forest { n: usize, k: usize, seed: u64 },
+    /// Generate a named family `<family>:<n>` (path, ring, star, complete, empty).
+    Family { family: String, n: usize },
+}
+
+/// Parsed command line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Args {
+    /// Machine selection.
+    pub machine: MachineKind,
+    /// Input source.
+    pub input: InputSpec,
+    /// Print per-node labels (not just the summary).
+    pub labels: bool,
+    /// Emit a JSON report instead of text.
+    pub json: bool,
+    /// Print per-generation congestion metrics (GCA machines only).
+    pub metrics: bool,
+    /// Independently verify the labeling against the graph (oracle-free).
+    pub verify: bool,
+}
+
+/// A user-facing argument error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// The usage string printed on `--help` or argument errors.
+pub const USAGE: &str = "\
+gca-cc — connected components on a Global Cellular Automaton
+
+USAGE:
+  gca-cc [OPTIONS] <INPUT>
+
+INPUT:
+  <file>                    edge-list file ('n <count>' header, 'u v' lines; '-' = stdin)
+  gnp:<n>:<p%o>[:seed]      random G(n, p) with p in permille (e.g. gnp:64:500)
+  forest:<n>:<k>[:seed]     random forest with k trees
+  path:<n> ring:<n> star:<n> complete:<n> empty:<n>
+
+OPTIONS:
+  --machine <m>   gca (default) | ncells | lowcong | twohand | closure | emu | pram | seq
+  --labels        print every node's component label
+  --metrics       print per-generation activity/congestion (GCA machines)
+  --verify        independently verify the labeling against the graph
+  --json          machine-readable report
+  --help          this text
+";
+
+fn parse_generator(spec: &str) -> Result<InputSpec, ArgError> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let int = |s: &str, what: &str| -> Result<usize, ArgError> {
+        s.parse()
+            .map_err(|_| ArgError(format!("bad {what} '{s}' in '{spec}'")))
+    };
+    match parts[0] {
+        "gnp" => {
+            if parts.len() < 3 || parts.len() > 4 {
+                return Err(ArgError(format!("expected gnp:<n>:<permille>[:seed], got '{spec}'")));
+            }
+            let n = int(parts[1], "n")?;
+            let p_milli = int(parts[2], "permille")? as u32;
+            if p_milli > 1000 {
+                return Err(ArgError(format!("permille {p_milli} exceeds 1000")));
+            }
+            let seed = if parts.len() == 4 { int(parts[3], "seed")? as u64 } else { 1 };
+            Ok(InputSpec::Gnp { n, p_milli, seed })
+        }
+        "forest" => {
+            if parts.len() < 3 || parts.len() > 4 {
+                return Err(ArgError(format!("expected forest:<n>:<k>[:seed], got '{spec}'")));
+            }
+            let n = int(parts[1], "n")?;
+            let k = int(parts[2], "k")?;
+            let seed = if parts.len() == 4 { int(parts[3], "seed")? as u64 } else { 1 };
+            Ok(InputSpec::Forest { n, k, seed })
+        }
+        family @ ("path" | "ring" | "star" | "complete" | "empty") => {
+            if parts.len() != 2 {
+                return Err(ArgError(format!("expected {family}:<n>, got '{spec}'")));
+            }
+            Ok(InputSpec::Family {
+                family: family.to_string(),
+                n: int(parts[1], "n")?,
+            })
+        }
+        _ => Ok(InputSpec::File(spec.to_string())),
+    }
+}
+
+/// Parses a full argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Args, ArgError> {
+    let mut machine = MachineKind::Gca;
+    let mut input: Option<InputSpec> = None;
+    let mut labels = false;
+    let mut json = false;
+    let mut metrics = false;
+    let mut verify = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--machine" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--machine needs a value".into()))?;
+                machine = MachineKind::parse(v)?;
+            }
+            "--labels" => labels = true,
+            "--json" => json = true,
+            "--metrics" => metrics = true,
+            "--verify" => verify = true,
+            "--help" | "-h" => return Err(ArgError("help".into())),
+            other if other.starts_with("--") => {
+                return Err(ArgError(format!("unknown option '{other}'")));
+            }
+            other => {
+                if input.is_some() {
+                    return Err(ArgError(format!("unexpected extra input '{other}'")));
+                }
+                input = Some(parse_generator(other)?);
+            }
+        }
+    }
+
+    Ok(Args {
+        machine,
+        input: input.ok_or_else(|| ArgError("missing input (see --help)".into()))?,
+        labels,
+        json,
+        metrics,
+        verify,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_defaults() {
+        let a = parse(&argv(&["graph.txt"])).unwrap();
+        assert_eq!(a.machine, MachineKind::Gca);
+        assert_eq!(a.input, InputSpec::File("graph.txt".into()));
+        assert!(!a.labels && !a.json && !a.metrics && !a.verify);
+    }
+
+    #[test]
+    fn parses_machine_choices() {
+        for (s, k) in [
+            ("gca", MachineKind::Gca),
+            ("ncells", MachineKind::NCells),
+            ("lowcong", MachineKind::LowCongestion),
+            ("closure", MachineKind::Closure),
+            ("pram", MachineKind::Pram),
+            ("seq", MachineKind::Sequential),
+        ] {
+            let a = parse(&argv(&["--machine", s, "empty:4"])).unwrap();
+            assert_eq!(a.machine, k, "{s}");
+        }
+        assert!(MachineKind::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn parses_generators() {
+        assert_eq!(
+            parse(&argv(&["gnp:64:500:7"])).unwrap().input,
+            InputSpec::Gnp { n: 64, p_milli: 500, seed: 7 }
+        );
+        assert_eq!(
+            parse(&argv(&["gnp:10:250"])).unwrap().input,
+            InputSpec::Gnp { n: 10, p_milli: 250, seed: 1 }
+        );
+        assert_eq!(
+            parse(&argv(&["forest:20:3"])).unwrap().input,
+            InputSpec::Forest { n: 20, k: 3, seed: 1 }
+        );
+        assert_eq!(
+            parse(&argv(&["ring:9"])).unwrap().input,
+            InputSpec::Family { family: "ring".into(), n: 9 }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_generators() {
+        assert!(parse(&argv(&["gnp:64"])).is_err());
+        assert!(parse(&argv(&["gnp:64:1500"])).is_err());
+        assert!(parse(&argv(&["forest:x:3"])).is_err());
+        assert!(parse(&argv(&["ring:9:9"])).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_options() {
+        assert!(parse(&argv(&["--bogus", "empty:2"])).is_err());
+        assert!(parse(&argv(&["--machine"])).is_err());
+        assert!(parse(&argv(&[])).is_err());
+        assert!(parse(&argv(&["a.txt", "b.txt"])).is_err());
+    }
+
+    #[test]
+    fn flags_toggle() {
+        let a = parse(&argv(&["--labels", "--json", "--metrics", "--verify", "empty:3"])).unwrap();
+        assert!(a.labels && a.json && a.metrics && a.verify);
+    }
+}

@@ -1,0 +1,303 @@
+//! Machine dispatch and report rendering for `gca-cc`.
+
+use crate::args::{Args, MachineKind};
+use gca_engine::metrics::MetricsLog;
+use gca_graphs::connectivity::union_find_components_dense;
+use gca_graphs::{AdjacencyMatrix, Labeling};
+use gca_hirschberg::variants::{low_congestion, n_cells, two_handed};
+use gca_hirschberg::HirschbergGca;
+use gca_pram::hirschberg_ref;
+use std::fmt::Write as _;
+
+/// What a machine run produced.
+pub struct Outcome {
+    /// Machine used.
+    pub machine: MachineKind,
+    /// Component labeling.
+    pub labels: Labeling,
+    /// Synchronous steps (GCA generations or PRAM steps), if applicable.
+    pub steps: Option<u64>,
+    /// PRAM work, if applicable.
+    pub work: Option<u64>,
+    /// Worst observed congestion, if instrumented.
+    pub max_congestion: Option<u32>,
+    /// Per-generation metrics, when the machine records them.
+    pub metrics: Option<MetricsLog>,
+    /// Wall-clock milliseconds of the run.
+    pub wall_ms: f64,
+}
+
+/// Runs the selected machine.
+pub fn execute(
+    machine: MachineKind,
+    graph: &AdjacencyMatrix,
+) -> Result<Outcome, Box<dyn std::error::Error>> {
+    let start = std::time::Instant::now();
+    let mut outcome = match machine {
+        MachineKind::Gca => {
+            let run = HirschbergGca::new().run(graph)?;
+            Outcome {
+                machine,
+                labels: run.labels,
+                steps: Some(run.generations),
+                work: None,
+                max_congestion: Some(run.metrics.max_congestion()),
+                metrics: Some(run.metrics),
+                wall_ms: 0.0,
+            }
+        }
+        MachineKind::NCells => {
+            let run = n_cells::run(graph)?;
+            Outcome {
+                machine,
+                labels: run.labels,
+                steps: Some(run.generations),
+                work: None,
+                max_congestion: Some(run.metrics.max_congestion()),
+                metrics: Some(run.metrics),
+                wall_ms: 0.0,
+            }
+        }
+        MachineKind::LowCongestion => {
+            let run = low_congestion::run(graph)?;
+            Outcome {
+                machine,
+                labels: run.labels,
+                steps: Some(run.generations),
+                work: None,
+                max_congestion: Some(run.metrics.max_congestion()),
+                metrics: Some(run.metrics),
+                wall_ms: 0.0,
+            }
+        }
+        MachineKind::TwoHanded => {
+            let run = two_handed::run(graph)?;
+            Outcome {
+                machine,
+                labels: run.labels,
+                steps: Some(run.generations),
+                work: None,
+                max_congestion: Some(run.metrics.max_congestion()),
+                metrics: Some(run.metrics),
+                wall_ms: 0.0,
+            }
+        }
+        MachineKind::Closure => {
+            let run = gca_algorithms::transitive_closure::run(graph)?;
+            Outcome {
+                machine,
+                labels: run.labels,
+                steps: Some(run.generations),
+                work: None,
+                max_congestion: Some(run.max_congestion),
+                metrics: None,
+                wall_ms: 0.0,
+            }
+        }
+        MachineKind::Emulated => {
+            let n = graph.n();
+            let labels = gca_emu::hirschberg_program::connected_components(graph)?;
+            Outcome {
+                machine,
+                labels,
+                steps: Some(gca_emu::hirschberg_program::emulated_generations(n)),
+                work: None,
+                max_congestion: None,
+                metrics: None,
+                wall_ms: 0.0,
+            }
+        }
+        MachineKind::Pram => {
+            let run = hirschberg_ref::connected_components(graph)?;
+            Outcome {
+                machine,
+                labels: run.labels,
+                steps: Some(run.time),
+                work: Some(run.work),
+                max_congestion: Some(run.max_congestion),
+                metrics: None,
+                wall_ms: 0.0,
+            }
+        }
+        MachineKind::Sequential => Outcome {
+            machine,
+            labels: union_find_components_dense(graph),
+            steps: None,
+            work: None,
+            max_congestion: None,
+            metrics: None,
+            wall_ms: 0.0,
+        },
+    };
+    outcome.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    Ok(outcome)
+}
+
+/// Renders the human-readable report.
+pub fn render_text(outcome: &Outcome, graph: &AdjacencyMatrix, args: &Args) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "graph: {} nodes, {} edges",
+        graph.n(),
+        graph.edge_count()
+    );
+    let _ = writeln!(out, "machine: {}", outcome.machine.name());
+    let _ = writeln!(out, "components: {}", outcome.labels.component_count());
+    if let Some(steps) = outcome.steps {
+        let _ = writeln!(out, "synchronous steps: {steps}");
+    }
+    if let Some(work) = outcome.work {
+        let _ = writeln!(out, "work: {work}");
+    }
+    if let Some(d) = outcome.max_congestion {
+        let _ = writeln!(out, "max congestion: {d}");
+    }
+    let _ = writeln!(out, "wall time: {:.3} ms", outcome.wall_ms);
+
+    if args.labels {
+        let _ = writeln!(out, "labels:");
+        for (node, label) in outcome.labels.as_slice().iter().enumerate() {
+            let _ = writeln!(out, "  {node} {label}");
+        }
+    }
+
+    if args.metrics {
+        match &outcome.metrics {
+            Some(log) => {
+                let _ = writeln!(out, "per-generation metrics (phase sub active reads maxd):");
+                for m in log.entries() {
+                    let _ = writeln!(
+                        out,
+                        "  {:>3} {:>3} {:>8} {:>8} {:>5}",
+                        m.ctx.phase, m.ctx.subgeneration, m.active_cells, m.total_reads,
+                        m.max_congestion
+                    );
+                }
+            }
+            None => {
+                let _ = writeln!(out, "(per-generation metrics not available for this machine)");
+            }
+        }
+    }
+    out
+}
+
+/// Renders the JSON report.
+pub fn render_json(outcome: &Outcome, graph: &AdjacencyMatrix, args: &Args) -> String {
+    let mut root = serde_json::json!({
+        "machine": outcome.machine.name(),
+        "nodes": graph.n(),
+        "edges": graph.edge_count(),
+        "components": outcome.labels.component_count(),
+        "steps": outcome.steps,
+        "work": outcome.work,
+        "max_congestion": outcome.max_congestion,
+        "wall_ms": outcome.wall_ms,
+    });
+    if args.labels {
+        root["labels"] = serde_json::json!(outcome.labels.as_slice());
+    }
+    if args.metrics {
+        if let Some(log) = &outcome.metrics {
+            let rows: Vec<serde_json::Value> = log
+                .entries()
+                .iter()
+                .map(|m| {
+                    serde_json::json!({
+                        "phase": m.ctx.phase,
+                        "subgeneration": m.ctx.subgeneration,
+                        "active": m.active_cells,
+                        "reads": m.total_reads,
+                        "max_congestion": m.max_congestion,
+                    })
+                })
+                .collect();
+            root["metrics"] = serde_json::json!(rows);
+        }
+    }
+    format!("{}\n", serde_json::to_string_pretty(&root).expect("serializable"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::InputSpec;
+    use gca_graphs::generators;
+
+    fn args_for(machine: MachineKind) -> Args {
+        Args {
+            machine,
+            input: InputSpec::Family { family: "ring".into(), n: 8 },
+            labels: true,
+            json: false,
+            metrics: true,
+            verify: false,
+        }
+    }
+
+    #[test]
+    fn all_machines_execute_and_agree() {
+        let g = generators::gnp(12, 0.25, 3);
+        let expected = union_find_components_dense(&g);
+        for machine in [
+            MachineKind::Gca,
+            MachineKind::NCells,
+            MachineKind::LowCongestion,
+            MachineKind::TwoHanded,
+            MachineKind::Closure,
+            MachineKind::Emulated,
+            MachineKind::Pram,
+            MachineKind::Sequential,
+        ] {
+            let outcome = execute(machine, &g).unwrap();
+            assert_eq!(
+                outcome.labels.as_slice(),
+                expected.as_slice(),
+                "{machine:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn text_report_contains_summary() {
+        let g = generators::ring(8);
+        let outcome = execute(MachineKind::Gca, &g).unwrap();
+        let text = render_text(&outcome, &g, &args_for(MachineKind::Gca));
+        assert!(text.contains("graph: 8 nodes, 8 edges"));
+        assert!(text.contains("components: 1"));
+        assert!(text.contains("per-generation metrics"));
+        assert!(text.contains("labels:"));
+    }
+
+    #[test]
+    fn json_report_is_valid() {
+        let g = generators::ring(6);
+        let outcome = execute(MachineKind::Pram, &g).unwrap();
+        let json = render_json(&outcome, &g, &args_for(MachineKind::Pram));
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["machine"], "pram");
+        assert_eq!(parsed["components"], 1);
+        assert!(parsed["work"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn sequential_has_no_step_counter() {
+        let g = generators::path(5);
+        let outcome = execute(MachineKind::Sequential, &g).unwrap();
+        assert!(outcome.steps.is_none());
+        let text = render_text(
+            &outcome,
+            &g,
+            &Args {
+                machine: MachineKind::Sequential,
+                input: InputSpec::Family { family: "path".into(), n: 5 },
+                labels: false,
+                json: false,
+                metrics: true,
+                verify: false,
+            },
+        );
+        assert!(text.contains("not available"));
+    }
+}

@@ -1,0 +1,133 @@
+//! End-to-end tests of the `gca-cc` binary: spawn the real executable and
+//! check its output, exit codes and file handling.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn gca_cc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gca-cc"))
+}
+
+#[test]
+fn generated_workload_summary() {
+    let out = gca_cc()
+        .args(["ring:8", "--machine", "gca"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("graph: 8 nodes, 8 edges"), "{text}");
+    assert!(text.contains("components: 1"), "{text}");
+    assert!(text.contains("synchronous steps: 52"), "{text}"); // 1 + 3(9+8)
+}
+
+#[test]
+fn all_machines_accept_the_same_input() {
+    for machine in ["gca", "ncells", "lowcong", "twohand", "closure", "emu", "pram", "seq"] {
+        let out = gca_cc()
+            .args(["gnp:12:400:3", "--machine", machine, "--verify"])
+            .output()
+            .expect("spawn");
+        assert!(
+            out.status.success(),
+            "machine {machine}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn json_output_parses() {
+    let out = gca_cc()
+        .args(["star:6", "--json", "--labels"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert_eq!(v["components"], 1);
+    assert_eq!(v["nodes"], 6);
+    assert_eq!(v["labels"], serde_json::json!([0, 0, 0, 0, 0, 0]));
+}
+
+#[test]
+fn reads_edge_list_from_stdin() {
+    let mut child = gca_cc()
+        .args(["-", "--labels"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"n 4\n0 1\n2 3\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("components: 2"), "{text}");
+    assert!(text.contains("  1 0"), "{text}");
+    assert!(text.contains("  3 2"), "{text}");
+}
+
+#[test]
+fn reads_edge_list_from_file() {
+    let dir = std::env::temp_dir().join("gca_cli_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("graph.txt");
+    std::fs::write(&path, "# test\nn 5\n0 4\n1 2\n").unwrap();
+    let out = gca_cc()
+        .args([path.to_str().unwrap(), "--machine", "pram"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("components: 3"), "{text}");
+}
+
+#[test]
+fn bad_arguments_fail_with_usage() {
+    let out = gca_cc().args(["--bogus"]).output().expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("USAGE"), "{err}");
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let out = gca_cc()
+        .args(["/definitely/not/a/file.txt"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("error:"), "{err}");
+}
+
+#[test]
+fn malformed_edge_list_fails_cleanly() {
+    let mut child = gca_cc()
+        .args(["-"])
+        .stdin(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"not an edge list\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let out = gca_cc().args(["--help"]).output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("--machine"));
+}

@@ -1,0 +1,270 @@
+//! The SIMD mini-ISA of the emulated CROW PRAM.
+//!
+//! All processors execute the same instruction in the same generation
+//! (lockstep); data-dependent behaviour is expressed with [`Instr::Select`]
+//! and predicated stores ([`Instr::StoreIf`]), the classic SIMD idiom the
+//! original algorithm was formulated for ("the original algorithm was
+//! defined for the SIMD parallel processors").
+
+use crate::Value;
+use std::sync::Arc;
+
+/// Number of per-processor registers.
+pub const NUM_REGS: usize = 16;
+
+/// A register index or immediate value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Operand {
+    /// Register `r0..r15`.
+    Reg(u8),
+    /// Immediate constant (same for every processor).
+    Imm(Value),
+}
+
+/// Comparison relations for [`Cond`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rel {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Unsigned less-than.
+    Lt,
+}
+
+/// A predicate over two operands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cond {
+    /// Left-hand side.
+    pub lhs: Operand,
+    /// Relation.
+    pub rel: Rel,
+    /// Right-hand side.
+    pub rhs: Operand,
+}
+
+impl Cond {
+    /// A condition that always holds.
+    pub fn always() -> Cond {
+        Cond {
+            lhs: Operand::Imm(0),
+            rel: Rel::Eq,
+            rhs: Operand::Imm(0),
+        }
+    }
+}
+
+/// ALU operations (wrapping semantics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Unsigned minimum.
+    Min,
+    /// Wrapping multiplication.
+    Mul,
+}
+
+/// One SIMD instruction.
+#[derive(Clone, Debug)]
+pub enum Instr {
+    /// `reg ← table[proc]` — per-processor constants, the SIMD control
+    /// broadcast (active masks, precomputed addresses, node indices…).
+    /// Costs one generation and performs no global reads.
+    Const {
+        /// Destination register.
+        reg: u8,
+        /// One value per processor.
+        table: Arc<Vec<Value>>,
+    },
+    /// `reg ← M[addr]` — one generation; the processor cell's pointer
+    /// selects the memory cell (concurrent reads allowed: CROW).
+    Load {
+        /// Destination register.
+        reg: u8,
+        /// Memory address (dynamic when a register).
+        addr: Operand,
+    },
+    /// `reg ← a ⊕ b` — one generation, local.
+    Alu {
+        /// Destination register.
+        reg: u8,
+        /// Operation.
+        op: AluOp,
+        /// First operand.
+        a: Operand,
+        /// Second operand.
+        b: Operand,
+    },
+    /// `reg ← cond ? a : b` — one generation, local.
+    Select {
+        /// Destination register.
+        reg: u8,
+        /// Predicate.
+        cond: Cond,
+        /// Value when the predicate holds.
+        if_true: Operand,
+        /// Value otherwise.
+        if_false: Operand,
+    },
+    /// `if cond { M[addr] ← value }` — **two** generations: the processor
+    /// publishes an outbox, then every memory cell pulls from its owner
+    /// (owner-write made structural). Predicated off processors publish an
+    /// invalid outbox.
+    StoreIf {
+        /// Predicate gating the write.
+        cond: Cond,
+        /// Target address (must be owned by the executing processor).
+        addr: Operand,
+        /// Value to store.
+        value: Operand,
+    },
+}
+
+impl Instr {
+    /// GCA generations this instruction costs.
+    pub fn generations(&self) -> u64 {
+        match self {
+            Instr::StoreIf { .. } => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// A complete SIMD program.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    instrs: Vec<Instr>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Appends an instruction (panics on an out-of-range register, so
+    /// program-construction bugs surface at build time, not run time).
+    pub fn push(&mut self, instr: Instr) -> &mut Self {
+        let check = |op: &Operand| {
+            if let Operand::Reg(r) = op {
+                assert!((*r as usize) < NUM_REGS, "register r{r} out of range");
+            }
+        };
+        match &instr {
+            Instr::Const { reg, .. } => {
+                assert!((*reg as usize) < NUM_REGS, "register out of range")
+            }
+            Instr::Load { reg, addr } => {
+                assert!((*reg as usize) < NUM_REGS, "register out of range");
+                check(addr);
+            }
+            Instr::Alu { reg, a, b, .. } => {
+                assert!((*reg as usize) < NUM_REGS, "register out of range");
+                check(a);
+                check(b);
+            }
+            Instr::Select {
+                reg,
+                cond,
+                if_true,
+                if_false,
+            } => {
+                assert!((*reg as usize) < NUM_REGS, "register out of range");
+                check(&cond.lhs);
+                check(&cond.rhs);
+                check(if_true);
+                check(if_false);
+            }
+            Instr::StoreIf { cond, addr, value } => {
+                check(&cond.lhs);
+                check(&cond.rhs);
+                check(addr);
+                check(value);
+            }
+        }
+        self.instrs.push(instr);
+        self
+    }
+
+    /// The instruction sequence.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// `true` when the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Total GCA generations the program costs.
+    pub fn total_generations(&self) -> u64 {
+        self.instrs.iter().map(Instr::generations).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruction_costs() {
+        assert_eq!(
+            Instr::Load {
+                reg: 0,
+                addr: Operand::Imm(0)
+            }
+            .generations(),
+            1
+        );
+        assert_eq!(
+            Instr::StoreIf {
+                cond: Cond::always(),
+                addr: Operand::Imm(0),
+                value: Operand::Imm(1)
+            }
+            .generations(),
+            2
+        );
+    }
+
+    #[test]
+    fn program_accounting() {
+        let mut p = Program::new();
+        p.push(Instr::Load {
+            reg: 0,
+            addr: Operand::Imm(3),
+        });
+        p.push(Instr::StoreIf {
+            cond: Cond::always(),
+            addr: Operand::Imm(3),
+            value: Operand::Reg(0),
+        });
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.total_generations(), 3);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_register() {
+        let mut p = Program::new();
+        p.push(Instr::Load {
+            reg: NUM_REGS as u8,
+            addr: Operand::Imm(0),
+        });
+    }
+
+    #[test]
+    fn always_condition() {
+        let c = Cond::always();
+        assert_eq!(c.rel, Rel::Eq);
+    }
+}

@@ -1,0 +1,43 @@
+//! Universal CROW-PRAM emulation on the GCA.
+//!
+//! The paper (Section 1): *"In principle, the GCA is able to implement any
+//! PRAM algorithm, as any algorithm consists of a finite number of
+//! instructions from a finite instruction set. However, an automaton
+//! implementation is particularly advantageous for simple algorithms"* and
+//! later: *"for many problems, the configurability of a GCA can provide
+//! better performance than a universal PRAM emulation."*
+//!
+//! This crate makes both halves of that statement executable:
+//!
+//! * [`isa`] — a small SIMD instruction set for a CROW PRAM: per-processor
+//!   registers, constant tables (the SIMD control broadcast), loads with
+//!   dynamic addresses, ALU/select operations, and *predicated* stores;
+//! * [`machine`] — the GCA realization: processors and memory cells are
+//!   GCA cells on one field; a load is one generation (processor cell
+//!   points at a memory cell), a store is two (the processor publishes an
+//!   outbox, then each memory cell pulls from its **owner** — this is
+//!   where the CROW discipline becomes hardware structure);
+//! * [`programs`] — further compiled utilities (prefix sums) showing the
+//!   ISA is general;
+//! * [`hirschberg_program`] — Listing 1 compiled to the ISA, so the
+//!   emulated PRAM, running on the GCA, computes connected components —
+//!   and can be compared, in generations, with the paper's hand-mapped
+//!   12-generation machine. The hand mapping wins by an order of
+//!   magnitude, which is exactly the paper's point.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hirschberg_program;
+pub mod isa;
+pub mod machine;
+pub mod programs;
+
+pub use isa::{AluOp, Cond, Instr, Operand, Program, Rel, NUM_REGS};
+pub use machine::{EmuRun, PramOnGca};
+
+/// The machine word of the emulated PRAM.
+pub type Value = u64;
+
+/// The `∞` sentinel used by minimum computations in emulated programs.
+pub const INFINITY: Value = Value::MAX;

@@ -1,0 +1,192 @@
+//! Differential test: the GCA realization of the ISA against a direct
+//! host-side interpreter, on randomly generated straight-line programs.
+//!
+//! The interpreter executes instructions sequentially with plain Rust
+//! semantics (all processors in order, stores applied after the read phase
+//! of the same instruction); the GCA machine must agree on every register
+//! file and memory cell for every generated program.
+
+use gca_emu::{AluOp, Cond, Instr, Operand, PramOnGca, Program, Rel, Value, NUM_REGS};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A reference interpreter of the ISA.
+struct Interp {
+    procs: usize,
+    regs: Vec<[Value; NUM_REGS]>,
+    mem: Vec<Value>,
+    owners: Vec<usize>,
+}
+
+impl Interp {
+    fn new(procs: usize, mem: Vec<Value>, owners: Vec<usize>) -> Self {
+        Interp {
+            procs,
+            regs: vec![[0; NUM_REGS]; procs],
+            mem,
+            owners,
+        }
+    }
+
+    fn resolve(&self, p: usize, op: Operand) -> Value {
+        match op {
+            Operand::Reg(r) => self.regs[p][r as usize],
+            Operand::Imm(v) => v,
+        }
+    }
+
+    fn cond(&self, p: usize, c: &Cond) -> bool {
+        let l = self.resolve(p, c.lhs);
+        let r = self.resolve(p, c.rhs);
+        match c.rel {
+            Rel::Eq => l == r,
+            Rel::Ne => l != r,
+            Rel::Lt => l < r,
+        }
+    }
+
+    fn run(&mut self, program: &Program) -> Result<(), String> {
+        for instr in program.instrs() {
+            // Read phase first (synchronous semantics): collect pending
+            // writes, apply afterwards.
+            let mut writes: Vec<(usize, Value)> = Vec::new();
+            for p in 0..self.procs {
+                match instr {
+                    Instr::Const { reg, table } => {
+                        self.regs[p][*reg as usize] = table[p];
+                    }
+                    Instr::Load { reg, addr } => {
+                        let a = self.resolve(p, *addr) as usize;
+                        let v = *self.mem.get(a).ok_or("load out of range")?;
+                        self.regs[p][*reg as usize] = v;
+                    }
+                    Instr::Alu { reg, op, a, b } => {
+                        let x = self.resolve(p, *a);
+                        let y = self.resolve(p, *b);
+                        self.regs[p][*reg as usize] = match op {
+                            AluOp::Add => x.wrapping_add(y),
+                            AluOp::Sub => x.wrapping_sub(y),
+                            AluOp::Min => x.min(y),
+                            AluOp::Mul => x.wrapping_mul(y),
+                        };
+                    }
+                    Instr::Select {
+                        reg,
+                        cond,
+                        if_true,
+                        if_false,
+                    } => {
+                        self.regs[p][*reg as usize] = if self.cond(p, cond) {
+                            self.resolve(p, *if_true)
+                        } else {
+                            self.resolve(p, *if_false)
+                        };
+                    }
+                    Instr::StoreIf { cond, addr, value } => {
+                        if self.cond(p, cond) {
+                            let a = self.resolve(p, *addr) as usize;
+                            if a >= self.mem.len() || self.owners[a] != p {
+                                return Err("owner violation".into());
+                            }
+                            writes.push((a, self.resolve(p, *value)));
+                        }
+                    }
+                }
+            }
+            for (a, v) in writes {
+                self.mem[a] = v;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Generates a random straight-line program that is owner-safe by
+/// construction: every processor only ever stores to its own address.
+fn arb_program(procs: usize, mem: usize) -> impl Strategy<Value = Vec<Instr>> {
+    // Destination registers stay below 15: r15 is the reserved own-address
+    // register that keeps random stores owner-safe.
+    const DEST: std::ops::Range<u8> = 0u8..(NUM_REGS as u8 - 1);
+    let instr = prop_oneof![
+        // Const with a random table.
+        (DEST, proptest::collection::vec(0u64..100, procs..=procs))
+            .prop_map(|(reg, t)| Instr::Const { reg, table: Arc::new(t) }),
+        // Load from a random fixed address.
+        (DEST, 0usize..mem).prop_map(|(reg, a)| Instr::Load {
+            reg,
+            addr: Operand::Imm(a as Value),
+        }),
+        // ALU on random regs/immediates.
+        (
+            DEST,
+            prop_oneof![Just(AluOp::Add), Just(AluOp::Sub), Just(AluOp::Min), Just(AluOp::Mul)],
+            arb_operand(),
+            arb_operand()
+        )
+            .prop_map(|(reg, op, a, b)| Instr::Alu { reg, op, a, b }),
+        // Select with a random condition.
+        (DEST, arb_cond(), arb_operand(), arb_operand()).prop_map(
+            |(reg, cond, if_true, if_false)| Instr::Select {
+                reg,
+                cond,
+                if_true,
+                if_false
+            }
+        ),
+        // Store to the processor's own address (owner-safe), predicated.
+        (arb_cond(), arb_operand()).prop_map(|(cond, value)| Instr::StoreIf {
+            cond,
+            addr: Operand::Reg(15), // reg 15 holds the own address, see below
+            value,
+        }),
+    ];
+    proptest::collection::vec(instr, 1..25)
+}
+
+fn arb_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        (0u8..NUM_REGS as u8).prop_map(Operand::Reg),
+        (0u64..1000).prop_map(Operand::Imm),
+    ]
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    (
+        arb_operand(),
+        prop_oneof![Just(Rel::Eq), Just(Rel::Ne), Just(Rel::Lt)],
+        arb_operand(),
+    )
+        .prop_map(|(lhs, rel, rhs)| Cond { lhs, rel, rhs })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gca_matches_reference_interpreter(
+        instrs in arb_program(4, 4),
+        init in proptest::collection::vec(0u64..50, 4..=4),
+    ) {
+        let procs = 4usize;
+        let owners: Vec<usize> = (0..4).collect();
+
+        // Prelude: reg 15 ← own address, so random stores are owner-safe.
+        let mut program = Program::new();
+        program.push(Instr::Const {
+            reg: 15,
+            table: Arc::new((0..procs as Value).collect()),
+        });
+        for i in &instrs {
+            program.push(i.clone());
+        }
+
+        let mut interp = Interp::new(procs, init.clone(), owners.clone());
+        interp.run(&program).expect("reference interpreter");
+
+        let mut machine = PramOnGca::new(procs, &init, &owners).expect("machine");
+        let run = machine.run_program(&program).expect("gca run");
+
+        prop_assert_eq!(run.memory, interp.mem);
+        prop_assert_eq!(run.generations, program.total_generations());
+    }
+}

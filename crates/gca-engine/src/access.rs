@@ -1,0 +1,153 @@
+/// The global cells a cell addresses in one generation.
+///
+/// Pointers are computed from the cell's *own* state only (the access
+/// information part of the GCA state), never from other cells — this is what
+/// keeps the model synchronizable in hardware. Most GCA algorithms,
+/// including the paper's, are **one-handed**; the engine also supports
+/// two-handed rules because the model permits them (the paper: "two handed
+/// if two neighbors can be addressed and so on").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// The cell reads no global cell this generation.
+    None,
+    /// One-handed access to the cell at the given linear index.
+    One(usize),
+    /// Two-handed access; both reads observe the previous generation.
+    Two(usize, usize),
+}
+
+impl Access {
+    /// Number of reads this access performs.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        match self {
+            Access::None => 0,
+            Access::One(_) => 1,
+            Access::Two(_, _) => 2,
+        }
+    }
+
+    /// Iterates the addressed targets.
+    pub fn targets(&self) -> impl Iterator<Item = usize> {
+        let (a, b) = match *self {
+            Access::None => (None, None),
+            Access::One(t) => (Some(t), None),
+            Access::Two(t, u) => (Some(t), Some(u)),
+        };
+        a.into_iter().chain(b)
+    }
+
+    /// The largest addressed index, if any (used for bounds validation).
+    pub fn max_target(&self) -> Option<usize> {
+        self.targets().max()
+    }
+}
+
+/// The previous-generation states a cell's [`Access`] resolved to.
+///
+/// `first`/`second` line up with [`Access::One`]'s target and the two
+/// targets of [`Access::Two`] respectively. The engine guarantees the
+/// references point into the *previous* generation buffer, so reading them
+/// can never observe a same-generation write.
+#[derive(Clone, Copy, Debug)]
+pub struct Reads<'a, S> {
+    first: Option<&'a S>,
+    second: Option<&'a S>,
+}
+
+impl<'a, S> Reads<'a, S> {
+    /// No reads.
+    pub fn none() -> Self {
+        Reads {
+            first: None,
+            second: None,
+        }
+    }
+
+    /// One read.
+    pub fn one(s: &'a S) -> Self {
+        Reads {
+            first: Some(s),
+            second: None,
+        }
+    }
+
+    /// Two reads.
+    pub fn two(a: &'a S, b: &'a S) -> Self {
+        Reads {
+            first: Some(a),
+            second: Some(b),
+        }
+    }
+
+    /// The first (and for one-handed rules, only) read value.
+    #[inline]
+    pub fn first(&self) -> Option<&'a S> {
+        self.first
+    }
+
+    /// The second read value of a two-handed access.
+    #[inline]
+    pub fn second(&self) -> Option<&'a S> {
+        self.second
+    }
+
+    /// The first read value, for rules that know their access was `One`.
+    ///
+    /// # Panics
+    /// Panics when no read happened — that is a rule bug (the rule's
+    /// `access` and `evolve` disagree), and failing loudly beats silently
+    /// computing with stale data.
+    #[inline]
+    pub fn expect_first(&self, rule: &str) -> &'a S {
+        self.first
+            .unwrap_or_else(|| panic!("rule `{rule}` expected a global read but issued Access::None"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_variant() {
+        assert_eq!(Access::None.arity(), 0);
+        assert_eq!(Access::One(3).arity(), 1);
+        assert_eq!(Access::Two(1, 2).arity(), 2);
+    }
+
+    #[test]
+    fn targets_iterate_in_order() {
+        assert_eq!(Access::None.targets().collect::<Vec<_>>(), Vec::<usize>::new());
+        assert_eq!(Access::One(5).targets().collect::<Vec<_>>(), vec![5]);
+        assert_eq!(Access::Two(7, 2).targets().collect::<Vec<_>>(), vec![7, 2]);
+    }
+
+    #[test]
+    fn max_target() {
+        assert_eq!(Access::None.max_target(), None);
+        assert_eq!(Access::One(5).max_target(), Some(5));
+        assert_eq!(Access::Two(7, 9).max_target(), Some(9));
+    }
+
+    #[test]
+    fn reads_accessors() {
+        let a = 1u32;
+        let b = 2u32;
+        let r = Reads::two(&a, &b);
+        assert_eq!(r.first(), Some(&1));
+        assert_eq!(r.second(), Some(&2));
+        let r1 = Reads::one(&a);
+        assert_eq!(r1.first(), Some(&1));
+        assert_eq!(r1.second(), None);
+        let r0: Reads<'_, u32> = Reads::none();
+        assert!(r0.first().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a global read")]
+    fn expect_first_panics_without_read() {
+        let r: Reads<'_, u32> = Reads::none();
+        let _ = r.expect_first("test-rule");
+    }
+}

@@ -1,0 +1,304 @@
+//! Brent-style virtualization: `p` physical cells simulate `N` virtual cells.
+//!
+//! The paper (Section 1): *"in many PRAM algorithms, the number P of
+//! processing elements is expressed in terms of the problem size n, i.e.
+//! P = P(n), while a particular GCA architecture has a fixed number p of
+//! cells. Here, Brent's theorem can be applied, stating that each cell shall
+//! sequentially simulate P(n)/p processing elements round robin."*
+//!
+//! [`BrentSchedule`] owns the round-robin assignment arithmetic, and
+//! [`step_virtualized`] executes one synchronous GCA generation as
+//! `⌈N/p⌉` micro-rounds of at most `p` cell evaluations. Because the field
+//! is double-buffered, the virtualized execution is **observably identical**
+//! to the fully parallel one — only the cost accounting changes (the
+//! returned report counts micro-rounds, which is the simulated wall time).
+
+use crate::{Access, CellField, GcaError, GcaRule, Reads, StepCtx};
+
+/// Round-robin assignment of `N` virtual cells onto `p` physical cells.
+///
+/// Virtual cell `v` is simulated by physical cell `v mod p` during
+/// micro-round `v / p` — the classic interleaved schedule, which keeps every
+/// physical cell busy until the final partial round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BrentSchedule {
+    virtual_cells: usize,
+    physical_cells: usize,
+}
+
+impl BrentSchedule {
+    /// Creates a schedule. `physical_cells` must be nonzero.
+    pub fn new(virtual_cells: usize, physical_cells: usize) -> Self {
+        assert!(physical_cells > 0, "need at least one physical cell");
+        BrentSchedule {
+            virtual_cells,
+            physical_cells,
+        }
+    }
+
+    /// Number of virtual cells `N`.
+    pub fn virtual_cells(&self) -> usize {
+        self.virtual_cells
+    }
+
+    /// Number of physical cells `p`.
+    pub fn physical_cells(&self) -> usize {
+        self.physical_cells
+    }
+
+    /// `⌈N/p⌉` — micro-rounds per generation, i.e. the slowdown factor of
+    /// Brent's theorem.
+    pub fn rounds(&self) -> usize {
+        self.virtual_cells.div_ceil(self.physical_cells)
+    }
+
+    /// Which `(physical cell, micro-round)` simulates virtual cell `v`.
+    pub fn assignment(&self, v: usize) -> (usize, usize) {
+        debug_assert!(v < self.virtual_cells);
+        (v % self.physical_cells, v / self.physical_cells)
+    }
+
+    /// The virtual cells evaluated in a given micro-round, in order.
+    pub fn round_members(&self, round: usize) -> std::ops::Range<usize> {
+        let start = round * self.physical_cells;
+        let end = ((round + 1) * self.physical_cells).min(self.virtual_cells);
+        start..end.max(start)
+    }
+
+    /// The virtual cells simulated by one physical cell, in order.
+    pub fn cells_of(&self, physical: usize) -> impl Iterator<Item = usize> + '_ {
+        debug_assert!(physical < self.physical_cells);
+        (physical..self.virtual_cells).step_by(self.physical_cells)
+    }
+}
+
+/// Cost report of a virtualized generation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VirtualizedReport {
+    /// The control context of the generation.
+    pub ctx: StepCtx,
+    /// Micro-rounds executed (`⌈N/p⌉`).
+    pub rounds: usize,
+    /// Virtual cells that performed a calculation.
+    pub active_cells: usize,
+    /// Global reads issued.
+    pub total_reads: u64,
+    /// Per-micro-round maximum congestion: within a round only `p` reads can
+    /// be in flight, so congestion is bounded by `p` regardless of the
+    /// algorithm's full-parallel congestion.
+    pub round_max_congestion: Vec<u32>,
+}
+
+impl VirtualizedReport {
+    /// Largest per-round congestion over the generation.
+    pub fn max_congestion(&self) -> u32 {
+        self.round_max_congestion.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Executes one synchronous generation under Brent virtualization.
+///
+/// Semantically equivalent to [`crate::Engine::step`]; differs only in cost
+/// accounting (micro-rounds, per-round congestion).
+pub fn step_virtualized<R: GcaRule>(
+    field: &mut CellField<R::State>,
+    rule: &R,
+    schedule: &BrentSchedule,
+    generation: u64,
+    phase: u32,
+    subgeneration: u32,
+) -> Result<VirtualizedReport, GcaError> {
+    assert_eq!(
+        schedule.virtual_cells(),
+        field.len(),
+        "schedule covers {} virtual cells but the field has {}",
+        schedule.virtual_cells(),
+        field.len()
+    );
+    let ctx = StepCtx {
+        generation,
+        phase,
+        subgeneration,
+    };
+    let shape = *field.shape();
+    let (prev, next) = field.buffers();
+
+    let mut active = 0usize;
+    let mut total_reads = 0u64;
+    let mut round_max_congestion = Vec::with_capacity(schedule.rounds());
+
+    for round in 0..schedule.rounds() {
+        let members = schedule.round_members(round);
+        let mut round_reads = vec![0u32; 0];
+        // Lazily sized: only allocate the congestion counter if some cell
+        // in this round actually reads.
+        let mut round_max = 0u32;
+        for v in members {
+            let own = &prev[v];
+            let acc = rule.access(&ctx, &shape, v, own);
+            let reads = resolve(acc, prev, v, &ctx)?;
+            next[v] = rule.evolve(&ctx, &shape, v, own, reads);
+            if rule.is_active(&ctx, &shape, v, own) {
+                active += 1;
+            }
+            total_reads += acc.arity() as u64;
+            for t in acc.targets() {
+                if round_reads.is_empty() {
+                    round_reads = vec![0u32; prev.len()];
+                }
+                round_reads[t] += 1;
+                round_max = round_max.max(round_reads[t]);
+            }
+        }
+        round_max_congestion.push(round_max);
+    }
+
+    field.commit();
+    Ok(VirtualizedReport {
+        ctx,
+        rounds: schedule.rounds(),
+        active_cells: active,
+        total_reads,
+        round_max_congestion,
+    })
+}
+
+#[inline]
+fn resolve<'a, S>(
+    acc: Access,
+    prev: &'a [S],
+    cell: usize,
+    ctx: &StepCtx,
+) -> Result<Reads<'a, S>, GcaError> {
+    let fetch = |t: usize| -> Result<&'a S, GcaError> {
+        prev.get(t).ok_or(GcaError::PointerOutOfRange {
+            cell,
+            target: t,
+            len: prev.len(),
+            generation: ctx.generation,
+        })
+    };
+    Ok(match acc {
+        Access::None => Reads::none(),
+        Access::One(t) => Reads::one(fetch(t)?),
+        Access::Two(t, u) => Reads::two(fetch(t)?, fetch(u)?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Engine, FieldShape};
+
+    struct Rotate;
+
+    impl GcaRule for Rotate {
+        type State = u32;
+
+        fn access(&self, _c: &StepCtx, shape: &FieldShape, i: usize, _o: &u32) -> Access {
+            Access::One((i + 1) % shape.len())
+        }
+
+        fn evolve(
+            &self,
+            _c: &StepCtx,
+            _s: &FieldShape,
+            _i: usize,
+            _o: &u32,
+            r: Reads<'_, u32>,
+        ) -> u32 {
+            *r.expect_first("rotate")
+        }
+    }
+
+    #[test]
+    fn schedule_arithmetic() {
+        let s = BrentSchedule::new(10, 4);
+        assert_eq!(s.rounds(), 3);
+        assert_eq!(s.assignment(0), (0, 0));
+        assert_eq!(s.assignment(5), (1, 1));
+        assert_eq!(s.assignment(9), (1, 2));
+        assert_eq!(s.round_members(0), 0..4);
+        assert_eq!(s.round_members(2), 8..10);
+        assert_eq!(s.cells_of(1).collect::<Vec<_>>(), vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn schedule_exact_division() {
+        let s = BrentSchedule::new(8, 4);
+        assert_eq!(s.rounds(), 2);
+        assert_eq!(s.round_members(1), 4..8);
+    }
+
+    #[test]
+    fn schedule_more_physical_than_virtual() {
+        let s = BrentSchedule::new(3, 8);
+        assert_eq!(s.rounds(), 1);
+        assert_eq!(s.round_members(0), 0..3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one physical cell")]
+    fn schedule_rejects_zero_physical() {
+        let _ = BrentSchedule::new(4, 0);
+    }
+
+    #[test]
+    fn virtualized_step_matches_engine() {
+        let shape = FieldShape::new(1, 13).unwrap();
+        let init: Vec<u32> = (0..13).map(|i| i * 7).collect();
+
+        let mut direct = CellField::from_states(shape, init.clone()).unwrap();
+        let mut engine = Engine::sequential();
+        engine.step(&mut direct, &Rotate, 0, 0).unwrap();
+
+        for p in [1usize, 2, 3, 13, 20] {
+            let mut virt = CellField::from_states(shape, init.clone()).unwrap();
+            let sched = BrentSchedule::new(13, p);
+            let rep = step_virtualized(&mut virt, &Rotate, &sched, 0, 0, 0).unwrap();
+            assert_eq!(virt.states(), direct.states(), "p = {p}");
+            assert_eq!(rep.rounds, 13usize.div_ceil(p));
+            assert_eq!(rep.total_reads, 13);
+            assert_eq!(rep.active_cells, 13);
+        }
+    }
+
+    #[test]
+    fn round_congestion_bounded_by_p() {
+        // All cells read cell 0 -> full-parallel congestion = N, but with p
+        // physical cells each round sees at most p concurrent reads.
+        struct ReadZero;
+        impl GcaRule for ReadZero {
+            type State = u32;
+            fn access(&self, _c: &StepCtx, _s: &FieldShape, _i: usize, _o: &u32) -> Access {
+                Access::One(0)
+            }
+            fn evolve(
+                &self,
+                _c: &StepCtx,
+                _s: &FieldShape,
+                _i: usize,
+                _o: &u32,
+                r: Reads<'_, u32>,
+            ) -> u32 {
+                *r.expect_first("read-zero")
+            }
+        }
+        let shape = FieldShape::new(1, 12).unwrap();
+        let mut f = CellField::new(shape, 1u32);
+        let sched = BrentSchedule::new(12, 3);
+        let rep = step_virtualized(&mut f, &ReadZero, &sched, 0, 0, 0).unwrap();
+        assert_eq!(rep.rounds, 4);
+        assert_eq!(rep.max_congestion(), 3);
+        assert!(rep.round_max_congestion.iter().all(|&c| c <= 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule covers")]
+    fn mismatched_schedule_panics() {
+        let shape = FieldShape::new(1, 4).unwrap();
+        let mut f = CellField::new(shape, 0u32);
+        let sched = BrentSchedule::new(5, 2);
+        let _ = step_virtualized(&mut f, &Rotate, &sched, 0, 0, 0);
+    }
+}

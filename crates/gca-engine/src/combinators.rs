@@ -1,0 +1,247 @@
+//! Rule combinators: build GCA rules from closures, and compose
+//! **non-uniform** automata from uniform parts.
+//!
+//! The paper distinguishes *uniform* GCAs (all cells share one transition
+//! rule — the Hirschberg machine is uniform, with position-dependent
+//! branches) from *non-uniform* ones. [`FnRule`] removes the boilerplate of
+//! one-off rule structs, and [`NonUniform`] realizes the non-uniform model
+//! by dispatching between two sub-rules on a cell-position predicate — the
+//! hardware analogy is a field populated with two different cell circuits
+//! (the paper's standard vs. extended cells).
+
+use crate::{Access, FieldShape, GcaRule, Reads, StepCtx};
+
+/// A rule assembled from two closures (pointer operation and data
+/// operation).
+///
+/// ```
+/// use gca_engine::{Access, CellField, Engine, FieldShape, Reads, StepCtx};
+/// use gca_engine::combinators::FnRule;
+///
+/// // "Each cell takes the maximum of itself and its right neighbor."
+/// let rule = FnRule::new(
+///     "max-right",
+///     |_ctx: &StepCtx, shape: &FieldShape, i: usize, _own: &u32| {
+///         Access::One((i + 1) % shape.len())
+///     },
+///     |_ctx: &StepCtx, _shape: &FieldShape, _i: usize, own: &u32, reads: Reads<'_, u32>| {
+///         (*own).max(*reads.expect_first("max-right"))
+///     },
+/// );
+///
+/// let shape = FieldShape::new(1, 4).unwrap();
+/// let mut field = CellField::from_states(shape, vec![3u32, 9, 2, 5]).unwrap();
+/// Engine::sequential().step(&mut field, &rule, 0, 0).unwrap();
+/// assert_eq!(field.states(), &[9, 9, 5, 5]);
+/// ```
+pub struct FnRule<S, A, E> {
+    name: &'static str,
+    access: A,
+    evolve: E,
+    _marker: std::marker::PhantomData<fn() -> S>,
+}
+
+impl<S, A, E> FnRule<S, A, E>
+where
+    S: Clone + Send + Sync,
+    A: Fn(&StepCtx, &FieldShape, usize, &S) -> Access + Sync,
+    E: for<'a> Fn(&StepCtx, &FieldShape, usize, &S, Reads<'a, S>) -> S + Sync,
+{
+    /// Wraps a pointer closure and a data closure into a rule.
+    pub fn new(name: &'static str, access: A, evolve: E) -> Self {
+        FnRule {
+            name,
+            access,
+            evolve,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<S, A, E> GcaRule for FnRule<S, A, E>
+where
+    S: Clone + Send + Sync,
+    A: Fn(&StepCtx, &FieldShape, usize, &S) -> Access + Sync,
+    E: for<'a> Fn(&StepCtx, &FieldShape, usize, &S, Reads<'a, S>) -> S + Sync,
+{
+    type State = S;
+
+    fn access(&self, ctx: &StepCtx, shape: &FieldShape, index: usize, own: &S) -> Access {
+        (self.access)(ctx, shape, index, own)
+    }
+
+    fn evolve(
+        &self,
+        ctx: &StepCtx,
+        shape: &FieldShape,
+        index: usize,
+        own: &S,
+        reads: Reads<'_, S>,
+    ) -> S {
+        (self.evolve)(ctx, shape, index, own, reads)
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+}
+
+/// A non-uniform automaton: cells for which `predicate` holds run `special`,
+/// all others run `base`. Both sub-rules must share the state type.
+///
+/// Activity reporting follows the selected sub-rule, so Table-1-style
+/// accounting still works on non-uniform fields.
+pub struct NonUniform<R1, R2, P> {
+    base: R1,
+    special: R2,
+    predicate: P,
+}
+
+impl<S, R1, R2, P> NonUniform<R1, R2, P>
+where
+    S: Clone + Send + Sync,
+    R1: GcaRule<State = S>,
+    R2: GcaRule<State = S>,
+    P: Fn(&FieldShape, usize) -> bool + Sync,
+{
+    /// Builds the composite: `predicate(shape, index)` selects `special`.
+    pub fn new(base: R1, special: R2, predicate: P) -> Self {
+        NonUniform {
+            base,
+            special,
+            predicate,
+        }
+    }
+}
+
+impl<S, R1, R2, P> GcaRule for NonUniform<R1, R2, P>
+where
+    S: Clone + Send + Sync,
+    R1: GcaRule<State = S>,
+    R2: GcaRule<State = S>,
+    P: Fn(&FieldShape, usize) -> bool + Sync,
+{
+    type State = S;
+
+    fn access(&self, ctx: &StepCtx, shape: &FieldShape, index: usize, own: &S) -> Access {
+        if (self.predicate)(shape, index) {
+            self.special.access(ctx, shape, index, own)
+        } else {
+            self.base.access(ctx, shape, index, own)
+        }
+    }
+
+    fn evolve(
+        &self,
+        ctx: &StepCtx,
+        shape: &FieldShape,
+        index: usize,
+        own: &S,
+        reads: Reads<'_, S>,
+    ) -> S {
+        if (self.predicate)(shape, index) {
+            self.special.evolve(ctx, shape, index, own, reads)
+        } else {
+            self.base.evolve(ctx, shape, index, own, reads)
+        }
+    }
+
+    fn is_active(&self, ctx: &StepCtx, shape: &FieldShape, index: usize, own: &S) -> bool {
+        if (self.predicate)(shape, index) {
+            self.special.is_active(ctx, shape, index, own)
+        } else {
+            self.base.is_active(ctx, shape, index, own)
+        }
+    }
+
+    fn name(&self) -> &str {
+        "non-uniform"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CellField, Engine};
+
+    #[allow(clippy::type_complexity)]
+    fn identity_rule() -> FnRule<
+        u32,
+        impl Fn(&StepCtx, &FieldShape, usize, &u32) -> Access + Sync,
+        impl for<'a> Fn(&StepCtx, &FieldShape, usize, &u32, Reads<'a, u32>) -> u32 + Sync,
+    > {
+        FnRule::new(
+            "identity",
+            |_c: &StepCtx, _s: &FieldShape, _i: usize, _o: &u32| Access::None,
+            |_c: &StepCtx, _s: &FieldShape, _i: usize, own: &u32, _r: Reads<'_, u32>| *own,
+        )
+    }
+
+    #[test]
+    fn fn_rule_runs() {
+        let rule = FnRule::new(
+            "double",
+            |_c: &StepCtx, _s: &FieldShape, _i: usize, _o: &u32| Access::None,
+            |_c: &StepCtx, _s: &FieldShape, _i: usize, own: &u32, _r: Reads<'_, u32>| own * 2,
+        );
+        let shape = FieldShape::new(1, 3).unwrap();
+        let mut field = CellField::from_states(shape, vec![1u32, 2, 3]).unwrap();
+        Engine::sequential().step(&mut field, &rule, 0, 0).unwrap();
+        assert_eq!(field.states(), &[2, 4, 6]);
+        assert_eq!(rule.name(), "double");
+    }
+
+    #[test]
+    fn non_uniform_dispatches_on_region() {
+        // Base: keep; special (first row): read the cell below and copy it.
+        let base = identity_rule();
+        let special = FnRule::new(
+            "pull-up",
+            |_c: &StepCtx, shape: &FieldShape, i: usize, _o: &u32| {
+                Access::One(i + shape.cols())
+            },
+            |_c: &StepCtx, _s: &FieldShape, _i: usize, _own: &u32, r: Reads<'_, u32>| {
+                *r.expect_first("pull-up")
+            },
+        );
+        let rule = NonUniform::new(base, special, |shape: &FieldShape, i: usize| {
+            shape.row(i) == 0
+        });
+
+        let shape = FieldShape::new(2, 3).unwrap();
+        let mut field =
+            CellField::from_states(shape, vec![0u32, 0, 0, 7, 8, 9]).unwrap();
+        Engine::sequential().step(&mut field, &rule, 0, 0).unwrap();
+        assert_eq!(field.states(), &[7, 8, 9, 7, 8, 9]);
+    }
+
+    #[test]
+    fn non_uniform_activity_follows_subrule() {
+        struct Lazy;
+        impl GcaRule for Lazy {
+            type State = u32;
+            fn access(&self, _c: &StepCtx, _s: &FieldShape, _i: usize, _o: &u32) -> Access {
+                Access::None
+            }
+            fn evolve(
+                &self,
+                _c: &StepCtx,
+                _s: &FieldShape,
+                _i: usize,
+                own: &u32,
+                _r: Reads<'_, u32>,
+            ) -> u32 {
+                *own
+            }
+            fn is_active(&self, _c: &StepCtx, _s: &FieldShape, _i: usize, _o: &u32) -> bool {
+                false
+            }
+        }
+        let rule = NonUniform::new(identity_rule(), Lazy, |_s: &FieldShape, i: usize| i >= 2);
+        let shape = FieldShape::new(1, 4).unwrap();
+        let mut field = CellField::new(shape, 0u32);
+        let rep = Engine::sequential().step(&mut field, &rule, 0, 0).unwrap();
+        // Cells 0, 1 run the (always-active) identity; 2, 3 run Lazy.
+        assert_eq!(rep.active_cells, 2);
+    }
+}

@@ -1,0 +1,604 @@
+use crate::metrics::CongestionHistogram;
+use crate::{Access, CellField, FieldShape, GcaError, GcaRule, Reads, StepCtx};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// How cells are evaluated within one generation.
+///
+/// Both backends implement identical semantics (reads observe the previous
+/// generation only), so the choice is purely a throughput knob. The GCA is
+/// "inherently massively parallel"; the parallel backend maps the cell field
+/// over a rayon work-stealing pool, which pays off once fields reach a few
+/// hundred thousand cells.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Evaluate cells one by one on the calling thread.
+    #[default]
+    Sequential,
+    /// Evaluate cells on the global rayon pool.
+    Parallel,
+}
+
+/// How much accounting a step performs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Instrumentation {
+    /// Fastest: only active-cell and read counters.
+    Off,
+    /// Additionally build the per-target [`CongestionHistogram`]
+    /// (Table 1's δ columns).
+    #[default]
+    Counts,
+    /// Additionally retain every cell's [`Access`] (needed to render
+    /// Figure-3-style access patterns).
+    Trace,
+}
+
+/// The outcome of one synchronous generation.
+#[derive(Clone, Debug)]
+pub struct StepReport {
+    /// The control context the generation ran under.
+    pub ctx: StepCtx,
+    /// Cells that performed a calculation (see [`GcaRule::is_active`]).
+    pub active_cells: usize,
+    /// Total global reads issued by all cells.
+    pub total_reads: u64,
+    /// Per-target read counts; present under
+    /// [`Instrumentation::Counts`] and [`Instrumentation::Trace`].
+    pub congestion: Option<CongestionHistogram>,
+    /// Every cell's access; present under [`Instrumentation::Trace`].
+    pub accesses: Option<Vec<Access>>,
+}
+
+impl StepReport {
+    /// Maximum congestion δ of the generation (0 when not instrumented).
+    pub fn max_congestion(&self) -> u32 {
+        self.congestion
+            .as_ref()
+            .map(CongestionHistogram::max_congestion)
+            .unwrap_or(0)
+    }
+}
+
+/// Executes GCA generations over a [`CellField`].
+///
+/// The engine is deliberately small: it owns a global generation counter and
+/// the execution/instrumentation configuration, and exposes a single
+/// operation — [`Engine::step`] — that advances a field by exactly one
+/// synchronous generation under a caller-supplied rule and phase tag.
+/// Algorithm structure (which rule runs when, how many sub-generations, when
+/// to stop) lives in the algorithm crates, mirroring the paper's split
+/// between the per-cell data path and the central state machine.
+///
+/// ```
+/// use gca_engine::combinators::FnRule;
+/// use gca_engine::{Access, CellField, Engine, FieldShape, Reads, StepCtx};
+///
+/// // A one-handed rule: every cell copies its right neighbor (wrapping).
+/// let rotate = FnRule::new(
+///     "rotate",
+///     |_c: &StepCtx, shape: &FieldShape, i: usize, _own: &u32| {
+///         Access::One((i + 1) % shape.len())
+///     },
+///     |_c: &StepCtx, _s: &FieldShape, _i: usize, _own: &u32, r: Reads<'_, u32>| {
+///         *r.expect_first("rotate")
+///     },
+/// );
+///
+/// let shape = FieldShape::new(1, 4)?;
+/// let mut field = CellField::from_states(shape, vec![10u32, 20, 30, 40])?;
+/// let mut engine = Engine::sequential();
+/// let report = engine.step(&mut field, &rotate, 0, 0)?;
+/// assert_eq!(field.states(), &[20, 30, 40, 10]);
+/// assert_eq!(report.total_reads, 4);
+/// # Ok::<(), gca_engine::GcaError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Engine {
+    backend: Backend,
+    instrumentation: Instrumentation,
+    generation: u64,
+}
+
+impl Engine {
+    /// A sequential engine with congestion counting (the default).
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// A sequential engine.
+    pub fn sequential() -> Self {
+        Engine {
+            backend: Backend::Sequential,
+            ..Engine::default()
+        }
+    }
+
+    /// A rayon-parallel engine.
+    pub fn parallel() -> Self {
+        Engine {
+            backend: Backend::Parallel,
+            ..Engine::default()
+        }
+    }
+
+    /// Sets the instrumentation level.
+    #[must_use]
+    pub fn with_instrumentation(mut self, instrumentation: Instrumentation) -> Self {
+        self.instrumentation = instrumentation;
+        self
+    }
+
+    /// The configured backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The configured instrumentation level.
+    pub fn instrumentation(&self) -> Instrumentation {
+        self.instrumentation
+    }
+
+    /// Number of generations executed so far.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Resets the generation counter (e.g. between experiment repetitions).
+    pub fn reset(&mut self) {
+        self.generation = 0;
+    }
+
+    /// Executes one synchronous generation of `rule` over `field`.
+    ///
+    /// `phase` and `subgeneration` are forwarded to the rule via [`StepCtx`];
+    /// the engine neither interprets nor constrains them.
+    pub fn step<R: GcaRule>(
+        &mut self,
+        field: &mut CellField<R::State>,
+        rule: &R,
+        phase: u32,
+        subgeneration: u32,
+    ) -> Result<StepReport, GcaError> {
+        let ctx = StepCtx {
+            generation: self.generation,
+            phase,
+            subgeneration,
+        };
+        let shape = *field.shape();
+        let instrumentation = self.instrumentation;
+        let (prev, next) = field.buffers();
+
+        let report = match self.backend {
+            Backend::Sequential => {
+                step_sequential(rule, &ctx, &shape, prev, next, instrumentation)
+            }
+            Backend::Parallel => step_parallel(rule, &ctx, &shape, prev, next, instrumentation),
+        }?;
+
+        field.commit();
+        self.generation += 1;
+        Ok(report)
+    }
+}
+
+#[inline]
+fn resolve<'a, S>(
+    acc: Access,
+    prev: &'a [S],
+    cell: usize,
+    ctx: &StepCtx,
+) -> Result<Reads<'a, S>, GcaError> {
+    let fetch = |t: usize| -> Result<&'a S, GcaError> {
+        prev.get(t).ok_or(GcaError::PointerOutOfRange {
+            cell,
+            target: t,
+            len: prev.len(),
+            generation: ctx.generation,
+        })
+    };
+    Ok(match acc {
+        Access::None => Reads::none(),
+        Access::One(t) => Reads::one(fetch(t)?),
+        Access::Two(t, u) => Reads::two(fetch(t)?, fetch(u)?),
+    })
+}
+
+fn step_sequential<R: GcaRule>(
+    rule: &R,
+    ctx: &StepCtx,
+    shape: &FieldShape,
+    prev: &[R::State],
+    next: &mut [R::State],
+    instrumentation: Instrumentation,
+) -> Result<StepReport, GcaError> {
+    let len = prev.len();
+    let mut active = 0usize;
+    let mut total_reads = 0u64;
+    let mut accesses = match instrumentation {
+        Instrumentation::Off => None,
+        _ => Some(Vec::with_capacity(len)),
+    };
+
+    for i in 0..len {
+        let own = &prev[i];
+        let acc = rule.access(ctx, shape, i, own);
+        let reads = resolve(acc, prev, i, ctx)?;
+        next[i] = rule.evolve(ctx, shape, i, own, reads);
+        if rule.is_active(ctx, shape, i, own) {
+            active += 1;
+        }
+        total_reads += acc.arity() as u64;
+        if let Some(v) = accesses.as_mut() {
+            v.push(acc);
+        }
+    }
+
+    Ok(assemble_report(
+        *ctx,
+        active,
+        total_reads,
+        accesses,
+        len,
+        instrumentation,
+    ))
+}
+
+fn step_parallel<R: GcaRule>(
+    rule: &R,
+    ctx: &StepCtx,
+    shape: &FieldShape,
+    prev: &[R::State],
+    next: &mut [R::State],
+    instrumentation: Instrumentation,
+) -> Result<StepReport, GcaError> {
+    let len = prev.len();
+    match instrumentation {
+        Instrumentation::Off => {
+            let active = AtomicUsize::new(0);
+            let total_reads = AtomicU64::new(0);
+            next.par_iter_mut().enumerate().try_for_each(
+                |(i, slot)| -> Result<(), GcaError> {
+                    let own = &prev[i];
+                    let acc = rule.access(ctx, shape, i, own);
+                    let reads = resolve(acc, prev, i, ctx)?;
+                    *slot = rule.evolve(ctx, shape, i, own, reads);
+                    if rule.is_active(ctx, shape, i, own) {
+                        active.fetch_add(1, Ordering::Relaxed);
+                    }
+                    total_reads.fetch_add(acc.arity() as u64, Ordering::Relaxed);
+                    Ok(())
+                },
+            )?;
+            Ok(assemble_report(
+                *ctx,
+                active.into_inner(),
+                total_reads.into_inner(),
+                None,
+                len,
+                instrumentation,
+            ))
+        }
+        _ => {
+            let per_cell: Result<Vec<(Access, bool)>, GcaError> = next
+                .par_iter_mut()
+                .enumerate()
+                .map(|(i, slot)| {
+                    let own = &prev[i];
+                    let acc = rule.access(ctx, shape, i, own);
+                    let reads = resolve(acc, prev, i, ctx)?;
+                    *slot = rule.evolve(ctx, shape, i, own, reads);
+                    Ok((acc, rule.is_active(ctx, shape, i, own)))
+                })
+                .collect();
+            let per_cell = per_cell?;
+            let active = per_cell.iter().filter(|(_, a)| *a).count();
+            let total_reads: u64 = per_cell.iter().map(|(a, _)| a.arity() as u64).sum();
+            let accesses: Vec<Access> = per_cell.into_iter().map(|(a, _)| a).collect();
+            Ok(assemble_report(
+                *ctx,
+                active,
+                total_reads,
+                Some(accesses),
+                len,
+                instrumentation,
+            ))
+        }
+    }
+}
+
+fn assemble_report(
+    ctx: StepCtx,
+    active_cells: usize,
+    total_reads: u64,
+    accesses: Option<Vec<Access>>,
+    len: usize,
+    instrumentation: Instrumentation,
+) -> StepReport {
+    let congestion = accesses
+        .as_ref()
+        .map(|a| CongestionHistogram::from_accesses(len, a.iter()));
+    let keep_trace = matches!(instrumentation, Instrumentation::Trace);
+    StepReport {
+        ctx,
+        active_cells,
+        total_reads,
+        congestion,
+        accesses: if keep_trace { accesses } else { None },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Rotation rule: cell i takes the value of cell i+1 (wrapping).
+    struct Rotate;
+
+    impl GcaRule for Rotate {
+        type State = u32;
+
+        fn access(&self, _ctx: &StepCtx, shape: &FieldShape, index: usize, _own: &u32) -> Access {
+            Access::One((index + 1) % shape.len())
+        }
+
+        fn evolve(
+            &self,
+            _ctx: &StepCtx,
+            _shape: &FieldShape,
+            _index: usize,
+            _own: &u32,
+            reads: Reads<'_, u32>,
+        ) -> u32 {
+            *reads.expect_first("rotate")
+        }
+
+        fn name(&self) -> &str {
+            "rotate"
+        }
+    }
+
+    /// Two-handed rule: cell i sums cells 0 and the last cell.
+    struct SumEnds;
+
+    impl GcaRule for SumEnds {
+        type State = u32;
+
+        fn access(&self, _ctx: &StepCtx, shape: &FieldShape, _index: usize, _own: &u32) -> Access {
+            Access::Two(0, shape.len() - 1)
+        }
+
+        fn evolve(
+            &self,
+            _ctx: &StepCtx,
+            _shape: &FieldShape,
+            _index: usize,
+            _own: &u32,
+            reads: Reads<'_, u32>,
+        ) -> u32 {
+            reads.first().unwrap() + reads.second().unwrap()
+        }
+    }
+
+    /// Rule with a deliberately out-of-range pointer at cell 2.
+    struct Broken;
+
+    impl GcaRule for Broken {
+        type State = u32;
+
+        fn access(&self, _ctx: &StepCtx, shape: &FieldShape, index: usize, _own: &u32) -> Access {
+            if index == 2 {
+                Access::One(shape.len() + 10)
+            } else {
+                Access::None
+            }
+        }
+
+        fn evolve(
+            &self,
+            _ctx: &StepCtx,
+            _shape: &FieldShape,
+            _index: usize,
+            own: &u32,
+            _reads: Reads<'_, u32>,
+        ) -> u32 {
+            *own
+        }
+    }
+
+    /// Identity rule that reports only even cells as active.
+    struct EvenActive;
+
+    impl GcaRule for EvenActive {
+        type State = u32;
+
+        fn access(&self, _ctx: &StepCtx, _shape: &FieldShape, _index: usize, _own: &u32) -> Access {
+            Access::None
+        }
+
+        fn evolve(
+            &self,
+            _ctx: &StepCtx,
+            _shape: &FieldShape,
+            _index: usize,
+            own: &u32,
+            _reads: Reads<'_, u32>,
+        ) -> u32 {
+            *own
+        }
+
+        fn is_active(&self, _ctx: &StepCtx, _shape: &FieldShape, index: usize, _own: &u32) -> bool {
+            index.is_multiple_of(2)
+        }
+    }
+
+    fn field(values: &[u32]) -> CellField<u32> {
+        let shape = FieldShape::new(1, values.len()).unwrap();
+        CellField::from_states(shape, values.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn rotate_one_step() {
+        let mut f = field(&[10, 20, 30, 40]);
+        let mut e = Engine::sequential();
+        let r = e.step(&mut f, &Rotate, 0, 0).unwrap();
+        assert_eq!(f.states(), &[20, 30, 40, 10]);
+        assert_eq!(r.active_cells, 4);
+        assert_eq!(r.total_reads, 4);
+        assert_eq!(e.generation(), 1);
+    }
+
+    #[test]
+    fn rotate_full_cycle_restores() {
+        let init = [1u32, 2, 3, 4, 5];
+        let mut f = field(&init);
+        let mut e = Engine::sequential();
+        for _ in 0..5 {
+            e.step(&mut f, &Rotate, 0, 0).unwrap();
+        }
+        assert_eq!(f.states(), &init);
+    }
+
+    #[test]
+    fn synchronous_semantics_not_in_place() {
+        // If updates leaked within a generation, a rotate would smear one
+        // value across the field instead of rotating.
+        let mut f = field(&[1, 2, 3]);
+        let mut e = Engine::sequential();
+        e.step(&mut f, &Rotate, 0, 0).unwrap();
+        assert_eq!(f.states(), &[2, 3, 1]);
+    }
+
+    #[test]
+    fn two_handed_rule() {
+        let mut f = field(&[5, 0, 0, 7]);
+        let mut e = Engine::sequential();
+        let r = e.step(&mut f, &SumEnds, 0, 0).unwrap();
+        assert_eq!(f.states(), &[12, 12, 12, 12]);
+        assert_eq!(r.total_reads, 8);
+        let h = r.congestion.unwrap();
+        assert_eq!(h.reads_of(0), 4);
+        assert_eq!(h.reads_of(3), 4);
+        assert_eq!(h.max_congestion(), 4);
+    }
+
+    #[test]
+    fn out_of_range_pointer_is_reported() {
+        let mut f = field(&[0, 0, 0, 0]);
+        let mut e = Engine::sequential();
+        let err = e.step(&mut f, &Broken, 3, 0).unwrap_err();
+        assert_eq!(
+            err,
+            GcaError::PointerOutOfRange {
+                cell: 2,
+                target: 14,
+                len: 4,
+                generation: 0
+            }
+        );
+    }
+
+    #[test]
+    fn out_of_range_pointer_parallel() {
+        let mut f = field(&[0, 0, 0, 0]);
+        let mut e = Engine::parallel();
+        assert!(e.step(&mut f, &Broken, 0, 0).is_err());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let init: Vec<u32> = (0..257).map(|i| i * 3 + 1).collect();
+        let mut fs = field(&init);
+        let mut fp = field(&init);
+        let mut es = Engine::sequential();
+        let mut ep = Engine::parallel();
+        for gen in 0..10 {
+            let rs = es.step(&mut fs, &Rotate, gen, 0).unwrap();
+            let rp = ep.step(&mut fp, &Rotate, gen, 0).unwrap();
+            assert_eq!(fs.states(), fp.states());
+            assert_eq!(rs.active_cells, rp.active_cells);
+            assert_eq!(rs.total_reads, rp.total_reads);
+            assert_eq!(
+                rs.congestion.as_ref().unwrap(),
+                rp.congestion.as_ref().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn instrumentation_off_skips_histogram() {
+        let mut f = field(&[1, 2, 3]);
+        let mut e = Engine::sequential().with_instrumentation(Instrumentation::Off);
+        let r = e.step(&mut f, &Rotate, 0, 0).unwrap();
+        assert!(r.congestion.is_none());
+        assert!(r.accesses.is_none());
+        assert_eq!(r.total_reads, 3);
+        assert_eq!(r.max_congestion(), 0);
+    }
+
+    #[test]
+    fn instrumentation_off_parallel_counts() {
+        let mut f = field(&[1, 2, 3, 4]);
+        let mut e = Engine::parallel().with_instrumentation(Instrumentation::Off);
+        let r = e.step(&mut f, &Rotate, 0, 0).unwrap();
+        assert_eq!(r.active_cells, 4);
+        assert_eq!(r.total_reads, 4);
+    }
+
+    #[test]
+    fn trace_records_accesses() {
+        let mut f = field(&[1, 2, 3]);
+        let mut e = Engine::sequential().with_instrumentation(Instrumentation::Trace);
+        let r = e.step(&mut f, &Rotate, 0, 0).unwrap();
+        let acc = r.accesses.unwrap();
+        assert_eq!(acc, vec![Access::One(1), Access::One(2), Access::One(0)]);
+    }
+
+    #[test]
+    fn counts_mode_drops_trace_keeps_histogram() {
+        let mut f = field(&[1, 2, 3]);
+        let mut e = Engine::sequential().with_instrumentation(Instrumentation::Counts);
+        let r = e.step(&mut f, &Rotate, 0, 0).unwrap();
+        assert!(r.congestion.is_some());
+        assert!(r.accesses.is_none());
+    }
+
+    #[test]
+    fn active_cell_counting_respects_rule() {
+        let mut f = field(&[1, 2, 3, 4, 5]);
+        let mut e = Engine::sequential();
+        let r = e.step(&mut f, &EvenActive, 0, 0).unwrap();
+        assert_eq!(r.active_cells, 3); // cells 0, 2, 4
+    }
+
+    #[test]
+    fn phase_and_subgeneration_forwarded() {
+        let mut f = field(&[0]);
+        let mut e = Engine::sequential();
+        let r = e.step(&mut f, &EvenActive, 9, 4).unwrap();
+        assert_eq!(r.ctx.phase, 9);
+        assert_eq!(r.ctx.subgeneration, 4);
+        assert_eq!(r.ctx.generation, 0);
+        let r2 = e.step(&mut f, &EvenActive, 9, 5).unwrap();
+        assert_eq!(r2.ctx.generation, 1);
+    }
+
+    #[test]
+    fn reset_clears_counter() {
+        let mut f = field(&[0]);
+        let mut e = Engine::sequential();
+        e.step(&mut f, &EvenActive, 0, 0).unwrap();
+        assert_eq!(e.generation(), 1);
+        e.reset();
+        assert_eq!(e.generation(), 0);
+    }
+
+    #[test]
+    fn empty_field_step() {
+        let shape = FieldShape::new(0, 3).unwrap();
+        let mut f: CellField<u32> = CellField::new(shape, 0);
+        let mut e = Engine::sequential();
+        let r = e.step(&mut f, &Rotate, 0, 0).unwrap();
+        assert_eq!(r.active_cells, 0);
+        assert_eq!(r.total_reads, 0);
+    }
+}

@@ -1,0 +1,94 @@
+use std::fmt;
+
+/// Errors surfaced by the GCA engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GcaError {
+    /// A rule produced a pointer outside the cell field.
+    PointerOutOfRange {
+        /// Cell whose rule produced the pointer.
+        cell: usize,
+        /// The out-of-range target.
+        target: usize,
+        /// Field size.
+        len: usize,
+        /// Generation counter at the time of the violation.
+        generation: u64,
+    },
+    /// Requested field shape cannot be addressed by the engine's word type.
+    FieldTooLarge {
+        /// Requested rows.
+        rows: usize,
+        /// Requested columns.
+        cols: usize,
+    },
+    /// Initial contents handed to [`crate::CellField::from_states`] did not
+    /// match the shape.
+    ShapeMismatch {
+        /// Cells implied by the shape.
+        expected: usize,
+        /// Cells provided.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for GcaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GcaError::PointerOutOfRange {
+                cell,
+                target,
+                len,
+                generation,
+            } => write!(
+                f,
+                "cell {cell} addressed out-of-range cell {target} \
+                 (field has {len} cells) in generation {generation}"
+            ),
+            GcaError::FieldTooLarge { rows, cols } => write!(
+                f,
+                "field shape {rows}x{cols} exceeds the addressable cell range"
+            ),
+            GcaError::ShapeMismatch { expected, actual } => write!(
+                f,
+                "initial state count {actual} does not match field size {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GcaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_pointer_out_of_range() {
+        let e = GcaError::PointerOutOfRange {
+            cell: 3,
+            target: 99,
+            len: 20,
+            generation: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains("cell 3"));
+        assert!(s.contains("99"));
+        assert!(s.contains("generation 7"));
+    }
+
+    #[test]
+    fn display_field_too_large() {
+        let e = GcaError::FieldTooLarge { rows: 1, cols: 2 };
+        assert!(e.to_string().contains("1x2"));
+    }
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = GcaError::ShapeMismatch {
+            expected: 6,
+            actual: 5,
+        };
+        assert!(e.to_string().contains('6'));
+        assert!(e.to_string().contains('5'));
+    }
+}

@@ -1,0 +1,172 @@
+use crate::{FieldShape, GcaError};
+
+/// A double-buffered field of cell states.
+///
+/// The *current* buffer is what rules read; [`crate::Engine::step`] writes
+/// the next generation into the scratch buffer and swaps. Double buffering
+/// is what realizes the CA/GCA synchronous-update semantics in software: a
+/// generation's reads can never observe a same-generation write, regardless
+/// of evaluation order.
+#[derive(Clone, Debug)]
+pub struct CellField<S> {
+    shape: FieldShape,
+    current: Vec<S>,
+    scratch: Vec<S>,
+}
+
+impl<S: Clone> CellField<S> {
+    /// Creates a field with every cell in `initial` state.
+    pub fn new(shape: FieldShape, initial: S) -> Self {
+        let len = shape.len();
+        CellField {
+            shape,
+            current: vec![initial.clone(); len],
+            scratch: vec![initial; len],
+        }
+    }
+
+    /// Creates a field from explicit per-cell states (row-major).
+    pub fn from_states(shape: FieldShape, states: Vec<S>) -> Result<Self, GcaError> {
+        if states.len() != shape.len() {
+            return Err(GcaError::ShapeMismatch {
+                expected: shape.len(),
+                actual: states.len(),
+            });
+        }
+        let scratch = states.clone();
+        Ok(CellField {
+            shape,
+            current: states,
+            scratch,
+        })
+    }
+
+    /// Creates a field by evaluating `init` at every linear index.
+    pub fn from_fn(shape: FieldShape, mut init: impl FnMut(usize) -> S) -> Self {
+        let states: Vec<S> = (0..shape.len()).map(&mut init).collect();
+        let scratch = states.clone();
+        CellField {
+            shape,
+            current: states,
+            scratch,
+        }
+    }
+
+    /// The field's shape.
+    #[inline]
+    pub fn shape(&self) -> &FieldShape {
+        &self.shape
+    }
+
+    /// Number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.current.len()
+    }
+
+    /// `true` iff the field has no cells.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.current.is_empty()
+    }
+
+    /// Read-only view of the current generation (row-major).
+    #[inline]
+    pub fn states(&self) -> &[S] {
+        &self.current
+    }
+
+    /// The current state of one cell.
+    #[inline]
+    pub fn get(&self, index: usize) -> &S {
+        &self.current[index]
+    }
+
+    /// The current state of the cell at `(row, col)`.
+    #[inline]
+    pub fn at(&self, row: usize, col: usize) -> &S {
+        &self.current[self.shape.index(row, col)]
+    }
+
+    /// Overwrites one cell of the *current* generation. Intended for
+    /// initialization and tests; during a run, all updates should flow
+    /// through the engine so that synchrony is preserved.
+    pub fn set(&mut self, index: usize, state: S) {
+        self.current[index] = state;
+    }
+
+    /// Splits into `(previous, next)` buffers for one generation: rules read
+    /// `previous`, the engine fills `next`. Call [`CellField::commit`]
+    /// afterwards to make `next` current.
+    pub(crate) fn buffers(&mut self) -> (&[S], &mut [S]) {
+        (&self.current, &mut self.scratch)
+    }
+
+    /// Swaps the buffers after a completed generation.
+    pub(crate) fn commit(&mut self) {
+        std::mem::swap(&mut self.current, &mut self.scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(rows: usize, cols: usize) -> FieldShape {
+        FieldShape::new(rows, cols).unwrap()
+    }
+
+    #[test]
+    fn new_fills_uniformly() {
+        let f = CellField::new(shape(2, 3), 7u32);
+        assert_eq!(f.len(), 6);
+        assert!(f.states().iter().all(|&s| s == 7));
+    }
+
+    #[test]
+    fn from_states_checks_len() {
+        assert!(CellField::from_states(shape(2, 2), vec![1u32; 4]).is_ok());
+        let err = CellField::from_states(shape(2, 2), vec![1u32; 5]).unwrap_err();
+        assert_eq!(
+            err,
+            GcaError::ShapeMismatch {
+                expected: 4,
+                actual: 5
+            }
+        );
+    }
+
+    #[test]
+    fn from_fn_indexes() {
+        let f = CellField::from_fn(shape(2, 3), |i| i as u32 * 10);
+        assert_eq!(f.get(4), &40);
+        assert_eq!(f.at(1, 1), &40);
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut f = CellField::new(shape(1, 3), 0u32);
+        f.set(2, 99);
+        assert_eq!(f.get(2), &99);
+        assert_eq!(f.get(0), &0);
+    }
+
+    #[test]
+    fn buffers_and_commit_swap() {
+        let mut f = CellField::new(shape(1, 2), 1u32);
+        {
+            let (prev, next) = f.buffers();
+            assert_eq!(prev, &[1, 1]);
+            next[0] = 5;
+            next[1] = 6;
+        }
+        f.commit();
+        assert_eq!(f.states(), &[5, 6]);
+    }
+
+    #[test]
+    fn empty_field() {
+        let f = CellField::new(shape(0, 4), 0u32);
+        assert!(f.is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+use crate::GcaError;
+
+/// The shape of a rectangular cell field and the paper's index notation.
+///
+/// The paper arranges cells in a `rows × cols` matrix addressed by a single
+/// **linear index** `0 .. rows·cols - 1` with
+///
+/// * `row(index) = index / cols` (the paper's `j`),
+/// * `col(index) = index mod cols` (the paper's `i`),
+/// * `index(row, col) = row · cols + col` (the paper's `D<j>[i]`).
+///
+/// For Hirschberg's algorithm the shape is `(n+1) × n`: the first `n` rows
+/// form the square field `D□` and the extra bottom row `D<n>` (`D_N`) stores
+/// intermediate results. That specialization lives in the algorithm crate;
+/// this type is the shared, shape-agnostic index arithmetic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FieldShape {
+    rows: usize,
+    cols: usize,
+}
+
+impl FieldShape {
+    /// Creates a `rows × cols` shape.
+    ///
+    /// Fails if the cell count would not fit the engine's [`crate::Word`]
+    /// pointer arithmetic (node numbers must stay below the ∞ sentinel) or
+    /// would overflow `usize`.
+    pub fn new(rows: usize, cols: usize) -> Result<Self, GcaError> {
+        let len = rows
+            .checked_mul(cols)
+            .ok_or(GcaError::FieldTooLarge { rows, cols })?;
+        if len >= crate::INFINITY as usize {
+            return Err(GcaError::FieldTooLarge { rows, cols });
+        }
+        Ok(FieldShape { rows, cols })
+    }
+
+    /// Number of rows (the paper's `n + 1` for Hirschberg).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (the paper's `n`).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// `true` iff the field has no cells.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The paper's `row(index)`.
+    #[inline]
+    pub fn row(&self, index: usize) -> usize {
+        debug_assert!(index < self.len());
+        index / self.cols
+    }
+
+    /// The paper's `col(index)`.
+    #[inline]
+    pub fn col(&self, index: usize) -> usize {
+        debug_assert!(index < self.len());
+        index % self.cols
+    }
+
+    /// The paper's `D<row>[col]` linearization.
+    #[inline]
+    pub fn index(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.rows && col < self.cols);
+        row * self.cols + col
+    }
+
+    /// Checked linearization for rule code computing data-dependent targets.
+    #[inline]
+    pub fn try_index(&self, row: usize, col: usize) -> Option<usize> {
+        if row < self.rows && col < self.cols {
+            Some(row * self.cols + col)
+        } else {
+            None
+        }
+    }
+
+    /// Iterates all linear indices of a row.
+    pub fn row_indices(&self, row: usize) -> std::ops::Range<usize> {
+        debug_assert!(row < self.rows);
+        let start = row * self.cols;
+        start..start + self.cols
+    }
+
+    /// Iterates all linear indices of a column.
+    pub fn col_indices(&self, col: usize) -> impl Iterator<Item = usize> + '_ {
+        debug_assert!(col < self.cols);
+        (0..self.rows).map(move |r| r * self.cols + col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_notation_n4() {
+        // The (n+1)×n field for n = 4 from Figure 3: 5 rows of 4 cells.
+        let s = FieldShape::new(5, 4).unwrap();
+        assert_eq!(s.len(), 20);
+        assert_eq!(s.row(0), 0);
+        assert_eq!(s.col(0), 0);
+        assert_eq!(s.row(7), 1);
+        assert_eq!(s.col(7), 3);
+        // The last row (D_N) starts at linear index n² = 16.
+        assert_eq!(s.index(4, 0), 16);
+        assert_eq!(s.row(19), 4);
+    }
+
+    #[test]
+    fn index_round_trip() {
+        let s = FieldShape::new(7, 3).unwrap();
+        for i in 0..s.len() {
+            assert_eq!(s.index(s.row(i), s.col(i)), i);
+        }
+    }
+
+    #[test]
+    fn try_index_bounds() {
+        let s = FieldShape::new(3, 3).unwrap();
+        assert_eq!(s.try_index(2, 2), Some(8));
+        assert_eq!(s.try_index(3, 0), None);
+        assert_eq!(s.try_index(0, 3), None);
+    }
+
+    #[test]
+    fn row_and_col_iterators() {
+        let s = FieldShape::new(3, 4).unwrap();
+        assert_eq!(s.row_indices(1).collect::<Vec<_>>(), vec![4, 5, 6, 7]);
+        assert_eq!(s.col_indices(2).collect::<Vec<_>>(), vec![2, 6, 10]);
+    }
+
+    #[test]
+    fn rejects_overflowing_shapes() {
+        assert!(FieldShape::new(usize::MAX, 2).is_err());
+        assert!(FieldShape::new(1 << 20, 1 << 20).is_err());
+    }
+
+    #[test]
+    fn empty_shape() {
+        let s = FieldShape::new(0, 5).unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

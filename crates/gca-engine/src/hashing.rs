@@ -1,0 +1,300 @@
+//! Universal hashing of cells onto memory modules.
+//!
+//! The paper (Section 1): congestion *"can either be large because of
+//! concurrent reading … or because of an unfortunate mapping of memory
+//! elements onto cells. … Unfortunate mappings can be prevented either by
+//! choosing an appropriate mapping in case where the neighbour relations are
+//! known beforehand, or by applying universal hashing. Universal hashing
+//! presents two difficulties. First, the owner relationship may get lost,
+//! second the congestion can only get down to a value of O(log p) for hash
+//! function classes that can be easily implemented."*
+//!
+//! This module provides the multiplicative-congruential universal family
+//! `h_{a,b}(x) = ((a·x + b) mod P) mod m` (P = 2⁶¹ − 1), deterministic
+//! seeding via SplitMix64, and [`module_congestion`] to measure how an
+//! access pattern distributes over `m` memory modules under a
+//! [`ModuleMapping`]. The benchmarks compare the direct (owner-preserving)
+//! mapping against hashed placements and verify the `O(log p)` expectation
+//! empirically.
+
+use crate::Access;
+
+/// The Mersenne prime 2⁶¹ − 1 used as the field of the hash family.
+pub const HASH_PRIME: u64 = (1 << 61) - 1;
+
+/// A member of the universal family `h_{a,b}(x) = ((a·x + b) mod P) mod m`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UniversalHash {
+    a: u64,
+    b: u64,
+    modulus: u64,
+}
+
+impl UniversalHash {
+    /// Constructs with explicit coefficients.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= a < P`, `b < P` and `modulus > 0`.
+    pub fn with_coefficients(a: u64, b: u64, modulus: u64) -> Self {
+        assert!((1..HASH_PRIME).contains(&a), "need 1 <= a < P");
+        assert!(b < HASH_PRIME, "need b < P");
+        assert!(modulus > 0, "modulus must be positive");
+        UniversalHash { a, b, modulus }
+    }
+
+    /// Draws a pseudo-random member of the family, deterministically in
+    /// `seed` (SplitMix64; no external RNG dependency).
+    pub fn from_seed(seed: u64, modulus: u64) -> Self {
+        let mut s = SplitMix64::new(seed);
+        let a = s.next_below(HASH_PRIME - 1) + 1;
+        let b = s.next_below(HASH_PRIME);
+        UniversalHash::with_coefficients(a, b, modulus)
+    }
+
+    /// The number of modules `m`.
+    pub fn modulus(&self) -> u64 {
+        self.modulus
+    }
+
+    /// Evaluates the hash.
+    #[inline]
+    pub fn apply(&self, x: usize) -> usize {
+        let v = (u128::from(self.a) * (x as u128) + u128::from(self.b)) % u128::from(HASH_PRIME);
+        (v % u128::from(self.modulus)) as usize
+    }
+}
+
+/// Deterministic 64-bit generator (public-domain SplitMix64 constants).
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Unbiased-enough sampling below `bound` for experiment seeding.
+    fn next_below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// Maps cell indices onto memory modules.
+pub trait ModuleMapping {
+    /// The module storing cell `cell`.
+    fn module_of(&self, cell: usize) -> usize;
+    /// Number of modules.
+    fn modules(&self) -> usize;
+}
+
+/// The owner-preserving direct mapping: cell `c` lives in module
+/// `c mod m` (round-robin interleaving, the "appropriate mapping chosen
+/// beforehand" of the paper).
+#[derive(Clone, Copy, Debug)]
+pub struct InterleavedMapping {
+    modules: usize,
+}
+
+impl InterleavedMapping {
+    /// Creates a mapping over `modules` modules.
+    pub fn new(modules: usize) -> Self {
+        assert!(modules > 0, "need at least one module");
+        InterleavedMapping { modules }
+    }
+}
+
+impl ModuleMapping for InterleavedMapping {
+    fn module_of(&self, cell: usize) -> usize {
+        cell % self.modules
+    }
+
+    fn modules(&self) -> usize {
+        self.modules
+    }
+}
+
+/// Contiguous block mapping: cells `[k·B, (k+1)·B)` live in module `k` —
+/// the canonical "unfortunate mapping" when an algorithm's readers all hit
+/// the same region (e.g. the first column of the Hirschberg field).
+#[derive(Clone, Copy, Debug)]
+pub struct BlockMapping {
+    cells: usize,
+    modules: usize,
+    block: usize,
+}
+
+impl BlockMapping {
+    /// Creates a mapping of `cells` cells over `modules` modules.
+    pub fn new(cells: usize, modules: usize) -> Self {
+        assert!(modules > 0, "need at least one module");
+        BlockMapping {
+            cells,
+            modules,
+            block: cells.div_ceil(modules).max(1),
+        }
+    }
+}
+
+impl ModuleMapping for BlockMapping {
+    fn module_of(&self, cell: usize) -> usize {
+        debug_assert!(cell < self.cells.max(1));
+        (cell / self.block).min(self.modules - 1)
+    }
+
+    fn modules(&self) -> usize {
+        self.modules
+    }
+}
+
+/// Universal-hash placement of cells onto modules.
+#[derive(Clone, Copy, Debug)]
+pub struct HashedMapping {
+    hash: UniversalHash,
+}
+
+impl HashedMapping {
+    /// Creates a hashed mapping onto `modules` modules, seeded.
+    pub fn new(modules: usize, seed: u64) -> Self {
+        HashedMapping {
+            hash: UniversalHash::from_seed(seed, modules as u64),
+        }
+    }
+}
+
+impl ModuleMapping for HashedMapping {
+    fn module_of(&self, cell: usize) -> usize {
+        self.hash.apply(cell)
+    }
+
+    fn modules(&self) -> usize {
+        self.hash.modulus() as usize
+    }
+}
+
+/// The per-module read counts an access pattern induces under `mapping`.
+///
+/// The maximum entry bounds the duration of the communication phase in a
+/// machine with one port per memory module.
+pub fn module_congestion<M: ModuleMapping>(mapping: &M, accesses: &[Access]) -> Vec<u32> {
+    let mut counts = vec![0u32; mapping.modules()];
+    for a in accesses {
+        for t in a.targets() {
+            counts[mapping.module_of(t)] += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_in_seed() {
+        let h1 = UniversalHash::from_seed(7, 16);
+        let h2 = UniversalHash::from_seed(7, 16);
+        let h3 = UniversalHash::from_seed(8, 16);
+        for x in 0..100 {
+            assert_eq!(h1.apply(x), h2.apply(x));
+        }
+        assert!((0..100).any(|x| h1.apply(x) != h3.apply(x)));
+    }
+
+    #[test]
+    fn hash_stays_below_modulus() {
+        let h = UniversalHash::from_seed(3, 10);
+        for x in 0..1000 {
+            assert!(h.apply(x) < 10);
+        }
+    }
+
+    #[test]
+    fn hash_roughly_uniform() {
+        let m = 8usize;
+        let h = UniversalHash::from_seed(42, m as u64);
+        let mut counts = vec![0usize; m];
+        let samples = 8000;
+        for x in 0..samples {
+            counts[h.apply(x)] += 1;
+        }
+        let expect = samples / m;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expect / 2 && c < expect * 2,
+                "module {i} has {c} of {samples} samples (expected ~{expect})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= a < P")]
+    fn rejects_zero_a() {
+        let _ = UniversalHash::with_coefficients(0, 0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus must be positive")]
+    fn rejects_zero_modulus() {
+        let _ = UniversalHash::with_coefficients(1, 0, 0);
+    }
+
+    #[test]
+    fn interleaved_mapping() {
+        let m = InterleavedMapping::new(4);
+        assert_eq!(m.module_of(0), 0);
+        assert_eq!(m.module_of(5), 1);
+        assert_eq!(m.modules(), 4);
+    }
+
+    #[test]
+    fn block_mapping() {
+        let m = BlockMapping::new(10, 3); // blocks of 4: [0..4) [4..8) [8..10)
+        assert_eq!(m.module_of(0), 0);
+        assert_eq!(m.module_of(3), 0);
+        assert_eq!(m.module_of(4), 1);
+        assert_eq!(m.module_of(9), 2);
+    }
+
+    #[test]
+    fn block_mapping_more_modules_than_cells() {
+        let m = BlockMapping::new(2, 5);
+        assert_eq!(m.module_of(0), 0);
+        assert_eq!(m.module_of(1), 1);
+    }
+
+    #[test]
+    fn module_congestion_counts() {
+        let mapping = InterleavedMapping::new(2);
+        let accesses = [Access::One(0), Access::One(2), Access::Two(1, 3)];
+        // Cells 0,2 -> module 0; cells 1,3 -> module 1.
+        let c = module_congestion(&mapping, &accesses);
+        assert_eq!(c, vec![2, 2]);
+    }
+
+    #[test]
+    fn hashed_spreads_hot_block() {
+        // Readers hammer a contiguous block of 64 cells. Under the block
+        // mapping all reads land in one module; hashed placement spreads
+        // them out.
+        let accesses: Vec<Access> = (0..64).map(Access::One).collect();
+        let block = BlockMapping::new(1024, 16);
+        let hashed = HashedMapping::new(16, 99);
+        let cb = module_congestion(&block, &accesses);
+        let ch = module_congestion(&hashed, &accesses);
+        assert_eq!(*cb.iter().max().unwrap(), 64);
+        assert!(
+            *ch.iter().max().unwrap() < 32,
+            "hashed max congestion {} should be far below 64",
+            ch.iter().max().unwrap()
+        );
+    }
+}

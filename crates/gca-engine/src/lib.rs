@@ -1,0 +1,57 @@
+//! A simulation engine for the **Global Cellular Automaton** (GCA) model.
+//!
+//! The GCA model (Hoffmann, Völkmann, Waldschmidt, ACRI 2000) extends the
+//! classical cellular automaton: the state of a cell consists of a **data
+//! part** and an **access-information part** — one or more *pointers* that may
+//! address **any** other cell and may be recomputed by the local rule every
+//! generation. All cells step synchronously; a cell may read the cells its
+//! pointers address, but only ever writes its own state. The model is thus a
+//! hardware-flavoured *concurrent-read owner-write* (CROW) PRAM.
+//!
+//! The engine in this crate executes one synchronous **generation** at a time
+//! over a double-buffered [`CellField`]:
+//!
+//! 1. every cell evaluates its pointer(s) from its *own* current state
+//!    ([`GcaRule::access`]),
+//! 2. every cell reads the addressed global cells (previous-generation
+//!    values) and computes its next state ([`GcaRule::evolve`]).
+//!
+//! Because reads always see the previous generation, the result is
+//! independent of evaluation order — the engine exploits this to offer a
+//! sequential and a [rayon]-parallel backend with identical semantics (a
+//! property the test-suite checks).
+//!
+//! Instrumentation is a first-class citizen: the paper's evaluation (Table 1)
+//! is about *activity* (cells that compute per generation) and *congestion*
+//! (concurrent reads per target cell), so [`Engine::step`] can record both,
+//! plus full access traces for rendering Figure-3-style access patterns.
+//!
+//! Supporting theory from the paper's Section 1 is also implemented:
+//! [`brent`] (p physical cells simulating N virtual cells round-robin, per
+//! Brent's theorem) and [`hashing`] (universal hashing of cells onto memory
+//! modules, with measurable congestion).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod access;
+pub mod brent;
+pub mod combinators;
+mod engine;
+mod error;
+mod field;
+mod geometry;
+pub mod hashing;
+pub mod metrics;
+mod rule;
+pub mod snapshot;
+pub mod trace;
+mod word;
+
+pub use access::{Access, Reads};
+pub use engine::{Backend, Engine, Instrumentation, StepReport};
+pub use error::GcaError;
+pub use field::CellField;
+pub use geometry::FieldShape;
+pub use rule::{GcaRule, StepCtx};
+pub use word::{ceil_log2, Word, INFINITY};

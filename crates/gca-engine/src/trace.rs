@@ -1,0 +1,224 @@
+//! Access-pattern capture and rendering (Figure 3 of the paper).
+//!
+//! Figure 3 visualizes, for `n = 4`, which cells are *active* and which
+//! cells they *read* in each generation of the algorithm. The engine's
+//! [`crate::Instrumentation::Trace`] mode records accesses during a real
+//! step; this module additionally offers [`AccessPattern::capture`], which
+//! evaluates a rule's pointer operation and activity predicate **without**
+//! advancing the field — exactly what a figure needs.
+
+use crate::{Access, FieldShape, GcaRule, StepCtx};
+use std::fmt::Write as _;
+
+/// The access pattern of one generation: per-cell accesses and activity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AccessPattern {
+    shape: FieldShape,
+    accesses: Vec<Access>,
+    active: Vec<bool>,
+}
+
+impl AccessPattern {
+    /// Evaluates `rule`'s access and activity on `states` without stepping.
+    pub fn capture<R: GcaRule>(
+        rule: &R,
+        ctx: &StepCtx,
+        shape: &FieldShape,
+        states: &[R::State],
+    ) -> Self {
+        assert_eq!(
+            states.len(),
+            shape.len(),
+            "state slice does not match shape"
+        );
+        let mut accesses = Vec::with_capacity(states.len());
+        let mut active = Vec::with_capacity(states.len());
+        for (i, own) in states.iter().enumerate() {
+            accesses.push(rule.access(ctx, shape, i, own));
+            active.push(rule.is_active(ctx, shape, i, own));
+        }
+        AccessPattern {
+            shape: *shape,
+            accesses,
+            active,
+        }
+    }
+
+    /// The field shape the pattern was captured on.
+    pub fn shape(&self) -> &FieldShape {
+        &self.shape
+    }
+
+    /// Per-cell accesses, indexed by linear cell index.
+    pub fn accesses(&self) -> &[Access] {
+        &self.accesses
+    }
+
+    /// Per-cell activity flags.
+    pub fn active(&self) -> &[bool] {
+        &self.active
+    }
+
+    /// Number of active cells.
+    pub fn active_count(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// For each cell, the list of cells reading it this generation.
+    pub fn readers(&self) -> Vec<Vec<usize>> {
+        let mut readers = vec![Vec::new(); self.shape.len()];
+        for (i, a) in self.accesses.iter().enumerate() {
+            for t in a.targets() {
+                readers[t].push(i);
+            }
+        }
+        readers
+    }
+
+    /// Renders the pattern in the style of Figure 3: a grid of linear cell
+    /// indices where **active cells are shaded** (marked with `*`), followed
+    /// by the read relation grouped by target.
+    ///
+    /// ```text
+    ///   *0   *1   *2   *3
+    ///   ...
+    /// reads: 0 <- {4, 8, 12}   (delta = 3)
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let width = digits(self.shape.len().saturating_sub(1)).max(2);
+        for r in 0..self.shape.rows() {
+            for i in self.shape.row_indices(r) {
+                let mark = if self.active[i] { '*' } else { ' ' };
+                let _ = write!(out, " {mark}{:>width$}", i, width = width);
+            }
+            out.push('\n');
+        }
+        let readers = self.readers();
+        let mut any = false;
+        for (t, rs) in readers.iter().enumerate() {
+            if rs.is_empty() {
+                continue;
+            }
+            any = true;
+            let list = rs
+                .iter()
+                .map(|r| r.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(out, "reads: {t} <- {{{list}}}   (delta = {})", rs.len());
+        }
+        if !any {
+            out.push_str("reads: none\n");
+        }
+        out
+    }
+}
+
+fn digits(mut v: usize) -> usize {
+    let mut d = 1;
+    while v >= 10 {
+        v /= 10;
+        d += 1;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reads;
+
+    /// Every cell reads cell 0; only row 0 is active.
+    struct ReadZero;
+
+    impl GcaRule for ReadZero {
+        type State = u32;
+
+        fn access(&self, _ctx: &StepCtx, _shape: &FieldShape, index: usize, _own: &u32) -> Access {
+            if index == 0 {
+                Access::None
+            } else {
+                Access::One(0)
+            }
+        }
+
+        fn evolve(
+            &self,
+            _ctx: &StepCtx,
+            _shape: &FieldShape,
+            _index: usize,
+            own: &u32,
+            _reads: Reads<'_, u32>,
+        ) -> u32 {
+            *own
+        }
+
+        fn is_active(&self, _ctx: &StepCtx, shape: &FieldShape, index: usize, _own: &u32) -> bool {
+            shape.row(index) == 0
+        }
+    }
+
+    #[test]
+    fn capture_collects_accesses_and_activity() {
+        let shape = FieldShape::new(2, 3).unwrap();
+        let states = vec![0u32; 6];
+        let p = AccessPattern::capture(&ReadZero, &StepCtx::at_phase(0), &shape, &states);
+        assert_eq!(p.accesses().len(), 6);
+        assert_eq!(p.accesses()[0], Access::None);
+        assert_eq!(p.accesses()[5], Access::One(0));
+        assert_eq!(p.active_count(), 3);
+    }
+
+    #[test]
+    fn readers_inverts_accesses() {
+        let shape = FieldShape::new(2, 2).unwrap();
+        let states = vec![0u32; 4];
+        let p = AccessPattern::capture(&ReadZero, &StepCtx::at_phase(0), &shape, &states);
+        let r = p.readers();
+        assert_eq!(r[0], vec![1, 2, 3]);
+        assert!(r[1].is_empty());
+    }
+
+    #[test]
+    fn render_marks_active_and_lists_reads() {
+        let shape = FieldShape::new(2, 2).unwrap();
+        let states = vec![0u32; 4];
+        let p = AccessPattern::capture(&ReadZero, &StepCtx::at_phase(0), &shape, &states);
+        let s = p.render();
+        assert!(s.contains("* 0"), "row 0 should be shaded: {s}");
+        assert!(s.contains("reads: 0 <- {1, 2, 3}   (delta = 3)"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn capture_validates_len() {
+        let shape = FieldShape::new(2, 2).unwrap();
+        let states = vec![0u32; 3];
+        let _ = AccessPattern::capture(&ReadZero, &StepCtx::at_phase(0), &shape, &states);
+    }
+
+    #[test]
+    fn render_no_reads() {
+        struct Silent;
+        impl GcaRule for Silent {
+            type State = u32;
+            fn access(&self, _c: &StepCtx, _s: &FieldShape, _i: usize, _o: &u32) -> Access {
+                Access::None
+            }
+            fn evolve(
+                &self,
+                _c: &StepCtx,
+                _s: &FieldShape,
+                _i: usize,
+                own: &u32,
+                _r: Reads<'_, u32>,
+            ) -> u32 {
+                *own
+            }
+        }
+        let shape = FieldShape::new(1, 2).unwrap();
+        let p = AccessPattern::capture(&Silent, &StepCtx::at_phase(0), &shape, &[0, 0]);
+        assert!(p.render().contains("reads: none"));
+    }
+}

@@ -1,0 +1,144 @@
+use crate::{AdjacencyMatrix, GraphError};
+
+/// A compact adjacency-list view (CSR-style) of an undirected graph.
+///
+/// Sequential baselines (BFS / DFS / union–find over edges) run on this
+/// representation; the dense [`AdjacencyMatrix`] is what the GCA and PRAM
+/// algorithms consume. Both are views of the same graph and can be converted
+/// into each other losslessly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdjacencyList {
+    /// `offsets[u]..offsets[u + 1]` indexes `targets` for node `u`.
+    offsets: Vec<usize>,
+    /// Concatenated, per-node-sorted neighbor lists.
+    targets: Vec<usize>,
+}
+
+impl AdjacencyList {
+    /// Builds from per-node neighbor lists that are already sorted and
+    /// symmetric. Intended for use by [`AdjacencyMatrix::to_adjacency_list`];
+    /// invariants are only checked with debug assertions.
+    pub(crate) fn from_sorted_lists(lists: Vec<Vec<usize>>) -> Self {
+        let mut offsets = Vec::with_capacity(lists.len() + 1);
+        let mut targets = Vec::new();
+        offsets.push(0);
+        for list in &lists {
+            debug_assert!(list.windows(2).all(|w| w[0] < w[1]), "list must be sorted");
+            targets.extend_from_slice(list);
+            offsets.push(targets.len());
+        }
+        AdjacencyList { offsets, targets }
+    }
+
+    /// Builds from an unordered edge list.
+    ///
+    /// Duplicate edges are collapsed; self-loops and out-of-range endpoints
+    /// are rejected.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Self, GraphError> {
+        let mut m = AdjacencyMatrix::new(n);
+        for &(u, v) in edges {
+            m.add_edge(u, v)?;
+        }
+        Ok(m.to_adjacency_list())
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Sorted neighbors of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: usize) -> &[usize] {
+        &self.targets[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: usize) -> usize {
+        self.offsets[u + 1] - self.offsets[u]
+    }
+
+    /// Converts back to the dense representation.
+    pub fn to_matrix(&self) -> AdjacencyMatrix {
+        let mut m = AdjacencyMatrix::new(self.n());
+        for u in 0..self.n() {
+            for &v in self.neighbors(u) {
+                if u < v {
+                    m.add_edge(u, v).expect("list invariants guarantee validity");
+                }
+            }
+        }
+        m
+    }
+
+    /// Iterates over all undirected edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n()).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| v > u)
+                .map(move |v| (u, v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_basic() {
+        let l = AdjacencyList::from_edges(4, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        assert_eq!(l.n(), 4);
+        assert_eq!(l.edge_count(), 3);
+        assert_eq!(l.neighbors(1), &[0, 2]);
+        assert_eq!(l.neighbors(3), &[] as &[usize]);
+        assert_eq!(l.degree(2), 2);
+    }
+
+    #[test]
+    fn from_edges_rejects_self_loop() {
+        assert!(AdjacencyList::from_edges(3, &[(1, 1)]).is_err());
+    }
+
+    #[test]
+    fn from_edges_rejects_out_of_range() {
+        assert!(AdjacencyList::from_edges(3, &[(0, 3)]).is_err());
+    }
+
+    #[test]
+    fn from_edges_collapses_duplicates() {
+        let l = AdjacencyList::from_edges(3, &[(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(l.edge_count(), 1);
+    }
+
+    #[test]
+    fn matrix_round_trip() {
+        let l = AdjacencyList::from_edges(5, &[(0, 4), (1, 3), (3, 4)]).unwrap();
+        let m = l.to_matrix();
+        assert_eq!(m.to_adjacency_list(), l);
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let l = AdjacencyList::from_edges(4, &[(0, 1), (2, 3), (1, 3)]).unwrap();
+        let mut es: Vec<_> = l.edges().collect();
+        es.sort_unstable();
+        assert_eq!(es, vec![(0, 1), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let l = AdjacencyList::from_edges(0, &[]).unwrap();
+        assert_eq!(l.n(), 0);
+        assert_eq!(l.edge_count(), 0);
+    }
+}

@@ -1,0 +1,192 @@
+use crate::{AdjacencyMatrix, GraphError};
+
+/// A small, validated builder for [`AdjacencyMatrix`] graphs.
+///
+/// The builder accumulates edges and materializes the matrix once at the
+/// end; errors are reported eagerly so the offending call site is obvious.
+///
+/// ```
+/// use gca_graphs::GraphBuilder;
+///
+/// let g = GraphBuilder::new(4)
+///     .edge(0, 1)
+///     .edge(1, 2)
+///     .path(&[2, 3])
+///     .build()
+///     .unwrap();
+/// assert_eq!(g.edge_count(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+    error: Option<GraphError>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            error: None,
+        }
+    }
+
+    fn record(&mut self, u: usize, v: usize) {
+        if self.error.is_some() {
+            return;
+        }
+        if u >= self.n {
+            self.error = Some(GraphError::NodeOutOfRange { node: u, n: self.n });
+        } else if v >= self.n {
+            self.error = Some(GraphError::NodeOutOfRange { node: v, n: self.n });
+        } else if u == v {
+            self.error = Some(GraphError::SelfLoop { node: u });
+        } else {
+            self.edges.push((u, v));
+        }
+    }
+
+    /// Adds the undirected edge `(u, v)`.
+    #[must_use]
+    pub fn edge(mut self, u: usize, v: usize) -> Self {
+        self.record(u, v);
+        self
+    }
+
+    /// Adds every edge in `edges`.
+    #[must_use]
+    pub fn edges(mut self, edges: &[(usize, usize)]) -> Self {
+        for &(u, v) in edges {
+            self.record(u, v);
+        }
+        self
+    }
+
+    /// Adds a path along `nodes` (consecutive nodes become adjacent).
+    #[must_use]
+    pub fn path(mut self, nodes: &[usize]) -> Self {
+        for w in nodes.windows(2) {
+            self.record(w[0], w[1]);
+        }
+        self
+    }
+
+    /// Adds a cycle through `nodes` (a path plus the closing edge).
+    #[must_use]
+    pub fn cycle(mut self, nodes: &[usize]) -> Self {
+        for w in nodes.windows(2) {
+            self.record(w[0], w[1]);
+        }
+        if nodes.len() > 2 {
+            self.record(nodes[nodes.len() - 1], nodes[0]);
+        }
+        self
+    }
+
+    /// Connects `center` to every node in `leaves` (a star).
+    #[must_use]
+    pub fn star(mut self, center: usize, leaves: &[usize]) -> Self {
+        for &l in leaves {
+            self.record(center, l);
+        }
+        self
+    }
+
+    /// Adds all `k·(k-1)/2` edges among `nodes` (a clique).
+    #[must_use]
+    pub fn clique(mut self, nodes: &[usize]) -> Self {
+        for (i, &u) in nodes.iter().enumerate() {
+            for &v in &nodes[i + 1..] {
+                self.record(u, v);
+            }
+        }
+        self
+    }
+
+    /// Materializes the matrix, or returns the first recorded error.
+    pub fn build(self) -> Result<AdjacencyMatrix, GraphError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        let mut m = AdjacencyMatrix::new(self.n);
+        for (u, v) in self.edges {
+            m.add_edge(u, v)?;
+        }
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_single_edges() {
+        let g = GraphBuilder::new(3).edge(0, 2).build().unwrap();
+        assert!(g.has_edge(0, 2));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn builds_path() {
+        let g = GraphBuilder::new(4).path(&[0, 1, 2, 3]).build().unwrap();
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn builds_cycle() {
+        let g = GraphBuilder::new(4).cycle(&[0, 1, 2, 3]).build().unwrap();
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.has_edge(3, 0));
+    }
+
+    #[test]
+    fn two_node_cycle_is_single_edge() {
+        let g = GraphBuilder::new(2).cycle(&[0, 1]).build().unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn builds_star() {
+        let g = GraphBuilder::new(5).star(0, &[1, 2, 3, 4]).build().unwrap();
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.degree(3), 1);
+    }
+
+    #[test]
+    fn builds_clique() {
+        let g = GraphBuilder::new(5).clique(&[1, 2, 4]).build().unwrap();
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(1, 4));
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn first_error_wins() {
+        let err = GraphBuilder::new(3)
+            .edge(0, 7) // out of range
+            .edge(1, 1) // self loop — but the earlier error is reported
+            .build()
+            .unwrap_err();
+        assert_eq!(err, GraphError::NodeOutOfRange { node: 7, n: 3 });
+    }
+
+    #[test]
+    fn self_loop_reported() {
+        let err = GraphBuilder::new(3).edge(1, 1).build().unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop { node: 1 });
+    }
+
+    #[test]
+    fn edges_bulk() {
+        let g = GraphBuilder::new(4)
+            .edges(&[(0, 1), (2, 3)])
+            .build()
+            .unwrap();
+        assert_eq!(g.edge_count(), 2);
+    }
+}

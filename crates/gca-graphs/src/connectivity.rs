@@ -1,0 +1,174 @@
+//! Sequential connected-components baselines.
+//!
+//! The paper compares against the sequential complexity `Θ(m + n)`; these are
+//! the algorithms realizing it. All three return the canonical min-index
+//! labeling (see [`Labeling`]) so results are directly comparable with the
+//! GCA and PRAM implementations.
+
+use crate::{AdjacencyList, AdjacencyMatrix, Labeling, UnionFind};
+
+/// Connected components by breadth-first search, `O(n + m)`.
+pub fn bfs_components(g: &AdjacencyList) -> Labeling {
+    let n = g.n();
+    let mut label = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n {
+        if label[start] != usize::MAX {
+            continue;
+        }
+        // `start` is the smallest unvisited index, hence the component min.
+        label[start] = start;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if label[v] == usize::MAX {
+                    label[v] = start;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    Labeling::new(label).expect("labels are component minima, always in range")
+}
+
+/// Connected components by iterative depth-first search, `O(n + m)`.
+pub fn dfs_components(g: &AdjacencyList) -> Labeling {
+    let n = g.n();
+    let mut label = vec![usize::MAX; n];
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if label[start] != usize::MAX {
+            continue;
+        }
+        label[start] = start;
+        stack.push(start);
+        while let Some(u) = stack.pop() {
+            for &v in g.neighbors(u) {
+                if label[v] == usize::MAX {
+                    label[v] = start;
+                    stack.push(v);
+                }
+            }
+        }
+    }
+    Labeling::new(label).expect("labels are component minima, always in range")
+}
+
+/// Connected components by union–find over the edge list,
+/// `O(m · α(n))`.
+pub fn union_find_components(g: &AdjacencyList) -> Labeling {
+    let mut uf = UnionFind::new(g.n());
+    for (u, v) in g.edges() {
+        uf.union(u, v);
+    }
+    Labeling::new(uf.min_labels()).expect("min labels are in range")
+}
+
+/// Union–find directly on the dense matrix (scans the upper triangle),
+/// `O(n² / 64 + m · α(n))` — the fair sequential baseline for dense inputs,
+/// which is the regime where Hirschberg's algorithm is work-optimal.
+pub fn union_find_components_dense(g: &AdjacencyMatrix) -> Labeling {
+    let mut uf = UnionFind::new(g.n());
+    for u in 0..g.n() {
+        for v in g.neighbors(u) {
+            if v > u {
+                uf.union(u, v);
+            }
+        }
+    }
+    Labeling::new(uf.min_labels()).expect("min labels are in range")
+}
+
+/// Number of connected components (without materializing labels).
+pub fn component_count(g: &AdjacencyList) -> usize {
+    let mut uf = UnionFind::new(g.n());
+    for (u, v) in g.edges() {
+        uf.union(u, v);
+    }
+    uf.component_count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn sample() -> AdjacencyList {
+        // Components: {0,1,2}, {3,4}, {5}
+        GraphBuilder::new(6)
+            .path(&[0, 1, 2])
+            .edge(3, 4)
+            .build()
+            .unwrap()
+            .to_adjacency_list()
+    }
+
+    #[test]
+    fn bfs_labels() {
+        let l = bfs_components(&sample());
+        assert_eq!(l.as_slice(), &[0, 0, 0, 3, 3, 5]);
+    }
+
+    #[test]
+    fn dfs_labels() {
+        let l = dfs_components(&sample());
+        assert_eq!(l.as_slice(), &[0, 0, 0, 3, 3, 5]);
+    }
+
+    #[test]
+    fn union_find_labels() {
+        let l = union_find_components(&sample());
+        assert_eq!(l.as_slice(), &[0, 0, 0, 3, 3, 5]);
+    }
+
+    #[test]
+    fn dense_union_find_labels() {
+        let g = sample().to_matrix();
+        let l = union_find_components_dense(&g);
+        assert_eq!(l.as_slice(), &[0, 0, 0, 3, 3, 5]);
+    }
+
+    #[test]
+    fn all_agree_on_cycle() {
+        let g = GraphBuilder::new(5)
+            .cycle(&[0, 1, 2, 3, 4])
+            .build()
+            .unwrap()
+            .to_adjacency_list();
+        let a = bfs_components(&g);
+        let b = dfs_components(&g);
+        let c = union_find_components(&g);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(a.component_count(), 1);
+    }
+
+    #[test]
+    fn empty_graph_components() {
+        let g = AdjacencyList::from_edges(4, &[]).unwrap();
+        let l = bfs_components(&g);
+        assert_eq!(l.as_slice(), &[0, 1, 2, 3]);
+        assert_eq!(component_count(&g), 4);
+    }
+
+    #[test]
+    fn zero_nodes() {
+        let g = AdjacencyList::from_edges(0, &[]).unwrap();
+        assert_eq!(bfs_components(&g).n(), 0);
+        assert_eq!(component_count(&g), 0);
+    }
+
+    #[test]
+    fn component_count_matches_labeling() {
+        let g = sample();
+        assert_eq!(component_count(&g), bfs_components(&g).component_count());
+    }
+
+    #[test]
+    fn labels_are_canonical() {
+        let g = sample();
+        assert!(bfs_components(&g).is_canonical());
+        assert!(dfs_components(&g).is_canonical());
+        assert!(union_find_components(&g).is_canonical());
+    }
+}

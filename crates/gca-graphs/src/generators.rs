@@ -1,0 +1,526 @@
+//! Workload generators.
+//!
+//! Every experiment in the paper runs on some family of undirected graphs;
+//! this module provides deterministic (seeded) generators for the families
+//! used by the benchmark harness:
+//!
+//! * dense random graphs `G(n, p)` — the regime where Hirschberg's algorithm
+//!   is work-optimal (`m = Θ(n²)`);
+//! * extremal structures (paths, rings, stars, cliques, grids) that stress
+//!   the pointer-jumping and min-reduction generations differently;
+//! * *planted* component structures where the ground-truth partition is
+//!   known by construction, so tests can assert exact labelings;
+//! * random spanning forests, the sparsest connected workloads (worst case
+//!   for the `log n` outer-iteration bound).
+//!
+//! All generators return an [`AdjacencyMatrix`]; convert with
+//! [`AdjacencyMatrix::to_adjacency_list`] where a sparse view is needed.
+
+use crate::{AdjacencyMatrix, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The edge-less graph on `n` nodes (n components).
+pub fn empty(n: usize) -> AdjacencyMatrix {
+    AdjacencyMatrix::new(n)
+}
+
+/// The complete graph `K_n` (one component, `m = n(n-1)/2`).
+pub fn complete(n: usize) -> AdjacencyMatrix {
+    let mut g = AdjacencyMatrix::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(u, v).expect("in range by construction");
+        }
+    }
+    g
+}
+
+/// The path `0 — 1 — … — (n-1)`.
+pub fn path(n: usize) -> AdjacencyMatrix {
+    let nodes: Vec<usize> = (0..n).collect();
+    GraphBuilder::new(n).path(&nodes).build().expect("valid")
+}
+
+/// The cycle `0 — 1 — … — (n-1) — 0`. For `n < 3` this degenerates to a
+/// path (no multi-edges / self-loops).
+pub fn ring(n: usize) -> AdjacencyMatrix {
+    let nodes: Vec<usize> = (0..n).collect();
+    GraphBuilder::new(n).cycle(&nodes).build().expect("valid")
+}
+
+/// The star with center `0` and `n - 1` leaves.
+pub fn star(n: usize) -> AdjacencyMatrix {
+    if n == 0 {
+        return AdjacencyMatrix::new(0);
+    }
+    let leaves: Vec<usize> = (1..n).collect();
+    GraphBuilder::new(n).star(0, &leaves).build().expect("valid")
+}
+
+/// A `rows × cols` grid graph (nodes in row-major order).
+pub fn grid(rows: usize, cols: usize) -> AdjacencyMatrix {
+    let n = rows * cols;
+    let mut g = AdjacencyMatrix::new(n);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            if c + 1 < cols {
+                g.add_edge(v, v + 1).expect("in range");
+            }
+            if r + 1 < rows {
+                g.add_edge(v, v + cols).expect("in range");
+            }
+        }
+    }
+    g
+}
+
+/// Erdős–Rényi `G(n, p)`: every unordered pair is an edge independently
+/// with probability `p`. Deterministic in `seed`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> AdjacencyMatrix {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = AdjacencyMatrix::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                g.add_edge(u, v).expect("in range");
+            }
+        }
+    }
+    g
+}
+
+/// A graph with exactly `m` uniformly random distinct edges (`G(n, m)`).
+pub fn gnm(n: usize, m: usize, seed: u64) -> AdjacencyMatrix {
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(
+        m <= max_edges,
+        "requested {m} edges but K_{n} only has {max_edges}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = AdjacencyMatrix::new(n);
+    let mut added = 0;
+    // Rejection sampling is fine up to about half density; beyond that,
+    // sample the complement instead.
+    if m * 2 <= max_edges {
+        while added < m {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v && !g.has_edge(u, v) {
+                g.add_edge(u, v).expect("in range");
+                added += 1;
+            }
+        }
+    } else {
+        let mut g2 = complete(n);
+        let mut removed = 0;
+        while removed < max_edges - m {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v && g2.has_edge(u, v) {
+                g2.remove_edge(u, v).expect("in range");
+                removed += 1;
+            }
+        }
+        g = g2;
+    }
+    g
+}
+
+/// A uniformly random spanning tree on `n` nodes (random attachment:
+/// each node `v ≥ 1` connects to a uniformly random earlier node after a
+/// random relabeling). Always a single component with `n - 1` edges.
+pub fn random_tree(n: usize, seed: u64) -> AdjacencyMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    let mut g = AdjacencyMatrix::new(n);
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        g.add_edge(order[i], order[j]).expect("in range");
+    }
+    g
+}
+
+/// A random forest with exactly `k` trees (components) over `n` nodes.
+///
+/// Nodes are randomly partitioned into `k` non-empty groups; each group gets
+/// a random attachment tree.
+///
+/// # Panics
+/// Panics if `k == 0` (unless `n == 0`) or `k > n`.
+pub fn random_forest(n: usize, k: usize, seed: u64) -> AdjacencyMatrix {
+    if n == 0 && k == 0 {
+        return AdjacencyMatrix::new(0);
+    }
+    assert!(k >= 1 && k <= n, "need 1 <= k <= n, got k={k}, n={n}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    // Cut the shuffled order into k non-empty contiguous chunks.
+    let mut cuts: Vec<usize> = (1..n).collect();
+    cuts.shuffle(&mut rng);
+    let mut cuts: Vec<usize> = cuts.into_iter().take(k - 1).collect();
+    cuts.sort_unstable();
+    cuts.push(n);
+    let mut g = AdjacencyMatrix::new(n);
+    let mut start = 0;
+    for &end in &cuts {
+        let group = &order[start..end];
+        for i in 1..group.len() {
+            let j = rng.gen_range(0..i);
+            g.add_edge(group[i], group[j]).expect("in range");
+        }
+        start = end;
+    }
+    g
+}
+
+/// Specification of a planted-component workload: the ground-truth partition
+/// is known by construction (`membership[v]` = group of node `v`).
+#[derive(Clone, Debug)]
+pub struct Planted {
+    /// The generated graph.
+    pub graph: AdjacencyMatrix,
+    /// Group index of every node (NOT the canonical min-index labeling).
+    pub membership: Vec<usize>,
+}
+
+impl Planted {
+    /// The canonical min-index labeling implied by the planted membership.
+    pub fn expected_labels(&self) -> crate::Labeling {
+        crate::Labeling::new(self.membership.clone())
+            .expect("groups indices < k <= n")
+            .canonicalize()
+    }
+}
+
+/// Plants `k` components over `n` nodes: nodes are randomly assigned to
+/// groups (each group non-empty), each group is internally wired as a random
+/// tree plus extra `G(group, p_intra)` edges. No inter-group edges, so the
+/// component structure is exactly the group structure.
+pub fn planted_components(n: usize, k: usize, p_intra: f64, seed: u64) -> Planted {
+    assert!(k >= 1 && k <= n, "need 1 <= k <= n, got k={k}, n={n}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Random surjective assignment: first k nodes (in shuffled order) seed
+    // the groups, the rest pick uniformly.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    let mut membership = vec![0usize; n];
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &v) in order.iter().enumerate() {
+        let grp = if i < k { i } else { rng.gen_range(0..k) };
+        membership[v] = grp;
+        groups[grp].push(v);
+    }
+    let mut g = AdjacencyMatrix::new(n);
+    for group in &groups {
+        // Spanning tree to guarantee connectivity…
+        for i in 1..group.len() {
+            let j = rng.gen_range(0..i);
+            g.add_edge(group[i], group[j]).expect("in range");
+        }
+        // …plus random intra-group density.
+        for i in 0..group.len() {
+            for j in (i + 1)..group.len() {
+                if rng.gen_bool(p_intra) {
+                    g.add_edge(group[i], group[j]).expect("in range");
+                }
+            }
+        }
+    }
+    Planted { graph: g, membership }
+}
+
+/// A scale-free graph by preferential attachment (Barabási–Albert): nodes
+/// arrive one at a time and attach `m` edges to existing nodes chosen with
+/// probability proportional to their degree. Produces the heavy-tailed
+/// degree distributions that stress the data-dependent (pointer-jumping)
+/// generations — hubs behave like the star graph's worst case.
+///
+/// # Panics
+/// Panics unless `1 <= m < n`.
+pub fn preferential_attachment(n: usize, m: usize, seed: u64) -> AdjacencyMatrix {
+    assert!(m >= 1 && m < n, "need 1 <= m < n, got m={m}, n={n}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = AdjacencyMatrix::new(n);
+    // Seed clique of m + 1 nodes so every arrival can find m targets.
+    for u in 0..=m {
+        for v in (u + 1)..=m {
+            g.add_edge(u, v).expect("in range");
+        }
+    }
+    // Repeated-endpoints list: sampling uniformly from it is sampling
+    // proportional to degree.
+    let mut endpoints: Vec<usize> = Vec::new();
+    for u in 0..=m {
+        for _ in 0..m {
+            endpoints.push(u);
+        }
+    }
+    for v in (m + 1)..n {
+        let mut chosen = Vec::with_capacity(m);
+        while chosen.len() < m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            g.add_edge(v, t).expect("in range");
+            endpoints.push(t);
+            endpoints.push(v);
+        }
+    }
+    g
+}
+
+/// The disjoint union of `k` cliques of size `size` (a dense multi-component
+/// workload with `n = k·size`).
+pub fn clique_islands(k: usize, size: usize) -> AdjacencyMatrix {
+    let n = k * size;
+    let mut g = AdjacencyMatrix::new(n);
+    for c in 0..k {
+        let base = c * size;
+        for i in 0..size {
+            for j in (i + 1)..size {
+                g.add_edge(base + i, base + j).expect("in range");
+            }
+        }
+    }
+    g
+}
+
+/// A "caterpillar of rings": `k` rings of size `size`, consecutive rings
+/// joined by one bridge edge — a single long, shallow component that forces
+/// many hooking rounds. Useful for exercising the outer `⌈log n⌉` loop.
+pub fn bridged_rings(k: usize, size: usize) -> AdjacencyMatrix {
+    assert!(size >= 3, "a ring needs at least 3 nodes, got {size}");
+    let n = k * size;
+    let mut g = AdjacencyMatrix::new(n);
+    for c in 0..k {
+        let base = c * size;
+        for i in 0..size {
+            g.add_edge(base + i, base + (i + 1) % size).expect("in range");
+        }
+        if c + 1 < k {
+            g.add_edge(base + size - 1, base + size).expect("in range");
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::{component_count, union_find_components};
+
+    #[test]
+    fn empty_has_n_components() {
+        let g = empty(7).to_adjacency_list();
+        assert_eq!(component_count(&g), 7);
+    }
+
+    #[test]
+    fn complete_is_one_component() {
+        let g = complete(6);
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(component_count(&g.to_adjacency_list()), 1);
+    }
+
+    #[test]
+    fn path_structure() {
+        let g = path(5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(component_count(&g.to_adjacency_list()), 1);
+    }
+
+    #[test]
+    fn ring_structure() {
+        let g = ring(5);
+        assert_eq!(g.edge_count(), 5);
+        for v in 0..5 {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn tiny_rings_degenerate() {
+        assert_eq!(ring(0).edge_count(), 0);
+        assert_eq!(ring(1).edge_count(), 0);
+        assert_eq!(ring(2).edge_count(), 1);
+    }
+
+    #[test]
+    fn star_structure() {
+        let g = star(6);
+        assert_eq!(g.degree(0), 5);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(star(0).n(), 0);
+        assert_eq!(star(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(3, 4);
+        assert_eq!(g.n(), 12);
+        // 3 rows × 3 horizontal + 2 rows-gaps × 4 vertical = 9 + 8
+        assert_eq!(g.edge_count(), 17);
+        assert_eq!(component_count(&g.to_adjacency_list()), 1);
+    }
+
+    #[test]
+    fn gnp_deterministic_in_seed() {
+        let a = gnp(24, 0.3, 42);
+        let b = gnp(24, 0.3, 42);
+        let c = gnp(24, 0.3, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert!(gnp(10, 0.0, 1).is_empty());
+        assert_eq!(gnp(10, 1.0, 1).edge_count(), 45);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn gnp_rejects_bad_p() {
+        let _ = gnp(4, 1.5, 0);
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        for &m in &[0usize, 1, 10, 40, 45] {
+            let g = gnm(10, m, 7);
+            assert_eq!(g.edge_count(), m, "m={m}");
+            g.validate().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "only has")]
+    fn gnm_rejects_too_many_edges() {
+        let _ = gnm(4, 7, 0);
+    }
+
+    #[test]
+    fn random_tree_is_spanning() {
+        for seed in 0..5 {
+            let g = random_tree(17, seed);
+            assert_eq!(g.edge_count(), 16);
+            assert_eq!(component_count(&g.to_adjacency_list()), 1);
+        }
+    }
+
+    #[test]
+    fn random_tree_trivial_sizes() {
+        assert_eq!(random_tree(0, 0).n(), 0);
+        assert_eq!(random_tree(1, 0).edge_count(), 0);
+        assert_eq!(random_tree(2, 0).edge_count(), 1);
+    }
+
+    #[test]
+    fn random_forest_component_count() {
+        for seed in 0..5 {
+            let g = random_forest(20, 4, seed);
+            assert_eq!(component_count(&g.to_adjacency_list()), 4, "seed {seed}");
+            assert_eq!(g.edge_count(), 20 - 4);
+        }
+    }
+
+    #[test]
+    fn random_forest_k_equals_n() {
+        let g = random_forest(5, 5, 0);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= k <= n")]
+    fn random_forest_rejects_zero_k() {
+        let _ = random_forest(5, 0, 0);
+    }
+
+    #[test]
+    fn planted_structure_matches_membership() {
+        for seed in 0..5 {
+            let p = planted_components(30, 5, 0.4, seed);
+            let found = union_find_components(&p.graph.to_adjacency_list());
+            assert!(
+                found.same_partition(&p.expected_labels()),
+                "seed {seed}: planted partition not recovered"
+            );
+        }
+    }
+
+    #[test]
+    fn planted_single_group_connected() {
+        let p = planted_components(12, 1, 0.0, 9);
+        assert_eq!(component_count(&p.graph.to_adjacency_list()), 1);
+    }
+
+    #[test]
+    fn clique_islands_structure() {
+        let g = clique_islands(3, 4);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.edge_count(), 3 * 6);
+        assert_eq!(component_count(&g.to_adjacency_list()), 3);
+    }
+
+    #[test]
+    fn bridged_rings_single_component() {
+        let g = bridged_rings(4, 5);
+        assert_eq!(g.n(), 20);
+        assert_eq!(component_count(&g.to_adjacency_list()), 1);
+        // 4 rings × 5 edges + 3 bridges
+        assert_eq!(g.edge_count(), 23);
+    }
+
+    #[test]
+    fn preferential_attachment_structure() {
+        let n = 40;
+        let m = 2;
+        let g = preferential_attachment(n, m, 5);
+        g.validate().unwrap();
+        assert_eq!(component_count(&g.to_adjacency_list()), 1);
+        // Seed clique + m edges per arrival.
+        assert_eq!(g.edge_count(), m * (m + 1) / 2 + (n - m - 1) * m);
+        // Heavy tail: the max degree should clearly exceed the mean.
+        let max_degree = (0..n).map(|v| g.degree(v)).max().unwrap();
+        let mean = 2.0 * g.edge_count() as f64 / n as f64;
+        assert!(
+            max_degree as f64 > 2.0 * mean,
+            "max degree {max_degree} vs mean {mean}"
+        );
+    }
+
+    #[test]
+    fn preferential_attachment_deterministic() {
+        assert_eq!(
+            preferential_attachment(20, 2, 9),
+            preferential_attachment(20, 2, 9)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= m < n")]
+    fn preferential_attachment_rejects_bad_m() {
+        let _ = preferential_attachment(5, 5, 0);
+    }
+
+    #[test]
+    fn generators_produce_valid_matrices() {
+        gnp(33, 0.2, 1).validate().unwrap();
+        gnm(33, 100, 1).validate().unwrap();
+        random_forest(33, 6, 1).validate().unwrap();
+        planted_components(33, 4, 0.5, 1).graph.validate().unwrap();
+        grid(5, 7).validate().unwrap();
+        bridged_rings(3, 4).validate().unwrap();
+    }
+}

@@ -1,0 +1,155 @@
+//! Plain-text edge-list serialization.
+//!
+//! Format: first non-comment line is `n <node-count>`, each following
+//! non-empty line is `u v` (0-based, whitespace-separated). Lines starting
+//! with `#` are comments. The format is symmetric: writing then reading
+//! reproduces the graph exactly.
+
+use crate::{AdjacencyMatrix, GraphError};
+use std::fmt::Write as _;
+
+/// Serializes a graph to the edge-list format.
+pub fn to_edge_list(g: &AdjacencyMatrix) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# undirected graph: {} nodes, {} edges", g.n(), g.edge_count());
+    let _ = writeln!(out, "n {}", g.n());
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "{u} {v}");
+    }
+    out
+}
+
+/// Parses the edge-list format produced by [`to_edge_list`].
+pub fn from_edge_list(text: &str) -> Result<AdjacencyMatrix, GraphError> {
+    let mut g: Option<AdjacencyMatrix> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match g {
+            None => {
+                // Expect the header `n <count>`.
+                let tag = parts.next();
+                if tag != Some("n") {
+                    return Err(GraphError::Parse {
+                        line: line_no,
+                        message: format!("expected header 'n <count>', got '{line}'"),
+                    });
+                }
+                let count = parts
+                    .next()
+                    .ok_or_else(|| GraphError::Parse {
+                        line: line_no,
+                        message: "missing node count".into(),
+                    })?
+                    .parse::<usize>()
+                    .map_err(|e| GraphError::Parse {
+                        line: line_no,
+                        message: format!("bad node count: {e}"),
+                    })?;
+                if parts.next().is_some() {
+                    return Err(GraphError::Parse {
+                        line: line_no,
+                        message: "trailing tokens after header".into(),
+                    });
+                }
+                g = Some(AdjacencyMatrix::new(count));
+            }
+            Some(ref mut graph) => {
+                let parse = |tok: Option<&str>| -> Result<usize, GraphError> {
+                    tok.ok_or_else(|| GraphError::Parse {
+                        line: line_no,
+                        message: "expected 'u v'".into(),
+                    })?
+                    .parse::<usize>()
+                    .map_err(|e| GraphError::Parse {
+                        line: line_no,
+                        message: format!("bad node id: {e}"),
+                    })
+                };
+                let u = parse(parts.next())?;
+                let v = parse(parts.next())?;
+                if parts.next().is_some() {
+                    return Err(GraphError::Parse {
+                        line: line_no,
+                        message: "trailing tokens after edge".into(),
+                    });
+                }
+                graph.add_edge(u, v)?;
+            }
+        }
+    }
+    g.ok_or(GraphError::Parse {
+        line: 0,
+        message: "missing 'n <count>' header".into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn round_trip() {
+        let g = generators::gnp(20, 0.3, 5);
+        let text = to_edge_list(&g);
+        let back = from_edge_list(&text).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn round_trip_empty_graph() {
+        let g = generators::empty(4);
+        let back = from_edge_list(&to_edge_list(&g)).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "# hello\n\nn 3\n# edge next\n0 2\n";
+        let g = from_edge_list(text).unwrap();
+        assert_eq!(g.n(), 3);
+        assert!(g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let err = from_edge_list("0 1\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(from_edge_list("").is_err());
+        assert!(from_edge_list("# only comments\n").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_counts() {
+        assert!(from_edge_list("n x\n").is_err());
+        assert!(from_edge_list("n\n").is_err());
+        assert!(from_edge_list("n 3 4\n").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        assert!(from_edge_list("n 3\n0\n").is_err());
+        assert!(from_edge_list("n 3\n0 a\n").is_err());
+        assert!(from_edge_list("n 3\n0 1 2\n").is_err());
+        assert!(from_edge_list("n 3\n0 5\n").is_err()); // out of range
+        assert!(from_edge_list("n 3\n1 1\n").is_err()); // self loop
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let err = from_edge_list("n 3\n0 1\nbad line\n").unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}

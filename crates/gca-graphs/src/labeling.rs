@@ -1,0 +1,198 @@
+use crate::GraphError;
+
+/// A component labeling: node `i` carries the label `labels[i]`.
+///
+/// The *canonical* form labels every node with the minimum node index of its
+/// component — this is exactly what Hirschberg's algorithm produces (each
+/// component is represented by its smallest-index "super node"). Two
+/// labelings describe the same partition iff their canonical forms are equal,
+/// so cross-implementation comparisons go through [`Labeling::canonicalize`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Labeling {
+    labels: Vec<usize>,
+}
+
+impl Labeling {
+    /// Wraps raw labels. Every label must name a valid node (`< n`), though
+    /// not necessarily a member of the component (canonicalization fixes
+    /// that up).
+    pub fn new(labels: Vec<usize>) -> Result<Self, GraphError> {
+        let n = labels.len();
+        for &l in &labels {
+            if l >= n {
+                return Err(GraphError::NodeOutOfRange { node: l, n });
+            }
+        }
+        Ok(Labeling { labels })
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Raw label access.
+    #[inline]
+    pub fn label(&self, v: usize) -> usize {
+        self.labels[v]
+    }
+
+    /// Borrow of the underlying label vector.
+    #[inline]
+    pub fn as_slice(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Consumes the labeling, returning the raw vector.
+    pub fn into_vec(self) -> Vec<usize> {
+        self.labels
+    }
+
+    /// Number of distinct components.
+    pub fn component_count(&self) -> usize {
+        let mut seen = vec![false; self.labels.len()];
+        let mut count = 0;
+        for &l in &self.labels {
+            if !seen[l] {
+                seen[l] = true;
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Rewrites every label to the minimum node index in its label class.
+    ///
+    /// The input is interpreted purely as a partition (nodes with equal
+    /// labels are together); the output is the canonical min-index form.
+    pub fn canonicalize(&self) -> Labeling {
+        let n = self.labels.len();
+        let mut min_of_class = vec![usize::MAX; n];
+        for (node, &l) in self.labels.iter().enumerate() {
+            if node < min_of_class[l] {
+                min_of_class[l] = node;
+            }
+        }
+        let labels = self.labels.iter().map(|&l| min_of_class[l]).collect();
+        Labeling { labels }
+    }
+
+    /// Returns `true` iff this labeling is already in canonical form: every
+    /// label is the minimum member of its class *and* labels point at class
+    /// members.
+    pub fn is_canonical(&self) -> bool {
+        self.canonicalize().labels == self.labels
+    }
+
+    /// Partition equality: do `self` and `other` group nodes identically,
+    /// regardless of which representative each chose?
+    pub fn same_partition(&self, other: &Labeling) -> bool {
+        self.labels.len() == other.labels.len()
+            && self.canonicalize().labels == other.canonicalize().labels
+    }
+
+    /// The members of each component, keyed by canonical label, sorted.
+    pub fn components(&self) -> Vec<(usize, Vec<usize>)> {
+        let canon = self.canonicalize();
+        let n = canon.labels.len();
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (node, &l) in canon.labels.iter().enumerate() {
+            groups[l].push(node);
+        }
+        groups
+            .into_iter()
+            .enumerate()
+            .filter(|(_, members)| !members.is_empty())
+            .collect()
+    }
+
+    /// Size of the largest component.
+    pub fn max_component_size(&self) -> usize {
+        self.components()
+            .iter()
+            .map(|(_, m)| m.len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl From<Vec<usize>> for Labeling {
+    /// Panics if a label is out of range; use [`Labeling::new`] to handle
+    /// the error.
+    fn from(labels: Vec<usize>) -> Self {
+        Labeling::new(labels).expect("labels out of range")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_out_of_range() {
+        assert!(Labeling::new(vec![0, 3]).is_err());
+        assert!(Labeling::new(vec![0, 1]).is_ok());
+    }
+
+    #[test]
+    fn canonicalize_min_index() {
+        // Classes {0,2} labeled 2 and {1} labeled 1.
+        let l = Labeling::new(vec![2, 1, 2]).unwrap();
+        let c = l.canonicalize();
+        assert_eq!(c.as_slice(), &[0, 1, 0]);
+        assert!(c.is_canonical());
+    }
+
+    #[test]
+    fn canonicalize_idempotent() {
+        let l = Labeling::new(vec![3, 3, 3, 3, 0]).unwrap();
+        let c1 = l.canonicalize();
+        let c2 = c1.canonicalize();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn same_partition_across_representatives() {
+        let a = Labeling::new(vec![0, 0, 2, 2]).unwrap();
+        let b = Labeling::new(vec![1, 1, 3, 3]).unwrap();
+        assert!(a.same_partition(&b));
+        let c = Labeling::new(vec![0, 1, 2, 3]).unwrap();
+        assert!(!a.same_partition(&c));
+    }
+
+    #[test]
+    fn same_partition_requires_same_n() {
+        let a = Labeling::new(vec![0, 0]).unwrap();
+        let b = Labeling::new(vec![0, 0, 0]).unwrap();
+        assert!(!a.same_partition(&b));
+    }
+
+    #[test]
+    fn component_count_and_members() {
+        let l = Labeling::new(vec![0, 0, 2, 2, 4]).unwrap();
+        assert_eq!(l.component_count(), 3);
+        let comps = l.components();
+        assert_eq!(
+            comps,
+            vec![(0, vec![0, 1]), (2, vec![2, 3]), (4, vec![4])]
+        );
+        assert_eq!(l.max_component_size(), 2);
+    }
+
+    #[test]
+    fn empty_labeling() {
+        let l = Labeling::new(vec![]).unwrap();
+        assert_eq!(l.n(), 0);
+        assert_eq!(l.component_count(), 0);
+        assert_eq!(l.max_component_size(), 0);
+        assert!(l.is_canonical());
+    }
+
+    #[test]
+    fn non_member_representative_fixed_by_canonicalize() {
+        // All nodes labeled "2", including node 2's own class containing 0.
+        let l = Labeling::new(vec![2, 2, 2]).unwrap();
+        assert_eq!(l.canonicalize().as_slice(), &[0, 0, 0]);
+    }
+}

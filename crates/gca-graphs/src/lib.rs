@@ -1,0 +1,51 @@
+//! Graph substrate for the Hirschberg-on-GCA reproduction.
+//!
+//! The paper's input model is an undirected graph given as a symmetric
+//! adjacency matrix `A` with `A(i,j) = A(j,i) = 1` iff nodes `i` and `j` are
+//! linked. This crate provides:
+//!
+//! * [`AdjacencyMatrix`] — a bit-packed symmetric adjacency matrix, the exact
+//!   input representation the GCA field consumes (the `a` field of each cell
+//!   `(i, j)` holds `A(i, j)`);
+//! * [`AdjacencyList`] — the sparse companion used by sequential baselines;
+//! * [`GraphBuilder`] — ergonomic, validated construction;
+//! * [`generators`] — the workload generator zoo used by the benchmarks
+//!   (Erdős–Rényi `G(n, p)`, paths, rings, stars, cliques, grids, random
+//!   forests, and graphs with a *planted* component structure);
+//! * [`connectivity`] — sequential connected-components baselines (BFS, DFS,
+//!   union–find) that the parallel algorithms are verified against;
+//! * [`UnionFind`] — path-halving, union-by-size disjoint sets;
+//! * [`Labeling`] — canonical component labelings and partition comparison
+//!   (Hirschberg labels every node with the *minimum node index* of its
+//!   component; the baselines produce the same canonical form);
+//! * [`io`] — plain edge-list serialization, so experiments can be re-run on
+//!   external inputs;
+//! * [`verify`] — oracle-free validation of component labelings (detects
+//!   both under- and over-merging directly against the graph).
+//!
+//! All node ids are 0-based `usize` (the paper is 1-based; see DESIGN.md §3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adjacency;
+mod adjlist;
+mod builder;
+pub mod connectivity;
+mod error;
+pub mod generators;
+pub mod io;
+mod labeling;
+pub mod properties;
+mod union_find;
+pub mod verify;
+
+pub use adjacency::AdjacencyMatrix;
+pub use adjlist::AdjacencyList;
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use labeling::Labeling;
+pub use union_find::UnionFind;
+
+/// Convenience alias used throughout the workspace: a graph is its matrix.
+pub type Graph = AdjacencyMatrix;

@@ -1,0 +1,148 @@
+//! Graph property measurements used to characterize benchmark workloads.
+//!
+//! The paper's optimality claim is conditional on density (`m = Θ(n²)`), so
+//! the benchmark harness reports the density and degree profile of every
+//! workload next to its timings.
+
+use crate::AdjacencyMatrix;
+
+/// Summary statistics of a graph, reported alongside every experiment row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub n: usize,
+    /// Number of undirected edges.
+    pub m: usize,
+    /// `2m / (n(n-1))`, in `[0, 1]`; `NaN`-free (0 for `n < 2`).
+    pub density: f64,
+    /// Smallest degree.
+    pub min_degree: usize,
+    /// Largest degree.
+    pub max_degree: usize,
+    /// Mean degree `2m / n` (0 for empty graphs).
+    pub mean_degree: f64,
+    /// Number of isolated (degree-0) nodes.
+    pub isolated: usize,
+}
+
+/// Computes [`GraphStats`] for a graph.
+pub fn stats(g: &AdjacencyMatrix) -> GraphStats {
+    let n = g.n();
+    let m = g.edge_count();
+    let mut min_degree = usize::MAX;
+    let mut max_degree = 0;
+    let mut isolated = 0;
+    for v in 0..n {
+        let d = g.degree(v);
+        min_degree = min_degree.min(d);
+        max_degree = max_degree.max(d);
+        if d == 0 {
+            isolated += 1;
+        }
+    }
+    if n == 0 {
+        min_degree = 0;
+    }
+    let density = if n >= 2 {
+        (2 * m) as f64 / (n * (n - 1)) as f64
+    } else {
+        0.0
+    };
+    let mean_degree = if n > 0 { (2 * m) as f64 / n as f64 } else { 0.0 };
+    GraphStats {
+        n,
+        m,
+        density,
+        min_degree,
+        max_degree,
+        mean_degree,
+        isolated,
+    }
+}
+
+/// Is the graph in the dense regime (`m ≥ c · n²` for `c = 1/8`) where the
+/// paper's work-optimality argument applies?
+pub fn is_dense(g: &AdjacencyMatrix) -> bool {
+    let n = g.n();
+    n >= 2 && 8 * g.edge_count() >= n * n
+}
+
+/// The degree histogram: `hist[d]` = number of nodes with degree `d`.
+pub fn degree_histogram(g: &AdjacencyMatrix) -> Vec<usize> {
+    let n = g.n();
+    let mut hist = vec![0usize; n.max(1)];
+    for v in 0..n {
+        hist[g.degree(v)] += 1;
+    }
+    // Trim trailing zeros but keep at least one entry.
+    while hist.len() > 1 && *hist.last().unwrap() == 0 {
+        hist.pop();
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn stats_of_complete_graph() {
+        let g = generators::complete(5);
+        let s = stats(&g);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.m, 10);
+        assert!((s.density - 1.0).abs() < 1e-12);
+        assert_eq!(s.min_degree, 4);
+        assert_eq!(s.max_degree, 4);
+        assert_eq!(s.isolated, 0);
+        assert!((s.mean_degree - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let s = stats(&generators::empty(4));
+        assert_eq!(s.m, 0);
+        assert_eq!(s.density, 0.0);
+        assert_eq!(s.isolated, 4);
+        assert_eq!(s.min_degree, 0);
+    }
+
+    #[test]
+    fn stats_of_zero_node_graph() {
+        let s = stats(&generators::empty(0));
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean_degree, 0.0);
+        assert_eq!(s.min_degree, 0);
+    }
+
+    #[test]
+    fn stats_of_star() {
+        let s = stats(&generators::star(6));
+        assert_eq!(s.max_degree, 5);
+        assert_eq!(s.min_degree, 1);
+        assert_eq!(s.isolated, 0);
+    }
+
+    #[test]
+    fn density_regimes() {
+        assert!(is_dense(&generators::complete(10)));
+        assert!(is_dense(&generators::gnp(32, 0.5, 1)));
+        assert!(!is_dense(&generators::path(64)));
+        assert!(!is_dense(&generators::empty(2)));
+        assert!(!is_dense(&generators::empty(0)));
+    }
+
+    #[test]
+    fn degree_histogram_star() {
+        let h = degree_histogram(&generators::star(5));
+        // 4 leaves of degree 1, one center of degree 4.
+        assert_eq!(h, vec![0, 4, 0, 0, 1]);
+    }
+
+    #[test]
+    fn degree_histogram_empty() {
+        assert_eq!(degree_histogram(&generators::empty(3)), vec![3]);
+        assert_eq!(degree_histogram(&generators::empty(0)), vec![0]);
+    }
+}

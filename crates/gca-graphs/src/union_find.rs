@@ -1,0 +1,192 @@
+/// Disjoint-set forest with union-by-size and path halving.
+///
+/// This is the fastest sequential building block for connected components
+/// and the ground truth every parallel implementation in the workspace is
+/// checked against. `find` uses path halving (grandparent pointer rewrites),
+/// which keeps the amortized cost effectively constant without recursion.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` iff the structure tracks zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets.
+    #[inline]
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Finds the representative of `x`'s set, halving the path on the way.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Representative lookup without mutation (no path compression).
+    pub fn find_immutable(&self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Unions the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let mut ra = self.find(a);
+        let mut rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+        self.components -= 1;
+        true
+    }
+
+    /// Returns `true` iff `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r]
+    }
+
+    /// Produces the canonical labeling: every element mapped to the
+    /// **minimum element index** of its set. This is exactly the output
+    /// format of Hirschberg's algorithm (super node = smallest index).
+    pub fn min_labels(&mut self) -> Vec<usize> {
+        let n = self.len();
+        let mut min_of_root = vec![usize::MAX; n];
+        for x in 0..n {
+            let r = self.find(x);
+            if x < min_of_root[r] {
+                min_of_root[r] = x;
+            }
+        }
+        (0..n).map(|x| min_of_root[self.find(x)]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.component_count(), 4);
+        for i in 0..4 {
+            assert_eq!(uf.find(i), i);
+        }
+    }
+
+    #[test]
+    fn union_merges() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 2));
+        assert_eq!(uf.component_count(), 3);
+    }
+
+    #[test]
+    fn set_sizes() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        assert_eq!(uf.set_size(2), 3);
+        assert_eq!(uf.set_size(3), 1);
+    }
+
+    #[test]
+    fn min_labels_canonical() {
+        let mut uf = UnionFind::new(6);
+        uf.union(5, 3);
+        uf.union(3, 4);
+        uf.union(0, 1);
+        let labels = uf.min_labels();
+        assert_eq!(labels, vec![0, 0, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn min_labels_all_merged() {
+        let mut uf = UnionFind::new(5);
+        for i in 1..5 {
+            uf.union(i, i - 1);
+        }
+        assert_eq!(uf.min_labels(), vec![0; 5]);
+        assert_eq!(uf.component_count(), 1);
+    }
+
+    #[test]
+    fn find_immutable_matches_find() {
+        let mut uf = UnionFind::new(8);
+        uf.union(1, 2);
+        uf.union(2, 3);
+        uf.union(5, 6);
+        for x in 0..8 {
+            let r1 = uf.find_immutable(x);
+            let r2 = uf.find(x);
+            assert_eq!(r1, r2);
+        }
+    }
+
+    #[test]
+    fn empty_union_find() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.component_count(), 0);
+    }
+
+    #[test]
+    fn path_halving_shortens_paths() {
+        let mut uf = UnionFind::new(10);
+        // Build a deliberate chain by unioning in increasing size order.
+        for i in 0..9 {
+            uf.union(i, i + 1);
+        }
+        let root = uf.find(9);
+        // After a find, the path from 9 must be at most a couple of hops.
+        let mut hops = 0;
+        let mut x = 9;
+        while uf.parent[x] != x {
+            x = uf.parent[x];
+            hops += 1;
+        }
+        assert_eq!(x, root);
+        assert!(hops <= 2, "path halving should have shortened the chain");
+    }
+}

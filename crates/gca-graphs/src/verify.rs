@@ -1,0 +1,252 @@
+//! Independent verification of component labelings.
+//!
+//! A labeling can be wrong in two directions: *under-merging* (an edge
+//! crosses two label classes) and *over-merging* (a label class is not
+//! internally connected). Comparing against another CC implementation only
+//! shifts trust; this module checks the defining properties directly
+//! against the graph, so every machine in the workspace can be validated
+//! without a trusted oracle.
+
+use crate::{AdjacencyList, Labeling};
+use std::fmt;
+
+/// Why a labeling failed verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The labeling covers a different number of nodes than the graph.
+    SizeMismatch {
+        /// Nodes in the graph.
+        graph_nodes: usize,
+        /// Nodes in the labeling.
+        labeling_nodes: usize,
+    },
+    /// An edge connects two different label classes (under-merging).
+    CrossingEdge {
+        /// The edge.
+        edge: (usize, usize),
+        /// The two labels.
+        labels: (usize, usize),
+    },
+    /// A node's label is not the minimum index of its class, or the label
+    /// is not itself in the class (non-canonical labeling).
+    NotCanonical {
+        /// The offending node.
+        node: usize,
+        /// Its label.
+        label: usize,
+        /// The true minimum of its class.
+        class_min: usize,
+    },
+    /// A label class is not internally connected (over-merging).
+    DisconnectedClass {
+        /// The class label.
+        label: usize,
+        /// A member unreachable from the class representative.
+        unreachable: usize,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::SizeMismatch { graph_nodes, labeling_nodes } => write!(
+                f,
+                "labeling covers {labeling_nodes} nodes but the graph has {graph_nodes}"
+            ),
+            VerifyError::CrossingEdge { edge, labels } => write!(
+                f,
+                "edge ({}, {}) crosses components {} and {} (under-merged)",
+                edge.0, edge.1, labels.0, labels.1
+            ),
+            VerifyError::NotCanonical { node, label, class_min } => write!(
+                f,
+                "node {node} labeled {label} but its class minimum is {class_min}"
+            ),
+            VerifyError::DisconnectedClass { label, unreachable } => write!(
+                f,
+                "class {label} is not connected: node {unreachable} is unreachable \
+                 from the representative (over-merged)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies that `labeling` is exactly the canonical connected-components
+/// labeling of `graph`:
+///
+/// 1. sizes agree;
+/// 2. no edge crosses classes;
+/// 3. every label is the minimum member of its class;
+/// 4. every class is internally connected.
+///
+/// Together these four properties *uniquely* determine the canonical
+/// labeling, so passing verification is equivalent to full correctness.
+pub fn verify_components(graph: &AdjacencyList, labeling: &Labeling) -> Result<(), VerifyError> {
+    let n = graph.n();
+    if labeling.n() != n {
+        return Err(VerifyError::SizeMismatch {
+            graph_nodes: n,
+            labeling_nodes: labeling.n(),
+        });
+    }
+
+    // 2. No crossing edges.
+    for (u, v) in graph.edges() {
+        let (lu, lv) = (labeling.label(u), labeling.label(v));
+        if lu != lv {
+            return Err(VerifyError::CrossingEdge {
+                edge: (u, v),
+                labels: (lu, lv),
+            });
+        }
+    }
+
+    // 3. Canonical representatives.
+    let mut class_min = vec![usize::MAX; n];
+    for v in 0..n {
+        let l = labeling.label(v);
+        if v < class_min[l] {
+            class_min[l] = v;
+        }
+    }
+    for v in 0..n {
+        let l = labeling.label(v);
+        if l != class_min[l] {
+            return Err(VerifyError::NotCanonical {
+                node: v,
+                label: l,
+                class_min: class_min[l],
+            });
+        }
+    }
+
+    // 4. Internal connectivity: BFS from each representative restricted to
+    //    its class must reach every member.
+    let mut reached = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    for v in 0..n {
+        if labeling.label(v) == v {
+            reached[v] = true;
+            queue.push_back(v);
+            while let Some(u) = queue.pop_front() {
+                for &w in graph.neighbors(u) {
+                    if !reached[w] {
+                        reached[w] = true;
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+    }
+    if let Some(v) = (0..n).find(|&v| !reached[v]) {
+        return Err(VerifyError::DisconnectedClass {
+            label: labeling.label(v),
+            unreachable: v,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::bfs_components;
+    use crate::{generators, GraphBuilder};
+
+    fn list(edges: &[(usize, usize)], n: usize) -> AdjacencyList {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            b = b.edge(u, v);
+        }
+        b.build().unwrap().to_adjacency_list()
+    }
+
+    #[test]
+    fn accepts_correct_labelings() {
+        for seed in 0..5 {
+            let g = generators::gnp(20, 0.15, seed).to_adjacency_list();
+            let l = bfs_components(&g);
+            verify_components(&g, &l).unwrap();
+        }
+    }
+
+    #[test]
+    fn rejects_size_mismatch() {
+        let g = list(&[], 3);
+        let l = Labeling::new(vec![0, 1]).unwrap();
+        assert!(matches!(
+            verify_components(&g, &l),
+            Err(VerifyError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_under_merging() {
+        // Edge (0,1) but separate labels.
+        let g = list(&[(0, 1)], 2);
+        let l = Labeling::new(vec![0, 1]).unwrap();
+        assert_eq!(
+            verify_components(&g, &l),
+            Err(VerifyError::CrossingEdge {
+                edge: (0, 1),
+                labels: (0, 1)
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_over_merging() {
+        // No edge between 0 and 1, yet both labeled 0.
+        let g = list(&[], 2);
+        let l = Labeling::new(vec![0, 0]).unwrap();
+        assert_eq!(
+            verify_components(&g, &l),
+            Err(VerifyError::DisconnectedClass {
+                label: 0,
+                unreachable: 1
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_non_canonical_representative() {
+        // Component {0,1} labeled with 1 instead of its minimum 0.
+        let g = list(&[(0, 1)], 2);
+        let l = Labeling::new(vec![1, 1]).unwrap();
+        assert_eq!(
+            verify_components(&g, &l),
+            Err(VerifyError::NotCanonical {
+                node: 0,
+                label: 1,
+                class_min: 0
+            })
+        );
+    }
+
+    #[test]
+    fn detects_partial_over_merge_in_larger_graph() {
+        // {0,1} and {2,3} are separate components; labeling merges them.
+        let g = list(&[(0, 1), (2, 3)], 4);
+        let l = Labeling::new(vec![0, 0, 0, 0]).unwrap();
+        assert!(matches!(
+            verify_components(&g, &l),
+            Err(VerifyError::DisconnectedClass { label: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn error_messages_name_entities() {
+        let e = VerifyError::CrossingEdge {
+            edge: (1, 2),
+            labels: (0, 2),
+        };
+        assert!(e.to_string().contains("(1, 2)"));
+        let e = VerifyError::DisconnectedClass {
+            label: 3,
+            unreachable: 7,
+        };
+        assert!(e.to_string().contains("node 7"));
+    }
+}

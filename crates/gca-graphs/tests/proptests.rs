@@ -1,0 +1,131 @@
+//! Property-based tests for the graph substrate.
+
+use gca_graphs::connectivity::{
+    bfs_components, component_count, dfs_components, union_find_components,
+    union_find_components_dense,
+};
+use gca_graphs::{generators, io, AdjacencyMatrix, Labeling, UnionFind};
+use proptest::prelude::*;
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = AdjacencyMatrix> {
+    (1usize..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..80).prop_map(move |pairs| {
+            let mut g = AdjacencyMatrix::new(n);
+            for (u, v) in pairs {
+                if u != v {
+                    g.add_edge(u, v).unwrap();
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All sequential algorithms compute identical canonical labelings.
+    #[test]
+    fn baselines_agree(g in arb_graph(30)) {
+        let list = g.to_adjacency_list();
+        let bfs = bfs_components(&list);
+        prop_assert_eq!(&dfs_components(&list), &bfs);
+        prop_assert_eq!(&union_find_components(&list), &bfs);
+        prop_assert_eq!(&union_find_components_dense(&g), &bfs);
+        prop_assert_eq!(component_count(&list), bfs.component_count());
+    }
+
+    /// The matrix is always symmetric with a zero diagonal, and the degree
+    /// sum equals twice the edge count.
+    #[test]
+    fn matrix_invariants(g in arb_graph(40)) {
+        g.validate().unwrap();
+        let degree_sum: usize = (0..g.n()).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+        for (u, v) in g.edges() {
+            prop_assert!(u < v);
+            prop_assert!(g.has_edge(v, u));
+        }
+    }
+
+    /// Adjacency list ↔ matrix conversions are lossless.
+    #[test]
+    fn representation_round_trip(g in arb_graph(40)) {
+        let list = g.to_adjacency_list();
+        prop_assert_eq!(list.to_matrix(), g.clone());
+        prop_assert_eq!(list.edge_count(), g.edge_count());
+    }
+
+    /// Edge-list serialization round-trips.
+    #[test]
+    fn io_round_trip(g in arb_graph(40)) {
+        let text = io::to_edge_list(&g);
+        prop_assert_eq!(io::from_edge_list(&text).unwrap(), g);
+    }
+
+    /// Canonicalization is idempotent and preserves the partition.
+    #[test]
+    fn labeling_canonicalization(labels in proptest::collection::vec(0usize..12, 1..12)) {
+        let n = labels.len();
+        let labels: Vec<usize> = labels.into_iter().map(|l| l % n).collect();
+        let l = Labeling::new(labels).unwrap();
+        let c = l.canonicalize();
+        prop_assert!(c.is_canonical());
+        prop_assert_eq!(c.canonicalize(), c.clone());
+        prop_assert!(l.same_partition(&c));
+        prop_assert_eq!(l.component_count(), c.component_count());
+    }
+
+    /// Union-find maintains its component count and labels correctly under
+    /// arbitrary union sequences.
+    #[test]
+    fn union_find_invariants(n in 1usize..30, ops in proptest::collection::vec((0usize..30, 0usize..30), 0..60)) {
+        let mut uf = UnionFind::new(n);
+        let mut merges = 0;
+        for (a, b) in ops {
+            let (a, b) = (a % n, b % n);
+            if uf.union(a, b) {
+                merges += 1;
+            }
+            prop_assert!(uf.connected(a, b));
+        }
+        prop_assert_eq!(uf.component_count(), n - merges);
+        let labels = uf.min_labels();
+        for x in 0..n {
+            prop_assert!(labels[x] <= x);
+            prop_assert_eq!(labels[labels[x]], labels[x]);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `gnm` produces exactly m edges for any feasible m.
+    #[test]
+    fn gnm_exact(n in 2usize..20, seed in 0u64..100, frac in 0.0f64..1.0) {
+        let max = n * (n - 1) / 2;
+        let m = ((max as f64) * frac) as usize;
+        let g = generators::gnm(n, m, seed);
+        prop_assert_eq!(g.edge_count(), m);
+        g.validate().unwrap();
+    }
+
+    /// Forests have exactly k components and n - k edges.
+    #[test]
+    fn forest_structure(n in 1usize..30, k in 1usize..30, seed in 0u64..100) {
+        let k = k.min(n);
+        let g = generators::random_forest(n, k, seed);
+        prop_assert_eq!(g.edge_count(), n - k);
+        prop_assert_eq!(component_count(&g.to_adjacency_list()), k);
+    }
+
+    /// Planted components are always recovered by the baselines.
+    #[test]
+    fn planted_recovery(n in 2usize..30, k in 1usize..6, seed in 0u64..100, p in 0.0f64..0.8) {
+        let k = k.min(n);
+        let planted = generators::planted_components(n, k, p, seed);
+        let found = union_find_components_dense(&planted.graph);
+        prop_assert!(found.same_partition(&planted.expected_labels()));
+    }
+}

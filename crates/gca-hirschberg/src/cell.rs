@@ -1,0 +1,82 @@
+use gca_engine::Word;
+
+/// The state of one Hirschberg-field cell.
+///
+/// The paper: *"Each cell stores (a, d, p)"* — the adjacency entry `a`, the
+/// data word `d`, and the pointer `p`. In this implementation the pointer is
+/// re-computed by the rule in the generation it is used (the paper: *"In our
+/// algorithm the pointer is computed in the current generation"*), so it is
+/// not part of the stored state; only `a` and `d` are.
+///
+/// * `d` holds a node / super-node number or the `∞` sentinel
+///   ([`gca_engine::INFINITY`]);
+/// * `a` holds `A(row, col)` for square cells and is unused (false) in the
+///   extra bottom row `D_N`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct HCell {
+    /// The data field `d` (a node number or `∞`).
+    pub d: Word,
+    /// The adjacency-matrix entry stored with the cell.
+    pub a: bool,
+}
+
+impl HCell {
+    /// A cell with data `d` and no adjacency bit.
+    pub fn new(d: Word) -> Self {
+        HCell { d, a: false }
+    }
+
+    /// A cell with data `d` and adjacency bit `a`.
+    pub fn with_adjacency(d: Word, a: bool) -> Self {
+        HCell { d, a }
+    }
+
+    /// Returns a copy with the data replaced (the adjacency bit is constant
+    /// for the whole run, so every data operation goes through here).
+    #[inline]
+    pub fn with_d(self, d: Word) -> Self {
+        HCell { d, a: self.a }
+    }
+
+    /// Is the data field the `∞` sentinel?
+    #[inline]
+    pub fn is_infinity(&self) -> bool {
+        self.d == gca_engine::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gca_engine::INFINITY;
+
+    #[test]
+    fn constructors() {
+        let c = HCell::new(5);
+        assert_eq!(c.d, 5);
+        assert!(!c.a);
+        let c = HCell::with_adjacency(7, true);
+        assert_eq!(c.d, 7);
+        assert!(c.a);
+    }
+
+    #[test]
+    fn with_d_preserves_adjacency() {
+        let c = HCell::with_adjacency(1, true).with_d(9);
+        assert_eq!(c.d, 9);
+        assert!(c.a);
+    }
+
+    #[test]
+    fn infinity_detection() {
+        assert!(HCell::new(INFINITY).is_infinity());
+        assert!(!HCell::new(0).is_infinity());
+    }
+
+    #[test]
+    fn state_is_small() {
+        // The data path of the paper's cell is a handful of registers; keep
+        // the simulated state compact so big fields stay cache-friendly.
+        assert!(std::mem::size_of::<HCell>() <= 8);
+    }
+}

@@ -1,0 +1,139 @@
+//! Closed-form generation counts (Table 2 and the Section-3 formula).
+//!
+//! The paper: *"The steps 1, 4 and 6 can be performed in one generation.
+//! Steps 2 and 3 each need `1 + log(n) + 1 + 1` generations, because the
+//! minimum needs `log(n)` sub generations. Step 5 needs one generation, but
+//! this step is repeated `log(n)` times. The steps 2 to 6 are executed in
+//! `log(n)` iterations. So the total amount of generations is
+//! `1 + log(n)·(3·log(n) + 8)`."*
+//!
+//! All logarithms are `⌈log₂ n⌉` (the paper assumes power-of-two `n`; the
+//! ceiling generalizes the formulas to every `n` and coincides for powers of
+//! two).
+
+/// `⌈log₂ n⌉`, with the conventions `ceil_log2(0) = ceil_log2(1) = 0`.
+pub fn ceil_log2(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+/// One row of Table 2: generations needed per reference-algorithm step,
+/// **per outer iteration** (step 1 runs only once, before the iterations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Table2Row {
+    /// Step of the reference algorithm (1-based).
+    pub step: u32,
+    /// Generations this step expands into.
+    pub generations: u64,
+}
+
+/// Table 2 for problem size `n`.
+///
+/// * step 1 → `1`
+/// * step 2 → `1 + log n + 1 + 1`
+/// * step 3 → `1 + log n + 1 + 1`
+/// * step 4 → `1`
+/// * step 5 → `log n`
+/// * step 6 → `1`
+pub fn table2(n: usize) -> [Table2Row; 6] {
+    let l = u64::from(ceil_log2(n));
+    [
+        Table2Row { step: 1, generations: 1 },
+        Table2Row { step: 2, generations: 3 + l },
+        Table2Row { step: 3, generations: 3 + l },
+        Table2Row { step: 4, generations: 1 },
+        Table2Row { step: 5, generations: l },
+        Table2Row { step: 6, generations: 1 },
+    ]
+}
+
+/// Generations per outer iteration: `3·log n + 8`.
+pub fn generations_per_iteration(n: usize) -> u64 {
+    3 * u64::from(ceil_log2(n)) + 8
+}
+
+/// Number of outer iterations: `⌈log₂ n⌉`.
+pub fn outer_iterations(n: usize) -> u32 {
+    ceil_log2(n)
+}
+
+/// The paper's total: `1 + log n · (3·log n + 8)`.
+pub fn total_generations(n: usize) -> u64 {
+    let l = u64::from(ceil_log2(n));
+    1 + l * (3 * l + 8)
+}
+
+/// Asymptotic work `w = t_p · P` of the GCA design: `O(log² n)` time on
+/// `n(n+1)` cells. The paper argues this is *not* wasteful for a GCA even
+/// though it exceeds the sequential `Θ(n²)` bound for dense graphs, because
+/// in an FPGA a cell costs no more than the memory it replaces.
+pub fn work(n: usize) -> u64 {
+    total_generations(n) * (n as u64) * (n as u64 + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(9), 4);
+        assert_eq!(ceil_log2(1 << 20), 20);
+        assert_eq!(ceil_log2((1 << 20) + 1), 21);
+    }
+
+    #[test]
+    fn table2_for_power_of_two() {
+        let t = table2(16); // log = 4
+        assert_eq!(t[0].generations, 1);
+        assert_eq!(t[1].generations, 7);
+        assert_eq!(t[2].generations, 7);
+        assert_eq!(t[3].generations, 1);
+        assert_eq!(t[4].generations, 4);
+        assert_eq!(t[5].generations, 1);
+    }
+
+    #[test]
+    fn iteration_total_matches_table2() {
+        for n in [2usize, 4, 7, 16, 100] {
+            let per_step: u64 = table2(n)[1..].iter().map(|r| r.generations).sum();
+            assert_eq!(per_step, generations_per_iteration(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn total_formula() {
+        // n = 16: 1 + 4·(12 + 8) = 81.
+        assert_eq!(total_generations(16), 81);
+        // n = 4: 1 + 2·(6 + 8) = 29.
+        assert_eq!(total_generations(4), 29);
+        // n = 1: init only.
+        assert_eq!(total_generations(1), 1);
+    }
+
+    #[test]
+    fn total_composes_from_parts() {
+        for n in [1usize, 2, 3, 8, 31, 64] {
+            assert_eq!(
+                total_generations(n),
+                1 + u64::from(outer_iterations(n)) * generations_per_iteration(n),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn work_scales_with_n_squared_polylog() {
+        assert_eq!(work(16), 81 * 16 * 17);
+    }
+}

@@ -1,0 +1,217 @@
+use crate::complexity::ceil_log2;
+
+/// The twelve generations of the GCA algorithm (Figure 2).
+///
+/// The numeric value of each variant is the paper's generation number and is
+/// what the driver forwards as [`gca_engine::StepCtx::phase`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum Gen {
+    /// Generation 0 — `d ← row(index)` (step 1 of the reference algorithm).
+    Init = 0,
+    /// Generation 1 — broadcast `C` (column 0) into every row incl. `D_N`.
+    BroadcastC = 1,
+    /// Generation 2 — keep `d` where `A = 1 ∧ d ≠ C(row)`, else `∞`.
+    FilterNeighbors = 2,
+    /// Generation 3 — row-wise tree-reduction minimum (`⌈log₂ n⌉` subgens).
+    MinReduce = 3,
+    /// Generation 4 — `∞` in column 0 falls back to `C(row)` from `D_N`.
+    ResolveIsolated = 4,
+    /// Generation 5 — broadcast `T` (column 0) into every square row.
+    BroadcastT = 5,
+    /// Generation 6 — keep `d` where `C(col) = row ∧ d ≠ row`, else `∞`.
+    FilterMembers = 6,
+    /// Generation 7 — identical to generation 3.
+    MinReduceMembers = 7,
+    /// Generation 8 — identical to generation 4.
+    ResolveMembers = 8,
+    /// Generation 9 — copy `T` across columns; save `T` into `D_N`.
+    CopyAndSaveT = 9,
+    /// Generation 10 — pointer jumping `C ← C(C)` (`⌈log₂ n⌉` subgens).
+    PointerJump = 10,
+    /// Generation 11 — `C ← min(C, T(C))`, reading column 1 of row `C`.
+    FinalMin = 11,
+}
+
+impl Gen {
+    /// All generations in execution order.
+    pub const ALL: [Gen; 12] = [
+        Gen::Init,
+        Gen::BroadcastC,
+        Gen::FilterNeighbors,
+        Gen::MinReduce,
+        Gen::ResolveIsolated,
+        Gen::BroadcastT,
+        Gen::FilterMembers,
+        Gen::MinReduceMembers,
+        Gen::ResolveMembers,
+        Gen::CopyAndSaveT,
+        Gen::PointerJump,
+        Gen::FinalMin,
+    ];
+
+    /// The paper's generation number.
+    #[inline]
+    pub fn number(self) -> u32 {
+        self as u32
+    }
+
+    /// Reverse lookup from a phase tag.
+    pub fn from_number(v: u32) -> Option<Gen> {
+        Gen::ALL.get(v as usize).copied()
+    }
+
+    /// Which of the reference algorithm's six steps (1-based) this
+    /// generation implements (Table 1's left column).
+    pub fn step(self) -> u32 {
+        match self {
+            Gen::Init => 1,
+            Gen::BroadcastC | Gen::FilterNeighbors | Gen::MinReduce | Gen::ResolveIsolated => 2,
+            Gen::BroadcastT | Gen::FilterMembers | Gen::MinReduceMembers | Gen::ResolveMembers => 3,
+            Gen::CopyAndSaveT => 4,
+            Gen::PointerJump => 5,
+            Gen::FinalMin => 6,
+        }
+    }
+
+    /// Does this generation iterate `⌈log₂ n⌉` sub-generations?
+    pub fn is_iterated(self) -> bool {
+        matches!(
+            self,
+            Gen::MinReduce | Gen::MinReduceMembers | Gen::PointerJump
+        )
+    }
+
+    /// Number of sub-generations this generation executes for problem size
+    /// `n` (1 for non-iterated generations).
+    pub fn subgenerations(self, n: usize) -> u32 {
+        if self.is_iterated() {
+            ceil_log2(n)
+        } else {
+            1
+        }
+    }
+
+    /// The pointer operation of Figure 2 (left column), in the paper's
+    /// notation.
+    pub fn pointer_op(self) -> &'static str {
+        match self {
+            Gen::Init => "p = index",
+            Gen::BroadcastC => "p = col(index)*n",
+            Gen::FilterNeighbors => "p = n^2 + row(index)            (D_N[row], square only)",
+            Gen::MinReduce | Gen::MinReduceMembers => {
+                "p = index + (1 << subGeneration)  (if col % 2^(s+1) == 0 and col + 2^s < n)"
+            }
+            Gen::ResolveIsolated | Gen::ResolveMembers => {
+                "p = n^2 + row(index)              (first column only)"
+            }
+            Gen::BroadcastT => "p = col(index)*n                  (square only)",
+            Gen::FilterMembers => "p = n^2 + col(index)              (D_N[col], square only)",
+            Gen::CopyAndSaveT => "p = row(index)*n  /  p = col(index)*n for D_N",
+            Gen::PointerJump => "p = d*n                           (first column only)",
+            Gen::FinalMin => "p = d*n + 1                       (first column only)",
+        }
+    }
+
+    /// The data operation of Figure 2 (right column), in the paper's
+    /// notation.
+    pub fn data_op(self) -> &'static str {
+        match self {
+            Gen::Init => "d <- row(index)",
+            Gen::BroadcastC => "d <- d*",
+            Gen::FilterNeighbors => {
+                "if ((A == 1) & (d != d*)) | (row == n) then d <- d else d <- inf"
+            }
+            Gen::MinReduce | Gen::MinReduceMembers => {
+                "if (d* < d) & participating then d <- d* else d <- d"
+            }
+            Gen::ResolveIsolated | Gen::ResolveMembers => {
+                "if d == inf then d <- d* else d <- d"
+            }
+            Gen::BroadcastT => "if row == n then d <- d else d <- d*",
+            Gen::FilterMembers => {
+                "if ((d* == row) & (d != row)) | (row == n) then d <- d else d <- inf"
+            }
+            Gen::CopyAndSaveT => "if col == 0 & row != n then d <- d else d <- d*",
+            Gen::PointerJump => "if col == 0 then d <- d* else d <- d",
+            Gen::FinalMin => "if d < d* then d <- d else d <- d*",
+        }
+    }
+}
+
+/// The `(generation, sub-generation)` sequence of **one outer iteration**
+/// (generations 1–11; generation 0 runs once, before the first iteration).
+///
+/// Its length is `8 + 3·⌈log₂ n⌉`, the per-iteration term of the paper's
+/// total-generation formula.
+pub fn iteration_schedule(n: usize) -> Vec<(Gen, u32)> {
+    let mut v = Vec::new();
+    for g in Gen::ALL.into_iter().skip(1) {
+        for s in 0..g.subgenerations(n) {
+            v.push((g, s));
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_match_positions() {
+        for (i, g) in Gen::ALL.iter().enumerate() {
+            assert_eq!(g.number() as usize, i);
+            assert_eq!(Gen::from_number(i as u32), Some(*g));
+        }
+        assert_eq!(Gen::from_number(12), None);
+    }
+
+    #[test]
+    fn steps_match_table1() {
+        assert_eq!(Gen::Init.step(), 1);
+        assert_eq!(Gen::BroadcastC.step(), 2);
+        assert_eq!(Gen::ResolveIsolated.step(), 2);
+        assert_eq!(Gen::BroadcastT.step(), 3);
+        assert_eq!(Gen::ResolveMembers.step(), 3);
+        assert_eq!(Gen::CopyAndSaveT.step(), 4);
+        assert_eq!(Gen::PointerJump.step(), 5);
+        assert_eq!(Gen::FinalMin.step(), 6);
+    }
+
+    #[test]
+    fn iterated_generations() {
+        assert!(Gen::MinReduce.is_iterated());
+        assert!(Gen::MinReduceMembers.is_iterated());
+        assert!(Gen::PointerJump.is_iterated());
+        assert!(!Gen::BroadcastC.is_iterated());
+    }
+
+    #[test]
+    fn subgeneration_counts() {
+        assert_eq!(Gen::MinReduce.subgenerations(8), 3);
+        assert_eq!(Gen::MinReduce.subgenerations(5), 3);
+        assert_eq!(Gen::MinReduce.subgenerations(1), 0);
+        assert_eq!(Gen::BroadcastC.subgenerations(8), 1);
+    }
+
+    #[test]
+    fn schedule_length_is_8_plus_3_log_n() {
+        for n in [2usize, 4, 5, 8, 16, 33] {
+            let l = ceil_log2(n) as usize;
+            assert_eq!(iteration_schedule(n).len(), 8 + 3 * l, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn schedule_order_for_n4() {
+        let s = iteration_schedule(4);
+        let phases: Vec<u32> = s.iter().map(|(g, _)| g.number()).collect();
+        assert_eq!(
+            phases,
+            vec![1, 2, 3, 3, 4, 5, 6, 7, 7, 8, 9, 10, 10, 11]
+        );
+        let subgens: Vec<u32> = s.iter().map(|&(_, s)| s).collect();
+        assert_eq!(subgens, vec![0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 1, 0]);
+    }
+}

@@ -1,0 +1,288 @@
+//! Table 1: per-generation active cells, read targets and congestion δ —
+//! the paper's claims as closed forms in `n`, plus measurement on real runs.
+//!
+//! The paper's table lists, for every generation, how many cells *modify
+//! their state* and how many cells are read with which congestion
+//! (`δ = number of concurrent read accesses`). The claims are workload-
+//! independent for the statically-addressed generations (0–9) and worst-case
+//! bounds for the data-dependent ones (10, 11). [`measure_first_iteration`]
+//! instruments an actual run so the table binary can print *claimed vs.
+//! measured*; small definitional deviations in the paper's own rows (e.g.
+//! generation 5 listed as `n(n+1)` active although its text says the last
+//! row stays unchanged) are documented in EXPERIMENTS.md.
+
+use crate::{Gen, HirschbergGca, Machine};
+use gca_engine::{Engine, GcaError, Instrumentation};
+use gca_graphs::AdjacencyMatrix;
+use std::collections::BTreeMap;
+
+/// One claimed row of Table 1 (formulas evaluated at `n`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PaperClaim {
+    /// Generation number (0–11).
+    pub generation: u32,
+    /// Reference-algorithm step (Table 1, left column).
+    pub step: u32,
+    /// Claimed number of active cells.
+    pub active: u64,
+    /// Claimed `(number of cells, δ)` read groups.
+    pub groups: Vec<(u64, u64)>,
+    /// `true` for the data-dependent generations where δ is a worst-case
+    /// bound rather than an exact count.
+    pub worst_case: bool,
+}
+
+/// The paper's Table 1 evaluated at problem size `n`.
+pub fn paper_table1(n: usize) -> Vec<PaperClaim> {
+    let n = n as u64;
+    let sq = n * n;
+    vec![
+        PaperClaim {
+            generation: 0,
+            step: 1,
+            active: n * (n + 1),
+            groups: vec![],
+            worst_case: false,
+        },
+        PaperClaim {
+            generation: 1,
+            step: 2,
+            active: n * (n + 1),
+            groups: vec![(sq, 0), (n, n + 1)],
+            worst_case: false,
+        },
+        PaperClaim {
+            generation: 2,
+            step: 2,
+            active: sq,
+            groups: vec![(sq, 0), (n, n)],
+            worst_case: false,
+        },
+        PaperClaim {
+            generation: 3,
+            step: 2,
+            active: sq / 2,
+            groups: vec![((n.saturating_sub(1)).pow(2), 1), (n + n, 0)],
+            worst_case: false,
+        },
+        PaperClaim {
+            generation: 4,
+            step: 2,
+            active: n,
+            groups: vec![(n, 1), (sq, 0)],
+            worst_case: false,
+        },
+        PaperClaim {
+            generation: 5,
+            step: 3,
+            active: n * (n + 1),
+            groups: vec![(sq, 0), (n, n + 1)],
+            worst_case: false,
+        },
+        PaperClaim {
+            generation: 6,
+            step: 3,
+            active: sq,
+            groups: vec![(sq, 0), (n, n)],
+            worst_case: false,
+        },
+        PaperClaim {
+            generation: 7,
+            step: 3,
+            active: sq / 2,
+            groups: vec![((n.saturating_sub(1)).pow(2), 1), (n + n, 0)],
+            worst_case: false,
+        },
+        PaperClaim {
+            generation: 8,
+            step: 3,
+            active: n,
+            groups: vec![(n, 1), (sq, 0)],
+            worst_case: false,
+        },
+        PaperClaim {
+            generation: 9,
+            step: 4,
+            active: (n.saturating_sub(1)).pow(2),
+            groups: vec![(n, n.saturating_sub(1)), (sq, 0)],
+            worst_case: false,
+        },
+        PaperClaim {
+            generation: 10,
+            step: 5,
+            active: n,
+            groups: vec![(n, n), (sq, 0)],
+            worst_case: true,
+        },
+        PaperClaim {
+            generation: 11,
+            step: 6,
+            active: n,
+            groups: vec![(n, n), (sq, 0)],
+            worst_case: true,
+        },
+    ]
+}
+
+/// One measured row: activity and congestion of a single executed
+/// `(generation, sub-generation)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MeasuredRow {
+    /// The generation (0–11).
+    pub generation: Gen,
+    /// Sub-generation index (0 for non-iterated generations).
+    pub subgeneration: u32,
+    /// Cells that performed a calculation.
+    pub active: usize,
+    /// Distinct cells read at least once.
+    pub cells_read: usize,
+    /// Maximum concurrent reads on a single cell.
+    pub max_congestion: u32,
+    /// Full δ grouping (δ → number of cells).
+    pub groups: BTreeMap<u32, usize>,
+}
+
+/// Runs generation 0 plus the first outer iteration on `graph` and returns
+/// one measured row per executed `(generation, sub-generation)`.
+pub fn measure_first_iteration(graph: &AdjacencyMatrix) -> Result<Vec<MeasuredRow>, GcaError> {
+    if graph.n() == 0 {
+        return Ok(Vec::new());
+    }
+    let engine = Engine::sequential().with_instrumentation(Instrumentation::Counts);
+    let mut machine = Machine::with_engine(graph, engine)?;
+    machine.init()?;
+    if graph.n() > 1 {
+        machine.run_iteration()?;
+    }
+    let rows = machine
+        .metrics()
+        .entries()
+        .iter()
+        .map(|m| MeasuredRow {
+            generation: Gen::from_number(m.ctx.phase).expect("machine only runs valid phases"),
+            subgeneration: m.ctx.subgeneration,
+            active: m.active_cells,
+            cells_read: m.cells_read,
+            max_congestion: m.max_congestion,
+            groups: m.congestion_groups.clone(),
+        })
+        .collect();
+    Ok(rows)
+}
+
+/// Measures the whole run (all `⌈log₂ n⌉` iterations) — used by the
+/// congestion benchmarks to locate the overall hot spots.
+pub fn measure_full_run(graph: &AdjacencyMatrix) -> Result<Vec<MeasuredRow>, GcaError> {
+    let engine = Engine::sequential().with_instrumentation(Instrumentation::Counts);
+    let run = HirschbergGca::new().with_engine(engine).run(graph)?;
+    Ok(run
+        .metrics
+        .entries()
+        .iter()
+        .map(|m| MeasuredRow {
+            generation: Gen::from_number(m.ctx.phase).expect("valid phases"),
+            subgeneration: m.ctx.subgeneration,
+            active: m.active_cells,
+            cells_read: m.cells_read,
+            max_congestion: m.max_congestion,
+            groups: m.congestion_groups.clone(),
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gca_graphs::generators;
+
+    #[test]
+    fn paper_table_has_twelve_rows() {
+        let t = paper_table1(16);
+        assert_eq!(t.len(), 12);
+        assert_eq!(t[0].active, 16 * 17);
+        assert_eq!(t[1].groups, vec![(256, 0), (16, 17)]);
+        assert!(t[10].worst_case);
+    }
+
+    #[test]
+    fn measured_static_generations_match_claims_n8() {
+        // Statically-addressed generations must match the paper's formulas
+        // exactly (independent of the workload).
+        let n = 8usize;
+        let g = generators::gnp(n, 0.5, 3);
+        let rows = measure_first_iteration(&g).unwrap();
+        let by_gen = |gen: Gen, sub: u32| {
+            rows.iter()
+                .find(|r| r.generation == gen && r.subgeneration == sub)
+                .unwrap()
+                .clone()
+        };
+
+        // Generation 0: n(n+1) active, no reads.
+        let g0 = by_gen(Gen::Init, 0);
+        assert_eq!(g0.active, n * (n + 1));
+        assert_eq!(g0.cells_read, 0);
+
+        // Generation 1: n cells read with δ = n + 1.
+        let g1 = by_gen(Gen::BroadcastC, 0);
+        assert_eq!(g1.active, n * (n + 1));
+        assert_eq!(g1.cells_read, n);
+        assert_eq!(g1.max_congestion as usize, n + 1);
+        assert_eq!(g1.groups.get(&((n + 1) as u32)), Some(&n));
+
+        // Generation 2: n² active; D_N read with δ = n.
+        let g2 = by_gen(Gen::FilterNeighbors, 0);
+        assert_eq!(g2.active, n * n);
+        assert_eq!(g2.cells_read, n);
+        assert_eq!(g2.max_congestion as usize, n);
+
+        // Generation 3, first sub-generation: n²/2 active, δ = 1.
+        let g3 = by_gen(Gen::MinReduce, 0);
+        assert_eq!(g3.active, n * n / 2);
+        assert_eq!(g3.max_congestion, 1);
+        assert_eq!(g3.cells_read, n * n / 2);
+
+        // Generation 4: n active, n cells read with δ = 1.
+        let g4 = by_gen(Gen::ResolveIsolated, 0);
+        assert_eq!(g4.active, n);
+        assert_eq!(g4.cells_read, n);
+        assert_eq!(g4.max_congestion, 1);
+
+        // Generation 10: n active; δ bounded by n.
+        let g10 = by_gen(Gen::PointerJump, 0);
+        assert_eq!(g10.active, n);
+        assert!(g10.max_congestion as usize <= n);
+    }
+
+    #[test]
+    fn pointer_jump_congestion_hits_worst_case_on_star() {
+        // In a star all nodes hook onto node 0; every jump then reads C(0),
+        // realizing the paper's worst-case δ = n.
+        let n = 8usize;
+        let rows = measure_full_run(&generators::star(n)).unwrap();
+        let max_jump = rows
+            .iter()
+            .filter(|r| r.generation == Gen::PointerJump)
+            .map(|r| r.max_congestion)
+            .max()
+            .unwrap();
+        assert_eq!(max_jump as usize, n);
+    }
+
+    #[test]
+    fn measure_handles_trivial_sizes() {
+        assert_eq!(measure_first_iteration(&generators::empty(0)).unwrap().len(), 0);
+        let one = measure_first_iteration(&generators::empty(1)).unwrap();
+        assert_eq!(one.len(), 1); // init only
+        assert_eq!(one[0].generation, Gen::Init);
+    }
+
+    #[test]
+    fn first_iteration_row_count_matches_schedule() {
+        let n = 8usize;
+        let g = generators::ring(n);
+        let rows = measure_first_iteration(&g).unwrap();
+        // 1 (init) + 8 + 3·log₂ 8 = 1 + 17.
+        assert_eq!(rows.len(), 18);
+    }
+}

@@ -1,0 +1,141 @@
+//! Congestion-weighted time models.
+//!
+//! Section 1 of the paper: *"The duration of one step is bound from below
+//! by the maximum congestion of any cell in this step. As the GCA
+//! implements a particular algorithm, steps with known low congestion can
+//! be executed faster than those with high congestion."* Section 4 then
+//! offers two ways to realize the concurrent reads: full wiring (one clock
+//! per generation regardless of δ) or tree-shaped distribution.
+//!
+//! This module turns those remarks into evaluable cost models, so the
+//! main machine and the low-congestion variant can be compared under the
+//! interconnect assumptions that actually motivate the variant.
+
+use gca_engine::metrics::MetricsLog;
+
+/// How concurrent reads are realized by the interconnect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InterconnectModel {
+    /// Fully wired multiplexers (the Section-4 FPGA design): every
+    /// generation costs one cycle, independent of congestion.
+    Unit,
+    /// A single port per cell: δ concurrent reads serialize into δ cycles.
+    SerializedReads,
+    /// Tree-shaped distribution of each hot value: δ concurrent reads cost
+    /// `⌈log₂ δ⌉ + 1` cycles.
+    TreeDistribution,
+}
+
+impl InterconnectModel {
+    /// Cycles one generation costs under this model, given its maximum
+    /// congestion δ.
+    pub fn generation_cycles(self, max_congestion: u32) -> u64 {
+        let d = u64::from(max_congestion.max(1));
+        match self {
+            InterconnectModel::Unit => 1,
+            InterconnectModel::SerializedReads => d,
+            InterconnectModel::TreeDistribution => {
+                u64::from(gca_engine::ceil_log2(d as usize)) + 1
+            }
+        }
+    }
+
+    /// Total cycles of a recorded run under this model.
+    pub fn run_cycles(self, metrics: &MetricsLog) -> u64 {
+        metrics
+            .entries()
+            .iter()
+            .map(|m| self.generation_cycles(m.max_congestion))
+            .sum()
+    }
+}
+
+/// Cycle counts of one run under all three interconnect models.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimingProfile {
+    /// Generations executed.
+    pub generations: u64,
+    /// Cycles under [`InterconnectModel::Unit`].
+    pub unit: u64,
+    /// Cycles under [`InterconnectModel::SerializedReads`].
+    pub serialized: u64,
+    /// Cycles under [`InterconnectModel::TreeDistribution`].
+    pub tree: u64,
+}
+
+/// Profiles a recorded run under every interconnect model.
+pub fn profile(metrics: &MetricsLog) -> TimingProfile {
+    TimingProfile {
+        generations: metrics.generations() as u64,
+        unit: InterconnectModel::Unit.run_cycles(metrics),
+        serialized: InterconnectModel::SerializedReads.run_cycles(metrics),
+        tree: InterconnectModel::TreeDistribution.run_cycles(metrics),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variants::low_congestion;
+    use crate::HirschbergGca;
+    use gca_graphs::generators;
+
+    #[test]
+    fn generation_cycle_models() {
+        assert_eq!(InterconnectModel::Unit.generation_cycles(17), 1);
+        assert_eq!(InterconnectModel::SerializedReads.generation_cycles(17), 17);
+        assert_eq!(InterconnectModel::SerializedReads.generation_cycles(0), 1);
+        assert_eq!(InterconnectModel::TreeDistribution.generation_cycles(1), 1);
+        assert_eq!(InterconnectModel::TreeDistribution.generation_cycles(8), 4);
+        assert_eq!(InterconnectModel::TreeDistribution.generation_cycles(17), 6);
+    }
+
+    #[test]
+    fn unit_model_counts_generations() {
+        let g = generators::gnp(8, 0.4, 1);
+        let run = HirschbergGca::new().run(&g).unwrap();
+        let p = profile(&run.metrics);
+        assert_eq!(p.unit, run.generations);
+        assert_eq!(p.generations, run.generations);
+        // Serialization can only cost more.
+        assert!(p.serialized >= p.unit);
+        assert!(p.tree >= p.unit && p.tree <= p.serialized);
+    }
+
+    /// The motivation of the low-congestion variant, quantified: under a
+    /// serialized (single-port) interconnect it beats the main machine even
+    /// though it runs ~2× more generations; under the fully wired model the
+    /// main machine wins.
+    #[test]
+    fn variant_trade_off_under_models() {
+        let n = 16usize;
+        let g = generators::gnp(n, 0.5, 7);
+
+        let main = HirschbergGca::new().run(&g).unwrap();
+        let lc = low_congestion::run(&g).unwrap();
+        let pm = profile(&main.metrics);
+        let pl = profile(&lc.metrics);
+
+        assert!(pm.unit < pl.unit, "fully wired: main wins ({} vs {})", pm.unit, pl.unit);
+        assert!(
+            pl.serialized < pm.serialized,
+            "single port: low-congestion wins ({} vs {})",
+            pl.serialized,
+            pm.serialized
+        );
+    }
+
+    #[test]
+    fn empty_log_profiles_to_zero() {
+        let p = profile(&MetricsLog::new());
+        assert_eq!(
+            p,
+            TimingProfile {
+                generations: 0,
+                unit: 0,
+                serialized: 0,
+                tree: 0
+            }
+        );
+    }
+}

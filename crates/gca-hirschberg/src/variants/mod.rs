@@ -1,0 +1,25 @@
+//! Design-space variants discussed by the paper.
+//!
+//! * [`n_cells`] — the paper's Section 3 weighs *"between n and n² cells"*
+//!   and picks `n²` for maximal parallelism. The `n`-cell machine is the
+//!   road not taken: one cell per graph node, sequential neighbor scans, so
+//!   `O(n log n)` generations instead of `O(log² n)` — but only `n` cells.
+//! * [`low_congestion`] — Section 4 notes the concurrent reads can be
+//!   *"implement\[ed\] … in a tree-like manner, or … use replication for
+//!   arrays C and T to get congestion down to 1"*. This variant realizes
+//!   the tree alternative: every Θ(n)-congestion broadcast becomes a
+//!   transpose plus `⌈log₂(n+1)⌉` doubling sub-generations with δ ≤ 2,
+//!   trading ~3·log n extra generations per iteration for constant
+//!   congestion in the statically-addressed phases.
+//! * [`two_handed`] — Section 1 defines k-handed GCAs; this variant spends
+//!   a second pointer per cell to eliminate the broadcast generations *and*
+//!   the extra bottom row: `6 + 3·log n` generations per iteration (the
+//!   PRAM reference's step count) on `n²` cells, at δ up to 2n.
+//!
+//! Both variants produce exactly the same canonical labeling as the main
+//! machine; the ablation benchmark compares their generation counts,
+//! congestion profiles and simulated hardware cost.
+
+pub mod low_congestion;
+pub mod n_cells;
+pub mod two_handed;

@@ -1,0 +1,380 @@
+//! The `n`-cell variant: one GCA cell per graph node.
+//!
+//! Section 3 of the paper: *"For this algorithm we decide between n and n²
+//! cells. We have decided for the n² case because we want to design and
+//! evaluate the GCA algorithm with the highest degree of parallelism."*
+//! This module implements the other corner of the design space so the
+//! ablation benchmark can quantify the trade-off:
+//!
+//! * **cells:** `n` instead of `n(n+1)`;
+//! * **time:** the row minima of steps 2 and 3 become *sequential scans* of
+//!   `n` sub-generations each, so one outer iteration costs
+//!   `2n + ⌈log₂ n⌉ + 6` generations instead of `3·⌈log₂ n⌉ + 8` —
+//!   `O(n log n)` total instead of `O(log² n)`;
+//! * **congestion:** the scans use the *rotated* (skewed) access pattern —
+//!   in scan sub-generation `s`, cell `i` reads cell `(i + s) mod n` — so
+//!   every cell is read by exactly one reader per sub-generation (δ = 1),
+//!   the same idea behind the paper's rotated-replication remark;
+//! * **state:** each cell stores `(c, t, acc)` plus its adjacency row
+//!   (modelled as cell-local ROM held by the rule).
+//!
+//! The result is bit-identical to the main machine's labeling.
+
+use crate::complexity::ceil_log2;
+use gca_engine::metrics::{GenerationMetrics, MetricsLog};
+use gca_engine::{
+    Access, CellField, Engine, FieldShape, GcaError, GcaRule, Reads, StepCtx, Word, INFINITY,
+};
+use gca_graphs::{AdjacencyMatrix, Labeling};
+
+/// Per-node cell state of the `n`-cell machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NCell {
+    /// Component label `C(i)`.
+    pub c: Word,
+    /// Candidate `T(i)` (step 2/3 result; doubles as the pre-jump `C`).
+    pub t: Word,
+    /// Scan accumulator for the running minimum.
+    pub acc: Word,
+}
+
+/// The phases of the `n`-cell state machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u32)]
+pub enum NGen {
+    /// `c ← i` (step 1).
+    Init = 0,
+    /// `acc ← ∞` before the neighbor scan.
+    ScanNeighborsInit = 1,
+    /// Sub-generation `s`: read node `(i + s) mod n`; fold its `c` into
+    /// `acc` when it is an adjacent, foreign-component node (step 2).
+    ScanNeighbors = 2,
+    /// `t ← acc`, falling back to `c` when the scan found nothing.
+    ResolveNeighbors = 3,
+    /// `acc ← ∞` before the member scan.
+    ScanMembersInit = 4,
+    /// Sub-generation `s`: read node `j = (i + s) mod n`; fold its `t` into
+    /// `acc` when `C(j) = i ∧ T(j) ≠ i` (step 3).
+    ScanMembers = 5,
+    /// `t ← acc`, falling back to `c`.
+    ResolveMembers = 6,
+    /// `c ← t` (step 4).
+    Hook = 7,
+    /// Pointer jumping `c ← c(c)` (`⌈log₂ n⌉` sub-generations, step 5).
+    Jump = 8,
+    /// `c ← min(c, t(c))` (step 6).
+    FinalMin = 9,
+}
+
+impl NGen {
+    fn from_number(v: u32) -> Option<NGen> {
+        use NGen::*;
+        [
+            Init,
+            ScanNeighborsInit,
+            ScanNeighbors,
+            ResolveNeighbors,
+            ScanMembersInit,
+            ScanMembers,
+            ResolveMembers,
+            Hook,
+            Jump,
+            FinalMin,
+        ]
+        .get(v as usize)
+        .copied()
+    }
+}
+
+/// The uniform rule of the `n`-cell machine. Holds the adjacency matrix as
+/// the cells' local ROM (cell `i` only ever consults row `i`).
+#[derive(Clone, Debug)]
+pub struct NCellRule {
+    adjacency: AdjacencyMatrix,
+}
+
+impl NCellRule {
+    /// Builds the rule over `graph`.
+    pub fn new(graph: &AdjacencyMatrix) -> Self {
+        NCellRule {
+            adjacency: graph.clone(),
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.adjacency.n()
+    }
+
+    fn phase(ctx: &StepCtx) -> NGen {
+        NGen::from_number(ctx.phase)
+            .unwrap_or_else(|| panic!("invalid n-cell phase {}", ctx.phase))
+    }
+}
+
+impl GcaRule for NCellRule {
+    type State = NCell;
+
+    fn access(&self, ctx: &StepCtx, _shape: &FieldShape, index: usize, own: &NCell) -> Access {
+        let n = self.n();
+        match Self::phase(ctx) {
+            NGen::Init | NGen::ScanNeighborsInit | NGen::ScanMembersInit => Access::None,
+            // Rotated scan: δ = 1 per sub-generation by construction.
+            NGen::ScanNeighbors | NGen::ScanMembers => {
+                Access::One((index + ctx.subgeneration as usize) % n)
+            }
+            NGen::ResolveNeighbors | NGen::ResolveMembers | NGen::Hook => Access::None,
+            NGen::Jump | NGen::FinalMin => Access::One(own.c as usize),
+        }
+    }
+
+    fn evolve(
+        &self,
+        ctx: &StepCtx,
+        _shape: &FieldShape,
+        index: usize,
+        own: &NCell,
+        reads: Reads<'_, NCell>,
+    ) -> NCell {
+        let i = index as Word;
+        match Self::phase(ctx) {
+            NGen::Init => NCell {
+                c: i,
+                t: i,
+                acc: INFINITY,
+            },
+            NGen::ScanNeighborsInit | NGen::ScanMembersInit => NCell {
+                acc: INFINITY,
+                ..*own
+            },
+            NGen::ScanNeighbors => {
+                let other = reads.expect_first("scan-neighbors");
+                let j = (index + ctx.subgeneration as usize) % self.n();
+                let qualifies = index != j
+                    && self.adjacency.has_edge(index, j)
+                    && other.c != own.c;
+                if qualifies {
+                    NCell {
+                        acc: own.acc.min(other.c),
+                        ..*own
+                    }
+                } else {
+                    *own
+                }
+            }
+            NGen::ResolveNeighbors | NGen::ResolveMembers => NCell {
+                t: if own.acc == INFINITY { own.c } else { own.acc },
+                ..*own
+            },
+            NGen::ScanMembers => {
+                let other = reads.expect_first("scan-members");
+                if other.c == i && other.t != i {
+                    NCell {
+                        acc: own.acc.min(other.t),
+                        ..*own
+                    }
+                } else {
+                    *own
+                }
+            }
+            NGen::Hook => NCell { c: own.t, ..*own },
+            NGen::Jump => NCell {
+                c: reads.expect_first("jump").c,
+                ..*own
+            },
+            NGen::FinalMin => NCell {
+                c: own.c.min(reads.expect_first("final-min").t),
+                ..*own
+            },
+        }
+    }
+
+    fn name(&self) -> &str {
+        "hirschberg-n-cells"
+    }
+}
+
+/// Result of an `n`-cell run.
+#[derive(Clone, Debug)]
+pub struct NCellRun {
+    /// Canonical component labeling.
+    pub labels: Labeling,
+    /// Total generations executed.
+    pub generations: u64,
+    /// Outer iterations executed.
+    pub iterations: u32,
+    /// Per-generation metrics.
+    pub metrics: MetricsLog,
+}
+
+/// Generations per outer iteration: `2n + ⌈log₂ n⌉ + 6`.
+pub fn generations_per_iteration(n: usize) -> u64 {
+    2 * n as u64 + u64::from(ceil_log2(n)) + 6
+}
+
+/// Total generations: `1 + ⌈log₂ n⌉ · (2n + ⌈log₂ n⌉ + 6)`.
+pub fn total_generations(n: usize) -> u64 {
+    1 + u64::from(ceil_log2(n)) * generations_per_iteration(n)
+}
+
+/// Runs the `n`-cell machine on `graph`.
+pub fn run(graph: &AdjacencyMatrix) -> Result<NCellRun, GcaError> {
+    run_with_engine(graph, Engine::sequential())
+}
+
+/// Runs the `n`-cell machine with an explicit engine configuration.
+pub fn run_with_engine(graph: &AdjacencyMatrix, mut engine: Engine) -> Result<NCellRun, GcaError> {
+    let n = graph.n();
+    if n == 0 {
+        return Ok(NCellRun {
+            labels: Labeling::new(Vec::new()).expect("empty"),
+            generations: 0,
+            iterations: 0,
+            metrics: MetricsLog::new(),
+        });
+    }
+    let shape = FieldShape::new(1, n)?;
+    let mut field = CellField::new(
+        shape,
+        NCell {
+            c: 0,
+            t: 0,
+            acc: INFINITY,
+        },
+    );
+    let rule = NCellRule::new(graph);
+    let mut metrics = MetricsLog::new();
+    let mut step = |field: &mut CellField<NCell>,
+                    engine: &mut Engine,
+                    gen: NGen,
+                    sub: u32|
+     -> Result<(), GcaError> {
+        let rep = engine.step(field, &rule, gen as u32, sub)?;
+        if let Some(h) = rep.congestion.as_ref() {
+            metrics.push(GenerationMetrics::new(rep.ctx, rep.active_cells, h));
+        }
+        Ok(())
+    };
+
+    step(&mut field, &mut engine, NGen::Init, 0)?;
+    let l = ceil_log2(n);
+    for _ in 0..l {
+        step(&mut field, &mut engine, NGen::ScanNeighborsInit, 0)?;
+        for s in 0..n as u32 {
+            step(&mut field, &mut engine, NGen::ScanNeighbors, s)?;
+        }
+        step(&mut field, &mut engine, NGen::ResolveNeighbors, 0)?;
+        step(&mut field, &mut engine, NGen::ScanMembersInit, 0)?;
+        for s in 0..n as u32 {
+            step(&mut field, &mut engine, NGen::ScanMembers, s)?;
+        }
+        step(&mut field, &mut engine, NGen::ResolveMembers, 0)?;
+        step(&mut field, &mut engine, NGen::Hook, 0)?;
+        for s in 0..l {
+            step(&mut field, &mut engine, NGen::Jump, s)?;
+        }
+        step(&mut field, &mut engine, NGen::FinalMin, 0)?;
+    }
+
+    let labels = Labeling::new(field.states().iter().map(|s| s.c as usize).collect())
+        .expect("labels are node numbers");
+    Ok(NCellRun {
+        labels,
+        generations: engine.generation(),
+        iterations: l,
+        metrics,
+    })
+}
+
+/// One-call API mirroring [`crate::connected_components`].
+pub fn connected_components(graph: &AdjacencyMatrix) -> Result<Labeling, GcaError> {
+    Ok(run(graph)?.labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gca_graphs::connectivity::union_find_components_dense;
+    use gca_graphs::{generators, GraphBuilder};
+
+    fn check(graph: &AdjacencyMatrix) {
+        let expected = union_find_components_dense(graph);
+        let run = run(graph).unwrap();
+        assert_eq!(run.labels.as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn basic_graphs() {
+        check(&GraphBuilder::new(2).edge(0, 1).build().unwrap());
+        check(&generators::path(7));
+        check(&generators::ring(9));
+        check(&generators::star(6));
+        check(&generators::complete(8));
+        check(&generators::empty(5));
+    }
+
+    #[test]
+    fn random_graphs() {
+        for seed in 0..6 {
+            check(&generators::gnp(17, 0.15, seed));
+        }
+    }
+
+    #[test]
+    fn forests() {
+        for seed in 0..3 {
+            check(&generators::random_forest(14, 3, seed));
+        }
+    }
+
+    #[test]
+    fn matches_main_machine() {
+        for seed in 0..4 {
+            let g = generators::gnp(13, 0.25, seed);
+            let a = crate::connected_components(&g).unwrap();
+            let b = connected_components(&g).unwrap();
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generation_count_matches_formula() {
+        for n in [2usize, 4, 5, 8, 16] {
+            let g = generators::gnp(n, 0.5, 1);
+            let r = run(&g).unwrap();
+            assert_eq!(r.generations, total_generations(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        let r = run(&generators::empty(0)).unwrap();
+        assert_eq!(r.generations, 0);
+        let r = run(&generators::empty(1)).unwrap();
+        assert_eq!(r.labels.as_slice(), &[0]);
+        assert_eq!(r.generations, 1);
+    }
+
+    #[test]
+    fn scan_congestion_is_one() {
+        // The rotated scan must never produce δ > 1.
+        let g = generators::complete(9);
+        let r = run(&g).unwrap();
+        for m in r.metrics.entries() {
+            let phase = NGen::from_number(m.ctx.phase).unwrap();
+            if matches!(phase, NGen::ScanNeighbors | NGen::ScanMembers) {
+                assert!(
+                    m.max_congestion <= 1,
+                    "scan phase {:?} had congestion {}",
+                    phase,
+                    m.max_congestion
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uses_far_fewer_cells_but_more_generations() {
+        let n = 16usize;
+        assert!(total_generations(n) > crate::complexity::total_generations(n));
+    }
+}

@@ -1,0 +1,465 @@
+//! The two-handed variant: a second pointer per cell buys back both the
+//! broadcast generations **and** the extra bottom row.
+//!
+//! The paper (Section 1): *"We call the GCA model one handed if only one
+//! neighbor can be addressed, two handed if two neighbors can be addressed
+//! and so on. In our investigations about GCA algorithms we found out that
+//! most of them can be described with only one pointer."* The main machine
+//! is one-handed and pays twice for it: generations 1/5 exist only to
+//! broadcast `C`/`T` so the filters can compare two values with one read,
+//! and the extra row `D_N` exists only to keep saved copies reachable.
+//!
+//! With **two** hands the filter generation reads `C(i)` and `C(j)`
+//! directly from column 0 (`<i>[0]` and `<j>[0]`), latching `C(row)` into a
+//! second register `e` on the way; the step-3 filter then needs only *one*
+//! read, because a GCA read returns the whole neighbor state — `<i>[0]`
+//! carries `T(i)` in `d` and `C(i)` in `e` simultaneously. Consequences:
+//!
+//! * one outer iteration shrinks from `8 + 3·log n` to `6 + 3·log n`
+//!   generations — **exactly the PRAM reference's step count**, so the
+//!   one-handed mapping overhead measured by `emulation_overhead` is
+//!   entirely a broadcast cost;
+//! * the bottom row `D_N` disappears: the field is `n × n`, not `(n+1) × n`;
+//! * the price is congestion (the filter's column-0 reads reach δ = 2n
+//!   against the one-handed machine's n+1) and a second read port per cell
+//!   (cf. the cost model's extended cells).
+
+use crate::complexity::ceil_log2;
+use gca_engine::metrics::{GenerationMetrics, MetricsLog};
+use gca_engine::{
+    Access, CellField, Engine, FieldShape, GcaError, GcaRule, Reads, StepCtx, Word, INFINITY,
+};
+use gca_graphs::{AdjacencyMatrix, Labeling};
+
+/// Two-handed cell: data `d`, latch register `e` (carries `C(row)` through
+/// the reductions, and `C(i)` alongside `T(i)` in column 0), adjacency `a`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TCell {
+    /// Primary data register.
+    pub d: Word,
+    /// Latch register.
+    pub e: Word,
+    /// Adjacency entry `A(row, col)`.
+    pub a: bool,
+}
+
+/// Phases of the two-handed machine (one iteration = `6 + 3·log n` gens).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u32)]
+pub enum TGen {
+    /// `d ← row` everywhere (step 1; `e` is dont-care until latched).
+    Init = 0,
+    /// Step-2 filter, two-handed: cell `(j,i)` reads `<i>[0]` and `<j>[0]`;
+    /// `d ← C(i)` if `A ∧ C(i) ≠ C(j)` else `∞`; latches `e ← C(j)`.
+    FilterNeighbors = 1,
+    /// Row-wise min tree reduction (`⌈log₂ n⌉` sub-generations).
+    MinReduce = 2,
+    /// Column 0, **no reads**: `d ← (d = ∞ ? e : d)` — the step-2 `T(row)`,
+    /// with `C(row)` still latched in `e`.
+    ResolveIsolated = 3,
+    /// Step-3 filter, one read returns both values: cell `(j,i)` reads
+    /// `<i>[0]` (`d* = T(i)`, `e* = C(i)`); `d ← T(i)` if `C(i) = j ∧
+    /// T(i) ≠ j` else `∞`.
+    FilterMembers = 4,
+    /// Reduction again.
+    MinReduceMembers = 5,
+    /// Column 0, no reads: the step-3 fallback — the new `C(row)`.
+    ResolveMembers = 6,
+    /// Copy the new `C` across each row (fills column 1 with the pre-jump
+    /// `C` = `T` that `FinalMin` reads).
+    CopyT = 7,
+    /// Pointer jumping on column 0 (`⌈log₂ n⌉` sub-generations).
+    PointerJump = 8,
+    /// `C ← min(C, T(C))` via column 1 of row `C`.
+    FinalMin = 9,
+}
+
+impl TGen {
+    fn from_number(v: u32) -> Option<TGen> {
+        use TGen::*;
+        [
+            Init,
+            FilterNeighbors,
+            MinReduce,
+            ResolveIsolated,
+            FilterMembers,
+            MinReduceMembers,
+            ResolveMembers,
+            CopyT,
+            PointerJump,
+            FinalMin,
+        ]
+        .get(v as usize)
+        .copied()
+    }
+}
+
+/// The uniform two-handed rule over the `n × n` field.
+#[derive(Clone, Copy, Debug)]
+pub struct TwoHandedRule {
+    n: usize,
+}
+
+impl TwoHandedRule {
+    /// Rule for a graph of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        TwoHandedRule { n }
+    }
+
+    #[inline]
+    fn reduces(&self, col: usize, s: u32) -> bool {
+        let stride = 1usize << s;
+        col.is_multiple_of(stride << 1) && col + stride < self.n
+    }
+
+    fn phase(ctx: &StepCtx) -> TGen {
+        TGen::from_number(ctx.phase)
+            .unwrap_or_else(|| panic!("invalid two-handed phase {}", ctx.phase))
+    }
+}
+
+impl GcaRule for TwoHandedRule {
+    type State = TCell;
+
+    fn access(&self, ctx: &StepCtx, shape: &FieldShape, index: usize, own: &TCell) -> Access {
+        let n = self.n;
+        let row = shape.row(index);
+        let col = shape.col(index);
+        match Self::phase(ctx) {
+            TGen::Init | TGen::ResolveIsolated | TGen::ResolveMembers => Access::None,
+            TGen::FilterNeighbors => Access::Two(col * n, row * n),
+            TGen::MinReduce | TGen::MinReduceMembers => {
+                if self.reduces(col, ctx.subgeneration) {
+                    Access::One(index + (1 << ctx.subgeneration))
+                } else {
+                    Access::None
+                }
+            }
+            TGen::FilterMembers => Access::One(col * n),
+            TGen::CopyT => {
+                if col == 0 {
+                    Access::None
+                } else {
+                    Access::One(row * n)
+                }
+            }
+            TGen::PointerJump => {
+                if col == 0 {
+                    Access::One((own.d as usize) * n)
+                } else {
+                    Access::None
+                }
+            }
+            TGen::FinalMin => {
+                if col == 0 {
+                    Access::One((own.d as usize) * n + 1)
+                } else {
+                    Access::None
+                }
+            }
+        }
+    }
+
+    fn evolve(
+        &self,
+        ctx: &StepCtx,
+        shape: &FieldShape,
+        _index: usize,
+        own: &TCell,
+        reads: Reads<'_, TCell>,
+    ) -> TCell {
+        match Self::phase(ctx) {
+            TGen::Init => TCell {
+                d: shape.row(_index) as Word,
+                ..*own
+            },
+            TGen::FilterNeighbors => {
+                let c_i = reads.first().expect("hand 1").d;
+                let c_j = reads.second().expect("hand 2").d;
+                TCell {
+                    d: if own.a && c_i != c_j { c_i } else { INFINITY },
+                    e: c_j,
+                    a: own.a,
+                }
+            }
+            TGen::MinReduce | TGen::MinReduceMembers => match reads.first() {
+                Some(r) => TCell {
+                    d: own.d.min(r.d),
+                    ..*own
+                },
+                None => *own,
+            },
+            TGen::ResolveIsolated | TGen::ResolveMembers => {
+                if shape.col(_index) == 0 {
+                    TCell {
+                        d: if own.d == INFINITY { own.e } else { own.d },
+                        ..*own
+                    }
+                } else {
+                    *own
+                }
+            }
+            TGen::FilterMembers => {
+                let src = reads.expect_first("filter-members");
+                let t_i = src.d;
+                let c_i = src.e;
+                let j = shape.row(_index) as Word;
+                TCell {
+                    d: if c_i == j && t_i != j { t_i } else { INFINITY },
+                    ..*own
+                }
+            }
+            TGen::CopyT => match reads.first() {
+                Some(src) => TCell { d: src.d, ..*own },
+                None => *own, // column 0 already holds the new C
+            },
+            TGen::PointerJump => match reads.first() {
+                Some(t) => TCell { d: t.d, ..*own },
+                None => *own,
+            },
+            TGen::FinalMin => match reads.first() {
+                Some(t) => TCell {
+                    d: own.d.min(t.d),
+                    ..*own
+                },
+                None => *own,
+            },
+        }
+    }
+
+    fn is_active(&self, ctx: &StepCtx, shape: &FieldShape, index: usize, _own: &TCell) -> bool {
+        let col = shape.col(index);
+        match Self::phase(ctx) {
+            TGen::Init | TGen::FilterNeighbors | TGen::FilterMembers => true,
+            TGen::MinReduce | TGen::MinReduceMembers => self.reduces(col, ctx.subgeneration),
+            TGen::ResolveIsolated | TGen::ResolveMembers | TGen::PointerJump | TGen::FinalMin => {
+                col == 0
+            }
+            TGen::CopyT => col != 0,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "hirschberg-two-handed"
+    }
+}
+
+/// Generations per outer iteration: `6 + 3·⌈log₂ n⌉` — the PRAM reference's
+/// step count, reached by spending a second hand instead of broadcasts.
+pub fn generations_per_iteration(n: usize) -> u64 {
+    6 + 3 * u64::from(ceil_log2(n))
+}
+
+/// Total generations: `1 + ⌈log₂ n⌉ · (3·⌈log₂ n⌉ + 6)`.
+pub fn total_generations(n: usize) -> u64 {
+    let l = u64::from(ceil_log2(n));
+    1 + l * (3 * l + 6)
+}
+
+/// Result of a two-handed run.
+#[derive(Clone, Debug)]
+pub struct TwoHandedRun {
+    /// Canonical component labeling.
+    pub labels: Labeling,
+    /// Total generations executed.
+    pub generations: u64,
+    /// Outer iterations executed.
+    pub iterations: u32,
+    /// Per-generation metrics.
+    pub metrics: MetricsLog,
+}
+
+/// Runs the two-handed machine on `graph` (an `n × n` field — no `D_N`).
+pub fn run(graph: &AdjacencyMatrix) -> Result<TwoHandedRun, GcaError> {
+    let n = graph.n();
+    if n == 0 {
+        return Ok(TwoHandedRun {
+            labels: Labeling::new(Vec::new()).expect("empty"),
+            generations: 0,
+            iterations: 0,
+            metrics: MetricsLog::new(),
+        });
+    }
+    let shape = FieldShape::new(n, n)?;
+    let mut field = CellField::from_fn(shape, |index| {
+        let row = shape.row(index);
+        let col = shape.col(index);
+        TCell {
+            d: 0,
+            e: 0,
+            a: row != col && graph.has_edge(row, col),
+        }
+    });
+    let rule = TwoHandedRule::new(n);
+    let mut engine = Engine::sequential();
+    let mut metrics = MetricsLog::new();
+    let mut step = |field: &mut CellField<TCell>,
+                    engine: &mut Engine,
+                    gen: TGen,
+                    sub: u32|
+     -> Result<(), GcaError> {
+        let rep = engine.step(field, &rule, gen as u32, sub)?;
+        if let Some(h) = rep.congestion.as_ref() {
+            metrics.push(GenerationMetrics::new(rep.ctx, rep.active_cells, h));
+        }
+        Ok(())
+    };
+
+    step(&mut field, &mut engine, TGen::Init, 0)?;
+    let l = ceil_log2(n);
+    for _ in 0..l {
+        step(&mut field, &mut engine, TGen::FilterNeighbors, 0)?;
+        for s in 0..l {
+            step(&mut field, &mut engine, TGen::MinReduce, s)?;
+        }
+        step(&mut field, &mut engine, TGen::ResolveIsolated, 0)?;
+        step(&mut field, &mut engine, TGen::FilterMembers, 0)?;
+        for s in 0..l {
+            step(&mut field, &mut engine, TGen::MinReduceMembers, s)?;
+        }
+        step(&mut field, &mut engine, TGen::ResolveMembers, 0)?;
+        step(&mut field, &mut engine, TGen::CopyT, 0)?;
+        for s in 0..l {
+            step(&mut field, &mut engine, TGen::PointerJump, s)?;
+        }
+        step(&mut field, &mut engine, TGen::FinalMin, 0)?;
+    }
+
+    let labels = Labeling::new((0..n).map(|j| field.get(j * n).d as usize).collect())
+        .expect("labels are node numbers");
+    Ok(TwoHandedRun {
+        labels,
+        generations: engine.generation(),
+        iterations: l,
+        metrics,
+    })
+}
+
+/// One-call API mirroring [`crate::connected_components`].
+pub fn connected_components(graph: &AdjacencyMatrix) -> Result<Labeling, GcaError> {
+    Ok(run(graph)?.labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gca_graphs::connectivity::union_find_components_dense;
+    use gca_graphs::{generators, GraphBuilder};
+
+    fn check(graph: &AdjacencyMatrix) {
+        let expected = union_find_components_dense(graph);
+        let r = run(graph).unwrap();
+        assert_eq!(
+            r.labels.as_slice(),
+            expected.as_slice(),
+            "two-handed disagrees on {graph:?}"
+        );
+    }
+
+    #[test]
+    fn basic_graphs() {
+        check(&GraphBuilder::new(2).edge(0, 1).build().unwrap());
+        check(&generators::path(6));
+        check(&generators::ring(8));
+        check(&generators::star(7));
+        check(&generators::complete(6));
+        check(&generators::empty(5));
+    }
+
+    #[test]
+    fn random_graphs() {
+        for seed in 0..8 {
+            check(&generators::gnp(15, 0.2, seed));
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_sizes() {
+        for n in [3usize, 5, 7, 9, 12] {
+            check(&generators::gnp(n, 0.35, n as u64));
+        }
+    }
+
+    #[test]
+    fn forests_and_planted() {
+        for seed in 0..4 {
+            check(&generators::random_forest(16, 3, seed));
+            let p = generators::planted_components(18, 4, 0.4, seed);
+            let r = run(&p.graph).unwrap();
+            assert!(r.labels.same_partition(&p.expected_labels()));
+        }
+    }
+
+    #[test]
+    fn generation_count_matches_pram_reference() {
+        for n in [2usize, 4, 8, 16, 11] {
+            let g = generators::gnp(n, 0.5, 3);
+            let r = run(&g).unwrap();
+            assert_eq!(r.generations, total_generations(n), "n = {n}");
+            // The headline: two hands close the gap to the PRAM step count
+            // (1 + L(3L + 6) — cross-checked against gca-pram's formula in
+            // the workspace integration tests).
+            let l = u64::from(ceil_log2(n));
+            assert_eq!(r.generations, 1 + l * (3 * l + 6), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn saves_two_generations_per_iteration_vs_one_handed() {
+        for n in [4usize, 16, 64] {
+            let one_handed = crate::complexity::total_generations(n);
+            let two_handed = total_generations(n);
+            let l = u64::from(ceil_log2(n));
+            assert_eq!(one_handed - two_handed, 2 * l, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn uses_n_squared_cells_without_bottom_row() {
+        let g = generators::gnp(8, 0.3, 1);
+        let r = run(&g).unwrap();
+        // The metrics log exposes the field size via read targets: every
+        // congestion histogram covers exactly n² cells.
+        assert!(r
+            .metrics
+            .entries()
+            .iter()
+            .all(|m| m.congestion_groups.values().sum::<usize>() == 64));
+    }
+
+    #[test]
+    fn filter_congestion_reaches_two_n() {
+        // The price of two hands: column-0 cells are read by their whole
+        // column AND their whole row in the filter generation.
+        let n = 8usize;
+        let g = generators::complete(n);
+        let r = run(&g).unwrap();
+        let filter_max = r
+            .metrics
+            .entries()
+            .iter()
+            .filter(|m| m.ctx.phase == TGen::FilterNeighbors as u32)
+            .map(|m| m.max_congestion)
+            .max()
+            .unwrap();
+        assert_eq!(filter_max as usize, 2 * n);
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        assert_eq!(run(&generators::empty(0)).unwrap().generations, 0);
+        let r = run(&generators::empty(1)).unwrap();
+        assert_eq!(r.labels.as_slice(), &[0]);
+        assert_eq!(r.generations, 1);
+    }
+
+    #[test]
+    fn matches_main_machine() {
+        for seed in 0..4 {
+            let g = generators::gnp(13, 0.25, seed);
+            let a = crate::connected_components(&g).unwrap();
+            let b = connected_components(&g).unwrap();
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+}

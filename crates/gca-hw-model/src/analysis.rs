@@ -1,0 +1,142 @@
+//! Area–time analysis of the design variants.
+//!
+//! The paper's cost discussion (Section 3) weighs processing elements
+//! against memory and concludes that on an FPGA, "cells become cheap". The
+//! natural summary metric is the **area–time product**: logic elements ×
+//! solve latency. This module combines the cost model with each variant's
+//! generation count and modelled clock to rank the designs per problem
+//! size — quantifying the design choice the paper makes qualitatively.
+
+use crate::{estimate_variant, CostParams, SynthesisReport, Variant};
+use serde::Serialize;
+
+/// Generation count of each variant (imported here so the analysis is
+/// self-contained; the formulas are owned and tested by `gca-hirschberg`).
+fn generations(variant: Variant, n: usize) -> u64 {
+    fn l(n: usize) -> u64 {
+        if n <= 1 {
+            0
+        } else {
+            u64::from(usize::BITS - (n - 1).leading_zeros())
+        }
+    }
+    let log = l(n);
+    match variant {
+        // 1 + log n (3 log n + 8)
+        Variant::Main => 1 + log * (3 * log + 8),
+        // 1 + log n (2n + log n + 6)
+        Variant::NCells => 1 + log * (2 * n as u64 + log + 6),
+        // 1 + log n (10 + 7 log n + ceil_log2(n+1))
+        Variant::LowCongestion => 1 + log * (10 + 7 * log + l(n + 1)),
+    }
+}
+
+/// Area–time summary of one variant at one size.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct AreaTime {
+    /// The variant.
+    pub variant: Variant,
+    /// Problem size.
+    pub n: usize,
+    /// Logic elements (area).
+    pub logic_elements: u64,
+    /// Generations to solve one instance.
+    pub generations: u64,
+    /// Modelled solve latency in microseconds (`generations / fmax`).
+    pub latency_us: f64,
+    /// Area–time product: logic elements × latency (LE·µs).
+    pub area_time: f64,
+}
+
+/// Computes the area–time point of one variant.
+pub fn area_time(variant: Variant, n: usize, params: &CostParams) -> AreaTime {
+    let report: SynthesisReport = estimate_variant(n, variant, params);
+    let generations = generations(variant, n);
+    let latency_us = generations as f64 / report.fmax_mhz;
+    AreaTime {
+        variant,
+        n,
+        logic_elements: report.logic_elements,
+        generations,
+        latency_us,
+        area_time: report.logic_elements as f64 * latency_us,
+    }
+}
+
+/// Ranks all three variants by area–time product at size `n` (best first).
+pub fn rank_variants(n: usize, params: &CostParams) -> [AreaTime; 3] {
+    let mut all = [
+        area_time(Variant::Main, n, params),
+        area_time(Variant::NCells, n, params),
+        area_time(Variant::LowCongestion, n, params),
+    ];
+    all.sort_by(|a, b| a.area_time.total_cmp(&b.area_time));
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_formulas_match_algorithm_crates() {
+        // Cross-checked against the formulas owned by gca-hirschberg; these
+        // constants are asserted there too (n = 16).
+        assert_eq!(generations(Variant::Main, 16), 81);
+        assert_eq!(generations(Variant::NCells, 16), 1 + 4 * (32 + 4 + 6));
+        assert_eq!(generations(Variant::LowCongestion, 16), 1 + 4 * (10 + 28 + 5));
+    }
+
+    #[test]
+    fn area_time_points_are_positive_and_consistent() {
+        let params = CostParams::calibrated();
+        for n in [4usize, 16, 64] {
+            for v in [Variant::Main, Variant::NCells, Variant::LowCongestion] {
+                let at = area_time(v, n, &params);
+                assert!(at.latency_us > 0.0);
+                assert!(at.area_time > 0.0);
+                assert_eq!(at.n, n);
+                assert!(
+                    (at.area_time - at.logic_elements as f64 * at.latency_us).abs() < 1e-9
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ranking_is_sorted() {
+        let params = CostParams::calibrated();
+        let ranked = rank_variants(32, &params);
+        assert!(ranked[0].area_time <= ranked[1].area_time);
+        assert!(ranked[1].area_time <= ranked[2].area_time);
+    }
+
+    #[test]
+    fn main_design_beats_low_congestion_on_area_time() {
+        // Under the fully wired clock model the low-congestion variant pays
+        // both more area and more generations — strictly dominated.
+        let params = CostParams::calibrated();
+        for n in [8usize, 16, 32] {
+            let main = area_time(Variant::Main, n, &params);
+            let lc = area_time(Variant::LowCongestion, n, &params);
+            assert!(main.area_time < lc.area_time, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn n_cells_wins_area_time_at_scale() {
+        // The n-cell design is slower (O(n log n)) but so much smaller that
+        // its area-time product stays competitive; check the trend is at
+        // least monotone rather than asserting a specific crossover.
+        let params = CostParams::calibrated();
+        let at16 = area_time(Variant::NCells, 16, &params);
+        let main16 = area_time(Variant::Main, 16, &params);
+        let ratio16 = at16.area_time / main16.area_time;
+        let at64 = area_time(Variant::NCells, 64, &params);
+        let main64 = area_time(Variant::Main, 64, &params);
+        let ratio64 = at64.area_time / main64.area_time;
+        // Relative to the main design, the n-cell machine's area-time gets
+        // *worse* with n (time grows linearly, area stays quadratic).
+        assert!(ratio64 > ratio16);
+    }
+}

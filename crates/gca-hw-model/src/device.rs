@@ -1,0 +1,100 @@
+use crate::{estimate_variant, CostParams, SynthesisReport, Variant};
+use serde::Serialize;
+
+/// An FPGA device capacity envelope.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct Device {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Available 4-input-LUT logic elements.
+    pub logic_elements: u64,
+    /// Available register bits (one per LE on Cyclone II).
+    pub register_bits: u64,
+}
+
+/// The Altera Cyclone II EP2C70 the paper synthesized for (68,416 LEs).
+pub const EP2C70: Device = Device {
+    name: "Altera Cyclone II EP2C70",
+    logic_elements: 68_416,
+    register_bits: 68_416,
+};
+
+impl Device {
+    /// Does `report` fit this device?
+    pub fn fits(&self, report: &SynthesisReport) -> bool {
+        report.logic_elements <= self.logic_elements && report.register_bits <= self.register_bits
+    }
+
+    /// The largest `n` of `variant` that fits, found by scanning upward
+    /// (cost is monotone in `n`).
+    pub fn max_n(&self, variant: Variant, params: &CostParams) -> usize {
+        let mut best = 0;
+        let mut n = 1;
+        loop {
+            let r = estimate_variant(n, variant, params);
+            if self.fits(&r) {
+                best = n;
+                n += 1;
+            } else {
+                return best;
+            }
+            if n > 1 << 16 {
+                return best; // capacity is effectively unbounded for this variant
+            }
+        }
+    }
+
+    /// Utilization fraction (LEs) of `report` on this device.
+    pub fn utilization(&self, report: &SynthesisReport) -> f64 {
+        report.logic_elements as f64 / self.logic_elements as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_design_fits_ep2c70() {
+        let paper = crate::paper_reference();
+        assert!(EP2C70.fits(&paper));
+        let u = EP2C70.utilization(&paper);
+        assert!(u > 0.3 && u < 0.4, "utilization {u}"); // 23,051 / 68,416 ≈ 0.337
+    }
+
+    #[test]
+    fn max_n_main_design_is_modest() {
+        let params = CostParams::calibrated();
+        let max = EP2C70.max_n(Variant::Main, &params);
+        // The paper synthesized n = 16 at ~34% utilization; the device tops
+        // out in the twenties for the n²-cell design.
+        assert!(max >= 16, "max_n = {max}");
+        assert!(max < 64, "max_n = {max}");
+        let at_max = estimate_variant(max, Variant::Main, &params);
+        assert!(EP2C70.fits(&at_max));
+        let over = estimate_variant(max + 1, Variant::Main, &params);
+        assert!(!EP2C70.fits(&over));
+    }
+
+    #[test]
+    fn n_cells_variant_scales_much_further() {
+        let params = CostParams::calibrated();
+        let main = EP2C70.max_n(Variant::Main, &params);
+        let ncells = EP2C70.max_n(Variant::NCells, &params);
+        // Both designs are ultimately Θ(n²) logic (the n-cell machine's
+        // dynamic mux and ROM grow with n), but the constant factor buys
+        // roughly a doubling of the feasible problem size.
+        assert!(
+            ncells + 1 >= 2 * main,
+            "n-cells max {ncells} vs main max {main}"
+        );
+    }
+
+    #[test]
+    fn low_congestion_fits_less() {
+        let params = CostParams::calibrated();
+        let main = EP2C70.max_n(Variant::Main, &params);
+        let lc = EP2C70.max_n(Variant::LowCongestion, &params);
+        assert!(lc <= main);
+    }
+}

@@ -1,0 +1,35 @@
+//! Analytic FPGA cost model for fully parallel GCA cell fields.
+//!
+//! Section 4 of the paper reports one synthesis data point for the fully
+//! parallel design (Verilog, Quartus II, Altera Cyclone II EP2C70):
+//!
+//! > `N × (N+1) = 272` cells; logic elements = 23,051; register bits =
+//! > 2,192; clock frequency = 71 MHz  (i.e. `n = 16`).
+//!
+//! Running 2007-era Quartus on an EP2C70 is not reproducible here, so this
+//! crate substitutes an **analytic cost model** built from the paper's cell
+//! description (Figure 4): each *standard* cell is a generation-addressed
+//! multiplexer over its static neighbor set, a comparator/minimum unit and
+//! the state register; the n *extended* cells (first column) add a second,
+//! data-addressed multiplexer over the column. The model counts 4-input-LUT
+//! logic elements and register bits bottom-up, then applies a single
+//! synthesis-overhead factor **calibrated against the published point**
+//! (the raw, uncalibrated estimate is also reported so the calibration is
+//! transparent — see EXPERIMENTS.md).
+//!
+//! What the model is for: *scaling in n* (how fast the design outgrows the
+//! device — the paper's cost-dominance argument), and cost comparison of
+//! the design variants (`n` cells vs `n²` cells vs extended-everywhere
+//! low-congestion cells).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod device;
+mod model;
+mod params;
+
+pub use device::{Device, EP2C70};
+pub use model::{estimate, estimate_variant, paper_reference, SynthesisReport, Variant};
+pub use params::CostParams;

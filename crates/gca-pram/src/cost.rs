@@ -1,0 +1,116 @@
+use serde::Serialize;
+
+/// Cost accounting of one executed PRAM step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct StepStats {
+    /// Processors the step was issued with (the paper's `P`).
+    pub processors: usize,
+    /// Simulated time units this step charges (1, or `⌈P/p⌉` under Brent
+    /// scheduling onto `p` physical processors).
+    pub time_units: u64,
+    /// Total reads issued.
+    pub reads: u64,
+    /// Total (attempted) writes issued.
+    pub writes: u64,
+    /// Maximum concurrent reads of a single cell — the step's congestion,
+    /// directly comparable with the GCA engine's per-generation δ.
+    pub max_read_congestion: u32,
+}
+
+/// Append-only work/time log of a PRAM computation.
+///
+/// `time` is the number of simulated parallel steps (weighted by Brent
+/// slowdowns), `work` is `Σ processors` over all steps — the two quantities
+/// in the paper's work-optimality discussion (`w = t_p · P`).
+#[derive(Clone, Debug, Default)]
+pub struct CostLog {
+    steps: Vec<StepStats>,
+}
+
+impl CostLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one step.
+    pub fn push(&mut self, stats: StepStats) {
+        self.steps.push(stats);
+    }
+
+    /// All recorded steps, in order.
+    pub fn steps(&self) -> &[StepStats] {
+        &self.steps
+    }
+
+    /// Simulated parallel time `t_p`.
+    pub fn time(&self) -> u64 {
+        self.steps.iter().map(|s| s.time_units).sum()
+    }
+
+    /// Work `w = Σ P` over all steps.
+    pub fn work(&self) -> u64 {
+        self.steps.iter().map(|s| s.processors as u64).sum()
+    }
+
+    /// Total reads issued over the computation.
+    pub fn total_reads(&self) -> u64 {
+        self.steps.iter().map(|s| s.reads).sum()
+    }
+
+    /// Total writes issued.
+    pub fn total_writes(&self) -> u64 {
+        self.steps.iter().map(|s| s.writes).sum()
+    }
+
+    /// Worst read congestion over all steps.
+    pub fn max_congestion(&self) -> u32 {
+        self.steps
+            .iter()
+            .map(|s| s.max_read_congestion)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Largest processor count any step used.
+    pub fn max_processors(&self) -> usize {
+        self.steps.iter().map(|s| s.processors).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(processors: usize, time_units: u64, reads: u64, congestion: u32) -> StepStats {
+        StepStats {
+            processors,
+            time_units,
+            reads,
+            writes: 0,
+            max_read_congestion: congestion,
+        }
+    }
+
+    #[test]
+    fn empty_log() {
+        let l = CostLog::new();
+        assert_eq!(l.time(), 0);
+        assert_eq!(l.work(), 0);
+        assert_eq!(l.max_congestion(), 0);
+        assert_eq!(l.max_processors(), 0);
+    }
+
+    #[test]
+    fn aggregation() {
+        let mut l = CostLog::new();
+        l.push(s(4, 1, 8, 2));
+        l.push(s(16, 4, 16, 5)); // a Brent-scheduled step
+        assert_eq!(l.time(), 5);
+        assert_eq!(l.work(), 20);
+        assert_eq!(l.total_reads(), 24);
+        assert_eq!(l.max_congestion(), 5);
+        assert_eq!(l.max_processors(), 16);
+        assert_eq!(l.steps().len(), 2);
+    }
+}

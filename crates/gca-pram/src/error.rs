@@ -1,0 +1,125 @@
+use std::fmt;
+
+/// Access-policy violations and addressing errors detected by the machine.
+///
+/// A PRAM simulator that silently tolerated policy violations would defeat
+/// its purpose: the paper's whole point is that the GCA implements *CROW*
+/// semantics, so programs must be checkable against the model they claim to
+/// need. Every violation names the address and the processors involved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PramError {
+    /// An address outside the shared memory was touched.
+    AddressOutOfRange {
+        /// The offending address.
+        addr: usize,
+        /// Memory size.
+        size: usize,
+        /// Processor that issued the access.
+        proc: usize,
+    },
+    /// Two processors read the same cell under EREW.
+    ReadConflict {
+        /// The contended address.
+        addr: usize,
+        /// Number of concurrent readers.
+        readers: u32,
+    },
+    /// Two processors wrote the same cell under EREW/CREW/CROW.
+    WriteConflict {
+        /// The contended address.
+        addr: usize,
+        /// The two (first) conflicting processors.
+        procs: (usize, usize),
+    },
+    /// A processor wrote a cell it does not own (CROW).
+    OwnerViolation {
+        /// The written address.
+        addr: usize,
+        /// The writing processor.
+        proc: usize,
+        /// The registered owner.
+        owner: usize,
+    },
+    /// Common-CRCW writers disagreed on the value.
+    CommonWriteMismatch {
+        /// The contended address.
+        addr: usize,
+        /// The two disagreeing values.
+        values: (u64, u64),
+    },
+    /// The CROW policy was selected without registering an owner map.
+    MissingOwnerMap,
+}
+
+impl fmt::Display for PramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PramError::AddressOutOfRange { addr, size, proc } => write!(
+                f,
+                "processor {proc} accessed address {addr} outside memory of size {size}"
+            ),
+            PramError::ReadConflict { addr, readers } => write!(
+                f,
+                "EREW read conflict: {readers} processors read address {addr}"
+            ),
+            PramError::WriteConflict { addr, procs } => write!(
+                f,
+                "write conflict on address {addr} between processors {} and {}",
+                procs.0, procs.1
+            ),
+            PramError::OwnerViolation { addr, proc, owner } => write!(
+                f,
+                "CROW violation: processor {proc} wrote address {addr} owned by {owner}"
+            ),
+            PramError::CommonWriteMismatch { addr, values } => write!(
+                f,
+                "common-CRCW writers disagreed on address {addr}: {} vs {}",
+                values.0, values.1
+            ),
+            PramError::MissingOwnerMap => {
+                write!(f, "CROW policy requires an owner map (use with_owners)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(PramError::AddressOutOfRange {
+            addr: 9,
+            size: 4,
+            proc: 1
+        }
+        .to_string()
+        .contains("address 9"));
+        assert!(PramError::ReadConflict { addr: 2, readers: 3 }
+            .to_string()
+            .contains("EREW"));
+        assert!(PramError::WriteConflict {
+            addr: 1,
+            procs: (0, 2)
+        }
+        .to_string()
+        .contains("conflict"));
+        assert!(PramError::OwnerViolation {
+            addr: 3,
+            proc: 1,
+            owner: 0
+        }
+        .to_string()
+        .contains("CROW"));
+        assert!(PramError::CommonWriteMismatch {
+            addr: 0,
+            values: (1, 2)
+        }
+        .to_string()
+        .contains("disagreed"));
+        assert!(PramError::MissingOwnerMap.to_string().contains("owner map"));
+    }
+}

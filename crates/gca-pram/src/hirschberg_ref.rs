@@ -1,0 +1,359 @@
+//! Listing 1: the reference algorithm of Hirschberg (et al.) on the PRAM.
+//!
+//! This is the algorithm the paper maps onto the GCA, implemented here on
+//! the [`Pram`] simulator as the comparison baseline. Memory layout (the
+//! paper: *"In order to compute the min function in steps 2 and 3 in
+//! parallel n² temporary variables have to be reserved in the common
+//! memory. The constant A, the variables C, T and the temporary variables
+//! have to be stored in the common memory"*):
+//!
+//! ```text
+//! [0,      n)          C(i)
+//! [n,      2n)         T(i)
+//! [2n,     2n + n²)    temp(i, j)   — the n² reduction temporaries
+//! [2n+n²,  2n + 2n²)   A(i, j)      — the adjacency matrix (read-only)
+//! ```
+//!
+//! Every cell is written by exactly one dedicated processor (`C(i)`/`T(i)`
+//! by processor `i`, `temp(i,j)` by processor `i·n + j`), so the program is
+//! **CROW** — the paper's observation that *"only a CROW PRAM is really
+//! needed"* is machine-checked here: the run succeeds under
+//! [`AccessPolicy::Crow`] and [`AccessPolicy::Crew`], and is *rejected*
+//! under [`AccessPolicy::Erew`] (concurrent reads of `C` are essential).
+//!
+//! Step 5 is pointer jumping `C(i) ← C(C(i))` and step 6 is
+//! `C(i) ← min(C(i), T(C(i)))`, resolving the 2-cycle at the root of each
+//! hooking tree — the same reconstruction as the GCA machine (DESIGN.md §3).
+
+use crate::{AccessPolicy, CostLog, Pram, PramError, Value, INFINITY};
+use gca_graphs::{AdjacencyMatrix, Labeling};
+
+/// Result of a reference-algorithm run.
+#[derive(Clone, Debug)]
+pub struct PramRun {
+    /// Canonical component labeling (min node index per component).
+    pub labels: Labeling,
+    /// Simulated parallel time `t_p` (PRAM steps, Brent-weighted).
+    pub time: u64,
+    /// Work `w = Σ processors` over all steps.
+    pub work: u64,
+    /// Worst per-step read congestion.
+    pub max_congestion: u32,
+    /// The full cost log.
+    pub cost: CostLog,
+}
+
+/// `⌈log₂ n⌉` (0 for `n ≤ 1`), mirroring the GCA crate's convention.
+fn ceil_log2(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+/// PRAM steps the reference algorithm needs:
+/// `1 + ⌈log₂ n⌉ · (3·⌈log₂ n⌉ + 6)`.
+///
+/// Each iteration: step 2 = `1 + log n + 1`, step 3 = `1 + log n + 1`,
+/// step 4 = `1`, step 5 = `log n`, step 6 = `1`. Note this is *two fewer*
+/// per-iteration steps than the GCA's `3 log n + 8` — the GCA pays two
+/// extra broadcast generations because cells cannot read two distant values
+/// in one generation with a single pointer.
+pub fn reference_steps(n: usize) -> u64 {
+    let l = u64::from(ceil_log2(n));
+    1 + l * (3 * l + 6)
+}
+
+/// Runs the reference algorithm under the CROW policy with the natural
+/// owner map.
+pub fn connected_components(graph: &AdjacencyMatrix) -> Result<PramRun, PramError> {
+    connected_components_with(graph, AccessPolicy::Crow, None)
+}
+
+/// Runs under an explicit policy (used by the failure-injection tests and
+/// the policy-comparison bench).
+pub fn connected_components_with_policy(
+    graph: &AdjacencyMatrix,
+    policy: AccessPolicy,
+) -> Result<PramRun, PramError> {
+    connected_components_with(graph, policy, None)
+}
+
+/// Runs CROW with every step Brent-scheduled onto `physical` processors
+/// (Section 1: *"each cell shall sequentially simulate P(n)/p processing
+/// elements round robin"*). Results are identical; only `time` grows.
+pub fn connected_components_brent(
+    graph: &AdjacencyMatrix,
+    physical: usize,
+) -> Result<PramRun, PramError> {
+    connected_components_with(graph, AccessPolicy::Crow, Some(physical))
+}
+
+fn connected_components_with(
+    graph: &AdjacencyMatrix,
+    policy: AccessPolicy,
+    brent_physical: Option<usize>,
+) -> Result<PramRun, PramError> {
+    let n = graph.n();
+    if n == 0 {
+        return Ok(PramRun {
+            labels: Labeling::new(Vec::new()).expect("empty"),
+            time: 0,
+            work: 0,
+            max_congestion: 0,
+            cost: CostLog::new(),
+        });
+    }
+
+    let c_base = 0usize;
+    let t_base = n;
+    let temp_base = 2 * n;
+    let a_base = 2 * n + n * n;
+    let size = 2 * n + 2 * n * n;
+
+    // Owner map: C(i), T(i) → proc i; temp(i,j) → proc i·n + j; the
+    // read-only A region nominally belongs to processor 0.
+    let mut owners = vec![0usize; size];
+    for i in 0..n {
+        owners[c_base + i] = i;
+        owners[t_base + i] = i;
+    }
+    for p in 0..n * n {
+        owners[temp_base + p] = p;
+    }
+
+    let mut pram = Pram::new(policy, size).with_owners(owners);
+    for i in 0..n {
+        for j in 0..n {
+            let bit = Value::from(graph.has_edge(i, j) && i != j);
+            pram.load(a_base + i * n + j, bit);
+        }
+    }
+
+    // Step wrapper: plain or Brent-scheduled.
+    let mut run_step = |pram: &mut Pram,
+                        procs: usize,
+                        f: &mut dyn FnMut(usize, &mut crate::StepContext<'_>) -> Result<(), PramError>|
+     -> Result<(), PramError> {
+        match brent_physical {
+            Some(p) => pram.step_brent(procs, p, f).map(|_| ()),
+            None => pram.step(procs, f).map(|_| ()),
+        }
+    };
+
+    // Step 1: C(i) ← i.
+    run_step(&mut pram, n, &mut |i, ctx| {
+        ctx.write(c_base + i, i as Value)
+    })?;
+
+    let l = ceil_log2(n);
+    for _ in 0..l {
+        // Step 2: T(i) ← min_j { C(j) | A(i,j) = 1 ∧ C(j) ≠ C(i) }.
+        run_step(&mut pram, n * n, &mut |p, ctx| {
+            let (i, j) = (p / n, p % n);
+            let a = ctx.read(a_base + i * n + j)?;
+            let cj = ctx.read(c_base + j)?;
+            let ci = ctx.read(c_base + i)?;
+            let v = if a == 1 && cj != ci { cj } else { INFINITY };
+            ctx.write(temp_base + i * n + j, v)
+        })?;
+        reduce_rows(&mut run_step, &mut pram, n, temp_base)?;
+        run_step(&mut pram, n, &mut |i, ctx| {
+            let m = ctx.read(temp_base + i * n)?;
+            let ci = ctx.read(c_base + i)?;
+            ctx.write(t_base + i, if m == INFINITY { ci } else { m })
+        })?;
+
+        // Step 3: T(i) ← min_j { T(j) | C(j) = i ∧ T(j) ≠ i }.
+        run_step(&mut pram, n * n, &mut |p, ctx| {
+            let (i, j) = (p / n, p % n);
+            let cj = ctx.read(c_base + j)?;
+            let tj = ctx.read(t_base + j)?;
+            let v = if cj == i as Value && tj != i as Value {
+                tj
+            } else {
+                INFINITY
+            };
+            ctx.write(temp_base + i * n + j, v)
+        })?;
+        reduce_rows(&mut run_step, &mut pram, n, temp_base)?;
+        run_step(&mut pram, n, &mut |i, ctx| {
+            let m = ctx.read(temp_base + i * n)?;
+            let ci = ctx.read(c_base + i)?;
+            ctx.write(t_base + i, if m == INFINITY { ci } else { m })
+        })?;
+
+        // Step 4: C(i) ← T(i).
+        run_step(&mut pram, n, &mut |i, ctx| {
+            let t = ctx.read(t_base + i)?;
+            ctx.write(c_base + i, t)
+        })?;
+
+        // Step 5: pointer jumping, ⌈log₂ n⌉ times: C(i) ← C(C(i)).
+        for _ in 0..l {
+            run_step(&mut pram, n, &mut |i, ctx| {
+                let c = ctx.read(c_base + i)?;
+                let cc = ctx.read(c_base + c as usize)?;
+                ctx.write(c_base + i, cc)
+            })?;
+        }
+
+        // Step 6: C(i) ← min(C(i), T(C(i))) — T still holds the pre-jump C.
+        run_step(&mut pram, n, &mut |i, ctx| {
+            let c = ctx.read(c_base + i)?;
+            let tc = ctx.read(t_base + c as usize)?;
+            ctx.write(c_base + i, c.min(tc))
+        })?;
+    }
+
+    let labels = Labeling::new(
+        (0..n)
+            .map(|i| pram.peek(c_base + i) as usize)
+            .collect(),
+    )
+    .expect("labels are node numbers");
+    let cost = pram.cost().clone();
+    Ok(PramRun {
+        labels,
+        time: cost.time(),
+        work: cost.work(),
+        max_congestion: cost.max_congestion(),
+        cost,
+    })
+}
+
+/// The `⌈log₂ n⌉` tree-reduction sub-steps shared by steps 2 and 3:
+/// `temp(i, j) ← min(temp(i, j), temp(i, j + 2^s))` for the participating
+/// `j`. All `n²` processors are issued with their canonical `(i, j)`
+/// numbering — CROW's *dedicated owner* must be the same processor in every
+/// step, so non-participating processors idle (the original SIMD
+/// formulation of the algorithm behaves exactly this way).
+fn reduce_rows(
+    run_step: &mut impl FnMut(
+        &mut Pram,
+        usize,
+        &mut dyn FnMut(usize, &mut crate::StepContext<'_>) -> Result<(), PramError>,
+    ) -> Result<(), PramError>,
+    pram: &mut Pram,
+    n: usize,
+    temp_base: usize,
+) -> Result<(), PramError> {
+    for s in 0..ceil_log2(n) {
+        let stride = 1usize << s;
+        run_step(pram, n * n, &mut move |p, ctx| {
+            let (i, j) = (p / n, p % n);
+            if j % (stride << 1) != 0 || j + stride >= n {
+                return Ok(());
+            }
+            let a = ctx.read(temp_base + i * n + j)?;
+            let b = ctx.read(temp_base + i * n + j + stride)?;
+            ctx.write(temp_base + i * n + j, a.min(b))
+        })?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gca_graphs::connectivity::union_find_components_dense;
+    use gca_graphs::{generators, GraphBuilder};
+
+    fn check(graph: &AdjacencyMatrix) {
+        let expected = union_find_components_dense(graph);
+        let run = connected_components(graph).unwrap();
+        assert_eq!(
+            run.labels.as_slice(),
+            expected.as_slice(),
+            "PRAM reference disagrees on {graph:?}"
+        );
+    }
+
+    #[test]
+    fn basic_graphs() {
+        check(&GraphBuilder::new(2).edge(0, 1).build().unwrap());
+        check(&generators::path(7));
+        check(&generators::ring(9));
+        check(&generators::star(8));
+        check(&generators::complete(6));
+        check(&generators::empty(5));
+    }
+
+    #[test]
+    fn random_graphs() {
+        for seed in 0..6 {
+            check(&generators::gnp(15, 0.2, seed));
+        }
+    }
+
+    #[test]
+    fn non_power_of_two() {
+        for n in [3usize, 5, 6, 7, 11] {
+            check(&generators::gnp(n, 0.35, n as u64));
+        }
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        let r = connected_components(&generators::empty(0)).unwrap();
+        assert_eq!(r.labels.n(), 0);
+        let r = connected_components(&generators::empty(1)).unwrap();
+        assert_eq!(r.labels.as_slice(), &[0]);
+    }
+
+    #[test]
+    fn runs_under_crew() {
+        let g = generators::gnp(9, 0.3, 2);
+        let r = connected_components_with_policy(&g, AccessPolicy::Crew).unwrap();
+        let expected = union_find_components_dense(&g);
+        assert_eq!(r.labels.as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn rejected_under_erew() {
+        // The concurrent reads of C are intrinsic; EREW must reject them.
+        let g = generators::complete(4);
+        let err = connected_components_with_policy(&g, AccessPolicy::Erew).unwrap_err();
+        assert!(matches!(err, PramError::ReadConflict { .. }));
+    }
+
+    #[test]
+    fn step_count_matches_formula() {
+        for n in [2usize, 4, 8, 16, 11] {
+            let g = generators::gnp(n, 0.4, 7);
+            let r = connected_components(&g).unwrap();
+            assert_eq!(r.cost.steps().len() as u64, reference_steps(n), "n = {n}");
+            assert_eq!(r.time, reference_steps(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn brent_scheduling_same_labels_more_time() {
+        let g = generators::gnp(12, 0.3, 4);
+        let full = connected_components(&g).unwrap();
+        let brent = connected_components_brent(&g, 4).unwrap();
+        assert_eq!(full.labels, brent.labels);
+        assert!(brent.time > full.time);
+        assert_eq!(full.work, brent.work);
+    }
+
+    #[test]
+    fn congestion_reflects_concurrent_c_reads() {
+        // In step 2, C(j) is read by the whole column of processors.
+        let n = 8;
+        let r = connected_components(&generators::complete(n)).unwrap();
+        assert!(r.max_congestion as usize >= n);
+    }
+
+    #[test]
+    fn work_dominated_by_n_squared_steps() {
+        let n = 16usize;
+        let r = connected_components(&generators::gnp(n, 0.5, 1)).unwrap();
+        // Step 2/3 issue n² processors; total work must exceed n² per
+        // iteration but stay polylog × n².
+        let l = u64::from(super::ceil_log2(n));
+        assert!(r.work >= 2 * (n * n) as u64 * l);
+        assert!(r.work <= (n * n) as u64 * (3 * l + 8) * l + (n * n) as u64);
+    }
+}

@@ -1,0 +1,45 @@
+//! A PRAM (Parallel Random Access Machine) simulator substrate.
+//!
+//! The reproduced paper maps a PRAM algorithm onto the GCA model and notes
+//! that the GCA *"resembles the concurrent read owner write (CROW) PRAM
+//! model, where each processor may read any cell, whereas each cell may only
+//! be written by a dedicated processor, the owner."* To compare against the
+//! reference algorithm faithfully, this crate provides:
+//!
+//! * [`Pram`] — a synchronous stepwise executor over a shared memory: in one
+//!   step every processor first reads (observing the memory state *before*
+//!   the step), then writes; the machine checks the configured
+//!   [`AccessPolicy`] and rejects violating programs;
+//! * [`AccessPolicy`] — EREW, CREW, CROW (with an explicit owner map) and
+//!   the common/arbitrary/priority CRCW variants;
+//! * [`CostLog`] — work/time accounting (`time` = steps, `work` = sum of
+//!   active processors per step, per-step read congestion), the quantities
+//!   the paper's optimality discussion revolves around;
+//! * [`hirschberg_ref`] — the reference algorithm of Listing 1 implemented
+//!   on this machine, using only CROW-compatible writes (so it runs under
+//!   CREW and CROW, and its EREW rejection is itself a test).
+//!
+//! The simulator executes processors sequentially within a step — the
+//! synchronous read-then-write semantics make the result order-independent,
+//! exactly like the GCA engine's double buffering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod error;
+pub mod hirschberg_ref;
+mod machine;
+mod policy;
+pub mod programs;
+
+pub use cost::{CostLog, StepStats};
+pub use error::PramError;
+pub use machine::{Pram, StepContext, WriteOp};
+pub use policy::AccessPolicy;
+
+/// The machine word of the shared memory.
+pub type Value = u64;
+
+/// The "∞" sentinel used by minimum computations.
+pub const INFINITY: Value = Value::MAX;

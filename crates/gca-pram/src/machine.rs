@@ -1,0 +1,429 @@
+use crate::{AccessPolicy, CostLog, PramError, StepStats, Value};
+
+/// A write issued by a processor during a step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WriteOp {
+    /// Target address.
+    pub addr: usize,
+    /// Issuing processor.
+    pub proc: usize,
+    /// Value to store.
+    pub value: Value,
+}
+
+/// The per-processor view of a step: reads observe the memory state from
+/// *before* the step; writes are buffered and applied (after policy checks)
+/// when every processor has run.
+pub struct StepContext<'a> {
+    proc: usize,
+    mem: &'a [Value],
+    read_counts: &'a mut [u32],
+    writes: &'a mut Vec<WriteOp>,
+    reads_issued: u64,
+}
+
+impl StepContext<'_> {
+    /// The executing processor's index.
+    pub fn proc(&self) -> usize {
+        self.proc
+    }
+
+    /// Reads `addr`, observing the pre-step memory.
+    pub fn read(&mut self, addr: usize) -> Result<Value, PramError> {
+        let v = *self
+            .mem
+            .get(addr)
+            .ok_or(PramError::AddressOutOfRange {
+                addr,
+                size: self.mem.len(),
+                proc: self.proc,
+            })?;
+        self.read_counts[addr] += 1;
+        self.reads_issued += 1;
+        Ok(v)
+    }
+
+    /// Buffers a write of `value` to `addr`.
+    pub fn write(&mut self, addr: usize, value: Value) -> Result<(), PramError> {
+        if addr >= self.mem.len() {
+            return Err(PramError::AddressOutOfRange {
+                addr,
+                size: self.mem.len(),
+                proc: self.proc,
+            });
+        }
+        self.writes.push(WriteOp {
+            addr,
+            proc: self.proc,
+            value,
+        });
+        Ok(())
+    }
+}
+
+/// The PRAM: a shared memory, an access policy, and a step executor.
+///
+/// ```
+/// use gca_pram::{AccessPolicy, Pram};
+///
+/// let mut pram = Pram::new(AccessPolicy::Crew, 4);
+/// // One step, 4 processors: cell i ← i².
+/// pram.step(4, |p, ctx| ctx.write(p, (p * p) as u64)).unwrap();
+/// assert_eq!(pram.mem(), &[0, 1, 4, 9]);
+/// ```
+pub struct Pram {
+    mem: Vec<Value>,
+    policy: AccessPolicy,
+    owners: Option<Vec<usize>>,
+    cost: CostLog,
+    read_counts: Vec<u32>,
+}
+
+impl Pram {
+    /// Creates a machine with `size` zeroed memory cells.
+    pub fn new(policy: AccessPolicy, size: usize) -> Self {
+        Pram {
+            mem: vec![0; size],
+            policy,
+            owners: None,
+            cost: CostLog::new(),
+            read_counts: vec![0; size],
+        }
+    }
+
+    /// Registers the owner map required by [`AccessPolicy::Crow`]:
+    /// `owners[addr]` is the only processor allowed to write `addr`.
+    ///
+    /// # Panics
+    /// Panics if the map's length differs from the memory size.
+    #[must_use]
+    pub fn with_owners(mut self, owners: Vec<usize>) -> Self {
+        assert_eq!(
+            owners.len(),
+            self.mem.len(),
+            "owner map must cover the whole memory"
+        );
+        self.owners = Some(owners);
+        self
+    }
+
+    /// The access policy in force.
+    pub fn policy(&self) -> AccessPolicy {
+        self.policy
+    }
+
+    /// Memory size.
+    pub fn size(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// Read-only view of the memory (between steps).
+    pub fn mem(&self) -> &[Value] {
+        &self.mem
+    }
+
+    /// Host-side initialization write (not policy-checked, not charged).
+    pub fn load(&mut self, addr: usize, value: Value) {
+        self.mem[addr] = value;
+    }
+
+    /// Host-side read (not charged).
+    pub fn peek(&self, addr: usize) -> Value {
+        self.mem[addr]
+    }
+
+    /// The accumulated cost log.
+    pub fn cost(&self) -> &CostLog {
+        &self.cost
+    }
+
+    /// Executes one synchronous step with `processors` processors.
+    ///
+    /// The `program` closure runs once per processor; all reads observe the
+    /// pre-step memory. Policy violations abort the step with an error and
+    /// leave the memory unchanged.
+    pub fn step<F>(&mut self, processors: usize, program: F) -> Result<StepStats, PramError>
+    where
+        F: FnMut(usize, &mut StepContext<'_>) -> Result<(), PramError>,
+    {
+        self.step_with_time(processors, 1, program)
+    }
+
+    /// Executes one step under Brent scheduling: the `processors` virtual
+    /// processors run on `physical` physical ones, charging
+    /// `⌈processors/physical⌉` time units (Section 1 of the paper).
+    pub fn step_brent<F>(
+        &mut self,
+        processors: usize,
+        physical: usize,
+        program: F,
+    ) -> Result<StepStats, PramError>
+    where
+        F: FnMut(usize, &mut StepContext<'_>) -> Result<(), PramError>,
+    {
+        assert!(physical > 0, "need at least one physical processor");
+        let slowdown = (processors.div_ceil(physical)).max(1) as u64;
+        self.step_with_time(processors, slowdown, program)
+    }
+
+    fn step_with_time<F>(
+        &mut self,
+        processors: usize,
+        time_units: u64,
+        mut program: F,
+    ) -> Result<StepStats, PramError>
+    where
+        F: FnMut(usize, &mut StepContext<'_>) -> Result<(), PramError>,
+    {
+        if self.policy.requires_ownership() && self.owners.is_none() {
+            return Err(PramError::MissingOwnerMap);
+        }
+
+        self.read_counts.iter_mut().for_each(|c| *c = 0);
+        let mut writes: Vec<WriteOp> = Vec::new();
+        let mut reads_issued = 0u64;
+
+        for proc in 0..processors {
+            let mut ctx = StepContext {
+                proc,
+                mem: &self.mem,
+                read_counts: &mut self.read_counts,
+                writes: &mut writes,
+                reads_issued: 0,
+            };
+            program(proc, &mut ctx)?;
+            reads_issued += ctx.reads_issued;
+        }
+
+        // Read-conflict check (EREW only).
+        let mut max_read_congestion = 0u32;
+        for (addr, &c) in self.read_counts.iter().enumerate() {
+            max_read_congestion = max_read_congestion.max(c);
+            if c > 1 && !self.policy.allows_concurrent_reads() {
+                return Err(PramError::ReadConflict { addr, readers: c });
+            }
+        }
+
+        // Write-conflict resolution: validate every address group first,
+        // then apply, so a rejected step leaves the memory untouched.
+        let writes_issued = writes.len() as u64;
+        writes.sort_by_key(|w| (w.addr, w.proc));
+        let mut resolved: Vec<(usize, Value)> = Vec::new();
+        let mut i = 0;
+        while i < writes.len() {
+            let mut j = i + 1;
+            while j < writes.len() && writes[j].addr == writes[i].addr {
+                j += 1;
+            }
+            let group = &writes[i..j];
+            let addr = group[0].addr;
+            if let Some(owners) = &self.owners {
+                if self.policy.requires_ownership() {
+                    for w in group {
+                        if w.proc != owners[addr] {
+                            return Err(PramError::OwnerViolation {
+                                addr,
+                                proc: w.proc,
+                                owner: owners[addr],
+                            });
+                        }
+                    }
+                }
+            }
+            // Distinct processors writing the same cell?
+            let distinct = group.windows(2).any(|w| w[0].proc != w[1].proc);
+            if distinct {
+                match self.policy {
+                    AccessPolicy::CrcwCommon => {
+                        if let Some(w) =
+                            group.windows(2).find(|w| w[0].value != w[1].value)
+                        {
+                            return Err(PramError::CommonWriteMismatch {
+                                addr,
+                                values: (w[0].value, w[1].value),
+                            });
+                        }
+                    }
+                    AccessPolicy::CrcwArbitrary | AccessPolicy::CrcwPriority => {}
+                    _ => {
+                        return Err(PramError::WriteConflict {
+                            addr,
+                            procs: (group[0].proc, group[group.len() - 1].proc),
+                        });
+                    }
+                }
+            }
+            // Winner: lowest processor id (deterministic; for a single
+            // processor with repeated writes, its last write wins).
+            let winner_proc = group[0].proc;
+            let value = group
+                .iter().rfind(|w| w.proc == winner_proc)
+                .expect("group non-empty")
+                .value;
+            resolved.push((addr, value));
+            i = j;
+        }
+        for (addr, value) in resolved {
+            self.mem[addr] = value;
+        }
+
+        let stats = StepStats {
+            processors,
+            time_units,
+            reads: reads_issued,
+            writes: writes_issued,
+            max_read_congestion,
+        };
+        self.cost.push(stats);
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_step_writes() {
+        let mut p = Pram::new(AccessPolicy::Crew, 3);
+        p.step(3, |i, ctx| ctx.write(i, (10 + i) as Value)).unwrap();
+        assert_eq!(p.mem(), &[10, 11, 12]);
+    }
+
+    #[test]
+    fn reads_observe_pre_step_memory() {
+        let mut p = Pram::new(AccessPolicy::Crew, 4);
+        for i in 0..4 {
+            p.load(i, i as Value);
+        }
+        // Rotate: cell i ← old cell (i+1) mod 4; must not smear.
+        p.step(4, |i, ctx| {
+            let v = ctx.read((i + 1) % 4)?;
+            ctx.write(i, v)
+        })
+        .unwrap();
+        assert_eq!(p.mem(), &[1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn erew_rejects_concurrent_reads() {
+        let mut p = Pram::new(AccessPolicy::Erew, 2);
+        let err = p
+            .step(2, |_i, ctx| ctx.read(0).map(|_| ()))
+            .unwrap_err();
+        assert_eq!(err, PramError::ReadConflict { addr: 0, readers: 2 });
+    }
+
+    #[test]
+    fn crew_allows_concurrent_reads_rejects_write_conflicts() {
+        let mut p = Pram::new(AccessPolicy::Crew, 2);
+        p.step(2, |_i, ctx| ctx.read(0).map(|_| ())).unwrap();
+        let err = p.step(2, |_i, ctx| ctx.write(1, 5)).unwrap_err();
+        assert!(matches!(err, PramError::WriteConflict { addr: 1, .. }));
+    }
+
+    #[test]
+    fn failed_step_leaves_memory_unchanged() {
+        let mut p = Pram::new(AccessPolicy::Crew, 2);
+        p.load(0, 42);
+        let _ = p.step(2, |_i, ctx| ctx.write(0, 7)).unwrap_err();
+        assert_eq!(p.peek(0), 42);
+    }
+
+    #[test]
+    fn crow_enforces_ownership() {
+        let mut p = Pram::new(AccessPolicy::Crow, 3).with_owners(vec![0, 1, 2]);
+        p.step(3, |i, ctx| ctx.write(i, 1)).unwrap();
+        let err = p.step(2, |i, ctx| ctx.write((i + 1) % 2, 9)).unwrap_err();
+        assert!(matches!(err, PramError::OwnerViolation { .. }));
+    }
+
+    #[test]
+    fn crow_without_owner_map_is_rejected() {
+        let mut p = Pram::new(AccessPolicy::Crow, 2);
+        let err = p.step(1, |_i, _ctx| Ok(())).unwrap_err();
+        assert_eq!(err, PramError::MissingOwnerMap);
+    }
+
+    #[test]
+    fn crcw_common_agreeing_writes() {
+        let mut p = Pram::new(AccessPolicy::CrcwCommon, 1);
+        p.step(4, |_i, ctx| ctx.write(0, 7)).unwrap();
+        assert_eq!(p.peek(0), 7);
+        let err = p.step(2, |i, ctx| ctx.write(0, i as Value)).unwrap_err();
+        assert!(matches!(err, PramError::CommonWriteMismatch { .. }));
+    }
+
+    #[test]
+    fn crcw_priority_lowest_proc_wins() {
+        let mut p = Pram::new(AccessPolicy::CrcwPriority, 1);
+        p.step(4, |i, ctx| ctx.write(0, (100 + i) as Value)).unwrap();
+        assert_eq!(p.peek(0), 100);
+    }
+
+    #[test]
+    fn same_proc_repeated_write_last_wins() {
+        let mut p = Pram::new(AccessPolicy::Crew, 1);
+        p.step(1, |_i, ctx| {
+            ctx.write(0, 1)?;
+            ctx.write(0, 2)
+        })
+        .unwrap();
+        assert_eq!(p.peek(0), 2);
+    }
+
+    #[test]
+    fn out_of_range_access_reported() {
+        let mut p = Pram::new(AccessPolicy::Crew, 2);
+        let err = p.step(1, |_i, ctx| ctx.read(5).map(|_| ())).unwrap_err();
+        assert!(matches!(err, PramError::AddressOutOfRange { addr: 5, .. }));
+        let err = p.step(1, |_i, ctx| ctx.write(9, 0)).unwrap_err();
+        assert!(matches!(err, PramError::AddressOutOfRange { addr: 9, .. }));
+    }
+
+    #[test]
+    fn cost_accounting() {
+        let mut p = Pram::new(AccessPolicy::Crew, 4);
+        p.step(4, |i, ctx| {
+            let _ = ctx.read(0)?;
+            ctx.write(i, 1)
+        })
+        .unwrap();
+        p.step(2, |_i, _ctx| Ok(())).unwrap();
+        assert_eq!(p.cost().time(), 2);
+        assert_eq!(p.cost().work(), 6);
+        assert_eq!(p.cost().total_reads(), 4);
+        assert_eq!(p.cost().max_congestion(), 4);
+    }
+
+    #[test]
+    fn brent_step_charges_slowdown() {
+        let mut p = Pram::new(AccessPolicy::Crew, 16);
+        p.step_brent(16, 4, |i, ctx| ctx.write(i, 1)).unwrap();
+        assert_eq!(p.cost().time(), 4); // ⌈16/4⌉
+        assert_eq!(p.cost().work(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one physical")]
+    fn brent_rejects_zero_physical() {
+        let mut p = Pram::new(AccessPolicy::Crew, 1);
+        let _ = p.step_brent(1, 0, |_i, _ctx| Ok(()));
+    }
+
+    #[test]
+    fn step_stats_reported() {
+        let mut p = Pram::new(AccessPolicy::Crew, 4);
+        let stats = p
+            .step(3, |i, ctx| {
+                let _ = ctx.read(0)?;
+                let _ = ctx.read(i)?;
+                ctx.write(i, 0)
+            })
+            .unwrap();
+        assert_eq!(stats.processors, 3);
+        assert_eq!(stats.reads, 6);
+        assert_eq!(stats.writes, 3);
+        assert_eq!(stats.max_read_congestion, 4); // cell 0: 3 + proc 0's own
+    }
+}

@@ -1,0 +1,93 @@
+/// The memory access discipline a PRAM program is checked against.
+///
+/// The naming follows the standard taxonomy (exclusive/concurrent ×
+/// read/write) plus the *owner-write* model the paper identifies with the
+/// GCA: any processor may read any cell, but each cell is written only by
+/// its registered owner.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessPolicy {
+    /// Exclusive read, exclusive write.
+    Erew,
+    /// Concurrent read, exclusive write.
+    Crew,
+    /// Concurrent read, owner write — the GCA's discipline. Requires an
+    /// owner map ([`crate::Pram::with_owners`]).
+    Crow,
+    /// Concurrent read, concurrent write; all simultaneous writers must
+    /// agree on the value.
+    CrcwCommon,
+    /// Concurrent read, concurrent write; an arbitrary writer (here: the
+    /// lowest-indexed, deterministically) succeeds.
+    CrcwArbitrary,
+    /// Concurrent read, concurrent write; the lowest-indexed processor
+    /// wins (priority CRCW — coincides with this simulator's arbitrary
+    /// tie-break, but is checked as a distinct policy for clarity).
+    CrcwPriority,
+}
+
+impl AccessPolicy {
+    /// May two processors read the same cell in one step?
+    pub fn allows_concurrent_reads(self) -> bool {
+        !matches!(self, AccessPolicy::Erew)
+    }
+
+    /// May two processors write the same cell in one step?
+    pub fn allows_concurrent_writes(self) -> bool {
+        matches!(
+            self,
+            AccessPolicy::CrcwCommon | AccessPolicy::CrcwArbitrary | AccessPolicy::CrcwPriority
+        )
+    }
+
+    /// Does this policy restrict writes to cell owners?
+    pub fn requires_ownership(self) -> bool {
+        matches!(self, AccessPolicy::Crow)
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AccessPolicy::Erew => "EREW",
+            AccessPolicy::Crew => "CREW",
+            AccessPolicy::Crow => "CROW",
+            AccessPolicy::CrcwCommon => "CRCW-common",
+            AccessPolicy::CrcwArbitrary => "CRCW-arbitrary",
+            AccessPolicy::CrcwPriority => "CRCW-priority",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_permissions() {
+        assert!(!AccessPolicy::Erew.allows_concurrent_reads());
+        assert!(AccessPolicy::Crew.allows_concurrent_reads());
+        assert!(AccessPolicy::Crow.allows_concurrent_reads());
+        assert!(AccessPolicy::CrcwCommon.allows_concurrent_reads());
+    }
+
+    #[test]
+    fn write_permissions() {
+        assert!(!AccessPolicy::Erew.allows_concurrent_writes());
+        assert!(!AccessPolicy::Crew.allows_concurrent_writes());
+        assert!(!AccessPolicy::Crow.allows_concurrent_writes());
+        assert!(AccessPolicy::CrcwCommon.allows_concurrent_writes());
+        assert!(AccessPolicy::CrcwArbitrary.allows_concurrent_writes());
+        assert!(AccessPolicy::CrcwPriority.allows_concurrent_writes());
+    }
+
+    #[test]
+    fn ownership() {
+        assert!(AccessPolicy::Crow.requires_ownership());
+        assert!(!AccessPolicy::Crew.requires_ownership());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(AccessPolicy::Crow.name(), "CROW");
+        assert_eq!(AccessPolicy::CrcwPriority.name(), "CRCW-priority");
+    }
+}

@@ -1,0 +1,196 @@
+//! Further PRAM reference programs: prefix scan and list ranking.
+//!
+//! The paper's case study maps *one* PRAM algorithm onto the GCA; the
+//! workspace generalizes the exercise (see `gca-algorithms`). These are the
+//! PRAM sides of those mappings, so the GCA-vs-PRAM overhead can be
+//! compared across several algorithm shapes, not just connected
+//! components. Both programs are CROW (each cell has one dedicated writer)
+//! and their step counts have closed forms mirrored by the GCA versions.
+
+use crate::{AccessPolicy, CostLog, Pram, PramError, Value};
+
+fn ceil_log2(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+/// Result of a PRAM program run.
+#[derive(Clone, Debug)]
+pub struct ProgramRun {
+    /// Output memory region.
+    pub output: Vec<Value>,
+    /// Parallel steps.
+    pub time: u64,
+    /// Work (Σ processors).
+    pub work: u64,
+    /// Full cost log.
+    pub cost: CostLog,
+}
+
+/// PRAM steps of the inclusive scan: `⌈log₂ n⌉` (identical to the GCA
+/// version — doubling needs no broadcast, so the mapping has no overhead).
+pub fn scan_steps(n: usize) -> u64 {
+    u64::from(ceil_log2(n))
+}
+
+/// Inclusive prefix sums on the PRAM by recursive doubling (Hillis–Steele),
+/// under the given policy. Cell `i` is owned by processor `i`.
+pub fn prefix_sums(values: &[Value], policy: AccessPolicy) -> Result<ProgramRun, PramError> {
+    let n = values.len();
+    let mut pram = Pram::new(policy, n.max(1)).with_owners((0..n.max(1)).collect());
+    for (i, &v) in values.iter().enumerate() {
+        pram.load(i, v);
+    }
+    for s in 0..ceil_log2(n) {
+        let stride = 1usize << s;
+        pram.step(n, |i, ctx| {
+            if i >= stride {
+                let left = ctx.read(i - stride)?;
+                let own = ctx.read(i)?;
+                ctx.write(i, own.wrapping_add(left))
+            } else {
+                Ok(())
+            }
+        })?;
+    }
+    let cost = pram.cost().clone();
+    Ok(ProgramRun {
+        output: pram.mem()[..n].to_vec(),
+        time: cost.time(),
+        work: cost.work(),
+        cost,
+    })
+}
+
+/// PRAM steps of list ranking: `⌈log₂ n⌉`.
+pub fn list_ranking_steps(n: usize) -> u64 {
+    u64::from(ceil_log2(n))
+}
+
+/// List ranking on the PRAM by pointer jumping. Memory layout: `next` in
+/// `[0, n)`, `rank` in `[n, 2n)`; processor `i` owns both cells `i` and
+/// `n + i`.
+///
+/// The input must be a forest of tail-terminated lists (`next[tail] =
+/// tail`); no validation is performed here (the GCA front end validates —
+/// this is the raw reference program).
+pub fn list_ranking(successors: &[usize], policy: AccessPolicy) -> Result<ProgramRun, PramError> {
+    let n = successors.len();
+    if n == 0 {
+        return Ok(ProgramRun {
+            output: Vec::new(),
+            time: 0,
+            work: 0,
+            cost: CostLog::new(),
+        });
+    }
+    let mut owners = Vec::with_capacity(2 * n);
+    owners.extend(0..n);
+    owners.extend(0..n);
+    let mut pram = Pram::new(policy, 2 * n).with_owners(owners);
+    for (i, &next) in successors.iter().enumerate() {
+        pram.load(i, next as Value);
+        pram.load(n + i, Value::from(next != i));
+    }
+    for _ in 0..ceil_log2(n) {
+        pram.step(n, |i, ctx| {
+            let next = ctx.read(i)? as usize;
+            if next == i {
+                return Ok(());
+            }
+            let next_next = ctx.read(next)?;
+            let own_rank = ctx.read(n + i)?;
+            let next_rank = ctx.read(n + next)?;
+            ctx.write(i, next_next)?;
+            ctx.write(n + i, own_rank + next_rank)
+        })?;
+    }
+    let cost = pram.cost().clone();
+    Ok(ProgramRun {
+        output: pram.mem()[n..2 * n].to_vec(),
+        time: cost.time(),
+        work: cost.work(),
+        cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_sums_basic() {
+        let run = prefix_sums(&[3, 1, 4, 1, 5], AccessPolicy::Crow).unwrap();
+        assert_eq!(run.output, vec![3, 4, 8, 9, 14]);
+        assert_eq!(run.time, scan_steps(5));
+    }
+
+    #[test]
+    fn prefix_sums_empty_and_single() {
+        assert_eq!(prefix_sums(&[], AccessPolicy::Crow).unwrap().output, vec![]);
+        assert_eq!(
+            prefix_sums(&[7], AccessPolicy::Crow).unwrap().output,
+            vec![7]
+        );
+    }
+
+    #[test]
+    fn prefix_sums_crow_compatible() {
+        // Reads of the left neighbor are concurrent-free here (each cell is
+        // read by exactly one right partner per step), so even EREW works
+        // for the doubling scan with stride > 0 — except cell i reads both
+        // itself and i-stride, and cell i is also read by i+stride: two
+        // readers. EREW must reject; CREW/CROW must pass.
+        let xs = [1u64, 2, 3, 4];
+        assert!(prefix_sums(&xs, AccessPolicy::Crow).is_ok());
+        assert!(prefix_sums(&xs, AccessPolicy::Crew).is_ok());
+        assert!(matches!(
+            prefix_sums(&xs, AccessPolicy::Erew),
+            Err(PramError::ReadConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn list_ranking_basic() {
+        // 2 -> 0 -> 3 -> 1 -> 4 (tail).
+        let succ = [3usize, 4, 0, 1, 4];
+        let run = list_ranking(&succ, AccessPolicy::Crow).unwrap();
+        assert_eq!(run.output, vec![3, 1, 4, 2, 0]);
+        assert_eq!(run.time, list_ranking_steps(5));
+    }
+
+    #[test]
+    fn list_ranking_straight_chain() {
+        for n in [2usize, 7, 16, 33] {
+            let succ: Vec<usize> = (0..n).map(|i| (i + 1).min(n - 1)).collect();
+            let run = list_ranking(&succ, AccessPolicy::Crow).unwrap();
+            let expected: Vec<Value> = (0..n).map(|i| (n - 1 - i) as Value).collect();
+            assert_eq!(run.output, expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn list_ranking_empty() {
+        let run = list_ranking(&[], AccessPolicy::Crow).unwrap();
+        assert!(run.output.is_empty());
+        assert_eq!(run.time, 0);
+    }
+
+    #[test]
+    fn gca_mapping_overhead_is_zero_for_doubling_algorithms() {
+        // Connected components costs the GCA 2 extra generations per min
+        // phase; pure doubling algorithms map 1:1. This pins that contrast.
+        assert_eq!(scan_steps(64), 6);
+        assert_eq!(list_ranking_steps(64), 6);
+    }
+
+    #[test]
+    fn work_accounting() {
+        let run = prefix_sums(&[1, 2, 3, 4, 5, 6, 7, 8], AccessPolicy::Crow).unwrap();
+        // 3 steps × 8 processors.
+        assert_eq!(run.work, 24);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests for the PRAM simulator: step semantics, policy
+//! enforcement, cost accounting, and the reference algorithm.
+
+use gca_graphs::connectivity::union_find_components_dense;
+use gca_graphs::AdjacencyMatrix;
+use gca_pram::{hirschberg_ref, AccessPolicy, Pram, PramError, Value};
+use proptest::prelude::*;
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = AdjacencyMatrix> {
+    (1usize..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..50).prop_map(move |pairs| {
+            let mut g = AdjacencyMatrix::new(n);
+            for (u, v) in pairs {
+                if u != v {
+                    g.add_edge(u, v).unwrap();
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The reference algorithm equals union-find on arbitrary graphs.
+    #[test]
+    fn reference_equals_union_find(g in arb_graph(16)) {
+        let expected = union_find_components_dense(&g);
+        let run = hirschberg_ref::connected_components(&g).unwrap();
+        prop_assert_eq!(run.labels.as_slice(), expected.as_slice());
+    }
+
+    /// The step count always matches the closed form, and work/time are
+    /// consistent with the cost log.
+    #[test]
+    fn cost_accounting_consistent(g in arb_graph(16)) {
+        let run = hirschberg_ref::connected_components(&g).unwrap();
+        prop_assert_eq!(run.time, hirschberg_ref::reference_steps(g.n()));
+        prop_assert_eq!(run.work, run.cost.work());
+        prop_assert_eq!(run.max_congestion, run.cost.max_congestion());
+    }
+
+    /// Brent scheduling never changes results, and its time equals the sum
+    /// of per-step `⌈P/p⌉` charges.
+    #[test]
+    fn brent_time_model(g in arb_graph(12), p in 1usize..40) {
+        let full = hirschberg_ref::connected_components(&g).unwrap();
+        let brent = hirschberg_ref::connected_components_brent(&g, p).unwrap();
+        prop_assert_eq!(&full.labels, &brent.labels);
+        let expected_time: u64 = full
+            .cost
+            .steps()
+            .iter()
+            .map(|s| (s.processors.div_ceil(p)).max(1) as u64)
+            .sum();
+        prop_assert_eq!(brent.time, expected_time);
+        prop_assert_eq!(brent.work, full.work);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A step's writes land exactly as issued when addresses are distinct.
+    #[test]
+    fn distinct_writes_land(values in proptest::collection::vec(any::<Value>(), 1..20)) {
+        let n = values.len();
+        let mut pram = Pram::new(AccessPolicy::Crew, n);
+        let vals = values.clone();
+        pram.step(n, |i, ctx| ctx.write(i, vals[i])).unwrap();
+        prop_assert_eq!(pram.mem(), &values[..]);
+    }
+
+    /// Reads always observe the pre-step memory: a global rotation by any
+    /// offset is exact.
+    #[test]
+    fn rotation_by_offset(values in proptest::collection::vec(any::<Value>(), 2..20), offset in 1usize..19) {
+        let n = values.len();
+        let offset = offset % n;
+        let mut pram = Pram::new(AccessPolicy::Crew, n);
+        for (i, &v) in values.iter().enumerate() {
+            pram.load(i, v);
+        }
+        pram.step(n, |i, ctx| {
+            let v = ctx.read((i + offset) % n)?;
+            ctx.write(i, v)
+        }).unwrap();
+        let expected: Vec<Value> = (0..n).map(|i| values[(i + offset) % n]).collect();
+        prop_assert_eq!(pram.mem(), &expected[..]);
+    }
+
+    /// EREW detects a read conflict exactly when two processors read the
+    /// same address.
+    #[test]
+    fn erew_conflict_detection(reads in proptest::collection::vec(0usize..10, 1..10)) {
+        let mut pram = Pram::new(AccessPolicy::Erew, 10);
+        let rds = reads.clone();
+        let result = pram.step(reads.len(), |i, ctx| ctx.read(rds[i]).map(|_| ()));
+        let mut sorted = reads.clone();
+        sorted.sort_unstable();
+        let has_dup = sorted.windows(2).any(|w| w[0] == w[1]);
+        if has_dup {
+            let is_conflict = matches!(result, Err(PramError::ReadConflict { .. }));
+            prop_assert!(is_conflict, "expected a read conflict");
+        } else {
+            prop_assert!(result.is_ok());
+        }
+    }
+
+    /// Priority CRCW: the lowest-indexed writer always wins.
+    #[test]
+    fn priority_crcw_winner(writers in proptest::collection::vec((0usize..5, any::<Value>()), 1..12)) {
+        let mut pram = Pram::new(AccessPolicy::CrcwPriority, 5);
+        let ws = writers.clone();
+        pram.step(writers.len(), |i, ctx| {
+            let (addr, val) = ws[i];
+            ctx.write(addr, val)
+        }).unwrap();
+        for addr in 0..5 {
+            // Expected: the value written by the lowest proc targeting addr
+            // (its last write if it wrote several times).
+            let expected = writers
+                .iter()
+                .enumerate()
+                .filter(|(_, (a, _))| *a == addr)
+                .min_by_key(|(i, _)| *i)
+                .map(|(winner, _)| {
+                    writers
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, (a, _))| *i == winner && *a == addr)
+                        .map(|(_, (_, v))| *v)
+                        .next_back()
+                        .unwrap()
+                });
+            if let Some(v) = expected {
+                prop_assert_eq!(pram.peek(addr), v);
+            } else {
+                prop_assert_eq!(pram.peek(addr), 0);
+            }
+        }
+    }
+
+    /// CROW accepts exactly the owner's writes.
+    #[test]
+    fn crow_ownership(owners in proptest::collection::vec(0usize..6, 6..=6), writer in 0usize..6, addr in 0usize..6) {
+        let mut pram = Pram::new(AccessPolicy::Crow, 6).with_owners(owners.clone());
+        let result = pram.step(6, |i, ctx| {
+            if i == writer {
+                ctx.write(addr, 42)
+            } else {
+                Ok(())
+            }
+        });
+        if owners[addr] == writer {
+            prop_assert!(result.is_ok());
+            prop_assert_eq!(pram.peek(addr), 42);
+        } else {
+            let is_violation = matches!(result, Err(PramError::OwnerViolation { .. }));
+            prop_assert!(is_violation, "expected an owner violation");
+            prop_assert_eq!(pram.peek(addr), 0);
+        }
+    }
+}

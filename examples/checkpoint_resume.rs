@@ -1,0 +1,57 @@
+//! Scenario: checkpointing a long GCA run.
+//!
+//! Field snapshots capture the complete machine state between iterations;
+//! they serialize to JSON, so a run can be stopped, shipped elsewhere, and
+//! resumed bit-exactly — the workflow for long simulated campaigns.
+//!
+//! Run with: `cargo run --example checkpoint_resume`
+
+use hirschberg_gca_repro::engine::snapshot::FieldSnapshot;
+use hirschberg_gca_repro::graphs::generators;
+use hirschberg_gca_repro::hirschberg::{complexity, HCell, HirschbergGca, Machine};
+
+fn main() {
+    let n = 32;
+    let graph = generators::gnp(n, 0.15, 20_260_705);
+    let total_iterations = complexity::outer_iterations(n);
+    println!(
+        "graph: {} nodes, {} edges; schedule: {} outer iterations",
+        graph.n(),
+        graph.edge_count(),
+        total_iterations
+    );
+
+    // Phase 1: run the first half of the iterations, then checkpoint.
+    let half = total_iterations / 2;
+    let mut machine = Machine::new(&graph).expect("machine");
+    machine.init().expect("init");
+    for _ in 0..half {
+        machine.run_iteration().expect("iteration");
+    }
+    let snapshot = machine.snapshot();
+    let json = serde_json::to_string(&snapshot).expect("serialize");
+    println!(
+        "checkpoint after {half} iterations: {} cells, {} bytes of JSON, \
+         {} components so far",
+        snapshot.len(),
+        json.len(),
+        machine.labels().component_count()
+    );
+    drop(machine); // the first machine is gone — only the JSON survives
+
+    // Phase 2: somewhere else, later — restore and finish the run.
+    let restored: FieldSnapshot<HCell> = serde_json::from_str(&json).expect("parse");
+    let mut resumed = Machine::new(&graph).expect("machine");
+    resumed.restore(&restored).expect("restore");
+    for _ in half..total_iterations {
+        resumed.run_iteration().expect("iteration");
+    }
+
+    // The resumed run must agree with an uninterrupted one exactly.
+    let reference = HirschbergGca::new().run(&graph).expect("reference");
+    assert_eq!(resumed.labels(), reference.labels);
+    println!(
+        "resumed run finished: {} components, identical to the uninterrupted run",
+        resumed.labels().component_count()
+    );
+}

@@ -1,0 +1,73 @@
+//! Scenario: sizing a GCA design for an FPGA budget.
+//!
+//! Before committing a design to hardware, a designer wants to know: which
+//! variant fits my device at which problem size, and what clock can I
+//! expect? This example walks the calibrated Section-4 cost model through
+//! that decision, reproducing the paper's published synthesis point along
+//! the way.
+//!
+//! Run with: `cargo run --example hardware_planning`
+
+use hirschberg_gca_repro::hirschberg::complexity;
+use hirschberg_gca_repro::hw::{
+    estimate_variant, paper_reference, CostParams, Device, Variant, EP2C70,
+};
+
+fn main() {
+    let params = CostParams::calibrated();
+
+    // 1. Reproduce the paper's data point.
+    let paper = paper_reference();
+    let model = estimate_variant(16, Variant::Main, &params);
+    println!("published point (n = 16, {}):", EP2C70.name);
+    println!(
+        "  paper : {} cells, {} LEs, {} register bits, {:.0} MHz",
+        paper.cells, paper.logic_elements, paper.register_bits, paper.fmax_mhz
+    );
+    println!(
+        "  model : {} cells, {} LEs, {} register bits, {:.0} MHz",
+        model.cells, model.logic_elements, model.register_bits, model.fmax_mhz
+    );
+    println!();
+
+    // 2. How far does each variant scale on the paper's device?
+    for variant in [Variant::Main, Variant::NCells, Variant::LowCongestion] {
+        let max_n = EP2C70.max_n(variant, &params);
+        let at_max = estimate_variant(max_n, variant, &params);
+        println!(
+            "{variant:?}: max n = {max_n} on the EP2C70 ({} LEs, {:.0}% full, ~{:.0} MHz)",
+            at_max.logic_elements,
+            100.0 * EP2C70.utilization(&at_max),
+            at_max.fmax_mhz
+        );
+    }
+    println!();
+
+    // 3. Estimate solve latency at the largest fitting size: generations ×
+    //    clock period.
+    let n = EP2C70.max_n(Variant::Main, &params);
+    let report = estimate_variant(n, Variant::Main, &params);
+    let generations = complexity::total_generations(n);
+    let us = generations as f64 / report.fmax_mhz; // MHz → generations/µs
+    println!(
+        "main design at n = {n}: {generations} generations @ {:.0} MHz -> ~{us:.2} us per solve",
+        report.fmax_mhz
+    );
+
+    // 4. What would a bigger device buy? A hypothetical 10× part.
+    let big = Device {
+        name: "hypothetical 10x device",
+        logic_elements: EP2C70.logic_elements * 10,
+        register_bits: EP2C70.register_bits * 10,
+    };
+    for variant in [Variant::Main, Variant::NCells] {
+        println!(
+            "{}: max n with {variant:?} = {}",
+            big.name,
+            big.max_n(variant, &params)
+        );
+    }
+    println!();
+    println!("(n^2 cells mean a 10x device only ~tripples the feasible n — the");
+    println!("cost-dominance of the cell field is the paper's central trade-off.)");
+}

@@ -1,0 +1,67 @@
+//! Scenario: the wider GCA algorithm library (the paper's future work).
+//!
+//! Beyond connected components, the same engine hosts the other classic
+//! PRAM primitives — this example runs each of them through the
+//! `gca-algorithms` crate: bitonic sorting, prefix scans, list ranking,
+//! transitive closure, and a classical cellular automaton embedded in the
+//! GCA (Game of Life).
+//!
+//! Run with: `cargo run --example parallel_primitives`
+
+use hirschberg_gca_repro::algorithms::{bitonic, cellular, list_ranking, scan, transitive_closure};
+use hirschberg_gca_repro::graphs::generators;
+
+fn main() {
+    // --- Bitonic sort: congestion-1 compare-exchange waves ---------------
+    let keys = [170u64, 45, 75, 90, 2, 802, 24, 66, 17];
+    let sorted = bitonic::sort(&keys).expect("sort failed");
+    println!("bitonic sort ({} generations for {} keys):", bitonic::sort_generations(keys.len()), keys.len());
+    println!("  {keys:?}\n  -> {sorted:?}");
+    assert!(bitonic::is_sorted(&sorted));
+
+    // --- Prefix scans over different monoids ------------------------------
+    let values = [3u64, 1, 4, 1, 5, 9, 2, 6];
+    let sums = scan::inclusive_scan(&values, &scan::SumMonoid).expect("scan failed");
+    let maxes = scan::inclusive_scan(&values, &scan::MaxMonoid).expect("scan failed");
+    println!("\nprefix scans ({} generations for {} values):", scan::scan_generations(values.len()), values.len());
+    println!("  input: {values:?}");
+    println!("  +:     {sums:?}");
+    println!("  max:   {maxes:?}");
+
+    // --- List ranking by pointer jumping ----------------------------------
+    let successors = [3usize, 4, 0, 1, 4]; // the list 2 -> 0 -> 3 -> 1 -> 4
+    let ranks = list_ranking::rank_list(&successors).expect("ranking failed");
+    println!("\nlist ranking ({} generations):", list_ranking::ranking_generations(successors.len()));
+    println!("  successors: {successors:?}");
+    println!("  hops to tail: {ranks:?}");
+
+    // --- Transitive closure (Hirschberg's companion problem) --------------
+    let graph = generators::path(6);
+    let tc = transitive_closure::run(&graph).expect("closure failed");
+    println!(
+        "\ntransitive closure of a 6-path ({} generations, congestion <= {}):",
+        tc.generations, tc.max_congestion
+    );
+    println!(
+        "  node 0 reaches node 5: {} (pairs: {})",
+        tc.closure.reaches(0, 5),
+        tc.closure.pair_count()
+    );
+    println!("  component labels via closure: {:?}", tc.labels.as_slice());
+
+    // --- A classical CA inside the GCA ------------------------------------
+    let mut life = cellular::Life::from_ascii(&[
+        ".....",
+        "..#..",
+        "..#..",
+        "..#..",
+        ".....",
+    ])
+    .expect("board");
+    life.step().expect("life step");
+    println!("\nGame of Life, one CA step = {} GCA generations:", cellular::GENERATIONS_PER_STEP);
+    for row in life.to_ascii() {
+        println!("  {row}");
+    }
+    assert_eq!(life.population(), 3);
+}

@@ -1,0 +1,72 @@
+//! Scenario: community detection in a synthetic social network.
+//!
+//! Friend groups are disconnected clusters of an acquaintance graph;
+//! finding them is exactly connected-components. This example plants a
+//! known community structure, recovers it with all four machines in the
+//! workspace (GCA main, GCA n-cell, GCA low-congestion, PRAM reference),
+//! and reports the cost profile of each — the experiment a systems group
+//! would run before committing one of the designs to hardware.
+//!
+//! Run with: `cargo run --example social_network`
+
+use hirschberg_gca_repro::graphs::generators;
+use hirschberg_gca_repro::hirschberg::variants::{low_congestion, n_cells};
+use hirschberg_gca_repro::hirschberg::HirschbergGca;
+use hirschberg_gca_repro::pram::hirschberg_ref;
+
+fn main() {
+    let people = 48;
+    let communities = 6;
+    let planted = generators::planted_components(people, communities, 0.35, 20_260_705);
+    let graph = &planted.graph;
+    println!(
+        "social network: {} people, {} friendships, {} planted communities",
+        graph.n(),
+        graph.edge_count(),
+        communities
+    );
+
+    let expected = planted.expected_labels();
+
+    // 1. The paper's n²-cell GCA.
+    let main = HirschbergGca::new().run(graph).expect("GCA failed");
+    assert!(main.labels.same_partition(&expected));
+    println!(
+        "GCA (n^2 cells):      {} generations, worst delta {}",
+        main.generations,
+        main.max_congestion()
+    );
+
+    // 2. The n-cell variant (fewer cells, more generations).
+    let ncell = n_cells::run(graph).expect("n-cell failed");
+    assert!(ncell.labels.same_partition(&expected));
+    println!(
+        "GCA (n cells):        {} generations, worst delta {}",
+        ncell.generations,
+        ncell.metrics.max_congestion()
+    );
+
+    // 3. The low-congestion variant (tree reads, extended cells).
+    let lc = low_congestion::run(graph).expect("low-congestion failed");
+    assert!(lc.labels.same_partition(&expected));
+    println!(
+        "GCA (low congestion): {} generations, static delta {}",
+        lc.generations,
+        lc.static_max_congestion()
+    );
+
+    // 4. The PRAM reference (Listing 1, CROW).
+    let pram = hirschberg_ref::connected_components(graph).expect("PRAM failed");
+    assert!(pram.labels.same_partition(&expected));
+    println!(
+        "PRAM reference:       {} steps, work {}, worst delta {}",
+        pram.time, pram.work, pram.max_congestion
+    );
+
+    // Every machine found the same communities.
+    println!();
+    println!("largest community: {} people", main.labels.max_component_size());
+    for (label, members) in main.labels.components() {
+        println!("community {label}: {} members {:?}", members.len(), members);
+    }
+}

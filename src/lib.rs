@@ -1,0 +1,27 @@
+//! Umbrella crate for the Hirschberg-on-GCA reproduction.
+//!
+//! Re-exports the workspace crates under stable module names so examples and
+//! downstream users have a single dependency:
+//!
+//! * [`engine`] — the Global Cellular Automaton simulation engine;
+//! * [`pram`] — the PRAM simulator and the Listing-1 reference algorithm;
+//! * [`graphs`] — graph inputs, generators, sequential baselines;
+//! * [`hirschberg`] — the paper's 12-generation GCA mapping and variants;
+//! * [`hw`] — the FPGA cost model reproducing the Section-4 synthesis report;
+//! * [`algorithms`] — further PRAM algorithms on the GCA (transitive
+//!   closure, prefix scans, list ranking, sorting, CAs): the paper's
+//!   stated future work;
+//! * [`emu`] — universal CROW-PRAM emulation on the GCA (Section 1's
+//!   "the GCA is able to implement any PRAM algorithm"), with Listing 1
+//!   compiled for it.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the full system
+//! inventory and per-experiment index.
+
+pub use gca_algorithms as algorithms;
+pub use gca_emu as emu;
+pub use gca_engine as engine;
+pub use gca_graphs as graphs;
+pub use gca_hirschberg as hirschberg;
+pub use gca_hw_model as hw;
+pub use gca_pram as pram;

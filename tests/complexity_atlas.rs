@@ -1,0 +1,102 @@
+//! The formula atlas: every machine's closed-form cost in one place, with
+//! the ordering relationships the paper's discussion (and our extensions)
+//! predict. Each formula is also asserted against executed runs in its own
+//! crate; this test pins the *relationships* so a change to any one machine
+//! that silently reorders the design space fails loudly.
+
+use gca_emu::hirschberg_program;
+use gca_hirschberg::variants::{low_congestion, n_cells, two_handed};
+use gca_hirschberg::complexity;
+use gca_pram::hirschberg_ref;
+
+fn l(n: usize) -> u64 {
+    u64::from(complexity::ceil_log2(n))
+}
+
+#[test]
+fn formula_atlas() {
+    for n in [2usize, 3, 4, 7, 8, 16, 31, 64, 128, 1000] {
+        let log = l(n);
+
+        // The paper's machine.
+        let main = complexity::total_generations(n);
+        assert_eq!(main, 1 + log * (3 * log + 8), "main @ {n}");
+
+        // PRAM reference (Listing 1).
+        let pram = hirschberg_ref::reference_steps(n);
+        assert_eq!(pram, 1 + log * (3 * log + 6), "pram @ {n}");
+
+        // Variants.
+        let two = two_handed::total_generations(n);
+        let ncell = n_cells::total_generations(n);
+        let lc = low_congestion::total_generations(n);
+        let emu = hirschberg_program::emulated_generations(n);
+        let tc = gca_algorithms::transitive_closure::total_generations(n);
+
+        // Relationships the design-space discussion predicts:
+        // 1. Two hands close the PRAM gap exactly.
+        assert_eq!(two, pram, "two-handed = pram @ {n}");
+        // 2. The one-handed machine pays exactly 2 broadcasts per iteration.
+        assert_eq!(main - two, 2 * log, "broadcast overhead @ {n}");
+        // 3. Low congestion costs more generations than the main machine.
+        assert!(lc >= main, "low-congestion >= main @ {n}");
+        // 4. The n-cell machine is O(n log n): past its crossover with the
+        //    (polylog but constant-heavy) low-congestion machine it loses.
+        if n >= 32 {
+            assert!(ncell > lc, "n-cell > low-congestion @ {n}");
+        }
+        // 5. Universal emulation costs more than the compiled polylog
+        //    machines at every size.
+        assert!(emu > main && emu > lc, "emulation most expensive @ {n}");
+        // 6. Connected components via transitive closure is O(n log n) and
+        //    overtakes the direct O(log² n) mapping past its crossover.
+        if n >= 32 {
+            assert!(tc > main, "closure CC > direct CC @ {n}");
+        }
+
+        // Work accounting: n(n+1) cells × generations.
+        assert_eq!(
+            complexity::work(n),
+            main * (n as u64) * (n as u64 + 1),
+            "work @ {n}"
+        );
+    }
+}
+
+#[test]
+fn per_iteration_decomposition() {
+    for n in [2usize, 8, 64] {
+        let log = l(n);
+        assert_eq!(
+            complexity::generations_per_iteration(n),
+            3 * log + 8
+        );
+        assert_eq!(two_handed::generations_per_iteration(n), 3 * log + 6);
+        assert_eq!(
+            n_cells::generations_per_iteration(n),
+            2 * n as u64 + log + 6
+        );
+        assert_eq!(
+            low_congestion::generations_per_iteration(n),
+            10 + 7 * log + l(n + 1)
+        );
+        // Table 2 rows sum to the per-iteration total (steps 2–6).
+        let t2: u64 = complexity::table2(n)[1..]
+            .iter()
+            .map(|r| r.generations)
+            .sum();
+        assert_eq!(t2, complexity::generations_per_iteration(n));
+    }
+}
+
+#[test]
+fn supporting_primitive_costs() {
+    use gca_algorithms::{bitonic, list_ranking, scan};
+    for n in [1usize, 2, 8, 100] {
+        let log = l(n);
+        assert_eq!(scan::scan_generations(n), log);
+        assert_eq!(list_ranking::ranking_generations(n), log);
+        let lp = l(n.next_power_of_two());
+        assert_eq!(bitonic::sort_generations(n), lp * (lp + 1) / 2);
+    }
+}

@@ -1,0 +1,139 @@
+//! Failure injection: the simulators must *detect* contract violations,
+//! not silently tolerate them — bad pointers in GCA rules, access-policy
+//! violations on the PRAM, malformed inputs at the graph layer.
+
+use gca_engine::{
+    Access, CellField, Engine, FieldShape, GcaError, GcaRule, Reads, StepCtx,
+};
+use gca_graphs::{io, GraphBuilder, GraphError};
+use gca_pram::{AccessPolicy, Pram, PramError};
+
+/// A rule whose pointer walks off the field after a few generations.
+struct WalkOff;
+
+impl GcaRule for WalkOff {
+    type State = u32;
+
+    fn access(&self, ctx: &StepCtx, shape: &FieldShape, index: usize, _own: &u32) -> Access {
+        Access::One(index + shape.len() / 2 + ctx.generation as usize)
+    }
+
+    fn evolve(
+        &self,
+        _ctx: &StepCtx,
+        _shape: &FieldShape,
+        _index: usize,
+        own: &u32,
+        reads: Reads<'_, u32>,
+    ) -> u32 {
+        reads.first().copied().unwrap_or(*own)
+    }
+}
+
+#[test]
+fn engine_reports_out_of_range_pointer_with_context() {
+    let shape = FieldShape::new(1, 8).unwrap();
+    let mut field = CellField::new(shape, 0u32);
+    let mut engine = Engine::sequential();
+    // Generation 0: cell 4 reads 4 + 4 + 0 = 8 — out of range already.
+    let err = engine.step(&mut field, &WalkOff, 0, 0).unwrap_err();
+    match err {
+        GcaError::PointerOutOfRange { cell, target, len, generation } => {
+            assert_eq!(cell, 4);
+            assert_eq!(target, 8);
+            assert_eq!(len, 8);
+            assert_eq!(generation, 0);
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn engine_error_is_identical_across_backends() {
+    let shape = FieldShape::new(1, 8).unwrap();
+    let mut f1 = CellField::new(shape, 0u32);
+    let mut f2 = CellField::new(shape, 0u32);
+    let e1 = Engine::sequential().step(&mut f1, &WalkOff, 0, 0).unwrap_err();
+    let e2 = Engine::parallel().step(&mut f2, &WalkOff, 0, 0).unwrap_err();
+    // The parallel backend may surface any one of the violating cells, but
+    // it must be a pointer violation over the same field.
+    assert!(matches!(e1, GcaError::PointerOutOfRange { len: 8, .. }));
+    assert!(matches!(e2, GcaError::PointerOutOfRange { len: 8, .. }));
+}
+
+#[test]
+fn pram_detects_erew_read_conflicts() {
+    let mut p = Pram::new(AccessPolicy::Erew, 4);
+    let err = p
+        .step(3, |_i, ctx| ctx.read(2).map(|_| ()))
+        .unwrap_err();
+    assert_eq!(err, PramError::ReadConflict { addr: 2, readers: 3 });
+}
+
+#[test]
+fn pram_detects_crew_write_conflicts_and_rolls_back() {
+    let mut p = Pram::new(AccessPolicy::Crew, 4);
+    p.load(1, 99);
+    let err = p.step(2, |i, ctx| ctx.write(1, i as u64)).unwrap_err();
+    assert!(matches!(err, PramError::WriteConflict { addr: 1, .. }));
+    assert_eq!(p.peek(1), 99, "failed step must not mutate memory");
+}
+
+#[test]
+fn pram_detects_owner_violations() {
+    let mut p = Pram::new(AccessPolicy::Crow, 3).with_owners(vec![0, 1, 2]);
+    // Processor 0 writes cell 2 (owned by processor 2).
+    let err = p
+        .step(1, |_i, ctx| ctx.write(2, 5))
+        .unwrap_err();
+    assert_eq!(
+        err,
+        PramError::OwnerViolation { addr: 2, proc: 0, owner: 2 }
+    );
+}
+
+#[test]
+fn pram_detects_common_crcw_disagreement() {
+    let mut p = Pram::new(AccessPolicy::CrcwCommon, 2);
+    let err = p
+        .step(2, |i, ctx| ctx.write(0, 10 + i as u64))
+        .unwrap_err();
+    assert!(matches!(err, PramError::CommonWriteMismatch { addr: 0, .. }));
+}
+
+#[test]
+fn pram_rejects_out_of_range_addresses() {
+    let mut p = Pram::new(AccessPolicy::Crew, 2);
+    let err = p.step(1, |_i, ctx| ctx.read(7).map(|_| ())).unwrap_err();
+    assert!(matches!(
+        err,
+        PramError::AddressOutOfRange { addr: 7, size: 2, proc: 0 }
+    ));
+}
+
+#[test]
+fn graph_layer_rejects_malformed_inputs() {
+    assert!(matches!(
+        GraphBuilder::new(3).edge(1, 1).build().unwrap_err(),
+        GraphError::SelfLoop { node: 1 }
+    ));
+    assert!(matches!(
+        GraphBuilder::new(3).edge(0, 9).build().unwrap_err(),
+        GraphError::NodeOutOfRange { node: 9, n: 3 }
+    ));
+    assert!(io::from_edge_list("garbage").is_err());
+    assert!(io::from_edge_list("n 2\n0 1 junk\n").is_err());
+}
+
+#[test]
+fn error_messages_are_actionable() {
+    // Every error names the entities involved; spot-check the formats used
+    // in logs.
+    let e = GcaError::PointerOutOfRange { cell: 1, target: 9, len: 4, generation: 3 };
+    let s = e.to_string();
+    assert!(s.contains("cell 1") && s.contains('9') && s.contains("generation 3"));
+
+    let e = PramError::OwnerViolation { addr: 2, proc: 0, owner: 1 };
+    let s = e.to_string();
+    assert!(s.contains("processor 0") && s.contains("address 2"));
+}

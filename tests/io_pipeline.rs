@@ -1,0 +1,43 @@
+//! End-to-end pipeline: serialize a graph to the edge-list format, read it
+//! back, run the full stack on both copies, compare — the workflow of a
+//! user bringing their own inputs.
+
+use gca_graphs::{generators, io};
+use gca_hirschberg::HirschbergGca;
+
+#[test]
+fn edge_list_round_trip_preserves_results() {
+    for seed in 0..5 {
+        let original = generators::gnp(20, 0.2, seed);
+        let text = io::to_edge_list(&original);
+        let parsed = io::from_edge_list(&text).expect("parse back");
+        assert_eq!(original, parsed);
+
+        let a = HirschbergGca::new().run(&original).unwrap();
+        let b = HirschbergGca::new().run(&parsed).unwrap();
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.generations, b.generations);
+    }
+}
+
+#[test]
+fn hand_written_edge_list_runs() {
+    let text = "\
+# three components: {0,1,2}, {3,4}, {5}
+n 6
+0 1
+1 2
+3 4
+";
+    let g = io::from_edge_list(text).expect("parse");
+    let run = HirschbergGca::new().run(&g).unwrap();
+    assert_eq!(run.labels.as_slice(), &[0, 0, 0, 3, 3, 5]);
+}
+
+#[test]
+fn serialization_is_stable() {
+    let g = generators::ring(6);
+    let t1 = io::to_edge_list(&g);
+    let t2 = io::to_edge_list(&io::from_edge_list(&t1).unwrap());
+    assert_eq!(t1, t2);
+}

@@ -1,0 +1,160 @@
+//! Property-based tests over random graphs: the GCA machines, the PRAM
+//! reference and the sequential baselines are exercised against each other
+//! and against structural invariants of component labelings.
+
+use gca_graphs::connectivity::union_find_components_dense;
+use gca_graphs::{generators, AdjacencyMatrix, Labeling};
+use gca_hirschberg::variants::{low_congestion, n_cells};
+use gca_hirschberg::{complexity, HirschbergGca};
+use gca_pram::hirschberg_ref;
+use proptest::prelude::*;
+
+/// Strategy: a random graph as (n, edge list over pairs).
+fn arb_graph(max_n: usize) -> impl Strategy<Value = AdjacencyMatrix> {
+    (2usize..=max_n).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n, 0..n), 0..=max_edges.min(60)).prop_map(move |pairs| {
+            let mut g = AdjacencyMatrix::new(n);
+            for (u, v) in pairs {
+                if u != v {
+                    g.add_edge(u, v).expect("in range");
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The GCA main machine always equals union-find, label for label.
+    #[test]
+    fn gca_equals_union_find(g in arb_graph(20)) {
+        let expected = union_find_components_dense(&g);
+        let run = HirschbergGca::new().run(&g).unwrap();
+        prop_assert_eq!(run.labels.as_slice(), expected.as_slice());
+    }
+
+    /// All variants and the PRAM reference agree with the main machine.
+    #[test]
+    fn all_machines_agree(g in arb_graph(14)) {
+        let main = HirschbergGca::new().run(&g).unwrap().labels;
+        prop_assert_eq!(&n_cells::run(&g).unwrap().labels, &main);
+        prop_assert_eq!(&low_congestion::run(&g).unwrap().labels, &main);
+        prop_assert_eq!(&hirschberg_ref::connected_components(&g).unwrap().labels, &main);
+    }
+
+    /// Labels are canonical: every node's label is the minimum node index
+    /// of its component, and labels are fixed points (label(label(v)) ==
+    /// label(v)).
+    #[test]
+    fn labels_are_canonical(g in arb_graph(20)) {
+        let run = HirschbergGca::new().run(&g).unwrap();
+        prop_assert!(run.labels.is_canonical());
+        for v in 0..g.n() {
+            let l = run.labels.label(v);
+            prop_assert_eq!(run.labels.label(l), l);
+            prop_assert!(l <= v);
+        }
+    }
+
+    /// Adjacent nodes always share a label; the number of distinct labels
+    /// equals n minus the rank of the edge set's spanning forest.
+    #[test]
+    fn adjacent_nodes_share_labels(g in arb_graph(20)) {
+        let run = HirschbergGca::new().run(&g).unwrap();
+        for (u, v) in g.edges() {
+            prop_assert_eq!(run.labels.label(u), run.labels.label(v));
+        }
+    }
+
+    /// Adding an edge *inside* an existing component never changes the
+    /// partition; adding one *between* two components merges exactly them.
+    #[test]
+    fn edge_addition_monotonicity(g in arb_graph(16), extra in (0usize..16, 0usize..16)) {
+        let n = g.n();
+        let (u, v) = (extra.0 % n, extra.1 % n);
+        prop_assume!(u != v);
+        let before = HirschbergGca::new().run(&g).unwrap().labels;
+        let mut g2 = g.clone();
+        g2.add_edge(u, v).unwrap();
+        let after = HirschbergGca::new().run(&g2).unwrap().labels;
+        if before.label(u) == before.label(v) {
+            prop_assert_eq!(before.as_slice(), after.as_slice());
+        } else {
+            prop_assert_eq!(after.component_count() + 1, before.component_count());
+            prop_assert_eq!(after.label(u), after.label(v));
+        }
+    }
+
+    /// The generation counter always matches the closed form, regardless
+    /// of the input graph.
+    #[test]
+    fn generation_count_is_input_independent(g in arb_graph(20)) {
+        let run = HirschbergGca::new().run(&g).unwrap();
+        prop_assert_eq!(run.generations, complexity::total_generations(g.n()));
+    }
+
+    /// Congestion bound: no generation's congestion ever exceeds n + 1
+    /// (the generation-1 broadcast is the global maximum by Table 1).
+    #[test]
+    fn congestion_never_exceeds_table1_bound(g in arb_graph(18)) {
+        let run = HirschbergGca::new().run(&g).unwrap();
+        prop_assert!(run.max_congestion() as usize <= g.n() + 1);
+    }
+
+    /// Early exit is purely an optimization: identical labels, no more
+    /// generations than the fixed schedule.
+    #[test]
+    fn early_exit_sound(g in arb_graph(18)) {
+        let fixed = HirschbergGca::new().run(&g).unwrap();
+        let early = HirschbergGca::new().early_exit(true).run(&g).unwrap();
+        prop_assert_eq!(fixed.labels.as_slice(), early.labels.as_slice());
+        prop_assert!(early.generations <= fixed.generations);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Planted structures are always recovered exactly.
+    #[test]
+    fn planted_partitions(n in 4usize..24, k in 1usize..5, seed in 0u64..1000) {
+        let k = k.min(n);
+        let planted = generators::planted_components(n, k, 0.3, seed);
+        let run = HirschbergGca::new().run(&planted.graph).unwrap();
+        prop_assert!(run.labels.same_partition(&planted.expected_labels()));
+        prop_assert_eq!(run.labels.component_count(), k);
+    }
+
+    /// Relabeling invariance: permuting node identities permutes the
+    /// partition consistently.
+    #[test]
+    fn permutation_invariance(seed in 0u64..500) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let n = 12usize;
+        let g = generators::gnp(n, 0.25, seed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xabcdef);
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.shuffle(&mut rng);
+        let permuted = g.permute(&perm);
+
+        let base = HirschbergGca::new().run(&g).unwrap().labels;
+        let perm_run = HirschbergGca::new().run(&permuted).unwrap().labels;
+
+        // Nodes u, v connected in g  <=>  perm[u], perm[v] connected.
+        let mapped: Vec<usize> = {
+            // Build the partition of the permuted graph pulled back to the
+            // original ids, then canonicalize for comparison.
+            let mut labels = vec![0usize; n];
+            for v in 0..n {
+                labels[v] = perm_run.label(perm[v]);
+            }
+            labels
+        };
+        let pulled_back = Labeling::new(mapped).unwrap();
+        prop_assert!(pulled_back.same_partition(&base));
+    }
+}
