@@ -2,9 +2,13 @@
 //! document — the companion artifact to EXPERIMENTS.md, so reported values
 //! can be diffed against a fresh run in CI or during review.
 //!
-//! Usage: `export_results [n] [> results.json]` (default n = 16, the
-//! paper's synthesized size).
+//! Usage: `export_results [n] [--sparse-out <path>] [> results.json]`
+//! (default n = 16, the paper's synthesized size). With `--sparse-out` the
+//! sparse-stepping measurements are additionally written to `<path>`
+//! (conventionally `BENCH_sparse_stepping.json` at the repo root, so the
+//! perf trajectory is tracked across PRs).
 
+use gca_bench::sparse;
 use gca_emu::hirschberg_program;
 use gca_engine::{Engine, Instrumentation};
 use gca_graphs::{generators, properties};
@@ -14,9 +18,57 @@ use gca_hw_model::{analysis, estimate_variant, paper_reference, CostParams, Vari
 use gca_pram::hirschberg_ref;
 use serde_json::json;
 
+/// Measures dense-vs-hinted stepping and fixed-vs-detected convergence
+/// (the `sparse_stepping` bench's quantities, one sample each).
+fn sparse_stepping_doc() -> serde_json::Value {
+    let mut generation_rows = Vec::new();
+    for &n in &sparse::SIZES {
+        // Enough repetitions for a stable mean at small n, few at large n.
+        let reps = (1 << 20 >> (n.ilog2())).clamp(2, 64) as u32;
+        for (gen, sub) in sparse::restricted_generations() {
+            let t = sparse::time_generation(n, gen, sub, reps);
+            generation_rows.push(json!({
+                "n": t.n,
+                "generation": t.generation.number(),
+                "subgeneration": t.subgeneration,
+                "dense_ns_per_step": t.dense_ns_per_step,
+                "hinted_ns_per_step": t.hinted_ns_per_step,
+                "speedup": t.speedup(),
+                "metrics_identical": t.metrics_identical,
+            }));
+        }
+    }
+    let full_rows: Vec<serde_json::Value> = [16usize, 64, 256]
+        .iter()
+        .map(|&n| {
+            let t = sparse::time_full_runs(n);
+            json!({
+                "n": t.n,
+                "dense_fixed_ms": t.dense_fixed_ms,
+                "hinted_fixed_ms": t.hinted_fixed_ms,
+                "hinted_detect_ms": t.hinted_detect_ms,
+                "fixed_generations": t.fixed_generations,
+                "detect_generations": t.detect_generations,
+                "labels_match_union_find": t.labels_match_union_find,
+            })
+        })
+        .collect();
+    json!({
+        "workload": format!("gnp(n, 0.3, seed {})", sparse::SEED),
+        "restricted_generations": generation_rows,
+        "full_runs": full_rows,
+    })
+}
+
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sparse_out = args
+        .iter()
+        .position(|a| a == "--sparse-out")
+        .map(|i| args.get(i + 1).expect("--sparse-out needs a path").clone());
+    let n: usize = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
         .and_then(|a| a.parse().ok())
         .unwrap_or(16);
     let graph = generators::gnp(n, 0.5, 2007);
@@ -65,6 +117,20 @@ fn main() {
         .iter()
         .map(|&v| serde_json::to_value(analysis::area_time(v, n, &params)).expect("serialize"))
         .collect();
+
+    // --- Sparse active-domain stepping --------------------------------------
+    let sparse_doc = sparse_stepping_doc();
+    if let Some(path) = &sparse_out {
+        std::fs::write(
+            path,
+            format!(
+                "{}\n",
+                serde_json::to_string_pretty(&sparse_doc).expect("serializable")
+            ),
+        )
+        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("sparse-stepping results written to {path}");
+    }
 
     let doc = json!({
         "workload": {
@@ -117,6 +183,7 @@ fn main() {
             },
         },
         "area_time": at,
+        "sparse_stepping": sparse_doc,
     });
 
     println!("{}", serde_json::to_string_pretty(&doc).expect("serializable"));

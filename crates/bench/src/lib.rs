@@ -7,5 +7,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod sparse;
 pub mod tables;
 pub mod workloads;

@@ -10,8 +10,9 @@ use gca_engine::{ceil_log2, Access, CellField, Engine, FieldShape, GcaError, Gca
 
 /// An associative combining operation with identity.
 pub trait Monoid: Sync {
-    /// The element type.
-    type Elem: Clone + Send + Sync;
+    /// The element type (`PartialEq` is required of all GCA cell states so
+    /// the engine can count changed cells).
+    type Elem: Clone + PartialEq + Send + Sync;
     /// The identity element (`combine(identity(), x) == x`).
     fn identity(&self) -> Self::Elem;
     /// The associative operation.

@@ -1,5 +1,7 @@
 //! Hand-rolled argument parsing for `gca-cc` (no external CLI dependency).
 
+use gca_engine::{Backend, DomainPolicy};
+use gca_hirschberg::Convergence;
 use std::fmt;
 
 /// Which machine runs the computation.
@@ -56,6 +58,72 @@ impl MachineKind {
     }
 }
 
+/// Engine knobs forwarded to the main GCA machine (`--machine gca`); the
+/// other machines run their fixed reference configurations and ignore them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct EngineOpts {
+    /// Execution backend (`--backend`).
+    pub backend: Backend,
+    /// Active-domain stepping policy (`--domain`).
+    pub domain: DomainPolicy,
+    /// Pointer-jump convergence handling (`--convergence`).
+    pub convergence: Convergence,
+}
+
+impl EngineOpts {
+    /// Parses a `--backend` value.
+    pub fn parse_backend(s: &str) -> Result<Backend, ArgError> {
+        match s {
+            "seq" | "sequential" => Ok(Backend::Sequential),
+            "par" | "parallel" => Ok(Backend::Parallel),
+            other => Err(ArgError(format!(
+                "unknown backend '{other}' (expected seq|par)"
+            ))),
+        }
+    }
+
+    /// Parses a `--domain` value.
+    pub fn parse_domain(s: &str) -> Result<DomainPolicy, ArgError> {
+        match s {
+            "hinted" => Ok(DomainPolicy::Hinted),
+            "dense" => Ok(DomainPolicy::Dense),
+            other => Err(ArgError(format!(
+                "unknown domain policy '{other}' (expected hinted|dense)"
+            ))),
+        }
+    }
+
+    /// Parses a `--convergence` value.
+    pub fn parse_convergence(s: &str) -> Result<Convergence, ArgError> {
+        match s {
+            "fixed" => Ok(Convergence::Fixed),
+            "detect" => Ok(Convergence::Detect),
+            other => Err(ArgError(format!(
+                "unknown convergence mode '{other}' (expected fixed|detect)"
+            ))),
+        }
+    }
+
+    /// `backend=… domain=… convergence=…`, as shown in reports.
+    pub fn describe(&self) -> String {
+        format!(
+            "backend={} domain={} convergence={}",
+            match self.backend {
+                Backend::Sequential => "sequential",
+                Backend::Parallel => "parallel",
+            },
+            match self.domain {
+                DomainPolicy::Hinted => "hinted",
+                DomainPolicy::Dense => "dense",
+            },
+            match self.convergence {
+                Convergence::Fixed => "fixed",
+                Convergence::Detect => "detect",
+            }
+        )
+    }
+}
+
 /// Where the input graph comes from.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum InputSpec {
@@ -84,6 +152,8 @@ pub struct Args {
     pub metrics: bool,
     /// Independently verify the labeling against the graph (oracle-free).
     pub verify: bool,
+    /// Engine knobs for the main GCA machine.
+    pub engine: EngineOpts,
 }
 
 /// A user-facing argument error.
@@ -112,12 +182,15 @@ INPUT:
   path:<n> ring:<n> star:<n> complete:<n> empty:<n>
 
 OPTIONS:
-  --machine <m>   gca (default) | ncells | lowcong | twohand | closure | emu | pram | seq
-  --labels        print every node's component label
-  --metrics       print per-generation activity/congestion (GCA machines)
-  --verify        independently verify the labeling against the graph
-  --json          machine-readable report
-  --help          this text
+  --machine <m>      gca (default) | ncells | lowcong | twohand | closure | emu | pram | seq
+  --backend <b>      seq (default) | par — engine backend (gca machine only)
+  --domain <d>       hinted (default) | dense — active-domain stepping policy (gca machine only)
+  --convergence <c>  fixed (default) | detect — pointer-jump convergence early exit (gca machine only)
+  --labels           print every node's component label
+  --metrics          print per-generation activity/congestion (GCA machines)
+  --verify           independently verify the labeling against the graph
+  --json             machine-readable report
+  --help             this text
 ";
 
 fn parse_generator(spec: &str) -> Result<InputSpec, ArgError> {
@@ -169,6 +242,7 @@ pub fn parse(args: &[String]) -> Result<Args, ArgError> {
     let mut json = false;
     let mut metrics = false;
     let mut verify = false;
+    let mut engine = EngineOpts::default();
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -178,6 +252,24 @@ pub fn parse(args: &[String]) -> Result<Args, ArgError> {
                     .next()
                     .ok_or_else(|| ArgError("--machine needs a value".into()))?;
                 machine = MachineKind::parse(v)?;
+            }
+            "--backend" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--backend needs a value".into()))?;
+                engine.backend = EngineOpts::parse_backend(v)?;
+            }
+            "--domain" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--domain needs a value".into()))?;
+                engine.domain = EngineOpts::parse_domain(v)?;
+            }
+            "--convergence" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--convergence needs a value".into()))?;
+                engine.convergence = EngineOpts::parse_convergence(v)?;
             }
             "--labels" => labels = true,
             "--json" => json = true,
@@ -203,6 +295,7 @@ pub fn parse(args: &[String]) -> Result<Args, ArgError> {
         json,
         metrics,
         verify,
+        engine,
     })
 }
 
@@ -278,5 +371,34 @@ mod tests {
     fn flags_toggle() {
         let a = parse(&argv(&["--labels", "--json", "--metrics", "--verify", "empty:3"])).unwrap();
         assert!(a.labels && a.json && a.metrics && a.verify);
+    }
+
+    #[test]
+    fn engine_knobs_default_and_parse() {
+        let a = parse(&argv(&["empty:3"])).unwrap();
+        assert_eq!(a.engine, EngineOpts::default());
+        assert_eq!(a.engine.backend, Backend::Sequential);
+        assert_eq!(a.engine.domain, DomainPolicy::Hinted);
+        assert_eq!(a.engine.convergence, Convergence::Fixed);
+
+        let a = parse(&argv(&[
+            "--backend", "par", "--domain", "dense", "--convergence", "detect", "ring:5",
+        ]))
+        .unwrap();
+        assert_eq!(a.engine.backend, Backend::Parallel);
+        assert_eq!(a.engine.domain, DomainPolicy::Dense);
+        assert_eq!(a.engine.convergence, Convergence::Detect);
+        assert_eq!(
+            a.engine.describe(),
+            "backend=parallel domain=dense convergence=detect"
+        );
+    }
+
+    #[test]
+    fn engine_knobs_reject_bad_values() {
+        assert!(parse(&argv(&["--backend", "gpu", "empty:2"])).is_err());
+        assert!(parse(&argv(&["--domain", "sparse", "empty:2"])).is_err());
+        assert!(parse(&argv(&["--convergence", "never", "empty:2"])).is_err());
+        assert!(parse(&argv(&["--backend"])).is_err());
     }
 }

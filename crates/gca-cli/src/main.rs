@@ -50,7 +50,8 @@ fn load_graph(input: &InputSpec) -> Result<AdjacencyMatrix, String> {
 
 fn run(args: &Args) -> Result<String, String> {
     let graph = load_graph(&args.input)?;
-    let outcome = report::execute(args.machine, &graph).map_err(|e| e.to_string())?;
+    let outcome =
+        report::execute(args.machine, &graph, &args.engine).map_err(|e| e.to_string())?;
     let mut out = if args.json {
         report::render_json(&outcome, &graph, args)
     } else {

@@ -1,7 +1,8 @@
 //! Machine dispatch and report rendering for `gca-cc`.
 
-use crate::args::{Args, MachineKind};
+use crate::args::{Args, EngineOpts, MachineKind};
 use gca_engine::metrics::MetricsLog;
+use gca_engine::Engine;
 use gca_graphs::connectivity::union_find_components_dense;
 use gca_graphs::{AdjacencyMatrix, Labeling};
 use gca_hirschberg::variants::{low_congestion, n_cells, two_handed};
@@ -23,6 +24,8 @@ pub struct Outcome {
     pub max_congestion: Option<u32>,
     /// Per-generation metrics, when the machine records them.
     pub metrics: Option<MetricsLog>,
+    /// Engine configuration, for machines that honor the engine knobs.
+    pub engine: Option<String>,
     /// Wall-clock milliseconds of the run.
     pub wall_ms: f64,
 }
@@ -31,11 +34,19 @@ pub struct Outcome {
 pub fn execute(
     machine: MachineKind,
     graph: &AdjacencyMatrix,
+    opts: &EngineOpts,
 ) -> Result<Outcome, Box<dyn std::error::Error>> {
     let start = std::time::Instant::now();
     let mut outcome = match machine {
         MachineKind::Gca => {
-            let run = HirschbergGca::new().run(graph)?;
+            let run = HirschbergGca::new()
+                .with_engine(
+                    Engine::new()
+                        .with_backend(opts.backend)
+                        .with_domain_policy(opts.domain),
+                )
+                .convergence(opts.convergence)
+                .run(graph)?;
             Outcome {
                 machine,
                 labels: run.labels,
@@ -43,6 +54,7 @@ pub fn execute(
                 work: None,
                 max_congestion: Some(run.metrics.max_congestion()),
                 metrics: Some(run.metrics),
+                engine: Some(opts.describe()),
                 wall_ms: 0.0,
             }
         }
@@ -55,6 +67,7 @@ pub fn execute(
                 work: None,
                 max_congestion: Some(run.metrics.max_congestion()),
                 metrics: Some(run.metrics),
+                engine: None,
                 wall_ms: 0.0,
             }
         }
@@ -67,6 +80,7 @@ pub fn execute(
                 work: None,
                 max_congestion: Some(run.metrics.max_congestion()),
                 metrics: Some(run.metrics),
+                engine: None,
                 wall_ms: 0.0,
             }
         }
@@ -79,6 +93,7 @@ pub fn execute(
                 work: None,
                 max_congestion: Some(run.metrics.max_congestion()),
                 metrics: Some(run.metrics),
+                engine: None,
                 wall_ms: 0.0,
             }
         }
@@ -91,6 +106,7 @@ pub fn execute(
                 work: None,
                 max_congestion: Some(run.max_congestion),
                 metrics: None,
+                engine: None,
                 wall_ms: 0.0,
             }
         }
@@ -104,6 +120,7 @@ pub fn execute(
                 work: None,
                 max_congestion: None,
                 metrics: None,
+                engine: None,
                 wall_ms: 0.0,
             }
         }
@@ -116,6 +133,7 @@ pub fn execute(
                 work: Some(run.work),
                 max_congestion: Some(run.max_congestion),
                 metrics: None,
+                engine: None,
                 wall_ms: 0.0,
             }
         }
@@ -126,6 +144,7 @@ pub fn execute(
             work: None,
             max_congestion: None,
             metrics: None,
+            engine: None,
             wall_ms: 0.0,
         },
     };
@@ -143,6 +162,9 @@ pub fn render_text(outcome: &Outcome, graph: &AdjacencyMatrix, args: &Args) -> S
         graph.edge_count()
     );
     let _ = writeln!(out, "machine: {}", outcome.machine.name());
+    if let Some(engine) = &outcome.engine {
+        let _ = writeln!(out, "engine: {engine}");
+    }
     let _ = writeln!(out, "components: {}", outcome.labels.component_count());
     if let Some(steps) = outcome.steps {
         let _ = writeln!(out, "synchronous steps: {steps}");
@@ -193,6 +215,7 @@ pub fn render_json(outcome: &Outcome, graph: &AdjacencyMatrix, args: &Args) -> S
         "steps": outcome.steps,
         "work": outcome.work,
         "max_congestion": outcome.max_congestion,
+        "engine": outcome.engine,
         "wall_ms": outcome.wall_ms,
     });
     if args.labels {
@@ -233,6 +256,7 @@ mod tests {
             json: false,
             metrics: true,
             verify: false,
+            engine: EngineOpts::default(),
         }
     }
 
@@ -250,7 +274,7 @@ mod tests {
             MachineKind::Pram,
             MachineKind::Sequential,
         ] {
-            let outcome = execute(machine, &g).unwrap();
+            let outcome = execute(machine, &g, &EngineOpts::default()).unwrap();
             assert_eq!(
                 outcome.labels.as_slice(),
                 expected.as_slice(),
@@ -260,12 +284,33 @@ mod tests {
     }
 
     #[test]
+    fn engine_knobs_do_not_change_labels() {
+        use gca_engine::{Backend, DomainPolicy};
+        use gca_hirschberg::Convergence;
+        let g = generators::gnp(10, 0.3, 5);
+        let reference = execute(MachineKind::Gca, &g, &EngineOpts::default()).unwrap();
+        let opts = EngineOpts {
+            backend: Backend::Parallel,
+            domain: DomainPolicy::Dense,
+            convergence: Convergence::Detect,
+        };
+        let tuned = execute(MachineKind::Gca, &g, &opts).unwrap();
+        assert_eq!(tuned.labels.as_slice(), reference.labels.as_slice());
+        assert!(tuned.steps.unwrap() <= reference.steps.unwrap());
+        assert_eq!(
+            tuned.engine.as_deref(),
+            Some("backend=parallel domain=dense convergence=detect")
+        );
+    }
+
+    #[test]
     fn text_report_contains_summary() {
         let g = generators::ring(8);
-        let outcome = execute(MachineKind::Gca, &g).unwrap();
+        let outcome = execute(MachineKind::Gca, &g, &EngineOpts::default()).unwrap();
         let text = render_text(&outcome, &g, &args_for(MachineKind::Gca));
         assert!(text.contains("graph: 8 nodes, 8 edges"));
         assert!(text.contains("components: 1"));
+        assert!(text.contains("engine: backend=sequential domain=hinted convergence=fixed"));
         assert!(text.contains("per-generation metrics"));
         assert!(text.contains("labels:"));
     }
@@ -273,7 +318,7 @@ mod tests {
     #[test]
     fn json_report_is_valid() {
         let g = generators::ring(6);
-        let outcome = execute(MachineKind::Pram, &g).unwrap();
+        let outcome = execute(MachineKind::Pram, &g, &EngineOpts::default()).unwrap();
         let json = render_json(&outcome, &g, &args_for(MachineKind::Pram));
         let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(parsed["machine"], "pram");
@@ -284,7 +329,7 @@ mod tests {
     #[test]
     fn sequential_has_no_step_counter() {
         let g = generators::path(5);
-        let outcome = execute(MachineKind::Sequential, &g).unwrap();
+        let outcome = execute(MachineKind::Sequential, &g, &EngineOpts::default()).unwrap();
         assert!(outcome.steps.is_none());
         let text = render_text(
             &outcome,
@@ -296,6 +341,7 @@ mod tests {
                 json: false,
                 metrics: true,
                 verify: false,
+                engine: EngineOpts::default(),
             },
         );
         assert!(text.contains("not available"));

@@ -43,7 +43,7 @@ pub struct FnRule<S, A, E> {
 
 impl<S, A, E> FnRule<S, A, E>
 where
-    S: Clone + Send + Sync,
+    S: Clone + PartialEq + Send + Sync,
     A: Fn(&StepCtx, &FieldShape, usize, &S) -> Access + Sync,
     E: for<'a> Fn(&StepCtx, &FieldShape, usize, &S, Reads<'a, S>) -> S + Sync,
 {
@@ -60,7 +60,7 @@ where
 
 impl<S, A, E> GcaRule for FnRule<S, A, E>
 where
-    S: Clone + Send + Sync,
+    S: Clone + PartialEq + Send + Sync,
     A: Fn(&StepCtx, &FieldShape, usize, &S) -> Access + Sync,
     E: for<'a> Fn(&StepCtx, &FieldShape, usize, &S, Reads<'a, S>) -> S + Sync,
 {
@@ -99,7 +99,7 @@ pub struct NonUniform<R1, R2, P> {
 
 impl<S, R1, R2, P> NonUniform<R1, R2, P>
 where
-    S: Clone + Send + Sync,
+    S: Clone + PartialEq + Send + Sync,
     R1: GcaRule<State = S>,
     R2: GcaRule<State = S>,
     P: Fn(&FieldShape, usize) -> bool + Sync,
@@ -116,7 +116,7 @@ where
 
 impl<S, R1, R2, P> GcaRule for NonUniform<R1, R2, P>
 where
-    S: Clone + Send + Sync,
+    S: Clone + PartialEq + Send + Sync,
     R1: GcaRule<State = S>,
     R2: GcaRule<State = S>,
     P: Fn(&FieldShape, usize) -> bool + Sync,

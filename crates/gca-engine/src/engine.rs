@@ -1,36 +1,54 @@
 use crate::metrics::CongestionHistogram;
-use crate::{Access, CellField, FieldShape, GcaError, GcaRule, Reads, StepCtx};
+use crate::{Access, CellField, Domain, FieldShape, GcaError, GcaRule, Reads, StepCtx};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// How cells are evaluated within one generation.
 ///
 /// Both backends implement identical semantics (reads observe the previous
 /// generation only), so the choice is purely a throughput knob. The GCA is
-/// "inherently massively parallel"; the parallel backend maps the cell field
-/// over a rayon work-stealing pool, which pays off once fields reach a few
-/// hundred thousand cells.
+/// "inherently massively parallel"; the parallel backend splits the active
+/// region into coarse chunks evaluated on scoped threads, which pays off once
+/// the region reaches tens of thousands of cells. Small regions (and
+/// [`Instrumentation::Trace`] steps) automatically fall back to the
+/// sequential evaluator, so `Backend::Parallel` never pays thread-spawn cost
+/// on tiny generations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum Backend {
     /// Evaluate cells one by one on the calling thread.
     #[default]
     Sequential,
-    /// Evaluate cells on the global rayon pool.
+    /// Evaluate large active regions chunk-wise on parallel threads.
     Parallel,
 }
 
 /// How much accounting a step performs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum Instrumentation {
-    /// Fastest: only active-cell and read counters.
+    /// Fastest: only active/read/changed counters. The steady-state step
+    /// performs no accounting allocation at all.
     Off,
     /// Additionally build the per-target [`CongestionHistogram`]
-    /// (Table 1's δ columns).
+    /// (Table 1's δ columns). Accumulated incrementally into engine-owned
+    /// scratch — no per-cell access list is materialized.
     #[default]
     Counts,
     /// Additionally retain every cell's [`Access`] (needed to render
-    /// Figure-3-style access patterns).
+    /// Figure-3-style access patterns). The trace buffer is engine-owned
+    /// and reused across steps.
     Trace,
+}
+
+/// Whether the engine trusts [`GcaRule::domain`] hints.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DomainPolicy {
+    /// Evaluate every cell every generation, ignoring hints. The reference
+    /// semantics; use it to validate that a rule's hints are faithful.
+    Dense,
+    /// Evaluate only the cells of the rule's [`Domain`] hint and bulk-copy
+    /// the untouched remainder. Bit-identical to [`DomainPolicy::Dense`]
+    /// whenever the rule upholds the domain contract (see [`Domain`]).
+    #[default]
+    Hinted,
 }
 
 /// The outcome of one synchronous generation.
@@ -42,6 +60,16 @@ pub struct StepReport {
     pub active_cells: usize,
     /// Total global reads issued by all cells.
     pub total_reads: u64,
+    /// Cells whose next state differs from their previous state. Counted in
+    /// every instrumentation mode during the write-back (out-of-domain cells
+    /// are copied unchanged and can never contribute). Zero means the
+    /// generation was a fixed point — the signal convergence detection keys
+    /// on.
+    pub changed_cells: usize,
+    /// Cells the engine actually evaluated: the hinted domain's size under
+    /// [`DomainPolicy::Hinted`], the whole field under
+    /// [`DomainPolicy::Dense`].
+    pub evaluated_cells: usize,
     /// Per-target read counts; present under
     /// [`Instrumentation::Counts`] and [`Instrumentation::Trace`].
     pub congestion: Option<CongestionHistogram>,
@@ -59,15 +87,89 @@ impl StepReport {
     }
 }
 
+/// Per-evaluation counters, folded cell by cell.
+#[derive(Clone, Copy, Debug, Default)]
+struct Tally {
+    active: usize,
+    reads: u64,
+    changed: usize,
+    evaluated: usize,
+}
+
+impl Tally {
+    #[inline]
+    fn bump(&mut self, acc: &Access, active: bool, changed: bool) {
+        self.evaluated += 1;
+        self.active += usize::from(active);
+        self.reads += acc.arity() as u64;
+        self.changed += usize::from(changed);
+    }
+
+    fn merge(&mut self, other: &Tally) {
+        self.active += other.active;
+        self.reads += other.reads;
+        self.changed += other.changed;
+        self.evaluated += other.evaluated;
+    }
+}
+
+/// One parallel chunk's accumulator: counters, a private congestion
+/// histogram (merged into the engine scratch after the join) and an error
+/// slot. Owned by the [`Engine`] so the histogram buffers stay warm across
+/// steps.
+#[derive(Clone, Debug, Default)]
+struct ChunkAcc {
+    tally: Tally,
+    hist: Vec<u32>,
+    error: Option<GcaError>,
+}
+
+impl ChunkAcc {
+    fn reset(&mut self, counting: bool, len: usize) {
+        self.tally = Tally::default();
+        self.error = None;
+        self.hist.clear();
+        if counting {
+            self.hist.resize(len, 0);
+        }
+    }
+}
+
+/// Reusable per-step buffers, owned by the engine so steady-state stepping
+/// does not allocate for accounting (the only steady-state allocation under
+/// `Counts`/`Trace` is the report's owned copy of the result).
+#[derive(Clone, Debug, Default)]
+struct StepScratch {
+    /// Histogram accumulation target (sequential) / merge target (parallel).
+    reads: Vec<u32>,
+    /// Full-field access trace, reused across [`Instrumentation::Trace`]
+    /// steps.
+    accesses: Vec<Access>,
+    /// Per-chunk accumulators for the parallel backend.
+    chunks: Vec<ChunkAcc>,
+}
+
+/// Below this many evaluated cells a parallel step runs on the calling
+/// thread: the scoped-thread spawn cost of the vendored rayon work-alike
+/// would otherwise dominate.
+const MIN_PAR_CELLS: usize = 16 * 1024;
+
+/// Minimum cells per parallel evaluation chunk (amortizes one thread spawn).
+const MIN_PAR_CHUNK: usize = 8 * 1024;
+
+/// Chunk size for bulk parallel copies of untouched regions.
+const COPY_CHUNK: usize = 64 * 1024;
+
 /// Executes GCA generations over a [`CellField`].
 ///
-/// The engine is deliberately small: it owns a global generation counter and
-/// the execution/instrumentation configuration, and exposes a single
-/// operation — [`Engine::step`] — that advances a field by exactly one
-/// synchronous generation under a caller-supplied rule and phase tag.
-/// Algorithm structure (which rule runs when, how many sub-generations, when
-/// to stop) lives in the algorithm crates, mirroring the paper's split
-/// between the per-cell data path and the central state machine.
+/// The engine owns a global generation counter, the execution configuration
+/// ([`Backend`], [`Instrumentation`], [`DomainPolicy`]) and reusable
+/// accounting scratch, and exposes a single operation — [`Engine::step`] —
+/// that advances a field by exactly one synchronous generation under a
+/// caller-supplied rule and phase tag. Algorithm structure (which rule runs
+/// when, how many sub-generations, when to stop) lives in the algorithm
+/// crates, mirroring the paper's split between the per-cell data path and
+/// the central state machine.
 ///
 /// ```
 /// use gca_engine::combinators::FnRule;
@@ -90,13 +192,16 @@ impl StepReport {
 /// let report = engine.step(&mut field, &rotate, 0, 0)?;
 /// assert_eq!(field.states(), &[20, 30, 40, 10]);
 /// assert_eq!(report.total_reads, 4);
+/// assert_eq!(report.changed_cells, 4);
 /// # Ok::<(), gca_engine::GcaError>(())
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Engine {
     backend: Backend,
     instrumentation: Instrumentation,
+    domain_policy: DomainPolicy,
     generation: u64,
+    scratch: StepScratch,
 }
 
 impl Engine {
@@ -113,7 +218,7 @@ impl Engine {
         }
     }
 
-    /// A rayon-parallel engine.
+    /// A parallel engine.
     pub fn parallel() -> Self {
         Engine {
             backend: Backend::Parallel,
@@ -121,10 +226,24 @@ impl Engine {
         }
     }
 
+    /// Sets the backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Sets the instrumentation level.
     #[must_use]
     pub fn with_instrumentation(mut self, instrumentation: Instrumentation) -> Self {
         self.instrumentation = instrumentation;
+        self
+    }
+
+    /// Sets the domain policy (hinted stepping vs. dense reference).
+    #[must_use]
+    pub fn with_domain_policy(mut self, policy: DomainPolicy) -> Self {
+        self.domain_policy = policy;
         self
     }
 
@@ -136,6 +255,11 @@ impl Engine {
     /// The configured instrumentation level.
     pub fn instrumentation(&self) -> Instrumentation {
         self.instrumentation
+    }
+
+    /// The configured domain policy.
+    pub fn domain_policy(&self) -> DomainPolicy {
+        self.domain_policy
     }
 
     /// Number of generations executed so far.
@@ -151,7 +275,10 @@ impl Engine {
     /// Executes one synchronous generation of `rule` over `field`.
     ///
     /// `phase` and `subgeneration` are forwarded to the rule via [`StepCtx`];
-    /// the engine neither interprets nor constrains them.
+    /// the engine neither interprets nor constrains them. Under
+    /// [`DomainPolicy::Hinted`] the rule's [`GcaRule::domain`] hint decides
+    /// which cells are evaluated; the rest of the field is copied forward in
+    /// bulk. On error the field is left on its previous generation.
     pub fn step<R: GcaRule>(
         &mut self,
         field: &mut CellField<R::State>,
@@ -165,22 +292,77 @@ impl Engine {
             subgeneration,
         };
         let shape = *field.shape();
+        let domain = match self.domain_policy {
+            DomainPolicy::Dense => Domain::All,
+            DomainPolicy::Hinted => rule.domain(&ctx, &shape).clamped(&shape),
+        };
         let instrumentation = self.instrumentation;
-        let (prev, next) = field.buffers();
+        let counting = !matches!(instrumentation, Instrumentation::Off);
+        let tracing = matches!(instrumentation, Instrumentation::Trace);
 
-        let report = match self.backend {
-            Backend::Sequential => {
-                step_sequential(rule, &ctx, &shape, prev, next, instrumentation)
-            }
-            Backend::Parallel => step_parallel(rule, &ctx, &shape, prev, next, instrumentation),
-        }?;
+        let (prev, next) = field.buffers();
+        let len = prev.len();
+        let StepScratch {
+            reads,
+            accesses,
+            chunks,
+        } = &mut self.scratch;
+        if counting {
+            reads.clear();
+            reads.resize(len, 0);
+        }
+        if tracing {
+            accesses.clear();
+            accesses.resize(len, Access::None);
+        }
+
+        // Trace steps always run sequentially (tracing exists for small
+        // diagnostic fields, and per-cell trace writes parallelize poorly);
+        // so do small active regions, where thread-spawn cost dominates.
+        let parallel = matches!(self.backend, Backend::Parallel)
+            && !tracing
+            && domain.cell_count(&shape) >= MIN_PAR_CELLS;
+
+        let tally = if parallel {
+            step_parallel(
+                rule,
+                &ctx,
+                &shape,
+                &domain,
+                prev,
+                next,
+                chunks,
+                counting.then_some(reads),
+            )?
+        } else {
+            step_sequential(
+                rule,
+                &ctx,
+                &shape,
+                &domain,
+                prev,
+                next,
+                counting.then_some(reads.as_mut_slice()),
+                tracing.then_some(accesses.as_mut_slice()),
+            )?
+        };
 
         field.commit();
         self.generation += 1;
-        Ok(report)
+        Ok(StepReport {
+            ctx,
+            active_cells: tally.active,
+            total_reads: tally.reads,
+            changed_cells: tally.changed,
+            evaluated_cells: tally.evaluated,
+            congestion: counting
+                .then(|| CongestionHistogram::from_reads(self.scratch.reads.clone())),
+            accesses: tracing.then(|| self.scratch.accesses.clone()),
+        })
     }
 }
 
+/// Resolves an [`Access`] against the previous-generation buffer.
 #[inline]
 fn resolve<'a, S>(
     acc: Access,
@@ -203,128 +385,287 @@ fn resolve<'a, S>(
     })
 }
 
+/// Evaluates one cell into `slot`, returning its access and whether it was
+/// active / changed. The changed-bit comparison happens here, during the
+/// write-back, so convergence detection costs one `PartialEq` per evaluated
+/// cell and no extra pass.
+#[inline]
+fn eval_cell<R: GcaRule>(
+    rule: &R,
+    ctx: &StepCtx,
+    shape: &FieldShape,
+    prev: &[R::State],
+    slot: &mut R::State,
+    index: usize,
+) -> Result<(Access, bool, bool), GcaError> {
+    let own = &prev[index];
+    let acc = rule.access(ctx, shape, index, own);
+    let reads = resolve(acc, prev, index, ctx)?;
+    let new = rule.evolve(ctx, shape, index, own, reads);
+    let changed = new != *own;
+    let active = rule.is_active(ctx, shape, index, own);
+    *slot = new;
+    Ok((acc, active, changed))
+}
+
+/// Evaluates the contiguous cells `start..start + seg.len()` into `seg`
+/// (which is `next[start..start + seg.len()]`), folding accounting into
+/// `tally`, the optional full-field histogram, and the optional
+/// segment-aligned trace slice.
+#[allow(clippy::too_many_arguments)]
+fn eval_segment<R: GcaRule>(
+    rule: &R,
+    ctx: &StepCtx,
+    shape: &FieldShape,
+    prev: &[R::State],
+    seg: &mut [R::State],
+    start: usize,
+    mut hist: Option<&mut [u32]>,
+    mut trace: Option<&mut [Access]>,
+    tally: &mut Tally,
+) -> Result<(), GcaError> {
+    for (offset, slot) in seg.iter_mut().enumerate() {
+        let index = start + offset;
+        let (acc, active, changed) = eval_cell(rule, ctx, shape, prev, slot, index)?;
+        tally.bump(&acc, active, changed);
+        if let Some(h) = hist.as_deref_mut() {
+            for t in acc.targets() {
+                h[t] += 1;
+            }
+        }
+        if let Some(t) = trace.as_deref_mut() {
+            t[offset] = acc;
+        }
+    }
+    Ok(())
+}
+
+/// Sequential evaluator: walks only the domain, copying the untouched
+/// remainder with bulk `clone_from_slice`. Also the fallback path for small
+/// or traced parallel steps.
+#[allow(clippy::too_many_arguments)]
 fn step_sequential<R: GcaRule>(
     rule: &R,
     ctx: &StepCtx,
     shape: &FieldShape,
+    domain: &Domain,
     prev: &[R::State],
     next: &mut [R::State],
-    instrumentation: Instrumentation,
-) -> Result<StepReport, GcaError> {
-    let len = prev.len();
-    let mut active = 0usize;
-    let mut total_reads = 0u64;
-    let mut accesses = match instrumentation {
-        Instrumentation::Off => None,
-        _ => Some(Vec::with_capacity(len)),
-    };
-
-    for i in 0..len {
-        let own = &prev[i];
-        let acc = rule.access(ctx, shape, i, own);
-        let reads = resolve(acc, prev, i, ctx)?;
-        next[i] = rule.evolve(ctx, shape, i, own, reads);
-        if rule.is_active(ctx, shape, i, own) {
-            active += 1;
+    mut hist: Option<&mut [u32]>,
+    mut trace: Option<&mut [Access]>,
+) -> Result<Tally, GcaError> {
+    let cols = shape.cols();
+    let mut tally = Tally::default();
+    match domain {
+        Domain::All => {
+            eval_segment(
+                rule,
+                ctx,
+                shape,
+                prev,
+                next,
+                0,
+                hist.as_deref_mut(),
+                trace.as_deref_mut(),
+                &mut tally,
+            )?;
         }
-        total_reads += acc.arity() as u64;
-        if let Some(v) = accesses.as_mut() {
-            v.push(acc);
+        Domain::Rows(r) => {
+            let (a, b) = (r.start * cols, r.end * cols);
+            next[..a].clone_from_slice(&prev[..a]);
+            next[b..].clone_from_slice(&prev[b..]);
+            eval_segment(
+                rule,
+                ctx,
+                shape,
+                prev,
+                &mut next[a..b],
+                a,
+                hist.as_deref_mut(),
+                trace.as_deref_mut().map(|t| &mut t[a..b]),
+                &mut tally,
+            )?;
+        }
+        Domain::Cols(c) => {
+            for row in 0..shape.rows() {
+                let base = row * cols;
+                let (s, e) = (base + c.start, base + c.end);
+                next[base..s].clone_from_slice(&prev[base..s]);
+                next[e..base + cols].clone_from_slice(&prev[e..base + cols]);
+                eval_segment(
+                    rule,
+                    ctx,
+                    shape,
+                    prev,
+                    &mut next[s..e],
+                    s,
+                    hist.as_deref_mut(),
+                    trace.as_deref_mut().map(|t| &mut t[s..e]),
+                    &mut tally,
+                )?;
+            }
+        }
+        Domain::Sparse(indices) => {
+            next.clone_from_slice(prev);
+            for &i in indices {
+                let (acc, active, changed) = eval_cell(rule, ctx, shape, prev, &mut next[i], i)?;
+                tally.bump(&acc, active, changed);
+                if let Some(h) = hist.as_deref_mut() {
+                    for t in acc.targets() {
+                        h[t] += 1;
+                    }
+                }
+                if let Some(t) = trace.as_deref_mut() {
+                    t[i] = acc;
+                }
+            }
         }
     }
-
-    Ok(assemble_report(
-        *ctx,
-        active,
-        total_reads,
-        accesses,
-        len,
-        instrumentation,
-    ))
+    Ok(tally)
 }
 
+/// Copies `src` into `dst`, chunk-parallel when the region is large enough
+/// to amortize thread spawns.
+fn par_copy<S: Clone + Send + Sync>(dst: &mut [S], src: &[S]) {
+    if dst.len() <= COPY_CHUNK {
+        dst.clone_from_slice(src);
+    } else {
+        dst.par_chunks_mut(COPY_CHUNK)
+            .zip(src.par_chunks(COPY_CHUNK))
+            .for_each(|(d, s)| d.clone_from_slice(s));
+    }
+}
+
+/// Parallel evaluator: splits the active region into coarse chunks, each
+/// folding into its own [`ChunkAcc`] (counters + private histogram), then
+/// merges the accumulators into the engine scratch after the join. No
+/// per-cell intermediate collection is materialized.
+#[allow(clippy::too_many_arguments)]
 fn step_parallel<R: GcaRule>(
     rule: &R,
     ctx: &StepCtx,
     shape: &FieldShape,
+    domain: &Domain,
     prev: &[R::State],
     next: &mut [R::State],
-    instrumentation: Instrumentation,
-) -> Result<StepReport, GcaError> {
+    chunks: &mut Vec<ChunkAcc>,
+    mut merge: Option<&mut Vec<u32>>,
+) -> Result<Tally, GcaError> {
     let len = prev.len();
-    match instrumentation {
-        Instrumentation::Off => {
-            let active = AtomicUsize::new(0);
-            let total_reads = AtomicU64::new(0);
-            next.par_iter_mut().enumerate().try_for_each(
-                |(i, slot)| -> Result<(), GcaError> {
-                    let own = &prev[i];
-                    let acc = rule.access(ctx, shape, i, own);
-                    let reads = resolve(acc, prev, i, ctx)?;
-                    *slot = rule.evolve(ctx, shape, i, own, reads);
-                    if rule.is_active(ctx, shape, i, own) {
-                        active.fetch_add(1, Ordering::Relaxed);
-                    }
-                    total_reads.fetch_add(acc.arity() as u64, Ordering::Relaxed);
-                    Ok(())
-                },
-            )?;
-            Ok(assemble_report(
-                *ctx,
-                active.into_inner(),
-                total_reads.into_inner(),
-                None,
-                len,
-                instrumentation,
-            ))
-        }
-        _ => {
-            let per_cell: Result<Vec<(Access, bool)>, GcaError> = next
-                .par_iter_mut()
-                .enumerate()
-                .map(|(i, slot)| {
-                    let own = &prev[i];
-                    let acc = rule.access(ctx, shape, i, own);
-                    let reads = resolve(acc, prev, i, ctx)?;
-                    *slot = rule.evolve(ctx, shape, i, own, reads);
-                    Ok((acc, rule.is_active(ctx, shape, i, own)))
-                })
-                .collect();
-            let per_cell = per_cell?;
-            let active = per_cell.iter().filter(|(_, a)| *a).count();
-            let total_reads: u64 = per_cell.iter().map(|(a, _)| a.arity() as u64).sum();
-            let accesses: Vec<Access> = per_cell.into_iter().map(|(a, _)| a).collect();
-            Ok(assemble_report(
-                *ctx,
-                active,
-                total_reads,
-                Some(accesses),
-                len,
-                instrumentation,
-            ))
-        }
-    }
-}
+    let cols = shape.cols();
+    let counting = merge.is_some();
 
-fn assemble_report(
-    ctx: StepCtx,
-    active_cells: usize,
-    total_reads: u64,
-    accesses: Option<Vec<Access>>,
-    len: usize,
-    instrumentation: Instrumentation,
-) -> StepReport {
-    let congestion = accesses
-        .as_ref()
-        .map(|a| CongestionHistogram::from_accesses(len, a.iter()));
-    let keep_trace = matches!(instrumentation, Instrumentation::Trace);
-    StepReport {
-        ctx,
-        active_cells,
-        total_reads,
-        congestion,
-        accesses: if keep_trace { accesses } else { None },
+    // A sparse list is scattered: copy the whole field in parallel, then
+    // evaluate the listed cells on the calling thread (the list is tiny
+    // relative to the field by construction).
+    if let Domain::Sparse(indices) = domain {
+        par_copy(next, prev);
+        let mut tally = Tally::default();
+        for &i in indices {
+            let (acc, active, changed) = eval_cell(rule, ctx, shape, prev, &mut next[i], i)?;
+            tally.bump(&acc, active, changed);
+            if let Some(h) = merge.as_deref_mut() {
+                for t in acc.targets() {
+                    h[t] += 1;
+                }
+            }
+        }
+        return Ok(tally);
     }
+
+    // Rows and All evaluate one contiguous region; Cols evaluates one short
+    // segment per row, chunked by whole rows.
+    let (region, per_row) = match domain {
+        Domain::All => (0..len, None),
+        Domain::Rows(r) => (r.start * cols..r.end * cols, None),
+        Domain::Cols(c) => (0..len, Some(c.clone())),
+        Domain::Sparse(_) => unreachable!("handled above"),
+    };
+    par_copy(&mut next[..region.start], &prev[..region.start]);
+    par_copy(&mut next[region.end..], &prev[region.end..]);
+
+    let threads = rayon::current_num_threads();
+    let chunk_size = match &per_row {
+        // Contiguous region: chunk by cells.
+        None => (region.end - region.start)
+            .div_ceil(threads)
+            .max(MIN_PAR_CHUNK),
+        // Per-row segments: chunk by whole rows so the in-chunk complement
+        // copies and segment evaluations stay row-aligned.
+        Some(c) => {
+            let rows_per = shape
+                .rows()
+                .div_ceil(threads)
+                .max(MIN_PAR_CHUNK.div_ceil(c.len().max(1)));
+            rows_per * cols
+        }
+    };
+    let region_len = region.end - region.start;
+    let n_chunks = region_len.div_ceil(chunk_size);
+    if chunks.len() < n_chunks {
+        chunks.resize_with(n_chunks, ChunkAcc::default);
+    }
+
+    next[region.clone()]
+        .par_chunks_mut(chunk_size)
+        .zip(chunks[..n_chunks].par_iter_mut())
+        .enumerate()
+        .for_each(|(ci, (seg, acc))| {
+            acc.reset(counting, len);
+            let chunk_start = region.start + ci * chunk_size;
+            match &per_row {
+                None => {
+                    if let Err(e) = eval_segment(
+                        rule,
+                        ctx,
+                        shape,
+                        prev,
+                        seg,
+                        chunk_start,
+                        counting.then_some(acc.hist.as_mut_slice()),
+                        None,
+                        &mut acc.tally,
+                    ) {
+                        acc.error = Some(e);
+                    }
+                }
+                Some(c) => {
+                    for (r_local, row_slice) in seg.chunks_mut(cols).enumerate() {
+                        let base = chunk_start + r_local * cols;
+                        row_slice[..c.start].clone_from_slice(&prev[base..base + c.start]);
+                        row_slice[c.end..].clone_from_slice(&prev[base + c.end..base + cols]);
+                        if let Err(e) = eval_segment(
+                            rule,
+                            ctx,
+                            shape,
+                            prev,
+                            &mut row_slice[c.start..c.end],
+                            base + c.start,
+                            counting.then_some(acc.hist.as_mut_slice()),
+                            None,
+                            &mut acc.tally,
+                        ) {
+                            acc.error = Some(e);
+                            break;
+                        }
+                    }
+                }
+            }
+        });
+
+    let mut tally = Tally::default();
+    for acc in &mut chunks[..n_chunks] {
+        if let Some(e) = acc.error.take() {
+            return Err(e);
+        }
+        tally.merge(&acc.tally);
+        if let Some(target) = merge.as_deref_mut() {
+            for (dst, src) in target.iter_mut().zip(&acc.hist) {
+                *dst += *src;
+            }
+        }
+    }
+    Ok(tally)
 }
 
 #[cfg(test)]
@@ -431,6 +772,53 @@ mod tests {
         }
     }
 
+    /// Increments only the cells of one hinted row band; everything outside
+    /// is identity / inactive / access-free — exactly the domain contract.
+    struct BandIncrement {
+        rows: std::ops::Range<usize>,
+    }
+
+    impl BandIncrement {
+        fn in_band(&self, shape: &FieldShape, index: usize) -> bool {
+            self.rows.contains(&shape.row(index))
+        }
+    }
+
+    impl GcaRule for BandIncrement {
+        type State = u32;
+
+        fn access(&self, _ctx: &StepCtx, shape: &FieldShape, index: usize, _own: &u32) -> Access {
+            if self.in_band(shape, index) {
+                Access::One(index)
+            } else {
+                Access::None
+            }
+        }
+
+        fn evolve(
+            &self,
+            _ctx: &StepCtx,
+            shape: &FieldShape,
+            index: usize,
+            own: &u32,
+            reads: Reads<'_, u32>,
+        ) -> u32 {
+            if self.in_band(shape, index) {
+                reads.expect_first("band") + 1
+            } else {
+                *own
+            }
+        }
+
+        fn is_active(&self, _ctx: &StepCtx, shape: &FieldShape, index: usize, _own: &u32) -> bool {
+            self.in_band(shape, index)
+        }
+
+        fn domain(&self, _ctx: &StepCtx, _shape: &FieldShape) -> Domain {
+            Domain::Rows(self.rows.clone())
+        }
+    }
+
     fn field(values: &[u32]) -> CellField<u32> {
         let shape = FieldShape::new(1, values.len()).unwrap();
         CellField::from_states(shape, values.to_vec()).unwrap()
@@ -444,6 +832,8 @@ mod tests {
         assert_eq!(f.states(), &[20, 30, 40, 10]);
         assert_eq!(r.active_cells, 4);
         assert_eq!(r.total_reads, 4);
+        assert_eq!(r.changed_cells, 4);
+        assert_eq!(r.evaluated_cells, 4);
         assert_eq!(e.generation(), 1);
     }
 
@@ -505,6 +895,17 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_pointer_parallel_large_field() {
+        // Large enough to take the chunked path: the error surfaces after
+        // the join, collected from the per-chunk error slots.
+        let shape = FieldShape::new(1, 40_000).unwrap();
+        let mut f = CellField::from_states(shape, vec![0u32; 40_000]).unwrap();
+        let mut e = Engine::parallel();
+        let err = e.step(&mut f, &Broken, 0, 0).unwrap_err();
+        assert!(matches!(err, GcaError::PointerOutOfRange { cell: 2, .. }));
+    }
+
+    #[test]
     fn parallel_matches_sequential() {
         let init: Vec<u32> = (0..257).map(|i| i * 3 + 1).collect();
         let mut fs = field(&init);
@@ -517,11 +918,31 @@ mod tests {
             assert_eq!(fs.states(), fp.states());
             assert_eq!(rs.active_cells, rp.active_cells);
             assert_eq!(rs.total_reads, rp.total_reads);
+            assert_eq!(rs.changed_cells, rp.changed_cells);
             assert_eq!(
                 rs.congestion.as_ref().unwrap(),
                 rp.congestion.as_ref().unwrap()
             );
         }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_above_threshold() {
+        // 70_000 cells exceeds MIN_PAR_CELLS, exercising the real chunked
+        // path with per-chunk histogram merging.
+        let init: Vec<u32> = (0..70_000u32).map(|i| i.wrapping_mul(7) + 1).collect();
+        let shape = FieldShape::new(1, init.len()).unwrap();
+        let mut fs = CellField::from_states(shape, init.clone()).unwrap();
+        let mut fp = CellField::from_states(shape, init).unwrap();
+        let mut es = Engine::sequential();
+        let mut ep = Engine::parallel();
+        let rs = es.step(&mut fs, &Rotate, 0, 0).unwrap();
+        let rp = ep.step(&mut fp, &Rotate, 0, 0).unwrap();
+        assert_eq!(fs.states(), fp.states());
+        assert_eq!(rs.active_cells, rp.active_cells);
+        assert_eq!(rs.total_reads, rp.total_reads);
+        assert_eq!(rs.changed_cells, rp.changed_cells);
+        assert_eq!(rs.congestion, rp.congestion);
     }
 
     #[test]
@@ -571,6 +992,18 @@ mod tests {
     }
 
     #[test]
+    fn changed_cells_zero_on_fixed_point() {
+        let mut f = field(&[9, 9, 9]);
+        let mut e = Engine::sequential();
+        // Rotating a constant field changes nothing.
+        let r = e.step(&mut f, &Rotate, 0, 0).unwrap();
+        assert_eq!(r.changed_cells, 0);
+        // The identity rule never changes anything either.
+        let r = e.step(&mut f, &EvenActive, 0, 0).unwrap();
+        assert_eq!(r.changed_cells, 0);
+    }
+
+    #[test]
     fn phase_and_subgeneration_forwarded() {
         let mut f = field(&[0]);
         let mut e = Engine::sequential();
@@ -600,5 +1033,243 @@ mod tests {
         let r = e.step(&mut f, &Rotate, 0, 0).unwrap();
         assert_eq!(r.active_cells, 0);
         assert_eq!(r.total_reads, 0);
+        assert_eq!(r.changed_cells, 0);
+    }
+
+    /// Steps `rule` once under each policy on identical fields, asserts the
+    /// fields and all metrics are bit-identical, and returns both reports
+    /// (dense, hinted) for evaluated-cell assertions.
+    fn assert_hinted_equals_dense<R: GcaRule<State = u32>>(
+        rule: &R,
+        shape: FieldShape,
+        init: impl Fn(usize) -> u32,
+        backend: Backend,
+        instrumentation: Instrumentation,
+    ) -> (StepReport, StepReport) {
+        let mut dense_field = CellField::from_fn(shape, &init);
+        let mut hinted_field = CellField::from_fn(shape, &init);
+        let mut dense = Engine {
+            backend,
+            ..Engine::default()
+        }
+        .with_instrumentation(instrumentation)
+        .with_domain_policy(DomainPolicy::Dense);
+        let mut hinted = Engine {
+            backend,
+            ..Engine::default()
+        }
+        .with_instrumentation(instrumentation)
+        .with_domain_policy(DomainPolicy::Hinted);
+        let rd = dense.step(&mut dense_field, rule, 0, 0).unwrap();
+        let rh = hinted.step(&mut hinted_field, rule, 0, 0).unwrap();
+        assert_eq!(dense_field.states(), hinted_field.states());
+        assert_eq!(rd.active_cells, rh.active_cells);
+        assert_eq!(rd.total_reads, rh.total_reads);
+        assert_eq!(rd.changed_cells, rh.changed_cells);
+        assert_eq!(rd.congestion, rh.congestion);
+        assert_eq!(rd.accesses, rh.accesses);
+        (rd, rh)
+    }
+
+    #[test]
+    fn hinted_rows_bit_identical_to_dense() {
+        let shape = FieldShape::new(8, 6).unwrap();
+        for instr in [
+            Instrumentation::Off,
+            Instrumentation::Counts,
+            Instrumentation::Trace,
+        ] {
+            let (rd, rh) = assert_hinted_equals_dense(
+                &BandIncrement { rows: 2..5 },
+                shape,
+                |i| i as u32,
+                Backend::Sequential,
+                instr,
+            );
+            assert_eq!(rd.evaluated_cells, 48);
+            assert_eq!(rh.evaluated_cells, 18); // 3 rows × 6 cols
+            assert_eq!(rh.changed_cells, 18);
+        }
+    }
+
+    #[test]
+    fn hinted_rows_parallel_bit_identical() {
+        // Large enough for the parallel chunked path on both policies.
+        let shape = FieldShape::new(300, 300).unwrap();
+        let (_, rh) = assert_hinted_equals_dense(
+            &BandIncrement { rows: 10..290 },
+            shape,
+            |i| (i % 97) as u32,
+            Backend::Parallel,
+            Instrumentation::Counts,
+        );
+        assert_eq!(rh.evaluated_cells, 280 * 300);
+    }
+
+    /// Doubles column 0 only; exercises the `Cols` domain.
+    struct FirstColDouble;
+
+    impl GcaRule for FirstColDouble {
+        type State = u32;
+
+        fn access(&self, _ctx: &StepCtx, shape: &FieldShape, index: usize, _own: &u32) -> Access {
+            if shape.col(index) == 0 {
+                Access::One(index)
+            } else {
+                Access::None
+            }
+        }
+
+        fn evolve(
+            &self,
+            _ctx: &StepCtx,
+            shape: &FieldShape,
+            index: usize,
+            own: &u32,
+            reads: Reads<'_, u32>,
+        ) -> u32 {
+            if shape.col(index) == 0 {
+                reads.expect_first("col0") * 2
+            } else {
+                *own
+            }
+        }
+
+        fn is_active(&self, _ctx: &StepCtx, shape: &FieldShape, index: usize, _own: &u32) -> bool {
+            shape.col(index) == 0
+        }
+
+        fn domain(&self, _ctx: &StepCtx, _shape: &FieldShape) -> Domain {
+            Domain::Cols(0..1)
+        }
+    }
+
+    #[test]
+    fn hinted_cols_bit_identical_to_dense() {
+        let shape = FieldShape::new(9, 5).unwrap();
+        let (rd, rh) = assert_hinted_equals_dense(
+            &FirstColDouble,
+            shape,
+            |i| i as u32 + 1,
+            Backend::Sequential,
+            Instrumentation::Counts,
+        );
+        assert_eq!(rd.evaluated_cells, 45);
+        assert_eq!(rh.evaluated_cells, 9);
+        assert_eq!(rh.active_cells, 9);
+    }
+
+    #[test]
+    fn hinted_cols_parallel_bit_identical() {
+        // Dense runs the parallel Cols path; hinted (600 cells) falls back
+        // to the sequential evaluator — results must still agree.
+        let shape = FieldShape::new(600, 64).unwrap();
+        let (_, rh) = assert_hinted_equals_dense(
+            &FirstColDouble,
+            shape,
+            |i| (i % 13) as u32 + 1,
+            Backend::Parallel,
+            Instrumentation::Counts,
+        );
+        assert_eq!(rh.evaluated_cells, 600);
+    }
+
+    /// Rotates every eighth cell toward its successor.
+    struct SparseStride;
+
+    impl SparseStride {
+        fn hits(index: usize) -> bool {
+            index.is_multiple_of(8)
+        }
+    }
+
+    impl GcaRule for SparseStride {
+        type State = u32;
+
+        fn access(&self, _ctx: &StepCtx, shape: &FieldShape, index: usize, _own: &u32) -> Access {
+            if Self::hits(index) {
+                Access::One((index + 1) % shape.len())
+            } else {
+                Access::None
+            }
+        }
+
+        fn evolve(
+            &self,
+            _ctx: &StepCtx,
+            _shape: &FieldShape,
+            index: usize,
+            own: &u32,
+            reads: Reads<'_, u32>,
+        ) -> u32 {
+            if Self::hits(index) {
+                *reads.expect_first("stride")
+            } else {
+                *own
+            }
+        }
+
+        fn is_active(&self, _ctx: &StepCtx, _shape: &FieldShape, index: usize, _own: &u32) -> bool {
+            Self::hits(index)
+        }
+
+        fn domain(&self, _ctx: &StepCtx, shape: &FieldShape) -> Domain {
+            Domain::Sparse((0..shape.len()).step_by(8).collect())
+        }
+    }
+
+    #[test]
+    fn hinted_sparse_bit_identical_to_dense() {
+        let shape = FieldShape::new(1, 64).unwrap();
+        for instr in [Instrumentation::Counts, Instrumentation::Trace] {
+            let (rd, rh) = assert_hinted_equals_dense(
+                &SparseStride,
+                shape,
+                |i| i as u32 * 3,
+                Backend::Sequential,
+                instr,
+            );
+            assert_eq!(rd.evaluated_cells, 64);
+            assert_eq!(rh.evaluated_cells, 8);
+        }
+    }
+
+    #[test]
+    fn dense_policy_ignores_hints() {
+        let shape = FieldShape::new(4, 4).unwrap();
+        let mut f = CellField::from_fn(shape, |i| i as u32);
+        let mut e = Engine::sequential().with_domain_policy(DomainPolicy::Dense);
+        let r = e.step(&mut f, &BandIncrement { rows: 1..2 }, 0, 0).unwrap();
+        assert_eq!(r.evaluated_cells, 16);
+        assert_eq!(r.changed_cells, 4);
+    }
+
+    #[test]
+    fn empty_domain_copies_field_forward() {
+        let shape = FieldShape::new(4, 4).unwrap();
+        let mut f = CellField::from_fn(shape, |i| i as u32);
+        let before: Vec<u32> = f.states().to_vec();
+        let mut e = Engine::sequential();
+        let r = e.step(&mut f, &BandIncrement { rows: 2..2 }, 0, 0).unwrap();
+        assert_eq!(f.states(), &before[..]);
+        assert_eq!(r.evaluated_cells, 0);
+        assert_eq!(r.active_cells, 0);
+        assert_eq!(r.changed_cells, 0);
+        assert_eq!(r.congestion.unwrap().max_congestion(), 0);
+    }
+
+    #[test]
+    fn scratch_reuse_keeps_reports_independent() {
+        // Two consecutive instrumented steps must not alias each other's
+        // histograms even though the engine reuses its scratch buffers.
+        let mut f = field(&[5, 0, 0, 7]);
+        let mut e = Engine::sequential();
+        let r1 = e.step(&mut f, &SumEnds, 0, 0).unwrap();
+        let h1 = r1.congestion.clone().unwrap();
+        let r2 = e.step(&mut f, &Rotate, 0, 0).unwrap();
+        let h2 = r2.congestion.unwrap();
+        assert_eq!(h1.reads_of(0), 4);
+        assert_eq!(h2.reads_of(0), 1);
+        assert_eq!(r1.congestion.unwrap().reads_of(0), 4);
     }
 }

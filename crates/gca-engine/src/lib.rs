@@ -26,6 +26,29 @@
 //! (concurrent reads per target cell), so [`Engine::step`] can record both,
 //! plus full access traces for rendering Figure-3-style access patterns.
 //!
+//! # Choosing the knobs
+//!
+//! * **[`Backend`]** — `Sequential` is the default and fastest below a few
+//!   tens of thousands of evaluated cells per generation; `Parallel` splits
+//!   large active regions into coarse chunks on scoped threads and wins once
+//!   a generation evaluates ≳ 16 k cells (it falls back to the sequential
+//!   evaluator below that, so it is safe to enable unconditionally).
+//! * **[`Instrumentation`]** — `Off` for pure timing (allocation-free steady
+//!   state), `Counts` (default) for Table-1 congestion histograms built
+//!   incrementally in engine-owned scratch, `Trace` to additionally retain
+//!   every cell's [`Access`] (runs sequentially; meant for small diagnostic
+//!   fields).
+//! * **[`DomainPolicy`]** — `Hinted` (default) evaluates only the cells of
+//!   the rule's [`GcaRule::domain`] hint and bulk-copies the rest, which is
+//!   bit-identical to `Dense` whenever the rule honours the [`Domain`]
+//!   contract (out-of-domain cells are no-ops); `Dense` is the reference
+//!   semantics for validating hints.
+//!
+//! Convergence early-exit (skipping sub-generations once a step reports
+//! [`StepReport::changed_cells`] `== 0`) is an *algorithm-level* decision
+//! layered on the engine's changed-cell counter — see the `gca-hirschberg`
+//! crate for where it is sound and where it is not.
+//!
 //! Supporting theory from the paper's Section 1 is also implemented:
 //! [`brent`] (p physical cells simulating N virtual cells round-robin, per
 //! Brent's theorem) and [`hashing`] (universal hashing of cells onto memory
@@ -37,6 +60,7 @@
 mod access;
 pub mod brent;
 pub mod combinators;
+mod domain;
 mod engine;
 mod error;
 mod field;
@@ -49,7 +73,8 @@ pub mod trace;
 mod word;
 
 pub use access::{Access, Reads};
-pub use engine::{Backend, Engine, Instrumentation, StepReport};
+pub use domain::Domain;
+pub use engine::{Backend, DomainPolicy, Engine, Instrumentation, StepReport};
 pub use error::GcaError;
 pub use field::CellField;
 pub use geometry::FieldShape;

@@ -29,6 +29,13 @@ impl CongestionHistogram {
         CongestionHistogram { reads }
     }
 
+    /// Wraps a prebuilt per-target read-count vector (index = cell, value =
+    /// concurrent readers). This is how the engine hands out its reusable
+    /// accumulation scratch without re-walking the access list.
+    pub fn from_reads(reads: Vec<u32>) -> Self {
+        CongestionHistogram { reads }
+    }
+
     /// Number of cells in the field.
     #[inline]
     pub fn len(&self) -> usize {
@@ -194,6 +201,14 @@ mod tests {
         assert_eq!(h.total_reads(), 4);
         assert_eq!(h.cells_read(), 2);
         assert_eq!(h.hottest_cells(), vec![0]);
+    }
+
+    #[test]
+    fn from_reads_equals_from_accesses() {
+        let accesses = [Access::One(0), Access::Two(0, 2), Access::None];
+        let via_accesses = CongestionHistogram::from_accesses(3, accesses.iter());
+        let via_reads = CongestionHistogram::from_reads(vec![2, 0, 1]);
+        assert_eq!(via_accesses, via_reads);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-use crate::{Access, FieldShape, Reads};
+use crate::{Access, Domain, FieldShape, Reads};
 
 /// Per-generation control information handed to every rule invocation.
 ///
@@ -49,8 +49,10 @@ impl StepCtx {
 /// branching on `index` (the paper distinguishes the first column, the last
 /// row and the square field exactly this way).
 pub trait GcaRule: Sync {
-    /// The cell state type.
-    type State: Clone + Send + Sync;
+    /// The cell state type. `PartialEq` lets the engine count changed cells
+    /// during the write-back (the basis of convergence detection) without a
+    /// second pass over the field.
+    type State: Clone + PartialEq + Send + Sync;
 
     /// Computes which global cells `index` reads this generation.
     fn access(&self, ctx: &StepCtx, shape: &FieldShape, index: usize, own: &Self::State)
@@ -76,6 +78,19 @@ pub trait GcaRule: Sync {
     /// the paper's accounting.
     fn is_active(&self, _ctx: &StepCtx, _shape: &FieldShape, _index: usize, _own: &Self::State) -> bool {
         true
+    }
+
+    /// Where this generation's work lives (see [`Domain`]).
+    ///
+    /// The default claims the whole field. A rule that overrides this
+    /// promises that every cell *outside* the returned domain is a no-op
+    /// this generation (identity `evolve`, [`Access::None`], inactive) —
+    /// under [`crate::DomainPolicy::Hinted`] the engine then evaluates only
+    /// the hinted cells and bulk-copies the rest, with bit-identical results
+    /// and metrics. Like the paper's central state machine, the hint depends
+    /// only on the control context, never on cell data.
+    fn domain(&self, _ctx: &StepCtx, _shape: &FieldShape) -> Domain {
+        Domain::All
     }
 
     /// A short diagnostic name (used in panics and traces).

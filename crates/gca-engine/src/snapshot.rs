@@ -3,17 +3,39 @@
 //! intermediate generations for offline analysis.
 
 use crate::{CellField, FieldShape, GcaError};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// A self-contained copy of a field's current generation.
 ///
 /// Serializable whenever the cell state is; the shape is stored explicitly
 /// so a snapshot can be validated before it is restored.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FieldSnapshot<S> {
     rows: usize,
     cols: usize,
     states: Vec<S>,
+}
+
+// Hand-written because the impls are generic over the cell state; the
+// vendored offline serde has no derive macros (see DESIGN.md).
+impl<S: Serialize> Serialize for FieldSnapshot<S> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            ("rows".to_string(), self.rows.to_json_value()),
+            ("cols".to_string(), self.cols.to_json_value()),
+            ("states".to_string(), self.states.to_json_value()),
+        ])
+    }
+}
+
+impl<S: Deserialize> Deserialize for FieldSnapshot<S> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        Ok(FieldSnapshot {
+            rows: serde::field(v, "rows")?,
+            cols: serde::field(v, "cols")?,
+            states: serde::field(v, "states")?,
+        })
+    }
 }
 
 impl<S: Clone> FieldSnapshot<S> {

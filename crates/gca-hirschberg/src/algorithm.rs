@@ -4,6 +4,36 @@ use gca_engine::metrics::{GenerationMetrics, MetricsLog};
 use gca_engine::{CellField, Engine, GcaError, StepReport, Word};
 use gca_graphs::{AdjacencyMatrix, Labeling};
 
+/// When to stop the iterated pointer-jumping sub-generations.
+///
+/// The paper's central state machine always runs `⌈log₂ n⌉` sub-generations
+/// of generation 10 (pointer jumping) — the worst case for a path-shaped
+/// pointer chain. Most graphs converge earlier, and the engine counts
+/// changed cells for free during write-back
+/// ([`gca_engine::StepReport::changed_cells`]), so the stepper can detect
+/// the fixed point and skip the remaining sub-generations.
+///
+/// Detection is applied **only** to pointer jumping, where it is sound:
+/// `C ← C(C)` at a fixed point (`C(i) = C(C(i))` for all `i`) stays fixed
+/// under further applications. The min tree reductions (generations 3 and 7)
+/// must always run their full `⌈log₂ n⌉` schedule: a zero-change
+/// sub-generation there does *not* imply completion — for the row
+/// `[2, 9, 1, 7]`, stride-1 reduction changes nothing at cell 0
+/// (`min(2, 9) = 2`) yet the stride-2 sub-generation still must fold in the
+/// `1` (`min(2, 1) = 1`). See DESIGN.md.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Convergence {
+    /// Always run the full fixed schedule — the paper's hardware behavior
+    /// and the default. Total generations match `1 + log n · (3 log n + 8)`.
+    #[default]
+    Fixed,
+    /// Skip the remaining pointer-jump sub-generations of an iteration once
+    /// one of them reports zero changed cells. Labelings are identical to
+    /// [`Convergence::Fixed`]; only the generation count (and the metrics
+    /// log) shrinks.
+    Detect,
+}
+
 /// The generation-level stepper for the Hirschberg GCA.
 ///
 /// [`Machine`] owns the field, the rule and an [`Engine`], and exposes the
@@ -16,6 +46,7 @@ pub struct Machine {
     engine: Engine,
     field: CellField<HCell>,
     metrics: MetricsLog,
+    convergence: Convergence,
     initialized: bool,
 }
 
@@ -36,8 +67,21 @@ impl Machine {
             engine,
             field,
             metrics: MetricsLog::new(),
+            convergence: Convergence::Fixed,
             initialized: false,
         })
+    }
+
+    /// Sets the sub-generation convergence policy (see [`Convergence`]).
+    #[must_use]
+    pub fn with_convergence(mut self, convergence: Convergence) -> Self {
+        self.convergence = convergence;
+        self
+    }
+
+    /// The configured convergence policy.
+    pub fn convergence(&self) -> Convergence {
+        self.convergence
     }
 
     /// Problem size `n`.
@@ -93,15 +137,29 @@ impl Machine {
     }
 
     /// Executes one full outer iteration (generations 1–11 with their
-    /// sub-generations). Returns the number of generations executed.
+    /// sub-generations). Returns the number of generations executed —
+    /// `iteration_schedule(n).len()` under [`Convergence::Fixed`], possibly
+    /// fewer under [`Convergence::Detect`] (skipped pointer-jump
+    /// sub-generations are not executed at all and record no metrics).
     pub fn run_iteration(&mut self) -> Result<u64, GcaError> {
         assert!(self.initialized, "call init() before iterating");
         let schedule = iteration_schedule(self.n());
-        let count = schedule.len() as u64;
+        let mut executed = 0u64;
+        let mut jump_converged = false;
         for (gen, sub) in schedule {
-            self.step(gen, sub)?;
+            if jump_converged && gen == Gen::PointerJump {
+                continue;
+            }
+            let rep = self.step(gen, sub)?;
+            executed += 1;
+            if self.convergence == Convergence::Detect
+                && gen == Gen::PointerJump
+                && rep.changed_cells == 0
+            {
+                jump_converged = true;
+            }
         }
-        Ok(count)
+        Ok(executed)
     }
 
     /// Captures the complete field state for checkpointing. Meaningful at
@@ -179,6 +237,7 @@ impl GcaRun {
 pub struct HirschbergGca {
     engine: Engine,
     early_exit: bool,
+    convergence: Convergence,
 }
 
 impl HirschbergGca {
@@ -188,6 +247,7 @@ impl HirschbergGca {
         HirschbergGca {
             engine: Engine::sequential(),
             early_exit: false,
+            convergence: Convergence::Fixed,
         }
     }
 
@@ -195,6 +255,15 @@ impl HirschbergGca {
     #[must_use]
     pub fn with_engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Sets the sub-generation convergence policy (see [`Convergence`]).
+    /// Orthogonal to [`HirschbergGca::early_exit`], which stops whole outer
+    /// iterations.
+    #[must_use]
+    pub fn convergence(mut self, convergence: Convergence) -> Self {
+        self.convergence = convergence;
         self
     }
 
@@ -220,7 +289,8 @@ impl HirschbergGca {
             });
         }
 
-        let mut machine = Machine::with_engine(graph, self.engine.clone())?;
+        let mut machine =
+            Machine::with_engine(graph, self.engine.clone())?.with_convergence(self.convergence);
         machine.init()?;
         let max_iterations = ceil_log2(n);
         let mut iterations = 0;
@@ -238,7 +308,7 @@ impl HirschbergGca {
         }
 
         let generations = machine.generations();
-        if !self.early_exit {
+        if !self.early_exit && self.convergence == Convergence::Fixed {
             debug_assert_eq!(
                 generations,
                 total_generations(n),
@@ -389,6 +459,82 @@ mod tests {
         let g = generators::complete(16);
         let run = HirschbergGca::new().early_exit(true).run(&g).unwrap();
         assert!(run.iterations <= 2, "took {} iterations", run.iterations);
+    }
+
+    #[test]
+    fn detect_convergence_matches_union_find_on_all_generators() {
+        // The acceptance workload: every generator family, labelings equal
+        // the union-find ground truth, generation count within the paper's
+        // 1 + log n · (3 log n + 8) bound.
+        let graphs: Vec<AdjacencyMatrix> = vec![
+            generators::path(13),
+            generators::ring(16),
+            generators::star(11),
+            generators::complete(12),
+            generators::empty(9),
+            generators::gnp(20, 0.15, 2),
+            generators::gnp(20, 0.4, 3),
+            generators::random_forest(17, 3, 1),
+            generators::planted_components(18, 4, 0.6, 5).graph,
+        ];
+        for g in &graphs {
+            let expected = union_find_components_dense(g);
+            let run = HirschbergGca::new()
+                .convergence(Convergence::Detect)
+                .run(g)
+                .unwrap();
+            assert_eq!(run.labels.as_slice(), expected.as_slice());
+            assert!(
+                run.generations <= total_generations(g.n()),
+                "detect exceeded the fixed schedule on n = {}",
+                g.n()
+            );
+        }
+    }
+
+    #[test]
+    fn detect_convergence_saves_generations_on_star() {
+        // A star's pointer chains have depth 1: one jump reaches the fixed
+        // point, the next detects it, the rest of the log n schedule is
+        // skipped.
+        let g = generators::star(16);
+        let fixed = HirschbergGca::new().run(&g).unwrap();
+        let detect = HirschbergGca::new()
+            .convergence(Convergence::Detect)
+            .run(&g)
+            .unwrap();
+        assert_eq!(fixed.labels, detect.labels);
+        assert!(
+            detect.generations < fixed.generations,
+            "detect: {} vs fixed: {}",
+            detect.generations,
+            fixed.generations
+        );
+    }
+
+    #[test]
+    fn detect_convergence_composes_with_early_exit() {
+        for seed in 0..4 {
+            let g = generators::gnp(15, 0.25, seed);
+            let expected = union_find_components_dense(&g);
+            let run = HirschbergGca::new()
+                .convergence(Convergence::Detect)
+                .early_exit(true)
+                .run(&g)
+                .unwrap();
+            assert_eq!(run.labels.as_slice(), expected.as_slice());
+        }
+    }
+
+    #[test]
+    fn detect_convergence_skips_metrics_of_skipped_generations() {
+        let g = generators::star(16);
+        let run = HirschbergGca::new()
+            .convergence(Convergence::Detect)
+            .run(&g)
+            .unwrap();
+        // Every executed generation still records exactly one metrics entry.
+        assert_eq!(run.metrics.generations() as u64, run.generations);
     }
 
     #[test]

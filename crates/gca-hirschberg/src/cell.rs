@@ -12,13 +12,18 @@ use gca_engine::Word;
 ///   ([`gca_engine::INFINITY`]);
 /// * `a` holds `A(row, col)` for square cells and is unused (false) in the
 ///   extra bottom row `D_N`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct HCell {
     /// The data field `d` (a node number or `∞`).
     pub d: Word,
     /// The adjacency-matrix entry stored with the cell.
     pub a: bool,
 }
+
+// Manual impls replace the former serde derives: the vendored offline serde
+// has no proc macros (see DESIGN.md).
+serde::impl_serialize_struct!(HCell { d, a });
+serde::impl_deserialize_struct!(HCell { d, a });
 
 impl HCell {
     /// A cell with data `d` and no adjacency bit.

@@ -49,7 +49,7 @@ pub mod table1;
 pub mod timing;
 pub mod variants;
 
-pub use algorithm::{connected_components, GcaRun, HirschbergGca, Machine};
+pub use algorithm::{connected_components, Convergence, GcaRun, HirschbergGca, Machine};
 pub use cell::HCell;
 pub use layout::Layout;
 pub use phase::{iteration_schedule, Gen};

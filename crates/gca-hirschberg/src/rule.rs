@@ -1,5 +1,5 @@
 use crate::{Gen, HCell};
-use gca_engine::{Access, FieldShape, GcaRule, Reads, StepCtx, Word, INFINITY};
+use gca_engine::{Access, Domain, FieldShape, GcaRule, Reads, StepCtx, Word, INFINITY};
 
 /// The uniform cell rule of Figure 2: one `(pointer operation, data
 /// operation)` pair per generation, selected by [`StepCtx::phase`].
@@ -225,6 +225,54 @@ impl GcaRule for HirschbergRule {
                 Some(t_of_c) => own.with_d(own.d.min(t_of_c.d)),
                 None => *own,
             },
+        }
+    }
+
+    /// The active-domain hints follow Table 1's "cells performing a
+    /// calculation" column: most generations only compute in the square
+    /// field (`Rows(0..n)`), the first column (`Cols(0..1)`), or the strided
+    /// tree-reduction set. Out-of-domain cells are identity / access-free /
+    /// inactive in every branch of [`access`](Self::access) and
+    /// [`evolve`](Self::evolve) above, so hinted stepping is bit-identical
+    /// to dense — `table1::tests` verifies this per generation against
+    /// [`gca_engine::DomainPolicy::Dense`].
+    fn domain(&self, ctx: &StepCtx, _shape: &FieldShape) -> Domain {
+        let n = self.n;
+        match Self::phase(ctx) {
+            // Whole field: init writes everywhere, gen 1 broadcasts into
+            // D_N too, and gen 9 computes everywhere except column 0 of the
+            // square (not a row/column shape — stay dense).
+            Gen::Init | Gen::BroadcastC | Gen::CopyAndSaveT => Domain::All,
+
+            // Square-field generations: the extra row D_N is untouched.
+            Gen::FilterNeighbors | Gen::BroadcastT | Gen::FilterMembers => Domain::Rows(0..n),
+
+            // Tree reduction: sub-generation 0 touches every other cell of
+            // the square (half the field — a dense band); later strides are
+            // genuinely sparse, listed explicitly.
+            Gen::MinReduce | Gen::MinReduceMembers => {
+                let s = ctx.subgeneration;
+                if s == 0 {
+                    Domain::Rows(0..n)
+                } else {
+                    let stride = 1usize << s;
+                    let mut indices = Vec::new();
+                    for row in 0..n {
+                        let mut col = 0;
+                        while col + stride < n {
+                            indices.push(row * n + col);
+                            col += stride << 1;
+                        }
+                    }
+                    Domain::Sparse(indices)
+                }
+            }
+
+            // First-column generations; cell (n, 0) is inside `Cols(0..1)`
+            // but is a no-op for these phases, which is harmless.
+            Gen::ResolveIsolated | Gen::ResolveMembers | Gen::PointerJump | Gen::FinalMin => {
+                Domain::Cols(0..1)
+            }
         }
     }
 

@@ -278,6 +278,75 @@ mod tests {
     }
 
     #[test]
+    fn hinted_domains_bit_identical_to_dense_per_generation() {
+        // The domain hints of HirschbergRule must not change *anything*
+        // observable: run two machines in lockstep — one trusting the hints
+        // (the default), one forced dense — and compare fields and every
+        // metric after every single (generation, sub-generation).
+        use crate::complexity::ceil_log2;
+        use crate::iteration_schedule;
+        use gca_engine::DomainPolicy;
+
+        for (n, p, seed) in [(5usize, 0.5, 1u64), (8, 0.3, 2), (9, 0.2, 7)] {
+            let g = generators::gnp(n, p, seed);
+            let mut dense = Machine::with_engine(
+                &g,
+                Engine::sequential().with_domain_policy(DomainPolicy::Dense),
+            )
+            .unwrap();
+            let mut hinted = Machine::with_engine(&g, Engine::sequential()).unwrap();
+
+            let compare = |rd: &gca_engine::StepReport,
+                           rh: &gca_engine::StepReport,
+                           md: &Machine,
+                           mh: &Machine| {
+                let at = format!("n = {n}, gen {} / sub {}", rd.ctx.phase, rd.ctx.subgeneration);
+                assert_eq!(md.field().states(), mh.field().states(), "{at}");
+                assert_eq!(rd.active_cells, rh.active_cells, "{at}");
+                assert_eq!(rd.total_reads, rh.total_reads, "{at}");
+                assert_eq!(rd.changed_cells, rh.changed_cells, "{at}");
+                assert_eq!(rd.congestion, rh.congestion, "{at}");
+                assert!(
+                    rh.evaluated_cells <= rd.evaluated_cells,
+                    "{at}: hinted evaluated more cells than dense"
+                );
+            };
+
+            let rd = dense.init().unwrap();
+            let rh = hinted.init().unwrap();
+            compare(&rd, &rh, &dense, &hinted);
+            for _ in 0..ceil_log2(n) {
+                for (gen, sub) in iteration_schedule(n) {
+                    let rd = dense.step(gen, sub).unwrap();
+                    let rh = hinted.step(gen, sub).unwrap();
+                    compare(&rd, &rh, &dense, &hinted);
+                }
+            }
+            assert_eq!(dense.labels(), hinted.labels());
+        }
+    }
+
+    #[test]
+    fn hinted_domains_skip_work() {
+        // The point of the hints: the first-column generations evaluate n+1
+        // cells instead of n(n+1).
+        let n = 8usize;
+        let g = generators::ring(n);
+        let mut m = Machine::with_engine(&g, Engine::sequential()).unwrap();
+        m.init().unwrap();
+        let rep = m.step(Gen::BroadcastC, 0).unwrap();
+        assert_eq!(rep.evaluated_cells, n * (n + 1)); // gen 1 is dense
+        let rep = m.step(Gen::FilterNeighbors, 0).unwrap();
+        assert_eq!(rep.evaluated_cells, n * n); // square only
+        let rep = m.step(Gen::MinReduce, 0).unwrap();
+        assert_eq!(rep.evaluated_cells, n * n); // stride 1: dense rows
+        let rep = m.step(Gen::MinReduce, 1).unwrap();
+        assert_eq!(rep.evaluated_cells, n * n / 4); // stride 2: sparse
+        let rep = m.step(Gen::ResolveIsolated, 0).unwrap();
+        assert_eq!(rep.evaluated_cells, n + 1); // first column
+    }
+
+    #[test]
     fn first_iteration_row_count_matches_schedule() {
         let n = 8usize;
         let g = generators::ring(n);

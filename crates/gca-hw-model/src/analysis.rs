@@ -8,7 +8,6 @@
 //! size — quantifying the design choice the paper makes qualitatively.
 
 use crate::{estimate_variant, CostParams, SynthesisReport, Variant};
-use serde::Serialize;
 
 /// Generation count of each variant (imported here so the analysis is
 /// self-contained; the formulas are owned and tested by `gca-hirschberg`).
@@ -32,7 +31,7 @@ fn generations(variant: Variant, n: usize) -> u64 {
 }
 
 /// Area–time summary of one variant at one size.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct AreaTime {
     /// The variant.
     pub variant: Variant,
@@ -47,6 +46,17 @@ pub struct AreaTime {
     /// Area–time product: logic elements × latency (LE·µs).
     pub area_time: f64,
 }
+
+// Manual impl replaces the former `#[derive(Serialize)]`: the vendored
+// offline serde has no proc macros (see DESIGN.md).
+serde::impl_serialize_struct!(AreaTime {
+    variant,
+    n,
+    logic_elements,
+    generations,
+    latency_us,
+    area_time,
+});
 
 /// Computes the area–time point of one variant.
 pub fn area_time(variant: Variant, n: usize, params: &CostParams) -> AreaTime {

@@ -1,8 +1,7 @@
 use crate::{estimate_variant, CostParams, SynthesisReport, Variant};
-use serde::Serialize;
 
 /// An FPGA device capacity envelope.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Device {
     /// Marketing name.
     pub name: &'static str,
@@ -11,6 +10,14 @@ pub struct Device {
     /// Available register bits (one per LE on Cyclone II).
     pub register_bits: u64,
 }
+
+// Manual impl replaces the former `#[derive(Serialize)]`: the vendored
+// offline serde has no proc macros (see DESIGN.md).
+serde::impl_serialize_struct!(Device {
+    name,
+    logic_elements,
+    register_bits,
+});
 
 /// The Altera Cyclone II EP2C70 the paper synthesized for (68,416 LEs).
 pub const EP2C70: Device = Device {

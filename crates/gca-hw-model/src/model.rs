@@ -1,8 +1,7 @@
 use crate::CostParams;
-use serde::Serialize;
 
 /// Which machine design is being costed.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Variant {
     /// The paper's fully parallel design: `n²` standard cells + `n`
     /// extended cells (first column) + `n` bottom-row cells.
@@ -17,7 +16,7 @@ pub enum Variant {
 }
 
 /// The modelled analogue of a Quartus synthesis report.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SynthesisReport {
     /// Problem size `n`.
     pub n: usize,
@@ -38,6 +37,21 @@ pub struct SynthesisReport {
     /// Estimated maximum clock frequency in MHz.
     pub fmax_mhz: f64,
 }
+
+// Manual impls replace the former `#[derive(Serialize)]`: the vendored
+// offline serde has no proc macros (see DESIGN.md).
+serde::impl_serialize_unit_enum!(Variant { Main, NCells, LowCongestion });
+serde::impl_serialize_struct!(SynthesisReport {
+    n,
+    variant,
+    cells,
+    standard_cells,
+    extended_cells,
+    data_width,
+    logic_elements,
+    register_bits,
+    fmax_mhz,
+});
 
 /// The published Section-4 synthesis point (`n = 16` on the EP2C70).
 pub fn paper_reference() -> SynthesisReport {

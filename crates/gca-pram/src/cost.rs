@@ -1,7 +1,5 @@
-use serde::Serialize;
-
 /// Cost accounting of one executed PRAM step.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct StepStats {
     /// Processors the step was issued with (the paper's `P`).
     pub processors: usize,
@@ -16,6 +14,16 @@ pub struct StepStats {
     /// directly comparable with the GCA engine's per-generation δ.
     pub max_read_congestion: u32,
 }
+
+// Manual impl replaces the former `#[derive(Serialize)]`: the vendored
+// offline serde has no proc macros (see DESIGN.md).
+serde::impl_serialize_struct!(StepStats {
+    processors,
+    time_units,
+    reads,
+    writes,
+    max_read_congestion,
+});
 
 /// Append-only work/time log of a PRAM computation.
 ///

@@ -130,7 +130,10 @@ mod tests {
 
     #[test]
     fn prefix_sums_empty_and_single() {
-        assert_eq!(prefix_sums(&[], AccessPolicy::Crow).unwrap().output, vec![]);
+        assert_eq!(
+            prefix_sums(&[], AccessPolicy::Crow).unwrap().output,
+            Vec::<u64>::new()
+        );
         assert_eq!(
             prefix_sums(&[7], AccessPolicy::Crow).unwrap().output,
             vec![7]

@@ -2,10 +2,14 @@
 //! reference and the sequential baselines are exercised against each other
 //! and against structural invariants of component labelings.
 
+use gca_engine::{
+    Access, Backend, CellField, Domain, DomainPolicy, Engine, FieldShape, GcaRule,
+    Instrumentation, Reads, StepCtx,
+};
 use gca_graphs::connectivity::union_find_components_dense;
 use gca_graphs::{generators, AdjacencyMatrix, Labeling};
 use gca_hirschberg::variants::{low_congestion, n_cells};
-use gca_hirschberg::{complexity, HirschbergGca};
+use gca_hirschberg::{complexity, Convergence, HirschbergGca};
 use gca_pram::hirschberg_ref;
 use proptest::prelude::*;
 
@@ -156,5 +160,204 @@ proptest! {
         };
         let pulled_back = Labeling::new(mapped).unwrap();
         prop_assert!(pulled_back.same_partition(&base));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-knob equivalences: backend × domain policy × instrumentation must
+// never change observable behaviour — fields, activity, reads, congestion.
+// ---------------------------------------------------------------------------
+
+/// A randomly parameterized rule whose work is confined to a declared
+/// [`Domain`]: in-domain cells mix their own state with one or two
+/// pseudo-randomly addressed global reads; out-of-domain cells honor the
+/// domain contract (identity `evolve`, `Access::None`, inactive).
+struct DomainConfinedRule {
+    domain: Domain,
+    mult: u32,
+    stride: usize,
+}
+
+impl GcaRule for DomainConfinedRule {
+    type State = u32;
+
+    fn access(&self, _ctx: &StepCtx, shape: &FieldShape, index: usize, own: &u32) -> Access {
+        if !self.domain.contains(shape, index) {
+            return Access::None;
+        }
+        let len = shape.len();
+        let a = (index * 31 + self.stride) % len;
+        match (index + *own as usize) % 5 {
+            0 => Access::None,
+            1 | 2 => Access::Two(a, (index + self.stride) % len),
+            _ => Access::One(a),
+        }
+    }
+
+    fn evolve(
+        &self,
+        _ctx: &StepCtx,
+        shape: &FieldShape,
+        index: usize,
+        own: &u32,
+        reads: Reads<'_, u32>,
+    ) -> u32 {
+        if !self.domain.contains(shape, index) {
+            return *own;
+        }
+        let a = reads.first().copied().unwrap_or(1);
+        let b = reads.second().copied().unwrap_or(3);
+        own.wrapping_mul(self.mult)
+            .wrapping_add(a ^ b.rotate_left(5))
+            .wrapping_add(index as u32)
+    }
+
+    fn is_active(&self, _ctx: &StepCtx, shape: &FieldShape, index: usize, own: &u32) -> bool {
+        self.domain.contains(shape, index) && own % 3 != 2
+    }
+
+    fn domain(&self, _ctx: &StepCtx, _shape: &FieldShape) -> Domain {
+        self.domain.clone()
+    }
+
+    fn name(&self) -> &str {
+        "domain-confined"
+    }
+}
+
+/// Builds one of the four domain shapes from integer parameters.
+fn make_domain(kind: usize, a: usize, b: usize, seed: u64, shape: &FieldShape) -> Domain {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    match kind {
+        0 => Domain::All,
+        1 => Domain::Rows(lo % (shape.rows() + 1)..hi % (shape.rows() + 1)),
+        2 => Domain::Cols(lo % (shape.cols() + 1)..hi % (shape.cols() + 1)),
+        _ => {
+            // A deterministic pseudo-random ~1/3 subset of the cells.
+            let indices = (0..shape.len())
+                .filter(|&i| {
+                    let mut z = seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    z ^= z >> 29;
+                    z.is_multiple_of(3)
+                })
+                .collect();
+            Domain::Sparse(indices)
+        }
+    }
+}
+
+/// Every (backend, policy, instrumentation) combination the engine offers.
+fn engine_configs() -> Vec<Engine> {
+    let mut configs = Vec::new();
+    for backend in [Backend::Sequential, Backend::Parallel] {
+        for policy in [DomainPolicy::Dense, DomainPolicy::Hinted] {
+            for instr in [
+                Instrumentation::Off,
+                Instrumentation::Counts,
+                Instrumentation::Trace,
+            ] {
+                configs.push(
+                    Engine::new()
+                        .with_backend(backend)
+                        .with_domain_policy(policy)
+                        .with_instrumentation(instr),
+                );
+            }
+        }
+    }
+    configs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Stepping any random domain-confined rule under every
+    /// backend/policy/instrumentation combination produces bit-identical
+    /// fields, active-cell counts, read totals, changed-cell counts and
+    /// congestion histograms; hinted stepping never evaluates more cells
+    /// than dense stepping.
+    #[test]
+    fn engine_knobs_are_observationally_equivalent(
+        (rows, cols) in (1usize..7, 1usize..8),
+        (kind, a, b) in (0usize..4, 0usize..8, 0usize..8),
+        seed in 0u64..1_000,
+        steps in 1usize..4,
+    ) {
+        let shape = FieldShape::new(rows, cols).unwrap();
+        let domain = make_domain(kind, a, b, seed, &shape);
+        let rule = DomainConfinedRule {
+            domain,
+            mult: (seed % 13) as u32 + 1,
+            stride: (seed % 17) as usize + 1,
+        };
+        let init = |i: usize| (seed as u32).wrapping_mul(2654435761).wrapping_add(i as u32);
+
+        // Reference: sequential, dense, fully traced.
+        let mut ref_engine = Engine::sequential()
+            .with_domain_policy(DomainPolicy::Dense)
+            .with_instrumentation(Instrumentation::Trace);
+        let mut ref_field = CellField::from_fn(shape, init);
+
+        let mut variants: Vec<(Engine, CellField<u32>)> = engine_configs()
+            .into_iter()
+            .map(|e| (e, CellField::from_fn(shape, init)))
+            .collect();
+
+        for step in 0..steps {
+            let ref_rep = ref_engine.step(&mut ref_field, &rule, 0, step as u32).unwrap();
+            for (engine, field) in &mut variants {
+                let rep = engine.step(field, &rule, 0, step as u32).unwrap();
+                prop_assert_eq!(field.states(), ref_field.states(),
+                    "fields diverge: {:?}", engine);
+                prop_assert_eq!(rep.active_cells, ref_rep.active_cells);
+                prop_assert_eq!(rep.total_reads, ref_rep.total_reads);
+                prop_assert_eq!(rep.changed_cells, ref_rep.changed_cells);
+                prop_assert!(rep.evaluated_cells <= ref_rep.evaluated_cells);
+                if let Some(hist) = rep.congestion.as_ref() {
+                    prop_assert_eq!(Some(hist), ref_rep.congestion.as_ref());
+                }
+                if let Some(accesses) = rep.accesses.as_ref() {
+                    prop_assert_eq!(Some(accesses), ref_rep.accesses.as_ref());
+                }
+            }
+        }
+    }
+
+    /// The full Hirschberg run agrees label-for-label, generation-for-
+    /// generation, and metric-for-metric across every engine configuration.
+    #[test]
+    fn hirschberg_engine_knobs_agree(g in arb_graph(12)) {
+        let reference = HirschbergGca::new().run(&g).unwrap();
+        for engine in engine_configs() {
+            let run = HirschbergGca::new().with_engine(engine).run(&g).unwrap();
+            prop_assert_eq!(run.labels.as_slice(), reference.labels.as_slice());
+            prop_assert_eq!(run.generations, reference.generations);
+            if !run.metrics.entries().is_empty() {
+                prop_assert_eq!(run.metrics.entries(), reference.metrics.entries());
+            }
+        }
+    }
+
+    /// Convergence detection is purely an optimization: identical labels,
+    /// never more generations than the fixed schedule, and the closed-form
+    /// bound `1 + log n (3 log n + 8)` always holds.
+    #[test]
+    fn detect_convergence_sound(g in arb_graph(16)) {
+        let fixed = HirschbergGca::new().run(&g).unwrap();
+        let detect = HirschbergGca::new()
+            .convergence(Convergence::Detect)
+            .run(&g)
+            .unwrap();
+        prop_assert_eq!(detect.labels.as_slice(), fixed.labels.as_slice());
+        prop_assert!(detect.generations <= fixed.generations);
+        prop_assert!(detect.generations <= complexity::total_generations(g.n()));
+        // Detect composed with early exit still agrees.
+        let both = HirschbergGca::new()
+            .convergence(Convergence::Detect)
+            .early_exit(true)
+            .run(&g)
+            .unwrap();
+        prop_assert_eq!(both.labels.as_slice(), fixed.labels.as_slice());
+        prop_assert!(both.generations <= detect.generations);
     }
 }

@@ -1,0 +1,373 @@
+//! Minimal, dependency-free work-alike of the `criterion` benchmarking API
+//! this workspace uses: `Criterion`, benchmark groups, `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!`/`criterion_main!`
+//! macros.
+//!
+//! The container this repository builds in has no crates.io registry, so the
+//! workspace vendors tiny implementations of its external dependencies (see
+//! `DESIGN.md`). Measurement is deliberately simple: after a short warm-up,
+//! each benchmark runs `sample_size` samples inside the configured
+//! measurement window and reports the median ns/iteration to stdout. There
+//! are no HTML reports and no statistical regression analysis — the numbers
+//! are for trend tracking, not publication.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Expected per-iteration workload, printed alongside timings.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Timing configuration plus the runner state.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Samples per benchmark (builder style).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Warm-up wall clock per benchmark (builder style).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Measurement wall clock budget per benchmark (builder style).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        let cfg = self.clone();
+        run_benchmark(&cfg, None, &id.into().id, None, &mut f);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares the per-iteration workload for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut cfg = self.criterion.clone();
+        if let Some(n) = self.sample_size {
+            cfg.sample_size = n;
+        }
+        run_benchmark(&cfg, Some(&self.name), &id.into().id, self.throughput, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (upstream finalizes reports here; a no-op shim).
+    pub fn finish(self) {}
+}
+
+/// Hands the routine-under-test to the measurement loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, called `self.iters` times back to back.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` only, re-running `setup` before every call.
+    pub fn iter_with_setup<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> O,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_benchmark(
+    cfg: &Criterion,
+    group: Option<&str>,
+    id: &str,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let full_name = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+
+    // Warm-up: run single iterations until the warm-up window closes, and
+    // estimate the per-iteration cost from them.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    let mut warm_elapsed = Duration::ZERO;
+    while warm_start.elapsed() < cfg.warm_up_time || warm_iters == 0 {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        warm_elapsed += b.elapsed;
+        warm_iters += b.iters;
+        if warm_iters >= 1000 {
+            break;
+        }
+    }
+    let est_per_iter = warm_elapsed
+        .checked_div(warm_iters as u32)
+        .unwrap_or(Duration::from_nanos(1))
+        .max(Duration::from_nanos(1));
+
+    // Size each sample so all samples together roughly fill the
+    // measurement window, with at least one iteration per sample.
+    let budget_per_sample = cfg.measurement_time / cfg.sample_size as u32;
+    let iters_per_sample = (budget_per_sample.as_nanos() / est_per_iter.as_nanos().max(1))
+        .clamp(1, 1_000_000) as u64;
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(cfg.sample_size);
+    let hard_deadline = Instant::now() + cfg.measurement_time * 4;
+    for _ in 0..cfg.sample_size {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        if Instant::now() > hard_deadline {
+            break;
+        }
+    }
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+
+    let mut line = format!("{full_name:<56} {:>14}/iter", format_ns(median));
+    if let Some(tp) = throughput {
+        let per_sec = |count: u64| count as f64 * 1e9 / median.max(1.0);
+        match tp {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  {:>12.3e} elem/s", per_sec(n)));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("  {:>12.3e} B/s", per_sec(n)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, in either upstream form:
+/// `criterion_group!(benches, f1, f2)` or
+/// `criterion_group!{name = benches; config = ...; targets = f1, f2}`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_criterion() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = fast_criterion();
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_and_inputs() {
+        let mut c = fast_criterion();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function(BenchmarkId::from_parameter(9), |b| {
+            b.iter_with_setup(|| vec![1u8; 16], |v| v.len())
+        });
+        group.finish();
+    }
+
+    mod group_macro {
+        use super::super::*;
+
+        fn target(c: &mut Criterion) {
+            c.bench_function("macro_target", |b| b.iter(|| 1 + 1));
+        }
+
+        criterion_group! {
+            name = benches;
+            config = Criterion::default()
+                .sample_size(2)
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(4));
+            targets = target
+        }
+
+        criterion_group!(simple, target);
+
+        #[test]
+        fn both_macro_forms_expand() {
+            benches();
+            simple();
+        }
+    }
+}

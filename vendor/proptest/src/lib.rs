@@ -1,0 +1,596 @@
+//! Minimal, dependency-free work-alike of the `proptest` API surface this
+//! workspace uses: the [`proptest!`] macro, [`Strategy`](strategy::Strategy)
+//! with `prop_map`/`prop_flat_map`/`boxed`, range and tuple strategies,
+//! [`collection::vec`](fn@collection::vec), [`any`](arbitrary::any), `Just`, [`prop_oneof!`],
+//! and the `prop_assert*` / [`prop_assume!`] macros.
+//!
+//! The container this repository builds in has no crates.io registry, so the
+//! workspace vendors tiny implementations of its external dependencies (see
+//! `DESIGN.md`). Differences from upstream: cases are generated from a
+//! deterministic per-test RNG (seeded from the test's module path), and
+//! there is **no shrinking** — a failing case panics with the plain
+//! assertion message.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Test configuration and the deterministic case RNG.
+
+    /// Subset of upstream's `ProptestConfig`: just the case count.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each test runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single case did not produce a verdict.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The case was rejected by `prop_assume!` and does not count.
+        Reject,
+    }
+
+    /// Deterministic RNG driving case generation (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// An RNG seeded from the test's name, so every test has a stable,
+        /// independent stream across runs.
+        pub fn for_test(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `0..bound` (`bound` must be positive).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            self.next_u64() % bound
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating random values of one type.
+    ///
+    /// Unlike upstream there is no value tree / shrinking: a strategy is
+    /// just a pure generator over a [`TestRng`].
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Applies `f` to every generated value.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates with a strategy derived from this one's value.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erases the strategy (used by [`prop_oneof!`](crate::prop_oneof)).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (see [`prop_oneof!`](crate::prop_oneof)).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over `options`; panics when empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    mod ranges {
+        use super::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Scalars samplable from `lo..hi` / `lo..=hi` ranges.
+        pub trait RangeValue: Copy {
+            /// Uniform sample from the half-open range `lo..hi` (non-empty).
+            fn sample_exclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+
+            /// Uniform sample from the closed range `lo..=hi` (non-empty).
+            fn sample_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+        }
+
+        macro_rules! impl_range_value_uint {
+            ($($t:ty),*) => {$(
+                impl RangeValue for $t {
+                    fn sample_exclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                        let span = (hi as u128) - (lo as u128);
+                        lo + (rng.next_u64() as u128 % span) as $t
+                    }
+
+                    fn sample_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                        let span = (hi as u128) - (lo as u128) + 1;
+                        lo + (rng.next_u64() as u128 % span) as $t
+                    }
+                }
+            )*};
+        }
+        impl_range_value_uint!(u8, u16, u32, u64, usize);
+
+        macro_rules! impl_range_value_int {
+            ($($t:ty),*) => {$(
+                impl RangeValue for $t {
+                    fn sample_exclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                        let span = ((hi as i128) - (lo as i128)) as u128;
+                        (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                    }
+
+                    fn sample_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                        let span = ((hi as i128) - (lo as i128) + 1) as u128;
+                        (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                    }
+                }
+            )*};
+        }
+        impl_range_value_int!(i8, i16, i32, i64, isize);
+
+        impl RangeValue for f64 {
+            /// Uniform by magnitude, not by bit pattern (upstream samples
+            /// more cleverly; callers here only need coverage of the span).
+            fn sample_exclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                lo + rng.unit_f64() * (hi - lo)
+            }
+
+            fn sample_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                Self::sample_exclusive(lo, hi, rng)
+            }
+        }
+
+        impl<T: RangeValue + PartialOrd> Strategy for std::ops::Range<T> {
+            type Value = T;
+
+            fn generate(&self, rng: &mut TestRng) -> T {
+                assert!(self.start < self.end, "empty range strategy");
+                T::sample_exclusive(self.start, self.end, rng)
+            }
+        }
+
+        impl<T: RangeValue + PartialOrd> Strategy for std::ops::RangeInclusive<T> {
+            type Value = T;
+
+            fn generate(&self, rng: &mut TestRng) -> T {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                T::sample_inclusive(*self.start(), *self.end(), rng)
+            }
+        }
+    }
+
+    pub use ranges::RangeValue;
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, G);
+}
+
+pub mod arbitrary {
+    //! The [`Arbitrary`] trait and [`any`].
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy over a type's whole domain (see [`any`]).
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// `any::<T>()` — the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// An inclusive size window for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s with element strategy `S` (see [`vec`](vec())).
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Defines property tests: `proptest! { #[test] fn f(x in strat) { ... } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let __strategy = ($($strat,)+);
+            for __case in 0..__config.cases {
+                #[allow(unused_mut)]
+                let ($($pat,)+) =
+                    $crate::strategy::Strategy::generate(&__strategy, &mut __rng);
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        { $body };
+                        ::std::result::Result::Ok(())
+                    })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                }
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "msg {}", arg)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// `prop_assert_eq!(a, b)` with optional message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// `prop_assert_ne!(a, b)` with optional message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// Skips the current case when `cond` is false (the case is not counted
+/// as a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+pub mod prelude {
+    //! The glob-import surface: traits, types, and macros.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::collection;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_test("ranges");
+        for _ in 0..500 {
+            let v = Strategy::generate(&(3usize..9), &mut rng);
+            assert!((3..9).contains(&v));
+            let w = Strategy::generate(&(0u64..=0), &mut rng);
+            assert_eq!(w, 0);
+            let f = Strategy::generate(&(0.0f64..1.0), &mut rng);
+            assert!((0.0..1.0).contains(&f));
+            let s = Strategy::generate(&(-4i64..4), &mut rng);
+            assert!((-4..4).contains(&s));
+        }
+    }
+
+    #[test]
+    fn vec_and_tuple_strategies() {
+        let mut rng = crate::test_runner::TestRng::for_test("vecs");
+        let strat = collection::vec((0usize..5, 0usize..5), 2..=6);
+        for _ in 0..100 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!((2..=6).contains(&v.len()));
+            assert!(v.iter().all(|&(a, b)| a < 5 && b < 5));
+        }
+    }
+
+    #[test]
+    fn map_flat_map_oneof() {
+        let mut rng = crate::test_runner::TestRng::for_test("combinators");
+        let strat = (1usize..4)
+            .prop_flat_map(|n| collection::vec(0usize..n, n..=n))
+            .prop_map(|v| v.len());
+        for _ in 0..50 {
+            let len = Strategy::generate(&strat, &mut rng);
+            assert!((1..4).contains(&len));
+        }
+        let choice = prop_oneof![Just(1u8), Just(2u8), (5u8..=7).prop_map(|x| x)];
+        for _ in 0..50 {
+            let c = Strategy::generate(&choice, &mut rng);
+            assert!(c == 1 || c == 2 || (5..=7).contains(&c));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro pipeline end to end, including assume/reject.
+        #[test]
+        fn macro_roundtrip(x in 0u64..100, (a, b) in (0usize..10, 0usize..10)) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 100);
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(x, 13);
+        }
+    }
+
+    proptest! {
+        /// Default config variant of the macro.
+        #[test]
+        fn macro_default_config(v in collection::vec(any::<u64>(), 0..4)) {
+            prop_assert!(v.len() < 4);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Minimal, dependency-free work-alike of the `rayon` API surface this
+//! workspace uses: [`join`], [`current_num_threads`], and eager parallel
+//! slice iterators (`par_chunks_mut`, `par_iter_mut`, …).
+//!
+//! The container this repository builds in has no crates.io registry, so the
+//! workspace vendors tiny implementations of its external dependencies (see
+//! `DESIGN.md`). Unlike upstream rayon there is **no persistent work-stealing
+//! pool**: parallelism comes from scoped OS threads (`std::thread::scope`),
+//! which keeps the crate `unsafe`-free. Callers therefore amortize spawn cost
+//! by chunking work coarsely — exactly what `gca-engine` does.
+
+#![forbid(unsafe_code)]
+
+/// Number of hardware threads available to the process.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+///
+/// `oper_a` runs on a freshly spawned scoped thread while `oper_b` runs on
+/// the calling thread. Panics propagate to the caller, like upstream.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB,
+    RA: Send,
+{
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(oper_a);
+        let rb = oper_b();
+        let ra = match handle.join() {
+            Ok(ra) => ra,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+/// Runs one closure per item, distributing items across up to
+/// [`current_num_threads`] scoped threads. Items are pre-partitioned into
+/// contiguous runs, one run per thread (no stealing).
+fn run_parallel<T, F>(items: Vec<T>, f: &F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    let threads = current_num_threads().min(items.len()).max(1);
+    if threads <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let per = items.len().div_ceil(threads);
+    let mut items = items;
+    std::thread::scope(|scope| {
+        while !items.is_empty() {
+            let take = per.min(items.len());
+            let run: Vec<T> = items.drain(..take).collect();
+            scope.spawn(move || {
+                for item in run {
+                    f(item);
+                }
+            });
+        }
+    });
+}
+
+pub mod iter {
+    //! Eager stand-ins for rayon's parallel iterator combinators.
+
+    use std::sync::Mutex;
+
+    /// A parallel iterator over owned items (already materialized).
+    pub struct ParIter<T> {
+        pub(crate) items: Vec<T>,
+    }
+
+    impl<T: Send> ParIter<T> {
+        /// Pairs every item with its position.
+        pub fn enumerate(self) -> ParIter<(usize, T)> {
+            ParIter {
+                items: self.items.into_iter().enumerate().collect(),
+            }
+        }
+
+        /// Pairs items positionally with another parallel iterator,
+        /// truncating to the shorter side (upstream
+        /// `IndexedParallelIterator::zip`).
+        pub fn zip<U: Send>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+            ParIter {
+                items: self.items.into_iter().zip(other.items).collect(),
+            }
+        }
+
+        /// Runs `f` on every item across threads.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(T) + Sync,
+        {
+            super::run_parallel(self.items, &f);
+        }
+
+        /// Runs `f` on every item; returns the first error produced (by item
+        /// order). Unlike upstream there is no mid-flight cancellation — all
+        /// items still run.
+        pub fn try_for_each<F, E>(self, f: F) -> Result<(), E>
+        where
+            F: Fn(T) -> Result<(), E> + Sync,
+            E: Send,
+        {
+            let failures: Mutex<Vec<(usize, E)>> = Mutex::new(Vec::new());
+            let indexed: Vec<(usize, T)> = self.items.into_iter().enumerate().collect();
+            super::run_parallel(indexed, &|(i, item)| {
+                if let Err(e) = f(item) {
+                    failures.lock().unwrap().push((i, e));
+                }
+            });
+            let mut failures = failures.into_inner().unwrap();
+            failures.sort_by_key(|(i, _)| *i);
+            match failures.into_iter().next() {
+                None => Ok(()),
+                Some((_, e)) => Err(e),
+            }
+        }
+    }
+}
+
+pub mod slice {
+    //! Parallel views over slices.
+
+    use super::iter::ParIter;
+
+    /// `&mut [T]` extension: parallel mutable iteration.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Parallel iterator over mutable element references.
+        fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+
+        /// Parallel iterator over non-overlapping mutable chunks of
+        /// `chunk_size` elements (last chunk may be shorter).
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+            ParIter {
+                items: self.iter_mut().collect(),
+            }
+        }
+
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+            assert!(chunk_size > 0, "chunk size must be positive");
+            ParIter {
+                items: self.chunks_mut(chunk_size).collect(),
+            }
+        }
+    }
+
+    /// `&[T]` extension: parallel shared iteration.
+    pub trait ParallelSlice<T: Sync> {
+        /// Parallel iterator over shared element references.
+        fn par_iter(&self) -> ParIter<&T>;
+
+        /// Parallel iterator over non-overlapping chunks.
+        fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> ParIter<&T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+
+        fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+            assert!(chunk_size > 0, "chunk size must be positive");
+            ParIter {
+                items: self.chunks(chunk_size).collect(),
+            }
+        }
+    }
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn join_nests() {
+        fn sum(v: &[u64]) -> u64 {
+            if v.len() < 4 {
+                return v.iter().sum();
+            }
+            let (lo, hi) = v.split_at(v.len() / 2);
+            let (a, b) = join(|| sum(lo), || sum(hi));
+            a + b
+        }
+        let v: Vec<u64> = (0..100).collect();
+        assert_eq!(sum(&v), 4950);
+    }
+
+    #[test]
+    fn par_iter_mut_visits_every_element() {
+        let mut v = vec![0u32; 1000];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i as u32);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u32));
+    }
+
+    #[test]
+    fn par_chunks_mut_partitions() {
+        let mut v = vec![0u32; 103];
+        v.par_chunks_mut(10).enumerate().for_each(|(ci, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = ci as u32;
+            }
+        });
+        assert_eq!(v[0], 0);
+        assert_eq!(v[99], 9);
+        assert_eq!(v[102], 10);
+    }
+
+    #[test]
+    fn zip_pairs_chunks_with_accumulators() {
+        let mut data = vec![1u64; 100];
+        let mut sums = vec![0u64; 4];
+        data.par_chunks_mut(25)
+            .zip(sums.par_iter_mut())
+            .for_each(|(chunk, sum)| *sum = chunk.iter().sum());
+        assert_eq!(sums, vec![25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn try_for_each_reports_first_error_by_index() {
+        let v = [1u32, 2, 3, 4, 5];
+        let r = v
+            .par_iter()
+            .enumerate()
+            .try_for_each(|(i, &x)| if x % 2 == 0 { Err(i) } else { Ok(()) });
+        assert_eq!(r, Err(1));
+        let ok = v.par_iter().try_for_each(|_| Ok::<(), ()>(()));
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn current_num_threads_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}

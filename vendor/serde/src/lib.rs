@@ -1,0 +1,350 @@
+//! Minimal, dependency-free work-alike of the `serde`/`serde_json` data
+//! model this workspace uses.
+//!
+//! The container this repository builds in has no crates.io registry, so the
+//! workspace vendors tiny implementations of its external dependencies (see
+//! `DESIGN.md`). Differences from upstream serde:
+//!
+//! * There are **no proc-macro derives.** Types implement [`Serialize`] /
+//!   [`Deserialize`] by hand, usually via the [`impl_serialize_struct!`],
+//!   [`impl_deserialize_struct!`] and [`impl_serialize_unit_enum!`] helper
+//!   macros.
+//! * Serialization goes through one in-memory [`Value`] tree (what upstream
+//!   calls `serde_json::Value`; the `serde_json` shim re-exports it). There
+//!   is no streaming serializer — every document this workspace emits is
+//!   small.
+
+#![forbid(unsafe_code)]
+
+mod value;
+
+pub use value::{Number, Value};
+
+/// Deserialization error: a human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl DeError {
+    /// Shorthand constructor.
+    pub fn msg(m: impl Into<String>) -> Self {
+        DeError(m.into())
+    }
+}
+
+/// Conversion into the JSON [`Value`] data model.
+pub trait Serialize {
+    /// This value as a JSON tree.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Conversion from the JSON [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Parses `Self` out of a JSON tree.
+    fn from_json_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::from_i64(*self as i64))
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::from_f64(f64::from(*self)))
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_json_value(),
+        }
+    }
+}
+
+impl<K: std::fmt::Display, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl Deserialize for Value {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool()
+            .ok_or_else(|| DeError::msg(format!("expected boolean, got {v}")))
+    }
+}
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, DeError> {
+                let raw = v
+                    .as_u64()
+                    .ok_or_else(|| DeError::msg(format!("expected unsigned integer, got {v}")))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::msg(format!("integer {raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, DeError> {
+                let raw = v
+                    .as_i64()
+                    .ok_or_else(|| DeError::msg(format!("expected integer, got {v}")))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::msg(format!("integer {raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .ok_or_else(|| DeError::msg(format!("expected number, got {v}")))
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::msg(format!("expected string, got {v}")))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_json_value).collect(),
+            other => Err(DeError::msg(format!("expected array, got {other}"))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+/// Looks up `name` in an object value and deserializes it — the building
+/// block of [`impl_deserialize_struct!`].
+pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+    match v {
+        Value::Object(entries) => match entries.iter().find(|(k, _)| k == name) {
+            Some((_, fv)) => T::from_json_value(fv)
+                .map_err(|e| DeError::msg(format!("field '{name}': {e}"))),
+            None => T::from_json_value(&Value::Null)
+                .map_err(|_| DeError::msg(format!("missing field '{name}'"))),
+        },
+        other => Err(DeError::msg(format!("expected object, got {other}"))),
+    }
+}
+
+/// Implements [`Serialize`] for a plain struct by listing its fields:
+/// `serde::impl_serialize_struct!(Point { x, y });`
+#[macro_export]
+macro_rules! impl_serialize_struct {
+    ($ty:ty { $($fieldname:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_json_value(&self) -> $crate::Value {
+                $crate::Value::Object(vec![
+                    $((
+                        stringify!($fieldname).to_string(),
+                        $crate::Serialize::to_json_value(&self.$fieldname),
+                    )),+
+                ])
+            }
+        }
+    };
+}
+
+/// Implements [`Deserialize`] for a plain struct by listing its fields.
+#[macro_export]
+macro_rules! impl_deserialize_struct {
+    ($ty:ty { $($fieldname:ident),+ $(,)? }) => {
+        impl $crate::Deserialize for $ty {
+            fn from_json_value(v: &$crate::Value) -> Result<Self, $crate::DeError> {
+                Ok(Self {
+                    $($fieldname: $crate::field(v, stringify!($fieldname))?),+
+                })
+            }
+        }
+    };
+}
+
+/// Implements [`Serialize`] for a field-less enum as its variant name —
+/// the same externally-tagged encoding upstream serde derives.
+#[macro_export]
+macro_rules! impl_serialize_unit_enum {
+    ($ty:ident { $($variant:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_json_value(&self) -> $crate::Value {
+                match self {
+                    $($ty::$variant => {
+                        $crate::Value::String(stringify!($variant).to_string())
+                    }),+
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_through_value() {
+        assert_eq!(u32::from_json_value(&42u32.to_json_value()), Ok(42));
+        assert_eq!(i64::from_json_value(&(-7i64).to_json_value()), Ok(-7));
+        assert_eq!(bool::from_json_value(&true.to_json_value()), Ok(true));
+        assert_eq!(
+            String::from_json_value(&"hi".to_json_value()),
+            Ok("hi".to_string())
+        );
+        let v: Vec<u16> = Deserialize::from_json_value(&vec![1u16, 2, 3].to_json_value()).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn out_of_range_integers_rejected() {
+        assert!(u8::from_json_value(&300u32.to_json_value()).is_err());
+        assert!(u32::from_json_value(&(-1i32).to_json_value()).is_err());
+    }
+
+    #[test]
+    fn struct_macros_round_trip() {
+        #[derive(Debug, PartialEq)]
+        struct P {
+            x: u32,
+            flag: bool,
+        }
+        crate::impl_serialize_struct!(P { x, flag });
+        crate::impl_deserialize_struct!(P { x, flag });
+        let p = P { x: 9, flag: true };
+        let v = p.to_json_value();
+        assert_eq!(P::from_json_value(&v), Ok(P { x: 9, flag: true }));
+    }
+
+    #[test]
+    fn unit_enum_serializes_as_name() {
+        #[derive(Debug)]
+        enum E {
+            Alpha,
+            Beta,
+        }
+        crate::impl_serialize_unit_enum!(E { Alpha, Beta });
+        assert_eq!(E::Alpha.to_json_value(), Value::String("Alpha".into()));
+        assert_eq!(E::Beta.to_json_value(), Value::String("Beta".into()));
+    }
+}

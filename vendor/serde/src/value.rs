@@ -1,0 +1,464 @@
+//! The JSON data model: [`Value`] and [`Number`].
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A JSON number.
+///
+/// Like upstream `serde_json`, integers and floats are distinct: `1` and
+/// `1.0` compare unequal. Non-negative integers normalize to the unsigned
+/// representation so `0i32` and `0u64` serialize identically.
+#[derive(Clone, Copy, Debug)]
+pub struct Number(Repr);
+
+#[derive(Clone, Copy, Debug)]
+enum Repr {
+    PosInt(u64),
+    /// Always strictly negative.
+    NegInt(i64),
+    Float(f64),
+}
+
+impl Number {
+    /// A number from an unsigned integer.
+    pub fn from_u64(v: u64) -> Self {
+        Number(Repr::PosInt(v))
+    }
+
+    /// A number from a signed integer (normalizes non-negatives).
+    pub fn from_i64(v: i64) -> Self {
+        if v >= 0 {
+            Number(Repr::PosInt(v as u64))
+        } else {
+            Number(Repr::NegInt(v))
+        }
+    }
+
+    /// A number from a float. Non-finite values have no JSON representation
+    /// and render as `null`.
+    pub fn from_f64(v: f64) -> Self {
+        Number(Repr::Float(v))
+    }
+
+    /// As `u64` if the number is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            Repr::PosInt(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// As `i64` if the number is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            Repr::PosInt(v) => i64::try_from(v).ok(),
+            Repr::NegInt(v) => Some(v),
+            Repr::Float(_) => None,
+        }
+    }
+
+    /// As `f64` (lossy for huge integers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.0 {
+            Repr::PosInt(v) => Some(v as f64),
+            Repr::NegInt(v) => Some(v as f64),
+            Repr::Float(v) => Some(v),
+        }
+    }
+
+    /// `true` when the number is a float (not an integer).
+    pub fn is_f64(&self) -> bool {
+        matches!(self.0, Repr::Float(_))
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.0, other.0) {
+            (Repr::PosInt(a), Repr::PosInt(b)) => a == b,
+            (Repr::NegInt(a), Repr::NegInt(b)) => a == b,
+            (Repr::Float(a), Repr::Float(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Repr::PosInt(v) => write!(f, "{v}"),
+            Repr::NegInt(v) => write!(f, "{v}"),
+            Repr::Float(v) if !v.is_finite() => f.write_str("null"),
+            // Keep a trailing ".0" on whole floats so float-ness survives a
+            // round trip, as upstream's ryu formatting does.
+            Repr::Float(v) if v == v.trunc() && v.abs() < 1e15 => write!(f, "{v:.1}"),
+            Repr::Float(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A JSON document tree (`serde_json::Value` work-alike).
+///
+/// Objects preserve insertion order; object equality is key-set based and
+/// therefore order-insensitive.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object as ordered `(key, value)` pairs with unique keys.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// As `u64` if this is a non-negative integer number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// As `i64` if this is an integer number in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// As `f64` if this is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// As `&str` if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As `bool` if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// As a slice of elements if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// `true` iff this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object lookup; `None` on missing key or non-object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Inserts or replaces `key` (object or `null` receivers only).
+    pub fn insert(&mut self, key: &str, value: Value) {
+        if self.is_null() {
+            *self = Value::Object(Vec::new());
+        }
+        match self {
+            Value::Object(entries) => {
+                if let Some(slot) = entries.iter_mut().find(|(k, _)| k == key) {
+                    slot.1 = value;
+                } else {
+                    entries.push((key.to_string(), value));
+                }
+            }
+            other => panic!("cannot insert key '{key}' into non-object JSON value {other}"),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Number(a), Value::Number(b)) => a == b,
+            (Value::String(a), Value::String(b)) => a == b,
+            (Value::Array(a), Value::Array(b)) => a == b,
+            (Value::Object(a), Value::Object(b)) => {
+                a.len() == b.len()
+                    && a.iter().all(|(k, v)| {
+                        b.iter().find(|(bk, _)| bk == k).map(|(_, bv)| bv) == Some(v)
+                    })
+            }
+            _ => false,
+        }
+    }
+}
+
+// Ergonomic comparisons against plain literals, as upstream provides.
+macro_rules! eq_num {
+    ($($t:ty => $conv:ident),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                Value::Number(Number::$conv(*other as _)) == *self
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+eq_num!(u8 => from_u64, u16 => from_u64, u32 => from_u64, u64 => from_u64, usize => from_u64,
+        i8 => from_i64, i16 => from_i64, i32 => from_i64, i64 => from_i64, isize => from_i64,
+        f64 => from_f64);
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    /// `&value[key]`: member access, `&Value::Null` on missing key or
+    /// non-object receiver (upstream behavior).
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl IndexMut<&str> for Value {
+    /// `value[key] = ...`: inserts the key if absent; a `null` receiver
+    /// becomes an object first (upstream behavior). Panics on other types.
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if self.is_null() {
+            *self = Value::Object(Vec::new());
+        }
+        match self {
+            Value::Object(entries) => {
+                if !entries.iter().any(|(k, _)| k == key) {
+                    entries.push((key.to_string(), Value::Null));
+                }
+                entries
+                    .iter_mut()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| v)
+                    .expect("key just ensured")
+            }
+            other => panic!("cannot index non-object JSON value {other} with key '{key}'"),
+        }
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    /// `&value[i]`: array element, `&Value::Null` out of bounds or when the
+    /// receiver is not an array.
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Value {
+    /// Compact rendering (no whitespace).
+    pub fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => out.push_str(&n.to_string()),
+            Value::String(s) => escape_into(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Object(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Pretty rendering with two-space indentation (upstream's default).
+    pub fn write_pretty(&self, out: &mut String, indent: usize) {
+        const STEP: usize = 2;
+        match self {
+            Value::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&" ".repeat(indent + STEP));
+                    item.write_pretty(out, indent + STEP);
+                }
+                out.push('\n');
+                out.push_str(&" ".repeat(indent));
+                out.push(']');
+            }
+            Value::Object(entries) if !entries.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&" ".repeat(indent + STEP));
+                    escape_into(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + STEP);
+                }
+                out.push('\n');
+                out.push_str(&" ".repeat(indent));
+                out.push('}');
+            }
+            other => other.write_compact(out),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// Displays as compact JSON (upstream behavior).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write_compact(&mut s);
+        f.write_str(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_equality_distinguishes_int_and_float() {
+        assert_eq!(Number::from_i64(3), Number::from_u64(3));
+        assert_ne!(Number::from_u64(1), Number::from_f64(1.0));
+        assert_eq!(Number::from_f64(0.5), Number::from_f64(0.5));
+    }
+
+    #[test]
+    fn object_equality_ignores_key_order() {
+        let a = Value::Object(vec![
+            ("x".into(), Value::Bool(true)),
+            ("y".into(), Value::Null),
+        ]);
+        let b = Value::Object(vec![
+            ("y".into(), Value::Null),
+            ("x".into(), Value::Bool(true)),
+        ]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn indexing_missing_key_yields_null() {
+        let v = Value::Object(vec![("a".into(), Value::Bool(false))]);
+        assert!(v["missing"].is_null());
+        assert_eq!(v["a"], false);
+    }
+
+    #[test]
+    fn index_mut_inserts() {
+        let mut v = Value::Object(Vec::new());
+        v["k"] = Value::String("s".into());
+        assert_eq!(v["k"], "s");
+        let mut n = Value::Null;
+        n["auto"] = Value::Bool(true);
+        assert_eq!(n["auto"], true);
+    }
+
+    #[test]
+    fn literal_comparisons() {
+        let v = Value::Number(Number::from_u64(6));
+        assert_eq!(v, 6);
+        assert_eq!(v, 6u64);
+        assert_ne!(v, 7);
+    }
+
+    #[test]
+    fn whole_floats_keep_a_decimal_point() {
+        assert_eq!(Number::from_f64(71.0).to_string(), "71.0");
+        assert_eq!(Number::from_f64(0.25).to_string(), "0.25");
+        assert_eq!(Number::from_u64(71).to_string(), "71");
+    }
+}

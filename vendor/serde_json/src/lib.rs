@@ -1,0 +1,189 @@
+//! Minimal, dependency-free work-alike of the `serde_json` API surface this
+//! workspace uses: [`Value`], [`json!`], [`to_value`], [`to_string`],
+//! [`to_string_pretty`], [`from_str`], [`from_slice`].
+//!
+//! The container this repository builds in has no crates.io registry, so the
+//! workspace vendors tiny implementations of its external dependencies (see
+//! `DESIGN.md`). The data model ([`Value`]) lives in the vendored `serde`
+//! crate and is re-exported here under its upstream name.
+
+#![forbid(unsafe_code)]
+
+mod parse;
+
+pub use serde::{Number, Value};
+
+use serde::{Deserialize, Serialize};
+
+/// Serialization/deserialization error: a human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_json_value())
+}
+
+/// Serializes to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().to_string())
+}
+
+/// Serializes to pretty JSON text (two-space indentation).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let v = value.to_json_value();
+    let mut out = String::new();
+    v.write_pretty(&mut out, 0);
+    Ok(out)
+}
+
+/// Parses JSON text into any deserializable type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let v = parse::parse(s)?;
+    Ok(T::from_json_value(&v)?)
+}
+
+/// Parses JSON bytes (must be UTF-8) into any deserializable type.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Builds a [`Value`] from a JSON-shaped literal, interpolating Rust
+/// expressions in value position: `json!({"n": n, "rows": rows})`.
+#[macro_export]
+macro_rules! json {
+    // -- helper rules (internal) --------------------------------------------
+    (@arr $a:ident;) => {};
+    (@arr $a:ident; null $(, $($rest:tt)*)?) => {
+        $a.push($crate::Value::Null);
+        $($crate::json!(@arr $a; $($rest)*);)?
+    };
+    (@arr $a:ident; [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $a.push($crate::json!([ $($inner)* ]));
+        $($crate::json!(@arr $a; $($rest)*);)?
+    };
+    (@arr $a:ident; { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $a.push($crate::json!({ $($inner)* }));
+        $($crate::json!(@arr $a; $($rest)*);)?
+    };
+    (@arr $a:ident; $e:expr $(, $($rest:tt)*)?) => {
+        $a.push($crate::json!($e));
+        $($crate::json!(@arr $a; $($rest)*);)?
+    };
+    (@obj $o:ident;) => {};
+    (@obj $o:ident; $k:literal : null $(, $($rest:tt)*)?) => {
+        $o.push(($k.to_string(), $crate::Value::Null));
+        $($crate::json!(@obj $o; $($rest)*);)?
+    };
+    (@obj $o:ident; $k:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $o.push(($k.to_string(), $crate::json!([ $($inner)* ])));
+        $($crate::json!(@obj $o; $($rest)*);)?
+    };
+    (@obj $o:ident; $k:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $o.push(($k.to_string(), $crate::json!({ $($inner)* })));
+        $($crate::json!(@obj $o; $($rest)*);)?
+    };
+    (@obj $o:ident; $k:literal : $v:expr $(, $($rest:tt)*)?) => {
+        $o.push(($k.to_string(), $crate::json!($v)));
+        $($crate::json!(@obj $o; $($rest)*);)?
+    };
+    // -- entry points -------------------------------------------------------
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => {{
+        // `iter::empty().collect()` rather than `Vec::new()` so expansions
+        // with elements do not trip clippy's `vec_init_then_push` (the lint
+        // attaches to the caller's block, out of reach of a local `allow`).
+        #[allow(unused_mut)]
+        let mut __arr: ::std::vec::Vec<$crate::Value> = ::std::iter::empty().collect();
+        $crate::json!(@arr __arr; $($tt)*);
+        $crate::Value::Array(__arr)
+    }};
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut __obj: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+            ::std::iter::empty().collect();
+        $crate::json!(@obj __obj; $($tt)*);
+        $crate::Value::Object(__obj)
+    }};
+    ($e:expr) => {
+        $crate::to_value(&$e).expect("json! value is serializable")
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_scalars() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(true), Value::Bool(true));
+        assert_eq!(json!(3u32), Value::Number(Number::from_u64(3)));
+        assert_eq!(json!("hi"), Value::String("hi".into()));
+    }
+
+    #[test]
+    fn json_macro_nested() {
+        let n = 4usize;
+        let v = json!({
+            "workload": { "n": n, "p": 0.5, "tags": ["a", "b"] },
+            "rows": [1, 2, 3],
+            "empty_obj": {},
+            "empty_arr": [],
+            "label": format!("n = {}", n),
+        });
+        assert_eq!(v["workload"]["n"], 4);
+        assert_eq!(v["workload"]["p"], 0.5);
+        assert_eq!(v["workload"]["tags"][1], "b");
+        assert_eq!(v["rows"], json!([1, 2, 3]));
+        assert_eq!(v["label"], "n = 4");
+        assert_eq!(v["empty_arr"], Value::Array(vec![]));
+    }
+
+    #[test]
+    fn compact_and_pretty_round_trip() {
+        let v = json!({"a": [1, {"b": null}], "s": "q\"uote\n"});
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            let back: Value = from_str(&text).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn pretty_layout() {
+        let v = json!({"k": [1]});
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"k\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn typed_from_str() {
+        let v: Vec<u32> = from_str("[1, 2, 3]").unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        let f: f64 = from_str("2.5").unwrap();
+        assert_eq!(f, 2.5);
+        assert!(from_str::<u32>("\"nope\"").is_err());
+    }
+
+    #[test]
+    fn from_slice_requires_utf8() {
+        assert!(from_slice::<Value>(b"{\"a\": 1}").is_ok());
+        assert!(from_slice::<Value>(&[0xff, 0xfe]).is_err());
+    }
+}
