@@ -1,0 +1,131 @@
+//! Fused-kernel benchmark: the generic per-cell engine path (hinted
+//! domains — its tuned configuration) vs. the fused flat-array kernels of
+//! `ExecPath::Fused`, plus the batched multi-graph runner's throughput
+//! scaling.
+//!
+//! The interesting comparisons, per problem size `n ∈ {16, 64, 256}`:
+//!
+//! * `broadcast` — generation 1 fills `n+1` rows from column 0; fused does
+//!   one gather plus strided fills instead of `n(n+1)` rule dispatches;
+//! * `row_filter` — generation 2, a whole-square in-place rewrite;
+//! * `min_reduce_s1` — one thinned tree-reduction sub-generation, in place
+//!   instead of update-plus-full-copy;
+//! * `pointer_jump` — generation 10 via chased pointers over `n` labels,
+//!   never touching the `n²` field;
+//! * `full_run` — end-to-end connected components, generic vs. fused, under
+//!   both `Counts` and `Off` instrumentation;
+//! * `batch` — the batched runner at 1 worker vs. all hardware threads.
+//!
+//! Every generic/fused pair first asserts bit-identical step reports (the
+//! metrics-equivalence contract); full runs assert identical labelings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gca_bench::fused;
+use gca_engine::Instrumentation;
+use gca_graphs::generators;
+use gca_hirschberg::{BatchRunner, ExecPath, Gen};
+use std::hint::black_box;
+
+/// Sizes kept small enough for the CI sample budget; 1024 is exercised by
+/// the export binary (same helpers) where one measurement suffices.
+const STEP_SIZES: [usize; 3] = [16, 64, 256];
+
+fn bench_generation(c: &mut Criterion, label: &str, gen: Gen, sub: u32) {
+    let mut group = c.benchmark_group(format!("fused_kernels/{label}"));
+    for n in STEP_SIZES {
+        // Bit-identity gate before timing anything.
+        let probe = fused::time_generation(n, gen, sub, 1);
+        assert!(
+            probe.metrics_identical,
+            "fused metrics diverge from generic at n={n} {gen:?} sub {sub}"
+        );
+        for (exec, name) in [(ExecPath::Generic, "generic"), (ExecPath::Fused, "fused")] {
+            let mut m = fused::machine(n, exec, Instrumentation::Counts);
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| black_box(m.step(gen, sub).expect("step")));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    bench_generation(c, "broadcast", Gen::BroadcastC, 0);
+}
+
+fn bench_row_filter(c: &mut Criterion) {
+    bench_generation(c, "row_filter", Gen::FilterNeighbors, 0);
+}
+
+fn bench_min_reduce(c: &mut Criterion) {
+    bench_generation(c, "min_reduce_s1", Gen::MinReduce, 1);
+}
+
+fn bench_pointer_jump(c: &mut Criterion) {
+    bench_generation(c, "pointer_jump", Gen::PointerJump, 0);
+}
+
+fn bench_full_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused_kernels/full_run");
+    for n in [16usize, 64] {
+        for instr in [Instrumentation::Counts, Instrumentation::Off] {
+            // Label/metrics agreement gate before timing anything.
+            let probe = fused::time_full_runs(n, instr);
+            assert!(probe.labels_match_union_find && probe.metrics_identical);
+            let instr_name = probe.instrumentation;
+            for (exec, name) in [(ExecPath::Generic, "generic"), (ExecPath::Fused, "fused")] {
+                let graph = generators::gnp(n, 0.3, fused::SEED);
+                let runner = gca_hirschberg::HirschbergGca::new()
+                    .with_engine(
+                        gca_engine::Engine::sequential()
+                            .with_domain_policy(gca_engine::DomainPolicy::Hinted)
+                            .with_instrumentation(instr),
+                    )
+                    .exec(exec);
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{name}_{instr_name}"), n),
+                    &n,
+                    |b, _| {
+                        b.iter(|| black_box(runner.run(&graph).expect("run")));
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused_kernels/batch");
+    let n = 64;
+    let batch = 32;
+    let graphs: Vec<_> = (0..batch)
+        .map(|i| generators::gnp(n, 0.3, fused::SEED + i as u64))
+        .collect();
+    for workers in [1usize, 0] {
+        let runner = BatchRunner::new().workers(workers);
+        let label = if workers == 0 { "auto" } else { "w1" };
+        let mut out = Vec::new();
+        group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+            b.iter(|| black_box(runner.run_into(&graphs, &mut out).expect("batch")));
+        });
+    }
+    group.finish();
+}
+
+/// Short windows: many benchmark ids, and the pass/fail criteria (metric
+/// bit-identity, label agreement) are asserted, not estimated.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_broadcast, bench_row_filter, bench_min_reduce, bench_pointer_jump,
+        bench_full_run, bench_batch
+}
+criterion_main!(benches);

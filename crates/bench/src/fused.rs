@@ -1,0 +1,245 @@
+//! Fused-kernel measurements: the data behind the `fused_kernels` bench and
+//! the `BENCH_fused_kernels.json` export.
+//!
+//! The fused path ([`ExecPath::Fused`]) replaces the engine's per-cell
+//! rule dispatch and per-step full-field copy with flat-array kernels that
+//! update the current buffer in place (broadcast fills, in-place tree
+//! reductions, chased-pointer jumping over ping-pong label vectors). Its
+//! contract is *bit-identical* labelings and `Counts` metrics versus the
+//! generic path — every timing helper here asserts that equivalence on the
+//! workload before publishing a number. The comparison baseline is the
+//! generic path under [`DomainPolicy::Hinted`] (the tuned engine
+//! configuration of the `sparse_stepping` bench).
+
+use gca_engine::{DomainPolicy, Engine, Instrumentation};
+use gca_graphs::connectivity::union_find_components_dense;
+use gca_graphs::generators;
+use gca_hirschberg::{BatchRunner, ExecPath, Gen, HirschbergGca, Machine};
+use std::time::Instant;
+
+/// Seed shared by all fused-kernel workloads (same as `sparse`).
+pub const SEED: u64 = 2007;
+
+/// Problem sizes the export tracks.
+pub const SIZES: [usize; 4] = [16, 64, 256, 1024];
+
+/// Representative `(generation, sub-generation)` pairs, one per kernel
+/// family: dense broadcast, row filter, thinned tree reduction, and the
+/// chased-pointer jump.
+pub fn kernel_generations() -> [(Gen, u32); 4] {
+    [
+        (Gen::BroadcastC, 0),
+        (Gen::FilterNeighbors, 0),
+        (Gen::MinReduce, 1),
+        (Gen::PointerJump, 0),
+    ]
+}
+
+/// An initialized machine on the standard workload under the given path.
+pub fn machine(n: usize, exec: ExecPath, instrumentation: Instrumentation) -> Machine {
+    let graph = generators::gnp(n, 0.3, SEED);
+    let engine = Engine::sequential()
+        .with_domain_policy(DomainPolicy::Hinted)
+        .with_instrumentation(instrumentation);
+    let mut m = Machine::with_engine(&graph, engine)
+        .expect("machine")
+        .with_exec(exec);
+    m.init().expect("init");
+    m
+}
+
+/// One `(generation, sub)` timed under the generic (hinted) and fused paths.
+#[derive(Clone, Debug)]
+pub struct FusedGenTiming {
+    /// Problem size.
+    pub n: usize,
+    /// The timed generation.
+    pub generation: Gen,
+    /// The timed sub-generation.
+    pub subgeneration: u32,
+    /// Nanoseconds per step on the generic hinted path.
+    pub generic_ns_per_step: f64,
+    /// Nanoseconds per step on the fused path.
+    pub fused_ns_per_step: f64,
+    /// Whether active cells, reads, changed cells and the congestion
+    /// histogram were bit-identical between the two paths.
+    pub metrics_identical: bool,
+}
+
+impl FusedGenTiming {
+    /// Generic time over fused time.
+    pub fn speedup(&self) -> f64 {
+        self.generic_ns_per_step / self.fused_ns_per_step
+    }
+}
+
+fn time_steps(m: &mut Machine, gen: Gen, sub: u32, reps: u32) -> f64 {
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(m.step(gen, sub).expect("step"));
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(reps.max(1))
+}
+
+/// Times `reps` executions of `(gen, sub)` under both paths on the same
+/// workload, asserting report equality on the first step.
+pub fn time_generation(n: usize, gen: Gen, sub: u32, reps: u32) -> FusedGenTiming {
+    let mut generic = machine(n, ExecPath::Generic, Instrumentation::Counts);
+    let mut fused = machine(n, ExecPath::Fused, Instrumentation::Counts);
+    let rg = generic.step(gen, sub).expect("generic step");
+    let rf = fused.step(gen, sub).expect("fused step");
+    let metrics_identical = rg.active_cells == rf.active_cells
+        && rg.total_reads == rf.total_reads
+        && rg.changed_cells == rf.changed_cells
+        && rg.congestion == rf.congestion;
+    let generic_ns = time_steps(&mut generic, gen, sub, reps);
+    let fused_ns = time_steps(&mut fused, gen, sub, reps);
+    FusedGenTiming {
+        n,
+        generation: gen,
+        subgeneration: sub,
+        generic_ns_per_step: generic_ns,
+        fused_ns_per_step: fused_ns,
+        metrics_identical,
+    }
+}
+
+/// Full connected-components runs, generic hinted vs. fused, under one
+/// instrumentation level.
+#[derive(Clone, Debug)]
+pub struct FusedRunTiming {
+    /// Problem size.
+    pub n: usize,
+    /// Instrumentation the two runs executed under (`"off"` / `"counts"`).
+    pub instrumentation: &'static str,
+    /// Milliseconds for the generic hinted-policy run.
+    pub generic_ms: f64,
+    /// Milliseconds for the fused run.
+    pub fused_ms: f64,
+    /// Whether both runs matched the union-find ground truth.
+    pub labels_match_union_find: bool,
+    /// Whether the metrics logs were bit-identical (trivially `true` under
+    /// `Instrumentation::Off`, where both are empty).
+    pub metrics_identical: bool,
+}
+
+impl FusedRunTiming {
+    /// Generic time over fused time.
+    pub fn speedup(&self) -> f64 {
+        self.generic_ms / self.fused_ms
+    }
+}
+
+fn timed_run(
+    graph: &gca_graphs::AdjacencyMatrix,
+    exec: ExecPath,
+    instrumentation: Instrumentation,
+) -> (f64, gca_hirschberg::GcaRun) {
+    let runner = HirschbergGca::new()
+        .with_engine(
+            Engine::sequential()
+                .with_domain_policy(DomainPolicy::Hinted)
+                .with_instrumentation(instrumentation),
+        )
+        .exec(exec);
+    let start = Instant::now();
+    let run = runner.run(graph).expect("run");
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    (ms, run)
+}
+
+/// Times full runs on the standard workload at size `n` under
+/// `instrumentation`.
+pub fn time_full_runs(n: usize, instrumentation: Instrumentation) -> FusedRunTiming {
+    let graph = generators::gnp(n, 0.3, SEED);
+    let expected = union_find_components_dense(&graph);
+    let (generic_ms, generic) = timed_run(&graph, ExecPath::Generic, instrumentation);
+    let (fused_ms, fused) = timed_run(&graph, ExecPath::Fused, instrumentation);
+    let labels_match_union_find = [&generic.labels, &fused.labels]
+        .iter()
+        .all(|l| l.as_slice() == expected.as_slice());
+    FusedRunTiming {
+        n,
+        instrumentation: match instrumentation {
+            Instrumentation::Off => "off",
+            Instrumentation::Counts => "counts",
+            Instrumentation::Trace => "trace",
+        },
+        generic_ms,
+        fused_ms,
+        labels_match_union_find,
+        metrics_identical: generic.metrics.entries() == fused.metrics.entries(),
+    }
+}
+
+/// One batched-runner measurement.
+#[derive(Clone, Debug)]
+pub struct ThroughputTiming {
+    /// Problem size of every graph in the batch.
+    pub n: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Aggregate throughput.
+    pub graphs_per_sec: f64,
+    /// Whether every labeling matched the union-find ground truth.
+    pub labels_match_union_find: bool,
+}
+
+/// Runs a batch of `batch` size-`n` graphs on `workers` workers (0 = auto)
+/// and reports aggregate graphs/sec, verifying every labeling.
+pub fn batch_throughput(n: usize, batch: usize, workers: usize) -> ThroughputTiming {
+    let graphs: Vec<_> = (0..batch)
+        .map(|i| generators::gnp(n, 0.3, SEED + i as u64))
+        .collect();
+    let runner = BatchRunner::new().workers(workers);
+    let report = runner.run(&graphs).expect("batch run");
+    let labels_match_union_find = graphs.iter().zip(&report.labels).all(|(g, labels)| {
+        let expected = union_find_components_dense(g);
+        labels.len() == expected.n()
+            && labels
+                .iter()
+                .zip(expected.as_slice())
+                .all(|(&l, &e)| l as usize == e)
+    });
+    ThroughputTiming {
+        n,
+        batch,
+        workers: report.stats.workers,
+        graphs_per_sec: report.stats.graphs_per_sec(),
+        labels_match_union_find,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_timings_report_identical_metrics() {
+        for (gen, sub) in kernel_generations() {
+            let t = time_generation(16, gen, sub, 2);
+            assert!(t.metrics_identical, "{gen:?} sub {sub}");
+            assert!(t.generic_ns_per_step > 0.0 && t.fused_ns_per_step > 0.0);
+        }
+    }
+
+    #[test]
+    fn full_runs_agree_under_both_instrumentations() {
+        for instr in [Instrumentation::Off, Instrumentation::Counts] {
+            let t = time_full_runs(16, instr);
+            assert!(t.labels_match_union_find);
+            assert!(t.metrics_identical);
+        }
+    }
+
+    #[test]
+    fn batch_throughput_verifies_labels() {
+        let t = batch_throughput(16, 8, 2);
+        assert!(t.labels_match_union_find);
+        assert_eq!(t.batch, 8);
+        assert!(t.workers >= 1 && t.workers <= 2);
+        assert!(t.graphs_per_sec > 0.0);
+    }
+}

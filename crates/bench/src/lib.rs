@@ -7,6 +7,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fused;
 pub mod sparse;
 pub mod tables;
 pub mod workloads;

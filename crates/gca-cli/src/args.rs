@@ -1,7 +1,7 @@
 //! Hand-rolled argument parsing for `gca-cc` (no external CLI dependency).
 
 use gca_engine::{Backend, DomainPolicy};
-use gca_hirschberg::Convergence;
+use gca_hirschberg::{Convergence, ExecPath};
 use std::fmt;
 
 /// Which machine runs the computation.
@@ -68,6 +68,8 @@ pub struct EngineOpts {
     pub domain: DomainPolicy,
     /// Pointer-jump convergence handling (`--convergence`).
     pub convergence: Convergence,
+    /// Execution path (`--exec`): generic per-cell dispatch or fused kernels.
+    pub exec: ExecPath,
 }
 
 impl EngineOpts {
@@ -104,10 +106,21 @@ impl EngineOpts {
         }
     }
 
-    /// `backend=… domain=… convergence=…`, as shown in reports.
+    /// Parses an `--exec` value.
+    pub fn parse_exec(s: &str) -> Result<ExecPath, ArgError> {
+        match s {
+            "generic" => Ok(ExecPath::Generic),
+            "fused" => Ok(ExecPath::Fused),
+            other => Err(ArgError(format!(
+                "unknown exec path '{other}' (expected generic|fused)"
+            ))),
+        }
+    }
+
+    /// `backend=… domain=… convergence=… exec=…`, as shown in reports.
     pub fn describe(&self) -> String {
         format!(
-            "backend={} domain={} convergence={}",
+            "backend={} domain={} convergence={} exec={}",
             match self.backend {
                 Backend::Sequential => "sequential",
                 Backend::Parallel => "parallel",
@@ -119,6 +132,10 @@ impl EngineOpts {
             match self.convergence {
                 Convergence::Fixed => "fixed",
                 Convergence::Detect => "detect",
+            },
+            match self.exec {
+                ExecPath::Generic => "generic",
+                ExecPath::Fused => "fused",
             }
         )
     }
@@ -186,6 +203,7 @@ OPTIONS:
   --backend <b>      seq (default) | par — engine backend (gca machine only)
   --domain <d>       hinted (default) | dense — active-domain stepping policy (gca machine only)
   --convergence <c>  fixed (default) | detect — pointer-jump convergence early exit (gca machine only)
+  --exec <e>         generic (default) | fused — per-cell dispatch or fused flat-array kernels (gca machine only)
   --labels           print every node's component label
   --metrics          print per-generation activity/congestion (GCA machines)
   --verify           independently verify the labeling against the graph
@@ -270,6 +288,12 @@ pub fn parse(args: &[String]) -> Result<Args, ArgError> {
                     .next()
                     .ok_or_else(|| ArgError("--convergence needs a value".into()))?;
                 engine.convergence = EngineOpts::parse_convergence(v)?;
+            }
+            "--exec" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--exec needs a value".into()))?;
+                engine.exec = EngineOpts::parse_exec(v)?;
             }
             "--labels" => labels = true,
             "--json" => json = true,
@@ -380,17 +404,20 @@ mod tests {
         assert_eq!(a.engine.backend, Backend::Sequential);
         assert_eq!(a.engine.domain, DomainPolicy::Hinted);
         assert_eq!(a.engine.convergence, Convergence::Fixed);
+        assert_eq!(a.engine.exec, ExecPath::Generic);
 
         let a = parse(&argv(&[
-            "--backend", "par", "--domain", "dense", "--convergence", "detect", "ring:5",
+            "--backend", "par", "--domain", "dense", "--convergence", "detect", "--exec",
+            "fused", "ring:5",
         ]))
         .unwrap();
         assert_eq!(a.engine.backend, Backend::Parallel);
         assert_eq!(a.engine.domain, DomainPolicy::Dense);
         assert_eq!(a.engine.convergence, Convergence::Detect);
+        assert_eq!(a.engine.exec, ExecPath::Fused);
         assert_eq!(
             a.engine.describe(),
-            "backend=parallel domain=dense convergence=detect"
+            "backend=parallel domain=dense convergence=detect exec=fused"
         );
     }
 
@@ -399,6 +426,7 @@ mod tests {
         assert!(parse(&argv(&["--backend", "gpu", "empty:2"])).is_err());
         assert!(parse(&argv(&["--domain", "sparse", "empty:2"])).is_err());
         assert!(parse(&argv(&["--convergence", "never", "empty:2"])).is_err());
+        assert!(parse(&argv(&["--exec", "simd", "empty:2"])).is_err());
         assert!(parse(&argv(&["--backend"])).is_err());
     }
 }

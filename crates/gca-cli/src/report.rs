@@ -46,6 +46,7 @@ pub fn execute(
                         .with_domain_policy(opts.domain),
                 )
                 .convergence(opts.convergence)
+                .exec(opts.exec)
                 .run(graph)?;
             Outcome {
                 machine,
@@ -286,20 +287,44 @@ mod tests {
     #[test]
     fn engine_knobs_do_not_change_labels() {
         use gca_engine::{Backend, DomainPolicy};
-        use gca_hirschberg::Convergence;
+        use gca_hirschberg::{Convergence, ExecPath};
         let g = generators::gnp(10, 0.3, 5);
         let reference = execute(MachineKind::Gca, &g, &EngineOpts::default()).unwrap();
         let opts = EngineOpts {
             backend: Backend::Parallel,
             domain: DomainPolicy::Dense,
             convergence: Convergence::Detect,
+            exec: ExecPath::Generic,
         };
         let tuned = execute(MachineKind::Gca, &g, &opts).unwrap();
         assert_eq!(tuned.labels.as_slice(), reference.labels.as_slice());
         assert!(tuned.steps.unwrap() <= reference.steps.unwrap());
         assert_eq!(
             tuned.engine.as_deref(),
-            Some("backend=parallel domain=dense convergence=detect")
+            Some("backend=parallel domain=dense convergence=detect exec=generic")
+        );
+    }
+
+    #[test]
+    fn fused_exec_matches_generic_via_cli_path() {
+        use gca_hirschberg::ExecPath;
+        let g = generators::gnp(14, 0.2, 9);
+        let generic = execute(MachineKind::Gca, &g, &EngineOpts::default()).unwrap();
+        let opts = EngineOpts {
+            exec: ExecPath::Fused,
+            ..EngineOpts::default()
+        };
+        let fused = execute(MachineKind::Gca, &g, &opts).unwrap();
+        assert_eq!(fused.labels.as_slice(), generic.labels.as_slice());
+        assert_eq!(fused.steps, generic.steps);
+        assert_eq!(fused.max_congestion, generic.max_congestion);
+        assert_eq!(
+            fused.metrics.as_ref().unwrap().entries(),
+            generic.metrics.as_ref().unwrap().entries()
+        );
+        assert_eq!(
+            fused.engine.as_deref(),
+            Some("backend=sequential domain=hinted convergence=fixed exec=fused")
         );
     }
 

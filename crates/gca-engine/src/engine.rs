@@ -355,10 +355,44 @@ impl Engine {
             total_reads: tally.reads,
             changed_cells: tally.changed,
             evaluated_cells: tally.evaluated,
+            // Swap the accumulation buffers into the report instead of
+            // cloning them; [`Engine::recycle`] hands them back.
             congestion: counting
-                .then(|| CongestionHistogram::from_reads(self.scratch.reads.clone())),
-            accesses: tracing.then(|| self.scratch.accesses.clone()),
+                .then(|| CongestionHistogram::from_reads(std::mem::take(&mut self.scratch.reads))),
+            accesses: tracing.then(|| std::mem::take(&mut self.scratch.accesses)),
         })
+    }
+
+    /// Returns a consumed report's owned buffers to the engine scratch.
+    ///
+    /// [`Engine::step`] hands out its accumulation buffers by swap, never by
+    /// clone, so each instrumented step would otherwise grow one fresh
+    /// histogram (and trace) allocation. Hot loops that are done with a
+    /// report can recycle it to make steady-state stepping allocation-free;
+    /// dropping the report instead is always correct, just slower.
+    pub fn recycle(&mut self, report: StepReport) {
+        if let Some(hist) = report.congestion {
+            let reads = hist.into_reads();
+            if reads.capacity() > self.scratch.reads.capacity() {
+                self.scratch.reads = reads;
+            }
+        }
+        if let Some(accesses) = report.accesses {
+            if accesses.capacity() > self.scratch.accesses.capacity() {
+                self.scratch.accesses = accesses;
+            }
+        }
+    }
+
+    /// Advances the generation counter by one without executing a step.
+    ///
+    /// External executors (e.g. the fused kernels in `gca-hirschberg`) that
+    /// bypass [`Engine::step`] call this after each generation they execute
+    /// themselves, so that [`Engine::generation`] — and the
+    /// [`StepCtx::generation`] values recorded in metrics logs — stay in
+    /// lockstep with engine-executed runs.
+    pub fn advance_generation(&mut self) {
+        self.generation += 1;
     }
 }
 
@@ -1256,6 +1290,36 @@ mod tests {
         assert_eq!(r.active_cells, 0);
         assert_eq!(r.changed_cells, 0);
         assert_eq!(r.congestion.unwrap().max_congestion(), 0);
+    }
+
+    #[test]
+    fn recycle_returns_buffers_to_scratch() {
+        let mut f = field(&[5, 0, 0, 7]);
+        let mut e = Engine::sequential();
+        let r1 = e.step(&mut f, &SumEnds, 0, 0).unwrap();
+        e.recycle(r1);
+        // The recycled buffer's capacity must be back in the scratch so the
+        // next step can reuse it instead of allocating.
+        assert!(e.scratch.reads.capacity() >= 4);
+        let r2 = e.step(&mut f, &Rotate, 0, 0).unwrap();
+        assert_eq!(r2.congestion.unwrap().reads_of(1), 1);
+    }
+
+    #[test]
+    fn advance_generation_matches_stepping() {
+        let mut f = field(&[0]);
+        let mut stepped = Engine::sequential();
+        let mut advanced = Engine::sequential();
+        stepped.step(&mut f, &EvenActive, 0, 0).unwrap();
+        advanced.advance_generation();
+        assert_eq!(stepped.generation(), advanced.generation());
+    }
+
+    #[test]
+    fn states_mut_edits_current_generation() {
+        let mut f = field(&[1, 2, 3]);
+        f.states_mut()[1] = 99;
+        assert_eq!(f.states(), &[1, 99, 3]);
     }
 
     #[test]

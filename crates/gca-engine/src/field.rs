@@ -95,6 +95,19 @@ impl<S: Clone> CellField<S> {
         self.current[index] = state;
     }
 
+    /// Mutable view of the *current* generation (row-major).
+    ///
+    /// This is the escape hatch for external executors (fused
+    /// algorithm-specific kernels) that enforce synchronous-update semantics
+    /// themselves — e.g. by only writing cells whose read set is disjoint
+    /// from the write set, or by staging reads in their own scratch. During
+    /// engine stepping all updates must flow through [`crate::Engine::step`],
+    /// which realizes synchrony via the double buffer instead.
+    #[inline]
+    pub fn states_mut(&mut self) -> &mut [S] {
+        &mut self.current
+    }
+
     /// Splits into `(previous, next)` buffers for one generation: rules read
     /// `previous`, the engine fills `next`. Call [`CellField::commit`]
     /// afterwards to make `next` current.

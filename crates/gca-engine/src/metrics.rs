@@ -36,6 +36,13 @@ impl CongestionHistogram {
         CongestionHistogram { reads }
     }
 
+    /// Consumes the histogram, returning the underlying per-target read
+    /// counts — the inverse of [`CongestionHistogram::from_reads`], used to
+    /// recycle report buffers back into engine scratch.
+    pub fn into_reads(self) -> Vec<u32> {
+        self.reads
+    }
+
     /// Number of cells in the field.
     #[inline]
     pub fn len(&self) -> usize {
@@ -126,6 +133,38 @@ impl GenerationMetrics {
             congestion_groups: hist.groups(),
         }
     }
+
+    /// Assembles the metrics from a borrowed per-target read-count slice
+    /// without building a [`CongestionHistogram`], in a single pass.
+    ///
+    /// Equal to [`GenerationMetrics::new`] over
+    /// [`CongestionHistogram::from_reads`] of the same counts. The δ
+    /// grouping accumulates into a small linear-probed vector rather than a
+    /// per-cell map insertion: one generation exhibits only a handful of
+    /// distinct δ values (Table 1 shows at most three per row).
+    pub fn from_read_counts(ctx: StepCtx, active_cells: usize, reads: &[u32]) -> Self {
+        let mut total_reads = 0u64;
+        let mut cells_read = 0usize;
+        let mut max_congestion = 0u32;
+        let mut distinct: Vec<(u32, usize)> = Vec::new();
+        for &r in reads {
+            total_reads += u64::from(r);
+            cells_read += usize::from(r > 0);
+            max_congestion = max_congestion.max(r);
+            match distinct.iter_mut().find(|(v, _)| *v == r) {
+                Some((_, count)) => *count += 1,
+                None => distinct.push((r, 1)),
+            }
+        }
+        GenerationMetrics {
+            ctx,
+            active_cells,
+            total_reads,
+            cells_read,
+            max_congestion,
+            congestion_groups: distinct.into_iter().collect(),
+        }
+    }
 }
 
 /// An append-only log of [`GenerationMetrics`] across a run, with the
@@ -144,6 +183,12 @@ impl MetricsLog {
     /// Appends one generation's metrics.
     pub fn push(&mut self, m: GenerationMetrics) {
         self.entries.push(m);
+    }
+
+    /// Discards all entries, keeping the log's capacity — for reusing a
+    /// machine across runs without reallocating its metrics storage.
+    pub fn clear(&mut self) {
+        self.entries.clear();
     }
 
     /// All recorded generations in execution order.
@@ -238,6 +283,39 @@ mod tests {
         assert_eq!(m.total_reads, 2);
         assert_eq!(m.cells_read, 1);
         assert_eq!(m.max_congestion, 2);
+    }
+
+    #[test]
+    fn from_read_counts_equals_histogram_assembly() {
+        for reads in [
+            vec![],
+            vec![0u32, 0, 0],
+            vec![3, 0, 1, 1, 7, 3, 0],
+            vec![5; 64],
+        ] {
+            let hist = CongestionHistogram::from_reads(reads.clone());
+            let via_hist = GenerationMetrics::new(ctx(), 9, &hist);
+            let via_counts = GenerationMetrics::from_read_counts(ctx(), 9, &reads);
+            assert_eq!(via_hist, via_counts, "reads = {reads:?}");
+        }
+    }
+
+    #[test]
+    fn into_reads_round_trips() {
+        let reads = vec![2u32, 0, 1];
+        let h = CongestionHistogram::from_reads(reads.clone());
+        assert_eq!(h.into_reads(), reads);
+    }
+
+    #[test]
+    fn metrics_log_clear_empties() {
+        let h = CongestionHistogram::from_reads(vec![1]);
+        let mut log = MetricsLog::new();
+        log.push(GenerationMetrics::new(ctx(), 1, &h));
+        assert_eq!(log.generations(), 1);
+        log.clear();
+        assert_eq!(log.generations(), 0);
+        assert_eq!(log.total_reads(), 0);
     }
 
     #[test]

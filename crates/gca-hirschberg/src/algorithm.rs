@@ -1,7 +1,8 @@
 use crate::complexity::{ceil_log2, total_generations};
-use crate::{iteration_schedule, Gen, HCell, HirschbergRule, Layout};
-use gca_engine::metrics::{GenerationMetrics, MetricsLog};
-use gca_engine::{CellField, Engine, GcaError, StepReport, Word};
+use crate::kernels::FusedExecutor;
+use crate::{iteration_schedule, ExecPath, Gen, HCell, HirschbergRule, Layout};
+use gca_engine::metrics::{CongestionHistogram, GenerationMetrics, MetricsLog};
+use gca_engine::{CellField, Engine, GcaError, Instrumentation, StepCtx, StepReport, Word};
 use gca_graphs::{AdjacencyMatrix, Labeling};
 
 /// When to stop the iterated pointer-jumping sub-generations.
@@ -47,6 +48,8 @@ pub struct Machine {
     field: CellField<HCell>,
     metrics: MetricsLog,
     convergence: Convergence,
+    exec: ExecPath,
+    fused: FusedExecutor,
     initialized: bool,
 }
 
@@ -68,6 +71,8 @@ impl Machine {
             field,
             metrics: MetricsLog::new(),
             convergence: Convergence::Fixed,
+            exec: ExecPath::Generic,
+            fused: FusedExecutor::new(graph.n()),
             initialized: false,
         })
     }
@@ -79,9 +84,21 @@ impl Machine {
         self
     }
 
+    /// Sets the execution path (see [`ExecPath`]).
+    #[must_use]
+    pub fn with_exec(mut self, exec: ExecPath) -> Self {
+        self.exec = exec;
+        self
+    }
+
     /// The configured convergence policy.
     pub fn convergence(&self) -> Convergence {
         self.convergence
+    }
+
+    /// The configured execution path.
+    pub fn exec(&self) -> ExecPath {
+        self.exec
     }
 
     /// Problem size `n`.
@@ -126,6 +143,9 @@ impl Machine {
     /// Executes a single `(generation, sub-generation)` of the state
     /// machine and records its metrics.
     pub fn step(&mut self, gen: Gen, subgeneration: u32) -> Result<StepReport, GcaError> {
+        if self.fused_active() {
+            return self.step_fused(gen, subgeneration);
+        }
         let rep = self
             .engine
             .step(&mut self.field, &self.rule, gen.number(), subgeneration)?;
@@ -136,6 +156,58 @@ impl Machine {
         Ok(rep)
     }
 
+    /// Fused kernels reproduce `Counts` metrics exactly, but per-cell
+    /// access traces exist only in the generic evaluator — `Trace` steps
+    /// fall back to it.
+    fn fused_active(&self) -> bool {
+        self.exec == ExecPath::Fused
+            && !matches!(self.engine.instrumentation(), Instrumentation::Trace)
+    }
+
+    /// Whether a step should account reads (mirrors the engine's `counting`).
+    fn counting(&self) -> bool {
+        !matches!(self.engine.instrumentation(), Instrumentation::Off)
+    }
+
+    fn fused_ctx(&self, gen: Gen, subgeneration: u32) -> StepCtx {
+        StepCtx {
+            generation: self.engine.generation(),
+            phase: gen.number(),
+            subgeneration,
+        }
+    }
+
+    /// Books one successfully executed fused generation: advances the
+    /// engine's generation counter and appends the metrics entry, exactly as
+    /// an engine-executed step would.
+    fn fused_commit(&mut self, ctx: StepCtx, active: usize) {
+        self.engine.advance_generation();
+        if self.counting() {
+            self.metrics
+                .push(GenerationMetrics::from_read_counts(ctx, active, self.fused.reads()));
+        }
+    }
+
+    /// One fused `(generation, sub-generation)` with a full [`StepReport`]
+    /// (including an owned congestion histogram) — the single-step API.
+    /// [`Machine::run_iteration`] uses the report-free internal path.
+    fn step_fused(&mut self, gen: Gen, subgeneration: u32) -> Result<StepReport, GcaError> {
+        let counting = self.counting();
+        let ctx = self.fused_ctx(gen, subgeneration);
+        let rep = self.fused.step(&mut self.field, &ctx, counting)?;
+        self.fused_commit(ctx, rep.active);
+        Ok(StepReport {
+            ctx,
+            active_cells: rep.active,
+            total_reads: rep.reads,
+            changed_cells: rep.changed,
+            evaluated_cells: rep.evaluated,
+            congestion: counting
+                .then(|| CongestionHistogram::from_reads(self.fused.reads().to_vec())),
+            accesses: None,
+        })
+    }
+
     /// Executes one full outer iteration (generations 1–11 with their
     /// sub-generations). Returns the number of generations executed —
     /// `iteration_schedule(n).len()` under [`Convergence::Fixed`], possibly
@@ -143,6 +215,9 @@ impl Machine {
     /// sub-generations are not executed at all and record no metrics).
     pub fn run_iteration(&mut self) -> Result<u64, GcaError> {
         assert!(self.initialized, "call init() before iterating");
+        if self.fused_active() {
+            return self.run_iteration_fused();
+        }
         let schedule = iteration_schedule(self.n());
         let mut executed = 0u64;
         let mut jump_converged = false;
@@ -158,8 +233,87 @@ impl Machine {
             {
                 jump_converged = true;
             }
+            self.engine.recycle(rep);
         }
         Ok(executed)
+    }
+
+    /// One fused generation without report assembly (no histogram copy) —
+    /// the hot-loop variant of [`Machine::step_fused`]. Returns the changed
+    /// count for convergence detection.
+    fn fused_tick(&mut self, gen: Gen, subgeneration: u32) -> Result<usize, GcaError> {
+        let ctx = self.fused_ctx(gen, subgeneration);
+        let counting = self.counting();
+        let rep = self.fused.step(&mut self.field, &ctx, counting)?;
+        self.fused_commit(ctx, rep.active);
+        Ok(rep.changed)
+    }
+
+    /// The fused iteration: identical `(generation, sub-generation)`
+    /// schedule and convergence behaviour as the generic loop, with the
+    /// pointer-jump sub-generations fused over ping-pong label buffers.
+    fn run_iteration_fused(&mut self) -> Result<u64, GcaError> {
+        let subgens = ceil_log2(self.n());
+        let mut executed = 0u64;
+        for gen in [Gen::BroadcastC, Gen::FilterNeighbors] {
+            self.fused_tick(gen, 0)?;
+            executed += 1;
+        }
+        for s in 0..subgens {
+            self.fused_tick(Gen::MinReduce, s)?;
+            executed += 1;
+        }
+        for gen in [Gen::ResolveIsolated, Gen::BroadcastT, Gen::FilterMembers] {
+            self.fused_tick(gen, 0)?;
+            executed += 1;
+        }
+        for s in 0..subgens {
+            self.fused_tick(Gen::MinReduceMembers, s)?;
+            executed += 1;
+        }
+        for gen in [Gen::ResolveMembers, Gen::CopyAndSaveT] {
+            self.fused_tick(gen, 0)?;
+            executed += 1;
+        }
+        executed += self.fused_pointer_jump(subgens)?;
+        self.fused_tick(Gen::FinalMin, 0)?;
+        executed += 1;
+        Ok(executed)
+    }
+
+    /// All pointer-jump sub-generations in one fused call: gather column 0
+    /// once, ping-pong the two label buffers per sub-generation, scatter
+    /// once at the end (also on error, so committed sub-generations stay
+    /// visible exactly as the generic engine leaves them).
+    fn fused_pointer_jump(&mut self, subgens: u32) -> Result<u64, GcaError> {
+        let counting = self.counting();
+        self.fused.gather_labels(&self.field);
+        let mut executed = 0u64;
+        let mut failure = None;
+        for s in 0..subgens {
+            if counting {
+                self.fused.reset_reads(self.field.len());
+            }
+            let ctx = self.fused_ctx(Gen::PointerJump, s);
+            match self.fused.jump_once(self.field.states(), &ctx, counting) {
+                Ok(rep) => {
+                    self.fused_commit(ctx, rep.active);
+                    executed += 1;
+                    if self.convergence == Convergence::Detect && rep.changed == 0 {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        self.fused.scatter_labels(&mut self.field);
+        match failure {
+            None => Ok(executed),
+            Some(e) => Err(e),
+        }
     }
 
     /// Captures the complete field state for checkpointing. Meaningful at
@@ -190,7 +344,34 @@ impl Machine {
 
     /// The current `C` vector (column 0).
     pub fn labels_raw(&self) -> Vec<Word> {
-        self.layout.extract_labels(&self.field)
+        let mut out = Vec::new();
+        self.labels_into(&mut out);
+        out
+    }
+
+    /// Writes the current `C` vector (column 0) into `out`, reusing its
+    /// allocation — the steady-state extraction path of the batched runner.
+    pub fn labels_into(&self, out: &mut Vec<Word>) {
+        out.clear();
+        out.extend((0..self.n()).map(|j| self.field.get(self.layout.c_index(j)).d));
+    }
+
+    /// Reloads the machine with a new graph of the **same size**, reusing
+    /// every buffer (field, engine scratch, metrics log, kernel scratch) —
+    /// no allocation. The machine returns to its pre-[`Machine::init`]
+    /// state; configuration (engine, convergence, exec path) is kept.
+    pub fn reset_with(&mut self, graph: &AdjacencyMatrix) -> Result<(), GcaError> {
+        if graph.n() != self.n() {
+            return Err(GcaError::ShapeMismatch {
+                expected: self.layout.cells(),
+                actual: graph.n() * (graph.n() + 1),
+            });
+        }
+        self.layout.refill_field(graph, &mut self.field);
+        self.engine.reset();
+        self.metrics.clear();
+        self.initialized = false;
+        Ok(())
     }
 
     /// The current `C` vector as a [`Labeling`].
@@ -238,16 +419,19 @@ pub struct HirschbergGca {
     engine: Engine,
     early_exit: bool,
     convergence: Convergence,
+    exec: ExecPath,
 }
 
 impl HirschbergGca {
     /// Default configuration: sequential engine, congestion counting,
-    /// fixed `⌈log₂ n⌉` iterations (the paper's schedule).
+    /// fixed `⌈log₂ n⌉` iterations (the paper's schedule), generic
+    /// execution path.
     pub fn new() -> Self {
         HirschbergGca {
             engine: Engine::sequential(),
             early_exit: false,
             convergence: Convergence::Fixed,
+            exec: ExecPath::Generic,
         }
     }
 
@@ -264,6 +448,13 @@ impl HirschbergGca {
     #[must_use]
     pub fn convergence(mut self, convergence: Convergence) -> Self {
         self.convergence = convergence;
+        self
+    }
+
+    /// Sets the execution path (see [`ExecPath`]).
+    #[must_use]
+    pub fn exec(mut self, exec: ExecPath) -> Self {
+        self.exec = exec;
         self
     }
 
@@ -289,8 +480,9 @@ impl HirschbergGca {
             });
         }
 
-        let mut machine =
-            Machine::with_engine(graph, self.engine.clone())?.with_convergence(self.convergence);
+        let mut machine = Machine::with_engine(graph, self.engine.clone())?
+            .with_convergence(self.convergence)
+            .with_exec(self.exec);
         machine.init()?;
         let max_iterations = ceil_log2(n);
         let mut iterations = 0;
@@ -639,5 +831,161 @@ mod tests {
         let g = generators::path(6);
         let l = connected_components(&g).unwrap();
         assert_eq!(l.as_slice(), &[0, 0, 0, 0, 0, 0]);
+    }
+
+    fn fused_test_corpus() -> Vec<AdjacencyMatrix> {
+        vec![
+            generators::empty(1),
+            generators::empty(5),
+            generators::path(7),
+            generators::ring(16),
+            generators::star(9),
+            generators::complete(8),
+            generators::gnp(20, 0.15, 2),
+            generators::gnp(13, 0.45, 11),
+            generators::random_forest(18, 4, 3),
+            generators::planted_components(15, 3, 0.7, 1).graph,
+        ]
+    }
+
+    #[test]
+    fn fused_matches_generic_labels_and_metrics() {
+        for g in &fused_test_corpus() {
+            let generic = HirschbergGca::new().run(g).unwrap();
+            let fused = HirschbergGca::new().exec(ExecPath::Fused).run(g).unwrap();
+            assert_eq!(fused.labels, generic.labels, "labels diverge on {g:?}");
+            assert_eq!(fused.generations, generic.generations);
+            assert_eq!(
+                fused.metrics.entries(),
+                generic.metrics.entries(),
+                "metrics diverge on {g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_matches_generic_under_detect() {
+        for g in &fused_test_corpus() {
+            let generic = HirschbergGca::new()
+                .convergence(Convergence::Detect)
+                .run(g)
+                .unwrap();
+            let fused = HirschbergGca::new()
+                .convergence(Convergence::Detect)
+                .exec(ExecPath::Fused)
+                .run(g)
+                .unwrap();
+            assert_eq!(fused.labels, generic.labels, "labels diverge on {g:?}");
+            assert_eq!(fused.generations, generic.generations, "detect skipped differently");
+            assert_eq!(fused.metrics.entries(), generic.metrics.entries());
+        }
+    }
+
+    #[test]
+    fn fused_stepwise_reports_match_generic() {
+        // The single-step API (with full reports) must agree counter by
+        // counter, not just via the metrics log.
+        let g = generators::gnp(11, 0.3, 4);
+        let mut a = Machine::new(&g).unwrap();
+        let mut b = Machine::new(&g).unwrap().with_exec(ExecPath::Fused);
+        let ra = a.init().unwrap();
+        let rb = b.init().unwrap();
+        assert_eq!(ra.ctx, rb.ctx);
+        for _ in 0..ceil_log2(11) {
+            for (gen, sub) in iteration_schedule(11) {
+                let ra = a.step(gen, sub).unwrap();
+                let rb = b.step(gen, sub).unwrap();
+                assert_eq!(ra.ctx, rb.ctx);
+                assert_eq!(ra.active_cells, rb.active_cells, "{gen:?}/{sub}");
+                assert_eq!(ra.total_reads, rb.total_reads, "{gen:?}/{sub}");
+                assert_eq!(ra.changed_cells, rb.changed_cells, "{gen:?}/{sub}");
+                assert_eq!(ra.congestion, rb.congestion, "{gen:?}/{sub}");
+            }
+        }
+        assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn fused_with_instrumentation_off_still_labels_correctly() {
+        for g in &fused_test_corpus() {
+            let expected = union_find_components_dense(g);
+            let run = HirschbergGca::new()
+                .with_engine(Engine::sequential().with_instrumentation(Instrumentation::Off))
+                .exec(ExecPath::Fused)
+                .run(g)
+                .unwrap();
+            assert_eq!(run.labels.as_slice(), expected.as_slice());
+            assert_eq!(run.metrics.generations(), 0);
+        }
+    }
+
+    #[test]
+    fn fused_trace_falls_back_to_generic() {
+        let g = generators::gnp(9, 0.3, 6);
+        let m = Machine::new(&g).unwrap().with_exec(ExecPath::Fused);
+        assert!(m.fused_active(), "Counts instrumentation stays fused");
+        let mut traced = Machine::with_engine(
+            &g,
+            Engine::sequential().with_instrumentation(Instrumentation::Trace),
+        )
+        .unwrap()
+        .with_exec(ExecPath::Fused);
+        assert!(!traced.fused_active(), "Trace falls back to generic");
+        let rep = traced.init().unwrap();
+        // The generic evaluator materialized per-cell accesses.
+        assert!(rep.accesses.is_some());
+    }
+
+    #[test]
+    fn fused_early_exit_composes() {
+        for seed in 0..4 {
+            let g = generators::gnp(15, 0.25, seed);
+            let expected = union_find_components_dense(&g);
+            let run = HirschbergGca::new()
+                .exec(ExecPath::Fused)
+                .convergence(Convergence::Detect)
+                .early_exit(true)
+                .run(&g)
+                .unwrap();
+            assert_eq!(run.labels.as_slice(), expected.as_slice());
+        }
+    }
+
+    #[test]
+    fn reset_with_reuses_machine() {
+        let g1 = generators::gnp(12, 0.3, 1);
+        let g2 = generators::ring(12);
+        let mut m = Machine::new(&g1).unwrap().with_exec(ExecPath::Fused);
+        m.init().unwrap();
+        for _ in 0..ceil_log2(12) {
+            m.run_iteration().unwrap();
+        }
+        m.reset_with(&g2).unwrap();
+        assert_eq!(m.generations(), 0);
+        assert_eq!(m.metrics().generations(), 0);
+        m.init().unwrap();
+        for _ in 0..ceil_log2(12) {
+            m.run_iteration().unwrap();
+        }
+        let expected = union_find_components_dense(&g2);
+        assert_eq!(m.labels().as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn reset_with_rejects_wrong_size() {
+        let mut m = Machine::new(&generators::ring(8)).unwrap();
+        assert!(m.reset_with(&generators::ring(9)).is_err());
+    }
+
+    #[test]
+    fn labels_into_matches_labels_raw() {
+        let g = generators::gnp(10, 0.3, 2);
+        let mut m = Machine::new(&g).unwrap();
+        m.init().unwrap();
+        m.run_iteration().unwrap();
+        let mut out = vec![99; 3];
+        m.labels_into(&mut out);
+        assert_eq!(out, m.labels_raw());
+        assert_eq!(out.len(), 10);
     }
 }

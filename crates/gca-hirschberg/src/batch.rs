@@ -1,0 +1,334 @@
+//! Batched multi-graph execution: run many independent component-labeling
+//! problems concurrently, one worker thread per contiguous slice of the
+//! batch, with per-worker [`Machine`] state reused across graphs.
+//!
+//! This is the throughput-oriented counterpart to [`crate::HirschbergGca`]
+//! (which optimizes the latency of one run and its instrumentation): the
+//! serving scenario is *B* same-sized graphs per batch, and the quantity of
+//! interest is aggregate **graphs per second**. Parallelism therefore goes
+//! *across* graphs (each worker drives a sequential engine) instead of
+//! across the cells of one field, and steady-state processing performs no
+//! per-graph allocation — workers reload their machine in place via
+//! [`Machine::reset_with`] and extract labels via [`Machine::labels_into`].
+
+use crate::complexity::ceil_log2;
+use crate::{Convergence, ExecPath, Machine};
+use gca_engine::{Engine, GcaError, Instrumentation, Word};
+use gca_graphs::AdjacencyMatrix;
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Configuration for running a batch of independent graphs.
+///
+/// Defaults favor throughput: [`ExecPath::Fused`] kernels,
+/// [`Instrumentation::Off`] (no congestion accounting), the paper's fixed
+/// sub-generation schedule, and one worker per hardware thread.
+///
+/// ```
+/// use gca_graphs::generators;
+/// use gca_hirschberg::BatchRunner;
+///
+/// let graphs: Vec<_> = (0..8).map(|s| generators::gnp(16, 0.2, s)).collect();
+/// let report = BatchRunner::new().run(&graphs).unwrap();
+/// assert_eq!(report.labels.len(), 8);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BatchRunner {
+    exec: ExecPath,
+    convergence: Convergence,
+    instrumentation: Instrumentation,
+    workers: usize,
+}
+
+impl Default for BatchRunner {
+    fn default() -> Self {
+        BatchRunner::new()
+    }
+}
+
+impl BatchRunner {
+    /// Throughput defaults: fused kernels, instrumentation off, fixed
+    /// schedule, auto worker count.
+    pub fn new() -> Self {
+        BatchRunner {
+            exec: ExecPath::Fused,
+            convergence: Convergence::Fixed,
+            instrumentation: Instrumentation::Off,
+            workers: 0,
+        }
+    }
+
+    /// Sets the execution path each worker uses.
+    #[must_use]
+    pub fn exec(mut self, exec: ExecPath) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Sets the sub-generation convergence policy.
+    #[must_use]
+    pub fn convergence(mut self, convergence: Convergence) -> Self {
+        self.convergence = convergence;
+        self
+    }
+
+    /// Sets the per-worker instrumentation level. Batch runs discard the
+    /// metrics logs; anything above [`Instrumentation::Off`] only costs.
+    #[must_use]
+    pub fn instrumentation(mut self, instrumentation: Instrumentation) -> Self {
+        self.instrumentation = instrumentation;
+        self
+    }
+
+    /// Sets the number of worker threads; `0` (the default) means one per
+    /// hardware thread. The batch is split into at most this many
+    /// contiguous chunks, one machine per chunk.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// The worker count a batch of `batch` graphs would actually use.
+    pub fn effective_workers(&self, batch: usize) -> usize {
+        let configured = if self.workers == 0 {
+            rayon::current_num_threads()
+        } else {
+            self.workers
+        };
+        configured.clamp(1, batch.max(1))
+    }
+
+    /// Labels every graph, allocating fresh output vectors.
+    pub fn run(&self, graphs: &[AdjacencyMatrix]) -> Result<BatchReport, GcaError> {
+        let mut labels = Vec::new();
+        let stats = self.run_into(graphs, &mut labels)?;
+        Ok(BatchReport { labels, stats })
+    }
+
+    /// Labels every graph into `out`, reusing its allocations (outer vector
+    /// and per-graph label vectors) — the steady-state API for callers that
+    /// process batches repeatedly. `out` is resized to `graphs.len()`.
+    ///
+    /// On error the first failure (by graph order within the earliest
+    /// failing worker) is returned; `out` then holds a mixture of new and
+    /// stale labels and should be discarded.
+    pub fn run_into(
+        &self,
+        graphs: &[AdjacencyMatrix],
+        out: &mut Vec<Vec<Word>>,
+    ) -> Result<BatchStats, GcaError> {
+        let started = Instant::now();
+        if graphs.is_empty() {
+            out.clear();
+            return Ok(BatchStats {
+                graphs: 0,
+                workers: 0,
+                elapsed: started.elapsed(),
+            });
+        }
+        let workers = self.effective_workers(graphs.len());
+        let chunk = graphs.len().div_ceil(workers);
+        out.resize_with(graphs.len(), Vec::new);
+        let mut failures: Vec<Option<GcaError>> = vec![None; workers];
+        graphs
+            .par_chunks(chunk)
+            .zip(out.par_chunks_mut(chunk))
+            .zip(failures.par_iter_mut())
+            .for_each(|((graphs, outs), failure)| {
+                let mut machine: Option<Machine> = None;
+                for (graph, out) in graphs.iter().zip(outs.iter_mut()) {
+                    if let Err(e) = self.run_one(&mut machine, graph, out) {
+                        *failure = Some(e);
+                        return;
+                    }
+                }
+            });
+        if let Some(e) = failures.into_iter().flatten().next() {
+            return Err(e);
+        }
+        Ok(BatchStats {
+            graphs: graphs.len(),
+            workers,
+            elapsed: started.elapsed(),
+        })
+    }
+
+    /// Runs one graph on the worker's machine, rebuilding it only when the
+    /// problem size changes.
+    fn run_one(
+        &self,
+        machine: &mut Option<Machine>,
+        graph: &AdjacencyMatrix,
+        out: &mut Vec<Word>,
+    ) -> Result<(), GcaError> {
+        let m = match machine {
+            Some(m) if m.n() == graph.n() => {
+                m.reset_with(graph)?;
+                m
+            }
+            _ => machine.insert(self.build_machine(graph)?),
+        };
+        m.init()?;
+        for _ in 0..ceil_log2(graph.n()) {
+            m.run_iteration()?;
+        }
+        m.labels_into(out);
+        Ok(())
+    }
+
+    fn build_machine(&self, graph: &AdjacencyMatrix) -> Result<Machine, GcaError> {
+        let engine = Engine::sequential().with_instrumentation(self.instrumentation);
+        Ok(Machine::with_engine(graph, engine)?
+            .with_convergence(self.convergence)
+            .with_exec(self.exec))
+    }
+}
+
+/// Timing of one batch run.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchStats {
+    /// Graphs processed.
+    pub graphs: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock duration of the batch.
+    pub elapsed: Duration,
+}
+
+impl BatchStats {
+    /// Aggregate throughput in graphs per second (`0.0` for an empty or
+    /// instantaneous batch).
+    pub fn graphs_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.graphs as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Labels plus timing of one batch run.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Per-graph raw label vectors, in input order.
+    pub labels: Vec<Vec<Word>>,
+    /// Batch timing.
+    pub stats: BatchStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gca_graphs::connectivity::union_find_components_dense;
+    use gca_graphs::generators;
+
+    fn expected_raw(graph: &AdjacencyMatrix) -> Vec<Word> {
+        union_find_components_dense(graph)
+            .as_slice()
+            .iter()
+            .map(|&l| l as Word)
+            .collect()
+    }
+
+    fn mixed_batch() -> Vec<AdjacencyMatrix> {
+        (0..12)
+            .map(|s| match s % 4 {
+                0 => generators::gnp(17, 0.15, s as u64),
+                1 => generators::random_forest(17, 3, s as u64),
+                2 => generators::ring(17),
+                _ => generators::star(17),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_union_find() {
+        let graphs = mixed_batch();
+        let report = BatchRunner::new().run(&graphs).unwrap();
+        assert_eq!(report.labels.len(), graphs.len());
+        assert_eq!(report.stats.graphs, graphs.len());
+        for (graph, labels) in graphs.iter().zip(&report.labels) {
+            assert_eq!(labels, &expected_raw(graph));
+        }
+    }
+
+    #[test]
+    fn generic_path_matches_too() {
+        let graphs = mixed_batch();
+        let fused = BatchRunner::new().run(&graphs).unwrap();
+        let generic = BatchRunner::new()
+            .exec(ExecPath::Generic)
+            .run(&graphs)
+            .unwrap();
+        assert_eq!(fused.labels, generic.labels);
+    }
+
+    #[test]
+    fn worker_counts_agree() {
+        let graphs = mixed_batch();
+        let reference = BatchRunner::new().workers(1).run(&graphs).unwrap();
+        for workers in [2, 3, 8] {
+            let report = BatchRunner::new().workers(workers).run(&graphs).unwrap();
+            assert_eq!(report.labels, reference.labels, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn run_into_reuses_outer_allocation() {
+        let graphs = mixed_batch();
+        let runner = BatchRunner::new();
+        let mut out = Vec::new();
+        runner.run_into(&graphs, &mut out).unwrap();
+        let ptrs: Vec<*const Word> = out.iter().map(|v| v.as_ptr()).collect();
+        runner.run_into(&graphs, &mut out).unwrap();
+        // Same sizes both times: every per-graph vector must be reused.
+        assert_eq!(ptrs, out.iter().map(|v| v.as_ptr()).collect::<Vec<_>>());
+        for (graph, labels) in graphs.iter().zip(&out) {
+            assert_eq!(labels, &expected_raw(graph));
+        }
+    }
+
+    #[test]
+    fn mixed_sizes_rebuild_machines() {
+        let graphs: Vec<AdjacencyMatrix> = vec![
+            generators::path(9),
+            generators::gnp(13, 0.3, 1),
+            generators::ring(9),
+            generators::complete(4),
+        ];
+        let report = BatchRunner::new().workers(1).run(&graphs).unwrap();
+        for (graph, labels) in graphs.iter().zip(&report.labels) {
+            assert_eq!(labels, &expected_raw(graph));
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let report = BatchRunner::new().run(&[]).unwrap();
+        assert!(report.labels.is_empty());
+        assert_eq!(report.stats.graphs, 0);
+        assert_eq!(report.stats.graphs_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn effective_workers_clamps() {
+        let runner = BatchRunner::new().workers(64);
+        assert_eq!(runner.effective_workers(3), 3);
+        assert_eq!(runner.effective_workers(0), 1);
+        assert!(BatchRunner::new().effective_workers(1000) >= 1);
+    }
+
+    #[test]
+    fn detect_convergence_composes() {
+        let graphs = mixed_batch();
+        let report = BatchRunner::new()
+            .convergence(Convergence::Detect)
+            .run(&graphs)
+            .unwrap();
+        for (graph, labels) in graphs.iter().zip(&report.labels) {
+            assert_eq!(labels, &expected_raw(graph));
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! Fused flat-array kernels for the Hirschberg rule ([`ExecPath::Fused`]).
+//!
+//! The generic engine path evaluates every generation through per-cell
+//! [`gca_engine::GcaRule`] dispatch: each cell re-derives its row/column,
+//! re-matches the phase enum, resolves an [`gca_engine::Access`], and the
+//! engine copies every untouched cell from the previous to the next buffer.
+//! For the iterated phases (the two `⌈log₂ n⌉` min-reduction trees and
+//! pointer jumping) that copy alone is `O(n²)` work per sub-generation for
+//! `O(n)` useful updates.
+//!
+//! This module implements each of Figure 2's generations as a specialized
+//! kernel over the flat [`HCell`] buffer instead:
+//!
+//! * **broadcasts** (generations 1, 5, 9) gather the column-0 vector into a
+//!   reusable scratch once, then fill rows with strided writes;
+//! * **tree reductions** (generations 3, 7) update the current buffer in
+//!   place — within one sub-generation the written columns
+//!   (`col ≡ 0 (mod 2^{s+1})`) and the read columns (`col + 2^s`) are
+//!   disjoint, so synchrony holds without any buffer copy, and the `log n`
+//!   sub-generations fuse into consecutive passes over the same buffer;
+//! * **pointer jumping** (generation 10) chases pointers through two
+//!   ping-pong label vectors of length `n` (`FusedExecutor::gather_labels`
+//!   / `FusedExecutor::scatter_labels`), touching the `n²`-cell field not
+//!   at all between sub-generations — the existing
+//!   [`crate::Convergence::Detect`] fixed point composes unchanged.
+//!
+//! **Metrics contract.** Every kernel produces the exact counters the
+//! generic path produces: active cells per Table 1, total reads, changed
+//! cells (the convergence signal), and — when counting — the per-target
+//! read histogram in `FusedExecutor::reads`. `tests/property_based.rs`
+//! asserts labelings *and* `Counts` metrics are bit-identical between the
+//! two paths; `Instrumentation::Trace` needs per-cell access lists only the
+//! generic evaluator materializes, so [`crate::Machine`] falls back to it.
+
+use crate::{Gen, HCell};
+use gca_engine::{CellField, GcaError, StepCtx, Word, INFINITY};
+
+/// Which implementation executes the state machine's generations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ExecPath {
+    /// The engine's generic per-cell `access`/`evolve` dispatch — the
+    /// reference semantics, supporting every [`gca_engine::Instrumentation`]
+    /// level and [`gca_engine::Backend`].
+    #[default]
+    Generic,
+    /// The fused flat-array kernels of [`crate::kernels`]. Bit-identical
+    /// labelings and `Counts` metrics; steps with
+    /// [`gca_engine::Instrumentation::Trace`] fall back to the generic path
+    /// (access traces require the per-cell evaluator).
+    Fused,
+}
+
+/// Counters of one fused generation — the kernel-side mirror of
+/// [`gca_engine::StepReport`]'s counter fields.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct KernelReport {
+    /// Cells that performed a calculation (Table 1's activity column).
+    pub active: usize,
+    /// Total global reads issued.
+    pub reads: u64,
+    /// Cells whose new state differs from their previous state.
+    pub changed: usize,
+    /// Cells the kernel visited.
+    pub evaluated: usize,
+}
+
+/// Reusable scratch and per-generation kernels for one problem size `n`.
+///
+/// Owned by [`crate::Machine`]; all buffers are allocated once and reused,
+/// so fused steady-state stepping performs no allocation (under
+/// `Instrumentation::Off`) beyond what the metrics log itself appends.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct FusedExecutor {
+    n: usize,
+    /// Gathered column-0 (`C`/`T`) values — the broadcast source and the
+    /// "ping" label buffer of pointer jumping.
+    labels: Vec<Word>,
+    /// The "pong" label buffer of pointer jumping.
+    labels_next: Vec<Word>,
+    /// Per-target read counts of the last executed generation (the Table-1
+    /// congestion histogram), filled when counting.
+    reads: Vec<u32>,
+}
+
+impl FusedExecutor {
+    /// An executor for problem size `n`.
+    pub fn new(n: usize) -> Self {
+        FusedExecutor {
+            n,
+            labels: Vec::with_capacity(n),
+            labels_next: vec![0; n],
+            reads: Vec::new(),
+        }
+    }
+
+    /// Per-target read counts of the last kernel executed with
+    /// `counting = true` (empty otherwise).
+    pub fn reads(&self) -> &[u32] {
+        &self.reads
+    }
+
+    /// Zero-fills the read-count scratch for a directly driven kernel call
+    /// ([`FusedExecutor::jump_once`]); [`FusedExecutor::step`] does this
+    /// itself.
+    pub fn reset_reads(&mut self, len: usize) {
+        self.reads.clear();
+        self.reads.resize(len, 0);
+    }
+
+    /// Executes one `(generation, sub-generation)` over the current buffer
+    /// of `field`, dispatching to the matching kernel. On error the field is
+    /// left on its previous generation, like [`gca_engine::Engine::step`].
+    pub fn step(
+        &mut self,
+        field: &mut CellField<HCell>,
+        ctx: &StepCtx,
+        counting: bool,
+    ) -> Result<KernelReport, GcaError> {
+        let gen = Gen::from_number(ctx.phase)
+            .unwrap_or_else(|| panic!("invalid Hirschberg phase {}", ctx.phase));
+        let n = self.n;
+        self.reads.clear();
+        if counting {
+            self.reads.resize(field.len(), 0);
+        }
+        if n == 0 {
+            return Ok(KernelReport::default());
+        }
+        match gen {
+            Gen::Init => Ok(init(field.states_mut(), n)),
+            Gen::BroadcastC => Ok(self.broadcast(field.states_mut(), counting, true)),
+            Gen::FilterNeighbors => Ok(self.filter_neighbors(field.states_mut(), counting)),
+            Gen::MinReduce | Gen::MinReduceMembers => {
+                Ok(self.min_reduce(field.states_mut(), ctx.subgeneration, counting))
+            }
+            Gen::ResolveIsolated | Gen::ResolveMembers => {
+                Ok(self.resolve(field.states_mut(), counting))
+            }
+            Gen::BroadcastT => Ok(self.broadcast(field.states_mut(), counting, false)),
+            Gen::FilterMembers => Ok(self.filter_members(field.states_mut(), counting)),
+            Gen::CopyAndSaveT => Ok(self.copy_and_save_t(field.states_mut(), counting)),
+            Gen::PointerJump => {
+                self.gather_labels(field);
+                let rep = self.jump_once(field.states(), ctx, counting)?;
+                self.scatter_labels(field);
+                Ok(rep)
+            }
+            Gen::FinalMin => self.final_min(field.states_mut(), ctx, counting),
+        }
+    }
+
+    /// Generations 1 and 5: fill every row with the gathered column-0
+    /// vector. Generation 1 (`include_dn`) also overwrites `D_N` (saving
+    /// `C`); generation 5 leaves `D_N` on its saved copy.
+    fn broadcast(&mut self, cells: &mut [HCell], counting: bool, include_dn: bool) -> KernelReport {
+        let n = self.n;
+        self.labels.clear();
+        self.labels.extend((0..n).map(|j| cells[j * n].d));
+        let rows = if include_dn { n + 1 } else { n };
+        let mut changed = 0;
+        for row_cells in cells[..rows * n].chunks_mut(n) {
+            for (col, cell) in row_cells.iter_mut().enumerate() {
+                let v = self.labels[col];
+                changed += usize::from(cell.d != v);
+                cell.d = v;
+            }
+        }
+        if counting {
+            for col in 0..n {
+                self.reads[col * n] += rows as u32;
+            }
+        }
+        let touched = rows * n;
+        KernelReport {
+            active: touched,
+            reads: touched as u64,
+            changed,
+            evaluated: touched,
+        }
+    }
+
+    /// Generation 2: keep `d = C(col)` only where an edge connects `row` to
+    /// `col` and the endpoints are in different components (`d ≠ C(row)`,
+    /// with `C(row)` read from `D_N`); else `∞`.
+    fn filter_neighbors(&mut self, cells: &mut [HCell], counting: bool) -> KernelReport {
+        let n = self.n;
+        let (square, dn) = cells.split_at_mut(n * n);
+        let mut changed = 0;
+        for (row, row_cells) in square.chunks_mut(n).enumerate() {
+            let c_row = dn[row].d;
+            for cell in row_cells.iter_mut() {
+                if !(cell.a && cell.d != c_row) {
+                    changed += usize::from(cell.d != INFINITY);
+                    cell.d = INFINITY;
+                }
+            }
+        }
+        if counting {
+            for row in 0..n {
+                self.reads[n * n + row] += n as u32;
+            }
+        }
+        KernelReport {
+            active: n * n,
+            reads: (n * n) as u64,
+            changed,
+            evaluated: n * n,
+        }
+    }
+
+    /// Generations 3 and 7, one sub-generation: every participating cell
+    /// (`col ≡ 0 (mod 2^{s+1})`, `col + 2^s < n`) folds in the cell `2^s` to
+    /// its right. In place: written and read columns are disjoint.
+    fn min_reduce(&mut self, cells: &mut [HCell], s: u32, counting: bool) -> KernelReport {
+        let n = self.n;
+        let stride = 1usize << s;
+        let mut active = 0;
+        let mut changed = 0;
+        for row in 0..n {
+            let base = row * n;
+            let mut col = 0;
+            while col + stride < n {
+                let i = base + col;
+                let neigh = cells[i + stride].d;
+                if counting {
+                    self.reads[i + stride] += 1;
+                }
+                if neigh < cells[i].d {
+                    cells[i].d = neigh;
+                    changed += 1;
+                }
+                active += 1;
+                col += stride << 1;
+            }
+        }
+        KernelReport {
+            active,
+            reads: active as u64,
+            changed,
+            evaluated: active,
+        }
+    }
+
+    /// Generations 4 and 8: column-0 cells still holding `∞` fall back to
+    /// the saved `C(row)` from `D_N`.
+    fn resolve(&mut self, cells: &mut [HCell], counting: bool) -> KernelReport {
+        let n = self.n;
+        let (square, dn) = cells.split_at_mut(n * n);
+        let mut changed = 0;
+        for row in 0..n {
+            let saved = dn[row].d;
+            if counting {
+                self.reads[n * n + row] += 1;
+            }
+            let cell = &mut square[row * n];
+            if cell.d == INFINITY {
+                changed += usize::from(saved != INFINITY);
+                cell.d = saved;
+            }
+        }
+        KernelReport {
+            active: n,
+            reads: n as u64,
+            changed,
+            evaluated: n,
+        }
+    }
+
+    /// Generation 6: keep `d = T(col)` only where `col` is a member of
+    /// component `row` (`C(col) = row`, read from `D_N`) and its candidate
+    /// differs from `row`; else `∞`.
+    fn filter_members(&mut self, cells: &mut [HCell], counting: bool) -> KernelReport {
+        let n = self.n;
+        let (square, dn) = cells.split_at_mut(n * n);
+        let mut changed = 0;
+        for (row, row_cells) in square.chunks_mut(n).enumerate() {
+            let j = row as Word;
+            for (col, cell) in row_cells.iter_mut().enumerate() {
+                if !(dn[col].d == j && cell.d != j) {
+                    changed += usize::from(cell.d != INFINITY);
+                    cell.d = INFINITY;
+                }
+            }
+        }
+        if counting {
+            for col in 0..n {
+                self.reads[n * n + col] += n as u32;
+            }
+        }
+        KernelReport {
+            active: n * n,
+            reads: (n * n) as u64,
+            changed,
+            evaluated: n * n,
+        }
+    }
+
+    /// Generation 9: spread `T(row)` (column 0) across each square row and
+    /// save `T` into `D_N`. Column 0 itself is never written, so both fills
+    /// read stable sources.
+    fn copy_and_save_t(&mut self, cells: &mut [HCell], counting: bool) -> KernelReport {
+        let n = self.n;
+        let (square, dn) = cells.split_at_mut(n * n);
+        let mut changed = 0;
+        for (col, cell) in dn.iter_mut().enumerate() {
+            let t = square[col * n].d;
+            changed += usize::from(cell.d != t);
+            cell.d = t;
+        }
+        for row_cells in square.chunks_mut(n) {
+            let t = row_cells[0].d;
+            for cell in &mut row_cells[1..] {
+                changed += usize::from(cell.d != t);
+                cell.d = t;
+            }
+        }
+        if counting {
+            for row in 0..n {
+                self.reads[row * n] += n as u32;
+            }
+        }
+        KernelReport {
+            active: n * n,
+            reads: (n * n) as u64,
+            changed,
+            evaluated: n * n,
+        }
+    }
+
+    /// Copies column 0 of the square field into the ping label buffer —
+    /// the entry point of a fused pointer-jump sequence.
+    pub fn gather_labels(&mut self, field: &CellField<HCell>) {
+        let n = self.n;
+        self.labels.clear();
+        self.labels
+            .extend((0..n).map(|j| field.get(j * n).d));
+    }
+
+    /// Writes the ping label buffer back into column 0 of the square field —
+    /// the exit point of a fused pointer-jump sequence. Committed
+    /// sub-generations stay visible even when a later one failed, matching
+    /// the generic engine (a failed step leaves the previous generation in
+    /// place).
+    pub fn scatter_labels(&self, field: &mut CellField<HCell>) {
+        let n = self.n;
+        let cells = field.states_mut();
+        for (j, &v) in self.labels.iter().enumerate() {
+            cells[j * n].d = v;
+        }
+    }
+
+    /// One pointer-jump sub-generation over the gathered labels:
+    /// `C(i) ← C(C(i))`, computed into the pong buffer and swapped on
+    /// success. `cells` is only consulted for the `d = n` corner (the
+    /// data-dependent pointer then lands on `D_N[0]`, which this generation
+    /// never writes) and for bounds reporting.
+    pub fn jump_once(
+        &mut self,
+        cells: &[HCell],
+        ctx: &StepCtx,
+        counting: bool,
+    ) -> Result<KernelReport, GcaError> {
+        let n = self.n;
+        let len = cells.len();
+        let mut changed = 0;
+        for (i, slot) in self.labels_next.iter_mut().enumerate() {
+            let d = self.labels[i] as usize;
+            let target = d.checked_mul(n).filter(|&t| t < len).ok_or_else(|| {
+                GcaError::PointerOutOfRange {
+                    cell: i * n,
+                    target: d.saturating_mul(n),
+                    len,
+                    generation: ctx.generation,
+                }
+            })?;
+            // target = d·n is column 0 of row d when d < n; the only other
+            // in-range multiple of n is n² = D_N[0].
+            let v = if d < n { self.labels[d] } else { cells[target].d };
+            if counting {
+                self.reads[target] += 1;
+            }
+            changed += usize::from(v != self.labels[i]);
+            *slot = v;
+        }
+        std::mem::swap(&mut self.labels, &mut self.labels_next);
+        Ok(KernelReport {
+            active: n,
+            reads: n as u64,
+            changed,
+            evaluated: n,
+        })
+    }
+
+    /// Generation 11: `C(i) ← min(C(i), T(C(i)))`, reading column 1 of row
+    /// `C(i)` (which still holds the pre-jump `T`). In place: only column 0
+    /// is written and the data-dependent target `d·n + 1` is never in
+    /// column 0 (for `n = 1` it lands in `D_N`, also unwritten).
+    fn final_min(
+        &mut self,
+        cells: &mut [HCell],
+        ctx: &StepCtx,
+        counting: bool,
+    ) -> Result<KernelReport, GcaError> {
+        let n = self.n;
+        let len = cells.len();
+        let mut changed = 0;
+        for row in 0..n {
+            let i = row * n;
+            let d = cells[i].d as usize;
+            let target = d
+                .checked_mul(n)
+                .and_then(|t| t.checked_add(1))
+                .filter(|&t| t < len)
+                .ok_or_else(|| GcaError::PointerOutOfRange {
+                    cell: i,
+                    target: d.saturating_mul(n).saturating_add(1),
+                    len,
+                    generation: ctx.generation,
+                })?;
+            let t = cells[target].d;
+            if counting {
+                self.reads[target] += 1;
+            }
+            if t < cells[i].d {
+                cells[i].d = t;
+                changed += 1;
+            }
+        }
+        Ok(KernelReport {
+            active: n,
+            reads: n as u64,
+            changed,
+            evaluated: n,
+        })
+    }
+}
+
+/// Generation 0: `d ← row(index)` everywhere, no reads.
+fn init(cells: &mut [HCell], n: usize) -> KernelReport {
+    let mut changed = 0;
+    for (row, row_cells) in cells.chunks_mut(n).enumerate() {
+        let d = row as Word;
+        for cell in row_cells {
+            changed += usize::from(cell.d != d);
+            cell.d = d;
+        }
+    }
+    KernelReport {
+        active: cells.len(),
+        reads: 0,
+        changed,
+        evaluated: cells.len(),
+    }
+}

@@ -90,6 +90,27 @@ impl Layout {
         })
     }
 
+    /// Rewrites an existing field in place from a new adjacency matrix —
+    /// the allocation-free counterpart of [`Layout::build_field`], used when
+    /// reusing a machine across graphs of the same size. Data parts are
+    /// zeroed exactly as a fresh build would leave them.
+    pub fn refill_field(&self, graph: &AdjacencyMatrix, field: &mut CellField<HCell>) {
+        assert_eq!(
+            graph.n(),
+            self.n,
+            "graph has {} nodes but the layout expects {}",
+            graph.n(),
+            self.n
+        );
+        assert_eq!(field.len(), self.cells(), "field does not match the layout");
+        for (index, cell) in field.states_mut().iter_mut().enumerate() {
+            let row = self.shape.row(index);
+            let col = self.shape.col(index);
+            let a = row < self.n && graph.has_edge_checked(row, col);
+            *cell = HCell::with_adjacency(0, a);
+        }
+    }
+
     /// Reads the result vector `C` out of the first column.
     pub fn extract_labels(&self, field: &CellField<HCell>) -> Vec<Word> {
         (0..self.n).map(|j| field.get(self.c_index(j)).d).collect()

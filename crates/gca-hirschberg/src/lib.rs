@@ -29,7 +29,10 @@
 //! * [`Machine`] — the generation-level stepper (drive the state machine
 //!   yourself; used by the figure/table binaries);
 //! * [`HirschbergGca`] — configurable runner (backend, instrumentation,
-//!   early exit);
+//!   early exit, execution path);
+//! * [`kernels`] — fused flat-array kernels ([`ExecPath::Fused`]), metrics-
+//!   identical to the generic engine path;
+//! * [`batch`] — the batched multi-graph runner (aggregate graphs/sec);
 //! * [`variants`] — the design-space variants the paper discusses: an
 //!   `n`-cell machine (§3's "decide between n and n² cells") and a
 //!   low-congestion machine using tree-shaped reads (§4);
@@ -40,8 +43,10 @@
 #![warn(missing_docs)]
 
 mod algorithm;
+pub mod batch;
 mod cell;
 pub mod complexity;
+pub mod kernels;
 mod layout;
 mod phase;
 mod rule;
@@ -50,7 +55,9 @@ pub mod timing;
 pub mod variants;
 
 pub use algorithm::{connected_components, Convergence, GcaRun, HirschbergGca, Machine};
+pub use batch::{BatchReport, BatchRunner, BatchStats};
 pub use cell::HCell;
+pub use kernels::ExecPath;
 pub use layout::Layout;
 pub use phase::{iteration_schedule, Gen};
 pub use rule::HirschbergRule;

@@ -9,7 +9,7 @@ use gca_engine::{
 use gca_graphs::connectivity::union_find_components_dense;
 use gca_graphs::{generators, AdjacencyMatrix, Labeling};
 use gca_hirschberg::variants::{low_congestion, n_cells};
-use gca_hirschberg::{complexity, Convergence, HirschbergGca};
+use gca_hirschberg::{complexity, Convergence, ExecPath, HirschbergGca};
 use gca_pram::hirschberg_ref;
 use proptest::prelude::*;
 
@@ -359,5 +359,57 @@ proptest! {
             .unwrap();
         prop_assert_eq!(both.labels.as_slice(), fixed.labels.as_slice());
         prop_assert!(both.generations <= detect.generations);
+    }
+}
+
+/// Strategy: one of the fused-path acceptance families — Gilbert `G(n, p)`,
+/// random forest, or a cycle — at `n ∈ {4, 8, 16, 32, 64}`.
+fn arb_fused_graph() -> impl Strategy<Value = AdjacencyMatrix> {
+    const SIZES: [usize; 5] = [4, 8, 16, 32, 64];
+    (0usize..SIZES.len(), 0usize..3, 1u64..1_000_000, 1u32..8).prop_map(
+        |(size_idx, family, seed, p_twentieths)| {
+            let n = SIZES[size_idx];
+            match family {
+                0 => generators::gnp(n, f64::from(p_twentieths) / 20.0, seed),
+                1 => generators::random_forest(n, (n / 4).max(1), seed),
+                _ => generators::ring(n),
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The fused execution path is bit-identical to the generic path: same
+    /// labelings and same `Counts` metrics (active cells, total reads,
+    /// congestion histograms, generation contexts) on every workload of
+    /// [`arb_fused_graph`].
+    #[test]
+    fn fused_equals_generic(g in arb_fused_graph()) {
+        let generic = HirschbergGca::new().run(&g).unwrap();
+        let fused = HirschbergGca::new().exec(ExecPath::Fused).run(&g).unwrap();
+        prop_assert_eq!(fused.labels.as_slice(), generic.labels.as_slice());
+        prop_assert_eq!(fused.generations, generic.generations);
+        prop_assert_eq!(fused.metrics.entries(), generic.metrics.entries());
+    }
+
+    /// The same equivalence holds under convergence detection: the fused
+    /// pointer-jump sequence stops on exactly the same sub-generation, so
+    /// generation counts and metrics logs still match entry for entry.
+    #[test]
+    fn fused_equals_generic_under_detect(g in arb_fused_graph()) {
+        let generic = HirschbergGca::new()
+            .convergence(Convergence::Detect)
+            .run(&g)
+            .unwrap();
+        let fused = HirschbergGca::new()
+            .convergence(Convergence::Detect)
+            .exec(ExecPath::Fused)
+            .run(&g)
+            .unwrap();
+        prop_assert_eq!(fused.labels.as_slice(), generic.labels.as_slice());
+        prop_assert_eq!(fused.generations, generic.generations);
+        prop_assert_eq!(fused.metrics.entries(), generic.metrics.entries());
     }
 }
