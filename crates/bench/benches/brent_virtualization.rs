@@ -25,7 +25,7 @@ fn bench_virtualized_generation(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(p), &schedule, |b, sched| {
             b.iter_with_setup(
                 || {
-                    let mut f = layout.build_field(&g);
+                    let mut f = layout.build_field(&g).unwrap();
                     // Seed with the init generation's values.
                     for idx in 0..f.len() {
                         let row = layout.shape().row(idx) as u32;

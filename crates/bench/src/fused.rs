@@ -164,6 +164,7 @@ pub fn time_full_runs(n: usize, instrumentation: Instrumentation) -> FusedRunTim
             Instrumentation::Off => "off",
             Instrumentation::Counts => "counts",
             Instrumentation::Trace => "trace",
+            Instrumentation::Validate => "validate",
         },
         generic_ms,
         fused_ms,

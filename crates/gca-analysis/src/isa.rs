@@ -1,0 +1,659 @@
+//! Static dataflow analysis over emulated-PRAM ISA programs.
+//!
+//! The emulated machine ([`gca_emu::PramOnGca`]) enforces the CROW
+//! owner-write discipline *dynamically*: a store to a foreign address is
+//! caught between the publish and pull generations and aborts the run. This
+//! module proves the same property *before* the program runs, by abstract
+//! interpretation of the instruction stream.
+//!
+//! The abstract domain is per-processor constant propagation: every register
+//! holds, for every processor, either a statically known [`Value`] or ⊤
+//! (unknown). [`gca_emu::Instr::Const`] tables are exact, ALU/select results
+//! are exact whenever their operands are, and loads poison the destination
+//! (memory contents are runtime data) while their *address* — and hence the
+//! read set — usually stays exact. On this lattice the analysis
+//!
+//! * **proves owner-write** for every [`gca_emu::Instr::StoreIf`]: each
+//!   processor whose store predicate may hold must have a statically known
+//!   target address that it owns ([`analyze`] fails otherwise);
+//! * **extracts per-generation read sets**: an exact per-cell congestion
+//!   histogram for statically addressed generations, and a
+//!   number-of-readers bound for data-dependent ones (the pointer chases of
+//!   Listing 1's steps 5–6);
+//! * **predicts activity**: under the emulation rule every cell formally
+//!   computes each generation, so the active count is the field size.
+//!
+//! [`IsaAnalysis::cross_check`] then replays the prediction against the
+//! dynamic [`gca_emu::EmuRun::metrics`] of an actual run — exact generations
+//! must match the measured congestion bit for bit, bounded ones must bound
+//! it.
+
+use gca_emu::{AluOp, Cond, Instr, Operand, Program, Rel, Value, NUM_REGS};
+use gca_engine::metrics::MetricsLog;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Per-processor abstract register value: `Some(v)` = statically known.
+type Abs = Vec<Option<Value>>;
+
+/// Why a program failed static verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// A `Const` table does not cover every processor.
+    ConstTableSize {
+        /// Offending instruction index.
+        instr: usize,
+        /// Table length.
+        table: usize,
+        /// Processor count.
+        procs: usize,
+    },
+    /// A load address is statically known to fall outside memory.
+    LoadOutOfRange {
+        /// Offending instruction index.
+        instr: usize,
+        /// The loading processor.
+        proc: usize,
+        /// The out-of-range address.
+        addr: Value,
+        /// Memory size.
+        memory: usize,
+    },
+    /// A processor that may store has a statically unknown target address,
+    /// so owner-write cannot be proven.
+    UnprovableStoreAddress {
+        /// Offending instruction index.
+        instr: usize,
+        /// The processor whose address is unknown.
+        proc: usize,
+    },
+    /// A store address is statically known to fall outside memory.
+    StoreOutOfRange {
+        /// Offending instruction index.
+        instr: usize,
+        /// The storing processor.
+        proc: usize,
+        /// The out-of-range address.
+        addr: Value,
+        /// Memory size.
+        memory: usize,
+    },
+    /// A processor may store to an address owned by someone else — the
+    /// exact bug the dynamic [`gca_emu::machine::EmuError::OwnerViolation`] check
+    /// flags, caught without running the program.
+    OwnerMismatch {
+        /// Offending instruction index.
+        instr: usize,
+        /// The processor that may store.
+        proc: usize,
+        /// The foreign address.
+        addr: usize,
+        /// Its registered owner.
+        owner: usize,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::ConstTableSize { instr, table, procs } => write!(
+                f,
+                "instruction {instr}: const table has {table} entries for {procs} processors"
+            ),
+            AnalysisError::LoadOutOfRange { instr, proc, addr, memory } => write!(
+                f,
+                "instruction {instr}: processor {proc} loads address {addr} outside memory of {memory}"
+            ),
+            AnalysisError::UnprovableStoreAddress { instr, proc } => write!(
+                f,
+                "instruction {instr}: processor {proc} may store through a statically unknown address — owner-write unprovable"
+            ),
+            AnalysisError::StoreOutOfRange { instr, proc, addr, memory } => write!(
+                f,
+                "instruction {instr}: processor {proc} stores to address {addr} outside memory of {memory}"
+            ),
+            AnalysisError::OwnerMismatch { instr, proc, addr, owner } => write!(
+                f,
+                "instruction {instr}: processor {proc} may store to address {addr} owned by processor {owner}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// The statically derived read set of one GCA generation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReadPrediction {
+    /// Every read address is statically known: the exact per-cell
+    /// congestion (field index → δ, only δ > 0 entries).
+    Exact {
+        /// Field index → number of concurrent readers.
+        per_cell: BTreeMap<usize, u32>,
+    },
+    /// Data-dependent addressing: at most `readers` reads are issued, so
+    /// δ ≤ `readers` on any single cell.
+    DataDependent {
+        /// Number of cells that issue a read this generation.
+        readers: usize,
+    },
+}
+
+impl ReadPrediction {
+    /// Upper bound on the worst single-cell congestion.
+    pub fn max_congestion_bound(&self) -> u32 {
+        match self {
+            ReadPrediction::Exact { per_cell } => {
+                per_cell.values().copied().max().unwrap_or(0)
+            }
+            ReadPrediction::DataDependent { readers } => *readers as u32,
+        }
+    }
+
+    /// Upper bound on the total reads issued.
+    pub fn total_reads_bound(&self) -> u64 {
+        match self {
+            ReadPrediction::Exact { per_cell } => {
+                per_cell.values().map(|&r| u64::from(r)).sum()
+            }
+            ReadPrediction::DataDependent { readers } => *readers as u64,
+        }
+    }
+
+    /// `true` when the read set is statically exact.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, ReadPrediction::Exact { .. })
+    }
+}
+
+/// Static activity/congestion prediction for one GCA generation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GenPrediction {
+    /// Instruction index (the generation's `phase` tag).
+    pub instr: usize,
+    /// 0, or 1 for the pull half of a store.
+    pub subgeneration: u32,
+    /// Cells performing a calculation (the whole field under the
+    /// emulation rule's uniform activity accounting).
+    pub active_cells: usize,
+    /// The derived read set.
+    pub reads: ReadPrediction,
+}
+
+/// Proof record for one `StoreIf`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreProof {
+    /// Instruction index.
+    pub instr: usize,
+    /// Processors whose predicate may hold (each proven to own its
+    /// statically known target).
+    pub may_write: usize,
+    /// `true` when every processor's predicate was statically decided
+    /// (`may_write` is then the exact writer count).
+    pub decided: bool,
+}
+
+/// A divergence between the static prediction and a measured run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrossCheckMismatch {
+    /// Index into both the prediction list and the metrics log.
+    pub generation: usize,
+    /// The offending instruction (phase tag).
+    pub instr: u32,
+    /// The offending sub-generation.
+    pub subgeneration: u32,
+    /// What diverged.
+    pub detail: String,
+}
+
+impl fmt::Display for CrossCheckMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "generation {} (instruction {}, sub-generation {}): {}",
+            self.generation, self.instr, self.subgeneration, self.detail
+        )
+    }
+}
+
+/// The full static analysis of one program on one machine configuration.
+#[derive(Clone, Debug)]
+pub struct IsaAnalysis {
+    /// Processor count.
+    pub procs: usize,
+    /// Memory size.
+    pub memory: usize,
+    /// One prediction per GCA generation, in execution order.
+    pub generations: Vec<GenPrediction>,
+    /// One owner-write proof per `StoreIf`, in program order.
+    pub stores: Vec<StoreProof>,
+}
+
+impl IsaAnalysis {
+    /// Field size of the emulation (processor cells + memory cells).
+    pub fn field_len(&self) -> usize {
+        self.procs + self.memory
+    }
+
+    /// Upper bound on the worst congestion over the whole run.
+    pub fn max_congestion_bound(&self) -> u32 {
+        self.generations
+            .iter()
+            .map(|g| g.reads.max_congestion_bound())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of generations with a statically exact read set.
+    pub fn exact_generations(&self) -> usize {
+        self.generations
+            .iter()
+            .filter(|g| g.reads.is_exact())
+            .count()
+    }
+
+    /// Compares the prediction against the per-generation metrics of an
+    /// actual run ([`gca_emu::EmuRun::metrics`] under
+    /// [`gca_engine::Instrumentation::Counts`]): exact generations must
+    /// match activity and the full congestion grouping bit for bit, bounded
+    /// ones must bound the measurement.
+    pub fn cross_check(&self, log: &MetricsLog) -> Result<(), CrossCheckMismatch> {
+        let entries = log.entries();
+        if entries.len() != self.generations.len() {
+            return Err(CrossCheckMismatch {
+                generation: entries.len().min(self.generations.len()),
+                instr: 0,
+                subgeneration: 0,
+                detail: format!(
+                    "predicted {} generations, measured {}",
+                    self.generations.len(),
+                    entries.len()
+                ),
+            });
+        }
+        for (i, (pred, m)) in self.generations.iter().zip(entries).enumerate() {
+            let mismatch = |detail: String| CrossCheckMismatch {
+                generation: i,
+                instr: pred.instr as u32,
+                subgeneration: pred.subgeneration,
+                detail,
+            };
+            if m.ctx.phase != pred.instr as u32 || m.ctx.subgeneration != pred.subgeneration {
+                return Err(mismatch(format!(
+                    "measured ({}, {}) out of order",
+                    m.ctx.phase, m.ctx.subgeneration
+                )));
+            }
+            if m.active_cells != pred.active_cells {
+                return Err(mismatch(format!(
+                    "predicted {} active cells, measured {}",
+                    pred.active_cells, m.active_cells
+                )));
+            }
+            match &pred.reads {
+                ReadPrediction::Exact { per_cell } => {
+                    let mut groups: BTreeMap<u32, usize> = BTreeMap::new();
+                    for &r in per_cell.values() {
+                        *groups.entry(r).or_insert(0) += 1;
+                    }
+                    *groups.entry(0).or_insert(0) += self.field_len() - per_cell.len();
+                    if m.congestion_groups != groups {
+                        return Err(mismatch(format!(
+                            "predicted δ groups {groups:?}, measured {:?}",
+                            m.congestion_groups
+                        )));
+                    }
+                }
+                ReadPrediction::DataDependent { readers } => {
+                    if m.max_congestion as usize > *readers
+                        || m.cells_read > *readers
+                        || m.total_reads > *readers as u64
+                    {
+                        return Err(mismatch(format!(
+                            "bound of {readers} readers exceeded: δ = {}, {} cells, {} reads",
+                            m.max_congestion, m.cells_read, m.total_reads
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn resolve(op: Operand, regs: &[Abs], procs: usize) -> Abs {
+    match op {
+        Operand::Reg(r) => regs[r as usize].clone(),
+        Operand::Imm(v) => vec![Some(v); procs],
+    }
+}
+
+fn eval_cond(cond: &Cond, regs: &[Abs], procs: usize) -> Vec<Option<bool>> {
+    let lhs = resolve(cond.lhs, regs, procs);
+    let rhs = resolve(cond.rhs, regs, procs);
+    lhs.iter()
+        .zip(&rhs)
+        .map(|(l, r)| match (l, r) {
+            (Some(l), Some(r)) => Some(match cond.rel {
+                Rel::Eq => l == r,
+                Rel::Ne => l != r,
+                Rel::Lt => l < r,
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Runs the static pass over `program` on a machine with `procs`
+/// processors and the given owner map.
+///
+/// Returns the per-generation predictions and per-store proofs, or the
+/// first contract violation found. Success *is* the owner-write proof:
+/// every processor that may publish a valid outbox has been shown to
+/// target an address it owns.
+pub fn analyze(
+    program: &Program,
+    procs: usize,
+    owners: &[usize],
+) -> Result<IsaAnalysis, AnalysisError> {
+    let memory = owners.len();
+    let field_len = procs + memory;
+    let mut regs: Vec<Abs> = vec![vec![Some(0); procs]; NUM_REGS];
+    let mut generations = Vec::new();
+    let mut stores = Vec::new();
+
+    let local = |instr: usize, sub: u32| GenPrediction {
+        instr,
+        subgeneration: sub,
+        active_cells: field_len,
+        reads: ReadPrediction::Exact {
+            per_cell: BTreeMap::new(),
+        },
+    };
+
+    for (idx, instr) in program.instrs().iter().enumerate() {
+        match instr {
+            Instr::Const { reg, table } => {
+                if table.len() != procs {
+                    return Err(AnalysisError::ConstTableSize {
+                        instr: idx,
+                        table: table.len(),
+                        procs,
+                    });
+                }
+                regs[*reg as usize] = table.iter().map(|&v| Some(v)).collect();
+                generations.push(local(idx, 0));
+            }
+            Instr::Load { reg, addr } => {
+                let addrs = resolve(*addr, &regs, procs);
+                let reads = if addrs.iter().all(Option::is_some) {
+                    let mut per_cell = BTreeMap::new();
+                    for (p, a) in addrs.iter().enumerate() {
+                        let a = a.expect("checked all-known");
+                        if a >= memory as Value {
+                            return Err(AnalysisError::LoadOutOfRange {
+                                instr: idx,
+                                proc: p,
+                                addr: a,
+                                memory,
+                            });
+                        }
+                        *per_cell.entry(procs + a as usize).or_insert(0u32) += 1;
+                    }
+                    ReadPrediction::Exact { per_cell }
+                } else {
+                    ReadPrediction::DataDependent { readers: procs }
+                };
+                regs[*reg as usize] = vec![None; procs];
+                generations.push(GenPrediction {
+                    instr: idx,
+                    subgeneration: 0,
+                    active_cells: field_len,
+                    reads,
+                });
+            }
+            Instr::Alu { reg, op, a, b } => {
+                let a = resolve(*a, &regs, procs);
+                let b = resolve(*b, &regs, procs);
+                regs[*reg as usize] = a
+                    .iter()
+                    .zip(&b)
+                    .map(|(x, y)| match (x, y) {
+                        (Some(x), Some(y)) => Some(match op {
+                            AluOp::Add => x.wrapping_add(*y),
+                            AluOp::Sub => x.wrapping_sub(*y),
+                            AluOp::Min => *x.min(y),
+                            AluOp::Mul => x.wrapping_mul(*y),
+                        }),
+                        _ => None,
+                    })
+                    .collect();
+                generations.push(local(idx, 0));
+            }
+            Instr::Select {
+                reg,
+                cond,
+                if_true,
+                if_false,
+            } => {
+                let c = eval_cond(cond, &regs, procs);
+                let t = resolve(*if_true, &regs, procs);
+                let e = resolve(*if_false, &regs, procs);
+                regs[*reg as usize] = (0..procs)
+                    .map(|p| match c[p] {
+                        Some(true) => t[p],
+                        Some(false) => e[p],
+                        // Undecided predicate: known only if both branches
+                        // agree on a known value.
+                        None => match (t[p], e[p]) {
+                            (Some(x), Some(y)) if x == y => Some(x),
+                            _ => None,
+                        },
+                    })
+                    .collect();
+                generations.push(local(idx, 0));
+            }
+            Instr::StoreIf { cond, addr, .. } => {
+                let c = eval_cond(cond, &regs, procs);
+                let addrs = resolve(*addr, &regs, procs);
+                let mut may_write = 0;
+                let mut decided = true;
+                for p in 0..procs {
+                    let may = match c[p] {
+                        Some(v) => v,
+                        None => {
+                            decided = false;
+                            true
+                        }
+                    };
+                    if !may {
+                        continue;
+                    }
+                    may_write += 1;
+                    let a = addrs[p].ok_or(AnalysisError::UnprovableStoreAddress {
+                        instr: idx,
+                        proc: p,
+                    })?;
+                    if a >= memory as Value {
+                        return Err(AnalysisError::StoreOutOfRange {
+                            instr: idx,
+                            proc: p,
+                            addr: a,
+                            memory,
+                        });
+                    }
+                    if owners[a as usize] != p {
+                        return Err(AnalysisError::OwnerMismatch {
+                            instr: idx,
+                            proc: p,
+                            addr: a as usize,
+                            owner: owners[a as usize],
+                        });
+                    }
+                }
+                stores.push(StoreProof {
+                    instr: idx,
+                    may_write,
+                    decided,
+                });
+                // Publish half: outbox writes are local.
+                generations.push(local(idx, 0));
+                // Pull half: every memory cell reads its owner — exact by
+                // construction, independent of any program data.
+                let mut per_cell = BTreeMap::new();
+                for &o in owners {
+                    *per_cell.entry(o).or_insert(0u32) += 1;
+                }
+                generations.push(GenPrediction {
+                    instr: idx,
+                    subgeneration: 1,
+                    active_cells: field_len,
+                    reads: ReadPrediction::Exact { per_cell },
+                });
+            }
+        }
+    }
+    Ok(IsaAnalysis {
+        procs,
+        memory,
+        generations,
+        stores,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gca_emu::programs::prefix_sums_program;
+    use gca_emu::PramOnGca;
+    use std::sync::Arc;
+
+    fn identity_owners(n: usize) -> Vec<usize> {
+        (0..n).collect()
+    }
+
+    #[test]
+    fn proves_prefix_sums_owner_write() {
+        let n = 8;
+        let p = prefix_sums_program(n);
+        let a = analyze(&p, n, &identity_owners(n)).unwrap();
+        // Every store proven, with a statically decided writer set.
+        assert!(a.stores.iter().all(|s| s.decided));
+        // Round s has n - 2^s active writers.
+        assert_eq!(a.stores[0].may_write, n - 1);
+        assert_eq!(a.stores[1].may_write, n - 2);
+        assert_eq!(a.stores[2].may_write, n - 4);
+        // All addressing in prefix sums is Const-derived: fully exact.
+        assert_eq!(a.exact_generations(), a.generations.len());
+        assert_eq!(a.generations.len() as u64, p.total_generations());
+    }
+
+    #[test]
+    fn prefix_sums_prediction_matches_dynamic_metrics() {
+        let values: Vec<Value> = (1..=6).collect();
+        let n = values.len();
+        let p = prefix_sums_program(n);
+        let a = analyze(&p, n, &identity_owners(n)).unwrap();
+        let run = PramOnGca::new(n, &values, &identity_owners(n))
+            .unwrap()
+            .run_program(&p)
+            .unwrap();
+        a.cross_check(&run.metrics).unwrap();
+        assert_eq!(a.max_congestion_bound(), run.max_congestion);
+    }
+
+    #[test]
+    fn rejects_store_to_foreign_address() {
+        // Two processors, identity owners; both store to address 0.
+        let mut p = Program::new();
+        p.push(Instr::StoreIf {
+            cond: Cond::always(),
+            addr: Operand::Imm(0),
+            value: Operand::Imm(7),
+        });
+        let err = analyze(&p, 2, &identity_owners(2)).unwrap_err();
+        assert_eq!(
+            err,
+            AnalysisError::OwnerMismatch {
+                instr: 0,
+                proc: 1,
+                addr: 0,
+                owner: 0
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_unprovable_store_address() {
+        // The store address is loaded from memory: unknown statically.
+        let mut p = Program::new();
+        p.push(Instr::Load {
+            reg: 0,
+            addr: Operand::Imm(0),
+        });
+        p.push(Instr::StoreIf {
+            cond: Cond::always(),
+            addr: Operand::Reg(0),
+            value: Operand::Imm(1),
+        });
+        let err = analyze(&p, 1, &identity_owners(1)).unwrap_err();
+        assert_eq!(
+            err,
+            AnalysisError::UnprovableStoreAddress { instr: 1, proc: 0 }
+        );
+    }
+
+    #[test]
+    fn statically_false_predicate_discharges_store() {
+        // Processor 1's predicate is statically false, so its foreign
+        // target is never validated — the store is still proven safe.
+        let mut p = Program::new();
+        p.push(Instr::Const {
+            reg: 0,
+            table: Arc::new(vec![0, 1]),
+        });
+        p.push(Instr::StoreIf {
+            cond: Cond {
+                lhs: Operand::Reg(0),
+                rel: Rel::Eq,
+                rhs: Operand::Imm(0),
+            },
+            addr: Operand::Imm(0),
+            value: Operand::Imm(9),
+        });
+        let a = analyze(&p, 2, &identity_owners(2)).unwrap();
+        assert_eq!(a.stores[0].may_write, 1);
+        assert!(a.stores[0].decided);
+    }
+
+    #[test]
+    fn rejects_out_of_range_static_load() {
+        let mut p = Program::new();
+        p.push(Instr::Load {
+            reg: 0,
+            addr: Operand::Imm(5),
+        });
+        let err = analyze(&p, 1, &identity_owners(2)).unwrap_err();
+        assert!(matches!(err, AnalysisError::LoadOutOfRange { addr: 5, .. }));
+    }
+
+    #[test]
+    fn data_dependent_load_is_bounded_not_exact() {
+        let mut p = Program::new();
+        p.push(Instr::Load {
+            reg: 0,
+            addr: Operand::Imm(0),
+        });
+        p.push(Instr::Load {
+            reg: 1,
+            addr: Operand::Reg(0),
+        });
+        let a = analyze(&p, 3, &identity_owners(3)).unwrap();
+        assert!(a.generations[0].reads.is_exact());
+        assert_eq!(
+            a.generations[1].reads,
+            ReadPrediction::DataDependent { readers: 3 }
+        );
+        assert_eq!(a.generations[1].reads.max_congestion_bound(), 3);
+    }
+}

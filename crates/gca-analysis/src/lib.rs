@@ -1,0 +1,36 @@
+//! Static verification of the CROW / read-snapshot / domain contracts the
+//! fast paths of this workspace depend on.
+//!
+//! The engine's hinted stepping, fused kernels and parallel backend are all
+//! justified by the same three promises: cells write only themselves
+//! (owner-write), reads observe the previous generation only, and cells
+//! outside a rule's declared [`gca_engine::Domain`] are no-ops. The runtime
+//! sanitizer ([`gca_engine::Instrumentation::Validate`]) checks those
+//! promises on the states a run actually visits; this crate checks them
+//! *statically*, before anything runs:
+//!
+//! * [`isa`] — an abstract interpretation of emulated-PRAM programs
+//!   ([`gca_emu`]) that proves owner-write for every predicated store,
+//!   extracts per-generation read sets, and derives activity/congestion
+//!   bounds that [`isa::IsaAnalysis::cross_check`] verifies against the
+//!   dynamic metrics of a real run;
+//! * [`schedule`] — a re-derivation of the paper's Table 1 from the
+//!   shipped [`gca_hirschberg::HirschbergRule`] by exhaustive enumeration,
+//!   compared row by row against
+//!   [`gca_hirschberg::table1::paper_table1`], plus a static proof of the
+//!   rule's domain hints over all admissible cell states.
+//!
+//! The `gca-analyze` binary runs both layers over every shipped program
+//! and is wired into CI as a smoke check.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod isa;
+pub mod schedule;
+
+pub use isa::{analyze, AnalysisError, CrossCheckMismatch, GenPrediction, IsaAnalysis, ReadPrediction, StoreProof};
+pub use schedule::{
+    check_against_paper, derive_first_iteration, derive_row, verify_domain_hints, ClaimCheck,
+    HintViolation, ReadSetBound, ScheduleRow,
+};

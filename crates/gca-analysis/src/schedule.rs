@@ -1,0 +1,432 @@
+//! A machine-checked re-derivation of the paper's Table 1 from the shipped
+//! [`HirschbergRule`], plus a static verification of its [`Domain`] hints.
+//!
+//! Table 1 lists, per generation, the number of active cells and the
+//! congestion grouping `(# cells, δ)`. Those rows are *derivable* from the
+//! rule alone: [`GcaRule::is_active`] depends only on the cell index, and
+//! for the statically addressed generations so does [`GcaRule::access`] —
+//! enumerating both over the whole `(n+1) × n` field re-creates the table
+//! without running the algorithm. The two data-dependent generations
+//! (pointer jump and final minimum) read through cell data; there the
+//! derivation enumerates every admissible label `d ∈ [0, n)` and reports
+//! the worst-case reader bound, exactly as the paper's `δ = n` rows do.
+//!
+//! [`check_against_paper`] compares the derivation with
+//! [`gca_hirschberg::table1::paper_table1`]; the four rows where the
+//! paper's own table is internally inconsistent with its prose
+//! (generations 3, 5, 7, 9 — see EXPERIMENTS.md) are flagged with the
+//! documented deviation instead of silently passing or failing.
+//!
+//! [`verify_domain_hints`] statically proves the contract the engine's
+//! hinted fast path and the runtime sanitizer
+//! ([`gca_engine::Instrumentation::Validate`]) depend on: every cell
+//! outside a generation's declared [`Domain`] performs no read, no state
+//! change and no computation, for every admissible cell state.
+
+use gca_engine::{Access, Domain, DomainViolationKind, GcaRule, Reads, StepCtx, INFINITY};
+use gca_hirschberg::table1::{paper_table1, PaperClaim};
+use gca_hirschberg::{iteration_schedule, Gen, HCell, HirschbergRule, Layout};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The statically derived read set of one `(generation, sub-generation)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReadSetBound {
+    /// Statically addressed: the exact δ grouping over the whole field
+    /// (δ → number of cells, including the δ = 0 group).
+    Exact {
+        /// δ → number of cells read exactly δ times.
+        groups: BTreeMap<u32, u64>,
+    },
+    /// Data-dependent addressing: at most `readers` cells issue one read
+    /// each, so at most `readers` cells are read and δ ≤ `readers`.
+    WorstCase {
+        /// Number of cells that issue a read.
+        readers: u64,
+    },
+}
+
+impl ReadSetBound {
+    /// Upper bound on the worst single-cell congestion.
+    pub fn max_congestion_bound(&self) -> u32 {
+        match self {
+            ReadSetBound::Exact { groups } => {
+                groups.keys().copied().max().unwrap_or(0)
+            }
+            ReadSetBound::WorstCase { readers } => *readers as u32,
+        }
+    }
+
+    /// The non-trivial `(cells, δ)` groups (δ > 0), in Table 1's format.
+    pub fn nonzero_groups(&self) -> Vec<(u64, u64)> {
+        match self {
+            ReadSetBound::Exact { groups } => groups
+                .iter()
+                .filter(|(&d, _)| d > 0)
+                .map(|(&d, &cells)| (cells, u64::from(d)))
+                .collect(),
+            ReadSetBound::WorstCase { readers } => vec![(*readers, *readers)],
+        }
+    }
+}
+
+/// One derived row of the schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduleRow {
+    /// The generation.
+    pub generation: Gen,
+    /// The sub-generation.
+    pub subgeneration: u32,
+    /// Exact number of active cells (activity is index-only in every
+    /// generation, including the data-dependent ones).
+    pub active: u64,
+    /// The derived read set.
+    pub reads: ReadSetBound,
+}
+
+/// A statically detected breach of the domain-hint contract.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HintViolation {
+    /// The generation whose hint lies.
+    pub generation: Gen,
+    /// The sub-generation.
+    pub subgeneration: u32,
+    /// The out-of-domain cell that is not a no-op.
+    pub cell: usize,
+    /// What the cell does despite being outside the hint.
+    pub kind: DomainViolationKind,
+}
+
+impl fmt::Display for HintViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "generation {:?} sub {}: cell {} outside the declared domain {}",
+            self.generation, self.subgeneration, self.cell, self.kind
+        )
+    }
+}
+
+/// One Table 1 row checked against the derivation.
+#[derive(Clone, Debug)]
+pub struct ClaimCheck {
+    /// The paper's claim.
+    pub claim: PaperClaim,
+    /// The derived row (sub-generation 0 for the iterated generations,
+    /// matching the table's convention).
+    pub derived: ScheduleRow,
+    /// Derived active count equals the claim.
+    pub active_matches: bool,
+    /// Derived non-trivial δ groups equal the claim's.
+    pub groups_match: bool,
+    /// The EXPERIMENTS.md-documented deviation, for the rows where the
+    /// paper's table is inconsistent with its own prose.
+    pub deviation: Option<&'static str>,
+}
+
+impl ClaimCheck {
+    /// `true` when the row either matches the paper exactly or diverges
+    /// precisely where EXPERIMENTS.md documents the paper's inconsistency.
+    pub fn reconciled(&self) -> bool {
+        (self.active_matches && self.groups_match) || self.deviation.is_some()
+    }
+}
+
+/// Admissible cell states: labels are row numbers `[0, n)` or `∞`, the
+/// adjacency flag is free. Generations 10/11 additionally require
+/// `d ∈ [0, n)` on the first column (established by the resolve
+/// generations), which is why `∞` is excluded from their target
+/// enumeration but included in the no-op checks.
+fn admissible_states(n: usize) -> Vec<HCell> {
+    let mut states = Vec::with_capacity(2 * (n + 1));
+    for d in (0..n as u32).chain([INFINITY]) {
+        states.push(HCell::new(d));
+        let mut with_edge = HCell::new(d);
+        with_edge.a = true;
+        states.push(with_edge);
+    }
+    states
+}
+
+fn ctx_for(gen: Gen, sub: u32) -> StepCtx {
+    StepCtx {
+        generation: 0,
+        phase: gen.number(),
+        subgeneration: sub,
+    }
+}
+
+/// Derives one row of the schedule for problem size `n`.
+///
+/// # Panics
+/// Panics if a statically addressed generation turns out to read through
+/// cell data — that would break the derivation's premise (it cannot happen
+/// for the shipped rule; the enumeration double-checks it).
+pub fn derive_row(n: usize, gen: Gen, sub: u32) -> ScheduleRow {
+    let layout = Layout::new(n).expect("valid problem size");
+    let shape = *layout.shape();
+    let rule = HirschbergRule::new(n);
+    let ctx = ctx_for(gen, sub);
+    let states = admissible_states(n);
+    let probe = HCell::new(0);
+
+    let active = (0..shape.len())
+        .filter(|&i| rule.is_active(&ctx, &shape, i, &probe))
+        .count() as u64;
+
+    let data_dependent = matches!(gen, Gen::PointerJump | Gen::FinalMin);
+    let reads = if data_dependent {
+        let readers = (0..shape.len())
+            .filter(|&i| {
+                states
+                    .iter()
+                    .any(|s| rule.access(&ctx, &shape, i, s) != Access::None)
+            })
+            .count() as u64;
+        ReadSetBound::WorstCase { readers }
+    } else {
+        let mut per_cell = vec![0u32; shape.len()];
+        for i in 0..shape.len() {
+            let access = rule.access(&ctx, &shape, i, &probe);
+            for s in &states {
+                assert_eq!(
+                    rule.access(&ctx, &shape, i, s),
+                    access,
+                    "generation {gen:?} reads through cell data at cell {i}"
+                );
+            }
+            for t in access.targets() {
+                per_cell[t] += 1;
+            }
+        }
+        let mut groups = BTreeMap::new();
+        for r in per_cell {
+            *groups.entry(r).or_insert(0u64) += 1;
+        }
+        ReadSetBound::Exact { groups }
+    };
+
+    ScheduleRow {
+        generation: gen,
+        subgeneration: sub,
+        active,
+        reads,
+    }
+}
+
+/// Derives generation 0 plus one full outer iteration — row-compatible
+/// with [`gca_hirschberg::table1::measure_first_iteration`].
+pub fn derive_first_iteration(n: usize) -> Vec<ScheduleRow> {
+    let mut rows = vec![derive_row(n, Gen::Init, 0)];
+    if n > 1 {
+        rows.extend(
+            iteration_schedule(n)
+                .into_iter()
+                .map(|(gen, sub)| derive_row(n, gen, sub)),
+        );
+    }
+    rows
+}
+
+fn documented_deviation(generation: u32) -> Option<&'static str> {
+    match generation {
+        3 | 7 => Some(
+            "paper books (n-1)^2 cells at delta = 1; the first reduction \
+             sub-generation reads n^2/2 distinct cells once each",
+        ),
+        5 => Some(
+            "paper lists n(n+1) active and delta = n+1, but its prose keeps \
+             the last row unchanged: n^2 cells compute and each C is read by \
+             the n square rows (delta = n)",
+        ),
+        9 => Some(
+            "paper lists (n-1)^2 active and delta = n-1; all non-first-column \
+             square cells plus D_N update (n^2) and column 0 is also read by \
+             the D_N writers (delta = n)",
+        ),
+        _ => None,
+    }
+}
+
+/// Checks the derivation against [`paper_table1`] at problem size `n`.
+///
+/// Every returned row is either an exact match or carries the
+/// EXPERIMENTS.md-documented deviation ([`ClaimCheck::reconciled`]).
+pub fn check_against_paper(n: usize) -> Vec<ClaimCheck> {
+    paper_table1(n)
+        .into_iter()
+        .map(|claim| {
+            let gen = Gen::from_number(claim.generation).expect("table rows are valid phases");
+            let derived = derive_row(n, gen, 0);
+            let mut claim_groups: Vec<(u64, u64)> = claim
+                .groups
+                .iter()
+                .copied()
+                .filter(|&(_, d)| d > 0)
+                .collect();
+            claim_groups.sort_unstable();
+            let mut derived_groups = derived.reads.nonzero_groups();
+            derived_groups.sort_unstable();
+            ClaimCheck {
+                active_matches: derived.active == claim.active,
+                groups_match: derived_groups == claim_groups,
+                deviation: documented_deviation(claim.generation),
+                claim,
+                derived,
+            }
+        })
+        .collect()
+}
+
+/// Statically proves the [`Domain`]-hint contract of the shipped rule: for
+/// every `(generation, sub-generation)` of a full schedule and every
+/// admissible cell state, cells outside the declared domain issue no read,
+/// evolve to themselves, and report themselves inactive.
+///
+/// This is the compile-time counterpart of the runtime sanitizer
+/// ([`gca_engine::Instrumentation::Validate`]): the sanitizer checks the
+/// states that actually occur, this check covers all admissible ones.
+pub fn verify_domain_hints(n: usize) -> Result<(), HintViolation> {
+    let layout = Layout::new(n).expect("valid problem size");
+    let shape = *layout.shape();
+    let rule = HirschbergRule::new(n);
+    let states = admissible_states(n);
+    let mut schedule = vec![(Gen::Init, 0)];
+    schedule.extend(iteration_schedule(n));
+    for (gen, sub) in schedule {
+        let ctx = ctx_for(gen, sub);
+        let domain = rule.domain(&ctx, &shape).clamped(&shape);
+        if matches!(domain, Domain::All) {
+            continue;
+        }
+        for cell in (0..shape.len()).filter(|&i| !domain.contains(&shape, i)) {
+            for own in &states {
+                let violation = |kind| HintViolation {
+                    generation: gen,
+                    subgeneration: sub,
+                    cell,
+                    kind,
+                };
+                if rule.evolve(&ctx, &shape, cell, own, Reads::none()) != *own {
+                    return Err(violation(DomainViolationKind::Write));
+                }
+                if rule.access(&ctx, &shape, cell, own) != Access::None {
+                    return Err(violation(DomainViolationKind::Read));
+                }
+                if rule.is_active(&ctx, &shape, cell, own) {
+                    return Err(violation(DomainViolationKind::Active));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gca_graphs::generators;
+    use gca_hirschberg::table1::measure_first_iteration;
+
+    #[test]
+    fn rederives_table1_for_paper_sizes() {
+        for n in [8usize, 16, 32] {
+            let checks = check_against_paper(n);
+            assert_eq!(checks.len(), 12);
+            for c in &checks {
+                assert!(
+                    c.reconciled(),
+                    "n = {n}, generation {}: derived {:?} vs claim {:?}",
+                    c.claim.generation,
+                    c.derived,
+                    c.claim
+                );
+            }
+            // Exactly the documented rows deviate; the other eight match
+            // the paper bit for bit.
+            let deviating: Vec<u32> = checks
+                .iter()
+                .filter(|c| !(c.active_matches && c.groups_match))
+                .map(|c| c.claim.generation)
+                .collect();
+            assert_eq!(deviating, vec![3, 5, 7, 9], "n = {n}");
+        }
+    }
+
+    #[test]
+    fn derived_deviating_rows_match_the_prose_accounting() {
+        // The four deviating rows must re-derive to the EXPERIMENTS.md
+        // numbers, not merely differ from the paper.
+        let n = 16u64;
+        let g3 = derive_row(n as usize, Gen::MinReduce, 0);
+        assert_eq!(g3.active, n * n / 2);
+        assert_eq!(g3.reads.nonzero_groups(), vec![(n * n / 2, 1)]);
+        let g5 = derive_row(n as usize, Gen::BroadcastT, 0);
+        assert_eq!(g5.active, n * n);
+        assert_eq!(g5.reads.nonzero_groups(), vec![(n, n)]);
+        let g9 = derive_row(n as usize, Gen::CopyAndSaveT, 0);
+        assert_eq!(g9.active, n * n);
+        assert_eq!(g9.reads.nonzero_groups(), vec![(n, n)]);
+    }
+
+    #[test]
+    fn worst_case_rows_bound_the_pointer_chase() {
+        let n = 8u64;
+        for gen in [Gen::PointerJump, Gen::FinalMin] {
+            let row = derive_row(n as usize, gen, 0);
+            assert_eq!(row.active, n);
+            assert_eq!(row.reads, ReadSetBound::WorstCase { readers: n });
+            assert_eq!(row.reads.max_congestion_bound() as u64, n);
+        }
+    }
+
+    #[test]
+    fn static_rows_match_a_measured_run() {
+        // The derivation models the implementation, so the statically
+        // addressed rows must equal a measured run exactly — on any
+        // workload — and the worst-case rows must bound it.
+        for (n, p, seed) in [(8usize, 0.5, 3u64), (16, 0.3, 7)] {
+            let derived = derive_first_iteration(n);
+            let measured = measure_first_iteration(&generators::gnp(n, p, seed)).unwrap();
+            assert_eq!(derived.len(), measured.len(), "n = {n}");
+            for (d, m) in derived.iter().zip(&measured) {
+                assert_eq!(d.generation, m.generation);
+                assert_eq!(d.subgeneration, m.subgeneration);
+                assert_eq!(d.active as usize, m.active, "{:?}/{}", d.generation, d.subgeneration);
+                match &d.reads {
+                    ReadSetBound::Exact { groups } => {
+                        let expected: BTreeMap<u32, usize> = groups
+                            .iter()
+                            .map(|(&d, &c)| (d, c as usize))
+                            .collect();
+                        assert_eq!(
+                            expected, m.groups,
+                            "{:?}/{}", d.generation, d.subgeneration
+                        );
+                    }
+                    ReadSetBound::WorstCase { readers } => {
+                        assert!(u64::from(m.max_congestion) <= *readers);
+                        assert!(m.cells_read as u64 <= *readers);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn domain_hints_hold_for_a_range_of_sizes() {
+        for n in [2usize, 3, 5, 8, 16, 33] {
+            verify_domain_hints(n).unwrap();
+        }
+    }
+
+    #[test]
+    fn later_reduction_subgenerations_thin_out() {
+        // Sub-generation s of the tree reduction halves the reader count.
+        let n = 16u64;
+        for s in 0..4u32 {
+            let row = derive_row(n as usize, Gen::MinReduce, s);
+            assert_eq!(row.active, n * n / (2 << s), "s = {s}");
+        }
+    }
+}

@@ -70,6 +70,10 @@ pub struct EngineOpts {
     pub convergence: Convergence,
     /// Execution path (`--exec`): generic per-cell dispatch or fused kernels.
     pub exec: ExecPath,
+    /// Run under the CROW/domain sanitizer (`--validate`): every generation
+    /// is replayed against the read-snapshot and domain contracts, and the
+    /// fused kernels are shadowed by the reference engine.
+    pub validate: bool,
 }
 
 impl EngineOpts {
@@ -117,9 +121,10 @@ impl EngineOpts {
         }
     }
 
-    /// `backend=… domain=… convergence=… exec=…`, as shown in reports.
+    /// `backend=… domain=… convergence=… exec=…`, as shown in reports
+    /// (plus ` validate=on` when the sanitizer is enabled).
     pub fn describe(&self) -> String {
-        format!(
+        let mut s = format!(
             "backend={} domain={} convergence={} exec={}",
             match self.backend {
                 Backend::Sequential => "sequential",
@@ -137,7 +142,11 @@ impl EngineOpts {
                 ExecPath::Generic => "generic",
                 ExecPath::Fused => "fused",
             }
-        )
+        );
+        if self.validate {
+            s.push_str(" validate=on");
+        }
+        s
     }
 }
 
@@ -204,6 +213,8 @@ OPTIONS:
   --domain <d>       hinted (default) | dense — active-domain stepping policy (gca machine only)
   --convergence <c>  fixed (default) | detect — pointer-jump convergence early exit (gca machine only)
   --exec <e>         generic (default) | fused — per-cell dispatch or fused flat-array kernels (gca machine only)
+  --validate         run under the CROW/domain sanitizer: replay every generation against the
+                     owner-write / read-snapshot / domain contracts (gca machine only; slower)
   --labels           print every node's component label
   --metrics          print per-generation activity/congestion (GCA machines)
   --verify           independently verify the labeling against the graph
@@ -295,6 +306,7 @@ pub fn parse(args: &[String]) -> Result<Args, ArgError> {
                     .ok_or_else(|| ArgError("--exec needs a value".into()))?;
                 engine.exec = EngineOpts::parse_exec(v)?;
             }
+            "--validate" => engine.validate = true,
             "--labels" => labels = true,
             "--json" => json = true,
             "--metrics" => metrics = true,
@@ -405,6 +417,7 @@ mod tests {
         assert_eq!(a.engine.domain, DomainPolicy::Hinted);
         assert_eq!(a.engine.convergence, Convergence::Fixed);
         assert_eq!(a.engine.exec, ExecPath::Generic);
+        assert!(!a.engine.validate);
 
         let a = parse(&argv(&[
             "--backend", "par", "--domain", "dense", "--convergence", "detect", "--exec",
@@ -418,6 +431,16 @@ mod tests {
         assert_eq!(
             a.engine.describe(),
             "backend=parallel domain=dense convergence=detect exec=fused"
+        );
+    }
+
+    #[test]
+    fn validate_flag_toggles_sanitizer() {
+        let a = parse(&argv(&["--validate", "ring:5"])).unwrap();
+        assert!(a.engine.validate);
+        assert_eq!(
+            a.engine.describe(),
+            "backend=sequential domain=hinted convergence=fixed exec=generic validate=on"
         );
     }
 

@@ -2,7 +2,7 @@
 
 use crate::args::{Args, EngineOpts, MachineKind};
 use gca_engine::metrics::MetricsLog;
-use gca_engine::Engine;
+use gca_engine::{Engine, Instrumentation};
 use gca_graphs::connectivity::union_find_components_dense;
 use gca_graphs::{AdjacencyMatrix, Labeling};
 use gca_hirschberg::variants::{low_congestion, n_cells, two_handed};
@@ -39,12 +39,14 @@ pub fn execute(
     let start = std::time::Instant::now();
     let mut outcome = match machine {
         MachineKind::Gca => {
+            let mut engine = Engine::new()
+                .with_backend(opts.backend)
+                .with_domain_policy(opts.domain);
+            if opts.validate {
+                engine = engine.with_instrumentation(Instrumentation::Validate);
+            }
             let run = HirschbergGca::new()
-                .with_engine(
-                    Engine::new()
-                        .with_backend(opts.backend)
-                        .with_domain_policy(opts.domain),
-                )
+                .with_engine(engine)
                 .convergence(opts.convergence)
                 .exec(opts.exec)
                 .run(graph)?;
@@ -295,6 +297,7 @@ mod tests {
             domain: DomainPolicy::Dense,
             convergence: Convergence::Detect,
             exec: ExecPath::Generic,
+            ..EngineOpts::default()
         };
         let tuned = execute(MachineKind::Gca, &g, &opts).unwrap();
         assert_eq!(tuned.labels.as_slice(), reference.labels.as_slice());
@@ -326,6 +329,27 @@ mod tests {
             fused.engine.as_deref(),
             Some("backend=sequential domain=hinted convergence=fixed exec=fused")
         );
+    }
+
+    #[test]
+    fn validate_knob_is_bit_identical_on_both_exec_paths() {
+        use gca_hirschberg::ExecPath;
+        let g = generators::gnp(16, 0.3, 11);
+        let reference = execute(MachineKind::Gca, &g, &EngineOpts::default()).unwrap();
+        for exec in [ExecPath::Generic, ExecPath::Fused] {
+            let opts = EngineOpts {
+                exec,
+                validate: true,
+                ..EngineOpts::default()
+            };
+            let validated = execute(MachineKind::Gca, &g, &opts).unwrap();
+            assert_eq!(validated.labels.as_slice(), reference.labels.as_slice());
+            assert_eq!(
+                validated.metrics.as_ref().unwrap().entries(),
+                reference.metrics.as_ref().unwrap().entries()
+            );
+            assert!(validated.engine.as_deref().unwrap().ends_with("validate=on"));
+        }
     }
 
     #[test]

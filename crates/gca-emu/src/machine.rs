@@ -15,6 +15,7 @@
 
 use crate::isa::{AluOp, Cond, Instr, Operand, Program, Rel};
 use crate::{Value, NUM_REGS};
+use gca_engine::metrics::{GenerationMetrics, MetricsLog};
 use gca_engine::{Access, CellField, Engine, FieldShape, GcaError, GcaRule, Reads, StepCtx};
 use std::fmt;
 use std::sync::Arc;
@@ -253,6 +254,13 @@ pub struct EmuRun {
     /// Worst congestion observed (concurrent loads of hot memory cells,
     /// and owners pulled by many of their cells).
     pub max_congestion: u32,
+    /// Per-generation activity/congestion metrics, one entry per executed
+    /// GCA generation (the `phase` of each entry is the instruction index,
+    /// the `subgeneration` distinguishes a store's publish/pull halves).
+    /// Empty when the engine ran with
+    /// [`gca_engine::Instrumentation::Off`]. This is the dynamic side of
+    /// the static ISA analysis' activity/congestion cross-check.
+    pub metrics: MetricsLog,
 }
 
 /// The emulated PRAM machine.
@@ -300,6 +308,17 @@ impl PramOnGca {
         })
     }
 
+    /// Replaces the engine configuration. The default is a sequential
+    /// engine with `Counts` instrumentation; pass one with
+    /// [`gca_engine::Instrumentation::Validate`] to run every emulated
+    /// generation under the CROW/domain sanitizer, or `Off` to skip
+    /// congestion accounting.
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// Number of processors.
     pub fn procs(&self) -> usize {
         self.procs
@@ -334,9 +353,16 @@ impl PramOnGca {
             procs: self.procs,
         };
         let mut max_congestion = 0;
+        let mut metrics = MetricsLog::new();
+        fn record(metrics: &mut MetricsLog, rep: &gca_engine::StepReport) {
+            if let Some(hist) = rep.congestion.as_ref() {
+                metrics.push(GenerationMetrics::new(rep.ctx, rep.active_cells, hist));
+            }
+        }
         for (idx, instr) in program.instrs().iter().enumerate() {
             let rep = self.engine.step(&mut self.field, &rule, idx as u32, 0)?;
             max_congestion = max_congestion.max(rep.max_congestion());
+            record(&mut metrics, &rep);
             if let Instr::StoreIf { .. } = instr {
                 // Owner check between publish and pull: a valid outbox must
                 // target an owned address.
@@ -367,12 +393,14 @@ impl PramOnGca {
                 }
                 let rep = self.engine.step(&mut self.field, &rule, idx as u32, 1)?;
                 max_congestion = max_congestion.max(rep.max_congestion());
+                record(&mut metrics, &rep);
             }
         }
         Ok(EmuRun {
             memory: self.memory(),
             generations: self.engine.generation(),
             max_congestion,
+            metrics,
         })
     }
 }
@@ -527,6 +555,85 @@ mod tests {
         });
         let run = m.run_program(&p).unwrap();
         assert_eq!(run.max_congestion, 8);
+    }
+
+    #[test]
+    fn per_generation_metrics_recorded() {
+        let mut m = PramOnGca::new(8, &[42, 0], &owners_identity(2, 8)).unwrap();
+        let mut p = Program::new();
+        p.push(Instr::Const {
+            reg: 1,
+            table: Arc::new((0..8).collect()),
+        });
+        p.push(Instr::Load {
+            reg: 0,
+            addr: Operand::Imm(0),
+        });
+        // Only the owner of address 0 stores.
+        p.push(Instr::StoreIf {
+            cond: Cond {
+                lhs: Operand::Reg(1),
+                rel: Rel::Eq,
+                rhs: Operand::Imm(0),
+            },
+            addr: Operand::Imm(0),
+            value: Operand::Reg(0),
+        });
+        let run = m.run_program(&p).unwrap();
+        // One entry per generation: const, load, publish, pull.
+        assert_eq!(run.metrics.generations() as u64, run.generations);
+        // The const generation is purely local.
+        assert_eq!(run.metrics.entries()[0].total_reads, 0);
+        // The load fans every processor into address 0.
+        assert_eq!(run.metrics.entries()[1].max_congestion, 8);
+        assert_eq!(run.metrics.entries()[1].total_reads, 8);
+        // The publish generation is local: no reads.
+        assert_eq!(run.metrics.entries()[2].total_reads, 0);
+        // The pull generation: every memory cell reads its owner.
+        assert_eq!(run.metrics.entries()[3].total_reads, 2);
+        assert_eq!(run.metrics.max_congestion(), run.max_congestion);
+    }
+
+    #[test]
+    fn metrics_empty_with_instrumentation_off() {
+        use gca_engine::Instrumentation;
+        let mut m = PramOnGca::new(2, &[1, 2], &[0, 1])
+            .unwrap()
+            .with_engine(Engine::sequential().with_instrumentation(Instrumentation::Off));
+        let mut p = Program::new();
+        p.push(Instr::Load {
+            reg: 0,
+            addr: Operand::Imm(0),
+        });
+        let run = m.run_program(&p).unwrap();
+        assert_eq!(run.metrics.generations(), 0);
+        assert_eq!(run.max_congestion, 0);
+    }
+
+    #[test]
+    fn sanitizer_passes_emulated_programs() {
+        use gca_engine::Instrumentation;
+        // The emulation rule is a pure snapshot function with an honest
+        // (trivial) domain, so Validate must agree with Counts exactly.
+        let values = [5 as Value, 3, 8, 1, 9, 2];
+        let mut counts = PramOnGca::new(
+            values.len(),
+            &values,
+            &owners_identity(values.len(), values.len()),
+        )
+        .unwrap();
+        let mut validate = PramOnGca::new(
+            values.len(),
+            &values,
+            &owners_identity(values.len(), values.len()),
+        )
+        .unwrap()
+        .with_engine(Engine::sequential().with_instrumentation(Instrumentation::Validate));
+        let p = crate::programs::prefix_sums_program(values.len());
+        let rc = counts.run_program(&p).unwrap();
+        let rv = validate.run_program(&p).unwrap();
+        assert_eq!(rc.memory, rv.memory);
+        assert_eq!(rc.metrics.entries(), rv.metrics.entries());
     }
 
     #[test]

@@ -36,6 +36,24 @@ pub enum Instrumentation {
     /// Figure-3-style access patterns). The trace buffer is engine-owned
     /// and reused across steps.
     Trace,
+    /// Everything [`Instrumentation::Counts`] does, plus the CROW/domain
+    /// sanitizer. The step evaluates the **whole** field (the domain hint is
+    /// checked, not trusted), records every cell's [`Access`], and then
+    /// shadows the generation with a second evaluation against the same
+    /// previous-generation snapshot:
+    ///
+    /// * a cell whose replayed access or state differs is not a pure
+    ///   function of the snapshot — the observable signature of a torn
+    ///   current-generation read ([`GcaError::TornRead`]);
+    /// * a cell **outside** the rule's declared [`Domain`] hint that writes
+    ///   a new state, issues a read, or reports itself active breaks the
+    ///   domain contract ([`GcaError::DomainViolation`]) that hinted
+    ///   stepping and the fused kernels depend on.
+    ///
+    /// Validation always runs sequentially and densely; reports carry the
+    /// same congestion histograms as `Counts` (and no access trace), so
+    /// downstream metrics consumers see a `Counts`-shaped report.
+    Validate,
 }
 
 /// Whether the engine trusts [`GcaRule::domain`] hints.
@@ -292,13 +310,20 @@ impl Engine {
             subgeneration,
         };
         let shape = *field.shape();
-        let domain = match self.domain_policy {
-            DomainPolicy::Dense => Domain::All,
-            DomainPolicy::Hinted => rule.domain(&ctx, &shape).clamped(&shape),
-        };
         let instrumentation = self.instrumentation;
         let counting = !matches!(instrumentation, Instrumentation::Off);
         let tracing = matches!(instrumentation, Instrumentation::Trace);
+        let validating = matches!(instrumentation, Instrumentation::Validate);
+        // The sanitizer never trusts the hint it is checking: it evaluates
+        // the whole field and compares against the declared domain after.
+        let domain = if validating {
+            Domain::All
+        } else {
+            match self.domain_policy {
+                DomainPolicy::Dense => Domain::All,
+                DomainPolicy::Hinted => rule.domain(&ctx, &shape).clamped(&shape),
+            }
+        };
 
         let (prev, next) = field.buffers();
         let len = prev.len();
@@ -311,16 +336,19 @@ impl Engine {
             reads.clear();
             reads.resize(len, 0);
         }
-        if tracing {
+        // Validation borrows the trace buffer to remember each cell's
+        // first-pass access; the buffer stays engine-owned either way.
+        let recording = tracing || validating;
+        if recording {
             accesses.clear();
             accesses.resize(len, Access::None);
         }
 
-        // Trace steps always run sequentially (tracing exists for small
-        // diagnostic fields, and per-cell trace writes parallelize poorly);
-        // so do small active regions, where thread-spawn cost dominates.
+        // Trace and Validate steps always run sequentially (both exist for
+        // diagnosis, and per-cell trace writes parallelize poorly); so do
+        // small active regions, where thread-spawn cost dominates.
         let parallel = matches!(self.backend, Backend::Parallel)
-            && !tracing
+            && !recording
             && domain.cell_count(&shape) >= MIN_PAR_CELLS;
 
         let tally = if parallel {
@@ -343,9 +371,14 @@ impl Engine {
                 prev,
                 next,
                 counting.then_some(reads.as_mut_slice()),
-                tracing.then_some(accesses.as_mut_slice()),
+                recording.then_some(accesses.as_mut_slice()),
             )?
         };
+
+        if validating {
+            let hint = rule.domain(&ctx, &shape).clamped(&shape);
+            validate_generation(rule, &ctx, &shape, &hint, prev, next, accesses)?;
+        }
 
         field.commit();
         self.generation += 1;
@@ -417,6 +450,68 @@ fn resolve<'a, S>(
         Access::One(t) => Reads::one(fetch(t)?),
         Access::Two(t, u) => Reads::two(fetch(t)?, fetch(u)?),
     })
+}
+
+/// The CROW/domain sanitizer pass behind [`Instrumentation::Validate`].
+///
+/// Runs after a dense first pass has produced `next` and recorded each
+/// cell's access in `accesses`, but before the commit. Re-evaluates every
+/// cell against the same previous-generation snapshot (`prev`) and checks:
+///
+/// * **snapshot purity** — the replayed access and state must equal the
+///   first pass's; a divergence means the rule's output depends on
+///   something other than the snapshot (interior mutability standing in
+///   for a torn current-generation read) → [`GcaError::TornRead`];
+/// * **the domain contract** — every cell outside the rule's declared
+///   (clamped) `hint` must be a no-op: unchanged state, `Access::None`,
+///   inactive → [`GcaError::DomainViolation`] with the broken clause.
+fn validate_generation<R: GcaRule>(
+    rule: &R,
+    ctx: &StepCtx,
+    shape: &FieldShape,
+    hint: &Domain,
+    prev: &[R::State],
+    next: &[R::State],
+    accesses: &[Access],
+) -> Result<(), GcaError> {
+    let torn = |cell: usize| GcaError::TornRead {
+        rule: rule.name().to_string(),
+        cell,
+        generation: ctx.generation,
+        phase: ctx.phase,
+    };
+    let broken = |cell: usize, kind: crate::DomainViolationKind| GcaError::DomainViolation {
+        rule: rule.name().to_string(),
+        cell,
+        generation: ctx.generation,
+        phase: ctx.phase,
+        kind,
+    };
+    for index in 0..prev.len() {
+        let own = &prev[index];
+        let recorded = accesses[index];
+        let replayed_acc = rule.access(ctx, shape, index, own);
+        if replayed_acc != recorded {
+            return Err(torn(index));
+        }
+        let reads = resolve(recorded, prev, index, ctx)?;
+        if rule.evolve(ctx, shape, index, own, reads) != next[index] {
+            return Err(torn(index));
+        }
+        if !hint.contains(shape, index) {
+            use crate::DomainViolationKind as K;
+            if next[index] != prev[index] {
+                return Err(broken(index, K::Write));
+            }
+            if recorded != Access::None {
+                return Err(broken(index, K::Read));
+            }
+            if rule.is_active(ctx, shape, index, own) {
+                return Err(broken(index, K::Active));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Evaluates one cell into `slot`, returning its access and whether it was
@@ -1320,6 +1415,169 @@ mod tests {
         let mut f = field(&[1, 2, 3]);
         f.states_mut()[1] = 99;
         assert_eq!(f.states(), &[1, 99, 3]);
+    }
+
+    /// Claims a `Rows` domain but computes (reads + writes + reports
+    /// active) on one cell outside it — a domain-hint lie.
+    struct DomainLiar;
+
+    impl GcaRule for DomainLiar {
+        type State = u32;
+
+        fn access(&self, _ctx: &StepCtx, _shape: &FieldShape, index: usize, _own: &u32) -> Access {
+            if index == 10 {
+                Access::One(0)
+            } else {
+                Access::None
+            }
+        }
+
+        fn evolve(
+            &self,
+            _ctx: &StepCtx,
+            _shape: &FieldShape,
+            index: usize,
+            own: &u32,
+            reads: Reads<'_, u32>,
+        ) -> u32 {
+            if index == 10 {
+                reads.expect_first("liar") + 1
+            } else {
+                *own
+            }
+        }
+
+        fn is_active(&self, _ctx: &StepCtx, _shape: &FieldShape, index: usize, _own: &u32) -> bool {
+            index == 10
+        }
+
+        fn domain(&self, _ctx: &StepCtx, _shape: &FieldShape) -> Domain {
+            Domain::Rows(0..1) // cell 10 is in row 2 of a 4x4 field
+        }
+    }
+
+    /// Simulates a torn current-generation read with interior mutability:
+    /// evolve for cell 2 returns a counter that ticks on every call, so the
+    /// replay against the same snapshot sees a different value.
+    struct TornCounter {
+        calls: std::sync::atomic::AtomicU32,
+    }
+
+    impl GcaRule for TornCounter {
+        type State = u32;
+
+        fn access(&self, _ctx: &StepCtx, _shape: &FieldShape, _index: usize, _own: &u32) -> Access {
+            Access::None
+        }
+
+        fn evolve(
+            &self,
+            _ctx: &StepCtx,
+            _shape: &FieldShape,
+            index: usize,
+            own: &u32,
+            _reads: Reads<'_, u32>,
+        ) -> u32 {
+            if index == 2 {
+                self.calls
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            } else {
+                *own
+            }
+        }
+
+        fn name(&self) -> &str {
+            "torn-counter"
+        }
+    }
+
+    #[test]
+    fn validate_passes_honest_rule() {
+        let shape = FieldShape::new(4, 4).unwrap();
+        let mut f = CellField::from_fn(shape, |i| i as u32);
+        let mut e = Engine::sequential().with_instrumentation(Instrumentation::Validate);
+        let r = e.step(&mut f, &BandIncrement { rows: 1..3 }, 0, 0).unwrap();
+        // Validate reports are Counts-shaped: histogram present, no trace.
+        assert!(r.congestion.is_some());
+        assert!(r.accesses.is_none());
+        assert_eq!(r.active_cells, 8);
+        assert_eq!(r.evaluated_cells, 16); // dense, hint not trusted
+    }
+
+    #[test]
+    fn validate_matches_counts_metrics() {
+        let shape = FieldShape::new(4, 4).unwrap();
+        let rule = BandIncrement { rows: 1..3 };
+        let mut fc = CellField::from_fn(shape, |i| i as u32);
+        let mut fv = CellField::from_fn(shape, |i| i as u32);
+        let mut ec = Engine::sequential().with_domain_policy(DomainPolicy::Dense);
+        let mut ev = Engine::sequential().with_instrumentation(Instrumentation::Validate);
+        let rc = ec.step(&mut fc, &rule, 0, 0).unwrap();
+        let rv = ev.step(&mut fv, &rule, 0, 0).unwrap();
+        assert_eq!(fc.states(), fv.states());
+        assert_eq!(rc.active_cells, rv.active_cells);
+        assert_eq!(rc.total_reads, rv.total_reads);
+        assert_eq!(rc.changed_cells, rv.changed_cells);
+        assert_eq!(rc.congestion, rv.congestion);
+    }
+
+    #[test]
+    fn validate_reports_domain_lie_with_cell_and_generation() {
+        let shape = FieldShape::new(4, 4).unwrap();
+        let mut f = CellField::from_fn(shape, |i| i as u32);
+        let before: Vec<u32> = f.states().to_vec();
+        let mut e = Engine::sequential().with_instrumentation(Instrumentation::Validate);
+        e.step(&mut f, &EvenActive, 7, 0).unwrap(); // advance a generation
+        let err = e.step(&mut f, &DomainLiar, 7, 0).unwrap_err();
+        assert_eq!(
+            err,
+            GcaError::DomainViolation {
+                rule: "unnamed-rule".into(),
+                cell: 10,
+                generation: 1,
+                phase: 7,
+                kind: crate::DomainViolationKind::Write,
+            }
+        );
+        // On error the field stays on its previous generation.
+        assert_eq!(f.states(), &before[..]);
+    }
+
+    #[test]
+    fn validate_reports_torn_read_with_cell_and_generation() {
+        let mut f = field(&[1, 2, 3, 4]);
+        let mut e = Engine::sequential().with_instrumentation(Instrumentation::Validate);
+        let rule = TornCounter {
+            calls: std::sync::atomic::AtomicU32::new(100),
+        };
+        let err = e.step(&mut f, &rule, 3, 1).unwrap_err();
+        assert_eq!(
+            err,
+            GcaError::TornRead {
+                rule: "torn-counter".into(),
+                cell: 2,
+                generation: 0,
+                phase: 3,
+            }
+        );
+        assert_eq!(f.states(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn validate_forces_sequential_dense() {
+        // A parallel engine under Validate must still take the sequential
+        // dense path (and agree with the sequential dense reference).
+        let shape = FieldShape::new(300, 300).unwrap();
+        let rule = BandIncrement { rows: 10..290 };
+        let mut fp = CellField::from_fn(shape, |i| (i % 97) as u32);
+        let mut fs = CellField::from_fn(shape, |i| (i % 97) as u32);
+        let mut ep = Engine::parallel().with_instrumentation(Instrumentation::Validate);
+        let mut es = Engine::sequential().with_domain_policy(DomainPolicy::Dense);
+        let rp = ep.step(&mut fp, &rule, 0, 0).unwrap();
+        let rs = es.step(&mut fs, &rule, 0, 0).unwrap();
+        assert_eq!(fp.states(), fs.states());
+        assert_eq!(rp.evaluated_cells, 300 * 300);
+        assert_eq!(rp.congestion, rs.congestion);
     }
 
     #[test]

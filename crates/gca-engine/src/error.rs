@@ -1,5 +1,28 @@
 use std::fmt;
 
+/// Which clause of the [`Domain`](crate::Domain) contract an
+/// out-of-domain cell broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomainViolationKind {
+    /// The cell's next state differs from its previous state — an
+    /// effective write outside the declared domain.
+    Write,
+    /// The cell issued a global read (`Access` other than `None`).
+    Read,
+    /// The cell reported itself active.
+    Active,
+}
+
+impl fmt::Display for DomainViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DomainViolationKind::Write => "wrote a new state",
+            DomainViolationKind::Read => "issued a global read",
+            DomainViolationKind::Active => "reported itself active",
+        })
+    }
+}
+
 /// Errors surfaced by the GCA engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GcaError {
@@ -29,6 +52,57 @@ pub enum GcaError {
         /// Cells provided.
         actual: usize,
     },
+    /// An input graph's node count does not match the layout a field (or
+    /// machine) was built for.
+    GraphSizeMismatch {
+        /// Nodes in the offered graph.
+        graph_nodes: usize,
+        /// Nodes the layout was dimensioned for.
+        layout_nodes: usize,
+    },
+    /// A cell outside the rule's declared [`Domain`](crate::Domain) hint was
+    /// not a no-op. Reported by
+    /// [`Instrumentation::Validate`](crate::Instrumentation::Validate);
+    /// turns the "bit-identical for rules honoring the domain contract"
+    /// caveat into an enforced invariant.
+    DomainViolation {
+        /// The offending rule's [`name`](crate::GcaRule::name).
+        rule: String,
+        /// The out-of-domain cell that computed.
+        cell: usize,
+        /// Generation counter at the time of the violation.
+        generation: u64,
+        /// Phase tag the generation ran under.
+        phase: u32,
+        /// Which contract clause was broken.
+        kind: DomainViolationKind,
+    },
+    /// A rule's output was not a pure function of the previous-generation
+    /// snapshot: re-evaluating the same cell against the same snapshot gave
+    /// a different access or state, which is what reading torn
+    /// current-generation state looks like from the outside.
+    TornRead {
+        /// The offending rule's [`name`](crate::GcaRule::name).
+        rule: String,
+        /// The cell whose re-evaluation diverged.
+        cell: usize,
+        /// Generation counter at the time of the violation.
+        generation: u64,
+        /// Phase tag the generation ran under.
+        phase: u32,
+    },
+    /// A fused kernel's writes diverged from the reference engine replaying
+    /// the same generation — detected by the differential harness that
+    /// [`Instrumentation::Validate`](crate::Instrumentation::Validate)
+    /// arms on fused execution paths.
+    KernelDivergence {
+        /// First cell whose fused state differs from the replayed state.
+        cell: usize,
+        /// Generation counter at the time of the divergence.
+        generation: u64,
+        /// Phase tag the generation ran under.
+        phase: u32,
+    },
 }
 
 impl fmt::Display for GcaError {
@@ -51,6 +125,44 @@ impl fmt::Display for GcaError {
             GcaError::ShapeMismatch { expected, actual } => write!(
                 f,
                 "initial state count {actual} does not match field size {expected}"
+            ),
+            GcaError::GraphSizeMismatch {
+                graph_nodes,
+                layout_nodes,
+            } => write!(
+                f,
+                "graph has {graph_nodes} nodes but the layout expects {layout_nodes}"
+            ),
+            GcaError::DomainViolation {
+                rule,
+                cell,
+                generation,
+                phase,
+                kind,
+            } => write!(
+                f,
+                "rule `{rule}`: cell {cell} outside the declared domain {kind} \
+                 in generation {generation} (phase {phase})"
+            ),
+            GcaError::TornRead {
+                rule,
+                cell,
+                generation,
+                phase,
+            } => write!(
+                f,
+                "rule `{rule}`: cell {cell} is not a pure function of the \
+                 previous-generation snapshot in generation {generation} \
+                 (phase {phase}) — torn current-generation read"
+            ),
+            GcaError::KernelDivergence {
+                cell,
+                generation,
+                phase,
+            } => write!(
+                f,
+                "fused kernel diverged from the reference engine at cell \
+                 {cell} in generation {generation} (phase {phase})"
             ),
         }
     }
@@ -90,5 +202,60 @@ mod tests {
         };
         assert!(e.to_string().contains('6'));
         assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn display_graph_size_mismatch() {
+        let e = GcaError::GraphSizeMismatch {
+            graph_nodes: 2,
+            layout_nodes: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("2 nodes"));
+        assert!(s.contains("expects 3"));
+    }
+
+    #[test]
+    fn display_domain_violation() {
+        let e = GcaError::DomainViolation {
+            rule: "liar".into(),
+            cell: 17,
+            generation: 4,
+            phase: 2,
+            kind: DomainViolationKind::Write,
+        };
+        let s = e.to_string();
+        assert!(s.contains("liar"));
+        assert!(s.contains("cell 17"));
+        assert!(s.contains("generation 4"));
+        assert!(s.contains("wrote"));
+    }
+
+    #[test]
+    fn display_torn_read() {
+        let e = GcaError::TornRead {
+            rule: "sneaky".into(),
+            cell: 3,
+            generation: 9,
+            phase: 1,
+        };
+        let s = e.to_string();
+        assert!(s.contains("sneaky"));
+        assert!(s.contains("cell 3"));
+        assert!(s.contains("generation 9"));
+        assert!(s.contains("torn"));
+    }
+
+    #[test]
+    fn display_kernel_divergence() {
+        let e = GcaError::KernelDivergence {
+            cell: 8,
+            generation: 12,
+            phase: 10,
+        };
+        let s = e.to_string();
+        assert!(s.contains("cell 8"));
+        assert!(s.contains("generation 12"));
+        assert!(s.contains("phase 10"));
     }
 }

@@ -7,6 +7,19 @@ use crate::{FieldShape, GcaError};
 /// is what realizes the CA/GCA synchronous-update semantics in software: a
 /// generation's reads can never observe a same-generation write, regardless
 /// of evaluation order.
+///
+/// # Error-vs-panic policy
+///
+/// Constructors validate anything that can be wrong about *user-reachable
+/// inputs* (shapes, state counts, graph sizes) and return a typed
+/// [`GcaError`] — see [`CellField::from_states`] and the field builders in
+/// downstream crates. Plain indexed accessors ([`CellField::get`],
+/// [`CellField::at`], [`CellField::set`]) take indices the *caller*
+/// computed and panic on misuse, like slice indexing: a bad index there is
+/// a bug in the calling code, not an input error, and bounds are already
+/// guaranteed for every index the engine itself derives from a validated
+/// [`FieldShape`]. `debug_assert!` is reserved for internal arithmetic
+/// invariants that cannot be violated through any public API.
 #[derive(Clone, Debug)]
 pub struct CellField<S> {
     shape: FieldShape,

@@ -75,7 +75,7 @@ mod word;
 pub use access::{Access, Reads};
 pub use domain::Domain;
 pub use engine::{Backend, DomainPolicy, Engine, Instrumentation, StepReport};
-pub use error::GcaError;
+pub use error::{DomainViolationKind, GcaError};
 pub use field::CellField;
 pub use geometry::FieldShape;
 pub use rule::{GcaRule, StepCtx};

@@ -51,6 +51,25 @@ pub struct Machine {
     exec: ExecPath,
     fused: FusedExecutor,
     initialized: bool,
+    /// The differential harness armed by [`Instrumentation::Validate`] on
+    /// the fused path: a shadow field replayed through the reference engine
+    /// (itself running the CROW sanitizer) after every fused generation.
+    validator: Option<FusedValidator>,
+    /// Test-only seeded fault: corrupts this cell after the next fused
+    /// generation so the replay harness can prove it catches divergence.
+    fault: Option<usize>,
+}
+
+/// Shadow state of the fused-kernel differential harness.
+///
+/// Before each fused generation the current field is copied into `shadow`;
+/// after the kernel ran, `engine` (a sequential
+/// [`Instrumentation::Validate`] engine — the same CROW/domain checker the
+/// generic path uses) replays the generation on the shadow, and the two
+/// next-states plus read histograms must agree cell for cell.
+struct FusedValidator {
+    engine: Engine,
+    shadow: CellField<HCell>,
 }
 
 impl Machine {
@@ -63,7 +82,7 @@ impl Machine {
     /// Builds a machine with an explicit engine configuration.
     pub fn with_engine(graph: &AdjacencyMatrix, engine: Engine) -> Result<Self, GcaError> {
         let layout = Layout::new(graph.n())?;
-        let field = layout.build_field(graph);
+        let field = layout.build_field(graph)?;
         Ok(Machine {
             layout,
             rule: HirschbergRule::new(graph.n()),
@@ -74,6 +93,8 @@ impl Machine {
             exec: ExecPath::Generic,
             fused: FusedExecutor::new(graph.n()),
             initialized: false,
+            validator: None,
+            fault: None,
         })
     }
 
@@ -158,7 +179,8 @@ impl Machine {
 
     /// Fused kernels reproduce `Counts` metrics exactly, but per-cell
     /// access traces exist only in the generic evaluator — `Trace` steps
-    /// fall back to it.
+    /// fall back to it. `Validate` stays fused on purpose: that is what
+    /// arms the differential replay harness against the kernels.
     fn fused_active(&self) -> bool {
         self.exec == ExecPath::Fused
             && !matches!(self.engine.instrumentation(), Instrumentation::Trace)
@@ -167,6 +189,86 @@ impl Machine {
     /// Whether a step should account reads (mirrors the engine's `counting`).
     fn counting(&self) -> bool {
         !matches!(self.engine.instrumentation(), Instrumentation::Off)
+    }
+
+    /// Whether the CROW sanitizer / fused replay harness is armed.
+    fn validating(&self) -> bool {
+        matches!(self.engine.instrumentation(), Instrumentation::Validate)
+    }
+
+    /// Test-only hook for the failure-injection suite: corrupts `cell`'s
+    /// data word right after the next fused generation executes, before the
+    /// replay harness compares states — a seeded kernel mutation the
+    /// harness must report as [`GcaError::KernelDivergence`]. No effect
+    /// unless the machine is fused and validating.
+    #[doc(hidden)]
+    pub fn seed_fused_fault(&mut self, cell: usize) {
+        self.fault = Some(cell);
+    }
+
+    /// Copies the pre-generation field into the shadow so the reference
+    /// engine can replay the generation the fused kernel is about to run.
+    /// No-op unless validating.
+    fn begin_fused_validation(&mut self) {
+        if !self.validating() {
+            return;
+        }
+        if self.validator.is_none() {
+            self.validator = Some(FusedValidator {
+                engine: Engine::sequential().with_instrumentation(Instrumentation::Validate),
+                shadow: self.field.clone(),
+            });
+        }
+        let v = self.validator.as_mut().expect("just created");
+        v.shadow.states_mut().clone_from_slice(self.field.states());
+        // Keep the shadow engine's generation counter in lockstep (it may
+        // lag when the machine was restored from a snapshot).
+        while v.engine.generation() < self.engine.generation() {
+            v.engine.advance_generation();
+        }
+    }
+
+    /// The differential check: replays the generation the fused kernel just
+    /// executed through the reference engine (running the CROW sanitizer)
+    /// on the shadow copy, then compares next-states and read histograms
+    /// cell by cell. The first disagreeing cell is reported as
+    /// [`GcaError::KernelDivergence`]. No-op unless validating.
+    fn check_fused_generation(&mut self, ctx: &StepCtx) -> Result<(), GcaError> {
+        if !self.validating() {
+            return Ok(());
+        }
+        if let Some(cell) = self.fault.take() {
+            if let Some(c) = self.field.states_mut().get_mut(cell) {
+                c.d = c.d.wrapping_add(1);
+            }
+        }
+        let v = self.validator.as_mut().expect("begin_fused_validation ran");
+        let rep = v
+            .engine
+            .step(&mut v.shadow, &self.rule, ctx.phase, ctx.subgeneration)?;
+        let diverged = |cell: usize| GcaError::KernelDivergence {
+            cell,
+            generation: ctx.generation,
+            phase: ctx.phase,
+        };
+        if let Some(cell) = v
+            .shadow
+            .states()
+            .iter()
+            .zip(self.field.states())
+            .position(|(replayed, fused)| replayed != fused)
+        {
+            return Err(diverged(cell));
+        }
+        if let Some(hist) = rep.congestion.as_ref() {
+            let kernel = self.fused.reads();
+            if let Some(cell) =
+                (0..self.field.len()).find(|&i| hist.reads_of(i) != kernel[i])
+            {
+                return Err(diverged(cell));
+            }
+        }
+        Ok(())
     }
 
     fn fused_ctx(&self, gen: Gen, subgeneration: u32) -> StepCtx {
@@ -194,7 +296,9 @@ impl Machine {
     fn step_fused(&mut self, gen: Gen, subgeneration: u32) -> Result<StepReport, GcaError> {
         let counting = self.counting();
         let ctx = self.fused_ctx(gen, subgeneration);
+        self.begin_fused_validation();
         let rep = self.fused.step(&mut self.field, &ctx, counting)?;
+        self.check_fused_generation(&ctx)?;
         self.fused_commit(ctx, rep.active);
         Ok(StepReport {
             ctx,
@@ -244,7 +348,9 @@ impl Machine {
     fn fused_tick(&mut self, gen: Gen, subgeneration: u32) -> Result<usize, GcaError> {
         let ctx = self.fused_ctx(gen, subgeneration);
         let counting = self.counting();
+        self.begin_fused_validation();
         let rep = self.fused.step(&mut self.field, &ctx, counting)?;
+        self.check_fused_generation(&ctx)?;
         self.fused_commit(ctx, rep.active);
         Ok(rep.changed)
     }
@@ -275,7 +381,21 @@ impl Machine {
             self.fused_tick(gen, 0)?;
             executed += 1;
         }
-        executed += self.fused_pointer_jump(subgens)?;
+        if self.validating() {
+            // The multi-jump fusion keeps labels in private ping-pong
+            // buffers between sub-generations; the replay harness needs
+            // every generation's writes in the field, so validation takes
+            // the gather/jump/scatter-per-sub-generation path.
+            for s in 0..subgens {
+                let changed = self.fused_tick(Gen::PointerJump, s)?;
+                executed += 1;
+                if self.convergence == Convergence::Detect && changed == 0 {
+                    break;
+                }
+            }
+        } else {
+            executed += self.fused_pointer_jump(subgens)?;
+        }
         self.fused_tick(Gen::FinalMin, 0)?;
         executed += 1;
         Ok(executed)
@@ -361,16 +481,14 @@ impl Machine {
     /// no allocation. The machine returns to its pre-[`Machine::init`]
     /// state; configuration (engine, convergence, exec path) is kept.
     pub fn reset_with(&mut self, graph: &AdjacencyMatrix) -> Result<(), GcaError> {
-        if graph.n() != self.n() {
-            return Err(GcaError::ShapeMismatch {
-                expected: self.layout.cells(),
-                actual: graph.n() * (graph.n() + 1),
-            });
-        }
-        self.layout.refill_field(graph, &mut self.field);
+        self.layout.refill_field(graph, &mut self.field)?;
         self.engine.reset();
         self.metrics.clear();
         self.initialized = false;
+        if let Some(v) = self.validator.as_mut() {
+            v.engine.reset();
+        }
+        self.fault = None;
         Ok(())
     }
 
@@ -948,6 +1066,92 @@ mod tests {
                 .run(&g)
                 .unwrap();
             assert_eq!(run.labels.as_slice(), expected.as_slice());
+        }
+    }
+
+    #[test]
+    fn validate_stays_fused_and_runs_clean() {
+        // The replay harness must be armed (Validate does NOT fall back to
+        // the generic path) and a correct kernel set must pass it with
+        // labels and metrics identical to a plain Counts run.
+        for g in &fused_test_corpus() {
+            let m = Machine::with_engine(
+                g,
+                Engine::sequential().with_instrumentation(Instrumentation::Validate),
+            )
+            .unwrap()
+            .with_exec(ExecPath::Fused);
+            assert!(m.fused_active(), "Validate must stay fused");
+            let reference = HirschbergGca::new().run(g).unwrap();
+            let validated = HirschbergGca::new()
+                .with_engine(Engine::sequential().with_instrumentation(Instrumentation::Validate))
+                .exec(ExecPath::Fused)
+                .run(g)
+                .unwrap();
+            assert_eq!(validated.labels, reference.labels, "on {g:?}");
+            assert_eq!(validated.generations, reference.generations);
+            assert_eq!(validated.metrics.entries(), reference.metrics.entries());
+        }
+    }
+
+    #[test]
+    fn validate_generic_path_runs_clean() {
+        // The sanitizer on the generic path: HirschbergRule's domain hints
+        // are honest, so a Validate run must succeed with Counts metrics.
+        let g = generators::gnp(16, 0.3, 9);
+        let reference = HirschbergGca::new().run(&g).unwrap();
+        let validated = HirschbergGca::new()
+            .with_engine(Engine::sequential().with_instrumentation(Instrumentation::Validate))
+            .run(&g)
+            .unwrap();
+        assert_eq!(validated.labels, reference.labels);
+        assert_eq!(validated.metrics.entries(), reference.metrics.entries());
+    }
+
+    #[test]
+    fn seeded_kernel_fault_is_caught_by_replay() {
+        let g = generators::gnp(12, 0.3, 5);
+        let mut m = Machine::with_engine(
+            &g,
+            Engine::sequential().with_instrumentation(Instrumentation::Validate),
+        )
+        .unwrap()
+        .with_exec(ExecPath::Fused);
+        m.init().unwrap();
+        let target = 3; // a square-field cell every iteration writes
+        m.seed_fused_fault(target);
+        let err = m.run_iteration().unwrap_err();
+        match err {
+            GcaError::KernelDivergence {
+                cell,
+                generation,
+                phase,
+            } => {
+                assert_eq!(cell, target);
+                assert_eq!(generation, 1, "fault seeded on the first post-init generation");
+                assert_eq!(phase, Gen::BroadcastC.number());
+            }
+            other => panic!("expected KernelDivergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_detect_convergence_matches_generic() {
+        for seed in 0..3 {
+            let g = generators::gnp(14, 0.25, seed);
+            let generic = HirschbergGca::new()
+                .convergence(Convergence::Detect)
+                .run(&g)
+                .unwrap();
+            let validated = HirschbergGca::new()
+                .with_engine(Engine::sequential().with_instrumentation(Instrumentation::Validate))
+                .convergence(Convergence::Detect)
+                .exec(ExecPath::Fused)
+                .run(&g)
+                .unwrap();
+            assert_eq!(validated.labels, generic.labels);
+            assert_eq!(validated.generations, generic.generations);
+            assert_eq!(validated.metrics.entries(), generic.metrics.entries());
         }
     }
 

@@ -71,44 +71,63 @@ impl Layout {
         self.shape.col(index) == 0 && !self.is_last_row(index)
     }
 
+    /// Checks that `graph` matches the size this layout was built for.
+    ///
+    /// Error-vs-panic policy (see also the note on [`CellField`]): graphs
+    /// arrive from user inputs (files, CLI flags, generators), so a size
+    /// mismatch is an *input* error and surfaces as a typed
+    /// [`GcaError::GraphSizeMismatch`], never a panic. `debug_assert!`s in
+    /// this module guard internal index arithmetic only — values the
+    /// algorithm derives itself, where a violation is a bug in this crate.
+    fn check_graph(&self, graph: &AdjacencyMatrix) -> Result<(), GcaError> {
+        if graph.n() != self.n {
+            return Err(GcaError::GraphSizeMismatch {
+                graph_nodes: graph.n(),
+                layout_nodes: self.n,
+            });
+        }
+        Ok(())
+    }
+
     /// Builds the initial cell field from an adjacency matrix: square cell
     /// `(j, i)` stores `A(j, i)`; the data parts are zeroed (generation 0
-    /// initializes them).
-    pub fn build_field(&self, graph: &AdjacencyMatrix) -> CellField<HCell> {
-        assert_eq!(
-            graph.n(),
-            self.n,
-            "graph has {} nodes but the layout expects {}",
-            graph.n(),
-            self.n
-        );
-        CellField::from_fn(*self.shape(), |index| {
+    /// initializes them). Fails with [`GcaError::GraphSizeMismatch`] if the
+    /// graph does not match the layout's size.
+    pub fn build_field(&self, graph: &AdjacencyMatrix) -> Result<CellField<HCell>, GcaError> {
+        self.check_graph(graph)?;
+        Ok(CellField::from_fn(*self.shape(), |index| {
             let row = self.shape.row(index);
             let col = self.shape.col(index);
             let a = row < self.n && graph.has_edge_checked(row, col);
             HCell::with_adjacency(0, a)
-        })
+        }))
     }
 
     /// Rewrites an existing field in place from a new adjacency matrix —
     /// the allocation-free counterpart of [`Layout::build_field`], used when
     /// reusing a machine across graphs of the same size. Data parts are
-    /// zeroed exactly as a fresh build would leave them.
-    pub fn refill_field(&self, graph: &AdjacencyMatrix, field: &mut CellField<HCell>) {
-        assert_eq!(
-            graph.n(),
-            self.n,
-            "graph has {} nodes but the layout expects {}",
-            graph.n(),
-            self.n
-        );
-        assert_eq!(field.len(), self.cells(), "field does not match the layout");
+    /// zeroed exactly as a fresh build would leave them. Fails with
+    /// [`GcaError::GraphSizeMismatch`] / [`GcaError::ShapeMismatch`] if the
+    /// graph or the field does not match the layout.
+    pub fn refill_field(
+        &self,
+        graph: &AdjacencyMatrix,
+        field: &mut CellField<HCell>,
+    ) -> Result<(), GcaError> {
+        self.check_graph(graph)?;
+        if field.len() != self.cells() {
+            return Err(GcaError::ShapeMismatch {
+                expected: self.cells(),
+                actual: field.len(),
+            });
+        }
         for (index, cell) in field.states_mut().iter_mut().enumerate() {
             let row = self.shape.row(index);
             let col = self.shape.col(index);
             let a = row < self.n && graph.has_edge_checked(row, col);
             *cell = HCell::with_adjacency(0, a);
         }
+        Ok(())
     }
 
     /// Reads the result vector `C` out of the first column.
@@ -177,7 +196,7 @@ mod tests {
     fn build_field_places_adjacency() {
         let g = GraphBuilder::new(3).edge(0, 2).build().unwrap();
         let l = Layout::new(3).unwrap();
-        let f = l.build_field(&g);
+        let f = l.build_field(&g).unwrap();
         assert_eq!(f.len(), 12);
         // Cell (0, 2) and (2, 0) carry the edge.
         assert!(f.at(0, 2).a);
@@ -190,18 +209,51 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "expects")]
     fn build_field_checks_size() {
         let g = GraphBuilder::new(2).build().unwrap();
         let l = Layout::new(3).unwrap();
-        let _ = l.build_field(&g);
+        assert_eq!(
+            l.build_field(&g).unwrap_err(),
+            GcaError::GraphSizeMismatch {
+                graph_nodes: 2,
+                layout_nodes: 3
+            }
+        );
+    }
+
+    #[test]
+    fn refill_field_checks_graph_and_field() {
+        let l = Layout::new(3).unwrap();
+        let g3 = GraphBuilder::new(3).edge(0, 1).build().unwrap();
+        let g2 = GraphBuilder::new(2).build().unwrap();
+        let mut f = l.build_field(&g3).unwrap();
+        assert_eq!(
+            l.refill_field(&g2, &mut f).unwrap_err(),
+            GcaError::GraphSizeMismatch {
+                graph_nodes: 2,
+                layout_nodes: 3
+            }
+        );
+        let l2 = Layout::new(2).unwrap();
+        assert_eq!(
+            l2.refill_field(&g2, &mut f).unwrap_err(),
+            GcaError::ShapeMismatch {
+                expected: 6,
+                actual: 12
+            }
+        );
+        // A matching refill reproduces a fresh build.
+        let refreshed = l.build_field(&g3).unwrap();
+        f.set(0, HCell::new(9));
+        l.refill_field(&g3, &mut f).unwrap();
+        assert_eq!(f.states(), refreshed.states());
     }
 
     #[test]
     fn extract_labels_reads_first_column() {
         let l = Layout::new(3).unwrap();
         let g = GraphBuilder::new(3).build().unwrap();
-        let mut f = l.build_field(&g);
+        let mut f = l.build_field(&g).unwrap();
         f.set(l.c_index(0), HCell::new(7));
         f.set(l.c_index(1), HCell::new(8));
         f.set(l.c_index(2), HCell::new(9));
@@ -212,7 +264,7 @@ mod tests {
     fn extract_dn_reads_last_row() {
         let l = Layout::new(2).unwrap();
         let g = GraphBuilder::new(2).build().unwrap();
-        let mut f = l.build_field(&g);
+        let mut f = l.build_field(&g).unwrap();
         f.set(l.dn_index(0), HCell::new(4));
         f.set(l.dn_index(1), HCell::new(5));
         assert_eq!(l.extract_dn(&f), vec![4, 5]);

@@ -309,7 +309,7 @@ mod tests {
     fn after_broadcast() -> (Layout, CellField<HCell>, Engine, HirschbergRule) {
         let g = GraphBuilder::new(3).edge(0, 1).build().unwrap();
         let layout = Layout::new(3).unwrap();
-        let mut field = layout.build_field(&g);
+        let mut field = layout.build_field(&g).unwrap();
         let rule = HirschbergRule::new(3);
         let mut engine = Engine::sequential();
         engine
@@ -325,7 +325,7 @@ mod tests {
     fn init_sets_row_numbers() {
         let g = GraphBuilder::new(3).build().unwrap();
         let layout = Layout::new(3).unwrap();
-        let mut field = layout.build_field(&g);
+        let mut field = layout.build_field(&g).unwrap();
         let rule = HirschbergRule::new(3);
         let mut engine = Engine::sequential();
         let rep = engine
@@ -355,7 +355,7 @@ mod tests {
     fn broadcast_congestion_matches_table1() {
         let g = GraphBuilder::new(4).build().unwrap();
         let layout = Layout::new(4).unwrap();
-        let mut field = layout.build_field(&g);
+        let mut field = layout.build_field(&g).unwrap();
         let rule = HirschbergRule::new(4);
         let mut engine = Engine::sequential();
         engine
@@ -399,7 +399,7 @@ mod tests {
     fn min_reduce_computes_row_minima() {
         let layout = Layout::new(4).unwrap();
         let g = GraphBuilder::new(4).build().unwrap();
-        let mut field = layout.build_field(&g);
+        let mut field = layout.build_field(&g).unwrap();
         // Hand-craft row contents to reduce.
         let rows = [
             [7u32, 3, 9, 1],
@@ -430,7 +430,7 @@ mod tests {
         let n = 5;
         let layout = Layout::new(n).unwrap();
         let g = GraphBuilder::new(n).build().unwrap();
-        let mut field = layout.build_field(&g);
+        let mut field = layout.build_field(&g).unwrap();
         let values = [9u32, 4, 7, 2, 6];
         for (i, &v) in values.iter().enumerate() {
             field.set(layout.shape().index(0, i), HCell::new(v));
@@ -449,7 +449,7 @@ mod tests {
     fn resolve_isolated_falls_back_to_saved_c() {
         let layout = Layout::new(3).unwrap();
         let g = GraphBuilder::new(3).build().unwrap();
-        let mut field = layout.build_field(&g);
+        let mut field = layout.build_field(&g).unwrap();
         field.set(layout.c_index(0), HCell::new(INFINITY));
         field.set(layout.c_index(1), HCell::new(0));
         field.set(layout.c_index(2), HCell::new(INFINITY));
@@ -469,7 +469,7 @@ mod tests {
     fn pointer_jump_shortcuts() {
         let layout = Layout::new(4).unwrap();
         let g = GraphBuilder::new(4).build().unwrap();
-        let mut field = layout.build_field(&g);
+        let mut field = layout.build_field(&g).unwrap();
         // C = [0, 0, 1, 2]: a chain 3 → 2 → 1 → 0.
         for (j, c) in [0u32, 0, 1, 2].into_iter().enumerate() {
             field.set(layout.c_index(j), HCell::new(c));
@@ -489,7 +489,7 @@ mod tests {
         let n = 4;
         let layout = Layout::new(n).unwrap();
         let g = GraphBuilder::new(n).build().unwrap();
-        let mut field = layout.build_field(&g);
+        let mut field = layout.build_field(&g).unwrap();
         // Pre-jump T (= C after step 4): 0 ↔ 1 two-cycle, 2 → 0, 3 → 1.
         let t = [1u32, 0, 0, 1];
         // Column 1 holds T (as generation 9 leaves it) …
@@ -515,7 +515,7 @@ mod tests {
     fn invalid_phase_panics() {
         let layout = Layout::new(2).unwrap();
         let g = GraphBuilder::new(2).build().unwrap();
-        let mut field = layout.build_field(&g);
+        let mut field = layout.build_field(&g).unwrap();
         let rule = HirschbergRule::new(2);
         let mut engine = Engine::sequential();
         let _ = engine.step(&mut field, &rule, 42, 0);

@@ -3,10 +3,13 @@
 //! violations on the PRAM, malformed inputs at the graph layer.
 
 use gca_engine::{
-    Access, CellField, Engine, FieldShape, GcaError, GcaRule, Reads, StepCtx,
+    Access, CellField, Domain, DomainViolationKind, Engine, FieldShape, GcaError, GcaRule,
+    Instrumentation, Reads, StepCtx,
 };
-use gca_graphs::{io, GraphBuilder, GraphError};
+use gca_graphs::{generators, io, GraphBuilder, GraphError};
+use gca_hirschberg::{ExecPath, Gen, Machine};
 use gca_pram::{AccessPolicy, Pram, PramError};
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// A rule whose pointer walks off the field after a few generations.
 struct WalkOff;
@@ -123,6 +126,274 @@ fn graph_layer_rejects_malformed_inputs() {
     ));
     assert!(io::from_edge_list("garbage").is_err());
     assert!(io::from_edge_list("n 2\n0 1 junk\n").is_err());
+}
+
+/// A rule that claims only row 0 does anything, but whose cell 6 (row 1)
+/// writes a new state anyway — a stray write outside the declared domain.
+struct StrayWrite;
+
+impl GcaRule for StrayWrite {
+    type State = u32;
+
+    fn access(&self, _ctx: &StepCtx, _shape: &FieldShape, _index: usize, _own: &u32) -> Access {
+        Access::None
+    }
+
+    fn evolve(
+        &self,
+        _ctx: &StepCtx,
+        _shape: &FieldShape,
+        index: usize,
+        own: &u32,
+        _reads: Reads<'_, u32>,
+    ) -> u32 {
+        if index == 6 {
+            own + 1
+        } else {
+            *own
+        }
+    }
+
+    fn is_active(&self, _ctx: &StepCtx, _shape: &FieldShape, index: usize, _own: &u32) -> bool {
+        index < 4
+    }
+
+    fn domain(&self, _ctx: &StepCtx, _shape: &FieldShape) -> Domain {
+        Domain::Rows(0..1)
+    }
+
+    fn name(&self) -> &str {
+        "stray-write"
+    }
+}
+
+#[test]
+fn sanitizer_reports_stray_write_with_cell_and_generation() {
+    let shape = FieldShape::new(2, 4).unwrap();
+    let mut field = CellField::new(shape, 0u32);
+    let before: Vec<u32> = field.states().to_vec();
+    let mut engine = Engine::sequential().with_instrumentation(Instrumentation::Validate);
+    let err = engine.step(&mut field, &StrayWrite, 4, 0).unwrap_err();
+    assert_eq!(
+        err,
+        GcaError::DomainViolation {
+            rule: "stray-write".into(),
+            cell: 6,
+            generation: 0,
+            phase: 4,
+            kind: DomainViolationKind::Write,
+        }
+    );
+    // A rejected generation must not commit.
+    assert_eq!(field.states(), &before[..]);
+}
+
+/// A rule that maintains its own mirror of the field and reads the
+/// *current* generation from it: evolve(i) publishes its new state to the
+/// mirror, then cell i+1 reads that freshly written value — exactly the
+/// torn read the double-buffered snapshot contract forbids.
+struct CurrentGenRead {
+    mirror: Vec<AtomicU32>,
+}
+
+impl GcaRule for CurrentGenRead {
+    type State = u32;
+
+    fn access(&self, _ctx: &StepCtx, _shape: &FieldShape, _index: usize, _own: &u32) -> Access {
+        Access::None
+    }
+
+    fn evolve(
+        &self,
+        _ctx: &StepCtx,
+        _shape: &FieldShape,
+        index: usize,
+        own: &u32,
+        _reads: Reads<'_, u32>,
+    ) -> u32 {
+        // "Read" the left neighbor through the mirror: in evaluation order
+        // the mirror already carries this generation's traffic, not the
+        // snapshot. The publish accumulates (like a real write port), so
+        // the value observed depends on how often the neighbor has fired.
+        let new = match index.checked_sub(1) {
+            Some(left) => self.mirror[left].load(Ordering::Relaxed) + 1,
+            None => own + 1,
+        };
+        self.mirror[index].fetch_add(new, Ordering::Relaxed);
+        new
+    }
+
+    fn name(&self) -> &str {
+        "current-gen-read"
+    }
+}
+
+#[test]
+fn sanitizer_reports_current_generation_read_with_cell_and_generation() {
+    let shape = FieldShape::new(1, 4).unwrap();
+    let mut field = CellField::new(shape, 0u32);
+    let rule = CurrentGenRead {
+        mirror: (0..4).map(|_| AtomicU32::new(0)).collect(),
+    };
+    let mut engine = Engine::sequential().with_instrumentation(Instrumentation::Validate);
+    let err = engine.step(&mut field, &rule, 2, 1).unwrap_err();
+    match err {
+        GcaError::TornRead { rule, cell, generation, phase } => {
+            assert_eq!(rule, "current-gen-read");
+            // Cell 0 is pure (reads only `own`); the first torn cell is 1.
+            assert_eq!(cell, 1);
+            assert_eq!(generation, 0);
+            assert_eq!(phase, 2);
+        }
+        other => panic!("expected TornRead, got {other:?}"),
+    }
+    assert_eq!(field.states(), &[0, 0, 0, 0]);
+}
+
+/// A rule whose domain hint lies by omission: out-of-domain cells keep
+/// their state (no stray write) but cell 5 still issues a global read —
+/// a cheat hinted stepping would silently reward with a wrong histogram.
+struct HintLiar;
+
+impl GcaRule for HintLiar {
+    type State = u32;
+
+    fn access(&self, _ctx: &StepCtx, _shape: &FieldShape, index: usize, _own: &u32) -> Access {
+        if index == 5 {
+            Access::One(0)
+        } else {
+            Access::None
+        }
+    }
+
+    fn evolve(
+        &self,
+        _ctx: &StepCtx,
+        _shape: &FieldShape,
+        _index: usize,
+        own: &u32,
+        _reads: Reads<'_, u32>,
+    ) -> u32 {
+        *own
+    }
+
+    fn is_active(&self, _ctx: &StepCtx, _shape: &FieldShape, index: usize, _own: &u32) -> bool {
+        index < 4
+    }
+
+    fn domain(&self, _ctx: &StepCtx, _shape: &FieldShape) -> Domain {
+        Domain::Rows(0..1)
+    }
+
+    fn name(&self) -> &str {
+        "hint-liar"
+    }
+}
+
+#[test]
+fn sanitizer_reports_out_of_domain_read() {
+    // Cell 5 (row 1) reads cell 0 while hinted out of domain.
+    let shape = FieldShape::new(2, 4).unwrap();
+    let mut field = CellField::new(shape, 0u32);
+    let mut engine = Engine::sequential().with_instrumentation(Instrumentation::Validate);
+    let err = engine.step(&mut field, &HintLiar, 0, 0).unwrap_err();
+    assert_eq!(
+        err,
+        GcaError::DomainViolation {
+            rule: "hint-liar".into(),
+            cell: 5,
+            generation: 0,
+            phase: 0,
+            kind: DomainViolationKind::Read,
+        }
+    );
+}
+
+/// A rule honest about writes and reads whose only lie is activity
+/// accounting outside its domain.
+struct ActiveLiar;
+
+impl GcaRule for ActiveLiar {
+    type State = u32;
+
+    fn access(&self, _ctx: &StepCtx, _shape: &FieldShape, _index: usize, _own: &u32) -> Access {
+        Access::None
+    }
+
+    fn evolve(
+        &self,
+        _ctx: &StepCtx,
+        _shape: &FieldShape,
+        _index: usize,
+        own: &u32,
+        _reads: Reads<'_, u32>,
+    ) -> u32 {
+        *own
+    }
+
+    fn is_active(&self, _ctx: &StepCtx, _shape: &FieldShape, index: usize, _own: &u32) -> bool {
+        index == 7
+    }
+
+    fn domain(&self, _ctx: &StepCtx, _shape: &FieldShape) -> Domain {
+        Domain::Rows(0..1)
+    }
+
+    fn name(&self) -> &str {
+        "active-liar"
+    }
+}
+
+#[test]
+fn sanitizer_reports_active_lie() {
+    let shape = FieldShape::new(2, 4).unwrap();
+    let mut field = CellField::new(shape, 0u32);
+    let mut engine = Engine::sequential().with_instrumentation(Instrumentation::Validate);
+    let err = engine.step(&mut field, &ActiveLiar, 9, 0).unwrap_err();
+    assert_eq!(
+        err,
+        GcaError::DomainViolation {
+            rule: "active-liar".into(),
+            cell: 7,
+            generation: 0,
+            phase: 9,
+            kind: DomainViolationKind::Active,
+        }
+    );
+}
+
+#[test]
+fn fused_replay_catches_seeded_kernel_mutation() {
+    // A correct fused run passes the differential replay...
+    let g = generators::gnp(10, 0.4, 21);
+    let mut m = Machine::with_engine(
+        &g,
+        Engine::sequential().with_instrumentation(Instrumentation::Validate),
+    )
+    .unwrap()
+    .with_exec(ExecPath::Fused);
+    m.init().unwrap();
+    m.run_iteration().unwrap();
+
+    // ...and a single corrupted cell in a fused generation is pinpointed.
+    let mut m = Machine::with_engine(
+        &g,
+        Engine::sequential().with_instrumentation(Instrumentation::Validate),
+    )
+    .unwrap()
+    .with_exec(ExecPath::Fused);
+    m.init().unwrap();
+    let target = 2;
+    m.seed_fused_fault(target);
+    let err = m.run_iteration().unwrap_err();
+    match err {
+        GcaError::KernelDivergence { cell, generation, phase } => {
+            assert_eq!(cell, target);
+            assert_eq!(generation, 1, "fault lands on the first post-init generation");
+            assert_eq!(phase, Gen::BroadcastC.number());
+        }
+        other => panic!("expected KernelDivergence, got {other:?}"),
+    }
 }
 
 #[test]

@@ -155,7 +155,7 @@ fn claim_brent_simulation() {
     let rule = HirschbergRule::new(n);
 
     // Run generation 0 then generation 1 directly…
-    let mut direct = layout.build_field(&g);
+    let mut direct = layout.build_field(&g).unwrap();
     let mut engine = Engine::sequential().with_instrumentation(Instrumentation::Off);
     engine.step(&mut direct, &rule, Gen::Init.number(), 0).unwrap();
     engine
@@ -163,7 +163,7 @@ fn claim_brent_simulation() {
         .unwrap();
 
     // …and virtualized on p = 7 physical cells.
-    let mut virt = layout.build_field(&g);
+    let mut virt = layout.build_field(&g).unwrap();
     let sched = BrentSchedule::new(layout.cells(), 7);
     let r0 = step_virtualized(&mut virt, &rule, &sched, 0, Gen::Init.number(), 0).unwrap();
     let r1 = step_virtualized(&mut virt, &rule, &sched, 1, Gen::BroadcastC.number(), 0).unwrap();
