@@ -102,9 +102,7 @@ fn fused_kernels_doc() -> serde_json::Value {
             }));
         }
     }
-    let max_workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
+    let max_workers = gca_bench::workers();
     let batch_rows: Vec<serde_json::Value> = [1usize, max_workers]
         .iter()
         .map(|&workers| {

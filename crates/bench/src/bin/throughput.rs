@@ -30,9 +30,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let n: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(64);
     let batch: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(64);
-    let max_workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
+    let max_workers = gca_bench::workers();
 
     let graphs: Vec<_> = (0..batch)
         .map(|i| generators::gnp(n, 0.3, fused::SEED + i as u64))

@@ -11,3 +11,13 @@ pub mod fused;
 pub mod sparse;
 pub mod tables;
 pub mod workloads;
+
+/// Number of worker threads the harness may use: the machine's available
+/// parallelism, falling back to 1 where it cannot be determined (the
+/// fallback also keeps the throughput sweeps meaningful in constrained CI
+/// sandboxes).
+pub fn workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}

@@ -1,20 +1,38 @@
-//! CI smoke driver: runs the static analyses over every shipped program.
+//! CI gate driver: runs the static-verification layers over every shipped
+//! program.
 //!
 //! ```text
-//! gca-analyze [n ...]        # problem sizes, default: 8 16 32
+//! gca-analyze [n ...] [--isa] [--schedule] [--symbolic] [--modelcheck]
+//!             [--lint] [--modelcheck-max-n N] [--lint-root DIR]
 //! ```
 //!
-//! For each size the driver (1) statically proves owner-write for the
-//! prefix-sums and compiled-Hirschberg ISA programs and cross-checks the
-//! predicted activity/congestion against a dynamic run, and (2) re-derives
-//! Table 1 from the hand-mapped rule, checks it against the paper's rows,
-//! and verifies the rule's domain hints. Exits non-zero on any failure.
+//! With no layer flag, every layer runs (sizes default to 8 16 32):
+//!
+//! * `--isa`        — owner-write proofs + dynamic cross-check for the
+//!   emulated-PRAM programs, per size;
+//! * `--schedule`   — Table 1 re-derivation + domain-hint proof, per size;
+//! * `--symbolic`   — closed-form derivation over the exact symbolic
+//!   domain, coefficient comparison against the paper and a value sweep
+//!   over every `n = 2^k, k ≤ 12` (size arguments do not apply — the
+//!   check *is* parametric, and never executes the machine);
+//! * `--modelcheck` — bounded-exhaustive run over **all** graphs on up to
+//!   `--modelcheck-max-n` (default 6) vertices;
+//! * `--lint`       — the `gca-lint` workspace linter over
+//!   `--lint-root` (default `.`), honoring its `lint.toml`.
+//!
+//! Exits non-zero on the first failure in any layer.
 
-use gca_analysis::{analyze, check_against_paper, verify_domain_hints, ReadPrediction};
+use gca_analysis::symbolic::{self, Monomial, Rat};
+use gca_analysis::{
+    analyze, check_against_paper, check_claims, modelcheck, verify_domain_hints, ReadPrediction,
+};
 use gca_emu::hirschberg_program;
 use gca_emu::programs::prefix_sums_program;
 use gca_emu::{PramOnGca, Value};
 use gca_graphs::generators;
+use gca_hirschberg::table1::paper_table1;
+use gca_lint::{lint_workspace, FileClass, LintConfig};
+use std::path::{Path, PathBuf};
 
 fn fail(msg: &str) -> ! {
     eprintln!("gca-analyze: FAILED: {msg}");
@@ -27,6 +45,7 @@ fn check_isa_program(
     procs: usize,
     memory: &[Value],
     owners: &[usize],
+    cross_check_against_wrong_run: bool,
 ) {
     let analysis = match analyze(program, procs, owners) {
         Ok(a) => a,
@@ -43,92 +62,246 @@ fn check_isa_program(
         dynamic,
         analysis.max_congestion_bound(),
     );
-    let mut machine = match PramOnGca::new(procs, memory, owners) {
-        Ok(m) => m,
-        Err(e) => fail(&format!("{name}: machine construction failed: {e}")),
+    let metrics = if cross_check_against_wrong_run {
+        // Seeded fault: cross-check against a different program's run.
+        let wrong = prefix_sums_program(2);
+        let mut machine = match PramOnGca::new(2, &[1, 2], &[0, 1]) {
+            Ok(m) => m,
+            Err(e) => fail(&format!("{name}: machine construction failed: {e}")),
+        };
+        match machine.run_program(&wrong) {
+            Ok(r) => r.metrics,
+            Err(e) => fail(&format!("{name}: dynamic run failed: {e}")),
+        }
+    } else {
+        let mut machine = match PramOnGca::new(procs, memory, owners) {
+            Ok(m) => m,
+            Err(e) => fail(&format!("{name}: machine construction failed: {e}")),
+        };
+        match machine.run_program(program) {
+            Ok(r) => r.metrics,
+            Err(e) => fail(&format!("{name}: dynamic run failed: {e}")),
+        }
     };
-    let run = match machine.run_program(program) {
-        Ok(r) => r,
-        Err(e) => fail(&format!("{name}: dynamic run failed: {e}")),
-    };
-    if let Err(m) = analysis.cross_check(&run.metrics) {
+    if let Err(m) = analysis.cross_check(&metrics) {
         fail(&format!("{name}: static prediction diverged from the run: {m}"));
     }
     println!(
-        "  {name}: dynamic cross-check passed over {} generations (measured max δ = {})",
-        run.metrics.generations(),
-        run.max_congestion
+        "  {name}: dynamic cross-check passed over {} generations",
+        metrics.generations(),
     );
 }
 
-fn main() {
-    let sizes: Vec<usize> = {
-        let args: Vec<usize> = std::env::args()
-            .skip(1)
-            .map(|a| {
-                a.parse()
-                    .unwrap_or_else(|_| fail(&format!("invalid size {a:?}")))
-            })
-            .collect();
-        if args.is_empty() {
-            vec![8, 16, 32]
-        } else {
-            args
+fn run_isa(n: usize, seeded: bool) {
+    // ISA layer: prefix sums (n processors, identity owners).
+    let owners: Vec<usize> = (0..n).collect();
+    let values: Vec<Value> = (1..=n as Value).collect();
+    check_isa_program(
+        "prefix-sums",
+        &prefix_sums_program(n),
+        n,
+        &values,
+        &owners,
+        seeded,
+    );
+
+    // ISA layer: Listing 1 compiled for a random graph.
+    let graph = generators::gnp(n, 0.3, 2007);
+    let compiled = hirschberg_program::compile(&graph);
+    check_isa_program(
+        "hirschberg-listing1",
+        &compiled.program,
+        compiled.procs,
+        &compiled.memory,
+        &compiled.owners,
+        false,
+    );
+    let analysis = analyze(&compiled.program, compiled.procs, &compiled.owners)
+        .unwrap_or_else(|e| fail(&format!("hirschberg-listing1: {e}")));
+    let chases = analysis
+        .generations
+        .iter()
+        .filter(|g| matches!(g.reads, ReadPrediction::DataDependent { .. }))
+        .count();
+    println!("  hirschberg-listing1: {chases} data-dependent pointer-chase generations bounded");
+}
+
+fn run_schedule(n: usize, seeded: bool) {
+    let checks = if seeded {
+        // Seeded fault: one paper claim with a perturbed activity count.
+        let mut claims = paper_table1(n);
+        if let Some(first) = claims.first_mut() {
+            first.active += 1;
         }
+        check_claims(n, claims)
+    } else {
+        check_against_paper(n)
     };
+    for c in &checks {
+        if !c.reconciled() {
+            fail(&format!(
+                "table1: generation {} derived {:?} vs claim {:?}",
+                c.claim.generation, c.derived, c.claim
+            ));
+        }
+    }
+    let deviations = checks.iter().filter(|c| c.deviation.is_some()).count();
+    println!(
+        "  table1: 12 rows re-derived ({} exact, {deviations} with documented deviations)",
+        checks.len() - deviations,
+    );
+    if let Err(v) = verify_domain_hints(n) {
+        fail(&format!("domain hints: {v}"));
+    }
+    println!("  domain hints: no-op contract proven over all admissible states");
+}
 
-    for &n in &sizes {
-        println!("n = {n}:");
-
-        // ISA layer: prefix sums (n processors, identity owners).
-        let owners: Vec<usize> = (0..n).collect();
-        let values: Vec<Value> = (1..=n as Value).collect();
-        check_isa_program(
-            "prefix-sums",
-            &prefix_sums_program(n),
-            n,
-            &values,
-            &owners,
+fn run_symbolic(seeded: bool) {
+    println!("symbolic closed forms:");
+    let mut model = match symbolic::derive() {
+        Ok(m) => m,
+        Err(e) => fail(&format!("symbolic derivation: {e}")),
+    };
+    if seeded {
+        // Seeded fault: perturb the total formula's "+ 1" constant.
+        model.total_generations.set_coefficient(
+            Monomial { n_pow: 0, log_pow: 0 },
+            Rat::integer(2),
         );
+    }
+    match symbolic::verify(&model, 12) {
+        Ok(report) => {
+            println!(
+                "  total generations: {} (verified for {} phases, {} coefficient \
+                 checks, n = 2^k up to {})",
+                model.total_generations,
+                report.phases,
+                report.coefficient_checks,
+                report.sizes.last().copied().unwrap_or(0),
+            );
+        }
+        Err(e) => fail(&format!("symbolic verification: {e}")),
+    }
+}
 
-        // ISA layer: Listing 1 compiled for a random graph.
-        let graph = generators::gnp(n, 0.3, 2007);
-        let compiled = hirschberg_program::compile(&graph);
-        check_isa_program(
-            "hirschberg-listing1",
-            &compiled.program,
-            compiled.procs,
-            &compiled.memory,
-            &compiled.owners,
-        );
-        let analysis = analyze(&compiled.program, compiled.procs, &compiled.owners)
-            .unwrap_or_else(|e| fail(&format!("hirschberg-listing1: {e}")));
-        let chases = analysis
-            .generations
-            .iter()
-            .filter(|g| matches!(g.reads, ReadPrediction::DataDependent { .. }))
-            .count();
-        println!("  hirschberg-listing1: {chases} data-dependent pointer-chase generations bounded");
+fn run_modelcheck(max_n: usize, seeded: bool) {
+    println!("model check (all graphs on up to {max_n} vertices):");
+    let fault = seeded.then_some(modelcheck::Fault::WrongGenerationCount);
+    match modelcheck::check_all_seeded(max_n, fault) {
+        Ok(report) => println!(
+            "  {} graphs checked (fixed + detect runs), detect skipped {} generations",
+            report.graphs_checked, report.detect_saved_generations,
+        ),
+        Err(e) => fail(&format!("model check: {e}")),
+    }
+}
 
-        // Schedule layer: Table 1 re-derivation + domain-hint proof.
-        let checks = check_against_paper(n);
-        for c in &checks {
-            if !c.reconciled() {
-                fail(&format!(
-                    "table1: generation {} derived {:?} vs claim {:?}",
-                    c.claim.generation, c.derived, c.claim
-                ));
+fn run_lint(root: &Path, seeded: bool) {
+    println!("workspace lint ({}):", root.display());
+    if seeded {
+        // Seeded fault: a snippet violating the no-unwrap rule.
+        let class = FileClass { library: true, hot_path: false };
+        let (violations, _) =
+            gca_lint::lint_source("seeded.rs", "fn f() { x.unwrap(); }", class);
+        if let Some(v) = violations.first() {
+            fail(&format!("lint: {v}"));
+        }
+        fail("lint: seeded violation was not detected");
+    }
+    let config = match LintConfig::load(&root.join("lint.toml")) {
+        Ok(c) => c,
+        Err(e) => fail(&format!("lint: {e}")),
+    };
+    match lint_workspace(root, &config) {
+        Ok(report) => {
+            if !report.clean() {
+                for v in &report.violations {
+                    eprintln!("  {v}");
+                }
+                fail(&format!("lint: {} violation(s)", report.violations.len()));
+            }
+            println!(
+                "  {} files clean ({} inline allows, {} config allows)",
+                report.files_checked, report.inline_suppressed, report.config_suppressed,
+            );
+        }
+        Err(e) => fail(&format!("lint: {e}")),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut layers: Vec<String> = Vec::new();
+    let mut modelcheck_max_n = 6usize;
+    let mut lint_root = PathBuf::from(".");
+    let mut seed_fault: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--isa" | "--schedule" | "--symbolic" | "--modelcheck" | "--lint" => {
+                layers.push(args[i].trim_start_matches("--").to_string());
+            }
+            "--modelcheck-max-n" => {
+                i += 1;
+                modelcheck_max_n = args
+                    .get(i)
+                    .and_then(|a| a.parse().ok())
+                    .unwrap_or_else(|| fail("--modelcheck-max-n needs a number"));
+            }
+            "--lint-root" => {
+                i += 1;
+                lint_root = args
+                    .get(i)
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| fail("--lint-root needs a path"));
+            }
+            "--seed-fault" => {
+                i += 1;
+                seed_fault = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| fail("--seed-fault needs a layer name")),
+                );
+            }
+            a => sizes.push(
+                a.parse()
+                    .unwrap_or_else(|_| fail(&format!("invalid size {a:?}"))),
+            ),
+        }
+        i += 1;
+    }
+    if sizes.is_empty() {
+        sizes = vec![8, 16, 32];
+    }
+    let all = layers.is_empty();
+    let on = |layer: &str| all || layers.iter().any(|l| l == layer);
+    let fault_for = |layer: &str| seed_fault.as_deref() == Some(layer);
+    if let Some(f) = &seed_fault {
+        if !["isa", "schedule", "symbolic", "modelcheck", "lint"].contains(&f.as_str()) {
+            fail(&format!("unknown --seed-fault layer {f:?}"));
+        }
+    }
+
+    if on("isa") || on("schedule") {
+        for &n in &sizes {
+            println!("n = {n}:");
+            if on("isa") {
+                run_isa(n, fault_for("isa"));
+            }
+            if on("schedule") {
+                run_schedule(n, fault_for("schedule"));
             }
         }
-        let deviations = checks.iter().filter(|c| c.deviation.is_some()).count();
-        println!(
-            "  table1: 12 rows re-derived ({} exact, {deviations} with documented deviations)",
-            checks.len() - deviations,
-        );
-        if let Err(v) = verify_domain_hints(n) {
-            fail(&format!("domain hints: {v}"));
-        }
-        println!("  domain hints: no-op contract proven over all admissible states");
     }
-    println!("gca-analyze: all checks passed for sizes {sizes:?}");
+    if on("symbolic") {
+        run_symbolic(fault_for("symbolic"));
+    }
+    if on("modelcheck") {
+        run_modelcheck(modelcheck_max_n, fault_for("modelcheck"));
+    }
+    if on("lint") {
+        run_lint(&lint_root, fault_for("lint"));
+    }
+    println!("gca-analyze: all requested checks passed");
 }

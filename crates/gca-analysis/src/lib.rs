@@ -18,19 +18,35 @@
 //!   shipped [`gca_hirschberg::HirschbergRule`] by exhaustive enumeration,
 //!   compared row by row against
 //!   [`gca_hirschberg::table1::paper_table1`], plus a static proof of the
-//!   rule's domain hints over all admissible cell states.
+//!   rule's domain hints over all admissible cell states;
+//! * [`symbolic`] — the same derivation lifted to closed forms: exact
+//!   rational polynomials in `n` and `log n` interpolated from the
+//!   schedule enumeration and compared coefficient by coefficient against
+//!   the paper's activity, congestion-δ and generation-count formulas for
+//!   every `n = 2^k, k ≤ 12` — without ever executing the machine;
+//! * [`modelcheck`] — bounded-exhaustive model checking over **all**
+//!   graphs on small vertex counts: predicted termination generation,
+//!   label canonicity against union-find, and fixed-point soundness of
+//!   [`gca_hirschberg::Convergence::Detect`].
 //!
-//! The `gca-analyze` binary runs both layers over every shipped program
-//! and is wired into CI as a smoke check.
+//! The `gca-analyze` binary runs every layer (plus the `gca-lint`
+//! workspace linter) over every shipped program and is wired into CI.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod isa;
+pub mod modelcheck;
 pub mod schedule;
+pub mod symbolic;
 
 pub use isa::{analyze, AnalysisError, CrossCheckMismatch, GenPrediction, IsaAnalysis, ReadPrediction, StoreProof};
+pub use modelcheck::{check_all, ModelCheckError, ModelCheckReport, ModelCheckViolation};
 pub use schedule::{
-    check_against_paper, derive_first_iteration, derive_row, verify_domain_hints, ClaimCheck,
-    HintViolation, ReadSetBound, ScheduleRow,
+    check_against_paper, check_claims, derive_first_iteration, derive_row, verify_domain_hints,
+    ClaimCheck, HintViolation, ReadSetBound, ScheduleRow,
+};
+pub use symbolic::{
+    derive as derive_symbolic, verify as verify_symbolic, Monomial, PhaseForms, Poly, Quantity,
+    Rat, SymbolicError, SymbolicModel, SymbolicReport,
 };

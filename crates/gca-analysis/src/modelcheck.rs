@@ -1,0 +1,362 @@
+//! Bounded-exhaustive model checking of the Hirschberg machine.
+//!
+//! The property-based suite samples random graphs; this module removes the
+//! sampling: for every vertex count `n ≤ max_n` it enumerates **all**
+//! `2^(n(n-1)/2)` undirected graphs (one bit per vertex pair) and checks,
+//! for each one,
+//!
+//! 1. **termination** — the fixed schedule executes exactly the predicted
+//!    `1 + ⌈log₂n⌉·(3⌈log₂n⌉ + 8)` generations
+//!    ([`total_generations`]);
+//! 2. **label canonicity** — the final `C` vector maps every vertex to the
+//!    *minimum vertex id of its component*, cross-checked against the
+//!    independent union-find oracle
+//!    ([`union_find_components_dense`], whose output is exactly that
+//!    canonical form);
+//! 3. **fixed-point soundness of [`Convergence::Detect`]** — the
+//!    early-exiting machine produces the *identical* labeling in at most
+//!    as many generations (sub-generation convergence detection must never
+//!    change the result, only skip provably idempotent steps).
+//!
+//! Runs use the fused execution path with instrumentation off — the fast
+//! configuration is precisely the one whose shortcuts need this kind of
+//! adversarial coverage (at `n = 6` that is 32 768 graphs, two machine
+//! runs each). The first violated graph is reported as a typed
+//! [`ModelCheckError`] carrying the vertex count and edge mask, from which
+//! the offending graph can be reconstructed bit for bit.
+
+use gca_engine::{Engine, GcaError, Instrumentation};
+use gca_graphs::connectivity::union_find_components_dense;
+use gca_graphs::{AdjacencyMatrix, GraphError};
+use gca_hirschberg::complexity::{outer_iterations, total_generations};
+use gca_hirschberg::{Convergence, ExecPath, Machine};
+use std::fmt;
+
+/// The vertex pairs `(u, v), u < v` of an `n`-vertex graph, in the bit
+/// order [`graph_from_mask`] consumes.
+pub fn edge_pairs(n: usize) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::with_capacity(n * (n.saturating_sub(1)) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            pairs.push((u, v));
+        }
+    }
+    pairs
+}
+
+/// Materializes the graph encoded by `mask` over [`edge_pairs`]`(n)`
+/// (bit `i` set ⇔ pair `i` is an edge).
+pub fn graph_from_mask(n: usize, mask: u64) -> Result<AdjacencyMatrix, GraphError> {
+    let mut g = AdjacencyMatrix::new(n);
+    for (i, &(u, v)) in edge_pairs(n).iter().enumerate() {
+        if mask >> i & 1 == 1 {
+            g.add_edge(u, v)?;
+        }
+    }
+    Ok(g)
+}
+
+/// What a single graph violated.
+#[derive(Clone, Debug)]
+pub enum ModelCheckViolation {
+    /// The fixed run's labels differ from the union-find canonical form.
+    Labels {
+        /// Labels the machine produced.
+        got: Vec<usize>,
+        /// The canonical (min vertex id per component) labeling.
+        expected: Vec<usize>,
+    },
+    /// The fixed run executed a different number of generations than the
+    /// closed form predicts.
+    Generations {
+        /// Generations the machine executed.
+        got: u64,
+        /// The predicted count.
+        predicted: u64,
+    },
+    /// The [`Convergence::Detect`] run's labels differ from the fixed
+    /// run's — early exit changed the result.
+    DetectLabels {
+        /// Labels the detecting machine produced.
+        got: Vec<usize>,
+        /// The fixed-schedule labels.
+        expected: Vec<usize>,
+    },
+    /// The [`Convergence::Detect`] run executed *more* generations than
+    /// the fixed schedule.
+    DetectOverrun {
+        /// Generations of the detecting run.
+        detect: u64,
+        /// Generations of the fixed run.
+        fixed: u64,
+    },
+    /// The machine itself failed.
+    Engine(GcaError),
+    /// The graph could not be built (unreachable for enumerated masks).
+    Build(GraphError),
+}
+
+/// The first counterexample found: the graph (as `n` + edge mask) and what
+/// it violated.
+#[derive(Clone, Debug)]
+pub struct ModelCheckError {
+    /// Vertex count of the counterexample.
+    pub n: usize,
+    /// Edge mask over [`edge_pairs`]`(n)`.
+    pub edges_mask: u64,
+    /// The violated property.
+    pub violation: ModelCheckViolation,
+}
+
+impl fmt::Display for ModelCheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let edges: Vec<String> = edge_pairs(self.n)
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.edges_mask >> i & 1 == 1)
+            .map(|(_, &(u, v))| format!("{u}-{v}"))
+            .collect();
+        write!(
+            f,
+            "graph n = {} mask {:#x} (edges [{}]): ",
+            self.n,
+            self.edges_mask,
+            edges.join(", ")
+        )?;
+        match &self.violation {
+            ModelCheckViolation::Labels { got, expected } => write!(
+                f,
+                "labels {got:?} are not the canonical min-vertex labeling {expected:?}"
+            ),
+            ModelCheckViolation::Generations { got, predicted } => write!(
+                f,
+                "fixed run executed {got} generations, closed form predicts {predicted}"
+            ),
+            ModelCheckViolation::DetectLabels { got, expected } => write!(
+                f,
+                "Convergence::Detect changed the labels: {got:?} vs fixed {expected:?}"
+            ),
+            ModelCheckViolation::DetectOverrun { detect, fixed } => write!(
+                f,
+                "Convergence::Detect ran {detect} generations, more than the fixed {fixed}"
+            ),
+            ModelCheckViolation::Engine(e) => write!(f, "engine failure: {e}"),
+            ModelCheckViolation::Build(e) => write!(f, "graph build failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelCheckError {}
+
+/// Statistics of a successful [`check_all`] sweep.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelCheckReport {
+    /// Largest vertex count checked.
+    pub max_n: usize,
+    /// Total graphs enumerated (each run twice: fixed and detecting).
+    pub graphs_checked: u64,
+    /// Generations the detecting runs skipped in total — evidence the
+    /// early exit actually fires inside the checked space.
+    pub detect_saved_generations: u64,
+}
+
+/// A deliberately planted fault, for proving the checker catches each
+/// violation class. Not part of the public contract.
+#[doc(hidden)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Corrupt the fixed run's first label before the canonicity check
+    /// (needs `n ≥ 2` to be observable).
+    WrongLabel,
+    /// Report one generation too many for the fixed run.
+    WrongGenerationCount,
+    /// Corrupt the detecting run's first label before the soundness check
+    /// (needs `n ≥ 2` to be observable).
+    DetectMismatch,
+}
+
+/// Checks all graphs on `1..=max_n` vertices. `Err` carries the first
+/// counterexample.
+pub fn check_all(max_n: usize) -> Result<ModelCheckReport, ModelCheckError> {
+    check_all_seeded(max_n, None)
+}
+
+/// [`check_all`] with an optional planted [`Fault`] — the seam the
+/// failure-injection suite uses to prove each violation class is caught.
+#[doc(hidden)]
+pub fn check_all_seeded(
+    max_n: usize,
+    fault: Option<Fault>,
+) -> Result<ModelCheckReport, ModelCheckError> {
+    let mut graphs_checked = 0u64;
+    let mut detect_saved_generations = 0u64;
+    for n in 1..=max_n {
+        let pairs = edge_pairs(n).len();
+        let err = |edges_mask: u64, violation: ModelCheckViolation| ModelCheckError {
+            n,
+            edges_mask,
+            violation,
+        };
+        // Two machines per n, reused across every mask: same fused + no
+        // instrumentation configuration the fast paths ship with.
+        let empty = AdjacencyMatrix::new(n);
+        let engine = || Engine::sequential().with_instrumentation(Instrumentation::Off);
+        let mut fixed = Machine::with_engine(&empty, engine())
+            .map_err(|e| err(0, ModelCheckViolation::Engine(e)))?
+            .with_exec(ExecPath::Fused);
+        let mut detect = Machine::with_engine(&empty, engine())
+            .map_err(|e| err(0, ModelCheckViolation::Engine(e)))?
+            .with_exec(ExecPath::Fused)
+            .with_convergence(Convergence::Detect);
+        let iterations = outer_iterations(n);
+        let predicted = total_generations(n);
+
+        for mask in 0..(1u64 << pairs) {
+            let engine_err = |e: GcaError| err(mask, ModelCheckViolation::Engine(e));
+            let graph = graph_from_mask(n, mask)
+                .map_err(|e| err(mask, ModelCheckViolation::Build(e)))?;
+            let canonical = union_find_components_dense(&graph);
+            let canonical = canonical.as_slice();
+
+            let run = |machine: &mut Machine| -> Result<(Vec<usize>, u64), GcaError> {
+                machine.reset_with(&graph)?;
+                machine.init()?;
+                for _ in 0..iterations {
+                    machine.run_iteration()?;
+                }
+                let labels = machine
+                    .labels_raw()
+                    .into_iter()
+                    .map(|w| w as usize)
+                    .collect();
+                Ok((labels, machine.generations()))
+            };
+
+            let (mut labels, mut generations) = run(&mut fixed).map_err(engine_err)?;
+            match fault {
+                Some(Fault::WrongLabel) if n > 1 => labels[0] = (labels[0] + 1) % n,
+                Some(Fault::WrongGenerationCount) => generations += 1,
+                _ => {}
+            }
+            if labels != canonical {
+                return Err(err(
+                    mask,
+                    ModelCheckViolation::Labels {
+                        got: labels,
+                        expected: canonical.to_vec(),
+                    },
+                ));
+            }
+            if generations != predicted {
+                return Err(err(
+                    mask,
+                    ModelCheckViolation::Generations {
+                        got: generations,
+                        predicted,
+                    },
+                ));
+            }
+
+            let (mut detect_labels, detect_generations) =
+                run(&mut detect).map_err(engine_err)?;
+            if matches!(fault, Some(Fault::DetectMismatch)) && n > 1 {
+                detect_labels[0] = (detect_labels[0] + 1) % n;
+            }
+            if detect_labels != labels {
+                return Err(err(
+                    mask,
+                    ModelCheckViolation::DetectLabels {
+                        got: detect_labels,
+                        expected: labels,
+                    },
+                ));
+            }
+            if detect_generations > generations {
+                return Err(err(
+                    mask,
+                    ModelCheckViolation::DetectOverrun {
+                        detect: detect_generations,
+                        fixed: generations,
+                    },
+                ));
+            }
+            detect_saved_generations += generations - detect_generations;
+            graphs_checked += 1;
+        }
+    }
+    Ok(ModelCheckReport {
+        max_n,
+        graphs_checked,
+        detect_saved_generations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_pairs_cover_the_upper_triangle() {
+        assert_eq!(edge_pairs(1), vec![]);
+        assert_eq!(edge_pairs(3), vec![(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(edge_pairs(6).len(), 15);
+    }
+
+    #[test]
+    fn graph_from_mask_roundtrips_edges() {
+        // mask 0b101 over n = 3: edges (0,1) and (1,2).
+        let g = graph_from_mask(3, 0b101).expect("valid mask");
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 2) && !g.has_edge(0, 2));
+    }
+
+    /// The heavyweight n = 6 sweep runs in the release-mode CI gate; the
+    /// unit suite keeps debug builds fast with the 1 099 graphs of n ≤ 5.
+    #[test]
+    fn all_graphs_up_to_five_vertices_pass() {
+        let report = check_all(5).expect("model check passes");
+        assert_eq!(report.graphs_checked, 1 + 2 + 8 + 64 + 1024);
+        assert!(
+            report.detect_saved_generations > 0,
+            "Convergence::Detect never fired inside the checked space"
+        );
+    }
+
+    #[test]
+    fn planted_label_fault_is_caught() {
+        let e = check_all_seeded(3, Some(Fault::WrongLabel))
+            .expect_err("fault must surface");
+        assert!(matches!(e.violation, ModelCheckViolation::Labels { .. }), "{e}");
+        assert_eq!(e.n, 2, "first observable size");
+    }
+
+    #[test]
+    fn planted_generation_fault_is_caught() {
+        let e = check_all_seeded(2, Some(Fault::WrongGenerationCount))
+            .expect_err("fault must surface");
+        assert!(
+            matches!(e.violation, ModelCheckViolation::Generations { .. }),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn planted_detect_fault_is_caught() {
+        let e = check_all_seeded(3, Some(Fault::DetectMismatch))
+            .expect_err("fault must surface");
+        assert!(
+            matches!(e.violation, ModelCheckViolation::DetectLabels { .. }),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn counterexamples_print_the_offending_graph() {
+        let e = ModelCheckError {
+            n: 3,
+            edges_mask: 0b011,
+            violation: ModelCheckViolation::Generations { got: 7, predicted: 19 },
+        };
+        let s = e.to_string();
+        assert!(s.contains("0-1") && s.contains("0-2") && s.contains('7'), "{s}");
+    }
+}

@@ -137,7 +137,7 @@ impl ClaimCheck {
 /// `d ∈ [0, n)` on the first column (established by the resolve
 /// generations), which is why `∞` is excluded from their target
 /// enumeration but included in the no-op checks.
-fn admissible_states(n: usize) -> Vec<HCell> {
+pub(crate) fn admissible_states(n: usize) -> Vec<HCell> {
     let mut states = Vec::with_capacity(2 * (n + 1));
     for d in (0..n as u32).chain([INFINITY]) {
         states.push(HCell::new(d));
@@ -253,7 +253,15 @@ fn documented_deviation(generation: u32) -> Option<&'static str> {
 /// Every returned row is either an exact match or carries the
 /// EXPERIMENTS.md-documented deviation ([`ClaimCheck::reconciled`]).
 pub fn check_against_paper(n: usize) -> Vec<ClaimCheck> {
-    paper_table1(n)
+    check_claims(n, paper_table1(n))
+}
+
+/// Checks the derivation against an explicit set of claims — the seam the
+/// failure-injection suite uses to prove a perturbed claim is *detected*
+/// (an unreconciled [`ClaimCheck`]) rather than silently absorbed.
+/// [`check_against_paper`] is this over the shipped [`paper_table1`].
+pub fn check_claims(n: usize, claims: Vec<PaperClaim>) -> Vec<ClaimCheck> {
+    claims
         .into_iter()
         .map(|claim| {
             let gen = Gen::from_number(claim.generation).expect("table rows are valid phases");

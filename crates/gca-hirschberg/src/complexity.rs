@@ -9,7 +9,64 @@
 //!
 //! All logarithms are `⌈log₂ n⌉` (the paper assumes power-of-two `n`; the
 //! ceiling generalizes the formulas to every `n` and coincides for powers of
-//! two).
+//! two). Callers that quote the *paper's* numbers — where `log n` is exact —
+//! use the `*_exact` variants, which return a typed [`NonPowerOfTwo`] error
+//! instead of silently evaluating the ceiling-generalized form.
+
+use std::fmt;
+
+/// Typed rejection of a problem size the paper's exact formulas do not
+/// cover: `n` is zero or not a power of two, so `log₂ n` is not an integer
+/// and the ceiling-generalized formulas no longer coincide with the paper's.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NonPowerOfTwo {
+    /// The offending problem size.
+    pub n: usize,
+}
+
+impl fmt::Display for NonPowerOfTwo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n = {} is not a power of two; the paper's exact generation-count \
+             formulas require integral log2(n) (use the ceiling-generalized \
+             functions for arbitrary n)",
+            self.n
+        )
+    }
+}
+
+impl std::error::Error for NonPowerOfTwo {}
+
+/// Exact `log₂ n` for power-of-two `n` (including `n = 1`), or a typed
+/// [`NonPowerOfTwo`] error otherwise.
+pub fn exact_log2(n: usize) -> Result<u32, NonPowerOfTwo> {
+    if n.is_power_of_two() {
+        Ok(n.trailing_zeros())
+    } else {
+        Err(NonPowerOfTwo { n })
+    }
+}
+
+/// [`table2`] restricted to the sizes the paper states it for.
+pub fn table2_exact(n: usize) -> Result<[Table2Row; 6], NonPowerOfTwo> {
+    exact_log2(n)?;
+    Ok(table2(n))
+}
+
+/// [`generations_per_iteration`] restricted to power-of-two `n`.
+pub fn generations_per_iteration_exact(n: usize) -> Result<u64, NonPowerOfTwo> {
+    exact_log2(n)?;
+    Ok(generations_per_iteration(n))
+}
+
+/// [`total_generations`] restricted to power-of-two `n` — the sizes for
+/// which the returned value is the paper's claim rather than our
+/// ceiling-generalization of it.
+pub fn total_generations_exact(n: usize) -> Result<u64, NonPowerOfTwo> {
+    exact_log2(n)?;
+    Ok(total_generations(n))
+}
 
 /// `⌈log₂ n⌉`, with the conventions `ceil_log2(0) = ceil_log2(1) = 0`.
 pub fn ceil_log2(n: usize) -> u32 {
@@ -135,5 +192,39 @@ mod tests {
     #[test]
     fn work_scales_with_n_squared_polylog() {
         assert_eq!(work(16), 81 * 16 * 17);
+    }
+
+    #[test]
+    fn exact_variants_accept_powers_of_two() {
+        assert_eq!(exact_log2(1), Ok(0));
+        assert_eq!(exact_log2(2), Ok(1));
+        assert_eq!(exact_log2(1024), Ok(10));
+        assert_eq!(total_generations_exact(16), Ok(81));
+        assert_eq!(generations_per_iteration_exact(4), Ok(14));
+        assert_eq!(table2_exact(16).map(|t| t[1].generations), Ok(7));
+    }
+
+    #[test]
+    fn exact_variants_reject_non_powers_of_two() {
+        for n in [0usize, 3, 5, 6, 7, 9, 100, (1 << 12) + 1] {
+            assert_eq!(exact_log2(n), Err(NonPowerOfTwo { n }), "n = {n}");
+            assert_eq!(total_generations_exact(n), Err(NonPowerOfTwo { n }));
+            assert_eq!(generations_per_iteration_exact(n), Err(NonPowerOfTwo { n }));
+            assert_eq!(table2_exact(n), Err(NonPowerOfTwo { n }));
+        }
+    }
+
+    #[test]
+    fn exact_and_generalized_coincide_on_powers_of_two() {
+        for k in 0..=12u32 {
+            let n = 1usize << k;
+            assert_eq!(total_generations_exact(n), Ok(total_generations(n)));
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_error_is_actionable() {
+        let msg = NonPowerOfTwo { n: 100 }.to_string();
+        assert!(msg.contains("100") && msg.contains("power of two"));
     }
 }

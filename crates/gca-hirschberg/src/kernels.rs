@@ -167,7 +167,8 @@ impl FusedExecutor {
         }
         if counting {
             for col in 0..n {
-                self.reads[col * n] += rows as u32;
+                // rows ≤ n + 1 and the layout caps n below u32::MAX.
+                self.reads[col * n] += rows as u32; // gca-lint: allow(truncating-cast)
             }
         }
         let touched = rows * n;
@@ -197,7 +198,8 @@ impl FusedExecutor {
         }
         if counting {
             for row in 0..n {
-                self.reads[n * n + row] += n as u32;
+                // The layout caps n below u32::MAX.
+                self.reads[n * n + row] += n as u32; // gca-lint: allow(truncating-cast)
             }
         }
         KernelReport {
@@ -284,7 +286,8 @@ impl FusedExecutor {
         }
         if counting {
             for col in 0..n {
-                self.reads[n * n + col] += n as u32;
+                // The layout caps n below u32::MAX.
+                self.reads[n * n + col] += n as u32; // gca-lint: allow(truncating-cast)
             }
         }
         KernelReport {
@@ -316,7 +319,8 @@ impl FusedExecutor {
         }
         if counting {
             for row in 0..n {
-                self.reads[row * n] += n as u32;
+                // The layout caps n below u32::MAX.
+                self.reads[row * n] += n as u32; // gca-lint: allow(truncating-cast)
             }
         }
         KernelReport {

@@ -92,6 +92,24 @@ impl Gen {
         }
     }
 
+    /// How many times this generation executes over a complete fixed-
+    /// schedule run of problem size `n`: once for [`Gen::Init`], once per
+    /// outer iteration for the plain generations, `⌈log₂ n⌉` times per
+    /// outer iteration for the iterated ones. Summed over [`Gen::ALL`] this
+    /// reproduces the paper's `1 + log n · (3·log n + 8)` total — the
+    /// schedule metadata the symbolic verification layer
+    /// (`gca-analysis::symbolic`) fits its generation-count closed forms
+    /// from.
+    pub fn executions(self, n: usize) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        match self {
+            Gen::Init => 1,
+            g => u64::from(g.subgenerations(n)) * u64::from(ceil_log2(n)),
+        }
+    }
+
     /// The pointer operation of Figure 2 (left column), in the paper's
     /// notation.
     pub fn pointer_op(self) -> &'static str {
@@ -201,6 +219,22 @@ mod tests {
             let l = ceil_log2(n) as usize;
             assert_eq!(iteration_schedule(n).len(), 8 + 3 * l, "n = {n}");
         }
+    }
+
+    #[test]
+    fn executions_sum_to_the_total_formula() {
+        use crate::complexity::total_generations;
+        for n in [1usize, 2, 3, 4, 7, 8, 16, 33, 1 << 12] {
+            let total: u64 = Gen::ALL.iter().map(|g| g.executions(n)).sum();
+            assert_eq!(total, total_generations(n), "n = {n}");
+        }
+        // Per phase: init once, iterated phases log² n, the rest log n.
+        assert_eq!(Gen::Init.executions(16), 1);
+        assert_eq!(Gen::MinReduce.executions(16), 16);
+        assert_eq!(Gen::PointerJump.executions(16), 16);
+        assert_eq!(Gen::BroadcastC.executions(16), 4);
+        assert_eq!(Gen::FinalMin.executions(1), 0);
+        assert_eq!(Gen::Init.executions(0), 0);
     }
 
     #[test]

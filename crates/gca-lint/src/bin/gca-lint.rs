@@ -1,0 +1,58 @@
+//! Workspace linter CLI: lints every `crates/*/src` file against the GCA
+//! contract rules (see the `gca_lint` crate docs) using the checked-in
+//! `lint.toml` allow-list.
+//!
+//! Usage: `gca-lint [--root <workspace-dir>] [--config <lint.toml>]`
+//!
+//! Exits non-zero on the first report with violations (or on a malformed
+//! config/unreadable tree), printing one `path:line: [rule] message` per
+//! violation — the same format `gca-analyze --lint` uses.
+
+use gca_lint::{lint_workspace, LintConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = PathBuf::from(flag_value(&args, "--root").unwrap_or_else(|| ".".to_string()));
+    let config_path = flag_value(&args, "--config")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| root.join("lint.toml"));
+
+    let config = match LintConfig::load(&config_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("gca-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match lint_workspace(&root, &config) {
+        Ok(report) => {
+            for v in &report.violations {
+                println!("{v}");
+            }
+            println!(
+                "gca-lint: {} file(s), {} violation(s), {} inline allow(s), {} config allow(s)",
+                report.files_checked,
+                report.violations.len(),
+                report.inline_suppressed,
+                report.config_suppressed,
+            );
+            if report.clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("gca-lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

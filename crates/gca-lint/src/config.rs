@@ -1,0 +1,311 @@
+//! The checked-in `lint.toml` allow-list.
+//!
+//! The workspace vendors no TOML crate, so this parses the small subset
+//! the config actually uses — strictly, so a typo fails the lint run
+//! instead of silently allowing nothing:
+//!
+//! ```toml
+//! # comment
+//! [allow.no-unwrap]          # one section per rule
+//! paths = [
+//!     "crates/gca-graphs/src/generators.rs",  # reason…
+//! ]
+//! ```
+//!
+//! Unknown rule names, unknown keys and malformed syntax are all typed
+//! [`ConfigError`]s.
+
+use crate::rules::RuleId;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// Per-rule file allow-list, parsed from `lint.toml`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LintConfig {
+    allows: BTreeMap<RuleId, Vec<String>>,
+}
+
+/// A malformed or contradictory `lint.toml`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A section header other than `[allow.<rule>]`.
+    UnknownSection {
+        /// 1-indexed config line.
+        line: usize,
+        /// The offending header text.
+        section: String,
+    },
+    /// `[allow.<rule>]` with a rule name the linter does not ship.
+    UnknownRule {
+        /// 1-indexed config line.
+        line: usize,
+        /// The unrecognized rule name.
+        rule: String,
+    },
+    /// A key other than `paths` inside a section.
+    UnknownKey {
+        /// 1-indexed config line.
+        line: usize,
+        /// The unrecognized key.
+        key: String,
+    },
+    /// A syntax error (unterminated array, unquoted entry, key outside a
+    /// section, …).
+    Malformed {
+        /// 1-indexed config line.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::UnknownSection { line, section } => {
+                write!(f, "lint.toml:{line}: unknown section [{section}] — only [allow.<rule>] is supported")
+            }
+            ConfigError::UnknownRule { line, rule } => {
+                let known: Vec<&str> = RuleId::ALL.iter().map(|r| r.name()).collect();
+                write!(
+                    f,
+                    "lint.toml:{line}: unknown rule {rule:?} (known rules: {})",
+                    known.join(", ")
+                )
+            }
+            ConfigError::UnknownKey { line, key } => {
+                write!(f, "lint.toml:{line}: unknown key {key:?} — only `paths` is supported")
+            }
+            ConfigError::Malformed { line, reason } => {
+                write!(f, "lint.toml:{line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Strips a `# …` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_string && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+impl LintConfig {
+    /// A config that allows nothing.
+    pub fn empty() -> LintConfig {
+        LintConfig::default()
+    }
+
+    /// The allow-listed paths of one rule.
+    pub fn allowed_paths(&self, rule: RuleId) -> &[String] {
+        self.allows.get(&rule).map_or(&[], Vec::as_slice)
+    }
+
+    /// Is `rel_path` (workspace-relative, forward slashes) exempt from
+    /// `rule`?
+    pub fn is_allowed(&self, rule: RuleId, rel_path: &str) -> bool {
+        self.allowed_paths(rule).iter().any(|p| p == rel_path)
+    }
+
+    /// Parses the `lint.toml` subset (see module docs).
+    pub fn parse(text: &str) -> Result<LintConfig, ConfigError> {
+        let mut config = LintConfig::empty();
+        let mut current: Option<RuleId> = None;
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[') {
+                let header = header.strip_suffix(']').ok_or(ConfigError::Malformed {
+                    line: lineno,
+                    reason: "unterminated section header".into(),
+                })?;
+                let rule_name = header.strip_prefix("allow.").ok_or_else(|| {
+                    ConfigError::UnknownSection {
+                        line: lineno,
+                        section: header.to_string(),
+                    }
+                })?;
+                let rule =
+                    RuleId::from_name(rule_name).ok_or_else(|| ConfigError::UnknownRule {
+                        line: lineno,
+                        rule: rule_name.to_string(),
+                    })?;
+                current = Some(rule);
+                config.allows.entry(rule).or_default();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ConfigError::Malformed {
+                    line: lineno,
+                    reason: format!("expected `key = value`, got {line:?}"),
+                });
+            };
+            let key = key.trim();
+            let rule = current.ok_or_else(|| ConfigError::Malformed {
+                line: lineno,
+                reason: format!("key {key:?} outside any [allow.<rule>] section"),
+            })?;
+            if key != "paths" {
+                return Err(ConfigError::UnknownKey {
+                    line: lineno,
+                    key: key.to_string(),
+                });
+            }
+            // Collect the array body, possibly spanning lines.
+            let mut body = value.trim().to_string();
+            if !body.starts_with('[') {
+                return Err(ConfigError::Malformed {
+                    line: lineno,
+                    reason: "`paths` must be an array".into(),
+                });
+            }
+            let mut end_line = lineno;
+            while !strip_comment(&body).trim_end().ends_with(']') {
+                let Some((idx2, raw2)) = lines.next() else {
+                    return Err(ConfigError::Malformed {
+                        line: end_line,
+                        reason: "unterminated `paths` array".into(),
+                    });
+                };
+                end_line = idx2 + 1;
+                body.push(' ');
+                body.push_str(strip_comment(raw2).trim());
+            }
+            let body = strip_comment(&body);
+            let inner = body
+                .trim()
+                .strip_prefix('[')
+                .and_then(|b| b.trim_end().strip_suffix(']'))
+                .ok_or(ConfigError::Malformed {
+                    line: lineno,
+                    reason: "malformed `paths` array".into(),
+                })?;
+            for entry in inner.split(',') {
+                let entry = entry.trim();
+                if entry.is_empty() {
+                    continue; // trailing comma
+                }
+                let path = entry
+                    .strip_prefix('"')
+                    .and_then(|e| e.strip_suffix('"'))
+                    .ok_or_else(|| ConfigError::Malformed {
+                        line: lineno,
+                        reason: format!("array entry {entry:?} is not a quoted string"),
+                    })?;
+                config
+                    .allows
+                    .entry(rule)
+                    .or_default()
+                    .push(path.to_string());
+            }
+        }
+        Ok(config)
+    }
+
+    /// Reads and parses a config file. A missing file yields the empty
+    /// config (linting everything is the safe default); a present but
+    /// malformed file is an error.
+    pub fn load(path: &Path) -> Result<LintConfig, ConfigError> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => LintConfig::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(LintConfig::empty()),
+            Err(e) => Err(ConfigError::Malformed {
+                line: 0,
+                reason: format!("reading {}: {e}", path.display()),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_and_multiline_arrays() {
+        let text = r#"
+# workspace allow-list
+[allow.no-unwrap]
+paths = [
+    "crates/a/src/x.rs",  # historic sites
+    "crates/b/src/y.rs",
+]
+
+[allow.truncating-cast]
+paths = ["crates/c/src/kernels.rs"]
+"#;
+        let c = LintConfig::parse(text).expect("valid config");
+        assert!(c.is_allowed(RuleId::NoUnwrap, "crates/a/src/x.rs"));
+        assert!(c.is_allowed(RuleId::NoUnwrap, "crates/b/src/y.rs"));
+        assert!(!c.is_allowed(RuleId::NoUnwrap, "crates/c/src/kernels.rs"));
+        assert!(c.is_allowed(RuleId::TruncatingCast, "crates/c/src/kernels.rs"));
+        assert!(!c.is_allowed(RuleId::RuleFieldAccess, "crates/a/src/x.rs"));
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        let err = LintConfig::parse("[allow.no-such-rule]\npaths = []\n").expect_err("typo");
+        assert!(matches!(err, ConfigError::UnknownRule { line: 1, .. }), "{err}");
+        assert!(err.to_string().contains("no-unwrap"), "lists known rules: {err}");
+    }
+
+    #[test]
+    fn unknown_section_and_key_are_errors() {
+        assert!(matches!(
+            LintConfig::parse("[deny.no-unwrap]\n"),
+            Err(ConfigError::UnknownSection { .. })
+        ));
+        assert!(matches!(
+            LintConfig::parse("[allow.no-unwrap]\nfiles = []\n"),
+            Err(ConfigError::UnknownKey { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_arrays_are_errors() {
+        assert!(matches!(
+            LintConfig::parse("[allow.no-unwrap]\npaths = [\n\"x\",\n"),
+            Err(ConfigError::Malformed { .. })
+        ));
+        assert!(matches!(
+            LintConfig::parse("[allow.no-unwrap]\npaths = [unquoted]\n"),
+            Err(ConfigError::Malformed { .. })
+        ));
+        assert!(matches!(
+            LintConfig::parse("paths = []\n"),
+            Err(ConfigError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn comments_respect_strings() {
+        let c = LintConfig::parse("[allow.no-unwrap]\npaths = [\"a#b.rs\"] # real comment\n")
+            .expect("valid");
+        assert!(c.is_allowed(RuleId::NoUnwrap, "a#b.rs"));
+    }
+
+    #[test]
+    fn missing_file_is_the_empty_config() {
+        let c = LintConfig::load(Path::new("/nonexistent/lint.toml")).expect("empty");
+        assert_eq!(c, LintConfig::empty());
+    }
+}

@@ -1,0 +1,430 @@
+//! A small hand-rolled Rust lexer — just enough fidelity for token-level
+//! lint rules: comments (line, nested block), string/char literals (plain,
+//! raw, byte), lifetimes vs char literals, raw identifiers and line
+//! numbers. The workspace vendors no proc-macro stack (no `syn`), so the
+//! linter lexes by hand; token-level matching is also exactly the right
+//! precision for the shipped rules — it distinguishes `.unwrap()` from
+//! `unwrap_or()` and code from comments, which plain `grep` cannot.
+
+/// What a token is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (raw identifiers are stored without `r#`).
+    Ident(String),
+    /// A single punctuation character.
+    Punct(char),
+    /// Any literal (string, raw string, byte string, char, number).
+    Literal,
+    /// A lifetime such as `'a`.
+    Lifetime,
+}
+
+/// One token with its 1-indexed source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The token's kind (and text, for identifiers).
+    pub kind: TokenKind,
+    /// 1-indexed line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Is this token exactly the identifier `s`?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.ident() == Some(s)
+    }
+
+    /// Is this token exactly the punctuation `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// An inline suppression comment: `// gca-lint: allow(rule-name)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowComment {
+    /// 1-indexed line the comment sits on.
+    pub line: u32,
+    /// The rule names inside `allow(...)`, comma-separated in the source.
+    pub rules: Vec<String>,
+}
+
+/// A fully lexed source file.
+#[derive(Clone, Debug, Default)]
+pub struct LexedFile {
+    /// The token stream (comments and whitespace dropped).
+    pub tokens: Vec<Token>,
+    /// Every `gca-lint: allow(...)` comment encountered.
+    pub allows: Vec<AllowComment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Parses `gca-lint: allow(a, b)` out of a comment body, if present.
+fn parse_allow(body: &str) -> Option<Vec<String>> {
+    let at = body.find("gca-lint:")?;
+    let rest = body[at + "gca-lint:".len()..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    (!rules.is_empty()).then_some(rules)
+}
+
+/// Lexes `source` into tokens plus suppression comments. Unterminated
+/// constructs (string/comment running to EOF) terminate the affected
+/// literal at EOF rather than failing — a linter should degrade, not die,
+/// on a file `rustc` will reject anyway.
+pub fn lex(source: &str) -> LexedFile {
+    let mut out = LexedFile::default();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    // Consumes a (possibly escaped) string body starting *after* the
+    // opening quote; returns the index after the closing `quote`.
+    let consume_quoted = |chars: &[char], mut i: usize, line: &mut u32, quote: char| -> usize {
+        while i < chars.len() {
+            match chars[i] {
+                '\\' => i += 2,
+                '\n' => {
+                    *line += 1;
+                    i += 1;
+                }
+                c if c == quote => return i + 1,
+                _ => i += 1,
+            }
+        }
+        i
+    };
+    // Consumes a raw string body starting *after* `r#…#"`; returns the
+    // index after the closing `"#…#` with `hashes` hash marks.
+    let consume_raw = |chars: &[char], mut i: usize, line: &mut u32, hashes: usize| -> usize {
+        while i < chars.len() {
+            if chars[i] == '\n' {
+                *line += 1;
+            } else if chars[i] == '"' {
+                let mut j = i + 1;
+                let mut seen = 0usize;
+                while j < chars.len() && chars[j] == '#' && seen < hashes {
+                    j += 1;
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return j;
+                }
+            }
+            i += 1;
+        }
+        i
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        let start_line = line;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let mut j = i + 2;
+                while j < chars.len() && chars[j] != '\n' {
+                    j += 1;
+                }
+                let body: String = chars[i + 2..j].iter().collect();
+                if let Some(rules) = parse_allow(&body) {
+                    out.allows.push(AllowComment {
+                        line: start_line,
+                        rules,
+                    });
+                }
+                i = j;
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Nested block comments, as in real Rust.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < chars.len() && depth > 0 {
+                    match (chars[j], chars.get(j + 1)) {
+                        ('/', Some('*')) => {
+                            depth += 1;
+                            j += 2;
+                        }
+                        ('*', Some('/')) => {
+                            depth -= 1;
+                            j += 2;
+                        }
+                        ('\n', _) => {
+                            line += 1;
+                            j += 1;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                i = j;
+            }
+            '"' => {
+                i = consume_quoted(&chars, i + 1, &mut line, '"');
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line: start_line,
+                });
+            }
+            '\'' => {
+                // Lifetime vs char literal.
+                let next = chars.get(i + 1).copied();
+                match next {
+                    Some('\\') => {
+                        i = consume_quoted(&chars, i + 1, &mut line, '\'');
+                        out.tokens.push(Token {
+                            kind: TokenKind::Literal,
+                            line: start_line,
+                        });
+                    }
+                    Some(c2) if is_ident_start(c2) => {
+                        let mut j = i + 1;
+                        while j < chars.len() && is_ident_continue(chars[j]) {
+                            j += 1;
+                        }
+                        if chars.get(j) == Some(&'\'') {
+                            // 'a' — a char literal.
+                            i = j + 1;
+                            out.tokens.push(Token {
+                                kind: TokenKind::Literal,
+                                line: start_line,
+                            });
+                        } else {
+                            // 'a  — a lifetime.
+                            i = j;
+                            out.tokens.push(Token {
+                                kind: TokenKind::Lifetime,
+                                line: start_line,
+                            });
+                        }
+                    }
+                    _ => {
+                        // '(' etc. — a one-char literal like '('.
+                        i = consume_quoted(&chars, i + 1, &mut line, '\'');
+                        out.tokens.push(Token {
+                            kind: TokenKind::Literal,
+                            line: start_line,
+                        });
+                    }
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < chars.len() {
+                    let d = chars[j];
+                    if is_ident_continue(d) {
+                        j += 1;
+                    } else if d == '.'
+                        && chars.get(j + 1).is_some_and(|n| n.is_ascii_digit())
+                    {
+                        // `1.5` continues the literal; `0..n` does not.
+                        j += 2;
+                    } else {
+                        break;
+                    }
+                }
+                i = j;
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line: start_line,
+                });
+            }
+            c if is_ident_start(c) => {
+                // String prefixes first: r"…", r#"…"#, b"…", b'…', br"…".
+                let (is_r, is_b) = (c == 'r', c == 'b');
+                let n1 = chars.get(i + 1).copied();
+                if is_r && (n1 == Some('"') || n1 == Some('#')) {
+                    let mut j = i + 1;
+                    let mut hashes = 0usize;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        i = consume_raw(&chars, j + 1, &mut line, hashes);
+                        out.tokens.push(Token {
+                            kind: TokenKind::Literal,
+                            line: start_line,
+                        });
+                        continue;
+                    }
+                    if hashes == 1 && chars.get(j).copied().is_some_and(is_ident_start) {
+                        // r#ident — a raw identifier.
+                        let mut k = j + 1;
+                        while k < chars.len() && is_ident_continue(chars[k]) {
+                            k += 1;
+                        }
+                        let text: String = chars[j..k].iter().collect();
+                        i = k;
+                        out.tokens.push(Token {
+                            kind: TokenKind::Ident(text),
+                            line: start_line,
+                        });
+                        continue;
+                    }
+                }
+                if is_b {
+                    if n1 == Some('"') {
+                        i = consume_quoted(&chars, i + 2, &mut line, '"');
+                        out.tokens.push(Token {
+                            kind: TokenKind::Literal,
+                            line: start_line,
+                        });
+                        continue;
+                    }
+                    if n1 == Some('\'') {
+                        i = consume_quoted(&chars, i + 2, &mut line, '\'');
+                        out.tokens.push(Token {
+                            kind: TokenKind::Literal,
+                            line: start_line,
+                        });
+                        continue;
+                    }
+                    if n1 == Some('r') {
+                        let mut j = i + 2;
+                        let mut hashes = 0usize;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if chars.get(j) == Some(&'"') {
+                            i = consume_raw(&chars, j + 1, &mut line, hashes);
+                            out.tokens.push(Token {
+                                kind: TokenKind::Literal,
+                                line: start_line,
+                            });
+                            continue;
+                        }
+                    }
+                }
+                let mut j = i + 1;
+                while j < chars.len() && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                let text: String = chars[i..j].iter().collect();
+                i = j;
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident(text),
+                    line: start_line,
+                });
+            }
+            c => {
+                i += 1;
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct(c),
+                    line: start_line,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_dropped_including_nested_blocks() {
+        let src = "a // b\n/* c /* d */ e */ f";
+        assert_eq!(idents(src), ["a", "f"]);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert_eq!(idents(r#"let x = "unwrap()"; y"#), ["let", "x", "y"]);
+        assert_eq!(idents(r##"let x = r#"as u32 "quoted" "#; y"##), ["let", "x", "y"]);
+        assert_eq!(idents(r#"let x = b"expect"; y"#), ["let", "x", "y"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'x'; let d = '\\n'; }");
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let literals = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(literals, 2);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_their_name() {
+        assert_eq!(idents("r#fn r#unwrap"), ["fn", "unwrap"]);
+    }
+
+    #[test]
+    fn number_literals_do_not_swallow_ranges() {
+        let lexed = lex("for i in 0..10 { }");
+        let dots = lexed.tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "a\n/* x\ny */\n\"s\ntring\"\nb";
+        let lexed = lex(src);
+        let b = lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("b"))
+            .expect("token b");
+        assert_eq!(b.line, 6);
+    }
+
+    #[test]
+    fn allow_comments_are_recorded() {
+        let src = "x\n// gca-lint: allow(no-unwrap, truncating-cast)\ny";
+        let lexed = lex(src);
+        assert_eq!(
+            lexed.allows,
+            vec![AllowComment {
+                line: 2,
+                rules: vec!["no-unwrap".into(), "truncating-cast".into()],
+            }]
+        );
+    }
+
+    #[test]
+    fn non_allow_comments_are_ignored() {
+        assert!(lex("// gca-lint: allow()\n// nothing here").allows.is_empty());
+    }
+}

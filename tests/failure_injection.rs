@@ -408,3 +408,82 @@ fn error_messages_are_actionable() {
     let s = e.to_string();
     assert!(s.contains("processor 0") && s.contains("address 2"));
 }
+
+// --- Static-analysis layers (gca-analysis + gca-lint) -----------------------
+//
+// The same principle as above, one level up: the verification layers
+// themselves must *detect* seeded violations, not vacuously pass.
+
+#[test]
+fn symbolic_layer_detects_a_perturbed_coefficient() {
+    use gca_analysis::symbolic::{self, Monomial, Quantity, Rat, SymbolicError};
+
+    let mut model = symbolic::derive().expect("derivation succeeds");
+    // The paper's total is 1 + log n·(3 log n + 8); bump the "3".
+    let sq_log = Monomial { n_pow: 0, log_pow: 2 };
+    model.total_generations.set_coefficient(sq_log, Rat::integer(4));
+    let err = symbolic::verify(&model, 12).expect_err("perturbation must be caught");
+    match err {
+        SymbolicError::CoefficientMismatch { quantity, monomial, derived, expected, .. } => {
+            assert_eq!(quantity, Quantity::TotalGenerations);
+            assert_eq!(monomial, sq_log);
+            assert_eq!(derived, Rat::integer(4));
+            assert_eq!(expected, Rat::integer(3));
+        }
+        other => panic!("expected CoefficientMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn modelcheck_layer_detects_each_seeded_fault_class() {
+    use gca_analysis::modelcheck::{self, Fault, ModelCheckViolation};
+
+    let label = modelcheck::check_all_seeded(2, Some(Fault::WrongLabel))
+        .expect_err("label fault must surface");
+    assert!(matches!(label.violation, ModelCheckViolation::Labels { .. }), "{label}");
+
+    let gens = modelcheck::check_all_seeded(2, Some(Fault::WrongGenerationCount))
+        .expect_err("generation fault must surface");
+    assert!(
+        matches!(gens.violation, ModelCheckViolation::Generations { .. }),
+        "{gens}"
+    );
+
+    let detect = modelcheck::check_all_seeded(2, Some(Fault::DetectMismatch))
+        .expect_err("detect fault must surface");
+    assert!(
+        matches!(detect.violation, ModelCheckViolation::DetectLabels { .. }),
+        "{detect}"
+    );
+}
+
+#[test]
+fn lint_layer_detects_a_seeded_violation_of_each_rule() {
+    use gca_lint::{lint_source, FileClass, RuleId};
+
+    let class = FileClass { library: true, hot_path: true };
+    let seeded = [
+        (RuleId::NoUnwrap, "fn f() { x.unwrap(); }"),
+        (RuleId::TruncatingCast, "fn f(x: u64) -> u32 { x as u32 }"),
+        (
+            RuleId::RuleFieldAccess,
+            "impl GcaRule for R { fn g(&self, f: &F) { f.states_mut(); } }",
+        ),
+    ];
+    for (rule, src) in seeded {
+        let (violations, _) = lint_source("seeded.rs", src, class);
+        assert!(
+            violations.iter().any(|v| v.rule == rule),
+            "rule {rule} missed its seeded violation in {src:?}: {violations:?}"
+        );
+    }
+}
+
+#[test]
+fn lint_config_rejects_unknown_rules() {
+    use gca_lint::{ConfigError, LintConfig};
+
+    let err = LintConfig::parse("[allow.no-such-rule]\npaths = []\n")
+        .expect_err("typo in lint.toml must not silently allow nothing");
+    assert!(matches!(err, ConfigError::UnknownRule { .. }), "{err}");
+}

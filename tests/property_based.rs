@@ -413,3 +413,101 @@ proptest! {
         prop_assert_eq!(fused.metrics.entries(), generic.metrics.entries());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Symbolic-vs-dynamic bridge: the closed forms `gca_analysis::symbolic`
+// derives WITHOUT executing the machine must describe what an instrumented
+// run actually measures — activity exactly, congestion δ exactly for the
+// statically addressed phases and as an upper bound for the data-dependent
+// pointer chases, and phase-execution counts entry for entry.
+// ---------------------------------------------------------------------------
+
+use gca_analysis::symbolic::{self, PhaseForms, SymbolicModel};
+use gca_hirschberg::table1::{measure_first_iteration, measure_full_run};
+use gca_hirschberg::Gen;
+use std::sync::OnceLock;
+
+/// Derives the symbolic model once (six exact sample fits plus a held-out
+/// size) and shares it across every proptest case.
+fn symbolic_model() -> &'static SymbolicModel {
+    static MODEL: OnceLock<SymbolicModel> = OnceLock::new();
+    MODEL.get_or_init(|| symbolic::derive().expect("symbolic derivation succeeds"))
+}
+
+fn forms(model: &SymbolicModel, gen: Gen) -> &PhaseForms {
+    model
+        .phases
+        .iter()
+        .find(|p| p.gen == gen)
+        .expect("the model carries all twelve phases")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For every power of two up to `2^8` and any graph, the measured
+    /// sub-generation-0 rows of the first iteration match the symbolic
+    /// activity polynomials exactly; measured congestion equals the δ
+    /// polynomial for statically addressed phases and never exceeds it
+    /// for the data-dependent ones.
+    #[test]
+    fn symbolic_forms_describe_measured_first_iteration(
+        k in 1u32..=8,
+        seed in 0u64..1_000,
+        p_twentieths in 0u32..=20,
+    ) {
+        let n = 1usize << k;
+        let g = generators::gnp(n, f64::from(p_twentieths) / 20.0, seed);
+        let model = symbolic_model();
+        let rows = measure_first_iteration(&g).unwrap();
+        for row in rows.iter().filter(|r| r.subgeneration == 0) {
+            let f = forms(model, row.generation);
+            let active = f.activity.eval_u64(n as u64, k).expect("integral activity");
+            prop_assert_eq!(
+                row.active as u64, active,
+                "activity at {:?}, n = {}", row.generation, n
+            );
+            let delta = f.congestion.eval_u64(n as u64, k).expect("integral δ");
+            if matches!(row.generation, Gen::PointerJump | Gen::FinalMin) {
+                prop_assert!(
+                    u64::from(row.max_congestion) <= delta,
+                    "δ bound at {:?}, n = {}: measured {} > symbolic {}",
+                    row.generation, n, row.max_congestion, delta
+                );
+            } else {
+                prop_assert_eq!(
+                    u64::from(row.max_congestion), delta,
+                    "δ at {:?}, n = {}", row.generation, n
+                );
+            }
+        }
+    }
+
+    /// Over a full fixed-schedule run, every phase executes exactly as
+    /// often as its symbolic execution-count polynomial predicts, and the
+    /// metrics log's length is the total-generations closed form.
+    #[test]
+    fn symbolic_execution_counts_match_full_run(
+        k in 1u32..=5,
+        seed in 0u64..1_000,
+        p_twentieths in 0u32..=20,
+    ) {
+        let n = 1usize << k;
+        let g = generators::gnp(n, f64::from(p_twentieths) / 20.0, seed);
+        let model = symbolic_model();
+        let rows = measure_full_run(&g).unwrap();
+        let total = model
+            .total_generations
+            .eval_u64(n as u64, k)
+            .expect("integral total");
+        prop_assert_eq!(rows.len() as u64, total);
+        for gen in Gen::ALL {
+            let executed = rows.iter().filter(|r| r.generation == gen).count() as u64;
+            let predicted = forms(model, gen)
+                .executions
+                .eval_u64(n as u64, k)
+                .expect("integral executions");
+            prop_assert_eq!(executed, predicted, "executions of {:?}, n = {}", gen, n);
+        }
+    }
+}
