@@ -189,7 +189,12 @@ fn main() {
         .collect();
 
     // --- Sparse active-domain stepping --------------------------------------
-    let sparse_doc = sparse_stepping_doc();
+    // Every exported document carries the provenance stamp (worker budget,
+    // CPU count, commit SHA): checked-in speedup numbers are only
+    // interpretable together with the machine that produced them.
+    let stamp = gca_bench::stamp();
+    let mut sparse_doc = sparse_stepping_doc();
+    sparse_doc["stamp"] = stamp.clone();
     if let Some(path) = &sparse_out {
         std::fs::write(
             path,
@@ -203,7 +208,8 @@ fn main() {
     }
 
     // --- Fused kernels and batched throughput --------------------------------
-    let fused_doc = fused_kernels_doc();
+    let mut fused_doc = fused_kernels_doc();
+    fused_doc["stamp"] = stamp.clone();
     if let Some(path) = &fused_out {
         std::fs::write(
             path,
@@ -217,6 +223,7 @@ fn main() {
     }
 
     let doc = json!({
+        "stamp": stamp,
         "workload": {
             "n": n,
             "edges": stats.m,

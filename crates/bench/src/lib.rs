@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod fused;
+pub mod parallel;
 pub mod sparse;
 pub mod tables;
 pub mod workloads;
@@ -20,4 +21,39 @@ pub fn workers() -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Best-effort commit SHA of the tree the bench ran on: `GITHUB_SHA` (CI),
+/// then `git rev-parse HEAD`, else `"unknown"`. Never fails — a bench
+/// artifact without provenance is still worth writing.
+pub fn commit_sha() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The provenance stamp every exported bench JSON carries: the harness
+/// worker budget, the machine's visible CPU count, and the commit the
+/// numbers were measured at — without these a checked-in throughput or
+/// speedup figure cannot be interpreted (a 1-CPU CI runner legitimately
+/// reports ~1.0x parallel speedups).
+pub fn stamp() -> serde_json::Value {
+    serde_json::json!({
+        "workers": workers(),
+        "cpus": std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        "commit": commit_sha(),
+    })
 }

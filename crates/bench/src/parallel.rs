@@ -1,0 +1,220 @@
+//! Parallel-fused measurements: the data behind the `parallel_fused` bench
+//! and the `BENCH_parallel_fused.json` export.
+//!
+//! [`ExecPath::FusedParallel`] row-partitions every fused generation across
+//! worker threads over the struct-of-arrays hot field. Its contract is the
+//! same as the fused path's, one level up: *bit-identical* labelings and
+//! `Counts` metrics versus **sequential fused** (and therefore versus the
+//! generic engine path, whose equivalence the `fused_kernels` bench already
+//! asserts). Every timing helper here checks that equivalence on the
+//! workload before publishing a number — the export fails outright if any
+//! row diverges.
+//!
+//! Thresholding: the helpers force `threshold = Some(0)` so the partitioned
+//! drivers run even on kernels whose touched-cell count dips below the
+//! engine's amortization cutoff — the point is to measure (and verify) the
+//! parallel code itself, not the auto-fallback. Full-run timings are taken
+//! both ways; see [`time_full_runs`].
+
+use crate::fused;
+use gca_engine::{DomainPolicy, Engine, GcaError, Instrumentation};
+use gca_graphs::connectivity::union_find_components_dense;
+use gca_graphs::generators;
+use gca_hirschberg::{ExecPath, FusedParallel, Gen, HirschbergGca, Machine};
+use std::time::Instant;
+
+/// Problem sizes the export tracks (the fused bench's upper range — the
+/// partitioned drivers only matter where rows are plentiful).
+pub const SIZES: [usize; 3] = [256, 512, 1024];
+
+/// Worker counts the export sweeps.
+pub const WORKER_SWEEP: [usize; 2] = [2, 4];
+
+/// The forced-parallel execution path used by the per-generation timings.
+pub fn forced(workers: usize) -> ExecPath {
+    ExecPath::FusedParallel(FusedParallel {
+        workers,
+        threshold: Some(0),
+    })
+}
+
+/// An initialized machine on the standard fused workload under `exec`,
+/// without the `fused` module's panicking conveniences.
+fn machine(n: usize, exec: ExecPath) -> Result<Machine, GcaError> {
+    let graph = generators::gnp(n, 0.3, fused::SEED);
+    let engine = Engine::sequential()
+        .with_domain_policy(DomainPolicy::Hinted)
+        .with_instrumentation(Instrumentation::Counts);
+    let mut m = Machine::with_engine(&graph, engine)?.with_exec(exec);
+    m.init()?;
+    Ok(m)
+}
+
+/// One `(generation, sub)` timed under sequential fused and parallel fused.
+#[derive(Clone, Debug)]
+pub struct ParGenTiming {
+    /// Problem size.
+    pub n: usize,
+    /// The timed generation.
+    pub generation: Gen,
+    /// The timed sub-generation.
+    pub subgeneration: u32,
+    /// Worker count of the parallel path.
+    pub workers: usize,
+    /// Nanoseconds per step, sequential fused.
+    pub fused_ns_per_step: f64,
+    /// Nanoseconds per step, parallel fused.
+    pub parallel_ns_per_step: f64,
+    /// Whether active cells, reads, changed cells and the congestion
+    /// histogram were bit-identical between the two paths.
+    pub metrics_identical: bool,
+}
+
+impl ParGenTiming {
+    /// Sequential-fused time over parallel-fused time.
+    pub fn speedup(&self) -> f64 {
+        self.fused_ns_per_step / self.parallel_ns_per_step
+    }
+}
+
+fn time_steps(m: &mut Machine, gen: Gen, sub: u32, reps: u32) -> Result<f64, GcaError> {
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(m.step(gen, sub)?);
+    }
+    Ok(start.elapsed().as_nanos() as f64 / f64::from(reps.max(1)))
+}
+
+/// Times `reps` executions of `(gen, sub)` under sequential fused and
+/// forced-parallel fused on the same workload, asserting report equality on
+/// the first step.
+pub fn time_generation(
+    n: usize,
+    gen: Gen,
+    sub: u32,
+    workers: usize,
+    reps: u32,
+) -> Result<ParGenTiming, GcaError> {
+    let mut seq = machine(n, ExecPath::Fused)?;
+    let mut par = machine(n, forced(workers))?;
+    let rs = seq.step(gen, sub)?;
+    let rp = par.step(gen, sub)?;
+    let metrics_identical = rs.active_cells == rp.active_cells
+        && rs.total_reads == rp.total_reads
+        && rs.changed_cells == rp.changed_cells
+        && rs.congestion == rp.congestion;
+    let fused_ns = time_steps(&mut seq, gen, sub, reps)?;
+    let parallel_ns = time_steps(&mut par, gen, sub, reps)?;
+    Ok(ParGenTiming {
+        n,
+        generation: gen,
+        subgeneration: sub,
+        workers,
+        fused_ns_per_step: fused_ns,
+        parallel_ns_per_step: parallel_ns,
+        metrics_identical,
+    })
+}
+
+/// Full connected-components runs, sequential fused vs. parallel fused.
+#[derive(Clone, Debug)]
+pub struct ParRunTiming {
+    /// Problem size.
+    pub n: usize,
+    /// Worker count of the parallel path.
+    pub workers: usize,
+    /// Whether the amortization threshold was forced to zero (`true`) or
+    /// left at the engine tunable (`false`, the honest deployment setting).
+    pub forced_threshold: bool,
+    /// Milliseconds for the sequential fused run.
+    pub fused_ms: f64,
+    /// Milliseconds for the parallel fused run.
+    pub parallel_ms: f64,
+    /// Whether both runs matched the union-find ground truth.
+    pub labels_match_union_find: bool,
+    /// Whether the per-generation `Counts` metrics logs were bit-identical.
+    pub metrics_identical: bool,
+}
+
+impl ParRunTiming {
+    /// Sequential-fused time over parallel-fused time.
+    pub fn speedup(&self) -> f64 {
+        self.fused_ms / self.parallel_ms
+    }
+}
+
+fn timed_run(
+    graph: &gca_graphs::AdjacencyMatrix,
+    exec: ExecPath,
+) -> Result<(f64, gca_hirschberg::GcaRun), GcaError> {
+    let runner = HirschbergGca::new()
+        .with_engine(
+            Engine::sequential()
+                .with_domain_policy(DomainPolicy::Hinted)
+                .with_instrumentation(Instrumentation::Counts),
+        )
+        .exec(exec);
+    let start = Instant::now();
+    let run = runner.run(graph)?;
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    Ok((ms, run))
+}
+
+/// Times full runs on the standard workload at size `n` with `workers`
+/// parallel workers. With `force_threshold` the partitioned drivers run on
+/// every generation; without it the engine's amortization tunable decides
+/// per generation (the deployment configuration).
+pub fn time_full_runs(
+    n: usize,
+    workers: usize,
+    force_threshold: bool,
+) -> Result<ParRunTiming, GcaError> {
+    let graph = generators::gnp(n, 0.3, fused::SEED);
+    let expected = union_find_components_dense(&graph);
+    let exec = if force_threshold {
+        forced(workers)
+    } else {
+        ExecPath::FusedParallel(FusedParallel {
+            workers,
+            threshold: None,
+        })
+    };
+    let (fused_ms, seq) = timed_run(&graph, ExecPath::Fused)?;
+    let (parallel_ms, par) = timed_run(&graph, exec)?;
+    let labels_match_union_find = [&seq.labels, &par.labels]
+        .iter()
+        .all(|l| l.as_slice() == expected.as_slice());
+    Ok(ParRunTiming {
+        n,
+        workers,
+        forced_threshold: force_threshold,
+        fused_ms,
+        parallel_ms,
+        labels_match_union_find,
+        metrics_identical: seq.metrics.entries() == par.metrics.entries(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_timings_report_identical_metrics() {
+        for (gen, sub) in fused::kernel_generations() {
+            let t = time_generation(16, gen, sub, 2, 2).unwrap();
+            assert!(t.metrics_identical, "{gen:?} sub {sub}");
+            assert!(t.fused_ns_per_step > 0.0 && t.parallel_ns_per_step > 0.0);
+        }
+    }
+
+    #[test]
+    fn full_runs_agree_with_and_without_forced_threshold() {
+        for force in [true, false] {
+            let t = time_full_runs(16, 3, force).unwrap();
+            assert!(t.labels_match_union_find, "force={force}");
+            assert!(t.metrics_identical, "force={force}");
+            assert_eq!(t.forced_threshold, force);
+        }
+    }
+}

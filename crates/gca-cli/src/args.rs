@@ -1,7 +1,7 @@
 //! Hand-rolled argument parsing for `gca-cc` (no external CLI dependency).
 
 use gca_engine::{Backend, DomainPolicy};
-use gca_hirschberg::{Convergence, ExecPath};
+use gca_hirschberg::{Convergence, ExecPath, FusedParallel};
 use std::fmt;
 
 /// Which machine runs the computation.
@@ -115,8 +115,11 @@ impl EngineOpts {
         match s {
             "generic" => Ok(ExecPath::Generic),
             "fused" => Ok(ExecPath::Fused),
+            "fused-par" | "fused-parallel" => {
+                Ok(ExecPath::FusedParallel(FusedParallel::default()))
+            }
             other => Err(ArgError(format!(
-                "unknown exec path '{other}' (expected generic|fused)"
+                "unknown exec path '{other}' (expected generic|fused|fused-par)"
             ))),
         }
     }
@@ -141,8 +144,14 @@ impl EngineOpts {
             match self.exec {
                 ExecPath::Generic => "generic",
                 ExecPath::Fused => "fused",
+                ExecPath::FusedParallel(_) => "fused-par",
             }
         );
+        if let ExecPath::FusedParallel(cfg) = self.exec {
+            if cfg.workers != 0 {
+                s.push_str(&format!(" workers={}", cfg.workers));
+            }
+        }
         if self.validate {
             s.push_str(" validate=on");
         }
@@ -212,7 +221,10 @@ OPTIONS:
   --backend <b>      seq (default) | par — engine backend (gca machine only)
   --domain <d>       hinted (default) | dense — active-domain stepping policy (gca machine only)
   --convergence <c>  fixed (default) | detect — pointer-jump convergence early exit (gca machine only)
-  --exec <e>         generic (default) | fused — per-cell dispatch or fused flat-array kernels (gca machine only)
+  --exec <e>         generic (default) | fused | fused-par — per-cell dispatch, fused flat-array
+                     kernels, or row-partitioned parallel fused kernels (gca machine only)
+  --workers <k>      worker count for --exec fused-par (0 or omitted = auto from the
+                     machine's thread count; requires --exec fused-par)
   --validate         run under the CROW/domain sanitizer: replay every generation against the
                      owner-write / read-snapshot / domain contracts (gca machine only; slower)
   --labels           print every node's component label
@@ -272,6 +284,7 @@ pub fn parse(args: &[String]) -> Result<Args, ArgError> {
     let mut metrics = false;
     let mut verify = false;
     let mut engine = EngineOpts::default();
+    let mut workers: Option<usize> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -306,6 +319,14 @@ pub fn parse(args: &[String]) -> Result<Args, ArgError> {
                     .ok_or_else(|| ArgError("--exec needs a value".into()))?;
                 engine.exec = EngineOpts::parse_exec(v)?;
             }
+            "--workers" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--workers needs a value".into()))?;
+                workers = Some(v.parse().map_err(|_| {
+                    ArgError(format!("bad worker count '{v}' (expected an integer)"))
+                })?);
+            }
             "--validate" => engine.validate = true,
             "--labels" => labels = true,
             "--json" => json = true,
@@ -320,6 +341,17 @@ pub fn parse(args: &[String]) -> Result<Args, ArgError> {
                     return Err(ArgError(format!("unexpected extra input '{other}'")));
                 }
                 input = Some(parse_generator(other)?);
+            }
+        }
+    }
+
+    if let Some(w) = workers {
+        match &mut engine.exec {
+            ExecPath::FusedParallel(cfg) => cfg.workers = w,
+            _ => {
+                return Err(ArgError(
+                    "--workers requires --exec fused-par".into(),
+                ))
             }
         }
     }
@@ -432,6 +464,41 @@ mod tests {
             a.engine.describe(),
             "backend=parallel domain=dense convergence=detect exec=fused"
         );
+    }
+
+    #[test]
+    fn parses_fused_par_and_workers() {
+        let a = parse(&argv(&["--exec", "fused-par", "ring:5"])).unwrap();
+        assert_eq!(a.engine.exec, ExecPath::FusedParallel(FusedParallel::default()));
+        assert_eq!(
+            a.engine.describe(),
+            "backend=sequential domain=hinted convergence=fixed exec=fused-par"
+        );
+
+        let a = parse(&argv(&["--exec", "fused-par", "--workers", "4", "ring:5"])).unwrap();
+        assert_eq!(
+            a.engine.exec,
+            ExecPath::FusedParallel(FusedParallel::with_workers(4))
+        );
+        assert_eq!(
+            a.engine.describe(),
+            "backend=sequential domain=hinted convergence=fixed exec=fused-par workers=4"
+        );
+
+        // --workers before --exec works too: patching happens after the loop.
+        let a = parse(&argv(&["--workers", "2", "--exec", "fused-par", "ring:5"])).unwrap();
+        assert_eq!(
+            a.engine.exec,
+            ExecPath::FusedParallel(FusedParallel::with_workers(2))
+        );
+    }
+
+    #[test]
+    fn workers_requires_fused_par() {
+        assert!(parse(&argv(&["--workers", "4", "ring:5"])).is_err());
+        assert!(parse(&argv(&["--exec", "fused", "--workers", "4", "ring:5"])).is_err());
+        assert!(parse(&argv(&["--exec", "fused-par", "--workers", "x", "ring:5"])).is_err());
+        assert!(parse(&argv(&["--workers"])).is_err());
     }
 
     #[test]

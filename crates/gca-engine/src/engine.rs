@@ -88,6 +88,11 @@ pub struct StepReport {
     /// [`DomainPolicy::Hinted`], the whole field under
     /// [`DomainPolicy::Dense`].
     pub evaluated_cells: usize,
+    /// Worker chunks that evaluated the generation: `1` whenever the step
+    /// ran on the calling thread — including [`Backend::Parallel`]'s
+    /// automatic below-threshold fallback — and the parallel chunk count
+    /// otherwise. Benches assert on this to prove which path actually ran.
+    pub workers: usize,
     /// Per-target read counts; present under
     /// [`Instrumentation::Counts`] and [`Instrumentation::Trace`].
     pub congestion: Option<CongestionHistogram>,
@@ -218,6 +223,10 @@ pub struct Engine {
     backend: Backend,
     instrumentation: Instrumentation,
     domain_policy: DomainPolicy,
+    /// Override of the [`MIN_PAR_CELLS`] parallel-fallback threshold
+    /// (`None` = default). Shared knob: `gca-hirschberg`'s `FusedParallel`
+    /// path consults the same value via [`Engine::min_parallel_cells`].
+    min_par_cells: Option<usize>,
     generation: u64,
     scratch: StepScratch,
 }
@@ -265,6 +274,18 @@ impl Engine {
         self
     }
 
+    /// Overrides the minimum evaluated-cell count below which a
+    /// [`Backend::Parallel`] step falls back to the sequential evaluator
+    /// (default: 16 Ki cells). The fused data-parallel path
+    /// (`gca-hirschberg`'s `FusedParallel`) inherits the same threshold, so
+    /// one knob governs both auto-fallback decisions. `0` disables the
+    /// fallback entirely (useful in tests exercising tiny fields).
+    #[must_use]
+    pub fn with_min_parallel_cells(mut self, cells: usize) -> Self {
+        self.min_par_cells = Some(cells);
+        self
+    }
+
     /// The configured backend.
     pub fn backend(&self) -> Backend {
         self.backend
@@ -278,6 +299,12 @@ impl Engine {
     /// The configured domain policy.
     pub fn domain_policy(&self) -> DomainPolicy {
         self.domain_policy
+    }
+
+    /// The effective parallel-fallback threshold in cells (see
+    /// [`Engine::with_min_parallel_cells`]).
+    pub fn min_parallel_cells(&self) -> usize {
+        self.min_par_cells.unwrap_or(MIN_PAR_CELLS)
     }
 
     /// Number of generations executed so far.
@@ -349,9 +376,9 @@ impl Engine {
         // small active regions, where thread-spawn cost dominates.
         let parallel = matches!(self.backend, Backend::Parallel)
             && !recording
-            && domain.cell_count(&shape) >= MIN_PAR_CELLS;
+            && domain.cell_count(&shape) >= self.min_par_cells.unwrap_or(MIN_PAR_CELLS);
 
-        let tally = if parallel {
+        let (tally, workers) = if parallel {
             step_parallel(
                 rule,
                 &ctx,
@@ -363,7 +390,7 @@ impl Engine {
                 counting.then_some(reads),
             )?
         } else {
-            step_sequential(
+            let tally = step_sequential(
                 rule,
                 &ctx,
                 &shape,
@@ -372,7 +399,8 @@ impl Engine {
                 next,
                 counting.then_some(reads.as_mut_slice()),
                 recording.then_some(accesses.as_mut_slice()),
-            )?
+            )?;
+            (tally, 1)
         };
 
         if validating {
@@ -388,6 +416,7 @@ impl Engine {
             total_reads: tally.reads,
             changed_cells: tally.changed,
             evaluated_cells: tally.evaluated,
+            workers,
             // Swap the accumulation buffers into the report instead of
             // cloning them; [`Engine::recycle`] hands them back.
             congestion: counting
@@ -668,7 +697,9 @@ fn par_copy<S: Clone + Send + Sync>(dst: &mut [S], src: &[S]) {
 /// Parallel evaluator: splits the active region into coarse chunks, each
 /// folding into its own [`ChunkAcc`] (counters + private histogram), then
 /// merges the accumulators into the engine scratch after the join. No
-/// per-cell intermediate collection is materialized.
+/// per-cell intermediate collection is materialized. Returns the tally and
+/// the number of chunks the region was split into (for
+/// [`StepReport::workers`]).
 #[allow(clippy::too_many_arguments)]
 fn step_parallel<R: GcaRule>(
     rule: &R,
@@ -679,7 +710,7 @@ fn step_parallel<R: GcaRule>(
     next: &mut [R::State],
     chunks: &mut Vec<ChunkAcc>,
     mut merge: Option<&mut Vec<u32>>,
-) -> Result<Tally, GcaError> {
+) -> Result<(Tally, usize), GcaError> {
     let len = prev.len();
     let cols = shape.cols();
     let counting = merge.is_some();
@@ -699,7 +730,7 @@ fn step_parallel<R: GcaRule>(
                 }
             }
         }
-        return Ok(tally);
+        return Ok((tally, 1));
     }
 
     // Rows and All evaluate one contiguous region; Cols evaluates one short
@@ -794,7 +825,7 @@ fn step_parallel<R: GcaRule>(
             }
         }
     }
-    Ok(tally)
+    Ok((tally, n_chunks))
 }
 
 #[cfg(test)]
@@ -1578,6 +1609,54 @@ mod tests {
         assert_eq!(fp.states(), fs.states());
         assert_eq!(rp.evaluated_cells, 300 * 300);
         assert_eq!(rp.congestion, rs.congestion);
+    }
+
+    #[test]
+    fn min_parallel_cells_default_and_override() {
+        let e = Engine::parallel();
+        assert_eq!(e.min_parallel_cells(), MIN_PAR_CELLS);
+        let e = Engine::parallel().with_min_parallel_cells(42);
+        assert_eq!(e.min_parallel_cells(), 42);
+    }
+
+    #[test]
+    fn workers_reports_sequential_and_fallback_paths() {
+        // Sequential engines always report one worker.
+        let mut f = field(&[1, 2, 3, 4]);
+        let mut e = Engine::sequential();
+        assert_eq!(e.step(&mut f, &Rotate, 0, 0).unwrap().workers, 1);
+        // A parallel engine below the threshold falls back — and says so.
+        let mut e = Engine::parallel();
+        assert_eq!(e.step(&mut f, &Rotate, 0, 0).unwrap().workers, 1);
+    }
+
+    #[test]
+    fn zero_threshold_forces_parallel_path_and_stays_correct() {
+        // With the fallback disabled even a tiny field takes the chunked
+        // path; results and metrics must match the sequential reference.
+        let init = [10u32, 20, 30, 40, 50];
+        let mut fs = field(&init);
+        let mut fp = field(&init);
+        let mut es = Engine::sequential();
+        let mut ep = Engine::parallel().with_min_parallel_cells(0);
+        let rs = es.step(&mut fs, &Rotate, 0, 0).unwrap();
+        let rp = ep.step(&mut fp, &Rotate, 0, 0).unwrap();
+        assert_eq!(fs.states(), fp.states());
+        assert_eq!(rs.congestion, rp.congestion);
+        assert!(rp.workers >= 1);
+    }
+
+    #[test]
+    fn workers_reports_chunk_count_above_threshold() {
+        // 70_000 cells clears the default threshold; the chunk count is
+        // bounded by available threads, so on a single-core host this still
+        // legitimately reports 1.
+        let shape = FieldShape::new(1, 70_000).unwrap();
+        let mut f = CellField::from_states(shape, vec![0u32; 70_000]).unwrap();
+        let mut e = Engine::parallel();
+        let r = e.step(&mut f, &EvenActive, 0, 0).unwrap();
+        let expect = 70_000usize.div_ceil(70_000usize.div_ceil(rayon::current_num_threads()).max(MIN_PAR_CHUNK));
+        assert_eq!(r.workers, expect);
     }
 
     #[test]

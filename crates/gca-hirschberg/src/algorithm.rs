@@ -1,5 +1,5 @@
 use crate::complexity::{ceil_log2, total_generations};
-use crate::kernels::FusedExecutor;
+use crate::kernels::{FusedExecutor, ParPolicy};
 use crate::{iteration_schedule, ExecPath, Gen, HCell, HirschbergRule, Layout};
 use gca_engine::metrics::{CongestionHistogram, GenerationMetrics, MetricsLog};
 use gca_engine::{CellField, Engine, GcaError, Instrumentation, StepCtx, StepReport, Word};
@@ -50,6 +50,11 @@ pub struct Machine {
     convergence: Convergence,
     exec: ExecPath,
     fused: FusedExecutor,
+    /// Whether the fused executor's SoA mirror currently reflects `field`.
+    /// Anything that mutates the field behind the kernels' back (generic
+    /// steps, snapshot restore, graph reset, seeded faults) clears it; the
+    /// next fused step reloads the mirror.
+    soa_valid: bool,
     initialized: bool,
     /// The differential harness armed by [`Instrumentation::Validate`] on
     /// the fused path: a shadow field replayed through the reference engine
@@ -92,6 +97,7 @@ impl Machine {
             convergence: Convergence::Fixed,
             exec: ExecPath::Generic,
             fused: FusedExecutor::new(graph.n()),
+            soa_valid: false,
             initialized: false,
             validator: None,
             fault: None,
@@ -170,6 +176,7 @@ impl Machine {
         let rep = self
             .engine
             .step(&mut self.field, &self.rule, gen.number(), subgeneration)?;
+        self.soa_valid = false;
         if let Some(hist) = rep.congestion.as_ref() {
             self.metrics
                 .push(GenerationMetrics::new(rep.ctx, rep.active_cells, hist));
@@ -182,8 +189,39 @@ impl Machine {
     /// fall back to it. `Validate` stays fused on purpose: that is what
     /// arms the differential replay harness against the kernels.
     fn fused_active(&self) -> bool {
-        self.exec == ExecPath::Fused
+        matches!(self.exec, ExecPath::Fused | ExecPath::FusedParallel(_))
             && !matches!(self.engine.instrumentation(), Instrumentation::Trace)
+    }
+
+    /// Resolves [`ExecPath::FusedParallel`]'s knob into the per-step policy
+    /// the kernels consume: auto worker counts default to the hardware
+    /// thread count, an unset threshold inherits the engine's shared
+    /// tunable, and anything that resolves below two workers runs the
+    /// plain sequential fused path.
+    fn par_policy(&self) -> Option<ParPolicy> {
+        let ExecPath::FusedParallel(cfg) = self.exec else {
+            return None;
+        };
+        let workers = if cfg.workers == 0 {
+            rayon::current_num_threads()
+        } else {
+            cfg.workers
+        };
+        (workers >= 2).then(|| ParPolicy {
+            workers,
+            threshold: cfg
+                .threshold
+                .unwrap_or_else(|| self.engine.min_parallel_cells()),
+            explicit: cfg.workers != 0,
+        })
+    }
+
+    /// Reloads the kernels' SoA mirror from the field if it is stale.
+    fn ensure_soa(&mut self) {
+        if !self.soa_valid {
+            self.fused.load(&self.field);
+            self.soa_valid = true;
+        }
     }
 
     /// Whether a step should account reads (mirrors the engine's `counting`).
@@ -204,6 +242,19 @@ impl Machine {
     #[doc(hidden)]
     pub fn seed_fused_fault(&mut self, cell: usize) {
         self.fault = Some(cell);
+    }
+
+    /// Test-only hook for the failure-injection suite: makes the next
+    /// parallel counting broadcast account one boundary cell twice — the
+    /// observable effect of two row partitions overlapping on it. Safe Rust
+    /// makes a real aliasing overlap unrepresentable (`par_chunks_mut`
+    /// hands out disjoint `&mut` slices), so the injectable fault is the
+    /// accounting consequence the replay harness must catch as
+    /// [`GcaError::KernelDivergence`]. No effect unless the machine runs
+    /// [`ExecPath::FusedParallel`] under [`Instrumentation::Validate`].
+    #[doc(hidden)]
+    pub fn seed_partition_fault(&mut self) {
+        self.fused.seed_partition_fault();
     }
 
     /// Copies the pre-generation field into the shadow so the reference
@@ -240,6 +291,8 @@ impl Machine {
         if let Some(cell) = self.fault.take() {
             if let Some(c) = self.field.states_mut().get_mut(cell) {
                 c.d = c.d.wrapping_add(1);
+                // The AoS field was corrupted behind the SoA mirror.
+                self.soa_valid = false;
             }
         }
         let v = self.validator.as_mut().expect("begin_fused_validation ran");
@@ -296,8 +349,13 @@ impl Machine {
     fn step_fused(&mut self, gen: Gen, subgeneration: u32) -> Result<StepReport, GcaError> {
         let counting = self.counting();
         let ctx = self.fused_ctx(gen, subgeneration);
+        let par = self.par_policy();
         self.begin_fused_validation();
-        let rep = self.fused.step(&mut self.field, &ctx, counting)?;
+        self.ensure_soa();
+        let rep = self.fused.step(&ctx, counting, par)?;
+        // The single-step API keeps the public field authoritative after
+        // every generation (callers inspect it between steps).
+        self.fused.store_d(&mut self.field);
         self.check_fused_generation(&ctx)?;
         self.fused_commit(ctx, rep.active);
         Ok(StepReport {
@@ -306,6 +364,7 @@ impl Machine {
             total_reads: rep.reads,
             changed_cells: rep.changed,
             evaluated_cells: rep.evaluated,
+            workers: rep.workers,
             congestion: counting
                 .then(|| CongestionHistogram::from_reads(self.fused.reads().to_vec())),
             accesses: None,
@@ -348,9 +407,17 @@ impl Machine {
     fn fused_tick(&mut self, gen: Gen, subgeneration: u32) -> Result<usize, GcaError> {
         let ctx = self.fused_ctx(gen, subgeneration);
         let counting = self.counting();
+        let par = self.par_policy();
         self.begin_fused_validation();
-        let rep = self.fused.step(&mut self.field, &ctx, counting)?;
-        self.check_fused_generation(&ctx)?;
+        self.ensure_soa();
+        let rep = self.fused.step(&ctx, counting, par)?;
+        if self.validating() {
+            // The replay harness compares against the field, so each
+            // validated generation writes back immediately; the plain hot
+            // loop defers the writeback to the iteration boundary.
+            self.fused.store_d(&mut self.field);
+            self.check_fused_generation(&ctx)?;
+        }
         self.fused_commit(ctx, rep.active);
         Ok(rep.changed)
     }
@@ -358,7 +425,19 @@ impl Machine {
     /// The fused iteration: identical `(generation, sub-generation)`
     /// schedule and convergence behaviour as the generic loop, with the
     /// pointer-jump sub-generations fused over ping-pong label buffers.
+    /// The SoA mirror is the working state between generations; the public
+    /// field is written back once per iteration (also on error, so
+    /// committed generations stay visible exactly as the generic engine
+    /// leaves them — a failed generation never commits).
     fn run_iteration_fused(&mut self) -> Result<u64, GcaError> {
+        let result = self.run_iteration_fused_inner();
+        if !self.validating() {
+            self.fused.store_d(&mut self.field);
+        }
+        result
+    }
+
+    fn run_iteration_fused_inner(&mut self) -> Result<u64, GcaError> {
         let subgens = ceil_log2(self.n());
         let mut executed = 0u64;
         for gen in [Gen::BroadcastC, Gen::FilterNeighbors] {
@@ -407,7 +486,9 @@ impl Machine {
     /// visible exactly as the generic engine leaves them).
     fn fused_pointer_jump(&mut self, subgens: u32) -> Result<u64, GcaError> {
         let counting = self.counting();
-        self.fused.gather_labels(&self.field);
+        let par = self.par_policy();
+        self.ensure_soa();
+        self.fused.gather_labels();
         let mut executed = 0u64;
         let mut failure = None;
         for s in 0..subgens {
@@ -415,7 +496,7 @@ impl Machine {
                 self.fused.reset_reads(self.field.len());
             }
             let ctx = self.fused_ctx(Gen::PointerJump, s);
-            match self.fused.jump_once(self.field.states(), &ctx, counting) {
+            match self.fused.jump_once(&ctx, counting, par) {
                 Ok(rep) => {
                     self.fused_commit(ctx, rep.active);
                     executed += 1;
@@ -429,7 +510,7 @@ impl Machine {
                 }
             }
         }
-        self.fused.scatter_labels(&mut self.field);
+        self.fused.scatter_labels();
         match failure {
             None => Ok(executed),
             Some(e) => Err(e),
@@ -458,6 +539,7 @@ impl Machine {
             });
         }
         self.field = field;
+        self.soa_valid = false;
         self.initialized = true;
         Ok(())
     }
@@ -484,6 +566,7 @@ impl Machine {
         self.layout.refill_field(graph, &mut self.field)?;
         self.engine.reset();
         self.metrics.clear();
+        self.soa_valid = false;
         self.initialized = false;
         if let Some(v) = self.validator.as_mut() {
             v.engine.reset();
@@ -1152,6 +1235,122 @@ mod tests {
             assert_eq!(validated.labels, generic.labels);
             assert_eq!(validated.generations, generic.generations);
             assert_eq!(validated.metrics.entries(), generic.metrics.entries());
+        }
+    }
+
+    #[test]
+    fn parallel_fused_matches_fused_labels_and_metrics() {
+        use crate::kernels::FusedParallel;
+        // Threshold 0 forces the parallel drivers even on tiny corpus
+        // graphs; workers 0 resolves to the hardware thread count (which
+        // may legitimately be 1 → sequential fallback).
+        for workers in [0usize, 2, 3, 7] {
+            let exec = ExecPath::FusedParallel(FusedParallel {
+                workers,
+                threshold: Some(0),
+            });
+            for g in &fused_test_corpus() {
+                let fused = HirschbergGca::new().exec(ExecPath::Fused).run(g).unwrap();
+                let par = HirschbergGca::new().exec(exec).run(g).unwrap();
+                assert_eq!(par.labels, fused.labels, "workers={workers} on {g:?}");
+                assert_eq!(par.generations, fused.generations, "workers={workers}");
+                assert_eq!(
+                    par.metrics.entries(),
+                    fused.metrics.entries(),
+                    "metrics diverge at workers={workers} on {g:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_fused_stepwise_reports_match_fused() {
+        use crate::kernels::FusedParallel;
+        let g = generators::gnp(11, 0.3, 4);
+        let exec = ExecPath::FusedParallel(FusedParallel {
+            workers: 3,
+            threshold: Some(0),
+        });
+        let mut a = Machine::new(&g).unwrap().with_exec(ExecPath::Fused);
+        let mut b = Machine::new(&g).unwrap().with_exec(exec);
+        a.init().unwrap();
+        let rb = b.init().unwrap();
+        assert_eq!(rb.workers, 3, "init must split 12 rows across 3 chunks");
+        for _ in 0..ceil_log2(11) {
+            for (gen, sub) in iteration_schedule(11) {
+                let ra = a.step(gen, sub).unwrap();
+                let rb = b.step(gen, sub).unwrap();
+                assert_eq!(ra.active_cells, rb.active_cells, "{gen:?}/{sub}");
+                assert_eq!(ra.total_reads, rb.total_reads, "{gen:?}/{sub}");
+                assert_eq!(ra.changed_cells, rb.changed_cells, "{gen:?}/{sub}");
+                assert_eq!(ra.congestion, rb.congestion, "{gen:?}/{sub}");
+                assert_eq!(ra.workers, 1, "sequential fused reports one worker");
+            }
+        }
+        assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn parallel_fused_auto_threshold_falls_back_on_small_fields() {
+        // Default threshold (engine tunable, 16 Ki cells): an n=12 field
+        // never parallelizes, and the report says so.
+        let g = generators::gnp(12, 0.3, 7);
+        let expected = union_find_components_dense(&g);
+        let mut m = Machine::new(&g)
+            .unwrap()
+            .with_exec(ExecPath::fused_parallel(4));
+        let rep = m.init().unwrap();
+        assert_eq!(rep.workers, 1, "below threshold must fall back");
+        for _ in 0..ceil_log2(12) {
+            m.run_iteration().unwrap();
+        }
+        assert_eq!(m.labels().as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn validate_stays_fused_parallel_and_runs_clean() {
+        use crate::kernels::FusedParallel;
+        let exec = ExecPath::FusedParallel(FusedParallel {
+            workers: 2,
+            threshold: Some(0),
+        });
+        for g in &fused_test_corpus() {
+            let m = Machine::with_engine(
+                g,
+                Engine::sequential().with_instrumentation(Instrumentation::Validate),
+            )
+            .unwrap()
+            .with_exec(exec);
+            assert!(m.fused_active(), "Validate must stay fused-parallel");
+            let reference = HirschbergGca::new().run(g).unwrap();
+            let validated = HirschbergGca::new()
+                .with_engine(Engine::sequential().with_instrumentation(Instrumentation::Validate))
+                .exec(exec)
+                .run(g)
+                .unwrap();
+            assert_eq!(validated.labels, reference.labels, "on {g:?}");
+            assert_eq!(validated.generations, reference.generations);
+            assert_eq!(validated.metrics.entries(), reference.metrics.entries());
+        }
+    }
+
+    #[test]
+    fn parallel_fused_composes_with_detect_and_early_exit() {
+        use crate::kernels::FusedParallel;
+        let exec = ExecPath::FusedParallel(FusedParallel {
+            workers: 2,
+            threshold: Some(0),
+        });
+        for seed in 0..4 {
+            let g = generators::gnp(15, 0.25, seed);
+            let expected = union_find_components_dense(&g);
+            let run = HirschbergGca::new()
+                .exec(exec)
+                .convergence(Convergence::Detect)
+                .early_exit(true)
+                .run(&g)
+                .unwrap();
+            assert_eq!(run.labels.as_slice(), expected.as_slice());
         }
     }
 

@@ -1,0 +1,147 @@
+//! Struct-of-arrays view of the Hirschberg field — the fused kernels' hot
+//! representation.
+//!
+//! [`gca_engine::CellField<HCell>`] stores the field as an array of
+//! structures: every cell carries its data word `d` *and* its adjacency bit
+//! `a`. The adjacency bits are immutable after [`crate::Layout::build_field`]
+//! (the paper's `A` matrix is an input, never written by any generation), so
+//! on the hot path every `HCell` copy moves a byte of dead weight and every
+//! broadcast/copy fill is a strided struct write instead of a plain word
+//! fill.
+//!
+//! [`HField`] splits the buffer into two planes with the same linear
+//! indexing as [`crate::Layout`] (`index = row · n + col`, `D_N` at
+//! `n² .. n² + n`):
+//!
+//! * a contiguous `Vec<Word>` **data plane** — the per-generation working
+//!   set; broadcasts and copies become `memcpy`-shaped fills, and
+//!   row-partitioned parallel kernels split it with `split_at_mut`-safe
+//!   disjoint chunks;
+//! * a bit-packed **adjacency plane** (one bit per square cell) — loaded
+//!   once per graph, read-only afterwards.
+//!
+//! Conversion happens only at the [`crate::Machine`] boundary
+//! ([`HField::load`] / [`HField::store_d`]), so snapshots, the generic
+//! engine path, `Validate` replay and serde all keep operating on the
+//! authoritative `CellField<HCell>`.
+
+use crate::HCell;
+use gca_engine::{CellField, Word};
+
+/// Reads bit `i` of a packed adjacency plane.
+#[inline]
+pub(crate) fn a_bit(plane: &[u64], i: usize) -> bool {
+    (plane[i >> 6] >> (i & 63)) & 1 == 1
+}
+
+/// The struct-of-arrays mirror of one `(n+1) × n` Hirschberg field.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct HField {
+    /// Problem size `n`.
+    pub n: usize,
+    /// The data plane: `d` of every cell, `n · (n+1)` words, same linear
+    /// indexing as the AoS buffer.
+    pub d: Vec<Word>,
+    /// The adjacency plane: `A(row, col)` bit-packed over the `n²` square
+    /// cells (the `D_N` row carries no adjacency). Immutable between
+    /// [`HField::load`] calls.
+    pub a: Vec<u64>,
+}
+
+impl HField {
+    /// An all-zero field for problem size `n`.
+    pub fn new(n: usize) -> Self {
+        HField {
+            n,
+            d: vec![0; n * (n + 1)],
+            a: vec![0; (n * n).div_ceil(64)],
+        }
+    }
+
+    /// Loads both planes from the AoS field (called whenever the machine's
+    /// `CellField` may have changed behind the SoA mirror's back: reset,
+    /// snapshot restore, generic-path steps).
+    pub fn load(&mut self, field: &CellField<HCell>) {
+        let cells = field.states();
+        debug_assert_eq!(cells.len(), self.n * (self.n + 1));
+        self.d.clear();
+        self.d.extend(cells.iter().map(|c| c.d));
+        let nn = self.n * self.n;
+        self.a.clear();
+        self.a.resize(nn.div_ceil(64), 0);
+        for (i, c) in cells[..nn].iter().enumerate() {
+            if c.a {
+                self.a[i >> 6] |= 1 << (i & 63);
+            }
+        }
+    }
+
+    /// Writes the data plane back into the AoS field, leaving every
+    /// adjacency bit untouched — the only direction state ever flows out
+    /// (no generation writes `a`).
+    pub fn store_d(&self, field: &mut CellField<HCell>) {
+        for (cell, &d) in field.states_mut().iter_mut().zip(&self.d) {
+            cell.d = d;
+        }
+    }
+
+    /// Reads the adjacency bit of square cell `i` (the kernels read the
+    /// packed plane directly via [`a_bit`]; this accessor serves the tests).
+    #[cfg(test)]
+    pub fn adjacency(&self, i: usize) -> bool {
+        a_bit(&self.a, i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Layout;
+    use gca_graphs::generators;
+
+    #[test]
+    fn round_trip_preserves_data_and_adjacency() {
+        let g = generators::gnp(9, 0.4, 3);
+        let layout = Layout::new(9).unwrap();
+        let mut field = layout.build_field(&g).unwrap();
+        let before: Vec<HCell> = field.states().to_vec();
+
+        let mut h = HField::new(9);
+        h.load(&field);
+        for (i, c) in before.iter().enumerate() {
+            assert_eq!(h.d[i], c.d, "d plane at {i}");
+            if i < 81 {
+                assert_eq!(h.adjacency(i), c.a, "a plane at {i}");
+            }
+        }
+
+        // Mutate the data plane, store back: d follows, a survives.
+        for v in h.d.iter_mut() {
+            *v = v.wrapping_add(7);
+        }
+        h.store_d(&mut field);
+        for (i, c) in field.states().iter().enumerate() {
+            assert_eq!(c.d, before[i].d.wrapping_add(7), "stored d at {i}");
+            assert_eq!(c.a, before[i].a, "adjacency must never change at {i}");
+        }
+    }
+
+    #[test]
+    fn zero_size_field_is_empty() {
+        let h = HField::new(0);
+        assert!(h.d.is_empty());
+        assert!(h.a.is_empty());
+    }
+
+    #[test]
+    fn load_resizes_planes() {
+        let g = generators::ring(5);
+        let layout = Layout::new(5).unwrap();
+        let field = layout.build_field(&g).unwrap();
+        let mut h = HField::new(0);
+        h.n = 5;
+        h.load(&field);
+        assert_eq!(h.d.len(), 30);
+        assert_eq!(h.a.len(), 1);
+    }
+}

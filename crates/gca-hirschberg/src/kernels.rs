@@ -1,4 +1,5 @@
-//! Fused flat-array kernels for the Hirschberg rule ([`ExecPath::Fused`]).
+//! Fused flat-array kernels for the Hirschberg rule ([`ExecPath::Fused`]
+//! and [`ExecPath::FusedParallel`]).
 //!
 //! The generic engine path evaluates every generation through per-cell
 //! [`gca_engine::GcaRule`] dispatch: each cell re-derives its row/column,
@@ -9,7 +10,7 @@
 //! `O(n)` useful updates.
 //!
 //! This module implements each of Figure 2's generations as a specialized
-//! kernel over the flat [`HCell`] buffer instead:
+//! kernel over the struct-of-arrays [`HField`] data plane instead:
 //!
 //! * **broadcasts** (generations 1, 5, 9) gather the column-0 vector into a
 //!   reusable scratch once, then fill rows with strided writes;
@@ -24,16 +25,33 @@
 //!   at all between sub-generations — the existing
 //!   [`crate::Convergence::Detect`] fixed point composes unchanged.
 //!
+//! **Parallel execution.** Every kernel body is a *row-range function*
+//! (`*_rows` below) over a contiguous slice of whole rows. The sequential
+//! path runs it once over the full range; [`ExecPath::FusedParallel`] runs
+//! the same function over disjoint `par_chunks_mut` row partitions, one
+//! [`ChunkReport`] accumulator per chunk, merged after the join. Because
+//! both paths execute the identical per-cell code and integer counter sums
+//! commute, labels *and* metrics are bit-identical by construction. The
+//! per-generation race-freedom argument (why row partitions never alias) is
+//! written out in DESIGN.md §13.
+//!
 //! **Metrics contract.** Every kernel produces the exact counters the
 //! generic path produces: active cells per Table 1, total reads, changed
 //! cells (the convergence signal), and — when counting — the per-target
-//! read histogram in `FusedExecutor::reads`. `tests/property_based.rs`
-//! asserts labelings *and* `Counts` metrics are bit-identical between the
-//! two paths; `Instrumentation::Trace` needs per-cell access lists only the
-//! generic evaluator materializes, so [`crate::Machine`] falls back to it.
+//! read histogram in `FusedExecutor::reads`. Statically addressed phases
+//! recount their histogram in a data-independent pass on the calling
+//! thread; the data-dependent pointer chases (generations 10 and 11)
+//! accumulate compact per-chunk histograms (indexed by the chased label,
+//! `≤ n`) that are folded into the shared histogram after the join.
+//! `tests/property_based.rs` asserts labelings *and* `Counts` metrics are
+//! bit-identical across all three paths; `Instrumentation::Trace` needs
+//! per-cell access lists only the generic evaluator materializes, so
+//! [`crate::Machine`] falls back to it.
 
+use crate::hfield::{a_bit, HField};
 use crate::{Gen, HCell};
 use gca_engine::{CellField, GcaError, StepCtx, Word, INFINITY};
+use rayon::prelude::*;
 
 /// Which implementation executes the state machine's generations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -43,11 +61,93 @@ pub enum ExecPath {
     /// level and [`gca_engine::Backend`].
     #[default]
     Generic,
-    /// The fused flat-array kernels of [`crate::kernels`]. Bit-identical
-    /// labelings and `Counts` metrics; steps with
+    /// The fused flat-array kernels of [`crate::kernels`], sequential.
+    /// Bit-identical labelings and `Counts` metrics; steps with
     /// [`gca_engine::Instrumentation::Trace`] fall back to the generic path
     /// (access traces require the per-cell evaluator).
     Fused,
+    /// The fused kernels with row-partitioned data parallelism *within* one
+    /// graph (see [`FusedParallel`]). Falls back to sequential kernel
+    /// execution per generation when the touched region is below the
+    /// threshold, exactly like [`gca_engine::Backend::Parallel`] does for
+    /// the generic path. Labels and `Counts` metrics stay bit-identical to
+    /// [`ExecPath::Fused`]; `Trace` falls back to generic like `Fused`.
+    FusedParallel(FusedParallel),
+}
+
+/// Configuration of the data-parallel fused path
+/// ([`ExecPath::FusedParallel`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct FusedParallel {
+    /// Worker (chunk) count; `0` means one per hardware thread
+    /// ([`rayon::current_num_threads`]). An explicit count is honored
+    /// exactly — even on small fields — so non-power-of-two partitions can
+    /// be exercised deterministically.
+    pub workers: usize,
+    /// Minimum touched cells per generation before a kernel goes parallel;
+    /// `None` inherits the engine's tunable
+    /// ([`gca_engine::Engine::min_parallel_cells`]), sharing one fallback
+    /// knob with [`gca_engine::Backend::Parallel`].
+    pub threshold: Option<usize>,
+}
+
+impl FusedParallel {
+    /// A configuration with an explicit worker count and the shared engine
+    /// threshold.
+    pub fn with_workers(workers: usize) -> Self {
+        FusedParallel {
+            workers,
+            threshold: None,
+        }
+    }
+}
+
+impl ExecPath {
+    /// Shorthand for [`ExecPath::FusedParallel`] with `workers` workers
+    /// (`0` = auto) and the engine-shared threshold.
+    pub fn fused_parallel(workers: usize) -> Self {
+        ExecPath::FusedParallel(FusedParallel::with_workers(workers))
+    }
+}
+
+/// The resolved per-step parallel policy [`crate::Machine`] hands the
+/// executor: worker count already defaulted (≥ 2, or the machine would not
+/// pass a policy at all) and threshold resolved against the engine tunable.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ParPolicy {
+    /// Target chunk count.
+    pub workers: usize,
+    /// Minimum touched cells before a kernel parallelizes.
+    pub threshold: usize,
+    /// `true` when the worker count was configured explicitly (honor it
+    /// exactly); `false` for auto counts (clamp chunks to a minimum size so
+    /// scoped-thread spawns stay amortized, mirroring the engine backend).
+    pub explicit: bool,
+}
+
+/// Minimum data-plane cells per parallel chunk under an *auto* worker
+/// count (mirrors `gca-engine`'s `MIN_PAR_CHUNK`); explicit worker counts
+/// bypass it.
+const MIN_PAR_CHUNK_CELLS: usize = 8 * 1024;
+
+/// Decides the row partitioning of one kernel: `None` → run sequentially,
+/// `Some(rows_per_chunk)` → split `rows` rows (each `row_width` data-plane
+/// cells wide) into `par_chunks_mut` partitions.
+fn plan_rows(
+    par: Option<ParPolicy>,
+    touched: usize,
+    rows: usize,
+    row_width: usize,
+) -> Option<usize> {
+    let p = par?;
+    if touched < p.threshold || rows < 2 {
+        return None;
+    }
+    let mut rows_per = rows.div_ceil(p.workers).max(1);
+    if !p.explicit {
+        rows_per = rows_per.max(MIN_PAR_CHUNK_CELLS.div_ceil(row_width.max(1)));
+    }
+    (rows.div_ceil(rows_per) >= 2).then_some(rows_per)
 }
 
 /// Counters of one fused generation — the kernel-side mirror of
@@ -62,16 +162,68 @@ pub(crate) struct KernelReport {
     pub changed: usize,
     /// Cells the kernel visited.
     pub evaluated: usize,
+    /// Worker chunks that executed the kernel (`1` = sequential, including
+    /// the below-threshold auto-fallback).
+    pub workers: usize,
+}
+
+impl KernelReport {
+    fn sequential(active: usize, reads: u64, changed: usize) -> Self {
+        KernelReport {
+            active,
+            reads,
+            changed,
+            evaluated: active,
+            workers: 1,
+        }
+    }
+}
+
+/// One parallel chunk's accumulator: a changed-cell tally, a compact
+/// per-label read histogram for the data-dependent kernels (merged into
+/// the shared histogram after the join) and an error slot. Owned by the
+/// executor so the buffers stay warm across generations.
+#[derive(Clone, Debug, Default)]
+struct ChunkReport {
+    changed: usize,
+    hist: Vec<u32>,
+    error: Option<GcaError>,
+}
+
+/// Clears (and histogram-sizes) the first `count` chunk accumulators,
+/// growing the pool on demand.
+fn chunk_slots(
+    chunks: &mut Vec<ChunkReport>,
+    count: usize,
+    hist_len: Option<usize>,
+) -> &mut [ChunkReport] {
+    if chunks.len() < count {
+        chunks.resize_with(count, ChunkReport::default);
+    }
+    let slots = &mut chunks[..count];
+    for c in slots.iter_mut() {
+        c.changed = 0;
+        c.error = None;
+        c.hist.clear();
+        if let Some(len) = hist_len {
+            c.hist.resize(len, 0);
+        }
+    }
+    slots
 }
 
 /// Reusable scratch and per-generation kernels for one problem size `n`.
 ///
-/// Owned by [`crate::Machine`]; all buffers are allocated once and reused,
-/// so fused steady-state stepping performs no allocation (under
+/// Owned by [`crate::Machine`]; all buffers (including the [`HField`] SoA
+/// mirror of the machine's field) are allocated once and reused, so fused
+/// steady-state stepping performs no allocation (under
 /// `Instrumentation::Off`) beyond what the metrics log itself appends.
 #[derive(Clone, Debug, Default)]
 pub(crate) struct FusedExecutor {
     n: usize,
+    /// The SoA mirror the kernels execute on; synced with the machine's
+    /// `CellField<HCell>` at the `Machine` boundary.
+    hfield: HField,
     /// Gathered column-0 (`C`/`T`) values — the broadcast source and the
     /// "ping" label buffer of pointer jumping.
     labels: Vec<Word>,
@@ -80,6 +232,13 @@ pub(crate) struct FusedExecutor {
     /// Per-target read counts of the last executed generation (the Table-1
     /// congestion histogram), filled when counting.
     reads: Vec<u32>,
+    /// Per-chunk accumulators of the parallel path.
+    chunks: Vec<ChunkReport>,
+    /// Test-only seeded fault: the next *parallel counting* broadcast
+    /// accounts one boundary cell as if two adjacent row partitions
+    /// overlapped on it, so the replay harness can prove it catches a
+    /// mispartitioned kernel.
+    overlap_fault: bool,
 }
 
 impl FusedExecutor {
@@ -87,10 +246,24 @@ impl FusedExecutor {
     pub fn new(n: usize) -> Self {
         FusedExecutor {
             n,
+            hfield: HField::new(n),
             labels: Vec::with_capacity(n),
             labels_next: vec![0; n],
             reads: Vec::new(),
+            chunks: Vec::new(),
+            overlap_fault: false,
         }
+    }
+
+    /// Reloads the SoA mirror from the authoritative AoS field.
+    pub fn load(&mut self, field: &CellField<HCell>) {
+        self.hfield.load(field);
+    }
+
+    /// Writes the SoA data plane back into the AoS field (adjacency bits
+    /// are immutable and never flow back).
+    pub fn store_d(&self, field: &mut CellField<HCell>) {
+        self.hfield.store_d(field);
     }
 
     /// Per-target read counts of the last kernel executed with
@@ -107,95 +280,169 @@ impl FusedExecutor {
         self.reads.resize(len, 0);
     }
 
-    /// Executes one `(generation, sub-generation)` over the current buffer
-    /// of `field`, dispatching to the matching kernel. On error the field is
-    /// left on its previous generation, like [`gca_engine::Engine::step`].
+    /// Arms the seeded partition-overlap fault (see
+    /// [`crate::Machine::seed_partition_fault`]).
+    pub fn seed_partition_fault(&mut self) {
+        self.overlap_fault = true;
+    }
+
+    /// Executes one `(generation, sub-generation)` over the SoA mirror,
+    /// dispatching to the matching kernel. `par` carries the resolved
+    /// parallel policy (`None` = sequential fused path). On error the data
+    /// plane is left on its previous generation, like
+    /// [`gca_engine::Engine::step`].
     pub fn step(
         &mut self,
-        field: &mut CellField<HCell>,
         ctx: &StepCtx,
         counting: bool,
+        par: Option<ParPolicy>,
     ) -> Result<KernelReport, GcaError> {
         let gen = Gen::from_number(ctx.phase)
             .unwrap_or_else(|| panic!("invalid Hirschberg phase {}", ctx.phase));
         let n = self.n;
         self.reads.clear();
         if counting {
-            self.reads.resize(field.len(), 0);
+            self.reads.resize(self.hfield.d.len(), 0);
         }
         if n == 0 {
-            return Ok(KernelReport::default());
+            return Ok(KernelReport {
+                workers: 1,
+                ..KernelReport::default()
+            });
         }
         match gen {
-            Gen::Init => Ok(init(field.states_mut(), n)),
-            Gen::BroadcastC => Ok(self.broadcast(field.states_mut(), counting, true)),
-            Gen::FilterNeighbors => Ok(self.filter_neighbors(field.states_mut(), counting)),
+            Gen::Init => Ok(self.init(par)),
+            Gen::BroadcastC => Ok(self.broadcast(counting, true, par)),
+            Gen::FilterNeighbors => Ok(self.filter_neighbors(counting, par)),
             Gen::MinReduce | Gen::MinReduceMembers => {
-                Ok(self.min_reduce(field.states_mut(), ctx.subgeneration, counting))
+                Ok(self.min_reduce(ctx.subgeneration, counting, par))
             }
-            Gen::ResolveIsolated | Gen::ResolveMembers => {
-                Ok(self.resolve(field.states_mut(), counting))
-            }
-            Gen::BroadcastT => Ok(self.broadcast(field.states_mut(), counting, false)),
-            Gen::FilterMembers => Ok(self.filter_members(field.states_mut(), counting)),
-            Gen::CopyAndSaveT => Ok(self.copy_and_save_t(field.states_mut(), counting)),
+            Gen::ResolveIsolated | Gen::ResolveMembers => Ok(self.resolve(counting, par)),
+            Gen::BroadcastT => Ok(self.broadcast(counting, false, par)),
+            Gen::FilterMembers => Ok(self.filter_members(counting, par)),
+            Gen::CopyAndSaveT => Ok(self.copy_and_save_t(counting, par)),
             Gen::PointerJump => {
-                self.gather_labels(field);
-                let rep = self.jump_once(field.states(), ctx, counting)?;
-                self.scatter_labels(field);
+                self.gather_labels();
+                let rep = self.jump_once(ctx, counting, par)?;
+                self.scatter_labels();
                 Ok(rep)
             }
-            Gen::FinalMin => self.final_min(field.states_mut(), ctx, counting),
+            Gen::FinalMin => self.final_min(ctx, counting, par),
+        }
+    }
+
+    /// Generation 0: `d ← row(index)` everywhere, no reads.
+    fn init(&mut self, par: Option<ParPolicy>) -> KernelReport {
+        let n = self.n;
+        let rows = n + 1;
+        let touched = rows * n;
+        let (changed, workers) = match plan_rows(par, touched, rows, n) {
+            None => (init_rows(&mut self.hfield.d, 0, n), 1),
+            Some(rows_per) => {
+                let count = rows.div_ceil(rows_per);
+                let slots = chunk_slots(&mut self.chunks, count, None);
+                self.hfield
+                    .d
+                    .par_chunks_mut(rows_per * n)
+                    .zip(slots.par_iter_mut())
+                    .enumerate()
+                    .for_each(|(ci, (seg, acc))| {
+                        acc.changed = init_rows(seg, ci * rows_per, n);
+                    });
+                (slots.iter().map(|c| c.changed).sum(), count)
+            }
+        };
+        KernelReport {
+            active: touched,
+            reads: 0,
+            changed,
+            evaluated: touched,
+            workers,
         }
     }
 
     /// Generations 1 and 5: fill every row with the gathered column-0
     /// vector. Generation 1 (`include_dn`) also overwrites `D_N` (saving
     /// `C`); generation 5 leaves `D_N` on its saved copy.
-    fn broadcast(&mut self, cells: &mut [HCell], counting: bool, include_dn: bool) -> KernelReport {
+    fn broadcast(
+        &mut self,
+        counting: bool,
+        include_dn: bool,
+        par: Option<ParPolicy>,
+    ) -> KernelReport {
         let n = self.n;
         self.labels.clear();
-        self.labels.extend((0..n).map(|j| cells[j * n].d));
-        let rows = if include_dn { n + 1 } else { n };
-        let mut changed = 0;
-        for row_cells in cells[..rows * n].chunks_mut(n) {
-            for (col, cell) in row_cells.iter_mut().enumerate() {
-                let v = self.labels[col];
-                changed += usize::from(cell.d != v);
-                cell.d = v;
-            }
+        {
+            let d = &self.hfield.d;
+            self.labels.extend((0..n).map(|j| d[j * n]));
         }
+        let rows = if include_dn { n + 1 } else { n };
+        let touched = rows * n;
+        let (changed, workers) = match plan_rows(par, touched, rows, n) {
+            None => (
+                broadcast_rows(&mut self.hfield.d[..touched], &self.labels),
+                1,
+            ),
+            Some(rows_per) => {
+                let count = rows.div_ceil(rows_per);
+                let slots = chunk_slots(&mut self.chunks, count, None);
+                let labels = &self.labels;
+                self.hfield.d[..touched]
+                    .par_chunks_mut(rows_per * n)
+                    .zip(slots.par_iter_mut())
+                    .for_each(|(seg, acc)| acc.changed = broadcast_rows(seg, labels));
+                (slots.iter().map(|c| c.changed).sum(), count)
+            }
+        };
         if counting {
             for col in 0..n {
                 // rows ≤ n + 1 and the layout caps n below u32::MAX.
                 self.reads[col * n] += rows as u32; // gca-lint: allow(truncating-cast)
             }
+            if workers > 1 && self.overlap_fault {
+                // Seeded fault: account the first column-0 cell once more,
+                // exactly what an off-by-one row partition (two chunks both
+                // covering row 0) would have produced. Safe Rust makes a
+                // real aliasing overlap unrepresentable (`par_chunks_mut`
+                // hands out disjoint `&mut` slices), so the injectable
+                // fault is the accounting effect the replay harness must
+                // flag as `KernelDivergence`.
+                self.overlap_fault = false;
+                self.reads[0] += 1;
+            }
         }
-        let touched = rows * n;
         KernelReport {
             active: touched,
             reads: touched as u64,
             changed,
             evaluated: touched,
+            workers,
         }
     }
 
     /// Generation 2: keep `d = C(col)` only where an edge connects `row` to
     /// `col` and the endpoints are in different components (`d ≠ C(row)`,
     /// with `C(row)` read from `D_N`); else `∞`.
-    fn filter_neighbors(&mut self, cells: &mut [HCell], counting: bool) -> KernelReport {
+    fn filter_neighbors(&mut self, counting: bool, par: Option<ParPolicy>) -> KernelReport {
         let n = self.n;
-        let (square, dn) = cells.split_at_mut(n * n);
-        let mut changed = 0;
-        for (row, row_cells) in square.chunks_mut(n).enumerate() {
-            let c_row = dn[row].d;
-            for cell in row_cells.iter_mut() {
-                if !(cell.a && cell.d != c_row) {
-                    changed += usize::from(cell.d != INFINITY);
-                    cell.d = INFINITY;
-                }
+        let (square, dn) = self.hfield.d.split_at_mut(n * n);
+        let a = &self.hfield.a;
+        let (changed, workers) = match plan_rows(par, n * n, n, n) {
+            None => (filter_neighbor_rows(square, a, dn, 0, n), 1),
+            Some(rows_per) => {
+                let count = n.div_ceil(rows_per);
+                let slots = chunk_slots(&mut self.chunks, count, None);
+                let dn = &dn[..];
+                square
+                    .par_chunks_mut(rows_per * n)
+                    .zip(slots.par_iter_mut())
+                    .enumerate()
+                    .for_each(|(ci, (seg, acc))| {
+                        acc.changed = filter_neighbor_rows(seg, a, dn, ci * rows_per, n);
+                    });
+                (slots.iter().map(|c| c.changed).sum(), count)
             }
-        }
+        };
         if counting {
             for row in 0..n {
                 // The layout caps n below u32::MAX.
@@ -207,32 +454,44 @@ impl FusedExecutor {
             reads: (n * n) as u64,
             changed,
             evaluated: n * n,
+            workers,
         }
     }
 
     /// Generations 3 and 7, one sub-generation: every participating cell
     /// (`col ≡ 0 (mod 2^{s+1})`, `col + 2^s < n`) folds in the cell `2^s` to
-    /// its right. In place: written and read columns are disjoint.
-    fn min_reduce(&mut self, cells: &mut [HCell], s: u32, counting: bool) -> KernelReport {
+    /// its right. In place: written and read columns are disjoint, and both
+    /// stay inside the cell's own row, so row partitions never alias.
+    fn min_reduce(&mut self, s: u32, counting: bool, par: Option<ParPolicy>) -> KernelReport {
         let n = self.n;
         let stride = 1usize << s;
-        let mut active = 0;
-        let mut changed = 0;
-        for row in 0..n {
-            let base = row * n;
-            let mut col = 0;
-            while col + stride < n {
-                let i = base + col;
-                let neigh = cells[i + stride].d;
-                if counting {
-                    self.reads[i + stride] += 1;
+        let per_row = if n > stride {
+            (n - stride - 1) / (stride << 1) + 1
+        } else {
+            0
+        };
+        let active = n * per_row;
+        let square = &mut self.hfield.d[..n * n];
+        let (changed, workers) = match plan_rows(par, active, n, n) {
+            None => (min_reduce_rows(square, stride, n), 1),
+            Some(rows_per) => {
+                let count = n.div_ceil(rows_per);
+                let slots = chunk_slots(&mut self.chunks, count, None);
+                square
+                    .par_chunks_mut(rows_per * n)
+                    .zip(slots.par_iter_mut())
+                    .for_each(|(seg, acc)| acc.changed = min_reduce_rows(seg, stride, n));
+                (slots.iter().map(|c| c.changed).sum(), count)
+            }
+        };
+        if counting {
+            for row in 0..n {
+                let base = row * n;
+                let mut col = 0;
+                while col + stride < n {
+                    self.reads[base + col + stride] += 1;
+                    col += stride << 1;
                 }
-                if neigh < cells[i].d {
-                    cells[i].d = neigh;
-                    changed += 1;
-                }
-                active += 1;
-                col += stride << 1;
             }
         }
         KernelReport {
@@ -240,50 +499,58 @@ impl FusedExecutor {
             reads: active as u64,
             changed,
             evaluated: active,
+            workers,
         }
     }
 
     /// Generations 4 and 8: column-0 cells still holding `∞` fall back to
     /// the saved `C(row)` from `D_N`.
-    fn resolve(&mut self, cells: &mut [HCell], counting: bool) -> KernelReport {
+    fn resolve(&mut self, counting: bool, par: Option<ParPolicy>) -> KernelReport {
         let n = self.n;
-        let (square, dn) = cells.split_at_mut(n * n);
-        let mut changed = 0;
-        for row in 0..n {
-            let saved = dn[row].d;
-            if counting {
+        let (square, dn) = self.hfield.d.split_at_mut(n * n);
+        let (changed, workers) = match plan_rows(par, n, n, 1) {
+            None => (resolve_rows(square, dn, n), 1),
+            Some(rows_per) => {
+                let count = n.div_ceil(rows_per);
+                let slots = chunk_slots(&mut self.chunks, count, None);
+                square
+                    .par_chunks_mut(rows_per * n)
+                    .zip(dn[..n].par_chunks(rows_per))
+                    .zip(slots.par_iter_mut())
+                    .for_each(|((seg, dns), acc)| acc.changed = resolve_rows(seg, dns, n));
+                (slots.iter().map(|c| c.changed).sum(), count)
+            }
+        };
+        if counting {
+            for row in 0..n {
                 self.reads[n * n + row] += 1;
             }
-            let cell = &mut square[row * n];
-            if cell.d == INFINITY {
-                changed += usize::from(saved != INFINITY);
-                cell.d = saved;
-            }
         }
-        KernelReport {
-            active: n,
-            reads: n as u64,
-            changed,
-            evaluated: n,
-        }
+        KernelReport::sequential(n, n as u64, changed).with_workers(workers)
     }
 
     /// Generation 6: keep `d = T(col)` only where `col` is a member of
     /// component `row` (`C(col) = row`, read from `D_N`) and its candidate
     /// differs from `row`; else `∞`.
-    fn filter_members(&mut self, cells: &mut [HCell], counting: bool) -> KernelReport {
+    fn filter_members(&mut self, counting: bool, par: Option<ParPolicy>) -> KernelReport {
         let n = self.n;
-        let (square, dn) = cells.split_at_mut(n * n);
-        let mut changed = 0;
-        for (row, row_cells) in square.chunks_mut(n).enumerate() {
-            let j = row as Word;
-            for (col, cell) in row_cells.iter_mut().enumerate() {
-                if !(dn[col].d == j && cell.d != j) {
-                    changed += usize::from(cell.d != INFINITY);
-                    cell.d = INFINITY;
-                }
+        let (square, dn) = self.hfield.d.split_at_mut(n * n);
+        let (changed, workers) = match plan_rows(par, n * n, n, n) {
+            None => (filter_member_rows(square, dn, 0, n), 1),
+            Some(rows_per) => {
+                let count = n.div_ceil(rows_per);
+                let slots = chunk_slots(&mut self.chunks, count, None);
+                let dn = &dn[..];
+                square
+                    .par_chunks_mut(rows_per * n)
+                    .zip(slots.par_iter_mut())
+                    .enumerate()
+                    .for_each(|(ci, (seg, acc))| {
+                        acc.changed = filter_member_rows(seg, dn, ci * rows_per, n);
+                    });
+                (slots.iter().map(|c| c.changed).sum(), count)
             }
-        }
+        };
         if counting {
             for col in 0..n {
                 // The layout caps n below u32::MAX.
@@ -295,28 +562,31 @@ impl FusedExecutor {
             reads: (n * n) as u64,
             changed,
             evaluated: n * n,
+            workers,
         }
     }
 
     /// Generation 9: spread `T(row)` (column 0) across each square row and
     /// save `T` into `D_N`. Column 0 itself is never written, so both fills
-    /// read stable sources.
-    fn copy_and_save_t(&mut self, cells: &mut [HCell], counting: bool) -> KernelReport {
+    /// read stable sources; the `D_N` save of row `k` reads only row `k`'s
+    /// column 0, keeping the fused per-row form race-free under row
+    /// partitioning.
+    fn copy_and_save_t(&mut self, counting: bool, par: Option<ParPolicy>) -> KernelReport {
         let n = self.n;
-        let (square, dn) = cells.split_at_mut(n * n);
-        let mut changed = 0;
-        for (col, cell) in dn.iter_mut().enumerate() {
-            let t = square[col * n].d;
-            changed += usize::from(cell.d != t);
-            cell.d = t;
-        }
-        for row_cells in square.chunks_mut(n) {
-            let t = row_cells[0].d;
-            for cell in &mut row_cells[1..] {
-                changed += usize::from(cell.d != t);
-                cell.d = t;
+        let (square, dn) = self.hfield.d.split_at_mut(n * n);
+        let (changed, workers) = match plan_rows(par, n * n, n, n) {
+            None => (copy_save_rows(square, dn, n), 1),
+            Some(rows_per) => {
+                let count = n.div_ceil(rows_per);
+                let slots = chunk_slots(&mut self.chunks, count, None);
+                square
+                    .par_chunks_mut(rows_per * n)
+                    .zip(dn[..n].par_chunks_mut(rows_per))
+                    .zip(slots.par_iter_mut())
+                    .for_each(|((seg, dns), acc)| acc.changed = copy_save_rows(seg, dns, n));
+                (slots.iter().map(|c| c.changed).sum(), count)
             }
-        }
+        };
         if counting {
             for row in 0..n {
                 // The layout caps n below u32::MAX.
@@ -328,16 +598,17 @@ impl FusedExecutor {
             reads: (n * n) as u64,
             changed,
             evaluated: n * n,
+            workers,
         }
     }
 
     /// Copies column 0 of the square field into the ping label buffer —
     /// the entry point of a fused pointer-jump sequence.
-    pub fn gather_labels(&mut self, field: &CellField<HCell>) {
+    pub fn gather_labels(&mut self) {
         let n = self.n;
+        let d = &self.hfield.d;
         self.labels.clear();
-        self.labels
-            .extend((0..n).map(|j| field.get(j * n).d));
+        self.labels.extend((0..n).map(|j| d[j * n]));
     }
 
     /// Writes the ping label buffer back into column 0 of the square field —
@@ -345,114 +616,432 @@ impl FusedExecutor {
     /// sub-generations stay visible even when a later one failed, matching
     /// the generic engine (a failed step leaves the previous generation in
     /// place).
-    pub fn scatter_labels(&self, field: &mut CellField<HCell>) {
+    pub fn scatter_labels(&mut self) {
         let n = self.n;
-        let cells = field.states_mut();
         for (j, &v) in self.labels.iter().enumerate() {
-            cells[j * n].d = v;
+            self.hfield.d[j * n] = v;
         }
     }
 
     /// One pointer-jump sub-generation over the gathered labels:
     /// `C(i) ← C(C(i))`, computed into the pong buffer and swapped on
-    /// success. `cells` is only consulted for the `d = n` corner (the
+    /// success. The field is only consulted for the `d = n` corner (the
     /// data-dependent pointer then lands on `D_N[0]`, which this generation
     /// never writes) and for bounds reporting.
     pub fn jump_once(
         &mut self,
-        cells: &[HCell],
         ctx: &StepCtx,
         counting: bool,
+        par: Option<ParPolicy>,
     ) -> Result<KernelReport, GcaError> {
         let n = self.n;
-        let len = cells.len();
-        let mut changed = 0;
-        for (i, slot) in self.labels_next.iter_mut().enumerate() {
-            let d = self.labels[i] as usize;
-            let target = d.checked_mul(n).filter(|&t| t < len).ok_or_else(|| {
-                GcaError::PointerOutOfRange {
-                    cell: i * n,
-                    target: d.saturating_mul(n),
-                    len,
-                    generation: ctx.generation,
+        let len = self.hfield.d.len();
+        let dn0 = if len > n * n {
+            self.hfield.d[n * n]
+        } else {
+            INFINITY
+        };
+        let plan = plan_rows(par, n, n, 1);
+        let rows_per = plan.unwrap_or(n.max(1));
+        let count = n.div_ceil(rows_per.max(1)).max(1);
+        let hist_len = counting.then_some(n + 1);
+        {
+            let slots = chunk_slots(&mut self.chunks, count, hist_len);
+            let labels = &self.labels;
+            let out = &mut self.labels_next[..n];
+            let run = |base: usize, seg: &mut [Word], acc: &mut ChunkReport| {
+                let hist = if counting {
+                    Some(acc.hist.as_mut_slice())
+                } else {
+                    None
+                };
+                match jump_rows(seg, base, labels, dn0, n, len, ctx.generation, hist) {
+                    Ok(c) => acc.changed = c,
+                    Err(e) => acc.error = Some(e),
                 }
-            })?;
-            // target = d·n is column 0 of row d when d < n; the only other
-            // in-range multiple of n is n² = D_N[0].
-            let v = if d < n { self.labels[d] } else { cells[target].d };
-            if counting {
-                self.reads[target] += 1;
+            };
+            if plan.is_none() {
+                run(0, out, &mut slots[0]);
+            } else {
+                out.par_chunks_mut(rows_per)
+                    .zip(slots.par_iter_mut())
+                    .enumerate()
+                    .for_each(|(ci, (seg, acc))| run(ci * rows_per, seg, acc));
             }
-            changed += usize::from(v != self.labels[i]);
-            *slot = v;
+        }
+        // Chunks are ordered by row range, and each reports its first
+        // error, so the first erroring chunk carries the globally smallest
+        // erroring cell — the same error the sequential loop raises.
+        for ci in 0..count {
+            if let Some(e) = self.chunks[ci].error.take() {
+                return Err(e);
+            }
+        }
+        let changed: usize = self.chunks[..count].iter().map(|c| c.changed).sum();
+        if counting {
+            for ci in 0..count {
+                for d in 0..=n {
+                    let c = self.chunks[ci].hist[d];
+                    if c > 0 {
+                        self.reads[d * n] += c;
+                    }
+                }
+            }
         }
         std::mem::swap(&mut self.labels, &mut self.labels_next);
-        Ok(KernelReport {
-            active: n,
-            reads: n as u64,
-            changed,
-            evaluated: n,
-        })
+        Ok(KernelReport::sequential(n, n as u64, changed).with_workers(if plan.is_some() {
+            count
+        } else {
+            1
+        }))
     }
 
     /// Generation 11: `C(i) ← min(C(i), T(C(i)))`, reading column 1 of row
-    /// `C(i)` (which still holds the pre-jump `T`). In place: only column 0
-    /// is written and the data-dependent target `d·n + 1` is never in
-    /// column 0 (for `n = 1` it lands in `D_N`, also unwritten).
+    /// `C(i)` (which still holds the pre-jump `T`). Computed gather →
+    /// per-row min into the pong buffer → scatter: the data-dependent
+    /// target `d·n + 1` is never in column 0 (for `n = 1` it lands in
+    /// `D_N`, also unwritten), so the whole data plane stays read-shared
+    /// during the compute and the column-0 writes land only on success.
     fn final_min(
         &mut self,
-        cells: &mut [HCell],
         ctx: &StepCtx,
         counting: bool,
+        par: Option<ParPolicy>,
     ) -> Result<KernelReport, GcaError> {
         let n = self.n;
-        let len = cells.len();
-        let mut changed = 0;
-        for row in 0..n {
-            let i = row * n;
-            let d = cells[i].d as usize;
-            let target = d
-                .checked_mul(n)
-                .and_then(|t| t.checked_add(1))
-                .filter(|&t| t < len)
-                .ok_or_else(|| GcaError::PointerOutOfRange {
-                    cell: i,
-                    target: d.saturating_mul(n).saturating_add(1),
-                    len,
-                    generation: ctx.generation,
-                })?;
-            let t = cells[target].d;
-            if counting {
-                self.reads[target] += 1;
-            }
-            if t < cells[i].d {
-                cells[i].d = t;
-                changed += 1;
+        let len = self.hfield.d.len();
+        self.gather_labels();
+        let plan = plan_rows(par, n, n, 1);
+        let rows_per = plan.unwrap_or(n.max(1));
+        let count = n.div_ceil(rows_per.max(1)).max(1);
+        let hist_len = counting.then_some(n + 1);
+        {
+            let slots = chunk_slots(&mut self.chunks, count, hist_len);
+            let labels = &self.labels;
+            let d = &self.hfield.d;
+            let out = &mut self.labels_next[..n];
+            let run = |base: usize, seg: &mut [Word], acc: &mut ChunkReport| {
+                let hist = if counting {
+                    Some(acc.hist.as_mut_slice())
+                } else {
+                    None
+                };
+                match final_min_rows(seg, base, labels, d, n, len, ctx.generation, hist) {
+                    Ok(c) => acc.changed = c,
+                    Err(e) => acc.error = Some(e),
+                }
+            };
+            if plan.is_none() {
+                run(0, out, &mut slots[0]);
+            } else {
+                out.par_chunks_mut(rows_per)
+                    .zip(slots.par_iter_mut())
+                    .enumerate()
+                    .for_each(|(ci, (seg, acc))| run(ci * rows_per, seg, acc));
             }
         }
-        Ok(KernelReport {
-            active: n,
-            reads: n as u64,
-            changed,
-            evaluated: n,
-        })
+        // First error by chunk (row) order = globally smallest erroring
+        // cell, like the sequential loop. On error nothing is scattered:
+        // the field stays on its previous generation.
+        for ci in 0..count {
+            if let Some(e) = self.chunks[ci].error.take() {
+                return Err(e);
+            }
+        }
+        let changed: usize = self.chunks[..count].iter().map(|c| c.changed).sum();
+        if counting {
+            for ci in 0..count {
+                for d in 0..=n {
+                    let c = self.chunks[ci].hist[d];
+                    if c > 0 {
+                        self.reads[d * n + 1] += c;
+                    }
+                }
+            }
+        }
+        for (j, &v) in self.labels_next[..n].iter().enumerate() {
+            self.hfield.d[j * n] = v;
+        }
+        Ok(KernelReport::sequential(n, n as u64, changed).with_workers(if plan.is_some() {
+            count
+        } else {
+            1
+        }))
     }
 }
 
-/// Generation 0: `d ← row(index)` everywhere, no reads.
-fn init(cells: &mut [HCell], n: usize) -> KernelReport {
+impl KernelReport {
+    fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Row-range kernel bodies. Each operates on a contiguous slice of whole
+// rows; the sequential path passes the full range, the parallel path
+// disjoint `par_chunks_mut` partitions. Identical per-cell code on both
+// paths is what makes the bit-identity guarantee hold by construction.
+// ---------------------------------------------------------------------------
+
+/// `d ← base_row + local_row` over whole rows (generation 0).
+fn init_rows(seg: &mut [Word], base_row: usize, n: usize) -> usize {
     let mut changed = 0;
-    for (row, row_cells) in cells.chunks_mut(n).enumerate() {
-        let d = row as Word;
-        for cell in row_cells {
-            changed += usize::from(cell.d != d);
-            cell.d = d;
+    for (r, row) in seg.chunks_mut(n).enumerate() {
+        let v = (base_row + r) as Word;
+        for cell in row {
+            changed += usize::from(*cell != v);
+            *cell = v;
         }
     }
-    KernelReport {
-        active: cells.len(),
-        reads: 0,
-        changed,
-        evaluated: cells.len(),
+    changed
+}
+
+/// Fills whole rows with the gathered column-0 vector (generations 1, 5).
+fn broadcast_rows(seg: &mut [Word], labels: &[Word]) -> usize {
+    let mut changed = 0;
+    for row in seg.chunks_mut(labels.len().max(1)) {
+        for (cell, &v) in row.iter_mut().zip(labels) {
+            changed += usize::from(*cell != v);
+            *cell = v;
+        }
+    }
+    changed
+}
+
+/// Generation 2 over whole rows: reads are the row's `D_N` entry and the
+/// immutable adjacency plane — both disjoint from the square writes.
+fn filter_neighbor_rows(
+    seg: &mut [Word],
+    a: &[u64],
+    dn: &[Word],
+    base_row: usize,
+    n: usize,
+) -> usize {
+    let mut changed = 0;
+    for (r, row) in seg.chunks_mut(n).enumerate() {
+        let row_idx = base_row + r;
+        let c_row = dn[row_idx];
+        let bit_base = row_idx * n;
+        for (col, cell) in row.iter_mut().enumerate() {
+            if !(a_bit(a, bit_base + col) && *cell != c_row) {
+                changed += usize::from(*cell != INFINITY);
+                *cell = INFINITY;
+            }
+        }
+    }
+    changed
+}
+
+/// Generations 3 and 7 over whole rows: strictly row-local reads/writes.
+fn min_reduce_rows(seg: &mut [Word], stride: usize, n: usize) -> usize {
+    let mut changed = 0;
+    for row in seg.chunks_mut(n) {
+        let mut col = 0;
+        while col + stride < n {
+            let neigh = row[col + stride];
+            if neigh < row[col] {
+                row[col] = neigh;
+                changed += 1;
+            }
+            col += stride << 1;
+        }
+    }
+    changed
+}
+
+/// Generations 4 and 8 over whole rows: each row writes only its own
+/// column-0 cell and reads only its own `D_N` entry.
+fn resolve_rows(seg: &mut [Word], dn: &[Word], n: usize) -> usize {
+    let mut changed = 0;
+    for (r, &saved) in dn.iter().enumerate() {
+        let cell = &mut seg[r * n];
+        if *cell == INFINITY {
+            changed += usize::from(saved != INFINITY);
+            *cell = saved;
+        }
+    }
+    changed
+}
+
+/// Generation 6 over whole rows: reads only the (unwritten) `D_N` plane.
+fn filter_member_rows(seg: &mut [Word], dn: &[Word], base_row: usize, n: usize) -> usize {
+    let mut changed = 0;
+    for (r, row) in seg.chunks_mut(n).enumerate() {
+        let j = (base_row + r) as Word;
+        for (col, cell) in row.iter_mut().enumerate() {
+            if !(dn[col] == j && *cell != j) {
+                changed += usize::from(*cell != INFINITY);
+                *cell = INFINITY;
+            }
+        }
+    }
+    changed
+}
+
+/// Generation 9, fused per row: save `T(row)` (the row's column 0, never
+/// written) into the row's `D_N` slot, then fill columns `1..` with it.
+fn copy_save_rows(seg: &mut [Word], dn: &mut [Word], n: usize) -> usize {
+    let mut changed = 0;
+    for (r, row) in seg.chunks_mut(n).enumerate() {
+        let t = row[0];
+        changed += usize::from(dn[r] != t);
+        dn[r] = t;
+        for cell in &mut row[1..] {
+            changed += usize::from(*cell != t);
+            *cell = t;
+        }
+    }
+    changed
+}
+
+/// One pointer-jump sub-generation over a segment of the pong buffer.
+/// `hist` (when counting) is the compact per-label histogram: slot `d`
+/// accumulates the reads the sequential path books at field index `d·n`.
+#[allow(clippy::too_many_arguments)]
+fn jump_rows(
+    seg: &mut [Word],
+    base: usize,
+    labels: &[Word],
+    dn0: Word,
+    n: usize,
+    len: usize,
+    generation: u64,
+    mut hist: Option<&mut [u32]>,
+) -> Result<usize, GcaError> {
+    let mut changed = 0;
+    for (k, slot) in seg.iter_mut().enumerate() {
+        let i = base + k;
+        let d = labels[i] as usize;
+        if d.checked_mul(n).filter(|&t| t < len).is_none() {
+            return Err(GcaError::PointerOutOfRange {
+                cell: i * n,
+                target: d.saturating_mul(n),
+                len,
+                generation,
+            });
+        }
+        // target = d·n is column 0 of row d when d < n; the only other
+        // in-range multiple of n is n² = D_N[0].
+        let v = if d < n { labels[d] } else { dn0 };
+        if let Some(h) = hist.as_deref_mut() {
+            h[d] += 1;
+        }
+        changed += usize::from(v != labels[i]);
+        *slot = v;
+    }
+    Ok(changed)
+}
+
+/// Generation 11 over a segment of the pong buffer: `min(C(i), T(C(i)))`
+/// with `T` read from the shared data plane (column 1, never written).
+/// `hist` slot `d` accumulates the reads the sequential path books at
+/// field index `d·n + 1`.
+#[allow(clippy::too_many_arguments)]
+fn final_min_rows(
+    seg: &mut [Word],
+    base: usize,
+    labels: &[Word],
+    d_plane: &[Word],
+    n: usize,
+    len: usize,
+    generation: u64,
+    mut hist: Option<&mut [u32]>,
+) -> Result<usize, GcaError> {
+    let mut changed = 0;
+    for (k, slot) in seg.iter_mut().enumerate() {
+        let row = base + k;
+        let cur = labels[row];
+        let d = cur as usize;
+        let target = d
+            .checked_mul(n)
+            .and_then(|t| t.checked_add(1))
+            .filter(|&t| t < len)
+            .ok_or_else(|| GcaError::PointerOutOfRange {
+                cell: row * n,
+                target: d.saturating_mul(n).saturating_add(1),
+                len,
+                generation,
+            })?;
+        let t = d_plane[target];
+        if let Some(h) = hist.as_deref_mut() {
+            h[d] += 1;
+        }
+        if t < cur {
+            *slot = t;
+            changed += 1;
+        } else {
+            *slot = cur;
+        }
+    }
+    Ok(changed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_honors_threshold_and_explicit_workers() {
+        let explicit = ParPolicy {
+            workers: 3,
+            threshold: 0,
+            explicit: true,
+        };
+        // Explicit workers split even tiny fields (8 rows / 3 → 3 per chunk).
+        assert_eq!(plan_rows(Some(explicit), 64, 8, 8), Some(3));
+        // Below the threshold: sequential.
+        let gated = ParPolicy {
+            threshold: 1 << 20,
+            ..explicit
+        };
+        assert_eq!(plan_rows(Some(gated), 64, 8, 8), None);
+        // No policy at all: sequential.
+        assert_eq!(plan_rows(None, 1 << 30, 1 << 10, 1 << 10), None);
+        // One row can never split.
+        assert_eq!(plan_rows(Some(explicit), 64, 1, 64), None);
+    }
+
+    #[test]
+    fn plan_clamps_auto_chunks_to_amortized_size() {
+        let auto = ParPolicy {
+            workers: 8,
+            threshold: 0,
+            explicit: false,
+        };
+        // 64 rows of width 64 = 4096 cells: one 8 KiB chunk minimum means
+        // no split is worth it.
+        assert_eq!(plan_rows(Some(auto), 4096, 64, 64), None);
+        // 1024 rows of width 1024: 8 chunks of 128 rows each.
+        assert_eq!(plan_rows(Some(auto), 1 << 20, 1024, 1024), Some(128));
+    }
+
+    #[test]
+    fn remainder_partitions_cover_every_row() {
+        // workers = 3 over 8 rows → chunks of 3, 3, 2 rows.
+        let n = 8;
+        let mut exec = FusedExecutor::new(n);
+        for (i, v) in exec.hfield.d.iter_mut().enumerate() {
+            *v = i as Word;
+        }
+        let before = exec.hfield.d.clone();
+        let par = Some(ParPolicy {
+            workers: 3,
+            threshold: 0,
+            explicit: true,
+        });
+        let rep = exec.init(par);
+        assert_eq!(rep.workers, 3);
+        for (i, &v) in exec.hfield.d.iter().enumerate() {
+            assert_eq!(v as usize, i / n, "row value at {i}");
+        }
+        assert_eq!(
+            rep.changed,
+            before
+                .iter()
+                .enumerate()
+                .filter(|&(i, &v)| v as usize != i / n)
+                .count()
+        );
     }
 }

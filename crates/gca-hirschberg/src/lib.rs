@@ -46,6 +46,7 @@ mod algorithm;
 pub mod batch;
 mod cell;
 pub mod complexity;
+mod hfield;
 pub mod kernels;
 mod layout;
 mod phase;
@@ -57,7 +58,7 @@ pub mod variants;
 pub use algorithm::{connected_components, Convergence, GcaRun, HirschbergGca, Machine};
 pub use batch::{BatchReport, BatchRunner, BatchStats};
 pub use cell::HCell;
-pub use kernels::ExecPath;
+pub use kernels::{ExecPath, FusedParallel};
 pub use layout::Layout;
 pub use phase::{iteration_schedule, Gen};
 pub use rule::HirschbergRule;

@@ -7,7 +7,7 @@ use gca_engine::{
     Instrumentation, Reads, StepCtx,
 };
 use gca_graphs::{generators, io, GraphBuilder, GraphError};
-use gca_hirschberg::{ExecPath, Gen, Machine};
+use gca_hirschberg::{ExecPath, FusedParallel, Gen, Machine};
 use gca_pram::{AccessPolicy, Pram, PramError};
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -394,6 +394,52 @@ fn fused_replay_catches_seeded_kernel_mutation() {
         }
         other => panic!("expected KernelDivergence, got {other:?}"),
     }
+}
+
+#[test]
+fn validator_catches_overlapping_parallel_partition() {
+    // Safe Rust plus `par_chunks_mut`'s disjoint borrows make a genuinely
+    // overlapping write partition unrepresentable — the borrow checker
+    // rejects two workers aliasing a row. So the injector seeds the
+    // *observable effect* of an overlap instead: one duplicated
+    // congestion-histogram contribution on the first parallel counting
+    // broadcast, exactly the residue a row double-counted by two workers
+    // would leave. The differential replay must pinpoint it.
+    let g = generators::gnp(10, 0.4, 21);
+    let mut m = Machine::with_engine(
+        &g,
+        Engine::sequential().with_instrumentation(Instrumentation::Validate),
+    )
+    .unwrap()
+    .with_exec(ExecPath::FusedParallel(FusedParallel {
+        workers: 2,
+        threshold: Some(0),
+    }));
+    m.init().unwrap();
+    m.seed_partition_fault();
+    let err = m.run_iteration().unwrap_err();
+    match err {
+        GcaError::KernelDivergence { cell, generation, phase } => {
+            assert_eq!(cell, 0, "the duplicated read lands on cell 0's histogram slot");
+            assert_eq!(generation, 1, "fault fires on the first post-init generation");
+            assert_eq!(phase, Gen::BroadcastC.number());
+        }
+        other => panic!("expected KernelDivergence, got {other:?}"),
+    }
+
+    // Without the seeded fault the same parallel configuration replays
+    // cleanly — the detector is sensitive, not trigger-happy.
+    let mut m = Machine::with_engine(
+        &g,
+        Engine::sequential().with_instrumentation(Instrumentation::Validate),
+    )
+    .unwrap()
+    .with_exec(ExecPath::FusedParallel(FusedParallel {
+        workers: 2,
+        threshold: Some(0),
+    }));
+    m.init().unwrap();
+    m.run_iteration().unwrap();
 }
 
 #[test]

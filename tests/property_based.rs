@@ -9,7 +9,7 @@ use gca_engine::{
 use gca_graphs::connectivity::union_find_components_dense;
 use gca_graphs::{generators, AdjacencyMatrix, Labeling};
 use gca_hirschberg::variants::{low_congestion, n_cells};
-use gca_hirschberg::{complexity, Convergence, ExecPath, HirschbergGca};
+use gca_hirschberg::{complexity, Convergence, ExecPath, FusedParallel, HirschbergGca};
 use gca_pram::hirschberg_ref;
 use proptest::prelude::*;
 
@@ -411,6 +411,65 @@ proptest! {
         prop_assert_eq!(fused.labels.as_slice(), generic.labels.as_slice());
         prop_assert_eq!(fused.generations, generic.generations);
         prop_assert_eq!(fused.metrics.entries(), generic.metrics.entries());
+    }
+
+    /// The row-partitioned parallel fused path is bit-identical to BOTH the
+    /// sequential fused path and the generic path — labels, generation
+    /// counts and `Counts` metrics entry for entry — for every worker count
+    /// in a small sweep. `threshold: Some(0)` forces the partitioned
+    /// drivers even on these small fields (the auto-fallback would
+    /// otherwise make this test vacuous below the engine tunable).
+    #[test]
+    fn parallel_fused_equals_fused_and_generic(g in arb_fused_graph()) {
+        let generic = HirschbergGca::new().run(&g).unwrap();
+        let fused = HirschbergGca::new().exec(ExecPath::Fused).run(&g).unwrap();
+        for workers in [2usize, 3, 7] {
+            let par = HirschbergGca::new()
+                .exec(ExecPath::FusedParallel(FusedParallel { workers, threshold: Some(0) }))
+                .run(&g)
+                .unwrap();
+            prop_assert_eq!(par.labels.as_slice(), generic.labels.as_slice());
+            prop_assert_eq!(par.generations, generic.generations);
+            prop_assert_eq!(par.metrics.entries(), generic.metrics.entries());
+            prop_assert_eq!(par.metrics.entries(), fused.metrics.entries());
+        }
+    }
+
+    /// Same equivalence under convergence detection: the partitioned
+    /// pointer-jump must stop on exactly the same sub-generation.
+    #[test]
+    fn parallel_fused_equals_generic_under_detect(g in arb_fused_graph()) {
+        let generic = HirschbergGca::new()
+            .convergence(Convergence::Detect)
+            .run(&g)
+            .unwrap();
+        let par = HirschbergGca::new()
+            .convergence(Convergence::Detect)
+            .exec(ExecPath::FusedParallel(FusedParallel { workers: 3, threshold: Some(0) }))
+            .run(&g)
+            .unwrap();
+        prop_assert_eq!(par.labels.as_slice(), generic.labels.as_slice());
+        prop_assert_eq!(par.generations, generic.generations);
+        prop_assert_eq!(par.metrics.entries(), generic.metrics.entries());
+    }
+}
+
+/// One larger-than-corpus case: at n = 256 the field (n·(n+1) cells)
+/// clears the engine's default amortization threshold, so the partitioned
+/// drivers engage without forcing, and the auto worker count path
+/// (`workers: 0`) is exercised alongside explicit counts.
+#[test]
+fn parallel_fused_bit_identical_at_n256() {
+    let g = generators::gnp(256, 0.3, 2007);
+    let fused = HirschbergGca::new().exec(ExecPath::Fused).run(&g).unwrap();
+    for workers in [0usize, 2, 3, 7] {
+        let par = HirschbergGca::new()
+            .exec(ExecPath::FusedParallel(FusedParallel { workers, threshold: None }))
+            .run(&g)
+            .unwrap();
+        assert_eq!(par.labels.as_slice(), fused.labels.as_slice(), "workers={workers}");
+        assert_eq!(par.generations, fused.generations, "workers={workers}");
+        assert_eq!(par.metrics.entries(), fused.metrics.entries(), "workers={workers}");
     }
 }
 
