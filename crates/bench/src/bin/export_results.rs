@@ -25,7 +25,7 @@ use serde_json::json;
 fn sparse_stepping_doc() -> serde_json::Value {
     let mut generation_rows = Vec::new();
     for &n in &sparse::SIZES {
-        // Enough repetitions for a stable mean at small n, few at large n.
+        // Enough repetitions for stable medians at small n, few at large n.
         let reps = (1 << 20 >> (n.ilog2())).clamp(2, 64) as u32;
         for (gen, sub) in sparse::restricted_generations() {
             let t = sparse::time_generation(n, gen, sub, reps);
@@ -33,8 +33,8 @@ fn sparse_stepping_doc() -> serde_json::Value {
                 "n": t.n,
                 "generation": t.generation.number(),
                 "subgeneration": t.subgeneration,
-                "dense_ns_per_step": t.dense_ns_per_step,
-                "hinted_ns_per_step": t.hinted_ns_per_step,
+                "dense_ns_per_step": t.dense_ns_per_step.json(),
+                "hinted_ns_per_step": t.hinted_ns_per_step.json(),
                 "speedup": t.speedup(),
                 "metrics_identical": t.metrics_identical,
             }));
@@ -68,7 +68,7 @@ fn sparse_stepping_doc() -> serde_json::Value {
 fn fused_kernels_doc() -> serde_json::Value {
     let mut generation_rows = Vec::new();
     for &n in &fused::SIZES {
-        // Enough repetitions for a stable mean at small n, few at large n.
+        // Enough repetitions for stable medians at small n, few at large n.
         let reps = (1 << 20 >> (n.ilog2())).clamp(2, 64) as u32;
         for (gen, sub) in fused::kernel_generations() {
             let t = fused::time_generation(n, gen, sub, reps);
@@ -76,8 +76,8 @@ fn fused_kernels_doc() -> serde_json::Value {
                 "n": t.n,
                 "generation": t.generation.number(),
                 "subgeneration": t.subgeneration,
-                "generic_ns_per_step": t.generic_ns_per_step,
-                "fused_ns_per_step": t.fused_ns_per_step,
+                "generic_ns_per_step": t.generic_ns_per_step.json(),
+                "fused_ns_per_step": t.fused_ns_per_step.json(),
                 "speedup": t.speedup(),
                 "metrics_identical": t.metrics_identical,
             }));

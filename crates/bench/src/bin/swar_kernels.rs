@@ -1,20 +1,24 @@
-//! Parallel-fused kernels vs. sequential fused: per-generation and full-run
-//! timings with bit-identical-metrics verification on every row.
+//! SWAR kernels vs. sequential fused: per-generation and full-run timings
+//! with bit-identical-metrics verification on every row.
 //!
-//! Usage: `parallel_fused [--out <path>] [--sizes a,b,c] [--workers a,b]
-//! [--reps k]` (defaults: sizes 256,512,1024; workers 2,4; reps scaled by
-//! size). With `--out` the measurements are written as JSON to `<path>`
-//! (conventionally `BENCH_parallel_fused.json` at the repo root, so the
-//! perf trajectory is tracked across PRs); the document carries a
-//! provenance stamp (worker budget, CPU count, commit SHA) because parallel
-//! speedups are meaningless without the machine they were measured on — on
-//! a 1-CPU runner every honest speedup is ~1.0x.
+//! Usage: `swar_kernels [--out <path>] [--sizes a,b,c] [--reps k]`
+//! (defaults: sizes 64,256,1024; reps scaled by size). With `--out` the
+//! measurements are written as JSON to `<path>` (conventionally
+//! `BENCH_swar_kernels.json` at the repo root, so the perf trajectory is
+//! tracked across PRs); the document carries the provenance stamp (worker
+//! budget, CPU count, commit SHA, dirtiness). Both paths are
+//! single-threaded — the speedups are word-level parallelism over the
+//! bit-packed adjacency plane, not thread count — so the sweep covers
+//! workload shapes instead of worker counts: the dense standard workload,
+//! a uniformly sparse one (sparse-bit walks), and a banded one where the
+//! all-zero-word skip dominates.
 //!
 //! The process exits nonzero if **any** row's metrics or labels diverge
 //! between the two paths: a fast wrong kernel is worse than no kernel.
 
-use gca_bench::{fused, parallel};
 use gca_bench::tables::Table;
+use gca_bench::{fused, swar};
+use gca_engine::Instrumentation;
 use serde_json::json;
 
 fn parse_list(s: &str, what: &str) -> Vec<usize> {
@@ -41,10 +45,7 @@ fn main() {
     let out = flag("--out");
     let sizes = flag("--sizes")
         .map(|s| parse_list(&s, "size"))
-        .unwrap_or_else(|| parallel::SIZES.to_vec());
-    let workers = flag("--workers")
-        .map(|s| parse_list(&s, "worker count"))
-        .unwrap_or_else(|| parallel::WORKER_SWEEP.to_vec());
+        .unwrap_or_else(|| swar::SIZES.to_vec());
     let reps_override: Option<u32> = flag("--reps").map(|s| {
         s.parse()
             .unwrap_or_else(|_| panic!("bad rep count '{s}'"))
@@ -58,72 +59,83 @@ fn main() {
         }
     };
 
-    // --- Per-generation timings (threshold forced to zero) -----------------
+    // --- Per-generation timings --------------------------------------------
     let mut gen_rows = Vec::new();
-    let mut gen_table = Table::new(["n", "gen", "sub", "workers", "fused ns", "par ns", "speedup", "identical"]);
+    let mut gen_table = Table::new([
+        "n", "workload", "gen", "sub", "fused ns", "swar ns", "speedup", "identical",
+    ]);
     for &n in &sizes {
         let reps = reps_override.unwrap_or((1 << 20 >> n.max(2).ilog2()).clamp(2, 64) as u32);
-        for &w in &workers {
+        for w in swar::SwarWorkload::ALL {
             for (gen, sub) in fused::kernel_generations() {
-                let t = parallel::time_generation(n, gen, sub, w, reps).expect("generation timing");
+                let t = swar::time_generation(n, w, gen, sub, reps).expect("generation timing");
                 check(
-                    format!("n={n} gen={gen:?} sub={sub} workers={w}"),
+                    format!("n={n} workload={} gen={gen:?} sub={sub}", w.key()),
                     t.metrics_identical,
                     true,
                 );
                 gen_table.row([
                     n.to_string(),
+                    w.label().to_string(),
                     format!("{:?}", t.generation),
                     t.subgeneration.to_string(),
-                    w.to_string(),
                     format!("{:.0}", t.fused_ns_per_step.median),
-                    format!("{:.0}", t.parallel_ns_per_step.median),
+                    format!("{:.0}", t.swar_ns_per_step.median),
                     format!("{:.2}x", t.speedup()),
                     t.metrics_identical.to_string(),
                 ]);
                 gen_rows.push(json!({
                     "n": t.n,
+                    "workload": w.key(),
                     "generation": t.generation.number(),
                     "subgeneration": t.subgeneration,
-                    "workers": t.workers,
                     "fused_ns_per_step": t.fused_ns_per_step.json(),
-                    "parallel_ns_per_step": t.parallel_ns_per_step.json(),
+                    "swar_ns_per_step": t.swar_ns_per_step.json(),
                     "speedup": t.speedup(),
                     "metrics_identical": t.metrics_identical,
                 }));
             }
         }
     }
-    println!("per-generation, sequential fused vs parallel fused (threshold forced to 0):");
+    println!("per-generation, sequential fused vs SWAR (both single-thread):");
     print!("{}", gen_table.render());
 
-    // --- Full runs (engine-tunable threshold, the deployment setting) ------
+    // --- Full runs (Off = headline, Counts = full metrics identity) --------
+    let mut speedup_n256_dense_off = 0.0;
     let mut run_rows = Vec::new();
-    let mut run_table = Table::new(["n", "workers", "threshold", "fused ms", "par ms", "speedup", "identical"]);
+    let mut run_table = Table::new([
+        "n", "workload", "instr", "fused ms", "swar ms", "speedup", "identical",
+    ]);
     for &n in &sizes {
-        for &w in &workers {
-            for force in [false, true] {
-                let t = parallel::time_full_runs(n, w, force).expect("full-run timing");
+        for w in swar::SwarWorkload::ALL {
+            for instr in [Instrumentation::Off, Instrumentation::Counts] {
+                let t = swar::time_full_runs(n, w, instr).expect("full-run timing");
                 check(
-                    format!("full run n={n} workers={w} forced={force}"),
+                    format!("full run n={n} workload={} instr={}", w.key(), t.instrumentation),
                     t.metrics_identical,
                     t.labels_match_union_find,
                 );
+                if n == 256
+                    && w == swar::SwarWorkload::GnpDense
+                    && matches!(instr, Instrumentation::Off)
+                {
+                    speedup_n256_dense_off = t.speedup();
+                }
                 run_table.row([
                     n.to_string(),
-                    w.to_string(),
-                    if force { "forced-0" } else { "engine" }.to_string(),
+                    w.label().to_string(),
+                    t.instrumentation.to_string(),
                     format!("{:.2}", t.fused_ms),
-                    format!("{:.2}", t.parallel_ms),
+                    format!("{:.2}", t.swar_ms),
                     format!("{:.2}x", t.speedup()),
                     (t.metrics_identical && t.labels_match_union_find).to_string(),
                 ]);
                 run_rows.push(json!({
                     "n": t.n,
-                    "workers": t.workers,
-                    "forced_threshold": t.forced_threshold,
+                    "workload": w.key(),
+                    "instrumentation": t.instrumentation,
                     "fused_ms": t.fused_ms,
-                    "parallel_ms": t.parallel_ms,
+                    "swar_ms": t.swar_ms,
                     "speedup": t.speedup(),
                     "labels_match_union_find": t.labels_match_union_find,
                     "metrics_identical": t.metrics_identical,
@@ -131,15 +143,18 @@ fn main() {
             }
         }
     }
-    println!("\nfull runs, sequential fused vs parallel fused:");
+    println!("\nfull runs, sequential fused vs SWAR:");
     print!("{}", run_table.render());
 
-    let mut stamp = gca_bench::stamp();
-    stamp["workers_swept"] = json!(workers);
     let doc = json!({
-        "workload": format!("gnp(n, 0.3, seed {})", fused::SEED),
-        "baseline": "sequential fused exec path, hinted domains, Counts instrumentation",
-        "stamp": stamp,
+        "workload": format!(
+            "gnp(n, p, seed {}) at p in {{0.300, 0.020}} plus grid(n/32, 32) banded sparsity",
+            fused::SEED
+        ),
+        "baseline": "sequential fused exec path, hinted domains, single thread on both sides",
+        "timed_region": "init + ceil(log2 n) iterations + label extraction; machine build excluded",
+        "stamp": gca_bench::stamp(),
+        "speedup_full_run_n256_dense_instrumentation_off": speedup_n256_dense_off,
         "kernel_generations": gen_rows,
         "full_runs": run_rows,
     });
@@ -147,7 +162,7 @@ fn main() {
         Some(path) => {
             let body = format!("{}\n", serde_json::to_string_pretty(&doc).expect("serializable"));
             std::fs::write(path, body).unwrap_or_else(|e| panic!("writing {path}: {e}"));
-            eprintln!("parallel-fused results written to {path}");
+            eprintln!("swar-kernel results written to {path}");
         }
         None => println!("{}", serde_json::to_string_pretty(&doc).expect("serializable")),
     }

@@ -11,6 +11,7 @@
 //! generic path under [`DomainPolicy::Hinted`] (the tuned engine
 //! configuration of the `sparse_stepping` bench).
 
+use crate::NsPerStep;
 use gca_engine::{DomainPolicy, Engine, Instrumentation};
 use gca_graphs::connectivity::union_find_components_dense;
 use gca_graphs::generators;
@@ -57,28 +58,29 @@ pub struct FusedGenTiming {
     pub generation: Gen,
     /// The timed sub-generation.
     pub subgeneration: u32,
-    /// Nanoseconds per step on the generic hinted path.
-    pub generic_ns_per_step: f64,
-    /// Nanoseconds per step on the fused path.
-    pub fused_ns_per_step: f64,
+    /// Per-step statistics on the generic hinted path.
+    pub generic_ns_per_step: NsPerStep,
+    /// Per-step statistics on the fused path.
+    pub fused_ns_per_step: NsPerStep,
     /// Whether active cells, reads, changed cells and the congestion
     /// histogram were bit-identical between the two paths.
     pub metrics_identical: bool,
 }
 
 impl FusedGenTiming {
-    /// Generic time over fused time.
+    /// Generic median time over fused median time.
     pub fn speedup(&self) -> f64 {
-        self.generic_ns_per_step / self.fused_ns_per_step
+        self.generic_ns_per_step.median / self.fused_ns_per_step.median
     }
 }
 
-fn time_steps(m: &mut Machine, gen: Gen, sub: u32, reps: u32) -> f64 {
-    let start = Instant::now();
-    for _ in 0..reps {
-        std::hint::black_box(m.step(gen, sub).expect("step"));
-    }
-    start.elapsed().as_nanos() as f64 / f64::from(reps.max(1))
+fn time_steps(m: &mut Machine, gen: Gen, sub: u32, reps: u32) -> NsPerStep {
+    NsPerStep::measure(
+        || {
+            std::hint::black_box(m.step(gen, sub).expect("step"));
+        },
+        reps,
+    )
 }
 
 /// Times `reps` executions of `(gen, sub)` under both paths on the same
@@ -222,7 +224,8 @@ mod tests {
         for (gen, sub) in kernel_generations() {
             let t = time_generation(16, gen, sub, 2);
             assert!(t.metrics_identical, "{gen:?} sub {sub}");
-            assert!(t.generic_ns_per_step > 0.0 && t.fused_ns_per_step > 0.0);
+            assert!(t.generic_ns_per_step.median > 0.0 && t.fused_ns_per_step.median > 0.0);
+            assert!(t.fused_ns_per_step.min <= t.fused_ns_per_step.max);
         }
     }
 

@@ -16,7 +16,7 @@
 //! parallel code itself, not the auto-fallback. Full-run timings are taken
 //! both ways; see [`time_full_runs`].
 
-use crate::fused;
+use crate::{fused, NsPerStep};
 use gca_engine::{DomainPolicy, Engine, GcaError, Instrumentation};
 use gca_graphs::connectivity::union_find_components_dense;
 use gca_graphs::generators;
@@ -61,28 +61,33 @@ pub struct ParGenTiming {
     pub subgeneration: u32,
     /// Worker count of the parallel path.
     pub workers: usize,
-    /// Nanoseconds per step, sequential fused.
-    pub fused_ns_per_step: f64,
-    /// Nanoseconds per step, parallel fused.
-    pub parallel_ns_per_step: f64,
+    /// Per-step statistics, sequential fused.
+    pub fused_ns_per_step: NsPerStep,
+    /// Per-step statistics, parallel fused.
+    pub parallel_ns_per_step: NsPerStep,
     /// Whether active cells, reads, changed cells and the congestion
     /// histogram were bit-identical between the two paths.
     pub metrics_identical: bool,
 }
 
 impl ParGenTiming {
-    /// Sequential-fused time over parallel-fused time.
+    /// Sequential-fused median time over parallel-fused median time.
     pub fn speedup(&self) -> f64 {
-        self.fused_ns_per_step / self.parallel_ns_per_step
+        self.fused_ns_per_step.median / self.parallel_ns_per_step.median
     }
 }
 
-fn time_steps(m: &mut Machine, gen: Gen, sub: u32, reps: u32) -> Result<f64, GcaError> {
-    let start = Instant::now();
-    for _ in 0..reps {
-        std::hint::black_box(m.step(gen, sub)?);
-    }
-    Ok(start.elapsed().as_nanos() as f64 / f64::from(reps.max(1)))
+fn time_steps(m: &mut Machine, gen: Gen, sub: u32, reps: u32) -> Result<NsPerStep, GcaError> {
+    // One probing step surfaces any error before the infallible measurement
+    // closure runs (the callers already stepped once for the metrics check,
+    // so a failure here is unreachable for well-formed machines).
+    std::hint::black_box(m.step(gen, sub)?);
+    Ok(NsPerStep::measure(
+        || {
+            std::hint::black_box(m.step(gen, sub).expect("step repeats cleanly"));
+        },
+        reps,
+    ))
 }
 
 /// Times `reps` executions of `(gen, sub)` under sequential fused and
@@ -204,7 +209,8 @@ mod tests {
         for (gen, sub) in fused::kernel_generations() {
             let t = time_generation(16, gen, sub, 2, 2).unwrap();
             assert!(t.metrics_identical, "{gen:?} sub {sub}");
-            assert!(t.fused_ns_per_step > 0.0 && t.parallel_ns_per_step > 0.0);
+            assert!(t.fused_ns_per_step.median > 0.0 && t.parallel_ns_per_step.median > 0.0);
+            assert!(t.parallel_ns_per_step.min <= t.parallel_ns_per_step.max);
         }
     }
 

@@ -13,6 +13,7 @@
 use gca_engine::{DomainPolicy, Engine};
 use gca_graphs::connectivity::union_find_components_dense;
 use gca_graphs::generators;
+use crate::NsPerStep;
 use gca_hirschberg::{Convergence, Gen, HirschbergGca, Machine};
 use std::time::Instant;
 
@@ -52,28 +53,29 @@ pub struct GenTiming {
     pub generation: Gen,
     /// The timed sub-generation.
     pub subgeneration: u32,
-    /// Nanoseconds per step under `DomainPolicy::Dense`.
-    pub dense_ns_per_step: f64,
-    /// Nanoseconds per step under `DomainPolicy::Hinted`.
-    pub hinted_ns_per_step: f64,
+    /// Per-step statistics under `DomainPolicy::Dense`.
+    pub dense_ns_per_step: NsPerStep,
+    /// Per-step statistics under `DomainPolicy::Hinted`.
+    pub hinted_ns_per_step: NsPerStep,
     /// Whether active cells, reads, changed cells and the congestion
     /// histogram were bit-identical between the two policies.
     pub metrics_identical: bool,
 }
 
 impl GenTiming {
-    /// Dense time over hinted time.
+    /// Dense median time over hinted median time.
     pub fn speedup(&self) -> f64 {
-        self.dense_ns_per_step / self.hinted_ns_per_step
+        self.dense_ns_per_step.median / self.hinted_ns_per_step.median
     }
 }
 
-fn time_steps(m: &mut Machine, gen: Gen, sub: u32, reps: u32) -> f64 {
-    let start = Instant::now();
-    for _ in 0..reps {
-        std::hint::black_box(m.step(gen, sub).expect("step"));
-    }
-    start.elapsed().as_nanos() as f64 / f64::from(reps.max(1))
+fn time_steps(m: &mut Machine, gen: Gen, sub: u32, reps: u32) -> NsPerStep {
+    NsPerStep::measure(
+        || {
+            std::hint::black_box(m.step(gen, sub).expect("step"));
+        },
+        reps,
+    )
 }
 
 /// Times `reps` executions of `(gen, sub)` under both policies on the same
@@ -165,7 +167,8 @@ mod tests {
         for (gen, sub) in restricted_generations() {
             let t = time_generation(16, gen, sub, 2);
             assert!(t.metrics_identical, "{gen:?} sub {sub}");
-            assert!(t.dense_ns_per_step > 0.0 && t.hinted_ns_per_step > 0.0);
+            assert!(t.dense_ns_per_step.median > 0.0 && t.hinted_ns_per_step.median > 0.0);
+            assert!(t.dense_ns_per_step.min <= t.dense_ns_per_step.max);
         }
     }
 

@@ -200,7 +200,7 @@ fn run_lint(root: &Path, seeded: bool) {
     println!("workspace lint ({}):", root.display());
     if seeded {
         // Seeded fault: a snippet violating the no-unwrap rule.
-        let class = FileClass { library: true, hot_path: false };
+        let class = FileClass { library: true, hot_path: false, word_home: false };
         let (violations, _) =
             gca_lint::lint_source("seeded.rs", "fn f() { x.unwrap(); }", class);
         if let Some(v) = violations.first() {

@@ -24,6 +24,12 @@
 //!   schedule enumeration and compared coefficient by coefficient against
 //!   the paper's activity, congestion-δ and generation-count formulas for
 //!   every `n = 2^k, k ≤ 12` — without ever executing the machine;
+//! * [`mod@activity`] — the runtime face of the derivation: exact
+//!   per-`(n, generation, sub-generation)` activity closed forms
+//!   (cross-checked against [`schedule::derive_row`] and the [`symbolic`]
+//!   polynomials) and the [`activity::swar_schedule`] oracle the
+//!   [`gca_hirschberg::ExecPath::FusedSwar`] driver installs to skip
+//!   provably dead sub-generations;
 //! * [`modelcheck`] — bounded-exhaustive model checking over **all**
 //!   graphs on small vertex counts: predicted termination generation,
 //!   label canonicity against union-find, and fixed-point soundness of
@@ -35,10 +41,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod activity;
 pub mod isa;
 pub mod modelcheck;
 pub mod schedule;
 pub mod symbolic;
+
+pub use activity::{activity, live_subgenerations, min_reduce_folds_per_row, swar_schedule};
 
 pub use isa::{analyze, AnalysisError, CrossCheckMismatch, GenPrediction, IsaAnalysis, ReadPrediction, StoreProof};
 pub use modelcheck::{check_all, ModelCheckError, ModelCheckReport, ModelCheckViolation};

@@ -118,8 +118,9 @@ impl EngineOpts {
             "fused-par" | "fused-parallel" => {
                 Ok(ExecPath::FusedParallel(FusedParallel::default()))
             }
+            "fused-swar" => Ok(ExecPath::fused_swar()),
             other => Err(ArgError(format!(
-                "unknown exec path '{other}' (expected generic|fused|fused-par)"
+                "unknown exec path '{other}' (expected generic|fused|fused-par|fused-swar)"
             ))),
         }
     }
@@ -145,12 +146,16 @@ impl EngineOpts {
                 ExecPath::Generic => "generic",
                 ExecPath::Fused => "fused",
                 ExecPath::FusedParallel(_) => "fused-par",
+                ExecPath::FusedSwar(_) => "fused-swar",
             }
         );
-        if let ExecPath::FusedParallel(cfg) = self.exec {
-            if cfg.workers != 0 {
-                s.push_str(&format!(" workers={}", cfg.workers));
-            }
+        let workers = match self.exec {
+            ExecPath::FusedParallel(cfg) => Some(cfg.workers),
+            ExecPath::FusedSwar(swar) => swar.parallel.map(|cfg| cfg.workers),
+            _ => None,
+        };
+        if let Some(w) = workers.filter(|&w| w != 0) {
+            s.push_str(&format!(" workers={w}"));
         }
         if self.validate {
             s.push_str(" validate=on");
@@ -221,10 +226,12 @@ OPTIONS:
   --backend <b>      seq (default) | par — engine backend (gca machine only)
   --domain <d>       hinted (default) | dense — active-domain stepping policy (gca machine only)
   --convergence <c>  fixed (default) | detect — pointer-jump convergence early exit (gca machine only)
-  --exec <e>         generic (default) | fused | fused-par — per-cell dispatch, fused flat-array
-                     kernels, or row-partitioned parallel fused kernels (gca machine only)
-  --workers <k>      worker count for --exec fused-par (0 or omitted = auto from the
-                     machine's thread count; requires --exec fused-par)
+  --exec <e>         generic (default) | fused | fused-par | fused-swar — per-cell dispatch,
+                     fused flat-array kernels, row-partitioned parallel fused kernels, or
+                     word-parallel SWAR kernels over the bit-packed adjacency plane with the
+                     symbolic-activity generation scheduler (gca machine only)
+  --workers <k>      worker count for --exec fused-par / fused-swar (0 or omitted = auto from
+                     the machine's thread count; fused-swar runs single-thread unless given)
   --validate         run under the CROW/domain sanitizer: replay every generation against the
                      owner-write / read-snapshot / domain contracts (gca machine only; slower)
   --labels           print every node's component label
@@ -348,9 +355,12 @@ pub fn parse(args: &[String]) -> Result<Args, ArgError> {
     if let Some(w) = workers {
         match &mut engine.exec {
             ExecPath::FusedParallel(cfg) => cfg.workers = w,
+            ExecPath::FusedSwar(swar) => {
+                swar.parallel = Some(FusedParallel::with_workers(w));
+            }
             _ => {
                 return Err(ArgError(
-                    "--workers requires --exec fused-par".into(),
+                    "--workers requires --exec fused-par or fused-swar".into(),
                 ))
             }
         }
@@ -370,6 +380,7 @@ pub fn parse(args: &[String]) -> Result<Args, ArgError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gca_hirschberg::FusedSwar;
 
     fn argv(items: &[&str]) -> Vec<String> {
         items.iter().map(|s| s.to_string()).collect()
@@ -499,6 +510,38 @@ mod tests {
         assert!(parse(&argv(&["--exec", "fused", "--workers", "4", "ring:5"])).is_err());
         assert!(parse(&argv(&["--exec", "fused-par", "--workers", "x", "ring:5"])).is_err());
         assert!(parse(&argv(&["--workers"])).is_err());
+    }
+
+    #[test]
+    fn parses_fused_swar_and_workers() {
+        let a = parse(&argv(&["--exec", "fused-swar", "ring:5"])).unwrap();
+        assert_eq!(a.engine.exec, ExecPath::fused_swar());
+        assert_eq!(
+            a.engine.describe(),
+            "backend=sequential domain=hinted convergence=fixed exec=fused-swar"
+        );
+
+        // --workers composes: SWAR bodies inside each parallel row chunk.
+        let a = parse(&argv(&["--exec", "fused-swar", "--workers", "4", "ring:5"])).unwrap();
+        assert_eq!(
+            a.engine.exec,
+            ExecPath::FusedSwar(FusedSwar {
+                parallel: Some(FusedParallel::with_workers(4)),
+            })
+        );
+        assert_eq!(
+            a.engine.describe(),
+            "backend=sequential domain=hinted convergence=fixed exec=fused-swar workers=4"
+        );
+
+        // --workers before --exec works too: patching happens after the loop.
+        let a = parse(&argv(&["--workers", "2", "--exec", "fused-swar", "ring:5"])).unwrap();
+        assert_eq!(
+            a.engine.exec,
+            ExecPath::FusedSwar(FusedSwar {
+                parallel: Some(FusedParallel::with_workers(2)),
+            })
+        );
     }
 
     #[test]

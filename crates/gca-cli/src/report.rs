@@ -45,11 +45,18 @@ pub fn execute(
             if opts.validate {
                 engine = engine.with_instrumentation(Instrumentation::Validate);
             }
-            let run = HirschbergGca::new()
+            let mut gca = HirschbergGca::new()
                 .with_engine(engine)
                 .convergence(opts.convergence)
-                .exec(opts.exec)
-                .run(graph)?;
+                .exec(opts.exec);
+            if matches!(opts.exec, gca_hirschberg::ExecPath::FusedSwar(_)) {
+                // Install the symbolically derived schedule (the oracle the
+                // SWAR driver consults for sub-generation skipping; equal to
+                // the structural bound for the shipped rule, and
+                // cross-checked dynamically under --validate).
+                gca = gca.with_swar_schedule(gca_analysis::swar_schedule(graph.n()));
+            }
+            let run = gca.run(graph)?;
             Outcome {
                 machine,
                 labels: run.labels,
@@ -332,6 +339,30 @@ mod tests {
     }
 
     #[test]
+    fn fused_swar_exec_matches_generic_via_cli_path() {
+        // The CLI path additionally installs the symbolically derived
+        // schedule — this covers the oracle wiring end to end.
+        use gca_hirschberg::ExecPath;
+        let g = generators::gnp(17, 0.2, 5);
+        let generic = execute(MachineKind::Gca, &g, &EngineOpts::default()).unwrap();
+        let opts = EngineOpts {
+            exec: ExecPath::fused_swar(),
+            ..EngineOpts::default()
+        };
+        let swar = execute(MachineKind::Gca, &g, &opts).unwrap();
+        assert_eq!(swar.labels.as_slice(), generic.labels.as_slice());
+        assert_eq!(swar.steps, generic.steps);
+        assert_eq!(
+            swar.metrics.as_ref().unwrap().entries(),
+            generic.metrics.as_ref().unwrap().entries()
+        );
+        assert_eq!(
+            swar.engine.as_deref(),
+            Some("backend=sequential domain=hinted convergence=fixed exec=fused-swar")
+        );
+    }
+
+    #[test]
     fn validate_knob_is_bit_identical_on_both_exec_paths() {
         use gca_hirschberg::{ExecPath, FusedParallel};
         let g = generators::gnp(16, 0.3, 11);
@@ -341,6 +372,7 @@ mod tests {
             ExecPath::Fused,
             // threshold 0 forces the row-partitioned path even at n = 16.
             ExecPath::FusedParallel(FusedParallel { workers: 2, threshold: Some(0) }),
+            ExecPath::fused_swar(),
         ] {
             let opts = EngineOpts {
                 exec,

@@ -79,4 +79,4 @@ pub use error::{DomainViolationKind, GcaError};
 pub use field::CellField;
 pub use geometry::FieldShape;
 pub use rule::{GcaRule, StepCtx};
-pub use word::{ceil_log2, Word, INFINITY};
+pub use word::{ceil_log2, AdjWord, Word, INFINITY, WORD_BITS};

@@ -15,6 +15,24 @@ pub type Word = u32;
 /// `INFINITY`, which [`crate::FieldShape`] enforces at construction.
 pub const INFINITY: Word = Word::MAX;
 
+/// The machine word of the bit-packed adjacency plane.
+///
+/// Where a cell's *data* path is a [`Word`], its *adjacency* flag is a
+/// single bit: packing 64 flags per `AdjWord` lets the SWAR kernels touch
+/// 64 cells per ALU operation (word-skip on all-zero words, set-bit walks
+/// via `trailing_zeros`). Every bit-addressing computation in the workspace
+/// must be phrased in terms of [`WORD_BITS`] — hard-coded `64`/`63`
+/// assumptions outside this module are rejected by the `word-width` rule of
+/// `gca-lint`.
+pub type AdjWord = u64;
+
+/// Number of packed adjacency bits per [`AdjWord`].
+///
+/// The single source of truth for word-width arithmetic: bit `i` of a
+/// packed plane lives in word `i / WORD_BITS` at offset `i % WORD_BITS`,
+/// and a row of `n` bits spans `n.div_ceil(WORD_BITS)` words.
+pub const WORD_BITS: usize = AdjWord::BITS as usize;
+
 /// `⌈log₂ n⌉` with the conventions `ceil_log2(0) = ceil_log2(1) = 0` — the
 /// sub-generation count of every doubling/reduction construction in the
 /// workspace (the paper's `log n`).
@@ -47,6 +65,16 @@ mod tests {
         assert_eq!(Word::min(INFINITY, zero), zero);
         assert_eq!(Word::min(INFINITY, mid), mid);
         assert_eq!(Word::min(INFINITY, INFINITY), INFINITY);
+    }
+
+    #[test]
+    fn word_bits_matches_adjacency_word() {
+        assert_eq!(WORD_BITS, AdjWord::BITS as usize);
+        assert!(WORD_BITS.is_power_of_two());
+        // A packed row of n bits spans ceil(n / WORD_BITS) words.
+        assert_eq!(1usize.div_ceil(WORD_BITS), 1);
+        assert_eq!(WORD_BITS.div_ceil(WORD_BITS), 1);
+        assert_eq!((WORD_BITS + 1).div_ceil(WORD_BITS), 2);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 use crate::complexity::{ceil_log2, total_generations};
-use crate::kernels::{FusedExecutor, ParPolicy};
-use crate::{iteration_schedule, ExecPath, Gen, HCell, HirschbergRule, Layout};
+use crate::kernels::{FusedExecutor, KernelReport, ParPolicy};
+use crate::{iteration_schedule, ExecPath, Gen, HCell, HirschbergRule, Layout, SwarSchedule};
 use gca_engine::metrics::{CongestionHistogram, GenerationMetrics, MetricsLog};
 use gca_engine::{CellField, Engine, GcaError, Instrumentation, StepCtx, StepReport, Word};
 use gca_graphs::{AdjacencyMatrix, Labeling};
@@ -56,6 +56,9 @@ pub struct Machine {
     /// next fused step reloads the mirror.
     soa_valid: bool,
     initialized: bool,
+    /// The symbolic-activity schedule the [`ExecPath::FusedSwar`] driver
+    /// consults (`None` → the structural schedule, which never skips).
+    swar_schedule: Option<SwarSchedule>,
     /// The differential harness armed by [`Instrumentation::Validate`] on
     /// the fused path: a shadow field replayed through the reference engine
     /// (itself running the CROW sanitizer) after every fused generation.
@@ -99,6 +102,7 @@ impl Machine {
             fused: FusedExecutor::new(graph.n()),
             soa_valid: false,
             initialized: false,
+            swar_schedule: None,
             validator: None,
             fault: None,
         })
@@ -115,6 +119,17 @@ impl Machine {
     #[must_use]
     pub fn with_exec(mut self, exec: ExecPath) -> Self {
         self.exec = exec;
+        self.fused.set_swar(matches!(exec, ExecPath::FusedSwar(_)));
+        self
+    }
+
+    /// Installs a symbolic-activity schedule for the
+    /// [`ExecPath::FusedSwar`] driver (see [`SwarSchedule`]). A schedule
+    /// derived for a different problem size is ignored in favor of the
+    /// structural one. No effect on the other execution paths.
+    #[must_use]
+    pub fn with_swar_schedule(mut self, schedule: SwarSchedule) -> Self {
+        self.swar_schedule = Some(schedule);
         self
     }
 
@@ -189,8 +204,10 @@ impl Machine {
     /// fall back to it. `Validate` stays fused on purpose: that is what
     /// arms the differential replay harness against the kernels.
     fn fused_active(&self) -> bool {
-        matches!(self.exec, ExecPath::Fused | ExecPath::FusedParallel(_))
-            && !matches!(self.engine.instrumentation(), Instrumentation::Trace)
+        matches!(
+            self.exec,
+            ExecPath::Fused | ExecPath::FusedParallel(_) | ExecPath::FusedSwar(_)
+        ) && !matches!(self.engine.instrumentation(), Instrumentation::Trace)
     }
 
     /// Resolves [`ExecPath::FusedParallel`]'s knob into the per-step policy
@@ -199,8 +216,10 @@ impl Machine {
     /// tunable, and anything that resolves below two workers runs the
     /// plain sequential fused path.
     fn par_policy(&self) -> Option<ParPolicy> {
-        let ExecPath::FusedParallel(cfg) = self.exec else {
-            return None;
+        let cfg = match self.exec {
+            ExecPath::FusedParallel(cfg) => cfg,
+            ExecPath::FusedSwar(swar) => swar.parallel?,
+            _ => return None,
         };
         let workers = if cfg.workers == 0 {
             rayon::current_num_threads()
@@ -401,10 +420,44 @@ impl Machine {
         Ok(executed)
     }
 
+    /// Executes `count` full outer iterations back to back, returning the
+    /// total number of generations executed. Observably identical to
+    /// calling [`Machine::run_iteration`] `count` times, except that the
+    /// fused paths write the public field back once at the end instead of
+    /// once per iteration (the field is only guaranteed authoritative when
+    /// this returns — also on error, exactly as the per-iteration API
+    /// leaves committed generations visible).
+    pub fn run_iterations(&mut self, count: u64) -> Result<u64, GcaError> {
+        assert!(self.initialized, "call init() before iterating");
+        if !self.fused_active() || self.validating() {
+            let mut executed = 0;
+            for _ in 0..count {
+                executed += self.run_iteration()?;
+            }
+            return Ok(executed);
+        }
+        let mut executed = 0;
+        let mut failure = None;
+        for _ in 0..count {
+            match self.run_iteration_fused_inner() {
+                Ok(e) => executed += e,
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        self.fused.store_d(&mut self.field);
+        match failure {
+            None => Ok(executed),
+            Some(e) => Err(e),
+        }
+    }
+
     /// One fused generation without report assembly (no histogram copy) —
     /// the hot-loop variant of [`Machine::step_fused`]. Returns the changed
     /// count for convergence detection.
-    fn fused_tick(&mut self, gen: Gen, subgeneration: u32) -> Result<usize, GcaError> {
+    fn fused_tick(&mut self, gen: Gen, subgeneration: u32) -> Result<KernelReport, GcaError> {
         let ctx = self.fused_ctx(gen, subgeneration);
         let counting = self.counting();
         let par = self.par_policy();
@@ -419,7 +472,80 @@ impl Machine {
             self.check_fused_generation(&ctx)?;
         }
         self.fused_commit(ctx, rep.active);
-        Ok(rep.changed)
+        Ok(rep)
+    }
+
+    /// The schedule the [`ExecPath::FusedSwar`] driver consults; `None` for
+    /// the other fused paths (never skip). An installed schedule derived
+    /// for a different `n` falls back to the structural one.
+    fn swar_bounds(&self) -> Option<SwarSchedule> {
+        matches!(self.exec, ExecPath::FusedSwar(_)).then(|| {
+            self.swar_schedule
+                .filter(|sc| sc.n() == self.n())
+                .unwrap_or_else(|| SwarSchedule::structural(self.n()))
+        })
+    }
+
+    /// Runs one iterated-phase sub-generation under the SWAR schedule.
+    /// Scheduled subs execute normally; an out-of-schedule sub (symbolic
+    /// activity zero) is skipped outright — except under
+    /// [`Instrumentation::Validate`], where it executes anyway and a debug
+    /// assertion cross-checks the symbolic claim against the dynamic
+    /// counters (zero activity for the tree reductions, zero changed cells
+    /// for a clamped pointer jump). Returns `None` when skipped.
+    fn swar_gated_tick(
+        &mut self,
+        sched: Option<SwarSchedule>,
+        gen: Gen,
+        s: u32,
+        executed: &mut u64,
+    ) -> Result<Option<KernelReport>, GcaError> {
+        let live = sched.is_none_or(|sc| sc.live(gen, s));
+        if !live && !self.validating() {
+            return Ok(None);
+        }
+        let rep = self.fused_tick(gen, s)?;
+        *executed += 1;
+        if !live {
+            debug_assert!(
+                rep.changed == 0 && (gen == Gen::PointerJump || rep.active == 0),
+                "symbolic-activity schedule skipped an active sub-generation: \
+                 {gen:?}/{s} active={} changed={}",
+                rep.active,
+                rep.changed,
+            );
+        }
+        Ok(Some(rep))
+    }
+
+    /// Whether the batched driver may fuse each broadcast with the filter
+    /// that immediately follows it (generations 1+2 and 5+6). Requires the
+    /// SWAR path *and* an unobservable intermediate state: under counting
+    /// the two generations report separate read footprints, and under
+    /// validation the replay harness compares the field after every
+    /// generation — both must see the broadcast materialized.
+    fn fuse_broadcast_filter(&self) -> bool {
+        matches!(self.exec, ExecPath::FusedSwar(_)) && !self.counting() && !self.validating()
+    }
+
+    /// Runs one fused broadcast+filter pair (generations 1+2 for
+    /// `members = false`, 5+6 for `members = true`) and commits both
+    /// generations, exactly as two separate ticks would have.
+    fn broadcast_filter_ticks(&mut self, members: bool) {
+        let par = self.par_policy();
+        self.ensure_soa();
+        let (bcast, filter) = self.fused.broadcast_filter(members, par);
+        let (g_b, g_f) = if members {
+            (Gen::BroadcastT, Gen::FilterMembers)
+        } else {
+            (Gen::BroadcastC, Gen::FilterNeighbors)
+        };
+        let ctx_b = self.fused_ctx(g_b, 0);
+        self.fused_commit(ctx_b, bcast.active);
+        // The second ctx is built after the first commit so its generation
+        // number advances exactly as under separate ticks.
+        let ctx_f = self.fused_ctx(g_f, 0);
+        self.fused_commit(ctx_f, filter.active);
     }
 
     /// The fused iteration: identical `(generation, sub-generation)`
@@ -439,22 +565,34 @@ impl Machine {
 
     fn run_iteration_fused_inner(&mut self) -> Result<u64, GcaError> {
         let subgens = ceil_log2(self.n());
+        let sched = self.swar_bounds();
+        let fuse_bf = self.fuse_broadcast_filter();
         let mut executed = 0u64;
-        for gen in [Gen::BroadcastC, Gen::FilterNeighbors] {
-            self.fused_tick(gen, 0)?;
-            executed += 1;
+        if fuse_bf {
+            self.broadcast_filter_ticks(false);
+            executed += 2;
+        } else {
+            for gen in [Gen::BroadcastC, Gen::FilterNeighbors] {
+                self.fused_tick(gen, 0)?;
+                executed += 1;
+            }
         }
         for s in 0..subgens {
-            self.fused_tick(Gen::MinReduce, s)?;
-            executed += 1;
+            self.swar_gated_tick(sched, Gen::MinReduce, s, &mut executed)?;
         }
-        for gen in [Gen::ResolveIsolated, Gen::BroadcastT, Gen::FilterMembers] {
-            self.fused_tick(gen, 0)?;
-            executed += 1;
+        self.fused_tick(Gen::ResolveIsolated, 0)?;
+        executed += 1;
+        if fuse_bf {
+            self.broadcast_filter_ticks(true);
+            executed += 2;
+        } else {
+            for gen in [Gen::BroadcastT, Gen::FilterMembers] {
+                self.fused_tick(gen, 0)?;
+                executed += 1;
+            }
         }
         for s in 0..subgens {
-            self.fused_tick(Gen::MinReduceMembers, s)?;
-            executed += 1;
+            self.swar_gated_tick(sched, Gen::MinReduceMembers, s, &mut executed)?;
         }
         for gen in [Gen::ResolveMembers, Gen::CopyAndSaveT] {
             self.fused_tick(gen, 0)?;
@@ -466,14 +604,20 @@ impl Machine {
             // every generation's writes in the field, so validation takes
             // the gather/jump/scatter-per-sub-generation path.
             for s in 0..subgens {
-                let changed = self.fused_tick(Gen::PointerJump, s)?;
-                executed += 1;
-                if self.convergence == Convergence::Detect && changed == 0 {
-                    break;
+                let rep = self.swar_gated_tick(sched, Gen::PointerJump, s, &mut executed)?;
+                if let Some(rep) = rep {
+                    if self.convergence == Convergence::Detect && rep.changed == 0 {
+                        break;
+                    }
                 }
             }
         } else {
-            executed += self.fused_pointer_jump(subgens)?;
+            // The schedule clamps the pointer-jump iteration bound; for the
+            // structural (and the symbolically derived) schedule the clamp
+            // equals ⌈log₂ n⌉ and the behavior is unchanged.
+            let jump_bound =
+                sched.map_or(subgens, |sc| sc.subgenerations(Gen::PointerJump).min(subgens));
+            executed += self.fused_pointer_jump(jump_bound)?;
         }
         self.fused_tick(Gen::FinalMin, 0)?;
         executed += 1;
@@ -621,6 +765,7 @@ pub struct HirschbergGca {
     early_exit: bool,
     convergence: Convergence,
     exec: ExecPath,
+    swar_schedule: Option<SwarSchedule>,
 }
 
 impl HirschbergGca {
@@ -633,6 +778,7 @@ impl HirschbergGca {
             early_exit: false,
             convergence: Convergence::Fixed,
             exec: ExecPath::Generic,
+            swar_schedule: None,
         }
     }
 
@@ -656,6 +802,15 @@ impl HirschbergGca {
     #[must_use]
     pub fn exec(mut self, exec: ExecPath) -> Self {
         self.exec = exec;
+        self
+    }
+
+    /// Installs a symbolic-activity schedule for the
+    /// [`ExecPath::FusedSwar`] driver (see [`Machine::with_swar_schedule`]);
+    /// no effect on the other execution paths.
+    #[must_use]
+    pub fn with_swar_schedule(mut self, schedule: SwarSchedule) -> Self {
+        self.swar_schedule = Some(schedule);
         self
     }
 
@@ -684,24 +839,38 @@ impl HirschbergGca {
         let mut machine = Machine::with_engine(graph, self.engine.clone())?
             .with_convergence(self.convergence)
             .with_exec(self.exec);
+        if let Some(sched) = self.swar_schedule {
+            machine = machine.with_swar_schedule(sched);
+        }
         machine.init()?;
         let max_iterations = ceil_log2(n);
         let mut iterations = 0;
-        let mut previous = machine.labels_raw();
-        for _ in 0..max_iterations {
-            machine.run_iteration()?;
-            iterations += 1;
-            if self.early_exit {
+        if self.early_exit {
+            let mut previous = machine.labels_raw();
+            for _ in 0..max_iterations {
+                machine.run_iteration()?;
+                iterations += 1;
                 let current = machine.labels_raw();
                 if current == previous {
                     break;
                 }
                 previous = current;
             }
+        } else {
+            // No between-iteration label reads: the batched driver defers
+            // the fused paths' field writeback to the end of the run.
+            machine.run_iterations(u64::from(max_iterations))?;
+            iterations = max_iterations;
         }
 
         let generations = machine.generations();
-        if !self.early_exit && self.convergence == Convergence::Fixed {
+        if !self.early_exit
+            && self.convergence == Convergence::Fixed
+            && self.swar_schedule.is_none_or(|sc| sc.is_structural())
+        {
+            // A truncated SWAR schedule legitimately executes fewer
+            // generations than the closed form; every other configuration
+            // must match it exactly.
             debug_assert_eq!(
                 generations,
                 total_generations(n),
@@ -1352,6 +1521,293 @@ mod tests {
                 .unwrap();
             assert_eq!(run.labels.as_slice(), expected.as_slice());
         }
+    }
+
+    #[test]
+    fn swar_matches_generic_and_fused_labels_and_metrics() {
+        for g in &fused_test_corpus() {
+            let generic = HirschbergGca::new().run(g).unwrap();
+            let fused = HirschbergGca::new().exec(ExecPath::Fused).run(g).unwrap();
+            let swar = HirschbergGca::new()
+                .exec(ExecPath::fused_swar())
+                .run(g)
+                .unwrap();
+            assert_eq!(swar.labels, generic.labels, "labels diverge on {g:?}");
+            assert_eq!(swar.generations, generic.generations, "on {g:?}");
+            assert_eq!(
+                swar.metrics.entries(),
+                generic.metrics.entries(),
+                "metrics diverge vs generic on {g:?}"
+            );
+            assert_eq!(
+                swar.metrics.entries(),
+                fused.metrics.entries(),
+                "metrics diverge vs fused on {g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn swar_matches_generic_under_detect() {
+        for g in &fused_test_corpus() {
+            let generic = HirschbergGca::new()
+                .convergence(Convergence::Detect)
+                .run(g)
+                .unwrap();
+            let swar = HirschbergGca::new()
+                .convergence(Convergence::Detect)
+                .exec(ExecPath::fused_swar())
+                .run(g)
+                .unwrap();
+            assert_eq!(swar.labels, generic.labels, "labels diverge on {g:?}");
+            assert_eq!(swar.generations, generic.generations, "detect skipped differently");
+            assert_eq!(swar.metrics.entries(), generic.metrics.entries());
+        }
+    }
+
+    #[test]
+    fn swar_stepwise_reports_match_fused() {
+        // Word-at-a-time kernel bodies must be invisible in every counter,
+        // sub-generation by sub-generation — including multi-word rows
+        // (n = 70 spans two adjacency words).
+        let g = generators::gnp(70, 0.08, 21);
+        let mut a = Machine::new(&g).unwrap().with_exec(ExecPath::Fused);
+        let mut b = Machine::new(&g).unwrap().with_exec(ExecPath::fused_swar());
+        a.init().unwrap();
+        b.init().unwrap();
+        for _ in 0..ceil_log2(70) {
+            for (gen, sub) in iteration_schedule(70) {
+                let ra = a.step(gen, sub).unwrap();
+                let rb = b.step(gen, sub).unwrap();
+                assert_eq!(ra.active_cells, rb.active_cells, "{gen:?}/{sub}");
+                assert_eq!(ra.total_reads, rb.total_reads, "{gen:?}/{sub}");
+                assert_eq!(ra.changed_cells, rb.changed_cells, "{gen:?}/{sub}");
+                assert_eq!(ra.congestion, rb.congestion, "{gen:?}/{sub}");
+            }
+        }
+        assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn swar_with_instrumentation_off_still_labels_correctly() {
+        for g in &fused_test_corpus() {
+            let expected = union_find_components_dense(g);
+            let run = HirschbergGca::new()
+                .with_engine(Engine::sequential().with_instrumentation(Instrumentation::Off))
+                .exec(ExecPath::fused_swar())
+                .run(g)
+                .unwrap();
+            assert_eq!(run.labels.as_slice(), expected.as_slice());
+            assert_eq!(run.metrics.generations(), 0);
+        }
+    }
+
+    #[test]
+    fn validate_stays_fused_swar_and_runs_clean() {
+        for g in &fused_test_corpus() {
+            let m = Machine::with_engine(
+                g,
+                Engine::sequential().with_instrumentation(Instrumentation::Validate),
+            )
+            .unwrap()
+            .with_exec(ExecPath::fused_swar());
+            assert!(m.fused_active(), "Validate must stay fused-swar");
+            let reference = HirschbergGca::new().run(g).unwrap();
+            let validated = HirschbergGca::new()
+                .with_engine(Engine::sequential().with_instrumentation(Instrumentation::Validate))
+                .exec(ExecPath::fused_swar())
+                .run(g)
+                .unwrap();
+            assert_eq!(validated.labels, reference.labels, "on {g:?}");
+            assert_eq!(validated.generations, reference.generations);
+            assert_eq!(validated.metrics.entries(), reference.metrics.entries());
+        }
+    }
+
+    #[test]
+    fn swar_composes_with_parallel_chunking() {
+        use crate::kernels::{FusedParallel, FusedSwar};
+        // SWAR inside each row chunk: the parallel driver partitions rows,
+        // each chunk runs the word-parallel bodies.
+        let exec = ExecPath::FusedSwar(FusedSwar {
+            parallel: Some(FusedParallel {
+                workers: 3,
+                threshold: Some(0),
+            }),
+        });
+        for g in &fused_test_corpus() {
+            let fused = HirschbergGca::new().exec(ExecPath::Fused).run(g).unwrap();
+            let par = HirschbergGca::new().exec(exec).run(g).unwrap();
+            assert_eq!(par.labels, fused.labels, "labels diverge on {g:?}");
+            assert_eq!(par.generations, fused.generations);
+            assert_eq!(
+                par.metrics.entries(),
+                fused.metrics.entries(),
+                "metrics diverge on {g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn swar_composes_with_detect_and_early_exit() {
+        for seed in 0..4 {
+            let g = generators::gnp(15, 0.25, seed);
+            let expected = union_find_components_dense(&g);
+            let run = HirschbergGca::new()
+                .exec(ExecPath::fused_swar())
+                .convergence(Convergence::Detect)
+                .early_exit(true)
+                .run(&g)
+                .unwrap();
+            assert_eq!(run.labels.as_slice(), expected.as_slice());
+        }
+    }
+
+    #[test]
+    fn swar_structural_schedule_changes_nothing() {
+        // Installing the structural schedule explicitly is a no-op: it keeps
+        // every sub-generation live, so generations and metrics stay
+        // bit-identical to the un-scheduled run.
+        let g = generators::gnp(19, 0.2, 8);
+        let plain = HirschbergGca::new().exec(ExecPath::fused_swar()).run(&g).unwrap();
+        let scheduled = HirschbergGca::new()
+            .exec(ExecPath::fused_swar())
+            .with_swar_schedule(SwarSchedule::structural(19))
+            .run(&g)
+            .unwrap();
+        assert_eq!(scheduled.labels, plain.labels);
+        assert_eq!(scheduled.generations, plain.generations);
+        assert_eq!(scheduled.metrics.entries(), plain.metrics.entries());
+    }
+
+    #[test]
+    fn swar_schedule_for_wrong_size_falls_back_to_structural() {
+        let g = generators::gnp(13, 0.3, 3);
+        let plain = HirschbergGca::new().exec(ExecPath::fused_swar()).run(&g).unwrap();
+        // Derived for n = 64, installed on an n = 13 machine: ignored.
+        let mismatched = HirschbergGca::new()
+            .exec(ExecPath::fused_swar())
+            .with_swar_schedule(SwarSchedule::from_bounds(64, 1, 1, 1))
+            .run(&g)
+            .unwrap();
+        assert_eq!(mismatched.labels, plain.labels);
+        assert_eq!(mismatched.generations, plain.generations);
+        assert_eq!(mismatched.metrics.entries(), plain.metrics.entries());
+    }
+
+    #[test]
+    fn swar_short_schedule_skips_subgenerations() {
+        // A deliberately truncated schedule must actually skip generations
+        // (the machine's generation counter stays behind the structural
+        // count) while the dropped tree-reduction tail is harmless on a
+        // graph whose rows converge after one halving step.
+        let n = 8;
+        let g = generators::empty(n);
+        let structural = HirschbergGca::new()
+            .exec(ExecPath::fused_swar())
+            .run(&g)
+            .unwrap();
+        let clamped = HirschbergGca::new()
+            .exec(ExecPath::fused_swar())
+            .with_swar_schedule(SwarSchedule::from_bounds(n, 1, 1, ceil_log2(n)))
+            .run(&g)
+            .unwrap();
+        // ceil_log2(8) = 3 outer iterations, each dropping 2 MinReduce and
+        // 2 MinReduceMembers sub-generations.
+        assert_eq!(clamped.generations + 12, structural.generations);
+        assert_eq!(clamped.labels, structural.labels);
+        let expected = union_find_components_dense(&g);
+        assert_eq!(clamped.labels.as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn swar_snapshot_restore_roundtrip_agrees_with_cellfield() {
+        // The serde snapshot path captures the authoritative CellField, not
+        // the SoA mirror: a snapshot taken mid-SWAR-run must restore into
+        // both a fresh SWAR machine and a generic machine, and all three
+        // must finish in the same state.
+        let g = generators::gnp(20, 0.2, 6);
+        let mut swar = Machine::new(&g).unwrap().with_exec(ExecPath::fused_swar());
+        swar.init().unwrap();
+        swar.run_iteration().unwrap();
+        let snap = swar.snapshot();
+        let mut resumed_swar = Machine::new(&g).unwrap().with_exec(ExecPath::fused_swar());
+        resumed_swar.restore(&snap).unwrap();
+        let mut resumed_generic = Machine::new(&g).unwrap();
+        resumed_generic.restore(&snap).unwrap();
+        for _ in 1..ceil_log2(20) {
+            swar.run_iteration().unwrap();
+            resumed_swar.run_iteration().unwrap();
+            resumed_generic.run_iteration().unwrap();
+        }
+        assert_eq!(swar.labels(), resumed_swar.labels());
+        assert_eq!(swar.labels(), resumed_generic.labels());
+        assert_eq!(swar.field().states(), resumed_generic.field().states());
+    }
+
+    #[test]
+    fn swar_reset_with_reloads_adjacency_plane() {
+        // reset_with refills the AoS field in place; the row-aligned packed
+        // adjacency plane must be rebuilt for the new graph on the next
+        // fused step (stale bits would corrupt FilterNeighbors).
+        let g1 = generators::gnp(12, 0.3, 1);
+        let g2 = generators::ring(12);
+        let mut m = Machine::new(&g1).unwrap().with_exec(ExecPath::fused_swar());
+        m.init().unwrap();
+        for _ in 0..ceil_log2(12) {
+            m.run_iteration().unwrap();
+        }
+        m.reset_with(&g2).unwrap();
+        m.init().unwrap();
+        for _ in 0..ceil_log2(12) {
+            m.run_iteration().unwrap();
+        }
+        let expected = union_find_components_dense(&g2);
+        assert_eq!(m.labels().as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn swar_survives_generic_steps_mid_run() {
+        // Flipping the exec path between iterations exercises the
+        // `soa_valid` protocol: generic steps dirty the AoS field behind
+        // the SoA mirror, and the next SWAR step must reload both planes.
+        let g = generators::gnp(14, 0.25, 9);
+        let mut m = Machine::new(&g).unwrap();
+        let mut reference = Machine::new(&g).unwrap();
+        m = m.with_exec(ExecPath::fused_swar());
+        m.init().unwrap();
+        reference.init().unwrap();
+        for it in 0..ceil_log2(14) {
+            m = m.with_exec(if it % 2 == 0 {
+                ExecPath::fused_swar()
+            } else {
+                ExecPath::Generic
+            });
+            for (gen, sub) in iteration_schedule(14) {
+                let ra = m.step(gen, sub).unwrap();
+                let rb = reference.step(gen, sub).unwrap();
+                assert_eq!(ra.active_cells, rb.active_cells, "{gen:?}/{sub} at iter {it}");
+                assert_eq!(ra.changed_cells, rb.changed_cells, "{gen:?}/{sub} at iter {it}");
+                assert_eq!(ra.total_reads, rb.total_reads, "{gen:?}/{sub} at iter {it}");
+            }
+        }
+        assert_eq!(m.labels(), reference.labels());
+        assert_eq!(m.field().states(), reference.field().states());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "symbolic-activity schedule skipped an active sub-generation")]
+    fn swar_validate_cross_checks_short_schedule() {
+        // Under Validate a schedule that skips an in-schedule (and thus
+        // provably active — active = n · per_row > 0 is data-independent)
+        // sub-generation must trip the dynamic cross-check.
+        let g = generators::gnp(13, 0.3, 2);
+        let _ = HirschbergGca::new()
+            .with_engine(Engine::sequential().with_instrumentation(Instrumentation::Validate))
+            .exec(ExecPath::fused_swar())
+            .with_swar_schedule(SwarSchedule::from_bounds(13, 1, 1, ceil_log2(13)))
+            .run(&g);
     }
 
     #[test]

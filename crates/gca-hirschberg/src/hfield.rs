@@ -9,16 +9,21 @@
 //! broadcast/copy fill is a strided struct write instead of a plain word
 //! fill.
 //!
-//! [`HField`] splits the buffer into two planes with the same linear
-//! indexing as [`crate::Layout`] (`index = row · n + col`, `D_N` at
-//! `n² .. n² + n`):
+//! [`HField`] splits the buffer into two planes:
 //!
-//! * a contiguous `Vec<Word>` **data plane** — the per-generation working
-//!   set; broadcasts and copies become `memcpy`-shaped fills, and
-//!   row-partitioned parallel kernels split it with `split_at_mut`-safe
-//!   disjoint chunks;
+//! * a contiguous `Vec<Word>` **data plane** with the same linear indexing
+//!   as [`crate::Layout`] (`index = row · n + col`, `D_N` at
+//!   `n² .. n² + n`) — the per-generation working set; broadcasts and
+//!   copies become `memcpy`-shaped fills, and row-partitioned parallel
+//!   kernels split it with `split_at_mut`-safe disjoint chunks;
 //! * a bit-packed **adjacency plane** (one bit per square cell) — loaded
-//!   once per graph, read-only afterwards.
+//!   once per graph, read-only afterwards. The plane is **row-aligned**:
+//!   row `r` occupies the [`HField::words_per_row`] words starting at
+//!   `r · words_per_row`, column `c` is bit `c % WORD_BITS` of word
+//!   `c / WORD_BITS` within the row, and the tail bits of the last word of
+//!   every row are zero. Row alignment is what makes the SWAR kernels'
+//!   zero-word skip sound: an all-zero adjacency word always covers cells
+//!   of a single row, never a wrapped row boundary.
 //!
 //! Conversion happens only at the [`crate::Machine`] boundary
 //! ([`HField::load`] / [`HField::store_d`]), so snapshots, the generic
@@ -26,12 +31,13 @@
 //! authoritative `CellField<HCell>`.
 
 use crate::HCell;
-use gca_engine::{CellField, Word};
+use gca_engine::{AdjWord, CellField, Word, WORD_BITS};
 
-/// Reads bit `i` of a packed adjacency plane.
+/// Reads the adjacency bit of square cell `(row, col)` from a row-aligned
+/// packed plane with `wpr` words per row.
 #[inline]
-pub(crate) fn a_bit(plane: &[u64], i: usize) -> bool {
-    (plane[i >> 6] >> (i & 63)) & 1 == 1
+pub(crate) fn a_bit(plane: &[AdjWord], wpr: usize, row: usize, col: usize) -> bool {
+    (plane[row * wpr + col / WORD_BITS] >> (col % WORD_BITS)) & 1 == 1
 }
 
 /// The struct-of-arrays mirror of one `(n+1) × n` Hirschberg field.
@@ -42,19 +48,23 @@ pub(crate) struct HField {
     /// The data plane: `d` of every cell, `n · (n+1)` words, same linear
     /// indexing as the AoS buffer.
     pub d: Vec<Word>,
-    /// The adjacency plane: `A(row, col)` bit-packed over the `n²` square
-    /// cells (the `D_N` row carries no adjacency). Immutable between
-    /// [`HField::load`] calls.
-    pub a: Vec<u64>,
+    /// The adjacency plane: `A(row, col)` bit-packed row-aligned over the
+    /// `n²` square cells (the `D_N` row carries no adjacency). Immutable
+    /// between [`HField::load`] calls; row-tail bits are always zero.
+    pub a: Vec<AdjWord>,
+    /// Packed words per adjacency row: `n.div_ceil(WORD_BITS)`.
+    pub words_per_row: usize,
 }
 
 impl HField {
     /// An all-zero field for problem size `n`.
     pub fn new(n: usize) -> Self {
+        let wpr = n.div_ceil(WORD_BITS);
         HField {
             n,
             d: vec![0; n * (n + 1)],
-            a: vec![0; (n * n).div_ceil(64)],
+            a: vec![0; n * wpr],
+            words_per_row: wpr,
         }
     }
 
@@ -66,12 +76,16 @@ impl HField {
         debug_assert_eq!(cells.len(), self.n * (self.n + 1));
         self.d.clear();
         self.d.extend(cells.iter().map(|c| c.d));
-        let nn = self.n * self.n;
+        let wpr = self.n.div_ceil(WORD_BITS);
+        self.words_per_row = wpr;
         self.a.clear();
-        self.a.resize(nn.div_ceil(64), 0);
-        for (i, c) in cells[..nn].iter().enumerate() {
-            if c.a {
-                self.a[i >> 6] |= 1 << (i & 63);
+        self.a.resize(self.n * wpr, 0);
+        for row in 0..self.n {
+            let words = &mut self.a[row * wpr..(row + 1) * wpr];
+            for (col, c) in cells[row * self.n..(row + 1) * self.n].iter().enumerate() {
+                if c.a {
+                    words[col / WORD_BITS] |= 1 << (col % WORD_BITS);
+                }
             }
         }
     }
@@ -85,11 +99,12 @@ impl HField {
         }
     }
 
-    /// Reads the adjacency bit of square cell `i` (the kernels read the
-    /// packed plane directly via [`a_bit`]; this accessor serves the tests).
+    /// Reads the adjacency bit of square cell `i` (linear `row · n + col`
+    /// indexing; the kernels read the packed plane directly via [`a_bit`] —
+    /// this accessor serves the tests).
     #[cfg(test)]
     pub fn adjacency(&self, i: usize) -> bool {
-        a_bit(&self.a, i)
+        a_bit(&self.a, self.words_per_row, i / self.n, i % self.n)
     }
 }
 
@@ -142,6 +157,23 @@ mod tests {
         h.n = 5;
         h.load(&field);
         assert_eq!(h.d.len(), 30);
-        assert_eq!(h.a.len(), 1);
+        // Row-aligned plane: one packed word per row.
+        assert_eq!(h.words_per_row, 1);
+        assert_eq!(h.a.len(), 5);
+    }
+
+    #[test]
+    fn row_tail_bits_stay_zero() {
+        // n = 5 leaves WORD_BITS - 5 tail bits per row word; the SWAR
+        // zero-word skip relies on them never being set.
+        let g = generators::complete(5);
+        let layout = Layout::new(5).unwrap();
+        let field = layout.build_field(&g).unwrap();
+        let mut h = HField::new(5);
+        h.load(&field);
+        let tail_mask: AdjWord = !((1 << 5) - 1);
+        for (row, &w) in h.a.iter().enumerate() {
+            assert_eq!(w & tail_mask, 0, "tail bits of row {row}");
+        }
     }
 }

@@ -1,5 +1,5 @@
-//! Fused flat-array kernels for the Hirschberg rule ([`ExecPath::Fused`]
-//! and [`ExecPath::FusedParallel`]).
+//! Fused flat-array kernels for the Hirschberg rule ([`ExecPath::Fused`],
+//! [`ExecPath::FusedParallel`] and [`ExecPath::FusedSwar`]).
 //!
 //! The generic engine path evaluates every generation through per-cell
 //! [`gca_engine::GcaRule`] dispatch: each cell re-derives its row/column,
@@ -10,7 +10,7 @@
 //! `O(n)` useful updates.
 //!
 //! This module implements each of Figure 2's generations as a specialized
-//! kernel over the struct-of-arrays [`HField`] data plane instead:
+//! kernel over the struct-of-arrays `HField` data plane instead:
 //!
 //! * **broadcasts** (generations 1, 5, 9) gather the column-0 vector into a
 //!   reusable scratch once, then fill rows with strided writes;
@@ -25,11 +25,21 @@
 //!   at all between sub-generations — the existing
 //!   [`crate::Convergence::Detect`] fixed point composes unchanged.
 //!
+//! **SWAR execution.** [`ExecPath::FusedSwar`] swaps each row-range body
+//! for the word-parallel equivalent in the private `swar` module — identical per-cell
+//! semantics (so labels and `Counts` metrics stay bit-identical), but the
+//! bit-gated filters walk the row-aligned packed adjacency plane a word at
+//! a time (zero-word skip + `trailing_zeros` set-bit walks) and the fills
+//! and reductions run branch-free over whole slices. The dispatch is a
+//! per-kernel function-pointer/closure selection on
+//! `FusedExecutor::set_swar`, so the chunking, accounting and histogram
+//! machinery below is shared verbatim by all three fused paths.
+//!
 //! **Parallel execution.** Every kernel body is a *row-range function*
 //! (`*_rows` below) over a contiguous slice of whole rows. The sequential
 //! path runs it once over the full range; [`ExecPath::FusedParallel`] runs
 //! the same function over disjoint `par_chunks_mut` row partitions, one
-//! [`ChunkReport`] accumulator per chunk, merged after the join. Because
+//! `ChunkReport` accumulator per chunk, merged after the join. Because
 //! both paths execute the identical per-cell code and integer counter sums
 //! commute, labels *and* metrics are bit-identical by construction. The
 //! per-generation race-freedom argument (why row partitions never alias) is
@@ -49,8 +59,8 @@
 //! [`crate::Machine`] falls back to it.
 
 use crate::hfield::{a_bit, HField};
-use crate::{Gen, HCell};
-use gca_engine::{CellField, GcaError, StepCtx, Word, INFINITY};
+use crate::{swar, Gen, HCell};
+use gca_engine::{AdjWord, CellField, GcaError, StepCtx, Word, INFINITY};
 use rayon::prelude::*;
 
 /// Which implementation executes the state machine's generations.
@@ -73,6 +83,18 @@ pub enum ExecPath {
     /// the generic path. Labels and `Counts` metrics stay bit-identical to
     /// [`ExecPath::Fused`]; `Trace` falls back to generic like `Fused`.
     FusedParallel(FusedParallel),
+    /// The fused kernels with SWAR (SIMD-within-a-register) row bodies from
+    /// the `swar` module: word-skip + `trailing_zeros` walks over the
+    /// bit-packed adjacency plane, slice-equality broadcast fast paths and
+    /// branch-free tree reductions — 64 cells per ALU operation on the
+    /// filter generations. Optionally composes with row partitioning
+    /// ([`FusedSwar::parallel`]): SWAR inside each chunk. Labels and
+    /// `Counts` metrics stay bit-identical to [`ExecPath::Fused`]; `Trace`
+    /// falls back to generic like `Fused`. The machine driver additionally
+    /// consults a [`crate::SwarSchedule`] (structural by default, derivable
+    /// from `gca-analysis`'s symbolic activity forms) to skip provably
+    /// zero-activity sub-generations.
+    FusedSwar(FusedSwar),
 }
 
 /// Configuration of the data-parallel fused path
@@ -102,11 +124,25 @@ impl FusedParallel {
     }
 }
 
+/// Configuration of the SWAR fused path ([`ExecPath::FusedSwar`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct FusedSwar {
+    /// Row-partitioned parallelism *inside* the SWAR kernels; `None` runs
+    /// the SWAR bodies sequentially (the honest single-thread
+    /// configuration the benches report).
+    pub parallel: Option<FusedParallel>,
+}
+
 impl ExecPath {
     /// Shorthand for [`ExecPath::FusedParallel`] with `workers` workers
     /// (`0` = auto) and the engine-shared threshold.
     pub fn fused_parallel(workers: usize) -> Self {
         ExecPath::FusedParallel(FusedParallel::with_workers(workers))
+    }
+
+    /// Shorthand for the sequential [`ExecPath::FusedSwar`] configuration.
+    pub fn fused_swar() -> Self {
+        ExecPath::FusedSwar(FusedSwar::default())
     }
 }
 
@@ -234,6 +270,22 @@ pub(crate) struct FusedExecutor {
     reads: Vec<u32>,
     /// Per-chunk accumulators of the parallel path.
     chunks: Vec<ChunkReport>,
+    /// Route row bodies through the SWAR kernels of [`crate::swar`]
+    /// ([`ExecPath::FusedSwar`]); set by the machine at SoA sync time.
+    swar: bool,
+    /// Generation 6 scratch of the SWAR path: the row-aligned membership
+    /// mask (`bit (r, c) ⇔ D_N[c] = r`), rebuilt each FilterMembers.
+    member_mask: Vec<AdjWord>,
+    /// SWAR occupancy plane over the square field: bit `(r, c)` set iff
+    /// cell `(r, c)` is not `∞`. Written exactly by the filter kernels
+    /// (generations 2 and 6), maintained by the occupancy-guided tree
+    /// reductions, and meaningful only while `occ_valid`.
+    occ: Vec<AdjWord>,
+    /// Whether `occ` currently mirrors the square plane. True only in the
+    /// filter → min-reduce windows of a SWAR run; any other kernel (or a
+    /// SoA reload) invalidates it, dropping the reductions back to their
+    /// occupancy-free bodies.
+    occ_valid: bool,
     /// Test-only seeded fault: the next *parallel counting* broadcast
     /// accounts one boundary cell as if two adjacent row partitions
     /// overlapped on it, so the replay harness can prove it catches a
@@ -244,20 +296,36 @@ pub(crate) struct FusedExecutor {
 impl FusedExecutor {
     /// An executor for problem size `n`.
     pub fn new(n: usize) -> Self {
+        let hfield = HField::new(n);
+        let occ = vec![0; n * hfield.words_per_row];
         FusedExecutor {
             n,
-            hfield: HField::new(n),
+            hfield,
             labels: Vec::with_capacity(n),
             labels_next: vec![0; n],
             reads: Vec::new(),
             chunks: Vec::new(),
+            swar: false,
+            member_mask: Vec::new(),
+            occ,
+            occ_valid: false,
             overlap_fault: false,
         }
+    }
+
+    /// Selects the SWAR row bodies ([`ExecPath::FusedSwar`]) for every
+    /// subsequent kernel call.
+    pub fn set_swar(&mut self, swar: bool) {
+        if self.swar != swar {
+            self.occ_valid = false;
+        }
+        self.swar = swar;
     }
 
     /// Reloads the SoA mirror from the authoritative AoS field.
     pub fn load(&mut self, field: &CellField<HCell>) {
         self.hfield.load(field);
+        self.occ_valid = false;
     }
 
     /// Writes the SoA data plane back into the AoS field (adjacency bits
@@ -310,16 +378,31 @@ impl FusedExecutor {
                 ..KernelReport::default()
             });
         }
+        // Occupancy lifecycle: the SWAR filters produce an exact plane,
+        // the tree reductions keep it exact, everything else (including
+        // errors, which leave the plane mid-state) invalidates it.
+        let occ_was_valid = self.occ_valid;
+        self.occ_valid = false;
         match gen {
             Gen::Init => Ok(self.init(par)),
             Gen::BroadcastC => Ok(self.broadcast(counting, true, par)),
-            Gen::FilterNeighbors => Ok(self.filter_neighbors(counting, par)),
+            Gen::FilterNeighbors => {
+                let rep = self.filter_neighbors(counting, par);
+                self.occ_valid = self.swar;
+                Ok(rep)
+            }
             Gen::MinReduce | Gen::MinReduceMembers => {
-                Ok(self.min_reduce(ctx.subgeneration, counting, par))
+                let rep = self.min_reduce(ctx.subgeneration, counting, occ_was_valid, par);
+                self.occ_valid = self.swar && occ_was_valid;
+                Ok(rep)
             }
             Gen::ResolveIsolated | Gen::ResolveMembers => Ok(self.resolve(counting, par)),
             Gen::BroadcastT => Ok(self.broadcast(counting, false, par)),
-            Gen::FilterMembers => Ok(self.filter_members(counting, par)),
+            Gen::FilterMembers => {
+                let rep = self.filter_members(counting, par);
+                self.occ_valid = self.swar;
+                Ok(rep)
+            }
             Gen::CopyAndSaveT => Ok(self.copy_and_save_t(counting, par)),
             Gen::PointerJump => {
                 self.gather_labels();
@@ -336,8 +419,13 @@ impl FusedExecutor {
         let n = self.n;
         let rows = n + 1;
         let touched = rows * n;
+        let run: fn(&mut [Word], usize, usize) -> usize = if self.swar {
+            swar::init_rows
+        } else {
+            init_rows
+        };
         let (changed, workers) = match plan_rows(par, touched, rows, n) {
-            None => (init_rows(&mut self.hfield.d, 0, n), 1),
+            None => (run(&mut self.hfield.d, 0, n), 1),
             Some(rows_per) => {
                 let count = rows.div_ceil(rows_per);
                 let slots = chunk_slots(&mut self.chunks, count, None);
@@ -347,7 +435,7 @@ impl FusedExecutor {
                     .zip(slots.par_iter_mut())
                     .enumerate()
                     .for_each(|(ci, (seg, acc))| {
-                        acc.changed = init_rows(seg, ci * rows_per, n);
+                        acc.changed = run(seg, ci * rows_per, n);
                     });
                 (slots.iter().map(|c| c.changed).sum(), count)
             }
@@ -378,11 +466,13 @@ impl FusedExecutor {
         }
         let rows = if include_dn { n + 1 } else { n };
         let touched = rows * n;
+        let run: fn(&mut [Word], &[Word]) -> usize = if self.swar {
+            swar::broadcast_rows
+        } else {
+            broadcast_rows
+        };
         let (changed, workers) = match plan_rows(par, touched, rows, n) {
-            None => (
-                broadcast_rows(&mut self.hfield.d[..touched], &self.labels),
-                1,
-            ),
+            None => (run(&mut self.hfield.d[..touched], &self.labels), 1),
             Some(rows_per) => {
                 let count = rows.div_ceil(rows_per);
                 let slots = chunk_slots(&mut self.chunks, count, None);
@@ -390,7 +480,7 @@ impl FusedExecutor {
                 self.hfield.d[..touched]
                     .par_chunks_mut(rows_per * n)
                     .zip(slots.par_iter_mut())
-                    .for_each(|(seg, acc)| acc.changed = broadcast_rows(seg, labels));
+                    .for_each(|(seg, acc)| acc.changed = run(seg, labels));
                 (slots.iter().map(|c| c.changed).sum(), count)
             }
         };
@@ -420,25 +510,144 @@ impl FusedExecutor {
         }
     }
 
+    /// Fused broadcast + filter: generations 1+2 (`members = false`) or
+    /// 5+6 (`members = true`) in one sweep over the square plane — one
+    /// load+store per cell instead of the broadcast's store pass plus the
+    /// filter's load+store pass. SWAR-only, and only reached from the
+    /// batched driver when the post-broadcast intermediate state is
+    /// unobservable (instrumentation off, no validation, no
+    /// single-stepping): per-generation read accounting is not produced
+    /// here. The returned pair carries the two generations' reports with
+    /// the exact `changed` counts the separate passes produce (see
+    /// [`swar::broadcast_filter_neighbor_rows`]).
+    pub(crate) fn broadcast_filter(
+        &mut self,
+        members: bool,
+        par: Option<ParPolicy>,
+    ) -> (KernelReport, KernelReport) {
+        debug_assert!(self.swar, "fused broadcast+filter is a SWAR body");
+        let n = self.n;
+        let wpr = self.hfield.words_per_row;
+        self.labels.clear();
+        {
+            let d = &self.hfield.d;
+            self.labels.extend((0..n).map(|j| d[j * n]));
+        }
+        if members {
+            // Generation 5 leaves D_N untouched, so the mask built here is
+            // the mask generation 6 would have seen after the broadcast.
+            swar::build_member_mask(&mut self.member_mask, &self.hfield.d[n * n..], n, wpr);
+        }
+        let occ = &mut self.occ;
+        let (square, dn) = self.hfield.d.split_at_mut(n * n);
+        let labels = &self.labels;
+        let a = &self.hfield.a;
+        let mask = &self.member_mask;
+        // A uniform label vector (run converged to one component) means no
+        // cell survives generation 2's `lab ≠ C(row)` test: the pair
+        // degenerates to tally + fill. Not applicable to generation 6,
+        // whose `keep` varies by row.
+        let uniform_kill = !members && labels.iter().all(|&l| l == labels[0]);
+        let kill_f_per_row = labels.iter().filter(|&&l| l != INFINITY).count();
+        let run = |seg: &mut [Word], occ_seg: &mut [AdjWord], base_row: usize| {
+            if uniform_kill {
+                let rows = seg.len() / n.max(1);
+                (
+                    swar::broadcast_kill_rows(seg, occ_seg, labels, n, wpr),
+                    rows * kill_f_per_row,
+                )
+            } else if members {
+                swar::broadcast_filter_member_rows(seg, occ_seg, mask, labels, base_row, n, wpr)
+            } else {
+                swar::broadcast_filter_neighbor_rows(seg, occ_seg, a, labels, base_row, n, wpr)
+            }
+        };
+        let ((mut b_changed, f_changed), workers) = match plan_rows(par, n * n, n, n) {
+            None => (run(square, occ, 0), 1),
+            Some(rows_per) => {
+                let count = n.div_ceil(rows_per);
+                // Two tallies per chunk, so the shared `ChunkReport` slots
+                // (one counter) don't fit; `count` is at most the worker
+                // budget, so a fresh accumulator vector is cheap.
+                let mut slots: Vec<(usize, usize)> = vec![(0, 0); count];
+                square
+                    .par_chunks_mut(rows_per * n)
+                    .zip(occ.par_chunks_mut(rows_per * wpr))
+                    .zip(slots.par_iter_mut())
+                    .enumerate()
+                    .for_each(|(ci, ((seg, occ_seg), acc))| {
+                        *acc = run(seg, occ_seg, ci * rows_per);
+                    });
+                (
+                    slots
+                        .iter()
+                        .fold((0, 0), |(b, f), &(cb, cf)| (b + cb, f + cf)),
+                    count,
+                )
+            }
+        };
+        // Generation 1's broadcast also writes the D_N row (saving `C`);
+        // generation 5's leaves D_N on the saved copy.
+        let bcast_rows = if members { n } else { n + 1 };
+        if !members {
+            for (cell, &lab) in dn[..n].iter_mut().zip(labels) {
+                b_changed += usize::from(*cell != lab);
+                *cell = lab;
+            }
+        }
+        // The filter half wrote an exact occupancy plane, exactly as the
+        // separate SWAR filter generation would have.
+        self.occ_valid = true;
+        let bcast = KernelReport {
+            active: bcast_rows * n,
+            reads: (bcast_rows * n) as u64,
+            changed: b_changed,
+            evaluated: bcast_rows * n,
+            workers,
+        };
+        let filter = KernelReport {
+            active: n * n,
+            reads: (n * n) as u64,
+            changed: f_changed,
+            evaluated: n * n,
+            workers,
+        };
+        (bcast, filter)
+    }
+
     /// Generation 2: keep `d = C(col)` only where an edge connects `row` to
     /// `col` and the endpoints are in different components (`d ≠ C(row)`,
     /// with `C(row)` read from `D_N`); else `∞`.
     fn filter_neighbors(&mut self, counting: bool, par: Option<ParPolicy>) -> KernelReport {
         let n = self.n;
+        let wpr = self.hfield.words_per_row;
+        let swar = self.swar;
+        let occ = &mut self.occ;
         let (square, dn) = self.hfield.d.split_at_mut(n * n);
         let a = &self.hfield.a;
+        let run = |seg: &mut [Word], occ_seg: &mut [AdjWord], base_row: usize, dn: &[Word]| {
+            if swar {
+                swar::filter_neighbor_rows(seg, occ_seg, a, dn, base_row, n, wpr)
+            } else {
+                filter_neighbor_rows(seg, a, dn, base_row, n, wpr)
+            }
+        };
         let (changed, workers) = match plan_rows(par, n * n, n, n) {
-            None => (filter_neighbor_rows(square, a, dn, 0, n), 1),
+            None => (run(square, occ, 0, dn), 1),
             Some(rows_per) => {
                 let count = n.div_ceil(rows_per);
                 let slots = chunk_slots(&mut self.chunks, count, None);
                 let dn = &dn[..];
+                // The occupancy plane is row-partitioned exactly like the
+                // square plane, so chunks stay disjoint (and untouched by
+                // the scalar bodies).
                 square
                     .par_chunks_mut(rows_per * n)
+                    .zip(occ.par_chunks_mut(rows_per * wpr))
                     .zip(slots.par_iter_mut())
                     .enumerate()
-                    .for_each(|(ci, (seg, acc))| {
-                        acc.changed = filter_neighbor_rows(seg, a, dn, ci * rows_per, n);
+                    .for_each(|(ci, ((seg, occ_seg), acc))| {
+                        acc.changed = run(seg, occ_seg, ci * rows_per, dn);
                     });
                 (slots.iter().map(|c| c.changed).sum(), count)
             }
@@ -462,8 +671,15 @@ impl FusedExecutor {
     /// (`col ≡ 0 (mod 2^{s+1})`, `col + 2^s < n`) folds in the cell `2^s` to
     /// its right. In place: written and read columns are disjoint, and both
     /// stay inside the cell's own row, so row partitions never alias.
-    fn min_reduce(&mut self, s: u32, counting: bool, par: Option<ParPolicy>) -> KernelReport {
+    fn min_reduce(
+        &mut self,
+        s: u32,
+        counting: bool,
+        occ_valid: bool,
+        par: Option<ParPolicy>,
+    ) -> KernelReport {
         let n = self.n;
+        let wpr = self.hfield.words_per_row;
         let stride = 1usize << s;
         let per_row = if n > stride {
             (n - stride - 1) / (stride << 1) + 1
@@ -471,16 +687,28 @@ impl FusedExecutor {
             0
         };
         let active = n * per_row;
+        let use_occ = self.swar && occ_valid;
+        let occ = &mut self.occ;
         let square = &mut self.hfield.d[..n * n];
+        let run = |seg: &mut [Word], occ_seg: &mut [AdjWord]| {
+            if use_occ {
+                swar::min_reduce_rows_occ(seg, occ_seg, stride, n, wpr)
+            } else if self.swar {
+                swar::min_reduce_rows(seg, stride, n)
+            } else {
+                min_reduce_rows(seg, stride, n)
+            }
+        };
         let (changed, workers) = match plan_rows(par, active, n, n) {
-            None => (min_reduce_rows(square, stride, n), 1),
+            None => (run(square, occ), 1),
             Some(rows_per) => {
                 let count = n.div_ceil(rows_per);
                 let slots = chunk_slots(&mut self.chunks, count, None);
                 square
                     .par_chunks_mut(rows_per * n)
+                    .zip(occ.par_chunks_mut(rows_per * wpr))
                     .zip(slots.par_iter_mut())
-                    .for_each(|(seg, acc)| acc.changed = min_reduce_rows(seg, stride, n));
+                    .for_each(|((seg, occ_seg), acc)| acc.changed = run(seg, occ_seg));
                 (slots.iter().map(|c| c.changed).sum(), count)
             }
         };
@@ -534,19 +762,37 @@ impl FusedExecutor {
     /// differs from `row`; else `∞`.
     fn filter_members(&mut self, counting: bool, par: Option<ParPolicy>) -> KernelReport {
         let n = self.n;
+        let wpr = self.hfield.words_per_row;
+        let swar = self.swar;
+        if swar {
+            // One O(n) pass turns the n² membership tests into a packed
+            // row mask the word-walk can zero-skip (built before the plane
+            // split: D_N is read-only for this generation).
+            swar::build_member_mask(&mut self.member_mask, &self.hfield.d[n * n..], n, wpr);
+        }
+        let mask = &self.member_mask;
+        let occ = &mut self.occ;
         let (square, dn) = self.hfield.d.split_at_mut(n * n);
+        let run = |seg: &mut [Word], occ_seg: &mut [AdjWord], base_row: usize, dn: &[Word]| {
+            if swar {
+                swar::filter_member_rows(seg, occ_seg, mask, base_row, n, wpr)
+            } else {
+                filter_member_rows(seg, dn, base_row, n)
+            }
+        };
         let (changed, workers) = match plan_rows(par, n * n, n, n) {
-            None => (filter_member_rows(square, dn, 0, n), 1),
+            None => (run(square, occ, 0, dn), 1),
             Some(rows_per) => {
                 let count = n.div_ceil(rows_per);
                 let slots = chunk_slots(&mut self.chunks, count, None);
                 let dn = &dn[..];
                 square
                     .par_chunks_mut(rows_per * n)
+                    .zip(occ.par_chunks_mut(rows_per * wpr))
                     .zip(slots.par_iter_mut())
                     .enumerate()
-                    .for_each(|(ci, (seg, acc))| {
-                        acc.changed = filter_member_rows(seg, dn, ci * rows_per, n);
+                    .for_each(|(ci, ((seg, occ_seg), acc))| {
+                        acc.changed = run(seg, occ_seg, ci * rows_per, dn);
                     });
                 (slots.iter().map(|c| c.changed).sum(), count)
             }
@@ -574,8 +820,13 @@ impl FusedExecutor {
     fn copy_and_save_t(&mut self, counting: bool, par: Option<ParPolicy>) -> KernelReport {
         let n = self.n;
         let (square, dn) = self.hfield.d.split_at_mut(n * n);
+        let run: fn(&mut [Word], &mut [Word], usize) -> usize = if self.swar {
+            swar::copy_save_rows
+        } else {
+            copy_save_rows
+        };
         let (changed, workers) = match plan_rows(par, n * n, n, n) {
-            None => (copy_save_rows(square, dn, n), 1),
+            None => (run(square, dn, n), 1),
             Some(rows_per) => {
                 let count = n.div_ceil(rows_per);
                 let slots = chunk_slots(&mut self.chunks, count, None);
@@ -583,7 +834,7 @@ impl FusedExecutor {
                     .par_chunks_mut(rows_per * n)
                     .zip(dn[..n].par_chunks_mut(rows_per))
                     .zip(slots.par_iter_mut())
-                    .for_each(|((seg, dns), acc)| acc.changed = copy_save_rows(seg, dns, n));
+                    .for_each(|((seg, dns), acc)| acc.changed = run(seg, dns, n));
                 (slots.iter().map(|c| c.changed).sum(), count)
             }
         };
@@ -813,18 +1064,18 @@ fn broadcast_rows(seg: &mut [Word], labels: &[Word]) -> usize {
 /// immutable adjacency plane — both disjoint from the square writes.
 fn filter_neighbor_rows(
     seg: &mut [Word],
-    a: &[u64],
+    a: &[AdjWord],
     dn: &[Word],
     base_row: usize,
     n: usize,
+    wpr: usize,
 ) -> usize {
     let mut changed = 0;
     for (r, row) in seg.chunks_mut(n).enumerate() {
         let row_idx = base_row + r;
         let c_row = dn[row_idx];
-        let bit_base = row_idx * n;
         for (col, cell) in row.iter_mut().enumerate() {
-            if !(a_bit(a, bit_base + col) && *cell != c_row) {
+            if !(a_bit(a, wpr, row_idx, col) && *cell != c_row) {
                 changed += usize::from(*cell != INFINITY);
                 *cell = INFINITY;
             }
@@ -1014,6 +1265,56 @@ mod tests {
         assert_eq!(plan_rows(Some(auto), 4096, 64, 64), None);
         // 1024 rows of width 1024: 8 chunks of 128 rows each.
         assert_eq!(plan_rows(Some(auto), 1 << 20, 1024, 1024), Some(128));
+    }
+
+    #[test]
+    fn swar_kernels_match_scalar_on_multiword_rows() {
+        // n = 70 exercises wpr = 2 adjacency words per row plus a zero
+        // tail — geometry the n ≤ 64 property corpus cannot reach.
+        let n = 70usize;
+        let g = gca_graphs::generators::gnp(n, 0.13, 99);
+        let layout = crate::Layout::new(n).unwrap();
+        let field = layout.build_field(&g).unwrap();
+
+        let mut scalar = FusedExecutor::new(n);
+        let mut swar_exec = FusedExecutor::new(n);
+        swar_exec.set_swar(true);
+        scalar.load(&field);
+        swar_exec.load(&field);
+
+        for (generation, &(phase, sub)) in [
+            (Gen::Init, 0u32),
+            (Gen::BroadcastC, 0),
+            (Gen::FilterNeighbors, 0),
+            (Gen::MinReduce, 0),
+            (Gen::MinReduce, 1),
+            (Gen::MinReduce, 3),
+            (Gen::MinReduce, 6),
+            (Gen::ResolveIsolated, 0),
+            (Gen::BroadcastT, 0),
+            (Gen::FilterMembers, 0),
+            (Gen::MinReduceMembers, 0),
+            (Gen::ResolveMembers, 0),
+            (Gen::CopyAndSaveT, 0),
+            (Gen::PointerJump, 0),
+            (Gen::FinalMin, 0),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let ctx = StepCtx {
+                generation: generation as u64,
+                phase: phase.number(),
+                subgeneration: sub,
+            };
+            let a = scalar.step(&ctx, true, None).unwrap();
+            let b = swar_exec.step(&ctx, true, None).unwrap();
+            assert_eq!(scalar.hfield.d, swar_exec.hfield.d, "{phase:?}/{sub} plane");
+            assert_eq!(a.active, b.active, "{phase:?}/{sub} active");
+            assert_eq!(a.reads, b.reads, "{phase:?}/{sub} reads");
+            assert_eq!(a.changed, b.changed, "{phase:?}/{sub} changed");
+            assert_eq!(scalar.reads(), swar_exec.reads(), "{phase:?}/{sub} hist");
+        }
     }
 
     #[test]

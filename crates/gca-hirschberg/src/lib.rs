@@ -51,6 +51,7 @@ pub mod kernels;
 mod layout;
 mod phase;
 mod rule;
+mod swar;
 pub mod table1;
 pub mod timing;
 pub mod variants;
@@ -58,7 +59,8 @@ pub mod variants;
 pub use algorithm::{connected_components, Convergence, GcaRun, HirschbergGca, Machine};
 pub use batch::{BatchReport, BatchRunner, BatchStats};
 pub use cell::HCell;
-pub use kernels::{ExecPath, FusedParallel};
+pub use kernels::{ExecPath, FusedParallel, FusedSwar};
 pub use layout::Layout;
+pub use swar::SwarSchedule;
 pub use phase::{iteration_schedule, Gen};
 pub use rule::HirschbergRule;

@@ -6,7 +6,9 @@ use gca_engine::{Engine, Instrumentation, INFINITY};
 use gca_graphs::connectivity::union_find_components_dense;
 use gca_graphs::AdjacencyMatrix;
 use gca_hirschberg::variants::{low_congestion, n_cells};
-use gca_hirschberg::{complexity, iteration_schedule, Gen, HirschbergGca, Machine};
+use gca_hirschberg::{
+    complexity, iteration_schedule, ExecPath, Gen, HirschbergGca, Machine,
+};
 use proptest::prelude::*;
 
 fn arb_graph(min_n: usize, max_n: usize) -> impl Strategy<Value = AdjacencyMatrix> {
@@ -163,6 +165,45 @@ proptest! {
             if m.ctx.phase == 2 || m.ctx.phase == 5 {
                 prop_assert!(m.max_congestion <= 1);
             }
+        }
+    }
+
+    /// Three-way execution-path identity: generic, fused, SWAR and
+    /// parallel fused agree on labels, generation counts AND full
+    /// `Counts` metric logs on arbitrary graphs up to one word (n ≤ 64
+    /// exercises the packed plane's tail-bit handling). Under `Off` the
+    /// SWAR driver additionally runs its fused broadcast+filter pair and
+    /// uniform-label shortcut, which the labels must not observe.
+    #[test]
+    fn exec_paths_agree_on_labels_and_metrics(g in arb_graph(2, 64)) {
+        let run = |exec: ExecPath, instrumentation: Instrumentation| {
+            HirschbergGca::new()
+                .with_engine(
+                    Engine::sequential().with_instrumentation(instrumentation),
+                )
+                .exec(exec)
+                .run(&g)
+                .unwrap()
+        };
+        let expected = union_find_components_dense(&g);
+        let generic = run(ExecPath::Generic, Instrumentation::Counts);
+        prop_assert_eq!(generic.labels.as_slice(), expected.as_slice());
+        for exec in [
+            ExecPath::Fused,
+            ExecPath::fused_swar(),
+            ExecPath::fused_parallel(2),
+        ] {
+            let counted = run(exec, Instrumentation::Counts);
+            prop_assert_eq!(counted.labels.as_slice(), expected.as_slice());
+            prop_assert_eq!(counted.generations, generic.generations);
+            prop_assert_eq!(
+                counted.metrics.entries(),
+                generic.metrics.entries(),
+                "metric divergence under {:?}",
+                exec
+            );
+            let off = run(exec, Instrumentation::Off);
+            prop_assert_eq!(off.labels.as_slice(), expected.as_slice());
         }
     }
 

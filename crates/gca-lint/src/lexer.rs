@@ -13,8 +13,11 @@ pub enum TokenKind {
     Ident(String),
     /// A single punctuation character.
     Punct(char),
-    /// Any literal (string, raw string, byte string, char, number).
+    /// A textual literal (string, raw string, byte string, char).
     Literal,
+    /// A numeric literal, with its source text (suffix included, so
+    /// `1u64` is distinguishable from `1`).
+    Number(String),
     /// A lifetime such as `'a`.
     Lifetime,
 }
@@ -45,6 +48,14 @@ impl Token {
     /// Is this token exactly the punctuation `c`?
     pub fn is_punct(&self, c: char) -> bool {
         self.kind == TokenKind::Punct(c)
+    }
+
+    /// The numeric literal's source text, if this token is one.
+    pub fn number(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Number(s) => Some(s),
+            _ => None,
+        }
     }
 }
 
@@ -247,9 +258,10 @@ pub fn lex(source: &str) -> LexedFile {
                         break;
                     }
                 }
+                let text: String = chars[i..j].iter().collect();
                 i = j;
                 out.tokens.push(Token {
-                    kind: TokenKind::Literal,
+                    kind: TokenKind::Number(text),
                     line: start_line,
                 });
             }
@@ -408,6 +420,16 @@ mod tests {
             .find(|t| t.is_ident("b"))
             .expect("token b");
         assert_eq!(b.line, 6);
+    }
+
+    #[test]
+    fn number_literals_keep_their_text_and_suffix() {
+        let nums: Vec<String> = lex("let x = 1u64 << 6; let y = 0xFF & 63;")
+            .tokens
+            .iter()
+            .filter_map(|t| t.number().map(str::to_string))
+            .collect();
+        assert_eq!(nums, ["1u64", "6", "0xFF", "63"]);
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //!    DESIGN.md).
 //! 3. **truncating-cast** — the hot-path files (`kernels.rs`,
 //!    `engine.rs`) contain no narrowing `as` casts.
+//! 4. **word-width** — outside `word.rs`, no hard-coded 64/63 word-width
+//!    arithmetic over the bit-packed adjacency plane: the packed word
+//!    width is `word.rs`'s secret, and everything else phrases lane math
+//!    through `WORD_BITS` / `AdjWord`.
 //!
 //! There is no `syn` in the vendored dependency set, so the linter lexes
 //! Rust by hand ([`lexer`]) — token-level matching is sufficient for the
@@ -106,6 +110,7 @@ pub fn classify(rel_path: &str, has_lib: bool) -> FileClass {
     FileClass {
         library,
         hot_path: matches!(file_name, "kernels.rs" | "engine.rs"),
+        word_home: file_name == "word.rs",
     }
 }
 
@@ -201,41 +206,46 @@ mod tests {
     fn classification_separates_lib_bin_and_hot_paths() {
         assert_eq!(
             classify("crates/x/src/lib.rs", true),
-            FileClass { library: true, hot_path: false }
+            FileClass { library: true, hot_path: false, word_home: false }
         );
         assert_eq!(
             classify("crates/x/src/bin/tool.rs", true),
-            FileClass { library: false, hot_path: false }
+            FileClass { library: false, hot_path: false, word_home: false }
         );
         assert_eq!(
             classify("crates/x/src/main.rs", false),
-            FileClass { library: false, hot_path: false }
+            FileClass { library: false, hot_path: false, word_home: false }
         );
         assert_eq!(
             classify("crates/x/src/kernels.rs", true),
-            FileClass { library: true, hot_path: true }
+            FileClass { library: true, hot_path: true, word_home: false }
         );
         assert_eq!(
             classify("crates/gca-engine/src/engine.rs", true),
-            FileClass { library: true, hot_path: true }
+            FileClass { library: true, hot_path: true, word_home: false }
+        );
+        assert_eq!(
+            classify("crates/gca-engine/src/word.rs", true),
+            FileClass { library: true, hot_path: false, word_home: true }
         );
     }
 
     #[test]
     fn lint_source_reports_seeded_violations() {
-        let class = FileClass { library: true, hot_path: true };
-        let src = "fn f(x: u64) { x.unwrap(); let y = x as u32; }\n\
+        let class = FileClass { library: true, hot_path: true, word_home: false };
+        let src = "fn f(x: u64) { x.unwrap(); let y = x as u32; let w = x & 63; }\n\
                    impl GcaRule for R { fn g(&self, f: &CellField<u32>) {} }";
         let (v, _) = lint_source("seeded.rs", src, class);
         let rules: Vec<RuleId> = v.iter().map(|v| v.rule).collect();
         assert!(rules.contains(&RuleId::NoUnwrap), "{v:?}");
         assert!(rules.contains(&RuleId::TruncatingCast), "{v:?}");
         assert!(rules.contains(&RuleId::RuleFieldAccess), "{v:?}");
+        assert!(rules.contains(&RuleId::WordWidth), "{v:?}");
     }
 
     #[test]
     fn violations_render_with_location() {
-        let class = FileClass { library: true, hot_path: false };
+        let class = FileClass { library: true, hot_path: false, word_home: false };
         let (v, _) = lint_source("crates/x/src/lib.rs", "fn f() { x.unwrap(); }", class);
         assert_eq!(v.len(), 1);
         let line = v[0].to_string();

@@ -18,6 +18,14 @@
 //!   (`.states()`, `.states_mut()`, `.get_unchecked()`) would bypass the
 //!   CROW/read-snapshot contract the engine's fast paths are verified
 //!   against.
+//! * [`RuleId::WordWidth`] — outside `word.rs` (the one module allowed to
+//!   know the packed-adjacency word is a `u64`), no hard-coded 64/63
+//!   word-width arithmetic: `x & 63`, `i / 64`, `i % 64`, shifts by the
+//!   literal width, `div_ceil(64)` and `u64`-suffixed literals built for
+//!   shifting must all be phrased through `WORD_BITS` / `AdjWord` so a
+//!   future word-width change stays a one-file edit. Using `u64` as a
+//!   *type* (`Vec<u64>`, `[u64; N]`, `as u64`) is legal — the rule targets
+//!   width arithmetic, not storage declarations.
 //!
 //! Test code (`#[cfg(test)]` items, `#[test]` functions) is exempt from
 //! every rule; single sites are suppressed with an inline
@@ -36,14 +44,17 @@ pub enum RuleId {
     TruncatingCast,
     /// Raw cell-state access inside `GcaRule` implementations.
     RuleFieldAccess,
+    /// Hard-coded 64/63 word-width arithmetic outside `word.rs`.
+    WordWidth,
 }
 
 impl RuleId {
     /// Every shipped rule.
-    pub const ALL: [RuleId; 3] = [
+    pub const ALL: [RuleId; 4] = [
         RuleId::NoUnwrap,
         RuleId::TruncatingCast,
         RuleId::RuleFieldAccess,
+        RuleId::WordWidth,
     ];
 
     /// The rule's kebab-case name (as used in `lint.toml` and inline
@@ -53,6 +64,7 @@ impl RuleId {
             RuleId::NoUnwrap => "no-unwrap",
             RuleId::TruncatingCast => "truncating-cast",
             RuleId::RuleFieldAccess => "rule-field-access",
+            RuleId::WordWidth => "word-width",
         }
     }
 
@@ -78,6 +90,10 @@ pub struct FileClass {
     /// A hot-path file ([`RuleId::TruncatingCast`] applies): `kernels.rs`
     /// or `engine.rs`.
     pub hot_path: bool,
+    /// The word-definition module (`word.rs`) — the one file allowed to
+    /// spell out the packed-adjacency word width, so
+    /// [`RuleId::WordWidth`] does not apply.
+    pub word_home: bool,
 }
 
 /// One rule violation at one source location.
@@ -237,6 +253,18 @@ const NARROW_TYPES: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
 /// The `CellField` raw accessors a rule impl must not call.
 const RAW_STATE_ACCESSORS: [&str; 3] = ["states", "states_mut", "get_unchecked"];
 
+/// Does this numeric literal spell the packed word width (64) or its
+/// lane mask (63)? Suffixes (`64usize`) and digit separators are ignored;
+/// `640` is not a width.
+fn is_width_literal(num: &str) -> bool {
+    let digits: String = num
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '_')
+        .filter(|c| *c != '_')
+        .collect();
+    digits == "64" || digits == "63"
+}
+
 /// Runs every applicable rule over one lexed file. `file` is the
 /// workspace-relative path used in reports; inline
 /// `gca-lint: allow(rule)` comments (same line or the line above the
@@ -291,6 +319,67 @@ pub fn check_file(file: &str, lexed: &LexedFile, class: FileClass) -> (Vec<Viola
                         ),
                     });
                 }
+            }
+        }
+    }
+
+    if !class.word_home {
+        for i in 0..tokens.len() {
+            if in_test[i] {
+                continue;
+            }
+            // `1u64 << lane` — a literal whose suffix bakes in the
+            // adjacency word type, built for shifting.
+            if tokens[i].number().is_some_and(|n| n.ends_with("u64"))
+                && tokens.get(i + 1).is_some_and(|t| t.is_punct('<'))
+                && tokens.get(i + 2).is_some_and(|t| t.is_punct('<'))
+            {
+                raw.push(Violation {
+                    rule: RuleId::WordWidth,
+                    file: file.to_string(),
+                    line: tokens[i].line,
+                    message: "u64-suffixed literal built for shifting assumes the adjacency \
+                              word type — spell it as `AdjWord` / phrase the shift via WORD_BITS"
+                        .to_string(),
+                });
+            }
+            let Some(num) = tokens[i].number() else {
+                continue;
+            };
+            if !is_width_literal(num) {
+                continue;
+            }
+            // `n.div_ceil(64)` — words-per-row arithmetic.
+            let div_ceil_arg = i >= 2
+                && tokens[i - 1].is_punct('(')
+                && tokens[i - 2].is_ident("div_ceil");
+            // `i / 64`, `i % 64`, `lane & 63`, `x ^ 64`, `x | 64` with a
+            // real left operand (so closure heads like `|_| 64` and
+            // references stay legal), and shifts by the width
+            // (`<<`/`>>` lex as two puncts).
+            let shift = i >= 2
+                && ((tokens[i - 1].is_punct('<') && tokens[i - 2].is_punct('<'))
+                    || (tokens[i - 1].is_punct('>') && tokens[i - 2].is_punct('>')));
+            let operand_before = i >= 2
+                && (tokens[i - 2].is_punct(')')
+                    || tokens[i - 2].is_punct(']')
+                    || tokens[i - 2].number().is_some()
+                    || tokens[i - 2].ident().is_some_and(|id| id != "_"));
+            let arith_op = i >= 1
+                && (tokens[i - 1].is_punct('/')
+                    || tokens[i - 1].is_punct('%')
+                    || (operand_before
+                        && ['&', '|', '^'].iter().any(|&c| tokens[i - 1].is_punct(c))));
+            if div_ceil_arg || shift || arith_op {
+                raw.push(Violation {
+                    rule: RuleId::WordWidth,
+                    file: file.to_string(),
+                    line: tokens[i].line,
+                    message: format!(
+                        "hard-coded word width `{num}` — phrase it via WORD_BITS \
+                         (word.rs is the only module that knows the packed width)"
+                    ),
+                });
             }
         }
     }
@@ -357,10 +446,12 @@ mod tests {
     const LIB: FileClass = FileClass {
         library: true,
         hot_path: false,
+        word_home: false,
     };
     const HOT: FileClass = FileClass {
         library: true,
         hot_path: true,
+        word_home: false,
     };
 
     fn violations(src: &str, class: FileClass) -> Vec<Violation> {
@@ -412,8 +503,53 @@ mod tests {
         let bin = FileClass {
             library: false,
             hot_path: false,
+            word_home: false,
         };
         assert!(violations("fn main() { x.unwrap(); }", bin).is_empty());
+    }
+
+    #[test]
+    fn word_width_arithmetic_is_flagged() {
+        for src in [
+            "fn f(i: usize) -> usize { i / 64 }",
+            "fn f(i: usize) -> usize { i % 64 }",
+            "fn f(i: usize) -> usize { i & 63 }",
+            "fn f(i: u64) -> u64 { i >> 64 }",
+            "fn f(n: usize) -> usize { n.div_ceil(64) }",
+            "fn f(lane: u32) -> u64 { 1u64 << lane }",
+            "fn f(xs: &[u32]) -> usize { xs[0] & 63 }",
+        ] {
+            let v = violations(src, LIB);
+            assert_eq!(v.len(), 1, "{src}: {v:?}");
+            assert_eq!(v[0].rule, RuleId::WordWidth, "{src}");
+        }
+    }
+
+    #[test]
+    fn word_width_type_and_value_uses_are_legal() {
+        for src in [
+            "fn f() -> Vec<u64> { Vec::new() }",
+            "fn f(x: [u64; 64]) -> u64 { x[0] as u64 }",
+            "const SIZES: [usize; 2] = [64, 256];",
+            "fn f() { g(64); let n = 64; }",
+            "fn f(xs: &[u32]) -> u32 { xs.iter().map(|_| 64).sum() }",
+            "fn f(x: u64) -> u64 { x / 640 }",
+            "fn f(x: u64) -> u64 { x << 6 }",
+        ] {
+            assert!(violations(src, LIB).is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn word_home_is_exempt_from_word_width() {
+        let word_home = FileClass {
+            library: true,
+            hot_path: false,
+            word_home: true,
+        };
+        let src = "pub fn word_of(i: usize) -> usize { i / 64 }";
+        assert!(violations(src, word_home).is_empty());
+        assert_eq!(violations(src, LIB).len(), 1);
     }
 
     #[test]

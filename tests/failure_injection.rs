@@ -507,7 +507,11 @@ fn modelcheck_layer_detects_each_seeded_fault_class() {
 fn lint_layer_detects_a_seeded_violation_of_each_rule() {
     use gca_lint::{lint_source, FileClass, RuleId};
 
-    let class = FileClass { library: true, hot_path: true };
+    let class = FileClass {
+        library: true,
+        hot_path: true,
+        word_home: false,
+    };
     let seeded = [
         (RuleId::NoUnwrap, "fn f() { x.unwrap(); }"),
         (RuleId::TruncatingCast, "fn f(x: u64) -> u32 { x as u32 }"),
@@ -515,6 +519,8 @@ fn lint_layer_detects_a_seeded_violation_of_each_rule() {
             RuleId::RuleFieldAccess,
             "impl GcaRule for R { fn g(&self, f: &F) { f.states_mut(); } }",
         ),
+        (RuleId::WordWidth, "fn f(i: usize) -> usize { i / 64 }"),
+        (RuleId::WordWidth, "fn f(lane: u32) -> u64 { 1u64 << lane }"),
     ];
     for (rule, src) in seeded {
         let (violations, _) = lint_source("seeded.rs", src, class);
