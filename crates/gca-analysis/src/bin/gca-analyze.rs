@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! gca-analyze [n ...] [--isa] [--schedule] [--symbolic] [--modelcheck]
-//!             [--lint] [--modelcheck-max-n N] [--lint-root DIR]
+//!             [--lanes] [--partition] [--lint]
+//!             [--modelcheck-max-n N] [--lint-root DIR]
 //! ```
 //!
 //! With no layer flag, every layer runs (sizes default to 8 16 32):
@@ -17,6 +18,17 @@
 //!   check *is* parametric, and never executes the machine);
 //! * `--modelcheck` — bounded-exhaustive run over **all** graphs on up to
 //!   `--modelcheck-max-n` (default 6) vertices;
+//! * `--lanes`      — lane-level SWAR verification: source-coverage
+//!   closure, exhaustive per-lane formula proofs, word-level harness
+//!   runs against the scalar kernels, and the occupancy-plane abstract
+//!   interpreter over the fused phase schedule (size arguments do not
+//!   apply — the lane proofs are width-parametric and the schedule walk
+//!   enumerates its own sizes);
+//! * `--partition`  — the partition-disjointness prover: the exact
+//!   `plan_rows` planner enumerated over every kernel geometry,
+//!   `n = 2^k (k ≤ 16)` × workers `1..=64` × threshold settings,
+//!   proving chunk intervals disjoint, exactly covering, and histogram
+//!   merges alias-free;
 //! * `--lint`       — the `gca-lint` workspace linter over
 //!   `--lint-root` (default `.`), honoring its `lint.toml`.
 //!
@@ -196,11 +208,66 @@ fn run_modelcheck(max_n: usize, seeded: bool) {
     }
 }
 
+fn run_lanes(seeded: bool) {
+    println!("lane-level SWAR verification:");
+    if seeded {
+        match gca_analysis::lanes::verify_seeded() {
+            // Detecting the seeded sign-slip IS the expected outcome —
+            // and still a nonzero exit, which is what the CI contract
+            // test asserts.
+            Some(m) => fail(&format!("lanes: seeded fault detected: {m}")),
+            None => fail("lanes: seeded fault escaped the verifier"),
+        }
+    }
+    let coverage = match gca_analysis::lanes::check_coverage() {
+        Ok(c) => c,
+        Err(e) => fail(&format!("lanes: {e}")),
+    };
+    match gca_analysis::lanes::verify() {
+        Ok(report) => println!(
+            "  {} formulas proven over {} lane states ({} dense selects, {} occupancy \
+             masks covered); {} word-level rows compared",
+            report.formulas,
+            report.lane_states,
+            coverage.dense_sites,
+            coverage.occ_sites,
+            report.word_rows,
+        ),
+        Err(m) => fail(&format!("lanes: {m}")),
+    }
+    match gca_analysis::occupancy::verify() {
+        Ok(report) => println!(
+            "  occupancy plane exact across {} schedule steps ({} sizes, {} guided \
+             consumes proven, {} concrete windows replayed)",
+            report.steps, report.sizes, report.consumes_proven, report.concrete_windows,
+        ),
+        Err(f) => fail(&format!("lanes: {f}")),
+    }
+}
+
+fn run_partition(seeded: bool) {
+    println!("partition-disjointness proof:");
+    if seeded {
+        match gca_analysis::partition::verify_seeded() {
+            Some(f) => fail(&format!("partition: seeded fault detected: {f}")),
+            None => fail("partition: seeded overlap escaped the prover"),
+        }
+    }
+    match gca_analysis::partition::verify() {
+        Ok(report) => println!(
+            "  {} planner configurations × {} kernel geometries proven disjoint \
+             ({} parallel plans, {} histogram targets)",
+            report.configs, report.geometries, report.parallel_plans, report.hist_targets,
+        ),
+        Err(f) => fail(&format!("partition: {f}")),
+    }
+}
+
 fn run_lint(root: &Path, seeded: bool) {
     println!("workspace lint ({}):", root.display());
     if seeded {
         // Seeded fault: a snippet violating the no-unwrap rule.
-        let class = FileClass { library: true, hot_path: false, word_home: false };
+        let class = FileClass { library: true, hot_path: false, word_home: false, kernel: false };
         let (violations, _) =
             gca_lint::lint_source("seeded.rs", "fn f() { x.unwrap(); }", class);
         if let Some(v) = violations.first() {
@@ -239,7 +306,8 @@ fn main() {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--isa" | "--schedule" | "--symbolic" | "--modelcheck" | "--lint" => {
+            "--isa" | "--schedule" | "--symbolic" | "--modelcheck" | "--lanes"
+            | "--partition" | "--lint" => {
                 layers.push(args[i].trim_start_matches("--").to_string());
             }
             "--modelcheck-max-n" => {
@@ -278,7 +346,9 @@ fn main() {
     let on = |layer: &str| all || layers.iter().any(|l| l == layer);
     let fault_for = |layer: &str| seed_fault.as_deref() == Some(layer);
     if let Some(f) = &seed_fault {
-        if !["isa", "schedule", "symbolic", "modelcheck", "lint"].contains(&f.as_str()) {
+        if !["isa", "schedule", "symbolic", "modelcheck", "lanes", "partition", "lint"]
+            .contains(&f.as_str())
+        {
             fail(&format!("unknown --seed-fault layer {f:?}"));
         }
     }
@@ -299,6 +369,12 @@ fn main() {
     }
     if on("modelcheck") {
         run_modelcheck(modelcheck_max_n, fault_for("modelcheck"));
+    }
+    if on("lanes") {
+        run_lanes(fault_for("lanes"));
+    }
+    if on("partition") {
+        run_partition(fault_for("partition"));
     }
     if on("lint") {
         run_lint(&lint_root, fault_for("lint"));

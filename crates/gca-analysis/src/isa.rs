@@ -386,10 +386,12 @@ pub fn analyze(
             }
             Instr::Load { reg, addr } => {
                 let addrs = resolve(*addr, &regs, procs);
-                let reads = if addrs.iter().all(Option::is_some) {
+                // `collect` over `Option`s yields `Some` only when every
+                // per-processor address is statically known.
+                let known: Option<Vec<Value>> = addrs.iter().copied().collect();
+                let reads = if let Some(known) = known {
                     let mut per_cell = BTreeMap::new();
-                    for (p, a) in addrs.iter().enumerate() {
-                        let a = a.expect("checked all-known");
+                    for (p, a) in known.into_iter().enumerate() {
                         if a >= memory as Value {
                             return Err(AnalysisError::LoadOutOfRange {
                                 instr: idx,

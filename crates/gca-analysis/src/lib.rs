@@ -33,7 +33,21 @@
 //! * [`modelcheck`] — bounded-exhaustive model checking over **all**
 //!   graphs on small vertex counts: predicted termination generation,
 //!   label canonicity against union-find, and fixed-point soundness of
-//!   [`gca_hirschberg::Convergence::Detect`].
+//!   [`gca_hirschberg::Convergence::Detect`];
+//! * [`lanes`] — a bitvector micro-IR that lifts every branch-free SWAR
+//!   formula in [`gca_hirschberg::swar`] into a symbolic lane expression
+//!   and verifies it exhaustively per lane against the scalar row-range
+//!   kernels, plus a word-level harness covering boundary and
+//!   partial-tail masks ([`lanes::LaneMismatch`] on first divergence);
+//! * [`mod@occupancy`] — an abstract interpreter over the fused phase
+//!   schedule proving the occupancy bit-plane stays *exact* across every
+//!   kernel, which is what justifies the
+//!   [`gca_hirschberg::swar::min_reduce_rows_occ`] dead-word skip;
+//! * [`mod@partition`] — an enumeration of the exact
+//!   [`gca_hirschberg::kernels::plan_rows`] planner over every kernel
+//!   geometry proving the `par_chunks_mut` write intervals are pairwise
+//!   disjoint, exactly cover the field, and that per-chunk histogram
+//!   merges never alias ([`partition::PartitionFault`] otherwise).
 //!
 //! The `gca-analyze` binary runs every layer (plus the `gca-lint`
 //! workspace linter) over every shipped program and is wired into CI.
@@ -43,11 +57,18 @@
 
 pub mod activity;
 pub mod isa;
+pub mod lanes;
 pub mod modelcheck;
+pub mod occupancy;
+pub mod partition;
 pub mod schedule;
 pub mod symbolic;
 
 pub use activity::{activity, live_subgenerations, min_reduce_folds_per_row, swar_schedule};
+
+pub use lanes::{CoverageReport, LaneFormula, LaneMismatch, LaneReport, LaneState};
+pub use occupancy::{OccupancyFault, OccupancyReport, PlaneState};
+pub use partition::{PartitionFault, PartitionReport};
 
 pub use isa::{analyze, AnalysisError, CrossCheckMismatch, GenPrediction, IsaAnalysis, ReadPrediction, StoreProof};
 pub use modelcheck::{check_all, ModelCheckError, ModelCheckReport, ModelCheckViolation};

@@ -163,6 +163,8 @@ fn ctx_for(gen: Gen, sub: u32) -> StepCtx {
 /// cell data — that would break the derivation's premise (it cannot happen
 /// for the shipped rule; the enumeration double-checks it).
 pub fn derive_row(n: usize, gen: Gen, sub: u32) -> ScheduleRow {
+    // Documented-panic premise (see the function docs): the derivation is
+    // only defined for sizes Layout accepts. gca-lint: allow(no-unwrap)
     let layout = Layout::new(n).expect("valid problem size");
     let shape = *layout.shape();
     let rule = HirschbergRule::new(n);
@@ -264,6 +266,8 @@ pub fn check_claims(n: usize, claims: Vec<PaperClaim>) -> Vec<ClaimCheck> {
     claims
         .into_iter()
         .map(|claim| {
+            // Claim tables enumerate the paper's phases 1..=8; a bad row is
+            // a bug in the table literal itself. gca-lint: allow(no-unwrap)
             let gen = Gen::from_number(claim.generation).expect("table rows are valid phases");
             let derived = derive_row(n, gen, 0);
             let mut claim_groups: Vec<(u64, u64)> = claim
@@ -294,7 +298,12 @@ pub fn check_claims(n: usize, claims: Vec<PaperClaim>) -> Vec<ClaimCheck> {
 /// This is the compile-time counterpart of the runtime sanitizer
 /// ([`gca_engine::Instrumentation::Validate`]): the sanitizer checks the
 /// states that actually occur, this check covers all admissible ones.
+///
+/// # Panics
+/// Panics if `n` is not a size [`Layout`] accepts.
 pub fn verify_domain_hints(n: usize) -> Result<(), HintViolation> {
+    // Documented-panic premise (see the function docs): the derivation is
+    // only defined for sizes Layout accepts. gca-lint: allow(no-unwrap)
     let layout = Layout::new(n).expect("valid problem size");
     let shape = *layout.shape();
     let rule = HirschbergRule::new(n);

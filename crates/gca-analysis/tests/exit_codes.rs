@@ -74,6 +74,18 @@ fn modelcheck_layer_exit_codes() {
 }
 
 #[test]
+fn lanes_layer_exit_codes() {
+    assert_clean(&["--lanes"]);
+    assert_fails(&["--lanes", "--seed-fault", "lanes"], "lane mismatch");
+}
+
+#[test]
+fn partition_layer_exit_codes() {
+    assert_clean(&["--partition"]);
+    assert_fails(&["--partition", "--seed-fault", "partition"], "overlap");
+}
+
+#[test]
 fn lint_layer_exit_codes() {
     assert_clean(&["--lint"]);
     assert_fails(&["--lint", "--seed-fault", "lint"], "no-unwrap");

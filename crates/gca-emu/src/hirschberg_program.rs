@@ -294,15 +294,19 @@ fn push_resolve(prog: &mut Program) {
 pub fn connected_components(graph: &AdjacencyMatrix) -> Result<Labeling, EmuError> {
     let n = graph.n();
     if n == 0 {
-        return Ok(Labeling::new(Vec::new()).expect("empty"));
+        return Ok(Labeling::empty());
     }
     let compiled = compile(graph);
     let mut machine = PramOnGca::new(compiled.procs, &compiled.memory, &compiled.owners)?;
     let run = machine.run_program(&compiled.program)?;
-    Ok(
-        Labeling::new(run.memory[..n].iter().map(|&v| v as usize).collect())
-            .expect("labels are node numbers"),
-    )
+    Labeling::new(run.memory[..n].iter().map(|&v| v as usize).collect()).map_err(|e| {
+        EmuError::Gca(match e {
+            gca_graphs::GraphError::NodeOutOfRange { node, n } => {
+                gca_engine::GcaError::BadLabel { label: node, n }
+            }
+            _ => gca_engine::GcaError::BadLabel { label: usize::MAX, n },
+        })
+    })
 }
 
 #[cfg(test)]

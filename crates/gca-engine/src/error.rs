@@ -103,6 +103,15 @@ pub enum GcaError {
         /// Phase tag the generation ran under.
         phase: u32,
     },
+    /// A finished run handed back a component label outside the node
+    /// range — the machine's final state failed the structural validation
+    /// performed when converting it into a graph-layer labeling.
+    BadLabel {
+        /// The out-of-range label value.
+        label: usize,
+        /// Number of nodes the labeling covers.
+        n: usize,
+    },
 }
 
 impl fmt::Display for GcaError {
@@ -163,6 +172,10 @@ impl fmt::Display for GcaError {
                 f,
                 "fused kernel diverged from the reference engine at cell \
                  {cell} in generation {generation} (phase {phase})"
+            ),
+            GcaError::BadLabel { label, n } => write!(
+                f,
+                "run produced label {label} outside the node range 0..{n}"
             ),
         }
     }

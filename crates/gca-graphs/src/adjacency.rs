@@ -84,6 +84,28 @@ impl AdjacencyMatrix {
         Ok(())
     }
 
+    /// Inserts the undirected edge `(u, v)` whose validity the caller has
+    /// already established (both endpoints `< n`, `u != v`). The in-crate
+    /// generators and `permute` construct node indices by arithmetic that
+    /// keeps them in range, so threading a `Result` through them would
+    /// manufacture an error path no input can reach; a genuinely bad index
+    /// still fails loudly via the bit-plane bounds check.
+    #[inline]
+    pub(crate) fn set_edge_unchecked(&mut self, u: usize, v: usize) {
+        debug_assert!(u < self.n && v < self.n && u != v);
+        self.set_bit(u, v, true);
+        self.set_bit(v, u, true);
+    }
+
+    /// Removes the undirected edge `(u, v)` under the same already-validated
+    /// premise as [`AdjacencyMatrix::set_edge_unchecked`].
+    #[inline]
+    pub(crate) fn clear_edge_unchecked(&mut self, u: usize, v: usize) {
+        debug_assert!(u < self.n && v < self.n && u != v);
+        self.set_bit(u, v, false);
+        self.set_bit(v, u, false);
+    }
+
     #[inline]
     fn set_bit(&mut self, row: usize, col: usize, value: bool) {
         let word = row * self.words_per_row + col / 64;
@@ -154,8 +176,9 @@ impl AdjacencyMatrix {
         }
         let mut out = AdjacencyMatrix::new(self.n);
         for (u, v) in self.edges() {
-            out.add_edge(perm[u], perm[v])
-                .expect("permutation stays in range");
+            // perm was just verified to be a permutation of 0..n, and the
+            // matrix never stores self-loops, so perm[u] != perm[v].
+            out.set_edge_unchecked(perm[u], perm[v]);
         }
         out
     }

@@ -71,7 +71,7 @@ impl AdjacencyList {
         for u in 0..self.n() {
             for &v in self.neighbors(u) {
                 if u < v {
-                    m.add_edge(u, v).expect("list invariants guarantee validity");
+                    m.set_edge_unchecked(u, v);
                 }
             }
         }

@@ -28,7 +28,8 @@ pub fn bfs_components(g: &AdjacencyList) -> Labeling {
             }
         }
     }
-    Labeling::new(label).expect("labels are component minima, always in range")
+    // Labels are component minima discovered over 0..n, always in range.
+    Labeling::from_node_indices(label)
 }
 
 /// Connected components by iterative depth-first search, `O(n + m)`.
@@ -51,7 +52,8 @@ pub fn dfs_components(g: &AdjacencyList) -> Labeling {
             }
         }
     }
-    Labeling::new(label).expect("labels are component minima, always in range")
+    // Labels are component minima discovered over 0..n, always in range.
+    Labeling::from_node_indices(label)
 }
 
 /// Connected components by union–find over the edge list,
@@ -61,7 +63,7 @@ pub fn union_find_components(g: &AdjacencyList) -> Labeling {
     for (u, v) in g.edges() {
         uf.union(u, v);
     }
-    Labeling::new(uf.min_labels()).expect("min labels are in range")
+    Labeling::from_node_indices(uf.min_labels())
 }
 
 /// Union–find directly on the dense matrix (scans the upper triangle),
@@ -76,7 +78,7 @@ pub fn union_find_components_dense(g: &AdjacencyMatrix) -> Labeling {
             }
         }
     }
-    Labeling::new(uf.min_labels()).expect("min labels are in range")
+    Labeling::from_node_indices(uf.min_labels())
 }
 
 /// Number of connected components (without materializing labels).

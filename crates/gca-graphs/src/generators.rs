@@ -16,7 +16,7 @@
 //! All generators return an [`AdjacencyMatrix`]; convert with
 //! [`AdjacencyMatrix::to_adjacency_list`] where a sparse view is needed.
 
-use crate::{AdjacencyMatrix, GraphBuilder};
+use crate::AdjacencyMatrix;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -31,7 +31,7 @@ pub fn complete(n: usize) -> AdjacencyMatrix {
     let mut g = AdjacencyMatrix::new(n);
     for u in 0..n {
         for v in (u + 1)..n {
-            g.add_edge(u, v).expect("in range by construction");
+            g.set_edge_unchecked(u, v);
         }
     }
     g
@@ -39,24 +39,30 @@ pub fn complete(n: usize) -> AdjacencyMatrix {
 
 /// The path `0 — 1 — … — (n-1)`.
 pub fn path(n: usize) -> AdjacencyMatrix {
-    let nodes: Vec<usize> = (0..n).collect();
-    GraphBuilder::new(n).path(&nodes).build().expect("valid")
+    let mut g = AdjacencyMatrix::new(n);
+    for v in 1..n {
+        g.set_edge_unchecked(v - 1, v);
+    }
+    g
 }
 
 /// The cycle `0 — 1 — … — (n-1) — 0`. For `n < 3` this degenerates to a
 /// path (no multi-edges / self-loops).
 pub fn ring(n: usize) -> AdjacencyMatrix {
-    let nodes: Vec<usize> = (0..n).collect();
-    GraphBuilder::new(n).cycle(&nodes).build().expect("valid")
+    let mut g = path(n);
+    if n >= 3 {
+        g.set_edge_unchecked(n - 1, 0);
+    }
+    g
 }
 
 /// The star with center `0` and `n - 1` leaves.
 pub fn star(n: usize) -> AdjacencyMatrix {
-    if n == 0 {
-        return AdjacencyMatrix::new(0);
+    let mut g = AdjacencyMatrix::new(n);
+    for leaf in 1..n {
+        g.set_edge_unchecked(0, leaf);
     }
-    let leaves: Vec<usize> = (1..n).collect();
-    GraphBuilder::new(n).star(0, &leaves).build().expect("valid")
+    g
 }
 
 /// A `rows × cols` grid graph (nodes in row-major order).
@@ -67,10 +73,10 @@ pub fn grid(rows: usize, cols: usize) -> AdjacencyMatrix {
         for c in 0..cols {
             let v = r * cols + c;
             if c + 1 < cols {
-                g.add_edge(v, v + 1).expect("in range");
+                g.set_edge_unchecked(v, v + 1);
             }
             if r + 1 < rows {
-                g.add_edge(v, v + cols).expect("in range");
+                g.set_edge_unchecked(v, v + cols);
             }
         }
     }
@@ -86,7 +92,7 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> AdjacencyMatrix {
     for u in 0..n {
         for v in (u + 1)..n {
             if rng.gen_bool(p) {
-                g.add_edge(u, v).expect("in range");
+                g.set_edge_unchecked(u, v);
             }
         }
     }
@@ -110,7 +116,7 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> AdjacencyMatrix {
             let u = rng.gen_range(0..n);
             let v = rng.gen_range(0..n);
             if u != v && !g.has_edge(u, v) {
-                g.add_edge(u, v).expect("in range");
+                g.set_edge_unchecked(u, v);
                 added += 1;
             }
         }
@@ -121,7 +127,7 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> AdjacencyMatrix {
             let u = rng.gen_range(0..n);
             let v = rng.gen_range(0..n);
             if u != v && g2.has_edge(u, v) {
-                g2.remove_edge(u, v).expect("in range");
+                g2.clear_edge_unchecked(u, v);
                 removed += 1;
             }
         }
@@ -140,7 +146,7 @@ pub fn random_tree(n: usize, seed: u64) -> AdjacencyMatrix {
     let mut g = AdjacencyMatrix::new(n);
     for i in 1..n {
         let j = rng.gen_range(0..i);
-        g.add_edge(order[i], order[j]).expect("in range");
+        g.set_edge_unchecked(order[i], order[j]);
     }
     g
 }
@@ -172,7 +178,7 @@ pub fn random_forest(n: usize, k: usize, seed: u64) -> AdjacencyMatrix {
         let group = &order[start..end];
         for i in 1..group.len() {
             let j = rng.gen_range(0..i);
-            g.add_edge(group[i], group[j]).expect("in range");
+            g.set_edge_unchecked(group[i], group[j]);
         }
         start = end;
     }
@@ -192,9 +198,8 @@ pub struct Planted {
 impl Planted {
     /// The canonical min-index labeling implied by the planted membership.
     pub fn expected_labels(&self) -> crate::Labeling {
-        crate::Labeling::new(self.membership.clone())
-            .expect("groups indices < k <= n")
-            .canonicalize()
+        // Group indices are < k <= n, so they are valid node indices.
+        crate::Labeling::from_node_indices(self.membership.clone()).canonicalize()
     }
 }
 
@@ -221,13 +226,13 @@ pub fn planted_components(n: usize, k: usize, p_intra: f64, seed: u64) -> Plante
         // Spanning tree to guarantee connectivity…
         for i in 1..group.len() {
             let j = rng.gen_range(0..i);
-            g.add_edge(group[i], group[j]).expect("in range");
+            g.set_edge_unchecked(group[i], group[j]);
         }
         // …plus random intra-group density.
         for i in 0..group.len() {
             for j in (i + 1)..group.len() {
                 if rng.gen_bool(p_intra) {
-                    g.add_edge(group[i], group[j]).expect("in range");
+                    g.set_edge_unchecked(group[i], group[j]);
                 }
             }
         }
@@ -250,7 +255,7 @@ pub fn preferential_attachment(n: usize, m: usize, seed: u64) -> AdjacencyMatrix
     // Seed clique of m + 1 nodes so every arrival can find m targets.
     for u in 0..=m {
         for v in (u + 1)..=m {
-            g.add_edge(u, v).expect("in range");
+            g.set_edge_unchecked(u, v);
         }
     }
     // Repeated-endpoints list: sampling uniformly from it is sampling
@@ -270,7 +275,7 @@ pub fn preferential_attachment(n: usize, m: usize, seed: u64) -> AdjacencyMatrix
             }
         }
         for &t in &chosen {
-            g.add_edge(v, t).expect("in range");
+            g.set_edge_unchecked(v, t);
             endpoints.push(t);
             endpoints.push(v);
         }
@@ -287,7 +292,7 @@ pub fn clique_islands(k: usize, size: usize) -> AdjacencyMatrix {
         let base = c * size;
         for i in 0..size {
             for j in (i + 1)..size {
-                g.add_edge(base + i, base + j).expect("in range");
+                g.set_edge_unchecked(base + i, base + j);
             }
         }
     }
@@ -304,10 +309,10 @@ pub fn bridged_rings(k: usize, size: usize) -> AdjacencyMatrix {
     for c in 0..k {
         let base = c * size;
         for i in 0..size {
-            g.add_edge(base + i, base + (i + 1) % size).expect("in range");
+            g.set_edge_unchecked(base + i, base + (i + 1) % size);
         }
         if c + 1 < k {
-            g.add_edge(base + size - 1, base + size).expect("in range");
+            g.set_edge_unchecked(base + size - 1, base + size);
         }
     }
     g

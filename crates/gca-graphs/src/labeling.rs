@@ -26,6 +26,22 @@ impl Labeling {
         Ok(Labeling { labels })
     }
 
+    /// The labeling of the zero-node graph (trivially valid).
+    #[inline]
+    pub fn empty() -> Self {
+        Labeling { labels: Vec::new() }
+    }
+
+    /// Wraps labels the caller has already proven to be node indices
+    /// (`< labels.len()`), e.g. component minima computed over `0..n`.
+    /// In-crate construction sites reach this instead of threading an
+    /// unreachable error arm through [`Labeling::new`].
+    #[inline]
+    pub(crate) fn from_node_indices(labels: Vec<usize>) -> Self {
+        debug_assert!(labels.iter().all(|&l| l < labels.len()));
+        Labeling { labels }
+    }
+
     /// Number of nodes.
     #[inline]
     pub fn n(&self) -> usize {
@@ -114,14 +130,6 @@ impl Labeling {
             .map(|(_, m)| m.len())
             .max()
             .unwrap_or(0)
-    }
-}
-
-impl From<Vec<usize>> for Labeling {
-    /// Panics if a label is out of range; use [`Labeling::new`] to handle
-    /// the error.
-    fn from(labels: Vec<usize>) -> Self {
-        Labeling::new(labels).expect("labels out of range")
     }
 }
 

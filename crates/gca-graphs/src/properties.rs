@@ -75,7 +75,7 @@ pub fn degree_histogram(g: &AdjacencyMatrix) -> Vec<usize> {
         hist[g.degree(v)] += 1;
     }
     // Trim trailing zeros but keep at least one entry.
-    while hist.len() > 1 && *hist.last().unwrap() == 0 {
+    while hist.len() > 1 && hist.last() == Some(&0) {
         hist.pop();
     }
     hist

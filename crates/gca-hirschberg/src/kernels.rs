@@ -26,7 +26,7 @@
 //!   [`crate::Convergence::Detect`] fixed point composes unchanged.
 //!
 //! **SWAR execution.** [`ExecPath::FusedSwar`] swaps each row-range body
-//! for the word-parallel equivalent in the private `swar` module — identical per-cell
+//! for the word-parallel equivalent in the [`crate::swar`] module — identical per-cell
 //! semantics (so labels and `Counts` metrics stay bit-identical), but the
 //! bit-gated filters walk the row-aligned packed adjacency plane a word at
 //! a time (zero-word skip + `trailing_zeros` set-bit walks) and the fills
@@ -150,7 +150,7 @@ impl ExecPath {
 /// executor: worker count already defaulted (≥ 2, or the machine would not
 /// pass a policy at all) and threshold resolved against the engine tunable.
 #[derive(Clone, Copy, Debug)]
-pub(crate) struct ParPolicy {
+pub struct ParPolicy {
     /// Target chunk count.
     pub workers: usize,
     /// Minimum touched cells before a kernel parallelizes.
@@ -164,12 +164,17 @@ pub(crate) struct ParPolicy {
 /// Minimum data-plane cells per parallel chunk under an *auto* worker
 /// count (mirrors `gca-engine`'s `MIN_PAR_CHUNK`); explicit worker counts
 /// bypass it.
-const MIN_PAR_CHUNK_CELLS: usize = 8 * 1024;
+pub const MIN_PAR_CHUNK_CELLS: usize = 8 * 1024;
 
 /// Decides the row partitioning of one kernel: `None` → run sequentially,
 /// `Some(rows_per_chunk)` → split `rows` rows (each `row_width` data-plane
 /// cells wide) into `par_chunks_mut` partitions.
-fn plan_rows(
+///
+/// Public as verification surface: `gca-analysis`'s partition prover
+/// (DESIGN.md §15) enumerates this exact planner over every kernel
+/// geometry to prove the resulting `par_chunks_mut` intervals are
+/// pairwise disjoint and exactly cover the field.
+pub fn plan_rows(
     par: Option<ParPolicy>,
     touched: usize,
     rows: usize,
@@ -1033,10 +1038,13 @@ impl KernelReport {
 // rows; the sequential path passes the full range, the parallel path
 // disjoint `par_chunks_mut` partitions. Identical per-cell code on both
 // paths is what makes the bit-identity guarantee hold by construction.
+// Public as verification surface: these free functions ARE the scalar
+// reference semantics `gca-analysis`'s lane verifier checks the SWAR
+// bodies of `crate::swar` against, lane by lane (DESIGN.md §15).
 // ---------------------------------------------------------------------------
 
 /// `d ← base_row + local_row` over whole rows (generation 0).
-fn init_rows(seg: &mut [Word], base_row: usize, n: usize) -> usize {
+pub fn init_rows(seg: &mut [Word], base_row: usize, n: usize) -> usize {
     let mut changed = 0;
     for (r, row) in seg.chunks_mut(n).enumerate() {
         let v = (base_row + r) as Word;
@@ -1049,7 +1057,7 @@ fn init_rows(seg: &mut [Word], base_row: usize, n: usize) -> usize {
 }
 
 /// Fills whole rows with the gathered column-0 vector (generations 1, 5).
-fn broadcast_rows(seg: &mut [Word], labels: &[Word]) -> usize {
+pub fn broadcast_rows(seg: &mut [Word], labels: &[Word]) -> usize {
     let mut changed = 0;
     for row in seg.chunks_mut(labels.len().max(1)) {
         for (cell, &v) in row.iter_mut().zip(labels) {
@@ -1062,7 +1070,7 @@ fn broadcast_rows(seg: &mut [Word], labels: &[Word]) -> usize {
 
 /// Generation 2 over whole rows: reads are the row's `D_N` entry and the
 /// immutable adjacency plane — both disjoint from the square writes.
-fn filter_neighbor_rows(
+pub fn filter_neighbor_rows(
     seg: &mut [Word],
     a: &[AdjWord],
     dn: &[Word],
@@ -1085,7 +1093,7 @@ fn filter_neighbor_rows(
 }
 
 /// Generations 3 and 7 over whole rows: strictly row-local reads/writes.
-fn min_reduce_rows(seg: &mut [Word], stride: usize, n: usize) -> usize {
+pub fn min_reduce_rows(seg: &mut [Word], stride: usize, n: usize) -> usize {
     let mut changed = 0;
     for row in seg.chunks_mut(n) {
         let mut col = 0;
@@ -1103,7 +1111,7 @@ fn min_reduce_rows(seg: &mut [Word], stride: usize, n: usize) -> usize {
 
 /// Generations 4 and 8 over whole rows: each row writes only its own
 /// column-0 cell and reads only its own `D_N` entry.
-fn resolve_rows(seg: &mut [Word], dn: &[Word], n: usize) -> usize {
+pub fn resolve_rows(seg: &mut [Word], dn: &[Word], n: usize) -> usize {
     let mut changed = 0;
     for (r, &saved) in dn.iter().enumerate() {
         let cell = &mut seg[r * n];
@@ -1116,7 +1124,7 @@ fn resolve_rows(seg: &mut [Word], dn: &[Word], n: usize) -> usize {
 }
 
 /// Generation 6 over whole rows: reads only the (unwritten) `D_N` plane.
-fn filter_member_rows(seg: &mut [Word], dn: &[Word], base_row: usize, n: usize) -> usize {
+pub fn filter_member_rows(seg: &mut [Word], dn: &[Word], base_row: usize, n: usize) -> usize {
     let mut changed = 0;
     for (r, row) in seg.chunks_mut(n).enumerate() {
         let j = (base_row + r) as Word;
@@ -1132,7 +1140,7 @@ fn filter_member_rows(seg: &mut [Word], dn: &[Word], base_row: usize, n: usize) 
 
 /// Generation 9, fused per row: save `T(row)` (the row's column 0, never
 /// written) into the row's `D_N` slot, then fill columns `1..` with it.
-fn copy_save_rows(seg: &mut [Word], dn: &mut [Word], n: usize) -> usize {
+pub fn copy_save_rows(seg: &mut [Word], dn: &mut [Word], n: usize) -> usize {
     let mut changed = 0;
     for (r, row) in seg.chunks_mut(n).enumerate() {
         let t = row[0];
@@ -1150,7 +1158,7 @@ fn copy_save_rows(seg: &mut [Word], dn: &mut [Word], n: usize) -> usize {
 /// `hist` (when counting) is the compact per-label histogram: slot `d`
 /// accumulates the reads the sequential path books at field index `d·n`.
 #[allow(clippy::too_many_arguments)]
-fn jump_rows(
+pub fn jump_rows(
     seg: &mut [Word],
     base: usize,
     labels: &[Word],
@@ -1189,7 +1197,7 @@ fn jump_rows(
 /// `hist` slot `d` accumulates the reads the sequential path books at
 /// field index `d·n + 1`.
 #[allow(clippy::too_many_arguments)]
-fn final_min_rows(
+pub fn final_min_rows(
     seg: &mut [Word],
     base: usize,
     labels: &[Word],

@@ -51,7 +51,7 @@ pub mod kernels;
 mod layout;
 mod phase;
 mod rule;
-mod swar;
+pub mod swar;
 pub mod table1;
 pub mod timing;
 pub mod variants;
@@ -64,3 +64,20 @@ pub use layout::Layout;
 pub use swar::SwarSchedule;
 pub use phase::{iteration_schedule, Gen};
 pub use rule::HirschbergRule;
+
+use gca_engine::GcaError;
+use gca_graphs::{GraphError, Labeling};
+
+/// Wraps labels read back from a finished machine run, converting the
+/// graph layer's range check into a typed engine error instead of a
+/// panic. A label `≥ n` coming out of a run means the machine's final
+/// state is corrupt — callers surface that as [`GcaError::BadLabel`].
+pub(crate) fn machine_labeling(labels: Vec<usize>) -> Result<Labeling, GcaError> {
+    let n = labels.len();
+    Labeling::new(labels).map_err(|e| match e {
+        GraphError::NodeOutOfRange { node, n } => GcaError::BadLabel { label: node, n },
+        // `Labeling::new` only performs the range check; other graph
+        // errors cannot occur here, but stay typed rather than panic.
+        _ => GcaError::BadLabel { label: usize::MAX, n },
+    })
+}

@@ -24,11 +24,18 @@
 //!   (`min` + difference-count) so the disjoint-column passes vectorize.
 //!
 //! The zero-word skip is sound because the packed plane is **row-aligned**
-//! (see [`crate::hfield`]): a word never spans two rows and its tail bits
+//! (see `hfield`): a word never spans two rows and its tail bits
 //! beyond column `n` are zero, so "word = 0" exactly means "no live cell
 //! among these `≤ WORD_BITS` cells of this row", and the scalar path would
 //! have written `∞` to every one of them. The metric-identity argument is
 //! written out in DESIGN.md §14.
+//!
+//! The module (including its word-level bodies) is public so that
+//! `gca-analysis`'s lane verifier can drive every branch-free formula
+//! directly against the scalar row-range semantics of [`crate::kernels`]
+//! (DESIGN.md §15): the functions here are *verification surface*, not an
+//! API — they assume the row-aligned packed-plane invariants stated on
+//! each and are only meaningful through the fused executor (`kernels`).
 
 use crate::complexity::ceil_log2;
 use crate::Gen;
@@ -37,7 +44,7 @@ use gca_engine::{AdjWord, Word, INFINITY, WORD_BITS};
 /// Writes `∞` over a gap of dead cells, returning how many actually
 /// changed — the same tally the scalar per-cell loop produces.
 #[inline]
-fn fill_inf(cells: &mut [Word]) -> usize {
+pub fn fill_inf(cells: &mut [Word]) -> usize {
     let changed = cells.iter().filter(|&&c| c != INFINITY).count();
     if changed > 0 {
         cells.fill(INFINITY);
@@ -49,7 +56,7 @@ fn fill_inf(cells: &mut [Word]) -> usize {
 /// walking its set bits (`trailing_zeros`) than by the branch-free
 /// per-lane select sweep. Both strategies implement the identical per-cell
 /// rule, so the crossover is purely a speed knob.
-const SPARSE_BITS: u32 = 8;
+pub const SPARSE_BITS: u32 = 8;
 
 /// Filters one row against one row of packed live-bits: live cells
 /// (set bits) keep their value unless it equals `keep` (then `∞`), dead
@@ -72,7 +79,7 @@ const SPARSE_BITS: u32 = 8;
 /// The subsequent min-reduction tree consumes this plane to skip folds
 /// whose source is provably `∞` (see [`min_reduce_rows_occ`]).
 #[inline]
-fn filter_row(row: &mut [Word], words: &[AdjWord], keep: Word, occ_row: &mut [AdjWord]) -> usize {
+pub fn filter_row(row: &mut [Word], words: &[AdjWord], keep: Word, occ_row: &mut [AdjWord]) -> usize {
     let mut changed = 0;
     for (wi, &bits) in words.iter().enumerate() {
         let lo = wi * WORD_BITS;
@@ -95,7 +102,7 @@ fn filter_row(row: &mut [Word], words: &[AdjWord], keep: Word, occ_row: &mut [Ad
 /// One sparsely populated word: visit only the set bits, fill the gaps.
 /// Returns `(changed, occupancy)`.
 #[inline]
-fn filter_word_sparse(cells: &mut [Word], bits: AdjWord, keep: Word) -> (usize, AdjWord) {
+pub fn filter_word_sparse(cells: &mut [Word], bits: AdjWord, keep: Word) -> (usize, AdjWord) {
     let mut changed = 0;
     let mut occ: AdjWord = 0;
     let mut prev = 0usize;
@@ -124,7 +131,7 @@ fn filter_word_sparse(cells: &mut [Word], bits: AdjWord, keep: Word) -> (usize, 
 /// standalone, the compare-and-pack is the movemask shape the
 /// autovectorizer handles.
 #[inline]
-fn pack_occupancy(cells: &[Word]) -> AdjWord {
+pub fn pack_occupancy(cells: &[Word]) -> AdjWord {
     let mut occ: AdjWord = 0;
     for (lane, &c) in cells.iter().enumerate() {
         occ |= AdjWord::from(c != INFINITY) << lane;
@@ -139,7 +146,7 @@ fn pack_occupancy(cells: &[Word]) -> AdjWord {
 /// occupancy accumulation: the caller packs it in a second sweep, so
 /// this loop stays a pure lane-wise select the compiler can vectorize.
 #[inline]
-fn filter_word_dense(cells: &mut [Word], bits: AdjWord, keep: Word) -> usize {
+pub fn filter_word_dense(cells: &mut [Word], bits: AdjWord, keep: Word) -> usize {
     let mut changed = 0;
     let mut b = bits;
     for cell in cells.iter_mut() {
@@ -155,7 +162,7 @@ fn filter_word_dense(cells: &mut [Word], bits: AdjWord, keep: Word) -> usize {
 }
 
 /// Generation 0 over whole rows: difference-count scan, then `fill`.
-pub(crate) fn init_rows(seg: &mut [Word], base_row: usize, n: usize) -> usize {
+pub fn init_rows(seg: &mut [Word], base_row: usize, n: usize) -> usize {
     let mut changed = 0;
     for (r, row) in seg.chunks_mut(n).enumerate() {
         let v = (base_row + r) as Word;
@@ -170,7 +177,7 @@ pub(crate) fn init_rows(seg: &mut [Word], base_row: usize, n: usize) -> usize {
 
 /// Generations 1 and 5 over whole rows: slice-equality fast path, then a
 /// single `copy_from_slice` per differing row.
-pub(crate) fn broadcast_rows(seg: &mut [Word], labels: &[Word]) -> usize {
+pub fn broadcast_rows(seg: &mut [Word], labels: &[Word]) -> usize {
     let mut changed = 0;
     for row in seg.chunks_mut(labels.len().max(1)) {
         if row == labels {
@@ -192,7 +199,7 @@ pub(crate) fn broadcast_rows(seg: &mut [Word], labels: &[Word]) -> usize {
 /// Generation 2 over whole rows: word-walks the row-aligned adjacency
 /// plane (`wpr` words per row, absolute row indexing), writing each row's
 /// occupancy words into the row-partitioned `occ` segment.
-pub(crate) fn filter_neighbor_rows(
+pub fn filter_neighbor_rows(
     seg: &mut [Word],
     occ: &mut [AdjWord],
     a: &[AdjWord],
@@ -215,7 +222,7 @@ pub(crate) fn filter_neighbor_rows(
 /// Sub-generation 0 (stride 1 — half of all folds) reduces adjacent pairs
 /// through `chunks_exact`, a shape the autovectorizer turns into
 /// deinterleaved word-wise `min` passes.
-pub(crate) fn min_reduce_rows(seg: &mut [Word], stride: usize, n: usize) -> usize {
+pub fn min_reduce_rows(seg: &mut [Word], stride: usize, n: usize) -> usize {
     seg.chunks_mut(n)
         .map(|row| fold_row_full(row, stride, n))
         .sum()
@@ -228,7 +235,7 @@ pub(crate) fn min_reduce_rows(seg: &mut [Word], stride: usize, n: usize) -> usiz
 /// odd `n` leaves the last column untouched — no right-hand neighbor,
 /// exactly the scalar loop's exit condition.
 #[inline]
-fn fold_row_full(row: &mut [Word], stride: usize, n: usize) -> usize {
+pub fn fold_row_full(row: &mut [Word], stride: usize, n: usize) -> usize {
     let mut changed = 0;
     if stride == 1 {
         for pair in row.chunks_exact_mut(2) {
@@ -257,7 +264,7 @@ fn fold_row_full(row: &mut [Word], stride: usize, n: usize) -> usize {
 /// sources are isolated word-aligned columns `stride·(2j+1)`, so a word
 /// carries at most bit 0.
 #[inline]
-fn source_mask(stride: usize, wi: usize) -> AdjWord {
+pub fn source_mask(stride: usize, wi: usize) -> AdjWord {
     if stride < WORD_BITS {
         let mut m: AdjWord = 0;
         let mut k = stride;
@@ -278,9 +285,9 @@ fn source_mask(stride: usize, wi: usize) -> AdjWord {
 /// source, so the sweep wins once roughly a quarter of the row is
 /// occupied. Both bodies implement the identical fold, so the crossover
 /// is purely a speed knob.
-const FULL_FOLD_POP_NUM: usize = 1;
+pub const FULL_FOLD_POP_NUM: usize = 1;
 /// Denominator of the [`FULL_FOLD_POP_NUM`] crossover fraction.
-const FULL_FOLD_POP_DEN: usize = 4;
+pub const FULL_FOLD_POP_DEN: usize = 4;
 
 /// Occupancy-guided variant of [`min_reduce_rows`]: rows whose occupancy
 /// plane is sparse visit only folds whose *source* cell (`col + stride`)
@@ -296,7 +303,7 @@ const FULL_FOLD_POP_DEN: usize = 4;
 /// non-`∞` afterwards only if the target or its source was before, and
 /// both leave a bit behind (the bit-walk sets the target's bit on
 /// improvement; the full sweep ORs the source pattern onto the targets).
-pub(crate) fn min_reduce_rows_occ(
+pub fn min_reduce_rows_occ(
     seg: &mut [Word],
     occ: &mut [AdjWord],
     stride: usize,
@@ -360,7 +367,7 @@ pub(crate) fn min_reduce_rows_occ(
 /// `D_N[col] = row`, and a live cell keeps its value unless it equals the
 /// row index. Writes each row's occupancy words into the row-partitioned
 /// `occ` segment.
-pub(crate) fn filter_member_rows(
+pub fn filter_member_rows(
     seg: &mut [Word],
     occ: &mut [AdjWord],
     mask: &[AdjWord],
@@ -380,7 +387,7 @@ pub(crate) fn filter_member_rows(
 /// Builds the row-aligned membership mask of generation 6: bit `(r, c)`
 /// set iff `dn[c] = r`. One `O(n · wpr)` zeroing pass plus one set-bit per
 /// column — cheaper than the `n²` membership tests it replaces.
-pub(crate) fn build_member_mask(mask: &mut Vec<AdjWord>, dn: &[Word], n: usize, wpr: usize) {
+pub fn build_member_mask(mask: &mut Vec<AdjWord>, dn: &[Word], n: usize, wpr: usize) {
     mask.clear();
     mask.resize(n * wpr, 0);
     for (col, &v) in dn[..n].iter().enumerate() {
@@ -415,7 +422,7 @@ pub(crate) fn build_member_mask(mask: &mut Vec<AdjWord>, dn: &[Word], n: usize, 
 /// branch-free select). The occupancy plane gets the same exact bits
 /// [`filter_row`] produces.
 #[inline]
-fn broadcast_filter_row(
+pub fn broadcast_filter_row(
     row: &mut [Word],
     words: &[AdjWord],
     labels: &[Word],
@@ -481,7 +488,7 @@ fn broadcast_filter_row(
 /// labels[row]` — after the broadcast, `D_N[row]` holds exactly
 /// `labels[row]`, so reading the gathered vector is reading `D_N`).
 /// The `D_N` row of the broadcast is handled by the caller.
-pub(crate) fn broadcast_filter_neighbor_rows(
+pub fn broadcast_filter_neighbor_rows(
     seg: &mut [Word],
     occ: &mut [AdjWord],
     a: &[AdjWord],
@@ -510,7 +517,7 @@ pub(crate) fn broadcast_filter_neighbor_rows(
 /// occupancy row — no per-lane select at all. The filter tally is the
 /// same for live and dead lanes (`lab → ∞` iff `lab ≠ ∞`), hence
 /// `rows · |{c : labels[c] ≠ ∞}|`, computed by the caller.
-pub(crate) fn broadcast_kill_rows(
+pub fn broadcast_kill_rows(
     seg: &mut [Word],
     occ: &mut [AdjWord],
     labels: &[Word],
@@ -529,7 +536,7 @@ pub(crate) fn broadcast_kill_rows(
 /// Fused generations 5+6 over whole square rows (`keep = row`, live bits
 /// from the membership mask — generation 5 leaves `D_N` untouched, so the
 /// mask built before this pass is the mask generation 6 would have seen).
-pub(crate) fn broadcast_filter_member_rows(
+pub fn broadcast_filter_member_rows(
     seg: &mut [Word],
     occ: &mut [AdjWord],
     mask: &[AdjWord],
@@ -552,7 +559,7 @@ pub(crate) fn broadcast_filter_member_rows(
 
 /// Generation 9 over whole rows: difference-count scan of columns `1..`,
 /// then one `fill` per differing row.
-pub(crate) fn copy_save_rows(seg: &mut [Word], dn: &mut [Word], n: usize) -> usize {
+pub fn copy_save_rows(seg: &mut [Word], dn: &mut [Word], n: usize) -> usize {
     let mut changed = 0;
     for (r, row) in seg.chunks_mut(n).enumerate() {
         let t = row[0];

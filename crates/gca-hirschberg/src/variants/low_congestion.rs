@@ -441,7 +441,7 @@ pub fn run_with_engine(
     let n = graph.n();
     if n == 0 {
         return Ok(LowCongestionRun {
-            labels: Labeling::new(Vec::new()).expect("empty"),
+            labels: Labeling::empty(),
             generations: 0,
             iterations: 0,
             metrics: MetricsLog::new(),
@@ -480,8 +480,7 @@ pub fn run_with_engine(
         }
     }
 
-    let labels = Labeling::new((0..n).map(|j| field.get(j * n).d as usize).collect())
-        .expect("labels are node numbers");
+    let labels = crate::machine_labeling((0..n).map(|j| field.get(j * n).d as usize).collect())?;
     Ok(LowCongestionRun {
         labels,
         generations: engine.generation(),

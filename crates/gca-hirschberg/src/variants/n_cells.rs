@@ -226,7 +226,7 @@ pub fn run_with_engine(graph: &AdjacencyMatrix, mut engine: Engine) -> Result<NC
     let n = graph.n();
     if n == 0 {
         return Ok(NCellRun {
-            labels: Labeling::new(Vec::new()).expect("empty"),
+            labels: Labeling::empty(),
             generations: 0,
             iterations: 0,
             metrics: MetricsLog::new(),
@@ -275,8 +275,8 @@ pub fn run_with_engine(graph: &AdjacencyMatrix, mut engine: Engine) -> Result<NC
         step(&mut field, &mut engine, NGen::FinalMin, 0)?;
     }
 
-    let labels = Labeling::new(field.states().iter().map(|s| s.c as usize).collect())
-        .expect("labels are node numbers");
+    let labels =
+        crate::machine_labeling(field.states().iter().map(|s| s.c as usize).collect())?;
     Ok(NCellRun {
         labels,
         generations: engine.generation(),

@@ -49,6 +49,14 @@ pub enum PramError {
     },
     /// The CROW policy was selected without registering an owner map.
     MissingOwnerMap,
+    /// A finished run left a label that is not a node index — the final
+    /// memory state is corrupt.
+    BadLabel {
+        /// The out-of-range label read back.
+        label: usize,
+        /// Number of nodes.
+        n: usize,
+    },
 }
 
 impl fmt::Display for PramError {
@@ -79,6 +87,10 @@ impl fmt::Display for PramError {
             PramError::MissingOwnerMap => {
                 write!(f, "CROW policy requires an owner map (use with_owners)")
             }
+            PramError::BadLabel { label, n } => write!(
+                f,
+                "machine produced label {label} outside the node range 0..{n}"
+            ),
         }
     }
 }
@@ -121,5 +133,8 @@ mod tests {
         .to_string()
         .contains("disagreed"));
         assert!(PramError::MissingOwnerMap.to_string().contains("owner map"));
+        assert!(PramError::BadLabel { label: 7, n: 4 }
+            .to_string()
+            .contains("label 7"));
     }
 }

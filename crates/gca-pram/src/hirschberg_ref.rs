@@ -98,7 +98,7 @@ fn connected_components_with(
     let n = graph.n();
     if n == 0 {
         return Ok(PramRun {
-            labels: Labeling::new(Vec::new()).expect("empty"),
+            labels: Labeling::empty(),
             time: 0,
             work: 0,
             max_congestion: 0,
@@ -212,7 +212,10 @@ fn connected_components_with(
             .map(|i| pram.peek(c_base + i) as usize)
             .collect(),
     )
-    .expect("labels are node numbers");
+    .map_err(|e| match e {
+        gca_graphs::GraphError::NodeOutOfRange { node, n } => PramError::BadLabel { label: node, n },
+        _ => PramError::BadLabel { label: usize::MAX, n },
+    })?;
     let cost = pram.cost().clone();
     Ok(PramRun {
         labels,

@@ -511,6 +511,7 @@ fn lint_layer_detects_a_seeded_violation_of_each_rule() {
         library: true,
         hot_path: true,
         word_home: false,
+        kernel: true,
     };
     let seeded = [
         (RuleId::NoUnwrap, "fn f() { x.unwrap(); }"),
@@ -521,6 +522,12 @@ fn lint_layer_detects_a_seeded_violation_of_each_rule() {
         ),
         (RuleId::WordWidth, "fn f(i: usize) -> usize { i / 64 }"),
         (RuleId::WordWidth, "fn f(lane: u32) -> u64 { 1u64 << lane }"),
+        (
+            RuleId::RowRangePurity,
+            "fn bad_rows(seg: &mut [u32], base_row: usize, n: usize) -> usize {\n\
+                 seg[base_row * n] = 0; 0\n\
+             }",
+        ),
     ];
     for (rule, src) in seeded {
         let (violations, _) = lint_source("seeded.rs", src, class);
