@@ -22,7 +22,7 @@ use gca_engine::{
     ceil_log2, Access, CellField, Engine, FieldShape, GcaError, GcaRule, Reads, StepCtx, Word,
     INFINITY,
 };
-use gca_graphs::{AdjacencyMatrix, Labeling};
+use gca_graphs::{AdjacencyMatrix, GraphError, Labeling};
 
 /// One reachability cell: the closure bit and the label scratch word.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -98,7 +98,10 @@ impl GcaRule for TcRule {
     ) -> TcCell {
         match ctx.phase {
             p if p == TcGen::Square as u32 => {
-                let via = reads.first().expect("two-handed").b && reads.second().expect("two-handed").b;
+                // A missing hand never witnesses a path: the `via` term
+                // simply contributes nothing, matching the Boolean
+                // semiring (absent operand = additive identity).
+                let via = reads.first().is_some_and(|c| c.b) && reads.second().is_some_and(|c| c.b);
                 TcCell {
                     b: own.b || via,
                     d: own.d,
@@ -198,7 +201,7 @@ pub fn run(graph: &AdjacencyMatrix) -> Result<TcRun, GcaError> {
     if n == 0 {
         return Ok(TcRun {
             closure: Reachability { n: 0, bits: vec![] },
-            labels: Labeling::new(vec![]).expect("empty"),
+            labels: Labeling::empty(),
             generations: 0,
             max_congestion: 0,
         });
@@ -230,12 +233,18 @@ pub fn run(graph: &AdjacencyMatrix) -> Result<TcRun, GcaError> {
     }
 
     let bits: Vec<bool> = field.states().iter().map(|c| c.b).collect();
+    // The rule writes column indices into `d`, so the range check can
+    // only fail if the machine's final state is corrupt — surface that
+    // as a typed error rather than a panic.
     let labels = Labeling::new(
         (0..n)
             .map(|i| field.get(i * n).d as usize)
             .collect(),
     )
-    .expect("labels are column indices");
+    .map_err(|e| match e {
+        GraphError::NodeOutOfRange { node, n } => GcaError::BadLabel { label: node, n },
+        _ => GcaError::BadLabel { label: usize::MAX, n },
+    })?;
     Ok(TcRun {
         closure: Reachability { n, bits },
         labels,

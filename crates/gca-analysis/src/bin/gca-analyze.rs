@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! gca-analyze [n ...] [--isa] [--schedule] [--symbolic] [--modelcheck]
-//!             [--lanes] [--partition] [--lint]
+//!             [--lanes] [--partition] [--invariants] [--lint]
 //!             [--modelcheck-max-n N] [--lint-root DIR]
 //! ```
 //!
@@ -29,6 +29,12 @@
 //!   `n = 2^k (k ≤ 16)` × workers `1..=64` × threshold settings,
 //!   proving chunk intervals disjoint, exactly covering, and histogram
 //!   merges alias-free;
+//! * `--invariants` — the inductive invariant prover: per-generation
+//!   Hoare contracts over the abstract-state domain discharged for
+//!   **every** `n = 2^k, k ≤ 16` — per-cell transfer exactness against
+//!   the shipped rule, the exhaustive hook/convergence lemma, closed-form
+//!   induction arithmetic and the lane-anchor bridge — with zero machine
+//!   executions (size arguments do not apply);
 //! * `--lint`       — the `gca-lint` workspace linter over
 //!   `--lint-root` (default `.`), honoring its `lint.toml`.
 //!
@@ -201,8 +207,12 @@ fn run_modelcheck(max_n: usize, seeded: bool) {
     let fault = seeded.then_some(modelcheck::Fault::WrongGenerationCount);
     match modelcheck::check_all_seeded(max_n, fault) {
         Ok(report) => println!(
-            "  {} graphs checked (fixed + detect runs), detect skipped {} generations",
-            report.graphs_checked, report.detect_saved_generations,
+            "  {} graphs run covering {} labeled graphs ({} canonical representatives \
+             above the symmetry threshold), detect skipped {} generations",
+            report.graphs_checked,
+            report.graphs_covered,
+            report.canonical_representatives,
+            report.detect_saved_generations,
         ),
         Err(e) => fail(&format!("model check: {e}")),
     }
@@ -263,6 +273,26 @@ fn run_partition(seeded: bool) {
     }
 }
 
+fn run_invariants(seeded: bool) {
+    println!("inductive invariant proof:");
+    if seeded {
+        // Seeded faults: one broken contract per invariant class. Every
+        // one must be caught; detection is still a nonzero exit, which is
+        // what the CI contract test asserts.
+        for class in gca_hirschberg::InvariantClass::ALL {
+            match gca_analysis::invariants::prove_seeded(class, 8) {
+                Some(f) => eprintln!("  seeded {class}: detected: {f}"),
+                None => fail(&format!("invariants: seeded {class} escaped the prover")),
+            }
+        }
+        fail("invariants: all 5 seeded contract faults detected");
+    }
+    match gca_analysis::invariants::prove(16) {
+        Ok(report) => println!("  {report}"),
+        Err(f) => fail(&format!("invariants: {f}")),
+    }
+}
+
 fn run_lint(root: &Path, seeded: bool) {
     println!("workspace lint ({}):", root.display());
     if seeded {
@@ -307,7 +337,7 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--isa" | "--schedule" | "--symbolic" | "--modelcheck" | "--lanes"
-            | "--partition" | "--lint" => {
+            | "--partition" | "--invariants" | "--lint" => {
                 layers.push(args[i].trim_start_matches("--").to_string());
             }
             "--modelcheck-max-n" => {
@@ -346,8 +376,11 @@ fn main() {
     let on = |layer: &str| all || layers.iter().any(|l| l == layer);
     let fault_for = |layer: &str| seed_fault.as_deref() == Some(layer);
     if let Some(f) = &seed_fault {
-        if !["isa", "schedule", "symbolic", "modelcheck", "lanes", "partition", "lint"]
-            .contains(&f.as_str())
+        if ![
+            "isa", "schedule", "symbolic", "modelcheck", "lanes", "partition", "invariants",
+            "lint",
+        ]
+        .contains(&f.as_str())
         {
             fail(&format!("unknown --seed-fault layer {f:?}"));
         }
@@ -375,6 +408,9 @@ fn main() {
     }
     if on("partition") {
         run_partition(fault_for("partition"));
+    }
+    if on("invariants") {
+        run_invariants(fault_for("invariants"));
     }
     if on("lint") {
         run_lint(&lint_root, fault_for("lint"));

@@ -34,6 +34,15 @@
 //!   graphs on small vertex counts: predicted termination generation,
 //!   label canonicity against union-find, and fixed-point soundness of
 //!   [`gca_hirschberg::Convergence::Detect`];
+//! * [`invariants`] — the algorithm-level capstone: an inductive
+//!   invariant prover over an abstract-state domain (label forest,
+//!   partition-refinement lattice, pointer-depth bound) that discharges a
+//!   Hoare contract per schedule generation for **arbitrary** `n = 2^k` —
+//!   per-cell transfer exactness against the shipped rule, an exhaustive
+//!   hook/convergence lemma over supervertex quotients, and closed-form
+//!   induction arithmetic — mirrored at runtime by the
+//!   [`gca_engine::InvariantCheck`] harness in
+//!   [`gca_hirschberg::invariants`];
 //! * [`lanes`] — a bitvector micro-IR that lifts every branch-free SWAR
 //!   formula in [`gca_hirschberg::swar`] into a symbolic lane expression
 //!   and verifies it exhaustively per lane against the scalar row-range
@@ -56,6 +65,7 @@
 #![warn(missing_docs)]
 
 pub mod activity;
+pub mod invariants;
 pub mod isa;
 pub mod lanes;
 pub mod modelcheck;
@@ -66,6 +76,7 @@ pub mod symbolic;
 
 pub use activity::{activity, live_subgenerations, min_reduce_folds_per_row, swar_schedule};
 
+pub use invariants::{contracts, prove, prove_seeded, Contract, Fact, ProofFault, ProofReport};
 pub use lanes::{CoverageReport, LaneFormula, LaneMismatch, LaneReport, LaneState};
 pub use occupancy::{OccupancyFault, OccupancyReport, PlaneState};
 pub use partition::{PartitionFault, PartitionReport};

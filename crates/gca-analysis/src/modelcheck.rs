@@ -24,6 +24,17 @@
 //! runs each). The first violated graph is reported as a typed
 //! [`ModelCheckError`] carrying the vertex count and edge mask, from which
 //! the offending graph can be reconstructed bit for bit.
+//!
+//! From `n = 7` (2 097 152 labeled graphs) the sweep switches to
+//! **symmetry reduction**: masks are scanned in increasing order, the
+//! first unvisited mask of each isomorphism orbit is its canonical
+//! representative, and the whole orbit is marked visited by applying all
+//! `n!` vertex permutations to its edge set. Only the 1 044
+//! representatives (one per unlabeled 7-vertex graph, OEIS A000088) are
+//! run. The orbit scan is self-checking: the orbits must tile the full
+//! `2^21` mask space exactly, else the sweep aborts with
+//! [`ModelCheckViolation::OrbitCoverage`]. [`ModelCheckReport`] carries
+//! both counts — labeled graphs covered vs. representatives executed.
 
 use gca_engine::{Engine, GcaError, Instrumentation};
 use gca_graphs::connectivity::union_find_components_dense;
@@ -94,6 +105,14 @@ pub enum ModelCheckViolation {
     Engine(GcaError),
     /// The graph could not be built (unreachable for enumerated masks).
     Build(GraphError),
+    /// The symmetry-reduced scan's orbits do not tile the labeled-graph
+    /// space — the canonical representatives would not cover every graph.
+    OrbitCoverage {
+        /// Labeled graphs the orbits covered.
+        covered: u64,
+        /// The full labeled-graph count (`2^(n(n-1)/2)`).
+        expected: u64,
+    },
 }
 
 /// The first counterexample found: the graph (as `n` + edge mask) and what
@@ -142,6 +161,10 @@ impl fmt::Display for ModelCheckError {
             ),
             ModelCheckViolation::Engine(e) => write!(f, "engine failure: {e}"),
             ModelCheckViolation::Build(e) => write!(f, "graph build failure: {e}"),
+            ModelCheckViolation::OrbitCoverage { covered, expected } => write!(
+                f,
+                "symmetry orbits cover {covered} labeled graphs, expected {expected}"
+            ),
         }
     }
 }
@@ -153,8 +176,17 @@ impl std::error::Error for ModelCheckError {}
 pub struct ModelCheckReport {
     /// Largest vertex count checked.
     pub max_n: usize,
-    /// Total graphs enumerated (each run twice: fixed and detecting).
+    /// Graphs actually run (each twice: fixed and detecting). Above the
+    /// symmetry-reduction threshold this counts canonical representatives
+    /// only.
     pub graphs_checked: u64,
+    /// Labeled graphs covered — directly below the threshold, via their
+    /// isomorphism orbit above it. `graphs_checked < graphs_covered`
+    /// exactly when symmetry reduction kicked in.
+    pub graphs_covered: u64,
+    /// Canonical representatives run by the symmetry-reduced sizes
+    /// (`0` when `max_n` stays below the threshold).
+    pub canonical_representatives: u64,
     /// Generations the detecting runs skipped in total — evidence the
     /// early exit actually fires inside the checked space.
     pub detect_saved_generations: u64,
@@ -173,6 +205,79 @@ pub enum Fault {
     /// Corrupt the detecting run's first label before the soundness check
     /// (needs `n ≥ 2` to be observable).
     DetectMismatch,
+    /// Over-report the symmetry-reduced orbit coverage by one (needs
+    /// `max_n ≥` [`CANONICAL_MIN_N`] to be observable).
+    WrongOrbitSum,
+}
+
+/// Vertex count from which the sweep enumerates one canonical
+/// representative per isomorphism orbit instead of every labeled graph.
+/// Below this, full enumeration is cheap enough to skip the reduction.
+pub const CANONICAL_MIN_N: usize = 7;
+
+/// Every permutation of `0..n`, generated by Heap's algorithm.
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut out = vec![perm.clone()];
+    let mut c = vec![0usize; n];
+    let mut i = 0usize;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                perm.swap(0, i);
+            } else {
+                perm.swap(c[i], i);
+            }
+            out.push(perm.clone());
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Increasing-order orbit scan: the first unvisited mask of each
+/// isomorphism orbit is its canonical representative; the whole orbit is
+/// then marked visited by pushing the edge set through every vertex
+/// permutation. Returns the representatives and the number of distinct
+/// labeled graphs their orbits covered (which the caller self-checks
+/// against `2^(n(n-1)/2)`).
+fn canonical_representatives(n: usize) -> (Vec<u64>, u64) {
+    let pairs = edge_pairs(n);
+    let mut pair_index = vec![0usize; n * n];
+    for (i, &(u, v)) in pairs.iter().enumerate() {
+        pair_index[u * n + v] = i;
+        pair_index[v * n + u] = i;
+    }
+    let perms = permutations(n);
+    let total: u64 = 1 << pairs.len();
+    let mut visited = vec![false; total as usize];
+    let mut reps = Vec::new();
+    let mut covered = 0u64;
+    for mask in 0..total {
+        if visited[mask as usize] {
+            continue;
+        }
+        reps.push(mask);
+        for p in &perms {
+            let mut permuted: u64 = 0;
+            let mut bits = mask;
+            while bits != 0 {
+                let i = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let (u, v) = pairs[i];
+                permuted |= 1 << pair_index[p[u] * n + p[v]];
+            }
+            if !visited[permuted as usize] {
+                visited[permuted as usize] = true;
+                covered += 1;
+            }
+        }
+    }
+    (reps, covered)
 }
 
 /// Checks all graphs on `1..=max_n` vertices. `Err` carries the first
@@ -188,7 +293,20 @@ pub fn check_all_seeded(
     max_n: usize,
     fault: Option<Fault>,
 ) -> Result<ModelCheckReport, ModelCheckError> {
+    check_all_with(max_n, fault, CANONICAL_MIN_N)
+}
+
+/// [`check_all_seeded`] with the symmetry-reduction threshold as a
+/// parameter, so the unit suite can exercise the canonical path on sizes
+/// cheap enough for debug builds.
+fn check_all_with(
+    max_n: usize,
+    fault: Option<Fault>,
+    canonical_min_n: usize,
+) -> Result<ModelCheckReport, ModelCheckError> {
     let mut graphs_checked = 0u64;
+    let mut graphs_covered = 0u64;
+    let mut canonical_representatives_run = 0u64;
     let mut detect_saved_generations = 0u64;
     for n in 1..=max_n {
         let pairs = edge_pairs(n).len();
@@ -197,6 +315,27 @@ pub fn check_all_seeded(
             edges_mask,
             violation,
         };
+        let labeled: u64 = 1 << pairs;
+        let masks: Vec<u64> = if n >= canonical_min_n {
+            let (reps, mut covered) = canonical_representatives(n);
+            if fault == Some(Fault::WrongOrbitSum) {
+                covered += 1;
+            }
+            if covered != labeled {
+                return Err(err(
+                    0,
+                    ModelCheckViolation::OrbitCoverage {
+                        covered,
+                        expected: labeled,
+                    },
+                ));
+            }
+            canonical_representatives_run += reps.len() as u64;
+            reps
+        } else {
+            (0..labeled).collect()
+        };
+        graphs_covered += labeled;
         // Two machines per n, reused across every mask: same fused + no
         // instrumentation configuration the fast paths ship with.
         let empty = AdjacencyMatrix::new(n);
@@ -211,7 +350,7 @@ pub fn check_all_seeded(
         let iterations = outer_iterations(n);
         let predicted = total_generations(n);
 
-        for mask in 0..(1u64 << pairs) {
+        for mask in masks {
             let engine_err = |e: GcaError| err(mask, ModelCheckViolation::Engine(e));
             let graph = graph_from_mask(n, mask)
                 .map_err(|e| err(mask, ModelCheckViolation::Build(e)))?;
@@ -287,6 +426,8 @@ pub fn check_all_seeded(
     Ok(ModelCheckReport {
         max_n,
         graphs_checked,
+        graphs_covered,
+        canonical_representatives: canonical_representatives_run,
         detect_saved_generations,
     })
 }
@@ -309,16 +450,53 @@ mod tests {
         assert!(g.has_edge(0, 1) && g.has_edge(1, 2) && !g.has_edge(0, 2));
     }
 
-    /// The heavyweight n = 6 sweep runs in the release-mode CI gate; the
+    /// The heavyweight n = 6–7 sweep runs in the release-mode CI gate; the
     /// unit suite keeps debug builds fast with the 1 099 graphs of n ≤ 5.
     #[test]
     fn all_graphs_up_to_five_vertices_pass() {
         let report = check_all(5).expect("model check passes");
         assert_eq!(report.graphs_checked, 1 + 2 + 8 + 64 + 1024);
+        assert_eq!(report.graphs_covered, report.graphs_checked);
+        assert_eq!(report.canonical_representatives, 0);
         assert!(
             report.detect_saved_generations > 0,
             "Convergence::Detect never fired inside the checked space"
         );
+    }
+
+    #[test]
+    fn canonical_representatives_match_the_unlabeled_graph_counts() {
+        // OEIS A000088: unlabeled graphs on n vertices.
+        for (n, classes) in [(1, 1), (2, 2), (3, 4), (4, 11), (5, 34), (6, 156), (7, 1044)] {
+            let (reps, covered) = canonical_representatives(n);
+            assert_eq!(reps.len(), classes, "n = {n}");
+            let labeled: u64 = 1 << edge_pairs(n).len();
+            assert_eq!(covered, labeled, "orbits must tile the space at n = {n}");
+            // The empty graph is its own (first) canonical representative.
+            assert_eq!(reps.first(), Some(&0));
+        }
+    }
+
+    #[test]
+    fn symmetry_reduced_sweep_passes_and_reports_both_counts() {
+        // Threshold forced down to 4 so the canonical path runs machines
+        // in debug time: n = 4 covers 64 labeled graphs via 11 reps, n = 5
+        // covers 1 024 via 34.
+        let report = check_all_with(5, None, 4).expect("reduced sweep passes");
+        assert_eq!(report.graphs_checked, 1 + 2 + 8 + 11 + 34);
+        assert_eq!(report.graphs_covered, 1 + 2 + 8 + 64 + 1024);
+        assert_eq!(report.canonical_representatives, 11 + 34);
+    }
+
+    #[test]
+    fn planted_orbit_sum_fault_is_caught() {
+        let e = check_all_with(3, Some(Fault::WrongOrbitSum), 2)
+            .expect_err("fault must surface");
+        assert!(
+            matches!(e.violation, ModelCheckViolation::OrbitCoverage { .. }),
+            "{e}"
+        );
+        assert!(e.to_string().contains("orbits cover"), "{e}");
     }
 
     #[test]

@@ -86,6 +86,34 @@ fn partition_layer_exit_codes() {
 }
 
 #[test]
+fn invariants_layer_exit_codes() {
+    assert_clean(&["--invariants"]);
+    assert_fails(
+        &["--invariants", "--seed-fault", "invariants"],
+        "seeded contract faults detected",
+    );
+}
+
+#[test]
+fn invariants_seeded_run_reports_every_class() {
+    let out = analyze(&["--invariants", "--seed-fault", "invariants"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for class in [
+        "contract-step",
+        "label-range",
+        "forest-canonicity",
+        "partition-refinement",
+        "depth-halving",
+    ] {
+        assert!(
+            stderr.contains(&format!("seeded {class}: detected")),
+            "stderr should show {class} caught, got: {stderr}"
+        );
+    }
+}
+
+#[test]
 fn lint_layer_exit_codes() {
     assert_clean(&["--lint"]);
     assert_fails(&["--lint", "--seed-fault", "lint"], "no-unwrap");

@@ -74,6 +74,13 @@ pub struct EngineOpts {
     /// is replayed against the read-snapshot and domain contracts, and the
     /// fused kernels are shadowed by the reference engine.
     pub validate: bool,
+    /// Live invariant checking (`--invariants`): run the algorithm-level
+    /// invariant mirror — every generation replayed against the prover's
+    /// Hoare-contract transfer functions (label range, forest canonicity,
+    /// partition refinement, depth halving), failing with a typed
+    /// `InvariantViolation` on first divergence. The mirror hangs off the
+    /// sanitizer, so this implies `--validate`.
+    pub invariants: bool,
 }
 
 impl EngineOpts {
@@ -160,6 +167,9 @@ impl EngineOpts {
         if self.validate {
             s.push_str(" validate=on");
         }
+        if self.invariants {
+            s.push_str(" invariants=on");
+        }
         s
     }
 }
@@ -234,6 +244,9 @@ OPTIONS:
                      the machine's thread count; fused-swar runs single-thread unless given)
   --validate         run under the CROW/domain sanitizer: replay every generation against the
                      owner-write / read-snapshot / domain contracts (gca machine only; slower)
+  --invariants       run the live invariant mirror: every generation replayed against the
+                     prover's Hoare contracts (label range, forest canonicity, partition
+                     refinement, depth halving); implies --validate (gca machine only; slower)
   --labels           print every node's component label
   --metrics          print per-generation activity/congestion (GCA machines)
   --verify           independently verify the labeling against the graph
@@ -335,6 +348,10 @@ pub fn parse(args: &[String]) -> Result<Args, ArgError> {
                 })?);
             }
             "--validate" => engine.validate = true,
+            "--invariants" => {
+                engine.invariants = true;
+                engine.validate = true;
+            }
             "--labels" => labels = true,
             "--json" => json = true,
             "--metrics" => metrics = true,
@@ -552,6 +569,20 @@ mod tests {
             a.engine.describe(),
             "backend=sequential domain=hinted convergence=fixed exec=generic validate=on"
         );
+    }
+
+    #[test]
+    fn invariants_flag_implies_validate() {
+        let a = parse(&argv(&["--invariants", "ring:5"])).unwrap();
+        assert!(a.engine.invariants && a.engine.validate);
+        assert_eq!(
+            a.engine.describe(),
+            "backend=sequential domain=hinted convergence=fixed exec=generic \
+             validate=on invariants=on"
+        );
+        // --validate alone does not advertise the invariant tier.
+        let a = parse(&argv(&["--validate", "ring:5"])).unwrap();
+        assert!(!a.engine.invariants && a.engine.validate);
     }
 
     #[test]

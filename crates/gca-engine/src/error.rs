@@ -103,6 +103,23 @@ pub enum GcaError {
         /// Phase tag the generation ran under.
         phase: u32,
     },
+    /// A live generation broke one of the algorithm-level inductive
+    /// invariants the schedule's Hoare contracts promise — reported by an
+    /// [`InvariantCheck`](crate::InvariantCheck) harness armed under
+    /// [`Instrumentation::Validate`](crate::Instrumentation::Validate).
+    /// Where [`KernelDivergence`](GcaError::KernelDivergence) says "the
+    /// kernel differs from the reference engine", this says "the machine
+    /// (kernel *and* reference alike) differs from the proof model".
+    InvariantViolation {
+        /// Name of the violated invariant class (e.g. `label-range`).
+        invariant: String,
+        /// Generation counter at the time of the violation.
+        generation: u64,
+        /// Phase tag the generation ran under.
+        phase: u32,
+        /// First cell witnessing the violation.
+        cell: usize,
+    },
     /// A finished run handed back a component label outside the node
     /// range — the machine's final state failed the structural validation
     /// performed when converting it into a graph-layer labeling.
@@ -172,6 +189,16 @@ impl fmt::Display for GcaError {
                 f,
                 "fused kernel diverged from the reference engine at cell \
                  {cell} in generation {generation} (phase {phase})"
+            ),
+            GcaError::InvariantViolation {
+                invariant,
+                generation,
+                phase,
+                cell,
+            } => write!(
+                f,
+                "invariant `{invariant}` violated at cell {cell} in \
+                 generation {generation} (phase {phase})"
             ),
             GcaError::BadLabel { label, n } => write!(
                 f,
@@ -257,6 +284,21 @@ mod tests {
         assert!(s.contains("cell 3"));
         assert!(s.contains("generation 9"));
         assert!(s.contains("torn"));
+    }
+
+    #[test]
+    fn display_invariant_violation() {
+        let e = GcaError::InvariantViolation {
+            invariant: "label-range".into(),
+            generation: 21,
+            phase: 11,
+            cell: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("label-range"));
+        assert!(s.contains("cell 5"));
+        assert!(s.contains("generation 21"));
+        assert!(s.contains("phase 11"));
     }
 
     #[test]

@@ -66,6 +66,7 @@ mod error;
 mod field;
 mod geometry;
 pub mod hashing;
+mod invariant;
 pub mod metrics;
 mod rule;
 pub mod snapshot;
@@ -78,5 +79,6 @@ pub use engine::{Backend, DomainPolicy, Engine, Instrumentation, StepReport};
 pub use error::{DomainViolationKind, GcaError};
 pub use field::CellField;
 pub use geometry::FieldShape;
+pub use invariant::InvariantCheck;
 pub use rule::{GcaRule, StepCtx};
 pub use word::{ceil_log2, AdjWord, Word, INFINITY, WORD_BITS};

@@ -1,8 +1,11 @@
 use crate::complexity::{ceil_log2, total_generations};
+use crate::invariants::{InvariantChecker, InvariantClass};
 use crate::kernels::{FusedExecutor, KernelReport, ParPolicy};
 use crate::{iteration_schedule, ExecPath, Gen, HCell, HirschbergRule, Layout, SwarSchedule};
 use gca_engine::metrics::{CongestionHistogram, GenerationMetrics, MetricsLog};
-use gca_engine::{CellField, Engine, GcaError, Instrumentation, StepCtx, StepReport, Word};
+use gca_engine::{
+    CellField, Engine, GcaError, Instrumentation, InvariantCheck, StepCtx, StepReport, Word,
+};
 use gca_graphs::{AdjacencyMatrix, Labeling};
 
 /// When to stop the iterated pointer-jumping sub-generations.
@@ -66,6 +69,16 @@ pub struct Machine {
     /// Test-only seeded fault: corrupts this cell after the next fused
     /// generation so the replay harness can prove it catches divergence.
     fault: Option<usize>,
+    /// The algorithm-level invariant checker, also armed by
+    /// [`Instrumentation::Validate`] — on *every* execution path. Replays
+    /// the schedule's Hoare-contract transfers (see
+    /// [`crate::invariants`]) against each committed generation and
+    /// asserts the iteration-boundary invariants of the induction
+    /// argument. Rebuilt lazily from the field after a reset or restore.
+    inv: Option<InvariantChecker>,
+    /// Test-only pending invariant fault, installed into the checker once
+    /// it exists (see [`Machine::seed_invariant_fault`]).
+    inv_fault: Option<InvariantClass>,
 }
 
 /// Shadow state of the fused-kernel differential harness.
@@ -105,6 +118,8 @@ impl Machine {
             swar_schedule: None,
             validator: None,
             fault: None,
+            inv: None,
+            inv_fault: None,
         })
     }
 
@@ -188,6 +203,7 @@ impl Machine {
         if self.fused_active() {
             return self.step_fused(gen, subgeneration);
         }
+        self.ensure_invariant_checker();
         let rep = self
             .engine
             .step(&mut self.field, &self.rule, gen.number(), subgeneration)?;
@@ -196,6 +212,7 @@ impl Machine {
             self.metrics
                 .push(GenerationMetrics::new(rep.ctx, rep.active_cells, hist));
         }
+        self.check_invariants(&rep.ctx)?;
         Ok(rep)
     }
 
@@ -276,6 +293,49 @@ impl Machine {
         self.fused.seed_partition_fault();
     }
 
+    /// Test-only hook for the failure-injection suite: arms a one-shot
+    /// planted contract break of the given [`InvariantClass`] inside the
+    /// invariant checker, which must then report it as
+    /// [`GcaError::InvariantViolation`]. No effect unless the machine runs
+    /// under [`Instrumentation::Validate`].
+    #[doc(hidden)]
+    pub fn seed_invariant_fault(&mut self, class: InvariantClass) {
+        match self.inv.as_mut() {
+            Some(inv) => inv.seed_fault(class),
+            None => self.inv_fault = Some(class),
+        }
+    }
+
+    /// Lazily (re)builds the invariant checker from the current field — the
+    /// pre-state of the next generation to run. Called before every
+    /// generation executes; a checker dropped by `reset_with`/`restore`
+    /// re-arms here (at an iteration boundary, where column 0 carries the
+    /// labels the boundary invariants need). No-op unless validating.
+    fn ensure_invariant_checker(&mut self) {
+        if !self.validating() || self.inv.is_some() {
+            return;
+        }
+        let mut inv = InvariantChecker::from_states(self.n(), self.field.states());
+        if let Some(class) = self.inv_fault.take() {
+            inv.seed_fault(class);
+        }
+        self.inv = Some(inv);
+    }
+
+    /// Replays the committed generation through the contract transfer
+    /// functions and asserts the invariant set. No-op unless validating
+    /// (`ensure_invariant_checker` arms the checker in that case, so a
+    /// validating machine always has one here).
+    fn check_invariants(&mut self, ctx: &StepCtx) -> Result<(), GcaError> {
+        if !self.validating() {
+            return Ok(());
+        }
+        match self.inv.as_mut() {
+            Some(inv) => inv.after_generation(ctx, self.field.states()),
+            None => Ok(()),
+        }
+    }
+
     /// Copies the pre-generation field into the shadow so the reference
     /// engine can replay the generation the fused kernel is about to run.
     /// No-op unless validating.
@@ -283,6 +343,7 @@ impl Machine {
         if !self.validating() {
             return;
         }
+        self.ensure_invariant_checker();
         if self.validator.is_none() {
             self.validator = Some(FusedValidator {
                 engine: Engine::sequential().with_instrumentation(Instrumentation::Validate),
@@ -376,6 +437,7 @@ impl Machine {
         // every generation (callers inspect it between steps).
         self.fused.store_d(&mut self.field);
         self.check_fused_generation(&ctx)?;
+        self.check_invariants(&ctx)?;
         self.fused_commit(ctx, rep.active);
         Ok(StepReport {
             ctx,
@@ -470,6 +532,7 @@ impl Machine {
             // loop defers the writeback to the iteration boundary.
             self.fused.store_d(&mut self.field);
             self.check_fused_generation(&ctx)?;
+            self.check_invariants(&ctx)?;
         }
         self.fused_commit(ctx, rep.active);
         Ok(rep)
@@ -685,6 +748,9 @@ impl Machine {
         self.field = field;
         self.soa_valid = false;
         self.initialized = true;
+        // The invariant checker's shadow plane no longer matches the field;
+        // it re-arms lazily from the restored state (an iteration boundary).
+        self.inv = None;
         Ok(())
     }
 
@@ -716,6 +782,8 @@ impl Machine {
             v.engine.reset();
         }
         self.fault = None;
+        self.inv = None;
+        self.inv_fault = None;
         Ok(())
     }
 

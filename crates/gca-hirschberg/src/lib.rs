@@ -47,6 +47,7 @@ pub mod batch;
 mod cell;
 pub mod complexity;
 mod hfield;
+pub mod invariants;
 pub mod kernels;
 mod layout;
 mod phase;
@@ -59,6 +60,7 @@ pub mod variants;
 pub use algorithm::{connected_components, Convergence, GcaRun, HirschbergGca, Machine};
 pub use batch::{BatchReport, BatchRunner, BatchStats};
 pub use cell::HCell;
+pub use invariants::{contract_step, InvariantChecker, InvariantClass};
 pub use kernels::{ExecPath, FusedParallel, FusedSwar};
 pub use layout::Layout;
 pub use swar::SwarSchedule;

@@ -142,6 +142,27 @@ pub struct MeasuredRow {
     pub groups: BTreeMap<u32, usize>,
 }
 
+/// Converts one instrumented generation into a measured row. The machine
+/// stamps every step with a schedule phase, so an unknown tag can only
+/// mean the recorded context is corrupt — surfaced as a typed error
+/// rather than a panic.
+fn measured_row(m: &gca_engine::metrics::GenerationMetrics) -> Result<MeasuredRow, GcaError> {
+    let generation = Gen::from_number(m.ctx.phase).ok_or(GcaError::InvariantViolation {
+        invariant: "schedule-phase".to_string(),
+        generation: m.ctx.generation,
+        phase: m.ctx.phase,
+        cell: 0,
+    })?;
+    Ok(MeasuredRow {
+        generation,
+        subgeneration: m.ctx.subgeneration,
+        active: m.active_cells,
+        cells_read: m.cells_read,
+        max_congestion: m.max_congestion,
+        groups: m.congestion_groups.clone(),
+    })
+}
+
 /// Runs generation 0 plus the first outer iteration on `graph` and returns
 /// one measured row per executed `(generation, sub-generation)`.
 pub fn measure_first_iteration(graph: &AdjacencyMatrix) -> Result<Vec<MeasuredRow>, GcaError> {
@@ -154,20 +175,7 @@ pub fn measure_first_iteration(graph: &AdjacencyMatrix) -> Result<Vec<MeasuredRo
     if graph.n() > 1 {
         machine.run_iteration()?;
     }
-    let rows = machine
-        .metrics()
-        .entries()
-        .iter()
-        .map(|m| MeasuredRow {
-            generation: Gen::from_number(m.ctx.phase).expect("machine only runs valid phases"),
-            subgeneration: m.ctx.subgeneration,
-            active: m.active_cells,
-            cells_read: m.cells_read,
-            max_congestion: m.max_congestion,
-            groups: m.congestion_groups.clone(),
-        })
-        .collect();
-    Ok(rows)
+    machine.metrics().entries().iter().map(measured_row).collect()
 }
 
 /// Measures the whole run (all `⌈log₂ n⌉` iterations) — used by the
@@ -175,19 +183,7 @@ pub fn measure_first_iteration(graph: &AdjacencyMatrix) -> Result<Vec<MeasuredRo
 pub fn measure_full_run(graph: &AdjacencyMatrix) -> Result<Vec<MeasuredRow>, GcaError> {
     let engine = Engine::sequential().with_instrumentation(Instrumentation::Counts);
     let run = HirschbergGca::new().with_engine(engine).run(graph)?;
-    Ok(run
-        .metrics
-        .entries()
-        .iter()
-        .map(|m| MeasuredRow {
-            generation: Gen::from_number(m.ctx.phase).expect("valid phases"),
-            subgeneration: m.ctx.subgeneration,
-            active: m.active_cells,
-            cells_read: m.cells_read,
-            max_congestion: m.max_congestion,
-            groups: m.congestion_groups.clone(),
-        })
-        .collect())
+    run.metrics.entries().iter().map(measured_row).collect()
 }
 
 #[cfg(test)]

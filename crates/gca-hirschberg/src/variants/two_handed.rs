@@ -174,12 +174,23 @@ impl GcaRule for TwoHandedRule {
                 ..*own
             },
             TGen::FilterNeighbors => {
-                let c_i = reads.first().expect("hand 1").d;
-                let c_j = reads.second().expect("hand 2").d;
-                TCell {
-                    d: if own.a && c_i != c_j { c_i } else { INFINITY },
-                    e: c_j,
-                    a: own.a,
+                // Both hands are always issued for this phase; a missing
+                // read degrades to "no candidate" (`d = ∞`) instead of a
+                // panic, keeping the transfer function total.
+                match (reads.first(), reads.second()) {
+                    (Some(hand_i), Some(hand_j)) => {
+                        let (c_i, c_j) = (hand_i.d, hand_j.d);
+                        TCell {
+                            d: if own.a && c_i != c_j { c_i } else { INFINITY },
+                            e: c_j,
+                            a: own.a,
+                        }
+                    }
+                    _ => TCell {
+                        d: INFINITY,
+                        e: own.e,
+                        a: own.a,
+                    },
                 }
             }
             TGen::MinReduce | TGen::MinReduceMembers => match reads.first() {
@@ -274,7 +285,7 @@ pub fn run(graph: &AdjacencyMatrix) -> Result<TwoHandedRun, GcaError> {
     let n = graph.n();
     if n == 0 {
         return Ok(TwoHandedRun {
-            labels: Labeling::new(Vec::new()).expect("empty"),
+            labels: Labeling::empty(),
             generations: 0,
             iterations: 0,
             metrics: MetricsLog::new(),
@@ -325,8 +336,7 @@ pub fn run(graph: &AdjacencyMatrix) -> Result<TwoHandedRun, GcaError> {
         step(&mut field, &mut engine, TGen::FinalMin, 0)?;
     }
 
-    let labels = Labeling::new((0..n).map(|j| field.get(j * n).d as usize).collect())
-        .expect("labels are node numbers");
+    let labels = crate::machine_labeling((0..n).map(|j| field.get(j * n).d as usize).collect())?;
     Ok(TwoHandedRun {
         labels,
         generations: engine.generation(),

@@ -254,12 +254,14 @@ impl Pram {
                 }
             }
             // Winner: lowest processor id (deterministic; for a single
-            // processor with repeated writes, its last write wins).
+            // processor with repeated writes, its last write wins). The
+            // group always contains its own head, so the head's value is
+            // a sound fallback instead of a panic.
             let winner_proc = group[0].proc;
             let value = group
-                .iter().rfind(|w| w.proc == winner_proc)
-                .expect("group non-empty")
-                .value;
+                .iter()
+                .rfind(|w| w.proc == winner_proc)
+                .map_or(group[0].value, |w| w.value);
             resolved.push((addr, value));
             i = j;
         }
