@@ -33,13 +33,13 @@ fn bench_generation(c: &mut Criterion, label: &str, gen: Gen, sub: u32) {
     let mut group = c.benchmark_group(format!("sparse_stepping/{label}"));
     for n in STEP_SIZES {
         // Bit-identity gate before timing anything.
-        let probe = sparse::time_generation(n, gen, sub, 1);
+        let probe = sparse::time_generation(n, gen, sub, 1).expect("probe step");
         assert!(
             probe.metrics_identical,
             "hinted metrics diverge from dense at n={n} {gen:?} sub {sub}"
         );
         for (policy, name) in [(DomainPolicy::Dense, "dense"), (DomainPolicy::Hinted, "hinted")] {
-            let mut m = sparse::machine(n, policy);
+            let mut m = sparse::machine(n, policy).expect("machine");
             group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
                 b.iter(|| black_box(m.step(gen, sub).expect("step")));
             });

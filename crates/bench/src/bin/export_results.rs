@@ -28,7 +28,7 @@ fn sparse_stepping_doc() -> serde_json::Value {
         // Enough repetitions for stable medians at small n, few at large n.
         let reps = (1 << 20 >> (n.ilog2())).clamp(2, 64) as u32;
         for (gen, sub) in sparse::restricted_generations() {
-            let t = sparse::time_generation(n, gen, sub, reps);
+            let t = sparse::time_generation(n, gen, sub, reps).expect("sparse generation timing");
             generation_rows.push(json!({
                 "n": t.n,
                 "generation": t.generation.number(),
@@ -43,7 +43,7 @@ fn sparse_stepping_doc() -> serde_json::Value {
     let full_rows: Vec<serde_json::Value> = [16usize, 64, 256]
         .iter()
         .map(|&n| {
-            let t = sparse::time_full_runs(n);
+            let t = sparse::time_full_runs(n).expect("sparse full-run timing");
             json!({
                 "n": t.n,
                 "dense_fixed_ms": t.dense_fixed_ms,

@@ -84,10 +84,11 @@ fn main() {
     }
 
     println!();
-    println!("final labels: {:?}", machine.labels().as_slice());
+    let labels = machine.labels().expect("final labels");
+    println!("final labels: {:?}", labels.as_slice());
     println!(
         "components: {} in {} generations",
-        machine.labels().component_count(),
+        labels.component_count(),
         machine.generations()
     );
 }

@@ -78,16 +78,24 @@ impl ParGenTiming {
 }
 
 fn time_steps(m: &mut Machine, gen: Gen, sub: u32, reps: u32) -> Result<NsPerStep, GcaError> {
-    // One probing step surfaces any error before the infallible measurement
-    // closure runs (the callers already stepped once for the metrics check,
-    // so a failure here is unreachable for well-formed machines).
+    // One probing step surfaces most errors before the timing loop; the
+    // measurement closure is infallible by signature, so any error inside
+    // it is captured and surfaced afterwards.
     std::hint::black_box(m.step(gen, sub)?);
-    Ok(NsPerStep::measure(
-        || {
-            std::hint::black_box(m.step(gen, sub).expect("step repeats cleanly"));
+    let mut failed = None;
+    let ns = NsPerStep::measure(
+        || match m.step(gen, sub) {
+            Ok(report) => {
+                std::hint::black_box(report);
+            }
+            Err(e) => failed = Some(e),
         },
         reps,
-    ))
+    );
+    match failed {
+        Some(e) => Err(e),
+        None => Ok(ns),
+    }
 }
 
 /// Times `reps` executions of `(gen, sub)` under sequential fused and

@@ -10,7 +10,7 @@
 //! bit-identical first) and compare full runs under fixed vs. detected
 //! pointer-jump convergence.
 
-use gca_engine::{DomainPolicy, Engine};
+use gca_engine::{DomainPolicy, Engine, GcaError};
 use gca_graphs::connectivity::union_find_components_dense;
 use gca_graphs::generators;
 use crate::NsPerStep;
@@ -36,12 +36,12 @@ pub fn restricted_generations() -> [(Gen, u32); 3] {
 }
 
 /// An initialized machine on the standard workload under the given policy.
-pub fn machine(n: usize, policy: DomainPolicy) -> Machine {
+pub fn machine(n: usize, policy: DomainPolicy) -> Result<Machine, GcaError> {
     let graph = generators::gnp(n, 0.3, SEED);
     let engine = Engine::sequential().with_domain_policy(policy);
-    let mut m = Machine::with_engine(&graph, engine).expect("machine");
-    m.init().expect("init");
-    m
+    let mut m = Machine::with_engine(&graph, engine)?;
+    m.init()?;
+    Ok(m)
 }
 
 /// One `(generation, sub)` timed under dense and hinted stepping.
@@ -69,36 +69,46 @@ impl GenTiming {
     }
 }
 
-fn time_steps(m: &mut Machine, gen: Gen, sub: u32, reps: u32) -> NsPerStep {
-    NsPerStep::measure(
-        || {
-            std::hint::black_box(m.step(gen, sub).expect("step"));
+fn time_steps(m: &mut Machine, gen: Gen, sub: u32, reps: u32) -> Result<NsPerStep, GcaError> {
+    // The measurement closure is infallible by signature; capture the first
+    // step error (if any) and surface it after the timing loop.
+    let mut failed = None;
+    let ns = NsPerStep::measure(
+        || match m.step(gen, sub) {
+            Ok(report) => {
+                std::hint::black_box(report);
+            }
+            Err(e) => failed = Some(e),
         },
         reps,
-    )
+    );
+    match failed {
+        Some(e) => Err(e),
+        None => Ok(ns),
+    }
 }
 
 /// Times `reps` executions of `(gen, sub)` under both policies on the same
 /// workload, asserting report equality on the first step.
-pub fn time_generation(n: usize, gen: Gen, sub: u32, reps: u32) -> GenTiming {
-    let mut dense = machine(n, DomainPolicy::Dense);
-    let mut hinted = machine(n, DomainPolicy::Hinted);
-    let rd = dense.step(gen, sub).expect("dense step");
-    let rh = hinted.step(gen, sub).expect("hinted step");
+pub fn time_generation(n: usize, gen: Gen, sub: u32, reps: u32) -> Result<GenTiming, GcaError> {
+    let mut dense = machine(n, DomainPolicy::Dense)?;
+    let mut hinted = machine(n, DomainPolicy::Hinted)?;
+    let rd = dense.step(gen, sub)?;
+    let rh = hinted.step(gen, sub)?;
     let metrics_identical = rd.active_cells == rh.active_cells
         && rd.total_reads == rh.total_reads
         && rd.changed_cells == rh.changed_cells
         && rd.congestion == rh.congestion;
-    let dense_ns = time_steps(&mut dense, gen, sub, reps);
-    let hinted_ns = time_steps(&mut hinted, gen, sub, reps);
-    GenTiming {
+    let dense_ns = time_steps(&mut dense, gen, sub, reps)?;
+    let hinted_ns = time_steps(&mut hinted, gen, sub, reps)?;
+    Ok(GenTiming {
         n,
         generation: gen,
         subgeneration: sub,
         dense_ns_per_step: dense_ns,
         hinted_ns_per_step: hinted_ns,
         metrics_identical,
-    }
+    })
 }
 
 /// Full connected-components runs under the three interesting configs.
@@ -124,30 +134,30 @@ fn timed_run(
     graph: &gca_graphs::AdjacencyMatrix,
     policy: DomainPolicy,
     convergence: Convergence,
-) -> (f64, u64, gca_graphs::Labeling) {
+) -> Result<(f64, u64, gca_graphs::Labeling), GcaError> {
     let runner = HirschbergGca::new()
         .with_engine(Engine::sequential().with_domain_policy(policy))
         .convergence(convergence);
     let start = Instant::now();
-    let run = runner.run(graph).expect("run");
+    let run = runner.run(graph)?;
     let ms = start.elapsed().as_secs_f64() * 1e3;
-    (ms, run.generations, run.labels)
+    Ok((ms, run.generations, run.labels))
 }
 
 /// Times full runs on the standard workload at size `n`.
-pub fn time_full_runs(n: usize) -> RunTiming {
+pub fn time_full_runs(n: usize) -> Result<RunTiming, GcaError> {
     let graph = generators::gnp(n, 0.3, SEED);
     let expected = union_find_components_dense(&graph);
     let (dense_fixed_ms, fixed_generations, l1) =
-        timed_run(&graph, DomainPolicy::Dense, Convergence::Fixed);
+        timed_run(&graph, DomainPolicy::Dense, Convergence::Fixed)?;
     let (hinted_fixed_ms, fixed_generations_hinted, l2) =
-        timed_run(&graph, DomainPolicy::Hinted, Convergence::Fixed);
+        timed_run(&graph, DomainPolicy::Hinted, Convergence::Fixed)?;
     let (hinted_detect_ms, detect_generations, l3) =
-        timed_run(&graph, DomainPolicy::Hinted, Convergence::Detect);
+        timed_run(&graph, DomainPolicy::Hinted, Convergence::Detect)?;
     assert_eq!(fixed_generations, fixed_generations_hinted);
     let labels_match_union_find =
         [&l1, &l2, &l3].iter().all(|l| l.as_slice() == expected.as_slice());
-    RunTiming {
+    Ok(RunTiming {
         n,
         dense_fixed_ms,
         hinted_fixed_ms,
@@ -155,7 +165,7 @@ pub fn time_full_runs(n: usize) -> RunTiming {
         fixed_generations,
         detect_generations,
         labels_match_union_find,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -165,7 +175,7 @@ mod tests {
     #[test]
     fn generation_timings_report_identical_metrics() {
         for (gen, sub) in restricted_generations() {
-            let t = time_generation(16, gen, sub, 2);
+            let t = time_generation(16, gen, sub, 2).unwrap();
             assert!(t.metrics_identical, "{gen:?} sub {sub}");
             assert!(t.dense_ns_per_step.median > 0.0 && t.hinted_ns_per_step.median > 0.0);
             assert!(t.dense_ns_per_step.min <= t.dense_ns_per_step.max);
@@ -174,7 +184,7 @@ mod tests {
 
     #[test]
     fn full_runs_agree_with_union_find() {
-        let t = time_full_runs(16);
+        let t = time_full_runs(16).unwrap();
         assert!(t.labels_match_union_find);
         assert!(t.detect_generations <= t.fixed_generations);
     }

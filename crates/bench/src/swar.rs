@@ -136,13 +136,24 @@ impl SwarGenTiming {
 }
 
 fn time_steps(m: &mut Machine, gen: Gen, sub: u32, reps: u32) -> Result<NsPerStep, GcaError> {
+    // One probing step surfaces most errors before the timing loop; the
+    // measurement closure is infallible by signature, so any error inside
+    // it is captured and surfaced afterwards.
     std::hint::black_box(m.step(gen, sub)?);
-    Ok(NsPerStep::measure(
-        || {
-            std::hint::black_box(m.step(gen, sub).expect("step repeats cleanly"));
+    let mut failed = None;
+    let ns = NsPerStep::measure(
+        || match m.step(gen, sub) {
+            Ok(report) => {
+                std::hint::black_box(report);
+            }
+            Err(e) => failed = Some(e),
         },
         reps,
-    ))
+    );
+    match failed {
+        Some(e) => Err(e),
+        None => Ok(ns),
+    }
 }
 
 /// Times `reps` executions of `(gen, sub)` under scalar fused and SWAR on
@@ -227,7 +238,7 @@ fn timed_run(
     let start = Instant::now();
     m.init()?;
     m.run_iterations(u64::from(ceil_log2(graph.n())))?;
-    let labels = std::hint::black_box(m.labels());
+    let labels = std::hint::black_box(m.labels()?);
     let ms = start.elapsed().as_secs_f64() * 1e3;
     drop(labels);
     Ok((ms, m))
@@ -255,18 +266,19 @@ pub fn time_full_runs(
     } else {
         2
     };
-    let mut fused_ms = f64::INFINITY;
-    let mut swar_ms = f64::INFINITY;
-    let (mut scalar, mut swar) = (None, None);
-    for _ in 0..runs {
+    // The first run seeds both the minima and the machines the identity
+    // check below reads, so no Option/expect dance is needed for "at least
+    // one run happened".
+    let (mut fused_ms, mut scalar) = timed_run(&graph, ExecPath::Fused, instrumentation)?;
+    let (mut swar_ms, mut swar) = timed_run(&graph, ExecPath::fused_swar(), instrumentation)?;
+    for _ in 1..runs {
         let (f_ms, s_machine) = timed_run(&graph, ExecPath::Fused, instrumentation)?;
         let (w_ms, w_machine) = timed_run(&graph, ExecPath::fused_swar(), instrumentation)?;
         fused_ms = fused_ms.min(f_ms);
         swar_ms = swar_ms.min(w_ms);
-        (scalar, swar) = (Some(s_machine), Some(w_machine));
+        (scalar, swar) = (s_machine, w_machine);
     }
-    let (scalar, swar) = (scalar.expect("runs >= 1"), swar.expect("runs >= 1"));
-    let labels_match_union_find = [scalar.labels(), swar.labels()]
+    let labels_match_union_find = [scalar.labels()?, swar.labels()?]
         .iter()
         .all(|l| l.as_slice() == expected.as_slice());
     Ok(SwarRunTiming {

@@ -1,5 +1,7 @@
 //! Hand-rolled argument parsing for `gca-cc` (no external CLI dependency).
 
+use gca_engine::faults::FaultSpec;
+use gca_engine::recovery::RecoveryPolicy;
 use gca_engine::{Backend, DomainPolicy};
 use gca_hirschberg::{Convergence, ExecPath, FusedParallel};
 use std::fmt;
@@ -174,6 +176,64 @@ impl EngineOpts {
     }
 }
 
+/// Fault-injection and recovery options (`--machine gca` only). With a
+/// fault or a policy set, the run goes through the checkpointing
+/// supervisor instead of the plain runner.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryOpts {
+    /// Planted fault (`--inject`), resolved against the run geometry
+    /// once the graph is known.
+    pub inject: Option<FaultSpec>,
+    /// Recovery policy (`--recover`). `--inject` without a policy
+    /// supervises fail-fast: the first detection ends the run.
+    pub recover: Option<RecoveryPolicy>,
+    /// Checkpoint cadence in outer iterations (`--checkpoint-every`).
+    pub checkpoint_every: u64,
+}
+
+impl Default for RecoveryOpts {
+    fn default() -> Self {
+        RecoveryOpts {
+            inject: None,
+            recover: None,
+            checkpoint_every: 1,
+        }
+    }
+}
+
+impl RecoveryOpts {
+    /// Whether the run must go through the supervisor.
+    pub fn supervised(&self) -> bool {
+        self.inject.is_some() || self.recover.is_some()
+    }
+
+    /// Parses a `--recover` value: `fail | retry[:N] | rollback[:D] |
+    /// degrade`.
+    pub fn parse_policy(s: &str) -> Result<RecoveryPolicy, ArgError> {
+        let (head, arg) = match s.split_once(':') {
+            Some((h, a)) => (h, Some(a)),
+            None => (s, None),
+        };
+        let count = |a: &str| -> Result<u32, ArgError> {
+            a.parse()
+                .map_err(|_| ArgError(format!("bad count '{a}' in --recover '{s}'")))
+        };
+        match (head, arg) {
+            ("fail", None) => Ok(RecoveryPolicy::Fail),
+            ("retry", None) => Ok(RecoveryPolicy::Retry { max_attempts: 3 }),
+            ("retry", Some(a)) => Ok(RecoveryPolicy::Retry { max_attempts: count(a)? }),
+            ("rollback", None) => Ok(RecoveryPolicy::Rollback { to_checkpoint: 1 }),
+            ("rollback", Some(a)) => Ok(RecoveryPolicy::Rollback {
+                to_checkpoint: count(a)? as usize,
+            }),
+            ("degrade", None) => Ok(RecoveryPolicy::Degrade),
+            _ => Err(ArgError(format!(
+                "unknown recovery policy '{s}' (expected fail|retry[:N]|rollback[:D]|degrade)"
+            ))),
+        }
+    }
+}
+
 /// Where the input graph comes from.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum InputSpec {
@@ -204,6 +264,8 @@ pub struct Args {
     pub verify: bool,
     /// Engine knobs for the main GCA machine.
     pub engine: EngineOpts,
+    /// Fault-injection and recovery knobs for the main GCA machine.
+    pub recovery: RecoveryOpts,
 }
 
 /// A user-facing argument error.
@@ -247,6 +309,17 @@ OPTIONS:
   --invariants       run the live invariant mirror: every generation replayed against the
                      prover's Hoare contracts (label range, forest canonicity, partition
                      refinement, depth halving); implies --validate (gca machine only; slower)
+  --inject <spec>    plant one deterministic fault and run under the recovery supervisor
+                     (gca machine only). Spec grammar:
+                       <kind>[@<gen>[.<cell>[.<bit>]]][:seed=<u64>][:sticky]
+                     with kind bitflip | torn | drop | stale-occ | dup-row | hist-merge.
+                     Detection needs --validate; an undetected label divergence exits 4.
+  --recover <p>      recovery policy when a detector fires (implies supervision):
+                     fail (default with --inject) | retry[:N] | rollback[:D] | degrade —
+                     degrade walks fused-swar -> fused-par -> fused -> generic. Exhausted
+                     recovery exits 3; a recovered run exits 0 and prints its report.
+  --checkpoint-every <N>
+                     checkpoint cadence in outer iterations under supervision (default 1)
   --labels           print every node's component label
   --metrics          print per-generation activity/congestion (GCA machines)
   --verify           independently verify the labeling against the graph
@@ -304,6 +377,8 @@ pub fn parse(args: &[String]) -> Result<Args, ArgError> {
     let mut metrics = false;
     let mut verify = false;
     let mut engine = EngineOpts::default();
+    let mut recovery = RecoveryOpts::default();
+    let mut cadence: Option<u64> = None;
     let mut workers: Option<usize> = None;
 
     let mut it = args.iter();
@@ -347,6 +422,31 @@ pub fn parse(args: &[String]) -> Result<Args, ArgError> {
                     ArgError(format!("bad worker count '{v}' (expected an integer)"))
                 })?);
             }
+            "--inject" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--inject needs a fault spec".into()))?;
+                recovery.inject =
+                    Some(FaultSpec::parse(v).map_err(|e| ArgError(e.to_string()))?);
+            }
+            "--recover" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--recover needs a policy".into()))?;
+                recovery.recover = Some(RecoveryOpts::parse_policy(v)?);
+            }
+            "--checkpoint-every" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--checkpoint-every needs a value".into()))?;
+                let n: u64 = v.parse().map_err(|_| {
+                    ArgError(format!("bad cadence '{v}' (expected an integer >= 1)"))
+                })?;
+                if n == 0 {
+                    return Err(ArgError("--checkpoint-every must be >= 1".into()));
+                }
+                cadence = Some(n);
+            }
             "--validate" => engine.validate = true,
             "--invariants" => {
                 engine.invariants = true;
@@ -383,6 +483,20 @@ pub fn parse(args: &[String]) -> Result<Args, ArgError> {
         }
     }
 
+    if let Some(n) = cadence {
+        if !recovery.supervised() {
+            return Err(ArgError(
+                "--checkpoint-every requires --inject or --recover".into(),
+            ));
+        }
+        recovery.checkpoint_every = n;
+    }
+    if recovery.supervised() && machine != MachineKind::Gca {
+        return Err(ArgError(
+            "--inject/--recover require --machine gca".into(),
+        ));
+    }
+
     Ok(Args {
         machine,
         input: input.ok_or_else(|| ArgError("missing input (see --help)".into()))?,
@@ -391,6 +505,7 @@ pub fn parse(args: &[String]) -> Result<Args, ArgError> {
         metrics,
         verify,
         engine,
+        recovery,
     })
 }
 
@@ -583,6 +698,66 @@ mod tests {
         // --validate alone does not advertise the invariant tier.
         let a = parse(&argv(&["--validate", "ring:5"])).unwrap();
         assert!(!a.engine.invariants && a.engine.validate);
+    }
+
+    #[test]
+    fn parses_inject_recover_and_cadence() {
+        use gca_engine::faults::{FaultAddr, FaultKind};
+        let a = parse(&argv(&[
+            "--inject", "bitflip@27.5.2", "--recover", "retry:5", "--checkpoint-every", "2",
+            "path:24",
+        ]))
+        .unwrap();
+        assert_eq!(
+            a.recovery.inject,
+            Some(FaultSpec {
+                kind: FaultKind::BitFlip { bit: 2 },
+                addr: FaultAddr::Explicit { generation: 27, cell: 5, bit: 2 },
+                sticky: false,
+            })
+        );
+        assert_eq!(a.recovery.recover, Some(RecoveryPolicy::Retry { max_attempts: 5 }));
+        assert_eq!(a.recovery.checkpoint_every, 2);
+        assert!(a.recovery.supervised());
+
+        // Defaults: no supervision, cadence 1.
+        let a = parse(&argv(&["path:24"])).unwrap();
+        assert_eq!(a.recovery, RecoveryOpts::default());
+        assert!(!a.recovery.supervised());
+    }
+
+    #[test]
+    fn parses_recovery_policies() {
+        for (s, p) in [
+            ("fail", RecoveryPolicy::Fail),
+            ("retry", RecoveryPolicy::Retry { max_attempts: 3 }),
+            ("retry:7", RecoveryPolicy::Retry { max_attempts: 7 }),
+            ("rollback", RecoveryPolicy::Rollback { to_checkpoint: 1 }),
+            ("rollback:2", RecoveryPolicy::Rollback { to_checkpoint: 2 }),
+            ("degrade", RecoveryPolicy::Degrade),
+        ] {
+            assert_eq!(RecoveryOpts::parse_policy(s).unwrap(), p, "{s}");
+        }
+        assert!(RecoveryOpts::parse_policy("panic").is_err());
+        assert!(RecoveryOpts::parse_policy("retry:x").is_err());
+        assert!(RecoveryOpts::parse_policy("degrade:1").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_recovery_flags() {
+        // Bad fault spec / missing values.
+        assert!(parse(&argv(&["--inject", "meltdown", "path:8"])).is_err());
+        assert!(parse(&argv(&["--inject"])).is_err());
+        assert!(parse(&argv(&["--recover", "never", "path:8"])).is_err());
+        // Cadence needs supervision and must be positive.
+        assert!(parse(&argv(&["--checkpoint-every", "2", "path:8"])).is_err());
+        assert!(parse(&argv(&[
+            "--inject", "torn", "--checkpoint-every", "0", "path:8"
+        ]))
+        .is_err());
+        // Supervision is a gca-machine feature.
+        assert!(parse(&argv(&["--machine", "pram", "--inject", "torn", "path:8"])).is_err());
+        assert!(parse(&argv(&["--machine", "seq", "--recover", "degrade", "path:8"])).is_err());
     }
 
     #[test]

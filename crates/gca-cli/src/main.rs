@@ -48,23 +48,39 @@ fn load_graph(input: &InputSpec) -> Result<AdjacencyMatrix, String> {
     }
 }
 
-fn run(args: &Args) -> Result<String, String> {
+/// Recovery gave up: the policy's budget ran out before the run
+/// completed (every attempt was *detected* — the state never lied).
+const EXIT_RECOVERY_EXHAUSTED: u8 = 3;
+/// The worst outcome: an injected fault escaped every detector and the
+/// final labels diverge from the union-find reference.
+const EXIT_UNDETECTED_DIVERGENCE: u8 = 4;
+
+fn run(args: &Args) -> Result<(String, ExitCode), String> {
     let graph = load_graph(&args.input)?;
-    let outcome =
-        report::execute(args.machine, &graph, &args.engine).map_err(|e| e.to_string())?;
+    let outcome = report::execute(args.machine, &graph, &args.engine, &args.recovery)
+        .map_err(|e| e.to_string())?;
     let mut out = if args.json {
         report::render_json(&outcome, &graph, args)
     } else {
         report::render_text(&outcome, &graph, args)
     };
-    if args.verify {
+    let exhausted = outcome.recovery.as_ref().is_some_and(|r| !r.completed());
+    let diverged = outcome.diverged == Some(true);
+    if args.verify && !exhausted && !diverged {
         gca_graphs::verify::verify_components(&graph.to_adjacency_list(), &outcome.labels)
             .map_err(|e| format!("verification FAILED: {e}"))?;
         if !args.json {
             out.push_str("verification: ok (no crossing edges, canonical, connected classes)\n");
         }
     }
-    Ok(out)
+    let code = if exhausted {
+        ExitCode::from(EXIT_RECOVERY_EXHAUSTED)
+    } else if diverged {
+        ExitCode::from(EXIT_UNDETECTED_DIVERGENCE)
+    } else {
+        ExitCode::SUCCESS
+    };
+    Ok((out, code))
 }
 
 fn main() -> ExitCode {
@@ -82,9 +98,9 @@ fn main() -> ExitCode {
         }
     };
     match run(&args) {
-        Ok(out) => {
+        Ok((out, code)) => {
             print!("{out}");
-            ExitCode::SUCCESS
+            code
         }
         Err(e) => {
             eprintln!("error: {e}");

@@ -123,6 +123,112 @@ fn malformed_edge_list_fails_cleanly() {
     assert!(!out.status.success());
 }
 
+// Exit-code contract of the fault-injection/recovery flags:
+//   0 — clean or recovered (with a report on stdout)
+//   3 — recovery exhausted (every failure was detected; the policy's
+//       budget ran out)
+//   4 — undetected divergence (the fault escaped every detector and the
+//       labels are wrong)
+// `bitflip@27.5.0` lands mid-second-iteration on path:24 (23 generations
+// per iteration, so generation 27 is iteration 2's filter window) — a
+// site the differential replay detects under --validate.
+
+#[test]
+fn recovered_fault_exits_zero_with_report() {
+    let out = gca_cc()
+        .args([
+            "path:24", "--exec", "fused", "--validate", "--inject", "bitflip@27.5.0",
+            "--recover", "retry:3", "--checkpoint-every", "2",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("recovered: 1 fault(s) detected"), "{text}");
+    assert!(text.contains("differential-replay"), "{text}");
+    assert!(text.contains("fault containment: labels match"), "{text}");
+    assert!(text.contains("components: 1"), "{text}");
+}
+
+#[test]
+fn exhausted_recovery_exits_three() {
+    let out = gca_cc()
+        .args([
+            "path:24", "--exec", "fused", "--validate", "--inject", "bitflip@27.5.0",
+            "--recover", "fail",
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stdout));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("recovery exhausted"), "{text}");
+}
+
+#[test]
+fn undetected_divergence_exits_four() {
+    // Without the sanitizer, a label-cell flip on the last committed
+    // generation (115 = total 116 minus init; cell 24 = row 1, column 0)
+    // reaches the output unseen; only the exit cross-check catches it.
+    let out = gca_cc()
+        .args(["path:24", "--exec", "fused", "--inject", "bitflip@115.24.0"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(4), "{}", String::from_utf8_lossy(&out.stdout));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("DIVERGED"), "{text}");
+}
+
+#[test]
+fn validate_turns_the_divergence_into_a_recovery() {
+    // The other direction of the exit-4 test: the same fault with the
+    // sanitizer on is detected, repaired, and exits 0.
+    let out = gca_cc()
+        .args([
+            "path:24", "--exec", "fused", "--validate", "--inject", "bitflip@115.24.0",
+            "--recover", "retry:3",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("recovered"), "{text}");
+}
+
+#[test]
+fn json_recovery_report_parses() {
+    let out = gca_cc()
+        .args([
+            "path:24", "--json", "--exec", "fused", "--validate", "--inject",
+            "bitflip@27.5.0", "--recover", "degrade",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert_eq!(v["recovery"]["outcome"], "recovered");
+    assert_eq!(v["recovery"]["attempts"][0]["detector"], "differential-replay");
+    assert_eq!(v["diverged"], false);
+}
+
+#[test]
+fn bad_fault_spec_fails_with_usage() {
+    let out = gca_cc()
+        .args(["path:8", "--inject", "meltdown@1"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("fault class"), "{err}");
+}
+
 #[test]
 fn help_prints_usage_and_succeeds() {
     let out = gca_cc().args(["--help"]).output().expect("spawn");

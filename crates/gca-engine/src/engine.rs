@@ -446,6 +446,15 @@ impl Engine {
         }
     }
 
+    /// Rewinds the generation counter to `generation` without touching
+    /// anything else — the bookkeeping half of restoring a checkpoint
+    /// (see [`crate::recovery`]): the field state comes back from the
+    /// snapshot, the counter comes back from here, and the re-executed
+    /// generations then replay with identical [`StepCtx`] values.
+    pub fn rewind_to(&mut self, generation: u64) {
+        self.generation = generation;
+    }
+
     /// Advances the generation counter by one without executing a step.
     ///
     /// External executors (e.g. the fused kernels in `gca-hirschberg`) that

@@ -210,6 +210,36 @@ impl fmt::Display for GcaError {
 
 impl std::error::Error for GcaError {}
 
+impl GcaError {
+    /// The stable name of the detection layer that raises this error —
+    /// recorded in recovery attempt logs (see [`crate::recovery`]) and the
+    /// fault-campaign coverage matrix, so a report can say *which* harness
+    /// caught an injected fault.
+    ///
+    /// * `crow-sanitizer` — the engine's own per-generation access/domain
+    ///   checks (bad pointers, torn reads, EREW/CROW and domain-hint
+    ///   violations), armed by `Instrumentation::Validate` on the generic
+    ///   path and inside the fused replay harness.
+    /// * `differential-replay` — the fused-path harness replaying every
+    ///   kernel generation through the reference engine.
+    /// * `invariant-checker` — the algorithm-level Hoare-contract mirror
+    ///   running on every execution path.
+    /// * `structural` — label/shape validation outside the run loop.
+    pub fn detector(&self) -> &'static str {
+        match self {
+            GcaError::PointerOutOfRange { .. }
+            | GcaError::TornRead { .. }
+            | GcaError::DomainViolation { .. } => "crow-sanitizer",
+            GcaError::KernelDivergence { .. } => "differential-replay",
+            GcaError::InvariantViolation { .. } => "invariant-checker",
+            GcaError::FieldTooLarge { .. }
+            | GcaError::ShapeMismatch { .. }
+            | GcaError::GraphSizeMismatch { .. }
+            | GcaError::BadLabel { .. } => "structural",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

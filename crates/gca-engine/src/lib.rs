@@ -63,11 +63,13 @@ pub mod combinators;
 mod domain;
 mod engine;
 mod error;
+pub mod faults;
 mod field;
 mod geometry;
 pub mod hashing;
 mod invariant;
 pub mod metrics;
+pub mod recovery;
 mod rule;
 pub mod snapshot;
 pub mod trace;

@@ -196,6 +196,17 @@ impl MetricsLog {
         &self.entries
     }
 
+    /// Discards every entry past the first `generations` — the metrics
+    /// half of restoring a checkpoint: under counting instrumentation the
+    /// log holds exactly one entry per committed generation, so
+    /// truncating to the checkpoint's generation counter makes the
+    /// re-executed generations append over a clean suffix and the final
+    /// log bit-identical to an undisturbed run. No-op when the log is
+    /// already at or below that length.
+    pub fn truncate(&mut self, generations: usize) {
+        self.entries.truncate(generations);
+    }
+
     /// Number of generations recorded.
     pub fn generations(&self) -> usize {
         self.entries.len()

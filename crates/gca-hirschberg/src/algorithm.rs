@@ -2,11 +2,16 @@ use crate::complexity::{ceil_log2, total_generations};
 use crate::invariants::{InvariantChecker, InvariantClass};
 use crate::kernels::{FusedExecutor, KernelReport, ParPolicy};
 use crate::{iteration_schedule, ExecPath, Gen, HCell, HirschbergRule, Layout, SwarSchedule};
+use gca_engine::faults::{FaultKind, FaultPlan};
 use gca_engine::metrics::{CongestionHistogram, GenerationMetrics, MetricsLog};
 use gca_engine::{
     CellField, Engine, GcaError, Instrumentation, InvariantCheck, StepCtx, StepReport, Word,
 };
 use gca_graphs::{AdjacencyMatrix, Labeling};
+
+/// Mask of the low half of a data word — the half a torn write leaves on
+/// its pre-generation value (see [`FaultKind::TornWrite`]).
+const TORN_LO_MASK: Word = (1 << (Word::BITS / 2)) - 1;
 
 /// When to stop the iterated pointer-jumping sub-generations.
 ///
@@ -79,6 +84,18 @@ pub struct Machine {
     /// Test-only pending invariant fault, installed into the checker once
     /// it exists (see [`Machine::seed_invariant_fault`]).
     inv_fault: Option<InvariantClass>,
+    /// The armed fault plan (see [`gca_engine::faults`]). `None` on clean
+    /// runs — every hook starts with this check, keeping injection
+    /// zero-cost when off.
+    inject: Option<FaultPlan>,
+    /// Pre-generation capture scratch for dropped-generation faults on
+    /// the fused paths (the SoA data plane).
+    drop_words: Vec<Word>,
+    /// Pre-generation capture scratch for dropped-generation faults on
+    /// the generic path (the full cell states).
+    drop_states: Vec<HCell>,
+    /// Pre-generation value of a torn-write target word.
+    torn_pre: Option<Word>,
 }
 
 /// Shadow state of the fused-kernel differential harness.
@@ -120,6 +137,10 @@ impl Machine {
             fault: None,
             inv: None,
             inv_fault: None,
+            inject: None,
+            drop_words: Vec::new(),
+            drop_states: Vec::new(),
+            torn_pre: None,
         })
     }
 
@@ -204,9 +225,12 @@ impl Machine {
             return self.step_fused(gen, subgeneration);
         }
         self.ensure_invariant_checker();
+        let fault_gen = self.engine.generation();
+        self.arm_generic_fault(fault_gen);
         let rep = self
             .engine
             .step(&mut self.field, &self.rule, gen.number(), subgeneration)?;
+        self.apply_generic_fault(fault_gen);
         self.soa_valid = false;
         if let Some(hist) = rep.congestion.as_ref() {
             self.metrics
@@ -306,6 +330,201 @@ impl Machine {
         }
     }
 
+    /// Arms (or clears) a deterministic fault plan. An armed plan injects
+    /// its fault into the addressed committed generation on whichever
+    /// execution path runs it (see [`gca_engine::faults`] for the per-kind
+    /// semantics and which paths each kind applies to). Arming also
+    /// disables the SWAR driver's broadcast+filter and multi-jump fusions
+    /// so that every scheduled generation materializes as an injection
+    /// site; a `None` plan restores full fusion and costs nothing per
+    /// step. The plan survives [`Machine::reset_with`] and
+    /// [`Machine::rollback_to`] on purpose: recovery re-executes the
+    /// faulted span, and whether the fault re-fires is the plan's
+    /// [`gca_engine::faults::Persistence`] decision, not the machine's.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.inject = plan;
+        self.torn_pre = None;
+    }
+
+    /// The armed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.inject.as_ref()
+    }
+
+    /// The degradation-ladder level of the configured execution path —
+    /// the coordinate sticky faults compare against (see
+    /// [`gca_engine::faults::Persistence::Sticky`]). Higher is more
+    /// optimized: generic 0, fused 1, fused-par 2, fused-swar 3.
+    pub fn exec_level(&self) -> u8 {
+        match self.exec {
+            ExecPath::Generic => 0,
+            ExecPath::Fused => 1,
+            ExecPath::FusedParallel(_) => 2,
+            ExecPath::FusedSwar(_) => 3,
+        }
+    }
+
+    /// Switches the execution path in place — the degradation ladder's
+    /// rung change. Unlike [`Machine::with_exec`] this is callable
+    /// mid-run; the paths are bit-identical in labels and metrics, so a
+    /// switch at any generation boundary is semantically invisible.
+    pub fn set_exec(&mut self, exec: ExecPath) {
+        self.exec = exec;
+        self.fused.set_swar(matches!(exec, ExecPath::FusedSwar(_)));
+        // The SoA mirror's auxiliary planes (occupancy) are path-dependent;
+        // force a reload under the new path's configuration.
+        self.soa_valid = false;
+    }
+
+    /// Rewinds the machine to a checkpoint: restores the field snapshot,
+    /// resets the engine's generation counter to `generation`, and
+    /// truncates the metrics log to match (under counting instrumentation
+    /// the log holds exactly one entry per committed generation, so the
+    /// re-executed span appends over a clean suffix and a recovered run's
+    /// log is bit-identical to an undisturbed one). The fused replay
+    /// shadow is dropped and re-arms in lockstep on the next validated
+    /// generation.
+    pub fn rollback_to(
+        &mut self,
+        generation: u64,
+        snapshot: &gca_engine::snapshot::FieldSnapshot<HCell>,
+    ) -> Result<(), GcaError> {
+        self.restore(snapshot)?;
+        self.engine.rewind_to(generation);
+        self.metrics.truncate(generation as usize);
+        self.validator = None;
+        self.torn_pre = None;
+        Ok(())
+    }
+
+    /// Pre-generation half of the generic-path injection hook: captures
+    /// whatever pre-state the armed fault needs. `generation` is the
+    /// number the generation will commit as (the pre-step counter).
+    fn arm_generic_fault(&mut self, generation: u64) {
+        let Some(plan) = self.inject.as_ref() else {
+            return;
+        };
+        match plan.peek(generation, self.exec_level()) {
+            Some(FaultKind::DroppedGeneration) => {
+                self.drop_states.clear();
+                self.drop_states.extend_from_slice(self.field.states());
+            }
+            Some(FaultKind::TornWrite) => {
+                self.torn_pre = self.field.states().get(plan.cell()).map(|c| c.d);
+            }
+            _ => {}
+        }
+    }
+
+    /// Post-generation half of the generic-path injection hook: fires the
+    /// plan and corrupts the committed field state. The invariant
+    /// checker's contract-step mirror (armed under
+    /// [`Instrumentation::Validate`]) is the detector on this path — it
+    /// replays the generation from the uncorrupted pre-state and compares
+    /// the full field. Kinds without a generic-path surface (stale
+    /// occupancy bits, duplicated chunk rows, histogram merges live in
+    /// the fused kernels) consume their charge without effect.
+    fn apply_generic_fault(&mut self, generation: u64) {
+        let level = self.exec_level();
+        let Some(plan) = self.inject.as_mut() else {
+            return;
+        };
+        let Some(kind) = plan.fire(generation, level) else {
+            return;
+        };
+        let cell = plan.cell();
+        match kind {
+            FaultKind::BitFlip { bit } => {
+                if let Some(c) = self.field.states_mut().get_mut(cell) {
+                    c.d ^= 1 << (bit % Word::BITS);
+                }
+            }
+            FaultKind::TornWrite => {
+                if let (Some(pre), Some(c)) =
+                    (self.torn_pre.take(), self.field.states_mut().get_mut(cell))
+                {
+                    c.d = (c.d & !TORN_LO_MASK) | (pre & TORN_LO_MASK);
+                }
+            }
+            FaultKind::DroppedGeneration => {
+                if self.drop_states.len() == self.field.len() {
+                    self.field.states_mut().clone_from_slice(&self.drop_states);
+                }
+            }
+            FaultKind::StaleOccupancy
+            | FaultKind::DuplicatedChunkRow
+            | FaultKind::CorruptHistogramMerge => {}
+        }
+    }
+
+    /// Pre-kernel half of the fused-path injection hook. Runs after
+    /// `ensure_soa`, so captures see the authoritative SoA mirror.
+    /// Duplicated-chunk-row faults arm here (the overlap fires *inside*
+    /// the kernel's partitioned counting broadcast); everything else only
+    /// captures pre-state.
+    fn arm_fused_fault(&mut self, generation: u64) {
+        let Some(plan) = self.inject.as_ref() else {
+            return;
+        };
+        match plan.peek(generation, self.exec_level()) {
+            Some(FaultKind::DroppedGeneration) => {
+                self.fused.save_plane(&mut self.drop_words);
+            }
+            Some(FaultKind::TornWrite) => {
+                self.torn_pre = self.fused.word_at(plan.cell());
+            }
+            Some(FaultKind::DuplicatedChunkRow) => {
+                self.fused.seed_partition_fault();
+            }
+            _ => {}
+        }
+    }
+
+    /// Post-kernel half of the fused-path injection hook: fires the plan
+    /// and corrupts the kernel's committed output *before* the field
+    /// write-back and the differential-replay comparison — exactly where
+    /// a hardware fault between kernel and commit would land. Detection
+    /// is the replay harness ([`GcaError::KernelDivergence`]) under
+    /// [`Instrumentation::Validate`].
+    fn apply_fused_fault(&mut self, generation: u64) {
+        let level = self.exec_level();
+        let Some(plan) = self.inject.as_mut() else {
+            return;
+        };
+        let Some(kind) = plan.fire(generation, level) else {
+            return;
+        };
+        let cell = plan.cell();
+        let counting = self.counting();
+        match kind {
+            FaultKind::BitFlip { bit } => {
+                if let Some(w) = self.fused.word_at(cell) {
+                    self.fused.set_word(cell, w ^ (1 << (bit % Word::BITS)));
+                }
+            }
+            FaultKind::TornWrite => {
+                if let (Some(pre), Some(w)) = (self.torn_pre.take(), self.fused.word_at(cell)) {
+                    self.fused.set_word(cell, (w & !TORN_LO_MASK) | (pre & TORN_LO_MASK));
+                }
+            }
+            FaultKind::DroppedGeneration => {
+                self.fused.load_plane(&self.drop_words);
+            }
+            FaultKind::StaleOccupancy => {
+                self.fused.clear_occ_bit(cell);
+            }
+            FaultKind::CorruptHistogramMerge => {
+                if counting {
+                    self.fused.bump_read(cell);
+                }
+            }
+            // Armed pre-kernel; the overlap already fired inside the
+            // partitioned broadcast (or expired unobserved if this
+            // generation ran sequentially).
+            FaultKind::DuplicatedChunkRow => {}
+        }
+    }
+
     /// Lazily (re)builds the invariant checker from the current field — the
     /// pre-state of the next generation to run. Called before every
     /// generation executes; a checker dropped by `reset_with`/`restore`
@@ -350,7 +569,9 @@ impl Machine {
                 shadow: self.field.clone(),
             });
         }
-        let v = self.validator.as_mut().expect("just created");
+        let Some(v) = self.validator.as_mut() else {
+            return;
+        };
         v.shadow.states_mut().clone_from_slice(self.field.states());
         // Keep the shadow engine's generation counter in lockstep (it may
         // lag when the machine was restored from a snapshot).
@@ -375,7 +596,11 @@ impl Machine {
                 self.soa_valid = false;
             }
         }
-        let v = self.validator.as_mut().expect("begin_fused_validation ran");
+        let Some(v) = self.validator.as_mut() else {
+            // Unreachable in practice: `begin_fused_validation` arms the
+            // validator whenever `validating()` holds.
+            return Ok(());
+        };
         let rep = v
             .engine
             .step(&mut v.shadow, &self.rule, ctx.phase, ctx.subgeneration)?;
@@ -432,7 +657,9 @@ impl Machine {
         let par = self.par_policy();
         self.begin_fused_validation();
         self.ensure_soa();
+        self.arm_fused_fault(ctx.generation);
         let rep = self.fused.step(&ctx, counting, par)?;
+        self.apply_fused_fault(ctx.generation);
         // The single-step API keeps the public field authoritative after
         // every generation (callers inspect it between steps).
         self.fused.store_d(&mut self.field);
@@ -525,7 +752,9 @@ impl Machine {
         let par = self.par_policy();
         self.begin_fused_validation();
         self.ensure_soa();
+        self.arm_fused_fault(ctx.generation);
         let rep = self.fused.step(&ctx, counting, par)?;
+        self.apply_fused_fault(ctx.generation);
         if self.validating() {
             // The replay harness compares against the field, so each
             // validated generation writes back immediately; the plain hot
@@ -586,9 +815,15 @@ impl Machine {
     /// SWAR path *and* an unobservable intermediate state: under counting
     /// the two generations report separate read footprints, and under
     /// validation the replay harness compares the field after every
-    /// generation — both must see the broadcast materialized.
+    /// generation — both must see the broadcast materialized. An armed
+    /// fault plan also disables the fusion: fault coordinates address
+    /// individual committed generations, so every generation must
+    /// materialize as an injection site.
     fn fuse_broadcast_filter(&self) -> bool {
-        matches!(self.exec, ExecPath::FusedSwar(_)) && !self.counting() && !self.validating()
+        matches!(self.exec, ExecPath::FusedSwar(_))
+            && !self.counting()
+            && !self.validating()
+            && self.inject.is_none()
     }
 
     /// Runs one fused broadcast+filter pair (generations 1+2 for
@@ -661,11 +896,12 @@ impl Machine {
             self.fused_tick(gen, 0)?;
             executed += 1;
         }
-        if self.validating() {
+        if self.validating() || self.inject.is_some() {
             // The multi-jump fusion keeps labels in private ping-pong
             // buffers between sub-generations; the replay harness needs
-            // every generation's writes in the field, so validation takes
-            // the gather/jump/scatter-per-sub-generation path.
+            // every generation's writes in the field (and an armed fault
+            // plan needs every generation to exist as an injection site),
+            // so both take the gather/jump/scatter-per-sub-generation path.
             for s in 0..subgens {
                 let rep = self.swar_gated_tick(sched, Gen::PointerJump, s, &mut executed)?;
                 if let Some(rep) = rep {
@@ -787,11 +1023,13 @@ impl Machine {
         Ok(())
     }
 
-    /// The current `C` vector as a [`Labeling`].
-    pub fn labels(&self) -> Labeling {
+    /// The current `C` vector as a [`Labeling`]. An out-of-range label —
+    /// impossible on a clean run, but exactly what an undetected data
+    /// fault can produce — surfaces as [`GcaError::BadLabel`] instead of
+    /// a panic.
+    pub fn labels(&self) -> Result<Labeling, GcaError> {
         let raw = self.labels_raw();
-        Labeling::new(raw.into_iter().map(|w| w as usize).collect())
-            .expect("algorithm labels are node numbers < n")
+        crate::machine_labeling(raw.into_iter().map(|w| w as usize).collect())
     }
 }
 
@@ -897,7 +1135,7 @@ impl HirschbergGca {
         let n = graph.n();
         if n == 0 {
             return Ok(GcaRun {
-                labels: Labeling::new(Vec::new()).expect("empty labeling"),
+                labels: Labeling::empty(),
                 generations: 0,
                 iterations: 0,
                 metrics: MetricsLog::new(),
@@ -946,7 +1184,7 @@ impl HirschbergGca {
             );
         }
         Ok(GcaRun {
-            labels: machine.labels(),
+            labels: machine.labels()?,
             generations,
             iterations,
             metrics: std::mem::take(&mut machine.metrics),
@@ -1190,7 +1428,7 @@ mod tests {
             m.run_iteration().unwrap();
         }
         let run = HirschbergGca::new().run(&g).unwrap();
-        assert_eq!(m.labels(), run.labels);
+        assert_eq!(m.labels().unwrap(), run.labels);
         assert_eq!(m.generations(), run.generations);
     }
 
@@ -1235,7 +1473,7 @@ mod tests {
         for _ in 1..ceil_log2(14) {
             resumed.run_iteration().unwrap();
         }
-        assert_eq!(resumed.labels(), reference.labels);
+        assert_eq!(resumed.labels().unwrap(), reference.labels);
     }
 
     #[test]
@@ -1340,7 +1578,7 @@ mod tests {
                 assert_eq!(ra.congestion, rb.congestion, "{gen:?}/{sub}");
             }
         }
-        assert_eq!(a.labels(), b.labels());
+        assert_eq!(a.labels().unwrap(), b.labels().unwrap());
     }
 
     #[test]
@@ -1524,7 +1762,7 @@ mod tests {
                 assert_eq!(ra.workers, 1, "sequential fused reports one worker");
             }
         }
-        assert_eq!(a.labels(), b.labels());
+        assert_eq!(a.labels().unwrap(), b.labels().unwrap());
     }
 
     #[test]
@@ -1541,7 +1779,7 @@ mod tests {
         for _ in 0..ceil_log2(12) {
             m.run_iteration().unwrap();
         }
-        assert_eq!(m.labels().as_slice(), expected.as_slice());
+        assert_eq!(m.labels().unwrap().as_slice(), expected.as_slice());
     }
 
     #[test]
@@ -1653,7 +1891,7 @@ mod tests {
                 assert_eq!(ra.congestion, rb.congestion, "{gen:?}/{sub}");
             }
         }
-        assert_eq!(a.labels(), b.labels());
+        assert_eq!(a.labels().unwrap(), b.labels().unwrap());
     }
 
     #[test]
@@ -1808,8 +2046,8 @@ mod tests {
             resumed_swar.run_iteration().unwrap();
             resumed_generic.run_iteration().unwrap();
         }
-        assert_eq!(swar.labels(), resumed_swar.labels());
-        assert_eq!(swar.labels(), resumed_generic.labels());
+        assert_eq!(swar.labels().unwrap(), resumed_swar.labels().unwrap());
+        assert_eq!(swar.labels().unwrap(), resumed_generic.labels().unwrap());
         assert_eq!(swar.field().states(), resumed_generic.field().states());
     }
 
@@ -1831,7 +2069,7 @@ mod tests {
             m.run_iteration().unwrap();
         }
         let expected = union_find_components_dense(&g2);
-        assert_eq!(m.labels().as_slice(), expected.as_slice());
+        assert_eq!(m.labels().unwrap().as_slice(), expected.as_slice());
     }
 
     #[test]
@@ -1859,7 +2097,7 @@ mod tests {
                 assert_eq!(ra.total_reads, rb.total_reads, "{gen:?}/{sub} at iter {it}");
             }
         }
-        assert_eq!(m.labels(), reference.labels());
+        assert_eq!(m.labels().unwrap(), reference.labels().unwrap());
         assert_eq!(m.field().states(), reference.field().states());
     }
 
@@ -1895,7 +2133,7 @@ mod tests {
             m.run_iteration().unwrap();
         }
         let expected = union_find_components_dense(&g2);
-        assert_eq!(m.labels().as_slice(), expected.as_slice());
+        assert_eq!(m.labels().unwrap().as_slice(), expected.as_slice());
     }
 
     #[test]

@@ -14,9 +14,11 @@
 use crate::complexity::ceil_log2;
 use crate::kernels::FusedParallel;
 use crate::{Convergence, ExecPath, Machine};
+use gca_engine::faults::FaultPlan;
 use gca_engine::{Engine, GcaError, Instrumentation, Word};
 use gca_graphs::AdjacencyMatrix;
 use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// Configuration for running a batch of independent graphs.
@@ -40,6 +42,12 @@ pub struct BatchRunner {
     instrumentation: Instrumentation,
     workers: usize,
     split_idle_workers: bool,
+    /// Test-only failure injection for the contained API: a fault plan
+    /// armed on the machine processing the graph at this batch index.
+    inject: Option<(usize, FaultPlan)>,
+    /// Test-only failure injection for the contained API: panic while
+    /// processing the graph at this batch index.
+    panic_at: Option<usize>,
 }
 
 impl Default for BatchRunner {
@@ -58,6 +66,8 @@ impl BatchRunner {
             instrumentation: Instrumentation::Off,
             workers: 0,
             split_idle_workers: false,
+            inject: None,
+            panic_at: None,
         }
     }
 
@@ -198,6 +208,127 @@ impl BatchRunner {
         })
     }
 
+    /// Test-only hook for the failure-injection suite: arms `plan` on the
+    /// worker machine while it processes the graph at batch `index` of a
+    /// [`BatchRunner::run_contained`] call (disarmed again afterwards, so
+    /// machine reuse across the chunk stays clean). Detection requires
+    /// [`Instrumentation::Validate`], like any other injected fault.
+    #[doc(hidden)]
+    pub fn seed_graph_fault(&mut self, index: usize, plan: FaultPlan) {
+        self.inject = Some((index, plan));
+    }
+
+    /// Test-only hook for the failure-injection suite: panics while
+    /// processing the graph at batch `index` of a
+    /// [`BatchRunner::run_contained`] call — the stand-in for a worker
+    /// dying mid-graph (corrupted scratch, arithmetic bug, …).
+    #[doc(hidden)]
+    pub fn seed_graph_panic(&mut self, index: usize) {
+        self.panic_at = Some(index);
+    }
+
+    /// Labels every graph with **per-graph fault containment**: a worker
+    /// whose graph fails — a detector error *or* a panic — records a typed
+    /// [`GraphFault`] for that graph only, discards its (potentially
+    /// poisoned) machine, and continues with the next graph in its chunk.
+    /// The rest of the batch always completes; unlike [`BatchRunner::run`],
+    /// one bad graph can no longer take its siblings' results down with it.
+    pub fn run_contained(&self, graphs: &[AdjacencyMatrix]) -> ContainedReport {
+        let started = Instant::now();
+        if graphs.is_empty() {
+            return ContainedReport {
+                results: Vec::new(),
+                stats: BatchStats {
+                    graphs: 0,
+                    workers: 0,
+                    elapsed: started.elapsed(),
+                },
+            };
+        }
+        let workers = self.effective_workers(graphs.len());
+        let exec = self.effective_exec(graphs.len());
+        let chunk = graphs.len().div_ceil(workers);
+        let mut results: Vec<Result<Vec<Word>, GraphFault>> =
+            (0..graphs.len()).map(|_| Ok(Vec::new())).collect();
+        graphs
+            .par_chunks(chunk)
+            .zip(results.par_chunks_mut(chunk))
+            .enumerate()
+            .for_each(|(chunk_idx, (graphs, outs))| {
+                let mut machine: Option<Machine> = None;
+                for (offset, (graph, slot)) in graphs.iter().zip(outs.iter_mut()).enumerate() {
+                    let index = chunk_idx * chunk + offset;
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        if self.panic_at == Some(index) {
+                            panic!("seeded batch panic at graph {index}");
+                        }
+                        let armed = self
+                            .inject
+                            .as_ref()
+                            .filter(|(at, _)| *at == index)
+                            .map(|(_, p)| p.clone());
+                        let mut out = Vec::new();
+                        self.run_one_armed(&mut machine, graph, &mut out, exec, armed)
+                            .map(|()| out)
+                    }));
+                    match outcome {
+                        Ok(Ok(labels)) => *slot = Ok(labels),
+                        Ok(Err(e)) => {
+                            *slot = Err(GraphFault::Error(e));
+                            // A detector fired mid-run: the machine's field
+                            // holds a partially executed (possibly corrupt)
+                            // state. Rebuild for the next graph.
+                            machine = None;
+                        }
+                        Err(payload) => {
+                            *slot = Err(GraphFault::Panic(panic_message(payload.as_ref())));
+                            machine = None;
+                        }
+                    }
+                    if let Some(m) = machine.as_mut() {
+                        m.set_fault_plan(None);
+                    }
+                }
+            });
+        ContainedReport {
+            stats: BatchStats {
+                graphs: graphs.len(),
+                workers,
+                elapsed: started.elapsed(),
+            },
+            results,
+        }
+    }
+
+    /// [`BatchRunner::run_one`] with an optional fault plan to arm on the
+    /// machine before the run (covers the fresh-build path, where the plan
+    /// cannot be armed from outside).
+    fn run_one_armed(
+        &self,
+        machine: &mut Option<Machine>,
+        graph: &AdjacencyMatrix,
+        out: &mut Vec<Word>,
+        exec: ExecPath,
+        plan: Option<FaultPlan>,
+    ) -> Result<(), GcaError> {
+        let m = match machine {
+            Some(m) if m.n() == graph.n() => {
+                m.reset_with(graph)?;
+                m
+            }
+            _ => machine.insert(self.build_machine(graph, exec)?),
+        };
+        if let Some(plan) = plan {
+            m.set_fault_plan(Some(plan));
+        }
+        m.init()?;
+        for _ in 0..ceil_log2(graph.n()) {
+            m.run_iteration()?;
+        }
+        m.labels_into(out);
+        Ok(())
+    }
+
     /// Runs one graph on the worker's machine, rebuilding it only when the
     /// problem size changes.
     fn run_one(
@@ -227,6 +358,68 @@ impl BatchRunner {
         Ok(Machine::with_engine(graph, engine)?
             .with_convergence(self.convergence)
             .with_exec(exec))
+    }
+}
+
+/// Why one graph of a contained batch run produced no labels. The other
+/// graphs of the batch are unaffected — that is the containment contract
+/// of [`BatchRunner::run_contained`].
+#[derive(Clone, Debug)]
+pub enum GraphFault {
+    /// A detector (CROW sanitizer, differential replay, invariant
+    /// checker) or a structural check rejected the run.
+    Error(GcaError),
+    /// The worker panicked mid-graph; carries the panic message. The
+    /// worker's machine was discarded (its scratch may be poisoned) and
+    /// rebuilt for the next graph.
+    Panic(String),
+}
+
+impl GraphFault {
+    /// The detector that caught the failure — [`GcaError::detector`] for
+    /// typed errors, `"panic"` for caught panics.
+    pub fn detector(&self) -> &'static str {
+        match self {
+            GraphFault::Error(e) => e.detector(),
+            GraphFault::Panic(_) => "panic",
+        }
+    }
+}
+
+impl std::fmt::Display for GraphFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphFault::Error(e) => write!(f, "{e}"),
+            GraphFault::Panic(msg) => write!(f, "worker panicked: {msg}"),
+        }
+    }
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Per-graph results plus timing of one contained batch run.
+#[derive(Clone, Debug)]
+pub struct ContainedReport {
+    /// One entry per input graph, in input order: raw labels, or the
+    /// typed fault that stopped that graph.
+    pub results: Vec<Result<Vec<Word>, GraphFault>>,
+    /// Batch timing.
+    pub stats: BatchStats,
+}
+
+impl ContainedReport {
+    /// Number of graphs that failed.
+    pub fn failed(&self) -> usize {
+        self.results.iter().filter(|r| r.is_err()).count()
     }
 }
 
@@ -403,6 +596,75 @@ mod tests {
         for (graph, labels) in graphs.iter().zip(&split.labels) {
             assert_eq!(labels, &expected_raw(graph));
         }
+    }
+
+    #[test]
+    fn contained_run_matches_plain_run_when_clean() {
+        let graphs = mixed_batch();
+        let plain = BatchRunner::new().run(&graphs).unwrap();
+        let contained = BatchRunner::new().run_contained(&graphs);
+        assert_eq!(contained.failed(), 0);
+        for (labels, result) in plain.labels.iter().zip(&contained.results) {
+            assert_eq!(result.as_ref().unwrap(), labels);
+        }
+    }
+
+    #[test]
+    fn injected_fault_fails_only_its_graph() {
+        use gca_engine::faults::FaultKind;
+        let graphs = mixed_batch();
+        let faulted = 5;
+        let mut runner = BatchRunner::new()
+            .workers(3)
+            .instrumentation(Instrumentation::Validate);
+        runner.seed_graph_fault(faulted, FaultPlan::new(FaultKind::BitFlip { bit: 0 }, 3, 9));
+        let report = runner.run_contained(&graphs);
+        assert_eq!(report.failed(), 1);
+        for (i, (graph, result)) in graphs.iter().zip(&report.results).enumerate() {
+            if i == faulted {
+                let fault = result.as_ref().unwrap_err();
+                assert!(
+                    matches!(fault, GraphFault::Error(GcaError::KernelDivergence { .. })),
+                    "graph {i}: {fault}"
+                );
+                assert_eq!(fault.detector(), "differential-replay");
+            } else {
+                assert_eq!(
+                    result.as_ref().unwrap(),
+                    &expected_raw(graph),
+                    "sibling graph {i} must complete correctly"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_worker_fails_only_its_graph() {
+        let graphs = mixed_batch();
+        let dead = 2;
+        let mut runner = BatchRunner::new().workers(2);
+        runner.seed_graph_panic(dead);
+        let report = runner.run_contained(&graphs);
+        assert_eq!(report.failed(), 1);
+        for (i, (graph, result)) in graphs.iter().zip(&report.results).enumerate() {
+            if i == dead {
+                let fault = result.as_ref().unwrap_err();
+                assert!(matches!(fault, GraphFault::Panic(_)), "graph {i}: {fault}");
+                assert_eq!(fault.detector(), "panic");
+                assert!(fault.to_string().contains("seeded batch panic"));
+            } else {
+                // In particular the graphs *after* the panic in the same
+                // chunk: the worker rebuilt its machine and carried on.
+                assert_eq!(result.as_ref().unwrap(), &expected_raw(graph), "graph {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn contained_empty_batch() {
+        let report = BatchRunner::new().run_contained(&[]);
+        assert!(report.results.is_empty());
+        assert_eq!(report.failed(), 0);
     }
 
     #[test]

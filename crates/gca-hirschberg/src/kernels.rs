@@ -60,7 +60,7 @@
 
 use crate::hfield::{a_bit, HField};
 use crate::{swar, Gen, HCell};
-use gca_engine::{AdjWord, CellField, GcaError, StepCtx, Word, INFINITY};
+use gca_engine::{AdjWord, CellField, GcaError, StepCtx, Word, INFINITY, WORD_BITS};
 use rayon::prelude::*;
 
 /// Which implementation executes the state machine's generations.
@@ -357,6 +357,60 @@ impl FusedExecutor {
     /// [`crate::Machine::seed_partition_fault`]).
     pub fn seed_partition_fault(&mut self) {
         self.overlap_fault = true;
+    }
+
+    /// The data-plane word of linear cell `i`, or `None` when out of
+    /// range — the fault-injection hooks' read surface.
+    pub fn word_at(&self, i: usize) -> Option<Word> {
+        self.hfield.d.get(i).copied()
+    }
+
+    /// Overwrites the data-plane word of linear cell `i` (out-of-range
+    /// writes are ignored) — the fault-injection hooks' write surface.
+    pub fn set_word(&mut self, i: usize, w: Word) {
+        if let Some(slot) = self.hfield.d.get_mut(i) {
+            *slot = w;
+        }
+    }
+
+    /// Copies the whole data plane into `out` (reusing its allocation) —
+    /// the pre-generation capture of a dropped-generation fault.
+    pub fn save_plane(&self, out: &mut Vec<Word>) {
+        out.clear();
+        out.extend_from_slice(&self.hfield.d);
+    }
+
+    /// Restores a data plane captured by [`FusedExecutor::save_plane`].
+    /// Ignored on length mismatch (a stale capture from another size).
+    pub fn load_plane(&mut self, plane: &[Word]) {
+        if plane.len() == self.hfield.d.len() {
+            self.hfield.d.copy_from_slice(plane);
+        }
+    }
+
+    /// Clears the occupancy-plane bit of square cell `i` — the stale-
+    /// occupancy fault surface: a filter marked the cell occupied, the
+    /// occupancy write is lost, and the next occupancy-guided tree
+    /// reduction skips a live value. No-op unless the plane is currently
+    /// authoritative (SWAR path, inside a filter → min-reduce window) or
+    /// `i` lies outside the square plane.
+    pub fn clear_occ_bit(&mut self, i: usize) {
+        if !(self.occ_valid && self.swar) || self.n == 0 || i >= self.n * self.n {
+            return;
+        }
+        let (row, col) = (i / self.n, i % self.n);
+        self.occ[row * self.hfield.words_per_row + col / WORD_BITS] &=
+            !(1 << (col % WORD_BITS));
+    }
+
+    /// Increments the read-count of cell `i` behind the kernels' back —
+    /// the corrupted-histogram-merge fault surface (a chunk's congestion
+    /// accumulator folded in twice). No-op when the scratch is not sized
+    /// (non-counting step) or `i` is out of range.
+    pub fn bump_read(&mut self, i: usize) {
+        if let Some(r) = self.reads.get_mut(i) {
+            *r += 1;
+        }
     }
 
     /// Executes one `(generation, sub-generation)` over the SoA mirror,

@@ -52,17 +52,19 @@ pub mod kernels;
 mod layout;
 mod phase;
 mod rule;
+pub mod supervise;
 pub mod swar;
 pub mod table1;
 pub mod timing;
 pub mod variants;
 
 pub use algorithm::{connected_components, Convergence, GcaRun, HirschbergGca, Machine};
-pub use batch::{BatchReport, BatchRunner, BatchStats};
+pub use batch::{BatchReport, BatchRunner, BatchStats, ContainedReport, GraphFault};
 pub use cell::HCell;
 pub use invariants::{contract_step, InvariantChecker, InvariantClass};
 pub use kernels::{ExecPath, FusedParallel, FusedSwar};
 pub use layout::Layout;
+pub use supervise::SupervisedMachine;
 pub use swar::SwarSchedule;
 pub use phase::{iteration_schedule, Gen};
 pub use rule::HirschbergRule;

@@ -318,7 +318,7 @@ mod tests {
                     compare(&rd, &rh, &dense, &hinted);
                 }
             }
-            assert_eq!(dense.labels(), hinted.labels());
+            assert_eq!(dense.labels().unwrap(), hinted.labels().unwrap());
         }
     }
 

@@ -77,10 +77,10 @@ proptest! {
         let n = g.n();
         let mut m = Machine::new(&g).unwrap();
         m.init().unwrap();
-        let mut previous = m.labels();
+        let mut previous = m.labels().unwrap();
         for _ in 0..complexity::ceil_log2(n) {
             m.run_iteration().unwrap();
-            let current = m.labels();
+            let current = m.labels().unwrap();
             prop_assert!(current.component_count() <= previous.component_count());
             // Once merged, never separated.
             for u in 0..n {
@@ -127,10 +127,10 @@ proptest! {
 
         let mut m = Machine::new(&g).unwrap();
         m.init().unwrap();
-        let mut prev_non_final = non_final(&m.labels());
+        let mut prev_non_final = non_final(&m.labels().unwrap());
         for _ in 0..complexity::ceil_log2(n) {
             m.run_iteration().unwrap();
-            let labels = m.labels();
+            let labels = m.labels().unwrap();
             let nf = non_final(&labels);
             prop_assert!(
                 nf <= prev_non_final / 2,
@@ -141,7 +141,7 @@ proptest! {
             prop_assert!(labels.component_count() >= final_count);
             prev_non_final = nf;
         }
-        prop_assert_eq!(m.labels().component_count(), final_count);
+        prop_assert_eq!(m.labels().unwrap().component_count(), final_count);
     }
 
     /// The low-congestion variant's static phases never exceed δ = 1, for

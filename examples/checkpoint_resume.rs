@@ -35,7 +35,7 @@ fn main() {
          {} components so far",
         snapshot.len(),
         json.len(),
-        machine.labels().component_count()
+        machine.labels().expect("labels").component_count()
     );
     drop(machine); // the first machine is gone — only the JSON survives
 
@@ -49,9 +49,10 @@ fn main() {
 
     // The resumed run must agree with an uninterrupted one exactly.
     let reference = HirschbergGca::new().run(&graph).expect("reference");
-    assert_eq!(resumed.labels(), reference.labels);
+    let labels = resumed.labels().expect("labels");
+    assert_eq!(labels, reference.labels);
     println!(
         "resumed run finished: {} components, identical to the uninterrupted run",
-        resumed.labels().component_count()
+        labels.component_count()
     );
 }
